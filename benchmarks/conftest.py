@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module reproduces one experiment of DESIGN.md §4 (E1–E7).
+Benchmarks print the rows/series they regenerate so that running
+
+.. code-block:: console
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the reproduced tables next to pytest-benchmark's timing output, and they
+``assert`` the *shape* of the paper's results (who wins, what the optimum is),
+so a regression in the reproduction fails the benchmark run loudly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+try:  # pragma: no cover - import guard
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+
+def emit(title: str, lines) -> None:
+    """Print a reproduced table/series in a recognisable block."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}")
+    for line in lines:
+        print(line)
+    print(banner)

@@ -1,0 +1,19 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (the execution environment is offline, and ``pip install -e .``
+requires ``--no-build-isolation`` there; see README).  When ``repro`` is
+already installed this file is a no-op.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))

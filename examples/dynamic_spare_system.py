@@ -1,0 +1,73 @@
+"""Dynamic fault trees: spares, priority gates and functional dependencies.
+
+Static fault trees cannot express "the spare pump only matters after the
+primary has failed" or "losing the power supply takes both controllers down
+with it".  This example models a redundant pumping station with those dynamic
+constructs, then analyses it twice:
+
+1. exactly, with Monte Carlo simulation of the order-dependent semantics;
+2. conservatively, through the static approximation that the MPMCS MaxSAT
+   pipeline (the paper's method) can consume directly.
+
+Run with:  python examples/dynamic_spare_system.py
+"""
+
+from repro.bdd.probability import top_event_probability
+from repro.core.pipeline import MPMCSSolver
+from repro.core.topk import enumerate_mpmcs
+from repro.fta.dynamic import DynamicFaultTree
+from repro.fta.simulation import simulate_dft
+
+MISSION_TIME = 5_000.0  # hours
+
+
+def build_pumping_station() -> DynamicFaultTree:
+    dft = DynamicFaultTree("pumping-station", top_event="station_fails")
+    dft.add_event("pump_primary", 2e-4, description="Primary pump fails")
+    dft.add_event("pump_spare", 2e-4, description="Cold-spare pump fails")
+    dft.add_event("suction_valve", 5e-5, description="Suction valve fails")
+    dft.add_event("discharge_valve", 8e-5, description="Discharge valve fails")
+    dft.add_event("controller_a", 1e-4, description="Controller A fails")
+    dft.add_event("controller_b", 1e-4, description="Controller B fails")
+    dft.add_event("power_bus", 2e-5, description="Shared power bus fails")
+
+    # The pumping function survives a primary failure thanks to a cold spare.
+    dft.add_dynamic_gate("pumps_lost", "spare", ["pump_primary", "pump_spare"], dormancy=0.0)
+    # Water hammer damage only occurs if the suction valve fails *before* the
+    # discharge valve (order matters: the reverse order is harmless).
+    dft.add_dynamic_gate("water_hammer", "pand", ["suction_valve", "discharge_valve"])
+    # Losing the power bus immediately takes both controllers down.
+    dft.add_dynamic_gate("bus_dependency", "fdep", ["power_bus", "controller_a", "controller_b"])
+    dft.add_gate("control_lost", "and", ["controller_a", "controller_b"])
+    dft.add_gate("station_fails", "or", ["pumps_lost", "water_hammer", "control_lost"])
+    return dft
+
+
+def main() -> None:
+    dft = build_pumping_station()
+
+    print(f"=== Monte Carlo simulation of the exact dynamic semantics "
+          f"(mission {MISSION_TIME:g} h) ===")
+    simulated = simulate_dft(dft, MISSION_TIME, num_samples=30_000, seed=7)
+    low, high = simulated.confidence_interval
+    print(f"unreliability = {simulated.unreliability:.4e}  (95% CI {low:.3e} .. {high:.3e})")
+
+    print("\n=== Conservative static approximation ===")
+    static = dft.to_static_tree(MISSION_TIME)
+    bound = top_event_probability(static)
+    print(f"static tree: {static.num_nodes} nodes, exact (BDD) probability = {bound:.4e}")
+    print("the static value upper-bounds the simulation, because PAND/SPARE are "
+          "replaced by plain AND gates")
+
+    print("\n=== MPMCS of the static approximation (MaxSAT pipeline) ===")
+    result = MPMCSSolver().solve(static)
+    print(f"MPMCS = {{{', '.join(result.events)}}}  p = {result.probability:.4e} "
+          f"(engine: {result.engine})")
+
+    print("\n=== Top-5 cut sets of the static approximation ===")
+    for entry in enumerate_mpmcs(static, 5):
+        print(f"  #{entry.rank}: {{{', '.join(entry.events)}}}  p = {entry.probability:.4e}")
+
+
+if __name__ == "__main__":
+    main()

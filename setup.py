@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and ships neither the ``wheel`` package
+nor a PEP 660-capable setuptools, so ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` code path provided by this file.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — Maximum Probability Minimal Cut Sets for Fault Tree Analysis with MaxSAT.
+
+A complete, self-contained Python reproduction of *"Fault Tree Analysis:
+Identifying Maximum Probability Minimal Cut Sets with MaxSAT"* (Barrère &
+Hankin, DSN 2020) and of the MPMCS4FTA tool it describes, including the SAT
+and MaxSAT solvers the method relies on.
+
+Quickstart
+----------
+.. code-block:: python
+
+    from repro import MPMCSSolver, fire_protection_system
+
+    tree = fire_protection_system()          # the paper's Fig. 1 example
+    result = MPMCSSolver().solve(tree)       # the 6-step MaxSAT pipeline
+    print(result.events, result.probability) # ('x1', 'x2') 0.02
+
+Package map
+-----------
+``repro.logic``      Boolean formulas, Tseitin CNF conversion, DIMACS I/O.
+``repro.sat``        CDCL and DPLL SAT solvers with assumptions/cores.
+``repro.maxsat``     Weighted Partial MaxSAT engines and the parallel portfolio.
+``repro.fta``        Fault-tree model, builder, Galileo/JSON parsers.
+``repro.core``       The six-step MPMCS pipeline and top-k enumeration.
+``repro.analysis``   Classical baselines: MOCUS, brute force, importance measures,
+                     modules, truncation, cut-set contributions.
+``repro.bdd``        ROBDD engine and BDD-based cut-set/probability analysis.
+``repro.markov``     Continuous-time Markov chain substrate (uniformization).
+``repro.reliability`` Time-dependent failure models and mission-time curves.
+``repro.uncertainty`` Epistemic uncertainty propagation and importance.
+``repro.workloads``  Canonical example trees and the random tree generator.
+``repro.reporting``  JSON (Fig. 2 style), DOT, ASCII, Markdown and HTML reports.
+"""
+
+from repro.core.pipeline import MPMCSResult, MPMCSSolver, find_mpmcs
+from repro.core.topk import RankedCutSet, enumerate_mpmcs
+from repro.fta.builder import FaultTreeBuilder
+from repro.fta.dynamic import DynamicFaultTree
+from repro.fta.events import BasicEvent
+from repro.fta.gates import Gate, GateType
+from repro.fta.simulation import simulate_dft
+from repro.fta.tree import FaultTree
+from repro.reliability.assignment import ReliabilityAssignment
+from repro.uncertainty.propagation import propagate_uncertainty
+from repro.workloads.generator import GeneratorConfig, random_fault_tree
+from repro.workloads.library import fire_protection_system, get_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicEvent",
+    "DynamicFaultTree",
+    "FaultTree",
+    "FaultTreeBuilder",
+    "Gate",
+    "GateType",
+    "GeneratorConfig",
+    "MPMCSResult",
+    "MPMCSSolver",
+    "RankedCutSet",
+    "ReliabilityAssignment",
+    "__version__",
+    "enumerate_mpmcs",
+    "find_mpmcs",
+    "fire_protection_system",
+    "get_tree",
+    "propagate_uncertainty",
+    "random_fault_tree",
+    "simulate_dft",
+]

@@ -1,0 +1,91 @@
+"""Classical fault-tree analyses used as baselines and complements.
+
+The paper positions MPMCS at the intersection of qualitative analysis
+(minimal cut sets) and quantitative analysis (probabilities) and mentions
+MOCUS/BDD-style techniques as the classical alternatives.  This package
+implements those baselines so that the benchmark harness can compare them with
+the MaxSAT pipeline and so the test suite has independent oracles:
+
+* :mod:`repro.analysis.cutsets`    — cut-set algebra (minimisation, subsumption).
+* :mod:`repro.analysis.bruteforce` — exhaustive MCS enumeration and MPMCS search.
+* :mod:`repro.analysis.mocus`      — the MOCUS top-down MCS enumeration algorithm.
+* :mod:`repro.analysis.topevent`   — top-event probability (exact and bounds).
+* :mod:`repro.analysis.importance` — Birnbaum / Fussell–Vesely / RAW / RRW measures.
+* :mod:`repro.analysis.spof`       — single points of failure.
+* :mod:`repro.analysis.montecarlo` — Monte Carlo estimation of the top-event probability.
+* :mod:`repro.analysis.sensitivity` — MPMCS stability under probability uncertainty
+  and tornado (one-at-a-time) sensitivity of the top-event probability.
+* :mod:`repro.analysis.modules`    — independent module (sub-tree) detection.
+* :mod:`repro.analysis.truncation` — probability-truncated cut-set enumeration.
+* :mod:`repro.analysis.contributions` — cut-set contribution / MPMCS dominance analysis.
+"""
+
+from repro.analysis.contributions import (
+    CutSetContribution,
+    cut_set_contributions,
+    cut_sets_covering,
+    mpmcs_dominance,
+)
+from repro.analysis.cutsets import CutSetCollection, minimise_cut_sets
+from repro.analysis.modules import Module, find_modules, modularisation_report
+from repro.analysis.truncation import (
+    TruncationResult,
+    truncated_cut_sets,
+    truncated_top_event_probability,
+)
+from repro.analysis.bruteforce import (
+    brute_force_minimal_cut_sets,
+    brute_force_mpmcs,
+)
+from repro.analysis.mocus import mocus_minimal_cut_sets, mocus_mpmcs
+from repro.analysis.topevent import (
+    birnbaum_bound,
+    exact_top_event_probability,
+    rare_event_approximation,
+    top_event_probability_from_cut_sets,
+)
+from repro.analysis.importance import ImportanceMeasures, importance_measures
+from repro.analysis.spof import single_points_of_failure
+from repro.analysis.montecarlo import MonteCarloEstimate, estimate_top_event_probability
+from repro.analysis.sensitivity import (
+    MPMCSStabilityReport,
+    TornadoEntry,
+    mpmcs_stability,
+    tornado_analysis,
+)
+from repro.analysis.pathsets import dual_tree, minimal_path_sets, most_probable_path_set
+
+__all__ = [
+    "CutSetCollection",
+    "CutSetContribution",
+    "ImportanceMeasures",
+    "MPMCSStabilityReport",
+    "Module",
+    "MonteCarloEstimate",
+    "TornadoEntry",
+    "TruncationResult",
+    "cut_set_contributions",
+    "cut_sets_covering",
+    "find_modules",
+    "modularisation_report",
+    "mpmcs_dominance",
+    "truncated_cut_sets",
+    "truncated_top_event_probability",
+    "dual_tree",
+    "estimate_top_event_probability",
+    "minimal_path_sets",
+    "most_probable_path_set",
+    "mpmcs_stability",
+    "tornado_analysis",
+    "birnbaum_bound",
+    "brute_force_minimal_cut_sets",
+    "brute_force_mpmcs",
+    "exact_top_event_probability",
+    "importance_measures",
+    "minimise_cut_sets",
+    "mocus_minimal_cut_sets",
+    "mocus_mpmcs",
+    "rare_event_approximation",
+    "single_points_of_failure",
+    "top_event_probability_from_cut_sets",
+]

@@ -1,0 +1,65 @@
+"""Brute-force reference analyses.
+
+These enumerators are exponential in the number of basic events and exist to
+provide *ground truth* for small fault trees: the property-based tests compare
+the MaxSAT pipeline, MOCUS and the BDD engine against them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.cutsets import CutSet, CutSetCollection, minimise_cut_sets
+from repro.core.weights import probability_of_cut_set
+from repro.exceptions import AnalysisError
+from repro.fta.tree import FaultTree
+
+__all__ = ["brute_force_minimal_cut_sets", "brute_force_mpmcs"]
+
+#: Refuse to enumerate beyond this many basic events (2^n blow-up).
+_MAX_EVENTS = 22
+
+
+def brute_force_minimal_cut_sets(
+    tree: FaultTree, *, max_events: int = _MAX_EVENTS
+) -> CutSetCollection:
+    """Enumerate every minimal cut set by exhaustive subset search.
+
+    Subsets of basic events are explored in increasing size; a subset is kept
+    when it triggers the top event and no already-kept (hence smaller or equal)
+    cut set is contained in it — which yields exactly the inclusion-minimal
+    cut sets.
+    """
+    tree.validate()
+    events = sorted(tree.events_reachable_from_top())
+    if len(events) > max_events:
+        raise AnalysisError(
+            f"brute-force enumeration over {len(events)} events would require "
+            f"2^{len(events)} evaluations; limit is {max_events} events"
+        )
+
+    minimal: List[CutSet] = []
+    for size in range(1, len(events) + 1):
+        for combo in combinations(events, size):
+            candidate = frozenset(combo)
+            if any(kept <= candidate for kept in minimal):
+                continue
+            if tree.is_cut_set(candidate):
+                minimal.append(candidate)
+    return CutSetCollection(cut_sets=minimal, probabilities=tree.probabilities())
+
+
+def brute_force_mpmcs(
+    tree: FaultTree, *, max_events: int = _MAX_EVENTS
+) -> Tuple[Tuple[str, ...], float]:
+    """Return the Maximum Probability Minimal Cut Set by exhaustive search.
+
+    Returns a ``(sorted event tuple, probability)`` pair — the ground truth the
+    MaxSAT pipeline is validated against.
+    """
+    collection = brute_force_minimal_cut_sets(tree, max_events=max_events)
+    if not len(collection):
+        raise AnalysisError(f"fault tree {tree.name!r} has no cut set")
+    cut_set, probability = collection.most_probable()
+    return tuple(sorted(cut_set)), probability

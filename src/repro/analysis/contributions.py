@@ -1,0 +1,90 @@
+"""Cut-set contribution analysis: how much of the risk each cut set carries.
+
+The paper motivates the MPMCS as a tool for "decision making, risk assessment
+and fault prioritisation".  The natural companion question is *how dominant*
+the MPMCS actually is: the fraction of the total (rare-event) risk it
+contributes, and how many of the top cut sets are needed to cover a given
+fraction of the risk.  These are the quantities this module computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.cutsets import CutSetCollection
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "CutSetContribution",
+    "cut_set_contributions",
+    "cut_sets_covering",
+    "mpmcs_dominance",
+]
+
+
+@dataclass(frozen=True)
+class CutSetContribution:
+    """One cut set's share of the total rare-event risk."""
+
+    rank: int
+    events: Tuple[str, ...]
+    probability: float
+    fraction: float
+    cumulative_fraction: float
+
+    @property
+    def size(self) -> int:
+        return len(self.events)
+
+
+def cut_set_contributions(collection: CutSetCollection) -> List[CutSetContribution]:
+    """Rank every minimal cut set by its contribution to the rare-event total.
+
+    The fraction of cut set ``i`` is ``P(MCS_i) / sum_j P(MCS_j)``; cumulative
+    fractions are reported in decreasing-probability order, so the first entry
+    is the MPMCS and its fraction is the :func:`mpmcs_dominance`.
+    """
+    ranked = collection.ranked()
+    if not ranked:
+        raise AnalysisError("cannot compute contributions of an empty cut-set collection")
+    total = sum(probability for _, probability in ranked)
+    if total <= 0.0:
+        raise AnalysisError("total cut-set probability is zero")
+
+    contributions: List[CutSetContribution] = []
+    cumulative = 0.0
+    for rank, (cut_set, probability) in enumerate(ranked, start=1):
+        fraction = probability / total
+        cumulative += fraction
+        contributions.append(
+            CutSetContribution(
+                rank=rank,
+                events=tuple(sorted(cut_set)),
+                probability=probability,
+                fraction=fraction,
+                cumulative_fraction=min(cumulative, 1.0),
+            )
+        )
+    return contributions
+
+
+def cut_sets_covering(collection: CutSetCollection, fraction: float) -> int:
+    """Number of top cut sets needed to cover ``fraction`` of the total risk.
+
+    ``fraction`` must lie in ``(0, 1]``.  The answer is the smallest ``k`` such
+    that the ``k`` most probable cut sets together contribute at least the
+    requested fraction of the rare-event total.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise AnalysisError(f"fraction must lie in (0, 1], got {fraction}")
+    contributions = cut_set_contributions(collection)
+    for contribution in contributions:
+        if contribution.cumulative_fraction >= fraction - 1e-12:
+            return contribution.rank
+    return len(contributions)
+
+
+def mpmcs_dominance(collection: CutSetCollection) -> float:
+    """Fraction of the total rare-event risk contributed by the MPMCS alone."""
+    return cut_set_contributions(collection)[0].fraction

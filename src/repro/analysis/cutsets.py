@@ -1,0 +1,126 @@
+"""Cut-set algebra.
+
+A *cut set* is a set of basic events whose joint occurrence triggers the top
+event; a *minimal cut set* (MCS) contains no proper subset that is itself a
+cut set.  This module provides the set-algebra helpers shared by MOCUS, the
+BDD extraction and the brute-force enumerators: subsumption-based
+minimisation, containment queries, probability ranking, and a small container
+class used across analyses and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.weights import probability_of_cut_set
+from repro.exceptions import AnalysisError
+
+__all__ = ["CutSet", "CutSetCollection", "minimise_cut_sets", "is_subsumed"]
+
+CutSet = FrozenSet[str]
+
+
+def minimise_cut_sets(cut_sets: Iterable[Iterable[str]]) -> List[CutSet]:
+    """Remove every cut set that is a superset of another (subsumption).
+
+    The result contains only inclusion-minimal sets, sorted by size then
+    lexicographically for determinism.  Duplicates are removed.
+    """
+    unique: List[CutSet] = sorted(
+        {frozenset(cs) for cs in cut_sets}, key=lambda cs: (len(cs), sorted(cs))
+    )
+    minimal: List[CutSet] = []
+    for candidate in unique:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal
+
+
+def is_subsumed(candidate: Iterable[str], cut_sets: Iterable[Iterable[str]]) -> bool:
+    """True when ``candidate`` is a superset of (or equal to) some set in ``cut_sets``."""
+    candidate_set = frozenset(candidate)
+    return any(frozenset(cs) <= candidate_set for cs in cut_sets)
+
+
+@dataclass
+class CutSetCollection:
+    """A collection of minimal cut sets with probability-aware helpers.
+
+    Parameters
+    ----------
+    cut_sets:
+        The minimal cut sets (they are re-minimised defensively on
+        construction so the invariants always hold).
+    probabilities:
+        Optional mapping of event probabilities enabling the quantitative
+        queries (:meth:`ranked`, :meth:`most_probable`, :meth:`probability_of`).
+    """
+
+    cut_sets: List[CutSet] = field(default_factory=list)
+    probabilities: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        self.cut_sets = minimise_cut_sets(self.cut_sets)
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cut_sets)
+
+    def __iter__(self) -> Iterator[CutSet]:
+        return iter(self.cut_sets)
+
+    def __contains__(self, events: Iterable[str]) -> bool:
+        return frozenset(events) in set(self.cut_sets)
+
+    # -- qualitative queries -------------------------------------------------------
+
+    def order(self) -> int:
+        """Size of the smallest cut set (the classical *order* of the tree)."""
+        if not self.cut_sets:
+            raise AnalysisError("empty cut-set collection has no order")
+        return min(len(cs) for cs in self.cut_sets)
+
+    def of_order(self, order: int) -> List[CutSet]:
+        """All cut sets with exactly ``order`` events."""
+        return [cs for cs in self.cut_sets if len(cs) == order]
+
+    def events(self) -> FrozenSet[str]:
+        """Union of all events appearing in some minimal cut set."""
+        out: set[str] = set()
+        for cs in self.cut_sets:
+            out |= cs
+        return frozenset(out)
+
+    # -- quantitative queries -------------------------------------------------------
+
+    def _require_probabilities(self) -> Mapping[str, float]:
+        if self.probabilities is None:
+            raise AnalysisError("cut-set collection was built without probabilities")
+        return self.probabilities
+
+    def probability_of(self, cut_set: Iterable[str]) -> float:
+        """Joint probability of one cut set (independent events)."""
+        return probability_of_cut_set(cut_set, self._require_probabilities())
+
+    def ranked(self) -> List[Tuple[CutSet, float]]:
+        """All cut sets sorted by decreasing probability."""
+        probabilities = self._require_probabilities()
+        scored = [(cs, probability_of_cut_set(cs, probabilities)) for cs in self.cut_sets]
+        return sorted(scored, key=lambda item: (-item[1], sorted(item[0])))
+
+    def most_probable(self) -> Tuple[CutSet, float]:
+        """The Maximum Probability Minimal Cut Set and its probability.
+
+        This is the brute-force/baseline definition of the MPMCS used to
+        validate the MaxSAT pipeline.
+        """
+        ranked = self.ranked()
+        if not ranked:
+            raise AnalysisError("empty cut-set collection has no MPMCS")
+        return ranked[0]
+
+    def to_sorted_tuples(self) -> List[Tuple[str, ...]]:
+        """Deterministic plain-tuple form (for reports and tests)."""
+        return [tuple(sorted(cs)) for cs in self.cut_sets]

@@ -1,0 +1,28 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) engine.
+
+The paper's future work proposes comparing the MaxSAT formulation against
+BDD-based techniques; this package implements that comparison path from
+scratch:
+
+* :mod:`repro.bdd.manager` — the ROBDD manager (unique table, computed-table
+  memoisation, ``ite``/``apply``/``negate``, formula and fault-tree
+  compilation).
+* :mod:`repro.bdd.ordering` — variable-ordering heuristics.
+* :mod:`repro.bdd.cutsets` — minimal cut set extraction (Rauzy-style).
+* :mod:`repro.bdd.probability` — exact top-event probability by Shannon
+  expansion, and the BDD-based MPMCS baseline used in benchmark E6.
+"""
+
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.ordering import variable_order
+from repro.bdd.cutsets import bdd_minimal_cut_sets
+from repro.bdd.probability import bdd_mpmcs, top_event_probability
+
+__all__ = [
+    "BDD",
+    "BDDManager",
+    "bdd_minimal_cut_sets",
+    "bdd_mpmcs",
+    "top_event_probability",
+    "variable_order",
+]

@@ -1,0 +1,71 @@
+"""Minimal cut set extraction from a BDD (Rauzy-style).
+
+For a coherent (monotone) structure function, the minimal cut sets can be read
+off the BDD with a bottom-up pass: at every node ``(x, low, high)`` the cut
+sets are those of the low branch plus ``{x} ∪ c`` for every cut set ``c`` of
+the high branch that is not already covered by the low branch.  A final
+subsumption pass guarantees minimality even for non-coherent inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis.cutsets import CutSetCollection, minimise_cut_sets
+from repro.bdd.manager import BDD, BDDManager, FALSE_NODE, TRUE_NODE
+from repro.bdd.ordering import variable_order
+from repro.exceptions import AnalysisError
+from repro.fta.tree import FaultTree
+
+__all__ = ["bdd_minimal_cut_sets", "cut_sets_of_bdd"]
+
+#: Default cap on the number of cut sets collected before aborting.
+DEFAULT_MAX_CUT_SETS = 500_000
+
+
+def cut_sets_of_bdd(
+    function: BDD,
+    *,
+    max_cut_sets: int = DEFAULT_MAX_CUT_SETS,
+) -> List[FrozenSet[str]]:
+    """Extract the minimal cut sets of a compiled BDD function."""
+    manager = function.manager
+    cache: Dict[int, List[FrozenSet[str]]] = {
+        FALSE_NODE: [],
+        TRUE_NODE: [frozenset()],
+    }
+
+    def visit(node: int) -> List[FrozenSet[str]]:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        level, low, high = manager.node_triple(node)
+        var_name = manager.var_at_level(level)
+        low_sets = visit(low)
+        high_sets = visit(high)
+        result: List[FrozenSet[str]] = list(low_sets)
+        for cut in high_sets:
+            candidate = cut | {var_name}
+            if not any(existing <= candidate for existing in low_sets):
+                result.append(candidate)
+        if len(result) > max_cut_sets:
+            raise AnalysisError(
+                f"BDD cut-set extraction exceeded the limit of {max_cut_sets} sets"
+            )
+        cache[node] = result
+        return result
+
+    return minimise_cut_sets(visit(function.node))
+
+
+def bdd_minimal_cut_sets(
+    tree: FaultTree,
+    *,
+    heuristic: str = "dfs",
+    max_cut_sets: int = DEFAULT_MAX_CUT_SETS,
+) -> CutSetCollection:
+    """Compile ``tree`` to a BDD and extract its minimal cut sets."""
+    manager = BDDManager(variable_order(tree, heuristic=heuristic))
+    function = manager.from_fault_tree(tree)
+    cut_sets = cut_sets_of_bdd(function, max_cut_sets=max_cut_sets)
+    return CutSetCollection(cut_sets=cut_sets, probabilities=tree.probabilities())

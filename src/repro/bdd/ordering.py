@@ -1,0 +1,60 @@
+"""Variable-ordering heuristics for the BDD engine.
+
+BDD size is notoriously sensitive to the variable order.  Two standard static
+heuristics are provided (plus pass-through of explicit orders):
+
+* ``"dfs"`` — depth-first (first-occurrence) order over the fault tree, the
+  classical choice for fault trees because it keeps related events adjacent;
+* ``"frequency"`` — events sorted by how many gates reference them (most
+  shared first), which often helps on DAG-shaped models;
+* ``"alphabetical"`` — deterministic fallback used in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import BDDError
+from repro.fta.tree import FaultTree
+
+__all__ = ["variable_order"]
+
+_HEURISTICS = ("dfs", "frequency", "alphabetical")
+
+
+def variable_order(
+    tree: FaultTree,
+    *,
+    heuristic: str = "dfs",
+    explicit: Optional[Sequence[str]] = None,
+) -> Tuple[str, ...]:
+    """Return a variable (basic event) order for building ``tree``'s BDD."""
+    tree.validate()
+    if explicit is not None:
+        explicit = tuple(explicit)
+        missing = set(tree.events_reachable_from_top()) - set(explicit)
+        if missing:
+            raise BDDError(f"explicit order is missing events: {sorted(missing)}")
+        return explicit
+
+    if heuristic == "dfs":
+        order: List[str] = []
+        seen = set()
+        for name in tree.reachable_from(tree.top_event):
+            if tree.is_event(name) and name not in seen:
+                seen.add(name)
+                order.append(name)
+        return tuple(order)
+
+    if heuristic == "frequency":
+        counts: Dict[str, int] = {name: 0 for name in tree.events_reachable_from_top()}
+        for gate in tree.gates.values():
+            for child in gate.children:
+                if child in counts:
+                    counts[child] += 1
+        return tuple(sorted(counts, key=lambda name: (-counts[name], name)))
+
+    if heuristic == "alphabetical":
+        return tuple(sorted(tree.events_reachable_from_top()))
+
+    raise BDDError(f"unknown ordering heuristic {heuristic!r}; expected one of {_HEURISTICS}")

@@ -1,0 +1,501 @@
+"""Command-line interface — the MPMCS4FTA-equivalent front end.
+
+The original tool "runs in the command line and outputs the solution in a JSON
+file".  This CLI mirrors that workflow and adds a few conveniences:
+
+.. code-block:: console
+
+    # analyse a JSON or Galileo model and write the Fig. 2-style report
+    $ mpmcs4fta analyze model.json -o report.json
+    $ mpmcs4fta analyze model.dft --format galileo --top-k 3
+
+    # analyse one of the built-in canonical trees (e.g. the paper's example)
+    $ mpmcs4fta analyze --builtin fps
+
+    # generate a random benchmark tree and save it
+    $ mpmcs4fta generate --events 1000 --seed 7 -o random.json
+
+    # print the Table I-style probability/weight table
+    $ mpmcs4fta weights --builtin fps
+
+    # classical analyses around the MPMCS
+    $ mpmcs4fta mcs --builtin fps --limit 10        # enumerate minimal cut sets
+    $ mpmcs4fta importance --builtin fps            # Birnbaum / Fussell-Vesely / RAW
+    $ mpmcs4fta topevent --builtin fps              # exact + approximate P(top)
+
+The module is also runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.contributions import cut_set_contributions
+from repro.analysis.importance import importance_measures
+from repro.analysis.mocus import mocus_minimal_cut_sets
+from repro.analysis.modules import modularisation_report
+from repro.analysis.montecarlo import estimate_top_event_probability
+from repro.analysis.spof import single_points_of_failure
+from repro.analysis.topevent import rare_event_approximation
+from repro.analysis.truncation import truncated_cut_sets
+from repro.bdd.probability import top_event_probability
+from repro.core.pipeline import MPMCSSolver
+from repro.core.topk import enumerate_mpmcs
+from repro.exceptions import ReproError
+from repro.fta.parsers.galileo import parse_galileo_file
+from repro.fta.parsers.json_format import parse_json_file
+from repro.fta.parsers.openpsa import parse_openpsa_file, to_openpsa
+from repro.fta.serializers import to_galileo, to_json
+from repro.fta.tree import FaultTree
+from repro.logic.dimacs import parse_wcnf
+from repro.maxsat.binary_search import BinarySearchEngine
+from repro.maxsat.bruteforce import BruteForceEngine
+from repro.maxsat.fumalik import FuMalikEngine
+from repro.maxsat.hitting_set import HittingSetEngine
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.linear import LinearSearchEngine
+from repro.maxsat.rc2 import RC2Engine
+from repro.reporting.tables import markdown_table
+from repro.reporting.ascii_art import render_tree
+from repro.reporting.dot import to_dot
+from repro.reporting.html import write_html_report
+from repro.reporting.json_report import analysis_report
+from repro.reporting.markdown import write_markdown_report
+from repro.reporting.tables import weights_table
+from repro.uncertainty.distributions import LognormalUncertainty
+from repro.uncertainty.importance import uncertainty_importance
+from repro.uncertainty.propagation import propagate_uncertainty
+from repro.workloads.generator import random_fault_tree
+from repro.workloads.library import NAMED_TREES, get_tree
+
+#: MaxSAT engine factories selectable from the command line.
+_ENGINE_FACTORIES = {
+    "rc2": RC2Engine,
+    "rc2-stratified": lambda: RC2Engine(stratified=True),
+    "fu-malik": FuMalikEngine,
+    "linear": LinearSearchEngine,
+    "binary-search": BinarySearchEngine,
+    "hitting-set": HittingSetEngine,
+    "brute-force": BruteForceEngine,
+}
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="mpmcs4fta",
+        description="Maximum Probability Minimal Cut Sets for Fault Tree Analysis with MaxSAT",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="compute the MPMCS of a fault tree")
+    _add_tree_source_arguments(analyze)
+    analyze.add_argument("-o", "--output", type=Path, help="write the JSON report to this path")
+    analyze.add_argument(
+        "--top-k", type=int, default=1, help="number of cut sets to enumerate (default: 1)"
+    )
+    analyze.add_argument(
+        "--mode",
+        choices=("thread", "process", "sequential"),
+        default="thread",
+        help="portfolio execution mode (default: thread)",
+    )
+    analyze.add_argument("--dot", type=Path, help="also write a Graphviz DOT rendering")
+    analyze.add_argument(
+        "--quiet", action="store_true", help="suppress the ASCII tree rendering"
+    )
+
+    weights = subparsers.add_parser(
+        "weights", help="print the probability / -log weight table (paper Table I)"
+    )
+    _add_tree_source_arguments(weights)
+
+    show = subparsers.add_parser("show", help="print a fault tree as ASCII art")
+    _add_tree_source_arguments(show)
+
+    mcs = subparsers.add_parser("mcs", help="enumerate minimal cut sets by probability")
+    _add_tree_source_arguments(mcs)
+    mcs.add_argument("--limit", type=int, default=20, help="maximum number of cut sets to list")
+    mcs.add_argument(
+        "--method",
+        choices=("maxsat", "mocus"),
+        default="maxsat",
+        help="enumeration method (default: iterated MaxSAT)",
+    )
+
+    importance = subparsers.add_parser(
+        "importance", help="component importance measures (Birnbaum, Fussell-Vesely, RAW, RRW)"
+    )
+    _add_tree_source_arguments(importance)
+    importance.add_argument("--top", type=int, default=10, help="number of components to list")
+
+    topevent = subparsers.add_parser(
+        "topevent", help="top-event probability (exact BDD, rare-event bound, Monte Carlo)"
+    )
+    _add_tree_source_arguments(topevent)
+    topevent.add_argument(
+        "--samples", type=int, default=20_000, help="Monte Carlo sample count (default: 20000)"
+    )
+    topevent.add_argument("--seed", type=int, default=0, help="Monte Carlo PRNG seed")
+
+    generate = subparsers.add_parser("generate", help="generate a random benchmark fault tree")
+    generate.add_argument("--events", type=int, default=100, help="number of basic events")
+    generate.add_argument("--seed", type=int, default=0, help="PRNG seed")
+    generate.add_argument(
+        "--voting-ratio", type=float, default=0.0, help="fraction of voting gates"
+    )
+    generate.add_argument(
+        "--out-format",
+        choices=("json", "galileo", "openpsa"),
+        default="json",
+        help="output format",
+    )
+    generate.add_argument("-o", "--output", type=Path, help="output file (default: stdout)")
+
+    report = subparsers.add_parser(
+        "report", help="write a full Markdown or HTML analysis report"
+    )
+    _add_tree_source_arguments(report)
+    report.add_argument("-o", "--output", type=Path, required=True, help="report file to write")
+    report.add_argument(
+        "--to", choices=("markdown", "html"), default="markdown", help="report format"
+    )
+    report.add_argument(
+        "--top-k", type=int, default=5, help="cut sets to rank in the Markdown report"
+    )
+
+    uncertainty = subparsers.add_parser(
+        "uncertainty", help="Monte Carlo uncertainty propagation on the event probabilities"
+    )
+    _add_tree_source_arguments(uncertainty)
+    uncertainty.add_argument(
+        "--error-factor",
+        type=float,
+        default=3.0,
+        help="lognormal error factor applied to every event (default: 3)",
+    )
+    uncertainty.add_argument("--samples", type=int, default=2000, help="Monte Carlo samples")
+    uncertainty.add_argument("--seed", type=int, default=2020, help="PRNG seed")
+
+    modules = subparsers.add_parser(
+        "modules", help="detect independent modules (sub-trees) of the fault tree"
+    )
+    _add_tree_source_arguments(modules)
+
+    truncate = subparsers.add_parser(
+        "truncate", help="enumerate minimal cut sets above a probability cutoff"
+    )
+    _add_tree_source_arguments(truncate)
+    truncate.add_argument(
+        "--cutoff", type=float, default=1e-9, help="probability cutoff (default: 1e-9)"
+    )
+    truncate.add_argument("--limit", type=int, default=20, help="cut sets to print")
+
+    solve_wcnf = subparsers.add_parser(
+        "solve-wcnf", help="solve a DIMACS WCNF file with one of the built-in MaxSAT engines"
+    )
+    solve_wcnf.add_argument("wcnf", type=Path, help="WCNF file (classic format)")
+    solve_wcnf.add_argument(
+        "--engine",
+        choices=sorted(_ENGINE_FACTORIES),
+        default="rc2",
+        help="MaxSAT engine to use (default: rc2)",
+    )
+    solve_wcnf.add_argument(
+        "--show-model", action="store_true", help="print the optimal assignment"
+    )
+
+    return parser
+
+
+def _add_tree_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", nargs="?", type=Path, help="fault tree model file")
+    parser.add_argument(
+        "--format",
+        choices=("json", "galileo", "openpsa"),
+        default=None,
+        help="input format (default: inferred from the file extension)",
+    )
+    parser.add_argument(
+        "--builtin",
+        choices=sorted(set(NAMED_TREES)),
+        help="analyse a built-in canonical tree instead of a file",
+    )
+    parser.add_argument(
+        "--mission-time",
+        type=float,
+        default=1.0,
+        help="mission time used to convert Galileo lambda= rates to probabilities",
+    )
+
+
+def _load_tree(args: argparse.Namespace) -> FaultTree:
+    if args.builtin:
+        return get_tree(args.builtin)
+    if args.model is None:
+        raise ReproError("either a model file or --builtin must be provided")
+    fmt = args.format
+    if fmt is None:
+        suffix = args.model.suffix.lower()
+        if suffix in (".dft", ".galileo"):
+            fmt = "galileo"
+        elif suffix in (".xml", ".opsa"):
+            fmt = "openpsa"
+        else:
+            fmt = "json"
+    if fmt == "galileo":
+        return parse_galileo_file(args.model, mission_time=args.mission_time)
+    if fmt == "openpsa":
+        return parse_openpsa_file(args.model)
+    return parse_json_file(args.model)
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    solver = MPMCSSolver(mode=args.mode)
+    result = solver.solve(tree)
+
+    if not args.quiet:
+        print(render_tree(tree, highlight=result.events))
+        print()
+    print(f"MPMCS      : {{{', '.join(result.events)}}}")
+    print(f"Probability: {result.probability:.6g}")
+    print(f"Cost (-log): {result.cost:.5f}")
+    print(f"Engine     : {result.engine}   ({result.solve_time:.3f}s solve, "
+          f"{result.total_time:.3f}s total)")
+
+    if args.top_k > 1:
+        ranked = enumerate_mpmcs(tree, args.top_k, solver=solver)
+        print()
+        print(f"Top-{args.top_k} minimal cut sets by probability:")
+        for entry in ranked:
+            members = ", ".join(entry.events)
+            print(f"  #{entry.rank}: {{{members}}}  p={entry.probability:.6g}")
+
+    if args.output:
+        document = analysis_report(tree, result)
+        args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"\nJSON report written to {args.output}")
+    if args.dot:
+        args.dot.write_text(to_dot(tree, highlight=result.events), encoding="utf-8")
+        print(f"DOT rendering written to {args.dot}")
+    return 0
+
+
+def _command_weights(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    print(weights_table(tree))
+    return 0
+
+
+def _command_show(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    print(render_tree(tree))
+    return 0
+
+
+def _command_mcs(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    if args.method == "mocus":
+        collection = mocus_minimal_cut_sets(tree)
+        ranked = collection.ranked()[: args.limit]
+        entries = [(index + 1, tuple(sorted(cs)), p) for index, (cs, p) in enumerate(ranked)]
+        print(f"{len(collection)} minimal cut sets total (MOCUS); showing {len(entries)}:")
+    else:
+        results = enumerate_mpmcs(tree, args.limit)
+        entries = [(entry.rank, entry.events, entry.probability) for entry in results]
+        print(f"top {len(entries)} minimal cut sets (iterated MaxSAT):")
+    for rank, events, probability in entries:
+        print(f"  #{rank:>3}: p={probability:10.4e}  {{{', '.join(events)}}}")
+    spofs = single_points_of_failure(tree)
+    if spofs:
+        print(f"single points of failure: {', '.join(name for name, _ in spofs)}")
+    return 0
+
+
+def _command_importance(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    cut_sets = mocus_minimal_cut_sets(tree)
+    measures = importance_measures(tree, cut_sets)
+    ranked = sorted(measures.values(), key=lambda m: m.fussell_vesely, reverse=True)[: args.top]
+    rows = [
+        [
+            m.event,
+            f"{m.probability:g}",
+            f"{m.birnbaum:.4e}",
+            f"{m.criticality:.4e}",
+            f"{m.fussell_vesely:.4f}",
+            f"{m.risk_achievement_worth:.2f}",
+            f"{m.risk_reduction_worth:.2f}",
+        ]
+        for m in ranked
+    ]
+    print(markdown_table(
+        ["event", "p", "Birnbaum", "criticality", "Fussell-Vesely", "RAW", "RRW"], rows
+    ))
+    return 0
+
+
+def _command_topevent(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    exact = top_event_probability(tree)
+    cut_sets = mocus_minimal_cut_sets(tree)
+    rare = rare_event_approximation(list(cut_sets), tree.probabilities())
+    estimate = estimate_top_event_probability(tree, samples=args.samples, seed=args.seed)
+    print(f"exact (BDD)              : {exact:.6e}")
+    print(f"rare-event upper bound   : {rare:.6e}")
+    print(
+        f"Monte Carlo ({args.samples} samples): {estimate.probability:.6e} "
+        f"[95% CI {estimate.confidence_low:.3e} .. {estimate.confidence_high:.3e}]"
+    )
+    print(f"minimal cut sets         : {len(cut_sets)} (order {cut_sets.order()})")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    tree = random_fault_tree(
+        num_basic_events=args.events, seed=args.seed, voting_ratio=args.voting_ratio
+    )
+    if args.out_format == "json":
+        text = to_json(tree)
+    elif args.out_format == "galileo":
+        text = to_galileo(tree)
+    else:
+        text = to_openpsa(tree)
+    if args.output:
+        args.output.write_text(text + ("\n" if not text.endswith("\n") else ""), encoding="utf-8")
+        print(f"wrote {tree.num_nodes}-node tree to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    solver = MPMCSSolver()
+    result = solver.solve(tree)
+    if args.to == "html":
+        path = write_html_report(tree, result, args.output)
+    else:
+        ranking = enumerate_mpmcs(tree, max(args.top_k, 1), solver=solver)
+        cut_sets = mocus_minimal_cut_sets(tree)
+        measures = importance_measures(tree, cut_sets)
+        spofs = single_points_of_failure(tree)
+        path = write_markdown_report(
+            tree, result, args.output, ranking=ranking, importance=measures, spofs=spofs
+        )
+    print(f"{args.to} report written to {path}")
+    return 0
+
+
+def _command_uncertainty(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    if args.error_factor < 1.0:
+        raise ReproError(f"--error-factor must be at least 1, got {args.error_factor}")
+    spec = {
+        name: LognormalUncertainty(median=probability, error_factor=args.error_factor)
+        for name, probability in tree.probabilities().items()
+    }
+    result = propagate_uncertainty(tree, spec, num_samples=args.samples, seed=args.seed)
+    top = result.top_event
+    print(f"top-event probability over {result.num_samples} samples "
+          f"(lognormal EF={args.error_factor:g} on every event):")
+    print(f"  mean {top.mean:.4e}   std {top.std:.4e}")
+    for percentile, value in sorted(top.percentiles.items()):
+        print(f"  P{percentile:g}: {value:.4e}")
+    print(f"MPMCS identity stability: {result.mpmcs_identity_stability:.1%} "
+          f"(most frequent: {{{', '.join(result.mpmcs_frequencies[0][0])}}})")
+    print("uncertainty importance (Spearman rank correlation with the top event):")
+    for measure in uncertainty_importance(result)[:10]:
+        print(f"  {measure.event:<30s} {measure.spearman:+.3f}")
+    return 0
+
+
+def _command_modules(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    report = modularisation_report(tree)
+    print(f"gates          : {report['num_gates']}")
+    print(f"modules        : {report['num_modules']} "
+          f"({report['num_proper_modules']} proper, "
+          f"{report['module_fraction']:.0%} of gates)")
+    if report["largest_proper_module"]:
+        print(f"largest proper : {report['largest_proper_module']} "
+              f"({report['largest_proper_module_size']} nodes)")
+    print(f"module gates   : {', '.join(report['module_gates'])}")
+    return 0
+
+
+def _command_truncate(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    result = truncated_cut_sets(tree, args.cutoff)
+    print(f"cutoff {args.cutoff:g}: {result.num_retained} cut sets retained, "
+          f"{result.num_pruned} candidates pruned")
+    if result.num_retained == 0:
+        return 0
+    contributions = cut_set_contributions(result.collection)[: args.limit]
+    for entry in contributions:
+        members = ", ".join(entry.events)
+        print(f"  #{entry.rank:>3}: p={entry.probability:10.4e}  "
+              f"({entry.fraction:6.1%} of retained risk)  {{{members}}}")
+    return 0
+
+
+def _command_solve_wcnf(args: argparse.Namespace) -> int:
+    document = parse_wcnf(args.wcnf.read_text(encoding="utf-8"))
+    instance = WPMaxSATInstance(precision=1)
+    instance.ensure_num_vars(document.num_vars)
+    for clause in document.hard:
+        instance.add_hard(list(clause))
+    for weight, clause in document.soft:
+        instance.add_soft(list(clause), weight)
+    engine = _ENGINE_FACTORIES[args.engine]()
+    result = engine.solve(instance)
+    print(f"status : {result.status.value}")
+    if result.model is not None:
+        print(f"cost   : {result.cost}")
+        print(f"engine : {result.engine}  ({result.solve_time:.3f}s, "
+              f"{result.sat_calls} SAT calls, {result.conflicts} conflicts)")
+        if args.show_model:
+            assignment = " ".join(
+                str(var if result.model.get(var, False) else -var)
+                for var in range(1, document.num_vars + 1)
+            )
+            print(f"model  : {assignment}")
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _command_analyze,
+    "weights": _command_weights,
+    "show": _command_show,
+    "mcs": _command_mcs,
+    "importance": _command_importance,
+    "topevent": _command_topevent,
+    "generate": _command_generate,
+    "report": _command_report,
+    "uncertainty": _command_uncertainty,
+    "modules": _command_modules,
+    "truncate": _command_truncate,
+    "solve-wcnf": _command_solve_wcnf,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

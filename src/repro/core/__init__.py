@@ -1,0 +1,42 @@
+"""The paper's primary contribution: MPMCS computation via Weighted Partial MaxSAT.
+
+The package implements the six-step resolution method of Section III:
+
+1. **Logical transformation** — the fault tree's structure function and its
+   complement (success tree), provided by :mod:`repro.fta.formula`.
+2. **CNF conversion** — Tseitin encoding (:mod:`repro.logic.tseitin`).
+3. **Probabilities transformation into log-space** —
+   :mod:`repro.core.weights`.
+4. **Weighted Partial MaxSAT instance** — :mod:`repro.core.encoder`.
+5. **Parallel MaxSAT resolution** — :mod:`repro.maxsat.portfolio`.
+6. **Reverse log-space transformation** — :mod:`repro.core.weights` and the
+   result assembly in :mod:`repro.core.pipeline`.
+
+The user-facing entry points are :class:`repro.core.pipeline.MPMCSSolver`
+(single best cut set), :func:`repro.core.pipeline.find_mpmcs` (convenience
+wrapper) and :func:`repro.core.topk.enumerate_mpmcs` (top-k enumeration).
+"""
+
+from repro.core.weights import (
+    log_weights,
+    probability_from_cost,
+    probability_of_cut_set,
+    weight_of_cut_set,
+)
+from repro.core.encoder import MPMCSEncoding, encode_mpmcs
+from repro.core.pipeline import MPMCSResult, MPMCSSolver, find_mpmcs
+from repro.core.topk import RankedCutSet, enumerate_mpmcs
+
+__all__ = [
+    "MPMCSEncoding",
+    "MPMCSResult",
+    "MPMCSSolver",
+    "RankedCutSet",
+    "encode_mpmcs",
+    "enumerate_mpmcs",
+    "find_mpmcs",
+    "log_weights",
+    "probability_from_cost",
+    "probability_of_cut_set",
+    "weight_of_cut_set",
+]

@@ -1,0 +1,135 @@
+"""Encoding of the MPMCS problem as Weighted Partial MaxSAT (paper Steps 1–4).
+
+Given a fault tree, the encoder produces a :class:`~repro.maxsat.instance.WPMaxSATInstance`
+whose optimal solutions are exactly the Maximum Probability Minimal Cut Sets:
+
+* **Hard clauses** — the Tseitin CNF of the structure function ``f(t)`` with
+  the root asserted, i.e. "the top event occurs".
+* **Soft clauses** — one unit clause ``(¬x_i)`` per basic event with weight
+  ``w_i = -log(p(x_i))``: falsifying it (making the event part of the cut set)
+  costs ``w_i``.
+
+Equivalence with the paper's presentation
+-----------------------------------------
+The paper phrases the encoding over the *success tree* variables
+``y_i = ¬x_i``:  soft clauses ``(y_i)`` are added and the hard part is
+``¬Y(t)``.  Substituting ``y_i = ¬x_i`` turns each soft clause ``(y_i)`` into
+``(¬x_i)`` and turns ``¬Y(t)`` into ``f(t)``, i.e. exactly the encoding built
+here; the two formulations are literally isomorphic (a variable renaming).  We
+work directly over the event variables ``x_i`` so that solver models can be
+read back without an extra renaming step.  Because all gates are monotone and
+all weights are positive, an optimal solution never sets an unnecessary event
+to true, hence the extracted set is an inclusion-minimal cut set — the MPMCS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.weights import log_weight
+from repro.exceptions import AnalysisError
+from repro.fta.formula import structure_function, success_function
+from repro.fta.tree import FaultTree
+from repro.logic.formula import Formula
+from repro.logic.tseitin import tseitin_encode
+from repro.maxsat.instance import DEFAULT_PRECISION, WPMaxSATInstance
+
+__all__ = ["MPMCSEncoding", "encode_mpmcs"]
+
+
+@dataclass
+class MPMCSEncoding:
+    """The Weighted Partial MaxSAT encoding of an MPMCS problem.
+
+    Attributes
+    ----------
+    instance:
+        The encoded MaxSAT instance (hard Tseitin clauses + soft event clauses).
+    event_vars:
+        Mapping from basic event name to its CNF variable.
+    var_events:
+        Inverse of ``event_vars``.
+    weights:
+        The ``-log`` weight of each basic event (paper Step 3 / Table I).
+    structure:
+        The structure function ``f(t)`` that was encoded.
+    success:
+        The success-tree formula ``¬f(t)`` (kept for reporting and analyses).
+    num_aux_vars:
+        Number of auxiliary Tseitin variables introduced in Step 2.
+    """
+
+    instance: WPMaxSATInstance
+    event_vars: Dict[str, int]
+    var_events: Dict[int, str]
+    weights: Dict[str, float]
+    structure: Formula
+    success: Formula
+    num_aux_vars: int
+
+    def cut_set_from_model(self, model: Dict[int, bool]) -> Tuple[str, ...]:
+        """Extract the cut set (events set to true) from a MaxSAT model."""
+        members = [
+            name for name, var in self.event_vars.items() if model.get(var, False)
+        ]
+        return tuple(sorted(members))
+
+
+def encode_mpmcs(
+    tree: FaultTree,
+    *,
+    precision: int = DEFAULT_PRECISION,
+    include_success: bool = True,
+) -> MPMCSEncoding:
+    """Encode the MPMCS problem of ``tree`` as Weighted Partial MaxSAT.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree to analyse.  It is validated first.
+    precision:
+        Integer scaling precision for the float weights (see
+        :class:`~repro.maxsat.instance.WPMaxSATInstance`).
+    include_success:
+        Whether to also materialise the success-tree formula (used by reports);
+        disable for the largest benchmark instances to save a little time.
+    """
+    tree.validate()
+    structure = structure_function(tree)
+    success = success_function(tree) if include_success else None
+
+    encoding_result = tseitin_encode(structure, assert_root=True)
+    cnf = encoding_result.cnf
+
+    instance = WPMaxSATInstance(precision=precision)
+    instance.add_hard_cnf(cnf)
+
+    event_vars: Dict[str, int] = {}
+    weights: Dict[str, float] = {}
+    reachable_events = set(tree.events_reachable_from_top())
+    for name, event in tree.events.items():
+        if name not in reachable_events:
+            continue
+        var = cnf.name_to_var.get(name)
+        if var is None:
+            raise AnalysisError(
+                f"basic event {name!r} does not appear in the encoded structure function"
+            )
+        weight = log_weight(event.probability)
+        event_vars[name] = var
+        weights[name] = weight
+        instance.add_soft([-var], weight, label=name)
+
+    if not event_vars:
+        raise AnalysisError(f"fault tree {tree.name!r} has no events reachable from the top")
+
+    return MPMCSEncoding(
+        instance=instance,
+        event_vars=event_vars,
+        var_events={var: name for name, var in event_vars.items()},
+        weights=weights,
+        structure=structure,
+        success=success if success is not None else structure,
+        num_aux_vars=encoding_result.num_aux_vars,
+    )

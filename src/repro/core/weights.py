@@ -1,0 +1,73 @@
+"""Log-space probability transformation (paper Steps 3 and 6).
+
+To maximise the *product* of probabilities with a MaxSAT solver that minimises
+a *sum* of weights, each probability ``p(x_i)`` is transformed into the weight
+``w_i = -log(p(x_i))`` (Step 3, Table I of the paper).  Minimising the sum of
+selected weights is then equivalent to maximising the joint probability, which
+is recovered with ``P = exp(-sum(w_i))`` (Step 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from repro.exceptions import ProbabilityError
+
+__all__ = [
+    "MIN_WEIGHT",
+    "log_weight",
+    "log_weights",
+    "probability_from_cost",
+    "probability_of_cut_set",
+    "weight_of_cut_set",
+]
+
+#: Weight assigned to probability-1 events.  ``-log(1) = 0`` but MaxSAT soft
+#: clauses require strictly positive weights, so certain events receive this
+#: negligible weight instead (far below any realistic probability resolution).
+MIN_WEIGHT = 1e-12
+
+
+def log_weight(probability: float) -> float:
+    """Return ``-log(p)``, clamped to :data:`MIN_WEIGHT` for ``p == 1``."""
+    if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+        raise ProbabilityError(f"probability must be a number, got {type(probability).__name__}")
+    if not math.isfinite(probability) or not 0.0 < probability <= 1.0:
+        raise ProbabilityError(f"probability must lie in (0, 1], got {probability}")
+    return max(-math.log(probability), MIN_WEIGHT)
+
+
+def log_weights(probabilities: Mapping[str, float]) -> Dict[str, float]:
+    """Transform a mapping of event probabilities into ``-log`` weights.
+
+    This reproduces Table I of the paper when applied to the fire-protection
+    example's probabilities.
+    """
+    return {name: log_weight(p) for name, p in probabilities.items()}
+
+
+def probability_from_cost(cost: float) -> float:
+    """Reverse log-space transformation: ``P = exp(-cost)`` (paper Step 6)."""
+    if cost < 0:
+        raise ProbabilityError(f"cost must be non-negative, got {cost}")
+    return math.exp(-cost)
+
+
+def probability_of_cut_set(cut_set: Iterable[str], probabilities: Mapping[str, float]) -> float:
+    """Joint probability of a cut set assuming independent basic events."""
+    product = 1.0
+    for name in cut_set:
+        try:
+            probability = probabilities[name]
+        except KeyError as exc:
+            raise ProbabilityError(f"no probability known for event {name!r}") from exc
+        if not 0.0 < probability <= 1.0:
+            raise ProbabilityError(f"probability of {name!r} must lie in (0, 1]")
+        product *= probability
+    return product
+
+
+def weight_of_cut_set(cut_set: Iterable[str], probabilities: Mapping[str, float]) -> float:
+    """Total ``-log`` weight of a cut set (the MaxSAT objective value)."""
+    return sum(log_weight(probabilities[name]) for name in cut_set)

@@ -1,0 +1,71 @@
+"""Exception hierarchy shared across the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so downstream
+users can catch a single exception type at API boundaries.  More specific subclasses
+exist for each subsystem (formula handling, SAT/MaxSAT solving, fault-tree modelling,
+parsing, and the analysis pipeline) so callers can discriminate failure modes without
+string-matching messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class FormulaError(ReproError):
+    """Raised when a Boolean formula is malformed or an operation is unsupported."""
+
+
+class CNFError(ReproError):
+    """Raised when CNF clauses or literals are malformed."""
+
+
+class DimacsError(ReproError):
+    """Raised when a DIMACS CNF/WCNF document cannot be parsed or written."""
+
+
+class SolverError(ReproError):
+    """Raised when a SAT or MaxSAT solver is misused or reaches an invalid state."""
+
+
+class BudgetExceededError(SolverError):
+    """Raised when a solver exceeds a user-provided conflict or time budget."""
+
+
+class SolverInterrupted(SolverError):
+    """Raised when a cooperative stop signal interrupts a running solver.
+
+    The parallel portfolio (paper Step 5) sets a stop flag once the first
+    engine finishes; the remaining engines observe the flag at their next
+    restart boundary and unwind by raising this exception.
+    """
+
+
+class UnsatisfiableError(SolverError):
+    """Raised when an operation requires a satisfiable instance but none exists."""
+
+
+class FaultTreeError(ReproError):
+    """Raised when a fault tree is structurally invalid."""
+
+
+class ProbabilityError(FaultTreeError):
+    """Raised when an event probability lies outside the open interval (0, 1]."""
+
+
+class ParseError(ReproError):
+    """Raised when an external fault-tree document (Galileo, JSON, ...) is invalid."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis (MPMCS, MOCUS, BDD, ...) cannot be completed."""
+
+
+class BDDError(ReproError):
+    """Raised on invalid operations against the ROBDD manager."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when pipeline or portfolio configuration values are invalid."""

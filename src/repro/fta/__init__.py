@@ -1,0 +1,55 @@
+"""Fault tree modelling.
+
+This package provides the fault-tree domain model used throughout the library:
+basic events with occurrence probabilities, logic gates (AND, OR and k-of-n
+voting gates), the :class:`~repro.fta.tree.FaultTree` container with structural
+validation, a fluent builder, conversion to Boolean structure functions
+(Section II of the paper), and parsers/serialisers for the Galileo ``.dft``
+format and a JSON format equivalent to the one consumed by MPMCS4FTA.
+
+Dynamic fault trees (PAND / SEQ / FDEP / SPARE gates over failure rates) live
+in :mod:`repro.fta.dynamic`, with a Monte Carlo evaluator in
+:mod:`repro.fta.simulation` and a conservative static approximation that plugs
+into the MPMCS MaxSAT pipeline.
+"""
+
+from repro.fta.events import BasicEvent
+from repro.fta.gates import Gate, GateType
+from repro.fta.tree import FaultTree
+from repro.fta.builder import FaultTreeBuilder
+from repro.fta.ccf import CCFGroup, apply_beta_factor_model
+from repro.fta.dynamic import DynamicFaultTree, DynamicGate, DynamicGateType, RatedEvent
+from repro.fta.formula import structure_function, success_function
+from repro.fta.simulation import DFTSimulationResult, simulate_dft
+from repro.fta.parsers.galileo import parse_galileo, parse_galileo_file
+from repro.fta.parsers.json_format import parse_json, parse_json_file
+from repro.fta.parsers.openpsa import parse_openpsa, parse_openpsa_file, to_openpsa
+from repro.fta.serializers import to_galileo, to_json, to_json_document
+
+__all__ = [
+    "BasicEvent",
+    "CCFGroup",
+    "DFTSimulationResult",
+    "DynamicFaultTree",
+    "DynamicGate",
+    "DynamicGateType",
+    "FaultTree",
+    "FaultTreeBuilder",
+    "Gate",
+    "GateType",
+    "RatedEvent",
+    "apply_beta_factor_model",
+    "parse_galileo",
+    "simulate_dft",
+    "parse_galileo_file",
+    "parse_json",
+    "parse_json_file",
+    "parse_openpsa",
+    "parse_openpsa_file",
+    "structure_function",
+    "success_function",
+    "to_galileo",
+    "to_json",
+    "to_json_document",
+    "to_openpsa",
+]

@@ -1,0 +1,83 @@
+"""Fluent builder for fault trees.
+
+The builder offers a compact way to construct fault trees in code — used by
+the examples, the canonical tree library, and the tests:
+
+.. code-block:: python
+
+    tree = (
+        FaultTreeBuilder("fps")
+        .basic_event("x1", 0.2)
+        .basic_event("x2", 0.1)
+        .and_gate("detection", ["x1", "x2"])
+        .or_gate("top", ["detection", "x3"])
+        .basic_event("x3", 0.001)
+        .top("top")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import FaultTreeError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["FaultTreeBuilder"]
+
+
+class FaultTreeBuilder:
+    """Incrementally build and validate a :class:`~repro.fta.tree.FaultTree`."""
+
+    def __init__(self, name: str = "fault-tree") -> None:
+        self._tree = FaultTree(name)
+        self._top_set = False
+
+    def basic_event(
+        self, name: str, probability: float, *, description: Optional[str] = None
+    ) -> "FaultTreeBuilder":
+        """Add a basic event with its probability of occurrence."""
+        self._tree.add_basic_event(name, probability, description=description)
+        return self
+
+    def and_gate(
+        self, name: str, children: Sequence[str], *, description: Optional[str] = None
+    ) -> "FaultTreeBuilder":
+        """Add an AND gate over ``children``."""
+        self._tree.add_gate(name, GateType.AND, children, description=description)
+        return self
+
+    def or_gate(
+        self, name: str, children: Sequence[str], *, description: Optional[str] = None
+    ) -> "FaultTreeBuilder":
+        """Add an OR gate over ``children``."""
+        self._tree.add_gate(name, GateType.OR, children, description=description)
+        return self
+
+    def voting_gate(
+        self,
+        name: str,
+        k: int,
+        children: Sequence[str],
+        *,
+        description: Optional[str] = None,
+    ) -> "FaultTreeBuilder":
+        """Add a k-of-n voting gate over ``children``."""
+        self._tree.add_gate(name, GateType.VOTING, children, k=k, description=description)
+        return self
+
+    def top(self, name: str) -> "FaultTreeBuilder":
+        """Declare the top event."""
+        self._tree.set_top_event(name)
+        self._top_set = True
+        return self
+
+    def build(self, *, validate: bool = True) -> FaultTree:
+        """Finalise the tree; validation is on by default."""
+        if not self._top_set:
+            raise FaultTreeError("top event was never declared; call .top(name) before .build()")
+        if validate:
+            self._tree.validate()
+        return self._tree

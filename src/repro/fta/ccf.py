@@ -1,0 +1,173 @@
+"""Common cause failure (CCF) modelling with the beta-factor method.
+
+Redundant components often fail together because of a shared root cause
+(manufacturing defects, environmental stress, maintenance errors).  Ignoring
+common cause failures makes redundant architectures look far safer than they
+are, so standards such as IEC 61508 require CCF to be modelled explicitly.
+
+The *beta-factor* model splits each component failure probability ``p`` into
+an independent part ``(1 - β)·p`` and a common part ``β·p`` shared by every
+member of the CCF group.  Structurally, each basic event ``e`` of a group is
+replaced by ``OR(e_independent, group_ccf_event)``.
+
+Because the transformation produces an ordinary (coherent) fault tree, every
+analysis in this library — the MPMCS pipeline included — applies unchanged to
+the transformed tree.  In particular the MPMCS frequently *shifts from an
+n-component cut set to the single CCF event*, which is exactly the insight the
+beta-factor model is meant to surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import FaultTreeError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["CCFGroup", "apply_beta_factor_model"]
+
+#: Suffix appended to the independent-failure copy of a group member.
+INDEPENDENT_SUFFIX = "__indep"
+#: Prefix of the generated common-cause basic events.
+CCF_PREFIX = "ccf__"
+#: Suffix of the OR gate that replaces each group member.
+MEMBER_GATE_SUFFIX = "__with_ccf"
+
+
+@dataclass(frozen=True)
+class CCFGroup:
+    """A common cause failure group under the beta-factor model.
+
+    Parameters
+    ----------
+    name:
+        Group identifier (used to name the generated CCF event).
+    members:
+        Names of the basic events in the group (at least two).
+    beta:
+        Fraction of each member's failure probability attributed to the common
+        cause, in the open interval (0, 1).
+    """
+
+    name: str
+    members: Tuple[str, ...]
+    beta: float
+
+    def __init__(self, name: str, members: Sequence[str], beta: float) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "members", tuple(members))
+        object.__setattr__(self, "beta", float(beta))
+        if not name:
+            raise FaultTreeError("CCF group name must be non-empty")
+        if len(self.members) < 2:
+            raise FaultTreeError(f"CCF group {name!r} needs at least two members")
+        if len(set(self.members)) != len(self.members):
+            raise FaultTreeError(f"CCF group {name!r} lists duplicate members")
+        if not 0.0 < self.beta < 1.0:
+            raise FaultTreeError(f"CCF group {name!r}: beta must lie in (0, 1), got {beta}")
+
+
+def apply_beta_factor_model(
+    tree: FaultTree,
+    groups: Iterable[CCFGroup],
+    *,
+    name: Optional[str] = None,
+) -> FaultTree:
+    """Return a new fault tree with the beta-factor CCF transformation applied.
+
+    Every member event ``e`` (probability ``p``) of each group becomes an OR
+    gate ``e__with_ccf`` over:
+
+    * a new independent basic event ``e__indep`` with probability ``(1-β)·p``;
+    * the group's shared basic event ``ccf__<group>`` whose probability is
+      ``β · max(p_members)`` (the conservative convention when member
+      probabilities differ).
+
+    Gates referencing ``e`` are rewired to reference ``e__with_ccf``.  The
+    common-cause probability of a group
+
+    Raises
+    ------
+    FaultTreeError
+        If a group references unknown events, events shared between two
+        groups, or the top event itself.
+    """
+    tree.validate()
+    group_list = list(groups)
+    if not group_list:
+        return tree.copy(name=name or tree.name)
+
+    _validate_groups(tree, group_list)
+
+    transformed = FaultTree(name or f"{tree.name}-ccf")
+    membership: Dict[str, CCFGroup] = {
+        member: group for group in group_list for member in group.members
+    }
+
+    # Basic events: split members, keep the rest unchanged.
+    for event in tree.events.values():
+        group = membership.get(event.name)
+        if group is None:
+            transformed.add_basic_event(event.name, event.probability, description=event.description)
+        else:
+            independent_probability = (1.0 - group.beta) * event.probability
+            transformed.add_basic_event(
+                f"{event.name}{INDEPENDENT_SUFFIX}",
+                independent_probability,
+                description=f"{event.description or event.name} (independent part)",
+            )
+
+    # One shared CCF event per group.
+    for group in group_list:
+        common_probability = group.beta * max(tree.probability(member) for member in group.members)
+        transformed.add_basic_event(
+            f"{CCF_PREFIX}{group.name}",
+            common_probability,
+            description=f"Common cause failure of group {group.name!r}",
+        )
+
+    # Replacement OR gates for the members.
+    for member, group in membership.items():
+        transformed.add_gate(
+            f"{member}{MEMBER_GATE_SUFFIX}",
+            GateType.OR,
+            [f"{member}{INDEPENDENT_SUFFIX}", f"{CCF_PREFIX}{group.name}"],
+            description=f"{member} including common cause contribution",
+        )
+
+    # Original gates, with member children rewired to the replacement gates.
+    for gate in tree.gates.values():
+        children = [
+            f"{child}{MEMBER_GATE_SUFFIX}" if child in membership else child
+            for child in gate.children
+        ]
+        transformed.add_gate(
+            gate.name, gate.gate_type, children, k=gate.k, description=gate.description
+        )
+
+    top = tree.top_event
+    transformed.set_top_event(f"{top}{MEMBER_GATE_SUFFIX}" if top in membership else top)
+    transformed.validate()
+    return transformed
+
+
+def _validate_groups(tree: FaultTree, groups: List[CCFGroup]) -> None:
+    seen: Dict[str, str] = {}
+    names = set()
+    for group in groups:
+        if group.name in names:
+            raise FaultTreeError(f"duplicate CCF group name {group.name!r}")
+        names.add(group.name)
+        for member in group.members:
+            if not tree.is_event(member):
+                raise FaultTreeError(
+                    f"CCF group {group.name!r} references unknown basic event {member!r}"
+                )
+            if member in seen:
+                raise FaultTreeError(
+                    f"basic event {member!r} belongs to CCF groups {seen[member]!r} "
+                    f"and {group.name!r}; overlapping groups are not supported"
+                )
+            seen[member] = group.name

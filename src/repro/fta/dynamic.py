@@ -1,0 +1,409 @@
+"""Dynamic fault trees: priority-AND, sequence, functional dependency, spares.
+
+Static fault trees (the paper's setting) cannot express order-dependent
+failure behaviour.  Dynamic fault trees (DFTs) add gates whose semantics
+depend on *when* inputs fail:
+
+``PAND``
+    Priority-AND: fails when all inputs fail **in left-to-right order**.
+``SEQ``
+    Sequence enforcing gate: inputs can only fail in left-to-right order; the
+    gate fails when all of them have failed (analysed here with the same
+    failure-time semantics as PAND).
+``FDEP``
+    Functional dependency: when the *trigger* (first input) fails, all the
+    dependent basic events (remaining inputs) fail immediately.  The gate
+    itself never propagates a failure.
+``SPARE``
+    Spare gate: a primary unit backed by one or more spares that are activated
+    in order as the active unit fails.  A *dormancy factor* in ``[0, 1]``
+    scales the failure rate of a spare while it waits (0 = cold spare,
+    1 = hot spare).
+
+A :class:`DynamicFaultTree` combines exponentially distributed basic events
+(failure rates, not probabilities), ordinary static gates and dynamic gates.
+Two analyses are provided:
+
+* :meth:`DynamicFaultTree.to_static_tree` — the standard conservative static
+  approximation evaluated at a mission time, which plugs directly into the
+  MPMCS MaxSAT pipeline (PAND/SEQ/SPARE become AND, FDEP rewires dependent
+  events through an OR with the trigger);
+* :func:`repro.fta.simulation.simulate_dft` — Monte Carlo evaluation of the
+  exact dynamic semantics, validated against hand-built CTMCs in the tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import FaultTreeError, ProbabilityError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["DynamicGateType", "DynamicGate", "RatedEvent", "DynamicFaultTree"]
+
+
+class DynamicGateType(enum.Enum):
+    """Dynamic gate flavours (static AND/OR/VOTING are handled by GateType)."""
+
+    PAND = "pand"
+    SEQ = "seq"
+    FDEP = "fdep"
+    SPARE = "spare"
+
+    @classmethod
+    def from_string(cls, text: str) -> "DynamicGateType":
+        normalised = text.strip().lower()
+        aliases = {
+            "pand": cls.PAND,
+            "priority-and": cls.PAND,
+            "seq": cls.SEQ,
+            "sequence": cls.SEQ,
+            "fdep": cls.FDEP,
+            "spare": cls.SPARE,
+            "csp": cls.SPARE,
+            "wsp": cls.SPARE,
+            "hsp": cls.SPARE,
+        }
+        try:
+            return aliases[normalised]
+        except KeyError as exc:
+            raise FaultTreeError(f"unknown dynamic gate type {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class RatedEvent:
+    """A basic event with an exponential failure rate (per hour)."""
+
+    name: str
+    failure_rate: float
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ProbabilityError("rated event name must be a non-empty string")
+        rate = self.failure_rate
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            raise ProbabilityError(f"failure rate of {self.name!r} must be a number")
+        if not math.isfinite(rate) or rate <= 0.0:
+            raise ProbabilityError(
+                f"failure rate of {self.name!r} must be positive and finite, got {rate}"
+            )
+
+    def probability_at(self, mission_time: float) -> float:
+        """Unreliability ``1 - exp(-rate * t)`` at the given mission time."""
+        if mission_time < 0.0 or not math.isfinite(mission_time):
+            raise ProbabilityError(f"mission time must be non-negative, got {mission_time}")
+        return 1.0 - math.exp(-self.failure_rate * mission_time)
+
+
+@dataclass(frozen=True)
+class DynamicGate:
+    """A dynamic gate.
+
+    ``children`` order matters for every dynamic gate type:
+
+    * PAND / SEQ — the required failure order;
+    * FDEP — ``children[0]`` is the trigger, the rest are the dependent basic
+      events;
+    * SPARE — ``children[0]`` is the primary unit, the rest are the spares in
+      activation order (all must be basic events).
+    """
+
+    name: str
+    gate_type: DynamicGateType
+    children: Tuple[str, ...]
+    dormancy: float = 0.0
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise FaultTreeError("dynamic gate name must be a non-empty string")
+        if not isinstance(self.gate_type, DynamicGateType):
+            raise FaultTreeError(f"gate {self.name!r}: invalid dynamic gate type")
+        children = tuple(self.children)
+        object.__setattr__(self, "children", children)
+        if len(children) < 2:
+            raise FaultTreeError(f"dynamic gate {self.name!r} needs at least two children")
+        if len(set(children)) != len(children):
+            raise FaultTreeError(f"dynamic gate {self.name!r} has duplicate children")
+        if not 0.0 <= self.dormancy <= 1.0:
+            raise FaultTreeError(
+                f"dynamic gate {self.name!r}: dormancy must lie in [0, 1], got {self.dormancy}"
+            )
+        if self.gate_type is not DynamicGateType.SPARE and self.dormancy != 0.0:
+            raise FaultTreeError(
+                f"dynamic gate {self.name!r}: dormancy is only meaningful for SPARE gates"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.children)
+
+
+StaticGateSpec = Tuple[str, GateType, Tuple[str, ...], Optional[int]]
+
+
+class DynamicFaultTree:
+    """A dynamic fault tree over exponentially distributed basic events.
+
+    Nodes are added with :meth:`add_event`, :meth:`add_gate` (static AND / OR /
+    VOTING) and :meth:`add_dynamic_gate`; :meth:`validate` checks the
+    structural rules specific to dynamic gates.
+    """
+
+    def __init__(self, name: str = "dynamic-fault-tree", *, top_event: Optional[str] = None) -> None:
+        if not name:
+            raise FaultTreeError("dynamic fault tree name must be non-empty")
+        self.name = name
+        self._events: Dict[str, RatedEvent] = {}
+        self._static_gates: Dict[str, StaticGateSpec] = {}
+        self._dynamic_gates: Dict[str, DynamicGate] = {}
+        self._top_event: Optional[str] = top_event
+
+    # -- construction ----------------------------------------------------------
+
+    def add_event(
+        self, name: str, failure_rate: float, *, description: Optional[str] = None
+    ) -> RatedEvent:
+        event = RatedEvent(name=name, failure_rate=failure_rate, description=description)
+        self._check_fresh(name)
+        self._events[name] = event
+        return event
+
+    def add_gate(
+        self,
+        name: str,
+        gate_type: Union[GateType, str],
+        children: Sequence[str],
+        *,
+        k: Optional[int] = None,
+        description: Optional[str] = None,
+    ) -> None:
+        """Add a static AND / OR / VOTING gate."""
+        if isinstance(gate_type, str):
+            gate_type = GateType.from_string(gate_type)
+        self._check_fresh(name)
+        self._static_gates[name] = (name, gate_type, tuple(children), k)
+        _ = description
+
+    def add_dynamic_gate(
+        self,
+        name: str,
+        gate_type: Union[DynamicGateType, str],
+        children: Sequence[str],
+        *,
+        dormancy: float = 0.0,
+        description: Optional[str] = None,
+    ) -> DynamicGate:
+        if isinstance(gate_type, str):
+            gate_type = DynamicGateType.from_string(gate_type)
+        gate = DynamicGate(
+            name=name,
+            gate_type=gate_type,
+            children=tuple(children),
+            dormancy=dormancy,
+            description=description,
+        )
+        self._check_fresh(name)
+        self._dynamic_gates[name] = gate
+        return gate
+
+    def set_top_event(self, name: str) -> None:
+        self._top_event = name
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._events or name in self._static_gates or name in self._dynamic_gates:
+            raise FaultTreeError(f"node name {name!r} is already used in {self.name!r}")
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def top_event(self) -> str:
+        if self._top_event is None:
+            raise FaultTreeError(f"dynamic fault tree {self.name!r} has no top event")
+        return self._top_event
+
+    @property
+    def events(self) -> Dict[str, RatedEvent]:
+        return dict(self._events)
+
+    @property
+    def dynamic_gates(self) -> Dict[str, DynamicGate]:
+        return dict(self._dynamic_gates)
+
+    @property
+    def static_gates(self) -> Dict[str, StaticGateSpec]:
+        return dict(self._static_gates)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._events) + len(self._static_gates) + len(self._dynamic_gates)
+
+    def is_event(self, name: str) -> bool:
+        return name in self._events
+
+    def is_gate(self, name: str) -> bool:
+        return name in self._static_gates or name in self._dynamic_gates
+
+    def children_of(self, name: str) -> Tuple[str, ...]:
+        if name in self._static_gates:
+            return self._static_gates[name][2]
+        if name in self._dynamic_gates:
+            return self._dynamic_gates[name].children
+        return ()
+
+    # -- validation -------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants, including the dynamic-gate restrictions."""
+        if self._top_event is None:
+            raise FaultTreeError(f"dynamic fault tree {self.name!r} has no top event")
+        if not self.is_event(self._top_event) and not self.is_gate(self._top_event):
+            raise FaultTreeError(f"top event {self._top_event!r} is not a node")
+        if not self._events:
+            raise FaultTreeError(f"dynamic fault tree {self.name!r} has no basic events")
+
+        for name in list(self._static_gates) + list(self._dynamic_gates):
+            for child in self.children_of(name):
+                if not self.is_event(child) and not self.is_gate(child):
+                    raise FaultTreeError(f"gate {name!r} references undefined child {child!r}")
+
+        for gate in self._dynamic_gates.values():
+            if gate.gate_type is DynamicGateType.SPARE:
+                for child in gate.children:
+                    if not self.is_event(child):
+                        raise FaultTreeError(
+                            f"SPARE gate {gate.name!r}: child {child!r} must be a basic event"
+                        )
+            if gate.gate_type is DynamicGateType.FDEP:
+                for child in gate.children[1:]:
+                    if not self.is_event(child):
+                        raise FaultTreeError(
+                            f"FDEP gate {gate.name!r}: dependent {child!r} must be a basic event"
+                        )
+
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}
+
+        def visit(node: str, trail: Tuple[str, ...]) -> None:
+            if state.get(node) == 2:
+                return
+            if state.get(node) == 1:
+                raise FaultTreeError(
+                    f"dynamic fault tree {self.name!r} contains a cycle through {node!r}"
+                )
+            state[node] = 1
+            for child in self.children_of(node):
+                visit(child, trail + (node,))
+            state[node] = 2
+
+        for name in list(self._static_gates) + list(self._dynamic_gates):
+            visit(name, ())
+
+    # -- static approximation ------------------------------------------------------------
+
+    def to_static_tree(self, mission_time: float) -> FaultTree:
+        """Conservative static approximation frozen at ``mission_time``.
+
+        * every rated event becomes a basic event with probability
+          ``1 - exp(-rate * t)``;
+        * PAND, SEQ and SPARE gates become AND gates (ignoring order and
+          dormancy — failure is over-approximated);
+        * an FDEP gate contributes no failure itself (it becomes an OR over
+          its trigger, which is always true when the trigger fails, to keep
+          the node referenced); each dependent basic event ``e`` is replaced,
+          everywhere it is referenced, by ``OR(e, trigger)``.
+
+        The resulting :class:`FaultTree` can be fed to every static analysis
+        in the library, including the MPMCS MaxSAT pipeline.
+        """
+        self.validate()
+        if mission_time <= 0.0 or not math.isfinite(mission_time):
+            raise FaultTreeError(f"mission time must be positive and finite, got {mission_time}")
+
+        # FDEP rewiring: dependent event e is referenced as OR(e, trigger...).
+        dependents: Dict[str, List[str]] = {}
+        fdep_gates: Set[str] = set()
+        for gate in self._dynamic_gates.values():
+            if gate.gate_type is DynamicGateType.FDEP:
+                fdep_gates.add(gate.name)
+                trigger = gate.children[0]
+                for dependent in gate.children[1:]:
+                    dependents.setdefault(dependent, []).append(trigger)
+        if self.top_event in fdep_gates:
+            raise FaultTreeError("the top event of a dynamic fault tree cannot be an FDEP gate")
+
+        def resolve(child: str) -> str:
+            """Follow FDEP gate references down to their trigger node."""
+            seen: Set[str] = set()
+            while child in fdep_gates:
+                if child in seen:
+                    raise FaultTreeError(f"circular FDEP reference through {child!r}")
+                seen.add(child)
+                child = self._dynamic_gates[child].children[0]
+            return child
+
+        def reference(child: str) -> str:
+            """Name used when a gate references ``child`` in the static tree."""
+            child = resolve(child)
+            if child in dependents:
+                return f"__fdep_{child}"
+            return child
+
+        # Reachability over the rewired structure, starting from the top event.
+        reachable: Set[str] = set()
+        stack = [resolve(self.top_event)]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            if node in dependents and self.is_event(node):
+                stack.extend(resolve(trigger) for trigger in dependents[node])
+            for child in self.children_of(node):
+                stack.append(resolve(child))
+
+        tree = FaultTree(f"{self.name}@t={mission_time:g}")
+
+        for name, event in self._events.items():
+            if name not in reachable:
+                continue
+            probability = max(event.probability_at(mission_time), 1e-15)
+            tree.add_basic_event(name, probability, description=event.description)
+
+        for dependent, triggers in dependents.items():
+            if dependent not in reachable:
+                continue
+            trigger_refs = []
+            for trigger in triggers:
+                ref = reference(trigger)
+                if ref not in trigger_refs and ref != dependent:
+                    trigger_refs.append(ref)
+            tree.add_gate(f"__fdep_{dependent}", GateType.OR, [dependent] + trigger_refs)
+
+        for name, gate_type, children, k in self._static_gates.values():
+            if name not in reachable:
+                continue
+            tree.add_gate(name, gate_type, [reference(child) for child in children], k=k)
+
+        for gate in self._dynamic_gates.values():
+            if gate.name not in reachable or gate.gate_type is DynamicGateType.FDEP:
+                continue
+            children = [reference(child) for child in gate.children]
+            tree.add_gate(gate.name, GateType.AND, children)
+
+        tree.set_top_event(reference(self.top_event))
+        tree.validate()
+        return tree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicFaultTree(name={self.name!r}, events={len(self._events)}, "
+            f"static_gates={len(self._static_gates)}, dynamic_gates={len(self._dynamic_gates)})"
+        )

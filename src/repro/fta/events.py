@@ -1,0 +1,60 @@
+"""Basic events of a fault tree.
+
+A basic event models an elementary failure cause (hardware fault, human error,
+software error, communication failure, cyber attack, ...) together with its
+probability of occurrence ``p(x_i)`` — the quantity the MPMCS objective
+multiplies across a cut set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ProbabilityError
+
+__all__ = ["BasicEvent"]
+
+
+@dataclass(frozen=True)
+class BasicEvent:
+    """A basic (leaf) event of a fault tree.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the event within its fault tree (e.g. ``"x1"``).
+    probability:
+        Probability of occurrence, a float in the half-open interval ``(0, 1]``.
+        Zero is rejected because a zero-probability event can never contribute
+        to a cut set and its ``-log`` weight would be infinite (paper Step 3).
+    description:
+        Optional human-readable description used in reports.
+    """
+
+    name: str
+    probability: float
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ProbabilityError("basic event name must be a non-empty string")
+        probability = self.probability
+        if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+            raise ProbabilityError(
+                f"probability of {self.name!r} must be a number, got {type(probability).__name__}"
+            )
+        if not math.isfinite(probability) or not 0.0 < probability <= 1.0:
+            raise ProbabilityError(
+                f"probability of {self.name!r} must lie in (0, 1], got {probability}"
+            )
+
+    @property
+    def log_weight(self) -> float:
+        """The ``-log(p)`` weight of this event (paper Step 3, Table I)."""
+        return -math.log(self.probability)
+
+    def with_probability(self, probability: float) -> "BasicEvent":
+        """Return a copy of this event with a different probability."""
+        return BasicEvent(name=self.name, probability=probability, description=self.description)

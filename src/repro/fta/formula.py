@@ -1,0 +1,61 @@
+"""Conversion of fault trees to Boolean formulas.
+
+Section II of the paper represents a fault tree ``F`` as a Boolean equation
+``f(t)`` expressing the ways the top event ``t`` can be satisfied; Step 1 of
+the resolution method then builds the *success tree* ``X(t) = ¬f(t)`` by
+complementing all events and swapping AND and OR gates.  Both operations live
+here:
+
+* :func:`structure_function` — the fault-tree structure function ``f(t)`` as a
+  :class:`~repro.logic.formula.Formula` over the basic event variables;
+* :func:`success_function` — its complement in negation normal form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import FaultTreeError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+from repro.logic.formula import And, AtLeast, Formula, Or, Var, conjoin, disjoin
+from repro.logic.simplify import complement
+
+__all__ = ["structure_function", "success_function"]
+
+
+def structure_function(tree: FaultTree) -> Formula:
+    """Return the structure function ``f(t)`` of ``tree``.
+
+    The formula is built bottom-up over the DAG, so shared sub-trees produce
+    shared (identical, hash-equal) sub-formulas, which the Tseitin encoder
+    then encodes only once.
+    """
+    tree.validate()
+    formulas: Dict[str, Formula] = {}
+    for name in tree.topological_order():
+        if tree.is_event(name):
+            formulas[name] = Var(name)
+            continue
+        gate = tree.gates[name]
+        children = [formulas[child] for child in gate.children]
+        if gate.gate_type is GateType.AND:
+            formulas[name] = conjoin(children)
+        elif gate.gate_type is GateType.OR:
+            formulas[name] = disjoin(children)
+        elif gate.gate_type is GateType.VOTING:
+            formulas[name] = AtLeast(gate.k or 1, children)
+        else:  # pragma: no cover - defensive
+            raise FaultTreeError(f"unsupported gate type {gate.gate_type!r}")
+    return formulas[tree.top_event]
+
+
+def success_function(tree: FaultTree) -> Formula:
+    """Return the success-tree formula ``X(t) = ¬f(t)`` in negation normal form.
+
+    For AND/OR trees this is exactly the classical success tree obtained by
+    complementing all the events and swapping the gate types (paper Step 1);
+    voting gates complement into ``(n-k+1)``-of-``n`` gates over complemented
+    events.
+    """
+    return complement(structure_function(tree))

@@ -1,0 +1,105 @@
+"""Fault-tree logic gates.
+
+The paper's core encoding handles AND and OR gates; k-of-n *voting* gates are
+listed as future work and implemented here as well (they are monotone, so the
+MPMCS theory carries over unchanged).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import FaultTreeError
+
+__all__ = ["GateType", "Gate"]
+
+
+class GateType(enum.Enum):
+    """Supported gate types (all monotone/coherent)."""
+
+    AND = "and"
+    OR = "or"
+    VOTING = "voting"  # k-of-n: output occurs when at least k inputs occur
+
+    @classmethod
+    def from_string(cls, text: str) -> "GateType":
+        """Parse a gate type from its textual name (case-insensitive)."""
+        normalised = text.strip().lower()
+        aliases = {
+            "and": cls.AND,
+            "or": cls.OR,
+            "voting": cls.VOTING,
+            "vot": cls.VOTING,
+            "atleast": cls.VOTING,
+            "k-of-n": cls.VOTING,
+            "kofn": cls.VOTING,
+        }
+        try:
+            return aliases[normalised]
+        except KeyError as exc:
+            raise FaultTreeError(f"unknown gate type {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An internal node of a fault tree.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the gate within its fault tree.
+    gate_type:
+        One of :class:`GateType`.
+    children:
+        Names of the child nodes (gates or basic events), in order.
+    k:
+        Threshold for voting gates: the gate output occurs when at least ``k``
+        of its children occur.  Must be ``None`` for AND/OR gates.
+    description:
+        Optional human-readable description used in reports.
+    """
+
+    name: str
+    gate_type: GateType
+    children: Tuple[str, ...]
+    k: Optional[int] = None
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise FaultTreeError("gate name must be a non-empty string")
+        if not isinstance(self.gate_type, GateType):
+            raise FaultTreeError(f"gate {self.name!r}: invalid gate type {self.gate_type!r}")
+        children = tuple(self.children)
+        object.__setattr__(self, "children", children)
+        if not children:
+            raise FaultTreeError(f"gate {self.name!r} must have at least one child")
+        if len(set(children)) != len(children):
+            raise FaultTreeError(f"gate {self.name!r} has duplicate children")
+        if self.name in children:
+            raise FaultTreeError(f"gate {self.name!r} cannot be its own child")
+        if self.gate_type is GateType.VOTING:
+            if self.k is None:
+                raise FaultTreeError(f"voting gate {self.name!r} requires a threshold k")
+            if not isinstance(self.k, int) or not 1 <= self.k <= len(children):
+                raise FaultTreeError(
+                    f"voting gate {self.name!r}: k={self.k!r} must be an integer in "
+                    f"[1, {len(children)}]"
+                )
+        elif self.k is not None:
+            raise FaultTreeError(
+                f"gate {self.name!r} of type {self.gate_type.value} must not define k"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of children."""
+        return len(self.children)
+
+    def describe(self) -> str:
+        """Short human-readable summary, e.g. ``"G1: 2-of-3 voting gate"``."""
+        if self.gate_type is GateType.VOTING:
+            return f"{self.name}: {self.k}-of-{self.arity} voting gate"
+        return f"{self.name}: {self.gate_type.value.upper()} gate with {self.arity} children"

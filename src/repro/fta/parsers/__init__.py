@@ -1,0 +1,15 @@
+"""Fault-tree file-format parsers (Galileo ``.dft``, JSON, Open-PSA MEF XML)."""
+
+from repro.fta.parsers.galileo import parse_galileo, parse_galileo_file
+from repro.fta.parsers.json_format import parse_json, parse_json_file
+from repro.fta.parsers.openpsa import parse_openpsa, parse_openpsa_file, to_openpsa
+
+__all__ = [
+    "parse_galileo",
+    "parse_galileo_file",
+    "parse_json",
+    "parse_json_file",
+    "parse_openpsa",
+    "parse_openpsa_file",
+    "to_openpsa",
+]

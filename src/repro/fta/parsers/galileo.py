@@ -1,0 +1,201 @@
+"""Parser for the Galileo static fault tree format (``.dft``).
+
+Galileo is the de-facto standard exchange format used by the public fault-tree
+benchmark collections the paper's scalability experiment draws on.  A static
+Galileo file is a sequence of ``;``-terminated statements:
+
+.. code-block:: text
+
+    toplevel "System";
+    "System" or "Detection" "Suppression";
+    "Detection" and "x1" "x2";
+    "Vote" 2of3 "a" "b" "c";
+    "x1" prob=0.2;
+    "x2" lambda=0.001;
+
+Supported constructs:
+
+* ``toplevel "<name>";`` — designates the top event;
+* gate statements — ``and``, ``or``, and ``<k>of<n>`` voting gates;
+* basic events with either a fixed probability (``prob=``) or an exponential
+  failure rate (``lambda=``), the latter converted to a probability with the
+  mission time supplied to the parser (``p = 1 - exp(-lambda * t)``);
+* ``dorm=`` attributes on basic events are accepted and ignored (dormancy only
+  matters for dynamic gates, which are outside the scope of the paper).
+
+Dynamic gates (SPARE, FDEP, PAND, ...) are rejected with a clear error message
+because the MPMCS encoding is defined for static (combinatorial) fault trees.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ParseError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["parse_galileo", "parse_galileo_file"]
+
+_VOTING_RE = re.compile(r"^(\d+)of(\d+)$")
+_DYNAMIC_GATES = {"pand", "por", "seq", "spare", "wsp", "csp", "hsp", "fdep", "pdep"}
+
+
+def parse_galileo_file(
+    path: Union[str, Path],
+    *,
+    mission_time: float = 1.0,
+    name: Optional[str] = None,
+) -> FaultTree:
+    """Parse a Galileo ``.dft`` file from disk."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ParseError(f"cannot read Galileo file {path}: {exc}") from exc
+    return parse_galileo(text, mission_time=mission_time, name=name or path.stem)
+
+
+def parse_galileo(
+    text: str,
+    *,
+    mission_time: float = 1.0,
+    name: str = "galileo-tree",
+) -> FaultTree:
+    """Parse Galileo fault-tree text into a :class:`FaultTree`."""
+    if mission_time <= 0:
+        raise ParseError(f"mission time must be positive, got {mission_time}")
+
+    statements = _split_statements(text)
+    if not statements:
+        raise ParseError("empty Galileo document")
+
+    tree = FaultTree(name)
+    top_event: Optional[str] = None
+
+    for lineno, tokens in statements:
+        head = tokens[0]
+        if head.lower() == "toplevel":
+            if len(tokens) != 2:
+                raise ParseError(f"line {lineno}: toplevel statement expects exactly one name")
+            if top_event is not None:
+                raise ParseError(f"line {lineno}: duplicate toplevel statement")
+            top_event = _unquote(tokens[1])
+            continue
+
+        node_name = _unquote(head)
+        if len(tokens) < 2:
+            raise ParseError(f"line {lineno}: incomplete statement for node {node_name!r}")
+
+        keyword = tokens[1].lower()
+        if keyword in _DYNAMIC_GATES:
+            raise ParseError(
+                f"line {lineno}: dynamic gate {keyword!r} is not supported; the MPMCS "
+                "encoding applies to static fault trees"
+            )
+        if keyword in ("and", "or"):
+            children = [_unquote(tok) for tok in tokens[2:]]
+            if not children:
+                raise ParseError(f"line {lineno}: gate {node_name!r} has no children")
+            tree.add_gate(node_name, GateType.from_string(keyword), children)
+            continue
+        voting = _VOTING_RE.match(keyword)
+        if voting:
+            k = int(voting.group(1))
+            children = [_unquote(tok) for tok in tokens[2:]]
+            if not children:
+                raise ParseError(f"line {lineno}: voting gate {node_name!r} has no children")
+            declared_n = int(voting.group(2))
+            if declared_n != len(children):
+                raise ParseError(
+                    f"line {lineno}: voting gate {node_name!r} declares {declared_n} inputs "
+                    f"but lists {len(children)} children"
+                )
+            tree.add_gate(node_name, GateType.VOTING, children, k=k)
+            continue
+
+        # Otherwise: a basic event definition with key=value attributes.
+        attributes = _parse_attributes(tokens[1:], lineno)
+        probability = _probability_from_attributes(attributes, mission_time, node_name, lineno)
+        tree.add_basic_event(node_name, probability)
+
+    if top_event is None:
+        raise ParseError("Galileo document has no toplevel statement")
+    tree.set_top_event(top_event)
+    tree.validate()
+    return tree
+
+
+# -- helpers -------------------------------------------------------------------------
+
+
+def _split_statements(text: str) -> List[Tuple[int, List[str]]]:
+    """Split the document into ``;``-terminated statements with line numbers."""
+    statements: List[Tuple[int, List[str]]] = []
+    current: List[str] = []
+    current_line = 1
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith(("/*", "*")):
+            continue
+        while line:
+            if ";" in line:
+                chunk, line = line.split(";", 1)
+                tokens = chunk.split()
+                if not current:
+                    current_line = lineno
+                current.extend(tokens)
+                if current:
+                    statements.append((current_line, current))
+                current = []
+            else:
+                if not current:
+                    current_line = lineno
+                current.extend(line.split())
+                line = ""
+    if current:
+        raise ParseError(f"line {current_line}: statement not terminated by ';'")
+    return statements
+
+
+def _unquote(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == '"' and token[-1] == '"':
+        token = token[1:-1]
+    if not token:
+        raise ParseError("empty node name")
+    return token
+
+
+def _parse_attributes(tokens: List[str], lineno: int) -> Dict[str, float]:
+    attributes: Dict[str, float] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ParseError(
+                f"line {lineno}: expected key=value attribute or gate keyword, got {token!r}"
+            )
+        key, _, value = token.partition("=")
+        key = key.strip().lower()
+        try:
+            attributes[key] = float(value)
+        except ValueError as exc:
+            raise ParseError(f"line {lineno}: invalid numeric value in {token!r}") from exc
+    return attributes
+
+
+def _probability_from_attributes(
+    attributes: Dict[str, float], mission_time: float, node_name: str, lineno: int
+) -> float:
+    if "prob" in attributes:
+        return attributes["prob"]
+    if "lambda" in attributes:
+        rate = attributes["lambda"]
+        if rate < 0:
+            raise ParseError(f"line {lineno}: negative failure rate for {node_name!r}")
+        return 1.0 - math.exp(-rate * mission_time)
+    raise ParseError(
+        f"line {lineno}: basic event {node_name!r} needs a 'prob=' or 'lambda=' attribute"
+    )

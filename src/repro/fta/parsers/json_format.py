@@ -1,0 +1,115 @@
+"""JSON fault-tree format (MPMCS4FTA-compatible document structure).
+
+The original MPMCS4FTA tool reads its models from JSON and writes its results
+as JSON for the browser-based viewer (paper Fig. 2).  This module parses a
+JSON document of the following shape into a :class:`FaultTree`:
+
+.. code-block:: json
+
+    {
+      "name": "fps",
+      "top": "TE",
+      "events": [
+        {"name": "x1", "probability": 0.2, "description": "sensor 1 fails"}
+      ],
+      "gates": [
+        {"name": "TE", "type": "or", "children": ["detection", "x3"]},
+        {"name": "vote", "type": "voting", "k": 2, "children": ["a", "b", "c"]}
+      ]
+    }
+
+The writer lives in :mod:`repro.fta.serializers`; parse/serialise round-trips
+are covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.exceptions import FaultTreeError, ParseError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["parse_json", "parse_json_file", "parse_json_document"]
+
+
+def parse_json_file(path: Union[str, Path], *, name: Optional[str] = None) -> FaultTree:
+    """Parse a JSON fault-tree file from disk."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ParseError(f"cannot read JSON fault tree {path}: {exc}") from exc
+    return parse_json(text, name=name or path.stem)
+
+
+def parse_json(text: str, *, name: Optional[str] = None) -> FaultTree:
+    """Parse JSON fault-tree text into a :class:`FaultTree`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    return parse_json_document(document, name=name)
+
+
+def parse_json_document(document: Mapping[str, Any], *, name: Optional[str] = None) -> FaultTree:
+    """Build a :class:`FaultTree` from an already-decoded JSON document."""
+    if not isinstance(document, Mapping):
+        raise ParseError("fault tree document must be a JSON object")
+
+    tree_name = name or document.get("name") or "json-tree"
+    tree = FaultTree(str(tree_name))
+
+    events = document.get("events")
+    if not isinstance(events, list) or not events:
+        raise ParseError("document must contain a non-empty 'events' list")
+    for entry in events:
+        if not isinstance(entry, Mapping):
+            raise ParseError(f"event entry must be an object, got {entry!r}")
+        event_name = entry.get("name")
+        probability = entry.get("probability", entry.get("prob"))
+        if event_name is None or probability is None:
+            raise ParseError(f"event entry {entry!r} needs 'name' and 'probability'")
+        try:
+            tree.add_basic_event(
+                str(event_name), float(probability), description=entry.get("description")
+            )
+        except FaultTreeError as exc:
+            raise ParseError(str(exc)) from exc
+
+    gates = document.get("gates", [])
+    if not isinstance(gates, list):
+        raise ParseError("'gates' must be a list")
+    for entry in gates:
+        if not isinstance(entry, Mapping):
+            raise ParseError(f"gate entry must be an object, got {entry!r}")
+        gate_name = entry.get("name")
+        gate_type = entry.get("type")
+        children = entry.get("children")
+        if gate_name is None or gate_type is None or children is None:
+            raise ParseError(f"gate entry {entry!r} needs 'name', 'type' and 'children'")
+        if not isinstance(children, list) or not children:
+            raise ParseError(f"gate {gate_name!r} must list at least one child")
+        try:
+            tree.add_gate(
+                str(gate_name),
+                GateType.from_string(str(gate_type)),
+                [str(child) for child in children],
+                k=entry.get("k"),
+                description=entry.get("description"),
+            )
+        except FaultTreeError as exc:
+            raise ParseError(str(exc)) from exc
+
+    top = document.get("top") or document.get("top_event")
+    if not top:
+        raise ParseError("document must declare a 'top' event")
+    tree.set_top_event(str(top))
+
+    try:
+        tree.validate()
+    except FaultTreeError as exc:
+        raise ParseError(f"invalid fault tree: {exc}") from exc
+    return tree

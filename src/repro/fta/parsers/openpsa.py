@@ -1,0 +1,219 @@
+"""Parser and writer for the Open-PSA Model Exchange Format (subset).
+
+The Open-PSA MEF is the XML interchange format used by several probabilistic
+safety assessment tools (XFTA, SCRAM, ...).  This module supports the static
+fault-tree subset relevant to MPMCS analysis:
+
+.. code-block:: xml
+
+    <opsa-mef>
+      <define-fault-tree name="fps">
+        <define-gate name="top">
+          <or> <gate name="detection"/> <basic-event name="x3"/> </or>
+        </define-gate>
+        <define-gate name="detection">
+          <and> <basic-event name="x1"/> <basic-event name="x2"/> </and>
+        </define-gate>
+      </define-fault-tree>
+      <model-data>
+        <define-basic-event name="x1"> <float value="0.2"/> </define-basic-event>
+      </model-data>
+    </opsa-mef>
+
+Supported gate connectives: ``and``, ``or`` and ``atleast`` (with a ``min``
+attribute, i.e. voting gates).  Basic-event probabilities may be given either
+inside the fault tree or in ``model-data``; events referenced but never given
+a probability are rejected.  Dynamic constructs are rejected with a clear
+error message, mirroring the Galileo parser.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+from xml.dom import minidom
+
+from repro.exceptions import FaultTreeError, ParseError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["parse_openpsa", "parse_openpsa_file", "to_openpsa"]
+
+_CONNECTIVES = {"and": GateType.AND, "or": GateType.OR, "atleast": GateType.VOTING}
+_UNSUPPORTED = {"not", "xor", "nand", "nor", "imply", "iff", "cardinality"}
+
+
+def parse_openpsa_file(path: Union[str, Path], *, name: Optional[str] = None) -> FaultTree:
+    """Parse an Open-PSA MEF XML file from disk."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ParseError(f"cannot read Open-PSA file {path}: {exc}") from exc
+    return parse_openpsa(text, name=name or path.stem)
+
+
+def parse_openpsa(text: str, *, name: Optional[str] = None) -> FaultTree:
+    """Parse Open-PSA MEF XML text into a :class:`FaultTree`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}") from exc
+    if root.tag != "opsa-mef":
+        raise ParseError(f"expected an <opsa-mef> document, got <{root.tag}>")
+
+    tree_elements = root.findall("define-fault-tree")
+    if not tree_elements:
+        raise ParseError("document defines no <define-fault-tree>")
+    if len(tree_elements) > 1:
+        raise ParseError("multiple <define-fault-tree> definitions are not supported")
+    tree_element = tree_elements[0]
+    tree_name = name or tree_element.get("name") or "openpsa-tree"
+
+    gates: Dict[str, Tuple[GateType, Optional[int], List[str]]] = {}
+    probabilities: Dict[str, float] = {}
+
+    for gate_element in tree_element.findall("define-gate"):
+        gate_name = gate_element.get("name")
+        if not gate_name:
+            raise ParseError("<define-gate> without a name attribute")
+        gates[gate_name] = _parse_gate_body(gate_element, gate_name)
+
+    # Basic events may be defined inside the fault tree or under <model-data>.
+    for scope in (tree_element, root.find("model-data")):
+        if scope is None:
+            continue
+        for event_element in scope.findall("define-basic-event"):
+            event_name = event_element.get("name")
+            if not event_name:
+                raise ParseError("<define-basic-event> without a name attribute")
+            probabilities[event_name] = _parse_probability(event_element, event_name)
+
+    referenced_events = {
+        child
+        for _, _, children in gates.values()
+        for child in children
+        if child not in gates
+    }
+    missing = referenced_events - set(probabilities)
+    if missing:
+        raise ParseError(
+            f"basic events referenced but never given a probability: {sorted(missing)}"
+        )
+
+    tree = FaultTree(tree_name)
+    try:
+        for event_name in sorted(referenced_events | set(probabilities)):
+            if event_name in probabilities:
+                tree.add_basic_event(event_name, probabilities[event_name])
+        for gate_name, (gate_type, k, children) in gates.items():
+            tree.add_gate(gate_name, gate_type, children, k=k)
+    except FaultTreeError as exc:
+        raise ParseError(str(exc)) from exc
+
+    top = tree_element.get("top-event") or _infer_top(gates)
+    tree.set_top_event(top)
+    try:
+        tree.validate()
+    except FaultTreeError as exc:
+        raise ParseError(f"invalid fault tree: {exc}") from exc
+    return tree
+
+
+def _parse_gate_body(
+    gate_element: ET.Element, gate_name: str
+) -> Tuple[GateType, Optional[int], List[str]]:
+    connectives = [child for child in gate_element if child.tag != "label"]
+    if len(connectives) != 1:
+        raise ParseError(f"gate {gate_name!r} must contain exactly one connective element")
+    connective = connectives[0]
+    tag = connective.tag
+    if tag in _UNSUPPORTED:
+        raise ParseError(
+            f"gate {gate_name!r}: connective <{tag}> is not supported by the MPMCS "
+            "encoding (only monotone and/or/atleast gates are)"
+        )
+    if tag not in _CONNECTIVES:
+        raise ParseError(f"gate {gate_name!r}: unknown connective <{tag}>")
+
+    children: List[str] = []
+    for reference in connective:
+        if reference.tag in ("gate", "basic-event", "event", "house-event"):
+            child_name = reference.get("name")
+            if not child_name:
+                raise ParseError(f"gate {gate_name!r}: child reference without a name")
+            children.append(child_name)
+        else:
+            raise ParseError(
+                f"gate {gate_name!r}: nested <{reference.tag}> elements are not supported; "
+                "define intermediate gates explicitly"
+            )
+    if not children:
+        raise ParseError(f"gate {gate_name!r} has no children")
+
+    k: Optional[int] = None
+    gate_type = _CONNECTIVES[tag]
+    if gate_type is GateType.VOTING:
+        min_attribute = connective.get("min")
+        if min_attribute is None:
+            raise ParseError(f"gate {gate_name!r}: <atleast> requires a 'min' attribute")
+        try:
+            k = int(min_attribute)
+        except ValueError as exc:
+            raise ParseError(f"gate {gate_name!r}: invalid min={min_attribute!r}") from exc
+    return gate_type, k, children
+
+
+def _parse_probability(event_element: ET.Element, event_name: str) -> float:
+    value_element = event_element.find("float")
+    if value_element is None:
+        raise ParseError(
+            f"basic event {event_name!r}: only constant <float value=...> probabilities "
+            "are supported"
+        )
+    raw = value_element.get("value")
+    try:
+        return float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ParseError(f"basic event {event_name!r}: invalid probability {raw!r}") from exc
+
+
+def _infer_top(gates: Dict[str, Tuple[GateType, Optional[int], List[str]]]) -> str:
+    """The top event is the unique gate that no other gate references."""
+    if not gates:
+        raise ParseError("fault tree defines no gates; cannot infer a top event")
+    referenced = {child for _, _, children in gates.values() for child in children}
+    candidates = [name for name in gates if name not in referenced]
+    if len(candidates) != 1:
+        raise ParseError(
+            f"cannot infer the top event: candidate roots are {sorted(candidates)}; "
+            "set the 'top-event' attribute on <define-fault-tree>"
+        )
+    return candidates[0]
+
+
+def to_openpsa(tree: FaultTree) -> str:
+    """Serialise ``tree`` to Open-PSA MEF XML text."""
+    tree.validate()
+    root = ET.Element("opsa-mef")
+    tree_element = ET.SubElement(
+        root, "define-fault-tree", {"name": tree.name, "top-event": tree.top_event}
+    )
+    for gate in tree.gates.values():
+        gate_element = ET.SubElement(tree_element, "define-gate", {"name": gate.name})
+        if gate.gate_type is GateType.VOTING:
+            connective = ET.SubElement(gate_element, "atleast", {"min": str(gate.k)})
+        else:
+            connective = ET.SubElement(gate_element, gate.gate_type.value)
+        for child in gate.children:
+            tag = "gate" if tree.is_gate(child) else "basic-event"
+            ET.SubElement(connective, tag, {"name": child})
+
+    model_data = ET.SubElement(root, "model-data")
+    for event in tree.events.values():
+        event_element = ET.SubElement(model_data, "define-basic-event", {"name": event.name})
+        ET.SubElement(event_element, "float", {"value": repr(event.probability)})
+
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")

@@ -1,0 +1,67 @@
+"""Fault-tree serialisers (JSON document/text and Galileo ``.dft`` text)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["to_json_document", "to_json", "to_galileo"]
+
+
+def to_json_document(tree: FaultTree) -> Dict[str, Any]:
+    """Serialise ``tree`` to the JSON document structure of the parsers module."""
+    tree.validate()
+    events: List[Dict[str, Any]] = []
+    for event in tree.events.values():
+        entry: Dict[str, Any] = {"name": event.name, "probability": event.probability}
+        if event.description:
+            entry["description"] = event.description
+        events.append(entry)
+
+    gates: List[Dict[str, Any]] = []
+    for gate in tree.gates.values():
+        entry = {
+            "name": gate.name,
+            "type": gate.gate_type.value,
+            "children": list(gate.children),
+        }
+        if gate.gate_type is GateType.VOTING:
+            entry["k"] = gate.k
+        if gate.description:
+            entry["description"] = gate.description
+        gates.append(entry)
+
+    return {
+        "name": tree.name,
+        "top": tree.top_event,
+        "events": events,
+        "gates": gates,
+    }
+
+
+def to_json(tree: FaultTree, *, indent: int = 2) -> str:
+    """Serialise ``tree`` to JSON text."""
+    return json.dumps(to_json_document(tree), indent=indent, sort_keys=False)
+
+
+def to_galileo(tree: FaultTree) -> str:
+    """Serialise ``tree`` to Galileo ``.dft`` text.
+
+    Voting gates are written with the ``<k>of<n>`` keyword; probabilities are
+    written as fixed ``prob=`` attributes.
+    """
+    tree.validate()
+    lines: List[str] = [f'toplevel "{tree.top_event}";']
+    for gate in tree.gates.values():
+        children = " ".join(f'"{child}"' for child in gate.children)
+        if gate.gate_type is GateType.VOTING:
+            keyword = f"{gate.k}of{len(gate.children)}"
+        else:
+            keyword = gate.gate_type.value
+        lines.append(f'"{gate.name}" {keyword} {children};')
+    for event in tree.events.values():
+        lines.append(f'"{event.name}" prob={event.probability!r};')
+    return "\n".join(lines) + "\n"

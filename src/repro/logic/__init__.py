@@ -1,0 +1,58 @@
+"""Boolean formula substrate.
+
+This package provides the propositional-logic foundation used by the rest of the
+library:
+
+* :mod:`repro.logic.formula` — an immutable Boolean formula AST (variables,
+  constants, negation, conjunction, disjunction, implication, XOR and k-of-n
+  threshold nodes) with structural helpers.
+* :mod:`repro.logic.simplify` — constant folding, flattening, negation-normal-form
+  and De Morgan complementation.
+* :mod:`repro.logic.cnf` — the clause/literal model shared by the SAT and MaxSAT
+  solvers.
+* :mod:`repro.logic.tseitin` — the polynomial-time equisatisfiable CNF conversion
+  used in Step 2 of the MPMCS pipeline.
+* :mod:`repro.logic.dimacs` — DIMACS CNF and WCNF readers/writers for
+  interoperability with external tools.
+"""
+
+from repro.logic.formula import (
+    And,
+    AtLeast,
+    Const,
+    FALSE,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    Xor,
+)
+from repro.logic.cnf import CNF, Clause, Literal
+from repro.logic.simplify import complement, flatten, simplify, to_nnf
+from repro.logic.tseitin import TseitinEncoder, TseitinResult, tseitin_encode
+
+__all__ = [
+    "And",
+    "AtLeast",
+    "CNF",
+    "Clause",
+    "Const",
+    "FALSE",
+    "Formula",
+    "Implies",
+    "Literal",
+    "Not",
+    "Or",
+    "TRUE",
+    "TseitinEncoder",
+    "TseitinResult",
+    "Var",
+    "Xor",
+    "complement",
+    "flatten",
+    "simplify",
+    "to_nnf",
+    "tseitin_encode",
+]

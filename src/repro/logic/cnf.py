@@ -1,0 +1,224 @@
+"""Clause-level CNF representation shared by the SAT and MaxSAT layers.
+
+Literals follow the DIMACS convention: a literal is a non-zero integer whose
+absolute value identifies the variable and whose sign encodes polarity
+(``-v`` is the negation of variable ``v``).  Variables are numbered from 1.
+
+The :class:`CNF` container also maintains an optional mapping between integer
+variables and symbolic names so that solver models can be translated back into
+fault-tree events (Step 6 of the pipeline reports MPMCS members by event id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import CNFError
+
+__all__ = ["Literal", "Clause", "CNF"]
+
+# A literal is simply a non-zero int in the DIMACS convention.
+Literal = int
+
+
+def _validate_literal(literal: int) -> int:
+    if not isinstance(literal, int) or isinstance(literal, bool) or literal == 0:
+        raise CNFError(f"invalid literal {literal!r}: literals are non-zero integers")
+    return literal
+
+
+@dataclass(frozen=True)
+class Clause:
+    """An immutable disjunction of literals.
+
+    Duplicate literals are removed while preserving first-occurrence order.
+    A clause containing complementary literals is a *tautology*; such clauses
+    are legal but satisfied under every assignment.
+    """
+
+    literals: Tuple[Literal, ...]
+
+    def __init__(self, literals: Iterable[Literal]) -> None:
+        seen: Set[Literal] = set()
+        unique: List[Literal] = []
+        for lit in literals:
+            _validate_literal(lit)
+            if lit not in seen:
+                seen.add(lit)
+                unique.append(lit)
+        object.__setattr__(self, "literals", tuple(unique))
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __contains__(self, literal: Literal) -> bool:
+        return literal in self.literals
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty clause, which is unsatisfiable."""
+        return not self.literals
+
+    @property
+    def is_unit(self) -> bool:
+        """True when the clause contains exactly one literal."""
+        return len(self.literals) == 1
+
+    def is_tautology(self) -> bool:
+        """True when the clause contains a literal and its complement."""
+        lits = set(self.literals)
+        return any(-lit in lits for lit in lits)
+
+    def variables(self) -> Set[int]:
+        """Return the set of variables (absolute literal values) in the clause."""
+        return {abs(lit) for lit in self.literals}
+
+    def is_satisfied_by(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate the clause under a (possibly partial) assignment.
+
+        Missing variables count as falsifying their literals, so this returns
+        true only when some literal is definitely satisfied.
+        """
+        for lit in self.literals:
+            value = assignment.get(abs(lit))
+            if value is None:
+                continue
+            if value == (lit > 0):
+                return True
+        return False
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(lit) for lit in self.literals) + ")"
+
+
+class CNF:
+    """A mutable conjunction of :class:`Clause` objects with a name table.
+
+    The name table (``name_to_var`` / ``var_to_name``) tracks which integer
+    variables correspond to named problem variables (fault-tree events); the
+    auxiliary variables introduced by the Tseitin transformation have no name.
+    """
+
+    def __init__(
+        self,
+        clauses: Optional[Iterable[Sequence[Literal]]] = None,
+        *,
+        num_vars: int = 0,
+        name_to_var: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self._clauses: List[Clause] = []
+        self._num_vars = 0
+        self.name_to_var: Dict[str, int] = {}
+        self.var_to_name: Dict[int, str] = {}
+        if name_to_var:
+            for name, var in name_to_var.items():
+                self.register_name(name, var)
+        if num_vars:
+            self.ensure_num_vars(num_vars)
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    # -- variable management ------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index used (DIMACS ``p cnf <vars> <clauses>``)."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def ensure_num_vars(self, count: int) -> None:
+        """Raise the declared variable count to at least ``count``."""
+        if count < 0:
+            raise CNFError("variable count cannot be negative")
+        self._num_vars = max(self._num_vars, count)
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable, optionally binding it to ``name``."""
+        self._num_vars += 1
+        var = self._num_vars
+        if name is not None:
+            self.register_name(name, var)
+        return var
+
+    def register_name(self, name: str, var: int) -> None:
+        """Bind symbolic ``name`` to integer variable ``var``."""
+        if not name:
+            raise CNFError("variable name must be non-empty")
+        if var <= 0:
+            raise CNFError(f"variable index must be positive, got {var}")
+        existing = self.name_to_var.get(name)
+        if existing is not None and existing != var:
+            raise CNFError(f"name {name!r} already bound to variable {existing}")
+        other = self.var_to_name.get(var)
+        if other is not None and other != name:
+            raise CNFError(f"variable {var} already named {other!r}")
+        self.name_to_var[name] = var
+        self.var_to_name[var] = name
+        self.ensure_num_vars(var)
+
+    def var_for(self, name: str) -> int:
+        """Return the variable bound to ``name``, allocating it if needed."""
+        var = self.name_to_var.get(name)
+        if var is None:
+            var = self.new_var(name)
+        return var
+
+    # -- clause management ---------------------------------------------------
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        return tuple(self._clauses)
+
+    def add_clause(self, literals: Sequence[Literal] | Clause) -> Clause:
+        """Append a clause and return the normalised :class:`Clause` object."""
+        clause = literals if isinstance(literals, Clause) else Clause(literals)
+        for lit in clause:
+            self.ensure_num_vars(abs(lit))
+        self._clauses.append(clause)
+        return clause
+
+    def extend(self, clauses: Iterable[Sequence[Literal] | Clause]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    # -- semantics ------------------------------------------------------------
+
+    def is_satisfied_by(self, assignment: Mapping[int, bool]) -> bool:
+        """Check whether every clause is satisfied by ``assignment``."""
+        return all(clause.is_satisfied_by(assignment) for clause in self._clauses)
+
+    def variables(self) -> Set[int]:
+        """Return the set of variables appearing in at least one clause."""
+        out: Set[int] = set()
+        for clause in self._clauses:
+            out |= clause.variables()
+        return out
+
+    def named_assignment(self, assignment: Mapping[int, bool]) -> Dict[str, bool]:
+        """Project an integer model onto the named (problem) variables."""
+        return {
+            name: bool(assignment.get(var, False)) for name, var in self.name_to_var.items()
+        }
+
+    def copy(self) -> "CNF":
+        """Return a deep-enough copy (clauses are immutable and shared)."""
+        clone = CNF(num_vars=self._num_vars, name_to_var=dict(self.name_to_var))
+        clone._clauses = list(self._clauses)
+        return clone
+
+    def __str__(self) -> str:
+        return " & ".join(str(c) for c in self._clauses) if self._clauses else "true"

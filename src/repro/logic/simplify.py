@@ -1,0 +1,268 @@
+"""Structural formula transformations.
+
+Provides the rewrites used by the MPMCS pipeline and the baselines:
+
+* :func:`simplify` — constant folding, flattening of nested And/Or, duplicate
+  removal and trivial-case collapsing.
+* :func:`to_nnf` — negation normal form (negations pushed to the leaves,
+  Xor/Implies/AtLeast eliminated or preserved as requested).
+* :func:`complement` — the *success tree* transformation of Step 1 of the
+  paper: complement every event and swap AND/OR gates.
+* :func:`flatten` — associative flattening of nested gates of the same type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import FormulaError
+from repro.logic.formula import (
+    And,
+    AtLeast,
+    Const,
+    FALSE,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    Xor,
+    conjoin,
+    disjoin,
+)
+
+__all__ = ["simplify", "flatten", "to_nnf", "complement", "push_negations"]
+
+
+def simplify(formula: Formula) -> Formula:
+    """Return a semantically equivalent but structurally simplified formula.
+
+    The rewrite applies, bottom-up:
+
+    * constant folding (``x & false -> false``, ``x | true -> true``, ...);
+    * flattening of directly nested And/And and Or/Or;
+    * removal of duplicate operands;
+    * double-negation elimination;
+    * collapse of single-operand And/Or nodes.
+
+    The result is logically equivalent to the input (not merely
+    equisatisfiable), which the property-based tests verify by exhaustive
+    evaluation on small variable sets.
+    """
+    cache: Dict[Formula, Formula] = {}
+    return _simplify(formula, cache)
+
+
+def _simplify(node: Formula, cache: Dict[Formula, Formula]) -> Formula:
+    cached = cache.get(node)
+    if cached is not None:
+        return cached
+
+    result: Formula
+    if isinstance(node, (Var, Const)):
+        result = node
+    elif isinstance(node, Not):
+        inner = _simplify(node.operand, cache)
+        if isinstance(inner, Const):
+            result = FALSE if inner.value else TRUE
+        elif isinstance(inner, Not):
+            result = inner.operand
+        else:
+            result = Not(inner)
+    elif isinstance(node, And):
+        result = _simplify_and(node, cache)
+    elif isinstance(node, Or):
+        result = _simplify_or(node, cache)
+    elif isinstance(node, Xor):
+        result = _simplify_xor(node, cache)
+    elif isinstance(node, Implies):
+        result = _simplify(Or((Not(node.antecedent), node.consequent)), cache)
+    elif isinstance(node, AtLeast):
+        result = _simplify_atleast(node, cache)
+    else:  # pragma: no cover - defensive
+        raise FormulaError(f"unsupported formula node {type(node).__name__}")
+
+    cache[node] = result
+    return result
+
+
+def _simplify_and(node: And, cache: Dict[Formula, Formula]) -> Formula:
+    operands: list[Formula] = []
+    seen: set[Formula] = set()
+    for op in node.operands:
+        sop = _simplify(op, cache)
+        if isinstance(sop, Const):
+            if not sop.value:
+                return FALSE
+            continue
+        parts = sop.operands if isinstance(sop, And) else (sop,)
+        for part in parts:
+            if part not in seen:
+                seen.add(part)
+                operands.append(part)
+    for op in operands:
+        if Not(op) in seen or (isinstance(op, Not) and op.operand in seen):
+            return FALSE
+    return conjoin(operands)
+
+
+def _simplify_or(node: Or, cache: Dict[Formula, Formula]) -> Formula:
+    operands: list[Formula] = []
+    seen: set[Formula] = set()
+    for op in node.operands:
+        sop = _simplify(op, cache)
+        if isinstance(sop, Const):
+            if sop.value:
+                return TRUE
+            continue
+        parts = sop.operands if isinstance(sop, Or) else (sop,)
+        for part in parts:
+            if part not in seen:
+                seen.add(part)
+                operands.append(part)
+    for op in operands:
+        if Not(op) in seen or (isinstance(op, Not) and op.operand in seen):
+            return TRUE
+    return disjoin(operands)
+
+
+def _simplify_xor(node: Xor, cache: Dict[Formula, Formula]) -> Formula:
+    operands: list[Formula] = []
+    parity_flip = False
+    for op in node.operands:
+        sop = _simplify(op, cache)
+        if isinstance(sop, Const):
+            parity_flip ^= sop.value
+            continue
+        operands.append(sop)
+    if not operands:
+        return TRUE if parity_flip else FALSE
+    result: Formula = Xor(tuple(operands)) if len(operands) > 1 else operands[0]
+    if parity_flip:
+        result = Not(result)
+    return result
+
+
+def _simplify_atleast(node: AtLeast, cache: Dict[Formula, Formula]) -> Formula:
+    operands: list[Formula] = []
+    threshold = node.k
+    for op in node.operands:
+        sop = _simplify(op, cache)
+        if isinstance(sop, Const):
+            if sop.value:
+                threshold -= 1
+            continue
+        operands.append(sop)
+    if threshold <= 0:
+        return TRUE
+    if threshold > len(operands):
+        return FALSE
+    if threshold == 1:
+        return disjoin(operands)
+    if threshold == len(operands):
+        return conjoin(operands)
+    return AtLeast(threshold, tuple(operands))
+
+
+def flatten(formula: Formula) -> Formula:
+    """Flatten directly nested And/And and Or/Or nodes without other rewrites."""
+    if isinstance(formula, And):
+        flat: list[Formula] = []
+        for op in formula.operands:
+            fop = flatten(op)
+            if isinstance(fop, And):
+                flat.extend(fop.operands)
+            else:
+                flat.append(fop)
+        return conjoin(flat)
+    if isinstance(formula, Or):
+        flat = []
+        for op in formula.operands:
+            fop = flatten(op)
+            if isinstance(fop, Or):
+                flat.extend(fop.operands)
+            else:
+                flat.append(fop)
+        return disjoin(flat)
+    if isinstance(formula, Not):
+        return Not(flatten(formula.operand))
+    if isinstance(formula, Implies):
+        return Implies(flatten(formula.antecedent), flatten(formula.consequent))
+    if isinstance(formula, Xor):
+        return Xor(tuple(flatten(op) for op in formula.operands))
+    if isinstance(formula, AtLeast):
+        return AtLeast(formula.k, tuple(flatten(op) for op in formula.operands))
+    return formula
+
+
+def to_nnf(formula: Formula, *, expand_thresholds: bool = False) -> Formula:
+    """Convert to negation normal form.
+
+    Implications and XORs are eliminated; negations are pushed down to the
+    variables using De Morgan's laws.  When ``expand_thresholds`` is true,
+    :class:`AtLeast` nodes are expanded into And/Or combinations (exponential in
+    the gate arity — use only for small gates); otherwise negated thresholds are
+    rewritten using the identity ``~atleast(k, xs) = atleast(n-k+1, ~xs)``.
+    """
+    return _nnf(formula, negate=False, expand_thresholds=expand_thresholds)
+
+
+# ``push_negations`` is the historical name used in several FTA code bases.
+push_negations = to_nnf
+
+
+def _nnf(node: Formula, *, negate: bool, expand_thresholds: bool) -> Formula:
+    if isinstance(node, Const):
+        value = node.value ^ negate
+        return TRUE if value else FALSE
+    if isinstance(node, Var):
+        return Not(node) if negate else node
+    if isinstance(node, Not):
+        return _nnf(node.operand, negate=not negate, expand_thresholds=expand_thresholds)
+    if isinstance(node, And):
+        parts = tuple(
+            _nnf(op, negate=negate, expand_thresholds=expand_thresholds) for op in node.operands
+        )
+        return disjoin(parts) if negate else conjoin(parts)
+    if isinstance(node, Or):
+        parts = tuple(
+            _nnf(op, negate=negate, expand_thresholds=expand_thresholds) for op in node.operands
+        )
+        return conjoin(parts) if negate else disjoin(parts)
+    if isinstance(node, Implies):
+        rewritten = Or((Not(node.antecedent), node.consequent))
+        return _nnf(rewritten, negate=negate, expand_thresholds=expand_thresholds)
+    if isinstance(node, Xor):
+        rewritten = _expand_xor(node.operands)
+        return _nnf(rewritten, negate=negate, expand_thresholds=expand_thresholds)
+    if isinstance(node, AtLeast):
+        if expand_thresholds:
+            return _nnf(node.expand(), negate=negate, expand_thresholds=True)
+        operands = tuple(
+            _nnf(op, negate=negate, expand_thresholds=expand_thresholds) for op in node.operands
+        )
+        if negate:
+            # ~(at least k of xs)  ==  at least (n - k + 1) of (~xs)
+            return AtLeast(len(operands) - node.k + 1, operands)
+        return AtLeast(node.k, operands)
+    raise FormulaError(f"unsupported formula node {type(node).__name__}")  # pragma: no cover
+
+
+def _expand_xor(operands: Tuple[Formula, ...]) -> Formula:
+    """Rewrite an n-ary XOR as nested binary XOR expansions over And/Or/Not."""
+    result: Formula = operands[0]
+    for op in operands[1:]:
+        result = Or((And((result, Not(op))), And((Not(result), op))))
+    return result
+
+
+def complement(formula: Formula) -> Formula:
+    """Return the complement (negation) of ``formula`` in NNF.
+
+    This is the *success tree* transformation of Step 1 in the paper: for a
+    fault tree's structure function ``f(t)``, ``complement(f)`` is ``X(t) =
+    ¬f(t)``, obtained by complementing all the events and swapping AND and OR
+    gates.
+    """
+    return to_nnf(Not(formula))

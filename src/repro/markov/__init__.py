@@ -1,0 +1,13 @@
+"""Continuous-time Markov chain (CTMC) substrate.
+
+Dynamic fault-tree constructs (priority gates, spares) are classically
+analysed by translating them to a CTMC and computing transient state
+probabilities.  This package provides that substrate: a small, dependency-free
+CTMC model with uniformization-based transient analysis and steady-state
+solution, used by the dynamic fault-tree tests as an independent oracle for
+the Monte Carlo simulator and usable on its own for availability models.
+"""
+
+from repro.markov.chain import ContinuousTimeMarkovChain
+
+__all__ = ["ContinuousTimeMarkovChain"]

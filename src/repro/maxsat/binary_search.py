@@ -1,0 +1,142 @@
+"""Binary (cost-interval bisection) Weighted Partial MaxSAT engine.
+
+Where the linear SAT–UNSAT engine tightens the cost bound to "strictly better
+than the best model so far", this engine bisects the cost interval: it keeps a
+lower bound (largest cost proven infeasible plus one) and an upper bound (cost
+of the best model found) and repeatedly asks the SAT oracle for a model of
+cost at most the midpoint.  With integer (scaled) weights the interval shrinks
+geometrically, so the number of oracle calls is logarithmic in the total soft
+weight — a different performance profile from both the core-guided engines and
+the linear search, which is exactly what the parallel portfolio of the paper's
+Step 5 wants from its members.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import BudgetExceededError, SolverError, SolverInterrupted
+from repro.logic.cnf import Literal
+from repro.maxsat.engine import MaxSATEngine
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.pb import encode_weighted_at_most
+from repro.maxsat.result import MaxSATResult, MaxSATStatus
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SatStatus
+
+__all__ = ["BinarySearchEngine"]
+
+
+class BinarySearchEngine(MaxSATEngine):
+    """Cost-bisection Weighted Partial MaxSAT solver.
+
+    Parameters
+    ----------
+    max_encoding_node_size:
+        Upper bound on the number of distinct partial sums per generalized
+        totalizer node (the bound constraints reuse the same pseudo-Boolean
+        encoding as the linear engine); exceeding it yields UNKNOWN.
+    max_conflicts:
+        Optional conflict budget per SAT oracle call.
+    """
+
+    name = "binary-search"
+
+    def __init__(
+        self,
+        *,
+        max_encoding_node_size: int = 5_000,
+        max_conflicts: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_conflicts=max_conflicts)
+        self.max_encoding_node_size = max_encoding_node_size
+
+    def solve(self, instance: WPMaxSATInstance) -> MaxSATResult:
+        start = time.perf_counter()
+        sat_calls = 0
+        total_conflicts = 0
+
+        try:
+            # Initial unconstrained call: feasibility and first upper bound.
+            solver, _ = self._build_oracle(instance, bound=None)
+            result = solver.solve()
+            sat_calls += 1
+            total_conflicts += result.conflicts
+            if result.status is not SatStatus.SAT:
+                return self._unsat_result(
+                    start_time=start, sat_calls=sat_calls, conflicts=total_conflicts
+                )
+            best_model: Dict[int, bool] = result.model or {}
+            upper = instance.cost_of_model(best_model)
+            lower = 0
+
+            while lower < upper:
+                middle = (lower + upper) // 2
+                solver, _ = self._build_oracle(instance, bound=middle)
+                result = solver.solve()
+                sat_calls += 1
+                total_conflicts += result.conflicts
+                if result.status is SatStatus.SAT:
+                    model = result.model or {}
+                    cost = instance.cost_of_model(model)
+                    if cost > middle:
+                        raise SolverError(
+                            f"cost bound encoding violated: model cost {cost} exceeds "
+                            f"the requested bound {middle}"
+                        )
+                    best_model = model
+                    upper = cost
+                else:
+                    lower = middle + 1
+        except SolverError as exc:
+            recoverable = isinstance(exc, (BudgetExceededError, SolverInterrupted))
+            if recoverable or "generalized totalizer" in str(exc):
+                return MaxSATResult(
+                    status=MaxSATStatus.UNKNOWN,
+                    engine=self.name,
+                    solve_time=time.perf_counter() - start,
+                    sat_calls=sat_calls,
+                    conflicts=total_conflicts,
+                )
+            raise
+
+        return self._result_from_model(
+            instance,
+            best_model,
+            start_time=start,
+            sat_calls=sat_calls,
+            conflicts=total_conflicts,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build_oracle(
+        self, instance: WPMaxSATInstance, *, bound: Optional[int]
+    ) -> Tuple[CDCLSolver, List[Tuple[int, Literal]]]:
+        """Fresh SAT oracle; when ``bound`` is given, total violation weight <= bound."""
+        solver = self._new_sat_solver(instance)
+        indicators: List[Tuple[int, Literal]] = []
+        for soft in instance.soft:
+            if len(soft.literals) == 1:
+                violation = -soft.literals[0]
+            else:
+                relax = solver.new_var()
+                solver.add_clause(list(soft.literals) + [relax])
+                violation = relax
+            indicators.append((soft.scaled_weight, violation))
+
+        if bound is not None:
+            if bound <= 0:
+                # No violation allowed at all: every soft clause becomes hard.
+                for soft in instance.soft:
+                    solver.add_clause(list(soft.literals))
+            else:
+                encode_weighted_at_most(
+                    indicators,
+                    bound,
+                    new_var=solver.new_var,
+                    add_clause=solver.add_clause,
+                    max_node_size=self.max_encoding_node_size,
+                )
+        return solver, indicators

@@ -1,0 +1,161 @@
+"""Cardinality constraint encodings.
+
+The core-guided MaxSAT algorithms (RC2/OLL) relax unsatisfiable cores by
+counting how many of the core's relaxation literals are true.  The counting is
+done with a *totalizer* encoding [Bailleux & Boutillier 2003]: a balanced tree
+of unary adders whose output literals ``o_1 .. o_n`` satisfy ``o_j`` is true
+iff at least ``j`` input literals are true.
+
+The :class:`Totalizer` here emits its clauses into any object exposing an
+``add_clause(list[int])`` method (a :class:`~repro.sat.cdcl.CDCLSolver` or a
+:class:`~repro.logic.cnf.CNF`), and allocates auxiliary variables through a
+caller-supplied ``new_var`` callable so it can be embedded in larger encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.exceptions import SolverError
+from repro.logic.cnf import Literal
+
+__all__ = ["Totalizer", "encode_at_most_k", "encode_at_least_k"]
+
+
+class Totalizer:
+    """Totalizer (unary counter) over a set of input literals.
+
+    Parameters
+    ----------
+    inputs:
+        The literals to count.
+    new_var:
+        Callable allocating a fresh variable index.
+    add_clause:
+        Callable receiving each generated clause (a list of literals).
+
+    After construction, :attr:`outputs` holds the ordered output literals:
+    ``outputs[j-1]`` is true iff at least ``j`` inputs are true.  The encoding
+    enforces both directions needed by RC2 (inputs→outputs counting and the
+    ordering ``o_{j+1} -> o_j``).
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[Literal],
+        new_var: Callable[[], int],
+        add_clause: Callable[[List[Literal]], None],
+    ) -> None:
+        if not inputs:
+            raise SolverError("totalizer requires at least one input literal")
+        self._new_var = new_var
+        self._add_clause = add_clause
+        self.inputs: List[Literal] = list(inputs)
+        self.outputs: List[Literal] = self._build(list(inputs))
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self, literals: List[Literal]) -> List[Literal]:
+        if len(literals) == 1:
+            return [literals[0]]
+        mid = len(literals) // 2
+        left = self._build(literals[:mid])
+        right = self._build(literals[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: List[Literal], right: List[Literal]) -> List[Literal]:
+        total = len(left) + len(right)
+        outputs = [self._new_var() for _ in range(total)]
+
+        # Counting direction: if >= a of left and >= b of right then >= a+b total.
+        for a in range(len(left) + 1):
+            for b in range(len(right) + 1):
+                if a + b == 0:
+                    continue
+                antecedent: List[Literal] = []
+                if a > 0:
+                    antecedent.append(-left[a - 1])
+                if b > 0:
+                    antecedent.append(-right[b - 1])
+                self._add_clause(antecedent + [outputs[a + b - 1]])
+
+        # Upper-bound direction: if < a of left and < b of right then < a+b-1 total.
+        # Encoded as: not left[a] and not right[b]  ->  not outputs[a+b+1].
+        for a in range(len(left) + 1):
+            for b in range(len(right) + 1):
+                if a + b >= total:
+                    continue
+                antecedent = []
+                if a < len(left):
+                    antecedent.append(left[a])
+                if b < len(right):
+                    antecedent.append(right[b])
+                # at most a from left and at most b from right -> at most a+b total
+                self._add_clause(antecedent + [-outputs[a + b]])
+
+        # Ordering: o_{j+1} -> o_j.
+        for j in range(1, total):
+            self._add_clause([-outputs[j], outputs[j - 1]])
+        return outputs
+
+    # -- queries ----------------------------------------------------------------
+
+    def at_least(self, k: int) -> Literal:
+        """Return the literal asserting that at least ``k`` inputs are true."""
+        if k <= 0:
+            raise SolverError("at_least bound must be >= 1")
+        if k > len(self.outputs):
+            raise SolverError(
+                f"at_least bound {k} exceeds the number of inputs {len(self.outputs)}"
+            )
+        return self.outputs[k - 1]
+
+    def at_most(self, k: int) -> List[Literal]:
+        """Return unit clauses (as literals) enforcing that at most ``k`` inputs are true."""
+        if k < 0:
+            raise SolverError("at_most bound must be >= 0")
+        return [-self.outputs[j] for j in range(k, len(self.outputs))]
+
+
+def encode_at_most_k(
+    literals: Sequence[Literal],
+    k: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[List[Literal]], None],
+) -> Optional[Totalizer]:
+    """Add clauses enforcing ``sum(literals) <= k``; returns the totalizer used.
+
+    For ``k >= len(literals)`` the constraint is trivially true and ``None`` is
+    returned.  For ``k == 0`` every literal is simply negated.
+    """
+    if k >= len(literals):
+        return None
+    if k < 0:
+        raise SolverError("at-most bound cannot be negative")
+    if k == 0:
+        for lit in literals:
+            add_clause([-lit])
+        return None
+    totalizer = Totalizer(literals, new_var, add_clause)
+    for unit in totalizer.at_most(k):
+        add_clause([unit])
+    return totalizer
+
+
+def encode_at_least_k(
+    literals: Sequence[Literal],
+    k: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[List[Literal]], None],
+) -> Optional[Totalizer]:
+    """Add clauses enforcing ``sum(literals) >= k``; returns the totalizer used."""
+    if k <= 0:
+        return None
+    if k > len(literals):
+        raise SolverError("at-least bound exceeds the number of literals")
+    if k == 1:
+        add_clause(list(literals))
+        return None
+    totalizer = Totalizer(literals, new_var, add_clause)
+    add_clause([totalizer.at_least(k)])
+    return totalizer

@@ -1,0 +1,138 @@
+"""Fu–Malik / WPM1 core-guided Weighted Partial MaxSAT engine.
+
+The classic Fu–Malik algorithm (extended to weights as WPM1 by Ansótegui,
+Bonet & Levy) repeatedly calls a SAT oracle on the hard clauses plus the
+currently-active soft selectors:
+
+* if the oracle answers SAT, the model is optimal;
+* otherwise the unsat core identifies a set of soft clauses; the minimum
+  weight ``w`` of the core is charged to the cost, every core clause is split
+  into a residual part (weight reduced by ``w``) and a *relaxed copy* of
+  weight ``w`` extended with a fresh relaxation variable, and an exactly-one
+  constraint over the new relaxation variables is added to the hard part.
+
+The algorithm is noticeably slower than RC2 on instances needing many cores,
+but it is simple, independent code — valuable both as a portfolio member and
+as a cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import BudgetExceededError, SolverInterrupted
+from repro.logic.cnf import Literal
+from repro.maxsat.cardinality import encode_at_most_k
+from repro.maxsat.engine import MaxSATEngine
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.result import MaxSATResult, MaxSATStatus
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SatStatus
+
+__all__ = ["FuMalikEngine"]
+
+
+class FuMalikEngine(MaxSATEngine):
+    """Weighted Fu–Malik (WPM1) core-guided MaxSAT solver."""
+
+    name = "fu-malik"
+
+    def __init__(self, *, max_conflicts: Optional[int] = None) -> None:
+        super().__init__(max_conflicts=max_conflicts)
+
+    def solve(self, instance: WPMaxSATInstance) -> MaxSATResult:
+        start = time.perf_counter()
+        solver = self._new_sat_solver(instance)
+
+        # Active soft constraints: selector literal -> (weight, clause literals).
+        # The clause literals are needed to create relaxed copies when the
+        # selector appears in a core.
+        soft_clauses: Dict[Literal, Tuple[int, Tuple[Literal, ...]]] = {}
+        for soft in instance.soft:
+            selector, clause = self._make_selector(solver, soft.literals)
+            existing = soft_clauses.get(selector)
+            weight = soft.scaled_weight + (existing[0] if existing else 0)
+            soft_clauses[selector] = (weight, clause)
+
+        sat_calls = 0
+        try:
+            while True:
+                assumptions = [sel for sel, (weight, _) in soft_clauses.items() if weight > 0]
+                result = solver.solve(assumptions)
+                sat_calls += 1
+
+                if result.status is SatStatus.SAT:
+                    model = result.model or {}
+                    return self._result_from_model(
+                        instance,
+                        model,
+                        start_time=start,
+                        sat_calls=sat_calls,
+                        conflicts=solver.conflicts,
+                    )
+
+                core = list(result.core)
+                if not core:
+                    return self._unsat_result(
+                        start_time=start, sat_calls=sat_calls, conflicts=solver.conflicts
+                    )
+
+                min_weight = min(soft_clauses[sel][0] for sel in core)
+                self._relax_core(solver, core, min_weight, soft_clauses)
+        except (BudgetExceededError, SolverInterrupted):
+            return MaxSATResult(
+                status=MaxSATStatus.UNKNOWN,
+                engine=self.name,
+                solve_time=time.perf_counter() - start,
+                sat_calls=sat_calls,
+                conflicts=solver.conflicts,
+            )
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _make_selector(
+        solver: CDCLSolver, literals: Tuple[Literal, ...]
+    ) -> Tuple[Literal, Tuple[Literal, ...]]:
+        """Attach a selector to a soft clause; returns (selector, clause literals)."""
+        if len(literals) == 1:
+            return literals[0], tuple(literals)
+        relax = solver.new_var()
+        solver.add_clause(list(literals) + [relax])
+        return -relax, tuple(literals)
+
+    def _relax_core(
+        self,
+        solver: CDCLSolver,
+        core: List[Literal],
+        min_weight: int,
+        soft_clauses: Dict[Literal, Tuple[int, Tuple[Literal, ...]]],
+    ) -> None:
+        """Apply the WPM1 weight-splitting relaxation to an unsat core."""
+        new_relax_vars: List[Literal] = []
+        for sel in core:
+            weight, clause = soft_clauses[sel]
+            residual = weight - min_weight
+            # Reduce (possibly to zero) the weight of the original soft clause.
+            soft_clauses[sel] = (residual, clause)
+
+            # Add a relaxed copy of weight `min_weight`: clause ∨ r, guarded by
+            # a fresh selector so it can itself appear in later cores.
+            relax_var = solver.new_var()
+            new_relax_vars.append(relax_var)
+            relaxed_clause = tuple(clause) + (relax_var,)
+            copy_selector = solver.new_var()
+            # copy_selector -> (clause ∨ r); assuming copy_selector enforces it.
+            solver.add_clause(list(relaxed_clause) + [-copy_selector])
+            soft_clauses[copy_selector] = (min_weight, relaxed_clause)
+
+        # Exactly-one constraint over the new relaxation variables: at least one
+        # (the paid violation) and at most one (Fu–Malik's key invariant).
+        solver.add_clause(list(new_relax_vars))
+        encode_at_most_k(
+            new_relax_vars,
+            1,
+            new_var=solver.new_var,
+            add_clause=solver.add_clause,
+        )

@@ -1,0 +1,164 @@
+"""Implicit hitting set (MaxHS-style) Weighted Partial MaxSAT engine.
+
+The implicit hitting set approach (Davies & Bacchus, the paper's reference
+[5]) alternates between two sub-problems:
+
+1. a **minimum-cost hitting set** over the unsat cores discovered so far —
+   the cheapest set of soft clauses whose violation could explain every core;
+2. a **SAT check** that assumes every other soft clause satisfied.
+
+If the SAT check succeeds, the model's cost cannot exceed the hitting set's
+cost, and no solution can cost less than a minimum hitting set of a subset of
+the cores, so the model is optimal.  If it fails, the returned core is added
+to the collection and the loop repeats.
+
+The hitting set sub-problem is solved exactly with a branch-and-bound search;
+core collections produced by fault-tree instances are small, so this is not a
+bottleneck in practice (a safety cap turns pathological runs into an UNKNOWN
+result instead of letting them run away).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exceptions import BudgetExceededError, SolverInterrupted
+from repro.logic.cnf import Literal
+from repro.maxsat.engine import MaxSATEngine
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.result import MaxSATResult, MaxSATStatus
+from repro.sat.types import SatStatus
+
+__all__ = ["HittingSetEngine", "minimum_cost_hitting_set"]
+
+
+def minimum_cost_hitting_set(
+    cores: List[FrozenSet[Literal]],
+    weights: Dict[Literal, int],
+    *,
+    max_nodes: int = 2_000_000,
+) -> Tuple[Set[Literal], int]:
+    """Exact minimum-cost hitting set of ``cores`` by branch and bound.
+
+    Every core must be hit by at least one chosen element; the cost of a
+    choice is the sum of its elements' weights.  Returns the chosen set and
+    its cost.  Raises :class:`BudgetExceededError` when the search exceeds
+    ``max_nodes`` nodes (a safety valve; never reached on realistic inputs).
+    """
+    if not cores:
+        return set(), 0
+
+    # Greedy warm start: repeatedly pick the element hitting the most
+    # still-unhit cores (ties broken by weight) to obtain an upper bound.
+    best_set, best_cost = _greedy_hitting_set(cores, weights)
+    nodes = 0
+
+    def remaining_unhit(chosen: Set[Literal]) -> List[FrozenSet[Literal]]:
+        return [core for core in cores if not (core & chosen)]
+
+    def search(chosen: Set[Literal], cost: int, index: int, unhit: List[FrozenSet[Literal]]) -> None:
+        nonlocal best_set, best_cost, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise BudgetExceededError("hitting set search exceeded its node budget")
+        if cost >= best_cost:
+            return
+        if not unhit:
+            best_set, best_cost = set(chosen), cost
+            return
+        # Branch on the elements of the smallest unhit core (fewest children).
+        core = min(unhit, key=len)
+        for element in sorted(core, key=lambda lit: weights.get(lit, 0)):
+            new_chosen = chosen | {element}
+            new_cost = cost + weights.get(element, 0)
+            if new_cost >= best_cost:
+                continue
+            search(new_chosen, new_cost, index + 1, remaining_unhit(new_chosen))
+
+    search(set(), 0, 0, list(cores))
+    return best_set, best_cost
+
+
+def _greedy_hitting_set(
+    cores: List[FrozenSet[Literal]], weights: Dict[Literal, int]
+) -> Tuple[Set[Literal], int]:
+    chosen: Set[Literal] = set()
+    unhit = list(cores)
+    while unhit:
+        counts: Dict[Literal, int] = {}
+        for core in unhit:
+            for element in core:
+                counts[element] = counts.get(element, 0) + 1
+        element = max(counts, key=lambda lit: (counts[lit], -weights.get(lit, 0)))
+        chosen.add(element)
+        unhit = [core for core in unhit if element not in core]
+    return chosen, sum(weights.get(lit, 0) for lit in chosen)
+
+
+class HittingSetEngine(MaxSATEngine):
+    """MaxHS-style implicit hitting set Weighted Partial MaxSAT solver.
+
+    Parameters
+    ----------
+    max_iterations:
+        Safety cap on the number of core/hitting-set iterations; when exceeded
+        the engine returns UNKNOWN (the portfolio then falls back to the
+        core-guided engines).
+    max_conflicts:
+        Optional conflict budget for the underlying CDCL solver.
+    """
+
+    name = "hitting-set"
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 100_000,
+        max_conflicts: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_conflicts=max_conflicts)
+        self.max_iterations = max_iterations
+
+    def solve(self, instance: WPMaxSATInstance) -> MaxSATResult:
+        start = time.perf_counter()
+        solver = self._new_sat_solver(instance)
+        selector_map = self._attach_selectors(solver, instance)
+        weights = dict(selector_map.weights)
+        selectors = list(weights)
+
+        cores: List[FrozenSet[Literal]] = []
+        sat_calls = 0
+
+        try:
+            for _ in range(self.max_iterations):
+                hitting_set, _ = minimum_cost_hitting_set(cores, weights)
+                assumptions = [sel for sel in selectors if sel not in hitting_set]
+                result = solver.solve(assumptions)
+                sat_calls += 1
+
+                if result.status is SatStatus.SAT:
+                    return self._result_from_model(
+                        instance,
+                        result.model or {},
+                        start_time=start,
+                        sat_calls=sat_calls,
+                        conflicts=solver.conflicts,
+                    )
+
+                core = frozenset(result.core)
+                if not core:
+                    return self._unsat_result(
+                        start_time=start, sat_calls=sat_calls, conflicts=solver.conflicts
+                    )
+                cores.append(core)
+        except (BudgetExceededError, SolverInterrupted):
+            pass
+
+        return MaxSATResult(
+            status=MaxSATStatus.UNKNOWN,
+            engine=self.name,
+            solve_time=time.perf_counter() - start,
+            sat_calls=sat_calls,
+            conflicts=solver.conflicts,
+        )

@@ -1,0 +1,147 @@
+"""Model-improving linear SAT–UNSAT Weighted Partial MaxSAT engine.
+
+The engine repeatedly:
+
+1. asks the SAT oracle for *any* model of the hard clauses;
+2. computes the model's cost (total weight of falsified soft clauses);
+3. adds a pseudo-Boolean constraint forcing the next model to be strictly
+   cheaper (encoded with the generalized totalizer of :mod:`repro.maxsat.pb`);
+4. stops when the oracle reports UNSAT — the last model found is optimal.
+
+With many distinct weights the pseudo-Boolean encoding can grow quickly; the
+engine therefore rebuilds the oracle each iteration with the bound pruned to
+the current best cost and aborts with status ``UNKNOWN`` if the encoding
+exceeds a configurable size limit.  The engine complements the core-guided
+solvers in the portfolio: it excels when good (low-cost) models are easy to
+find, which is common for fault trees with a dominant high-probability cut
+set, and struggles when the optimum requires violating many soft clauses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import BudgetExceededError, SolverError, SolverInterrupted
+from repro.logic.cnf import Literal
+from repro.maxsat.engine import MaxSATEngine
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.pb import encode_weighted_at_most
+from repro.maxsat.result import MaxSATResult, MaxSATStatus
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SatStatus
+
+__all__ = ["LinearSearchEngine"]
+
+
+class LinearSearchEngine(MaxSATEngine):
+    """Linear SAT–UNSAT (model improving) Weighted Partial MaxSAT solver.
+
+    Parameters
+    ----------
+    max_encoding_node_size:
+        Upper bound on the number of distinct partial sums per generalized
+        totalizer node.  When exceeded the engine gives up with ``UNKNOWN``
+        instead of exhausting memory (the portfolio then relies on the
+        core-guided engines).
+    max_conflicts:
+        Optional conflict budget for each SAT oracle call.
+    """
+
+    name = "linear-sat-unsat"
+
+    def __init__(
+        self,
+        *,
+        max_encoding_node_size: int = 5_000,
+        max_conflicts: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_conflicts=max_conflicts)
+        self.max_encoding_node_size = max_encoding_node_size
+
+    def solve(self, instance: WPMaxSATInstance) -> MaxSATResult:
+        start = time.perf_counter()
+        sat_calls = 0
+        total_conflicts = 0
+
+        best_model: Optional[Dict[int, bool]] = None
+        best_cost: Optional[int] = None
+
+        try:
+            while True:
+                solver, indicators = self._build_oracle(instance, best_cost)
+                result = solver.solve()
+                sat_calls += 1
+                total_conflicts += result.conflicts
+
+                if result.status is not SatStatus.SAT:
+                    break
+
+                model = result.model or {}
+                cost = instance.cost_of_model(model)
+                if best_cost is not None and cost >= best_cost:
+                    # The bounding constraint guarantees strict improvement; a
+                    # non-improving model indicates an encoding bug.
+                    raise SolverError(
+                        f"linear search produced a non-improving model "
+                        f"(cost {cost} >= best {best_cost})"
+                    )
+                best_model = model
+                best_cost = cost
+                if best_cost == 0:
+                    break
+        except SolverError as exc:
+            recoverable = isinstance(exc, (BudgetExceededError, SolverInterrupted))
+            if recoverable or "generalized totalizer" in str(exc):
+                return MaxSATResult(
+                    status=MaxSATStatus.UNKNOWN,
+                    engine=self.name,
+                    solve_time=time.perf_counter() - start,
+                    sat_calls=sat_calls,
+                    conflicts=total_conflicts,
+                )
+            raise
+
+        if best_model is None:
+            return self._unsat_result(
+                start_time=start, sat_calls=sat_calls, conflicts=total_conflicts
+            )
+        return self._result_from_model(
+            instance,
+            best_model,
+            start_time=start,
+            sat_calls=sat_calls,
+            conflicts=total_conflicts,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build_oracle(
+        self, instance: WPMaxSATInstance, best_cost: Optional[int]
+    ) -> Tuple[CDCLSolver, List[Tuple[int, Literal]]]:
+        """Build a fresh SAT oracle with (optionally) the improvement constraint."""
+        solver = self._new_sat_solver(instance)
+        indicators: List[Tuple[int, Literal]] = []
+        for soft in instance.soft:
+            if len(soft.literals) == 1:
+                violation = -soft.literals[0]
+            else:
+                relax = solver.new_var()
+                solver.add_clause(list(soft.literals) + [relax])
+                violation = relax
+            indicators.append((soft.scaled_weight, violation))
+
+        if best_cost is not None:
+            if best_cost == 0:
+                # Cannot improve on a zero-cost model; make the oracle UNSAT.
+                solver.add_clause([1])
+                solver.add_clause([-1])
+            else:
+                encode_weighted_at_most(
+                    indicators,
+                    best_cost - 1,
+                    new_var=solver.new_var,
+                    add_clause=solver.add_clause,
+                    max_node_size=self.max_encoding_node_size,
+                )
+        return solver, indicators

@@ -1,0 +1,167 @@
+"""Stochastic local search over WCNF instances (upper bounds, not proofs).
+
+A weighted WalkSAT-style search that keeps every hard clause satisfied and
+greedily/randomly flips variables to reduce the weight of falsified soft
+clauses.  Local search cannot *prove* optimality, so it is not a
+:class:`~repro.maxsat.engine.MaxSATEngine`; it is exposed as a utility that
+returns a feasible model and its cost — an upper bound usable to warm-start or
+sanity-check the complete engines, and a reference point for tests (any
+complete engine must do at least as well).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SolverError
+from repro.logic.cnf import Literal
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SatStatus
+
+__all__ = ["LocalSearchResult", "stochastic_upper_bound"]
+
+
+@dataclass
+class LocalSearchResult:
+    """A feasible (hard-satisfying) model and the soft cost it achieves."""
+
+    model: Dict[int, bool]
+    cost: int
+    float_cost: float
+    flips: int
+    restarts: int
+    solve_time: float
+
+
+def _initial_model(instance: WPMaxSATInstance) -> Optional[Dict[int, bool]]:
+    """A hard-feasible starting point, obtained from the CDCL solver."""
+    solver = CDCLSolver()
+    for _ in range(instance.num_vars):
+        solver.new_var()
+    for clause in instance.hard:
+        solver.add_clause(list(clause))
+    result = solver.solve()
+    if result.status is not SatStatus.SAT:
+        return None
+    return dict(result.model or {})
+
+
+def _is_satisfied(clause: Sequence[Literal], model: Dict[int, bool]) -> bool:
+    return any(model.get(abs(literal), False) == (literal > 0) for literal in clause)
+
+
+def stochastic_upper_bound(
+    instance: WPMaxSATInstance,
+    *,
+    max_flips: int = 20_000,
+    restarts: int = 3,
+    noise: float = 0.2,
+    seed: Optional[int] = 7,
+) -> Optional[LocalSearchResult]:
+    """Best cost found by weighted local search, or ``None`` when hard is UNSAT.
+
+    Parameters
+    ----------
+    instance:
+        The WCNF instance to search.
+    max_flips:
+        Variable flips per restart.
+    restarts:
+        Number of independent restarts (the first starts from the CDCL model,
+        later ones from random perturbations of the best model so far).
+    noise:
+        Probability of a random walk move instead of the greedy move.
+    seed:
+        Seed of the pseudo-random generator (``None`` for a fresh seed).
+    """
+    if not 0.0 <= noise <= 1.0:
+        raise SolverError(f"noise must lie in [0, 1], got {noise}")
+    start = time.perf_counter()
+    rng = random.Random(seed)
+
+    base_model = _initial_model(instance)
+    if base_model is None:
+        return None
+
+    hard_clauses = [tuple(clause) for clause in instance.hard]
+    soft_clauses = [(tuple(soft.literals), soft.scaled_weight) for soft in instance.soft]
+    variables = list(range(1, instance.num_vars + 1))
+
+    def cost_of(model: Dict[int, bool]) -> int:
+        return sum(
+            weight for literals, weight in soft_clauses if not _is_satisfied(literals, model)
+        )
+
+    def hard_ok(model: Dict[int, bool]) -> bool:
+        return all(_is_satisfied(clause, model) for clause in hard_clauses)
+
+    best_model = dict(base_model)
+    best_cost = cost_of(best_model)
+    total_flips = 0
+
+    for restart in range(max(1, restarts)):
+        model = dict(best_model)
+        if restart > 0 and variables:
+            # Perturb a few variables, then repair hard feasibility greedily by
+            # reverting perturbations that broke it.
+            for var in rng.sample(variables, k=max(1, len(variables) // 10)):
+                model[var] = not model.get(var, False)
+                if not hard_ok(model):
+                    model[var] = not model[var]
+        current_cost = cost_of(model)
+
+        for _ in range(max_flips):
+            falsified = [
+                (literals, weight)
+                for literals, weight in soft_clauses
+                if not _is_satisfied(literals, model)
+            ]
+            if not falsified:
+                break
+            literals, _ = falsified[rng.randrange(len(falsified))]
+            candidates = [abs(literal) for literal in literals]
+            flip_var: Optional[int] = None
+            if rng.random() < noise:
+                rng.shuffle(candidates)
+                for var in candidates:
+                    model[var] = not model.get(var, False)
+                    if hard_ok(model):
+                        flip_var = var
+                        break
+                    model[var] = not model[var]
+            else:
+                best_delta: Optional[int] = None
+                for var in candidates:
+                    model[var] = not model.get(var, False)
+                    if hard_ok(model):
+                        delta = cost_of(model) - current_cost
+                        if best_delta is None or delta < best_delta:
+                            best_delta = delta
+                            flip_var = var
+                    model[var] = not model[var]
+                if flip_var is not None:
+                    model[flip_var] = not model.get(flip_var, False)
+            if flip_var is None:
+                continue
+            total_flips += 1
+            current_cost = cost_of(model)
+            if current_cost < best_cost:
+                best_cost = current_cost
+                best_model = dict(model)
+                if best_cost == 0:
+                    break
+        if best_cost == 0:
+            break
+
+    return LocalSearchResult(
+        model=best_model,
+        cost=best_cost,
+        float_cost=instance.unscale_cost(best_cost),
+        flips=total_flips,
+        restarts=max(1, restarts),
+        solve_time=time.perf_counter() - start,
+    )

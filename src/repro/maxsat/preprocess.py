@@ -1,0 +1,275 @@
+"""WCNF preprocessing: simplify a Weighted Partial MaxSAT instance before solving.
+
+The simplifications are the standard cheap ones — they preserve the set of
+optimal solutions (up to the values of variables that become irrelevant) and
+the optimal cost structure:
+
+* **hard unit propagation** — unit hard clauses force literals; forced
+  literals simplify every other clause, possibly cascading;
+* **tautology and duplicate removal** among hard clauses;
+* **hard subsumption** — a hard clause that is a superset of another is
+  redundant;
+* **soft clause resolution against forced literals** — a soft clause
+  satisfied by the forced literals is dropped (it can never cost anything);
+  one falsified by them is dropped too and its weight becomes *mandatory
+  cost* that every solution pays;
+* **duplicate soft merging** — identical soft clauses are merged by summing
+  their weights.
+
+Forced literals are retained as unit hard clauses in the simplified instance,
+so any model of the simplified instance is a model of the original instance
+over the same variable numbering, and costs measured on the original instance
+are directly comparable.  :class:`PreprocessingEngine` wraps any engine with
+this preprocessing step, which is how the preprocessing ablation benchmark
+exercises it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.logic.cnf import Literal
+from repro.maxsat.engine import MaxSATEngine
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.result import MaxSATResult, MaxSATStatus
+
+__all__ = ["PreprocessStats", "PreprocessResult", "preprocess_instance", "PreprocessingEngine"]
+
+
+@dataclass
+class PreprocessStats:
+    """Counters describing what the preprocessor did."""
+
+    forced_literals: int = 0
+    hard_removed: int = 0
+    hard_shrunk: int = 0
+    soft_dropped_satisfied: int = 0
+    soft_dropped_falsified: int = 0
+    soft_merged: int = 0
+    subsumed: int = 0
+
+    def total_simplifications(self) -> int:
+        return (
+            self.forced_literals
+            + self.hard_removed
+            + self.hard_shrunk
+            + self.soft_dropped_satisfied
+            + self.soft_dropped_falsified
+            + self.soft_merged
+            + self.subsumed
+        )
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of preprocessing a WCNF instance.
+
+    Attributes
+    ----------
+    instance:
+        The simplified instance (same variable numbering as the original), or
+        ``None`` when preprocessing already proved the hard part unsatisfiable.
+    forced:
+        Literals forced true by hard unit propagation.
+    mandatory_cost:
+        Scaled weight every solution must pay (soft clauses falsified by the
+        forced literals).
+    stats:
+        Simplification counters.
+    """
+
+    instance: Optional[WPMaxSATInstance]
+    forced: Tuple[Literal, ...]
+    mandatory_cost: int
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+
+    @property
+    def proven_unsat(self) -> bool:
+        return self.instance is None
+
+
+def _propagate_hard_units(
+    hard: List[Tuple[Literal, ...]], stats: PreprocessStats
+) -> Tuple[Optional[List[Tuple[Literal, ...]]], Set[Literal]]:
+    """Fixed-point unit propagation over the hard clauses.
+
+    Returns the simplified clause list (without the forced units) and the set
+    of forced literals, or ``(None, forced)`` when a conflict was derived.
+    """
+    clauses = [tuple(dict.fromkeys(clause)) for clause in hard]
+    forced: Set[Literal] = set()
+    changed = True
+    while changed:
+        changed = False
+        units = {clause[0] for clause in clauses if len(clause) == 1}
+        new_units = units - forced
+        for literal in new_units:
+            if -literal in forced or -literal in new_units:
+                return None, forced
+        if not new_units:
+            break
+        forced |= new_units
+        stats.forced_literals += len(new_units)
+        next_clauses: List[Tuple[Literal, ...]] = []
+        for clause in clauses:
+            if any(literal in forced for literal in clause):
+                if len(clause) > 1:
+                    stats.hard_removed += 1
+                continue  # satisfied (or it is one of the unit clauses themselves)
+            reduced = tuple(literal for literal in clause if -literal not in forced)
+            if not reduced:
+                return None, forced
+            if len(reduced) < len(clause):
+                stats.hard_shrunk += 1
+                changed = True
+            next_clauses.append(reduced)
+        clauses = next_clauses
+        changed = changed or bool(new_units)
+    return clauses, forced
+
+
+def _remove_tautologies_and_duplicates(
+    clauses: List[Tuple[Literal, ...]], stats: PreprocessStats
+) -> List[Tuple[Literal, ...]]:
+    seen: Set[frozenset] = set()
+    result: List[Tuple[Literal, ...]] = []
+    for clause in clauses:
+        key = frozenset(clause)
+        if any(-literal in key for literal in key):
+            stats.hard_removed += 1
+            continue
+        if key in seen:
+            stats.hard_removed += 1
+            continue
+        seen.add(key)
+        result.append(clause)
+    return result
+
+
+def _remove_subsumed(
+    clauses: List[Tuple[Literal, ...]], stats: PreprocessStats, *, max_clauses: int
+) -> List[Tuple[Literal, ...]]:
+    """Drop hard clauses subsumed by a shorter hard clause (quadratic; capped)."""
+    if len(clauses) > max_clauses:
+        return clauses
+    as_sets = [frozenset(clause) for clause in clauses]
+    order = sorted(range(len(clauses)), key=lambda index: len(as_sets[index]))
+    kept: List[int] = []
+    for index in order:
+        candidate = as_sets[index]
+        if any(as_sets[other] < candidate or as_sets[other] == candidate for other in kept):
+            stats.subsumed += 1
+            continue
+        kept.append(index)
+    kept_set = set(kept)
+    return [clauses[index] for index in range(len(clauses)) if index in kept_set]
+
+
+def preprocess_instance(
+    instance: WPMaxSATInstance,
+    *,
+    subsumption: bool = True,
+    max_subsumption_clauses: int = 20_000,
+) -> PreprocessResult:
+    """Simplify ``instance``; the original instance is left untouched."""
+    stats = PreprocessStats()
+    clauses, forced = _propagate_hard_units(list(instance.hard), stats)
+    if clauses is None:
+        return PreprocessResult(
+            instance=None, forced=tuple(sorted(forced)), mandatory_cost=0, stats=stats
+        )
+    clauses = _remove_tautologies_and_duplicates(clauses, stats)
+    if subsumption:
+        clauses = _remove_subsumed(clauses, stats, max_clauses=max_subsumption_clauses)
+
+    simplified = WPMaxSATInstance(precision=instance.precision)
+    simplified.ensure_num_vars(instance.num_vars)
+    simplified.var_names = dict(instance.var_names)
+    for literal in sorted(forced):
+        simplified.add_hard([literal])
+    for clause in clauses:
+        simplified.add_hard(list(clause))
+
+    mandatory_cost = 0
+    merged: Dict[Tuple[Literal, ...], Tuple[float, int, Optional[str]]] = {}
+    for soft in instance.soft:
+        literals = tuple(dict.fromkeys(soft.literals))
+        if any(literal in forced for literal in literals):
+            stats.soft_dropped_satisfied += 1
+            continue
+        reduced = tuple(literal for literal in literals if -literal not in forced)
+        if not reduced:
+            stats.soft_dropped_falsified += 1
+            mandatory_cost += soft.scaled_weight
+            continue
+        key = tuple(sorted(reduced))
+        if key in merged:
+            weight, scaled, label = merged[key]
+            merged[key] = (weight + soft.weight, scaled + soft.scaled_weight, label)
+            stats.soft_merged += 1
+        else:
+            merged[key] = (soft.weight, soft.scaled_weight, soft.label)
+
+    for key, (weight, scaled, label) in merged.items():
+        clause = simplified.add_soft(list(key), weight, label=label)
+        # Preserve the exact scaled weight (merging must not re-round).
+        if clause.scaled_weight != scaled:
+            simplified._soft[-1] = type(clause)(  # noqa: SLF001 - controlled rebuild
+                literals=clause.literals,
+                weight=weight,
+                scaled_weight=scaled,
+                label=label,
+            )
+
+    return PreprocessResult(
+        instance=simplified,
+        forced=tuple(sorted(forced)),
+        mandatory_cost=mandatory_cost,
+        stats=stats,
+    )
+
+
+class PreprocessingEngine(MaxSATEngine):
+    """Wrap another engine with WCNF preprocessing.
+
+    The wrapped engine solves the simplified instance; the resulting model is
+    then re-evaluated against the *original* instance so the reported cost is
+    directly comparable with every other engine (the mandatory cost of soft
+    clauses killed by unit propagation is automatically included this way).
+    """
+
+    def __init__(self, inner: MaxSATEngine, *, subsumption: bool = True) -> None:
+        super().__init__(max_conflicts=inner.max_conflicts)
+        self.inner = inner
+        self.subsumption = subsumption
+        self.name = f"preprocess+{inner.name}"
+
+    def solve(self, instance: WPMaxSATInstance) -> MaxSATResult:
+        start = time.perf_counter()
+        preprocessed = preprocess_instance(instance, subsumption=self.subsumption)
+        if preprocessed.proven_unsat:
+            return self._unsat_result(start_time=start, sat_calls=0, conflicts=0)
+
+        self.inner.stop_check = self.stop_check
+        inner_result = self.inner.solve(preprocessed.instance)
+        if inner_result.status is not MaxSATStatus.OPTIMUM or inner_result.model is None:
+            return MaxSATResult(
+                status=inner_result.status,
+                engine=self.name,
+                solve_time=time.perf_counter() - start,
+                sat_calls=inner_result.sat_calls,
+                conflicts=inner_result.conflicts,
+            )
+
+        model = dict(inner_result.model)
+        for literal in preprocessed.forced:
+            model[abs(literal)] = literal > 0
+        return self._result_from_model(
+            instance,
+            model,
+            start_time=start,
+            sat_calls=inner_result.sat_calls,
+            conflicts=inner_result.conflicts,
+        )

@@ -1,0 +1,226 @@
+"""RC2 / OLL core-guided Weighted Partial MaxSAT engine.
+
+The algorithm follows the RC2 solver (Ignatiev, Morgado & Marques-Silva, 2019),
+which itself implements the OLL strategy:
+
+1. every soft clause is given a selector literal used as a SAT assumption;
+2. the SAT oracle is called with the active selectors as assumptions;
+3. if satisfiable, the current model is optimal; otherwise the returned unsat
+   core identifies soft clauses that cannot all be satisfied;
+4. the minimum weight of the core is added to the lower bound, the core's
+   selectors have their weights reduced, and a totalizer counting the core's
+   violations is introduced whose "at most 1 violated" output becomes a new
+   (sum) selector;
+5. when a sum selector later reappears in a core its bound is incremented.
+
+Weight *stratification* (activating high-weight strata first) is available as
+an option and is exposed as a distinct configuration in the parallel portfolio.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import BudgetExceededError, SolverInterrupted
+from repro.logic.cnf import Literal
+from repro.maxsat.cardinality import Totalizer
+from repro.maxsat.engine import MaxSATEngine
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.result import MaxSATResult, MaxSATStatus
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SatStatus
+
+__all__ = ["RC2Engine"]
+
+
+class RC2Engine(MaxSATEngine):
+    """Core-guided (OLL) Weighted Partial MaxSAT solver.
+
+    Parameters
+    ----------
+    stratified:
+        When true, selectors are activated stratum by stratum in decreasing
+        weight order.  Stratification pays off on instances with highly skewed
+        weights, such as fault trees mixing very likely and very unlikely
+        events, and gives the portfolio a genuinely different configuration.
+    max_conflicts:
+        Optional conflict budget for the underlying CDCL solver; when exhausted
+        the engine returns a result with status ``UNKNOWN``.
+    """
+
+    def __init__(
+        self,
+        *,
+        stratified: bool = False,
+        max_conflicts: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_conflicts=max_conflicts)
+        self.stratified = stratified
+        self.name = "rc2-stratified" if stratified else "rc2"
+
+    # ------------------------------------------------------------------ solve
+
+    def solve(self, instance: WPMaxSATInstance) -> MaxSATResult:
+        start = time.perf_counter()
+        solver = self._new_sat_solver(instance)
+        selector_map = self._attach_selectors(solver, instance)
+
+        # Remaining weight per active selector literal.
+        weights: Dict[Literal, int] = dict(selector_map.weights)
+        # Totalizer bookkeeping for "sum" selectors:  selector -> (totalizer, bound).
+        sums: Dict[Literal, Tuple[Totalizer, int]] = {}
+
+        sat_calls = 0
+
+        # Stratification: original selectors may start *inactive* and are
+        # activated stratum by stratum (highest weight first).  Sum selectors
+        # created by core relaxation are always active immediately.
+        if self.stratified:
+            strata = self._strata(weights)[1:]  # the first stratum starts active
+            inactive: Set[Literal] = set().union(*strata) if strata else set()
+        else:
+            strata = []
+            inactive = set()
+        stratum_index = 0
+
+        try:
+            while True:
+                assumptions = [
+                    sel
+                    for sel, weight in weights.items()
+                    if weight > 0 and sel not in inactive
+                ]
+                result = solver.solve(assumptions)
+                sat_calls += 1
+
+                if result.status is SatStatus.SAT:
+                    if stratum_index < len(strata):
+                        # Activate the next weight stratum and keep refining.
+                        inactive -= strata[stratum_index]
+                        stratum_index += 1
+                        continue
+                    model = result.model or {}
+                    return self._result_from_model(
+                        instance,
+                        model,
+                        start_time=start,
+                        sat_calls=sat_calls,
+                        conflicts=solver.conflicts,
+                    )
+
+                core = list(result.core)
+                if not core:
+                    # Conflict independent of assumptions: hard clauses unsatisfiable.
+                    return self._unsat_result(
+                        start_time=start, sat_calls=sat_calls, conflicts=solver.conflicts
+                    )
+
+                min_weight = min(weights[sel] for sel in core)
+                self._process_core(solver, core, min_weight, weights, sums)
+        except (BudgetExceededError, SolverInterrupted):
+            return MaxSATResult(
+                status=MaxSATStatus.UNKNOWN,
+                engine=self.name,
+                solve_time=time.perf_counter() - start,
+                sat_calls=sat_calls,
+                conflicts=solver.conflicts,
+            )
+
+    # ------------------------------------------------------------- core handling
+
+    def _process_core(
+        self,
+        solver: CDCLSolver,
+        core: List[Literal],
+        min_weight: int,
+        weights: Dict[Literal, int],
+        sums: Dict[Literal, Tuple[Totalizer, int]],
+    ) -> None:
+        """Relax an unsat core following the RC2/OLL strategy."""
+        if len(core) == 1 and core[0] not in sums:
+            # Unit core over an original soft clause: it can never be satisfied
+            # together with the hard clauses, so pay its full weight and harden
+            # its negation.
+            sel = core[0]
+            weights[sel] -= min_weight
+            if weights[sel] == 0:
+                solver.add_clause([-sel])
+            return
+
+        relax_literals: List[Literal] = []
+
+        for sel in core:
+            if sel in sums:
+                self._process_sum_selector(sel, min_weight, weights, sums)
+                relax_literals.append(-sel)
+            else:
+                self._process_original_selector(solver, sel, min_weight, weights, relax_literals)
+
+        if len(relax_literals) > 1:
+            totalizer = Totalizer(
+                relax_literals,
+                new_var=solver.new_var,
+                add_clause=solver.add_clause,
+            )
+            # We have paid for exactly one violation among the relaxation
+            # literals; a second violation costs `min_weight` more, so "at most
+            # one violated" becomes a new soft (sum) selector.
+            bound = 1
+            if bound < len(relax_literals):
+                new_selector = -totalizer.at_least(bound + 1)
+                weights[new_selector] = weights.get(new_selector, 0) + min_weight
+                sums[new_selector] = (totalizer, bound)
+
+    def _process_original_selector(
+        self,
+        solver: CDCLSolver,
+        sel: Literal,
+        min_weight: int,
+        weights: Dict[Literal, int],
+        relax_literals: List[Literal],
+    ) -> None:
+        if weights[sel] == min_weight:
+            # Fully paid: deactivate the selector; its violation indicator joins
+            # the new totalizer.
+            weights[sel] = 0
+            relax_literals.append(-sel)
+        else:
+            # Residual weight remains.  Create a relaxed copy: a fresh variable
+            # `v` with the hard clause (sel ∨ v) absorbs the violation counted
+            # by the new totalizer while the original selector stays active
+            # with its reduced weight (pysat's RC2 does exactly this).
+            weights[sel] -= min_weight
+            relaxed_copy = solver.new_var()
+            solver.add_clause([sel, relaxed_copy])
+            relax_literals.append(relaxed_copy)
+
+    def _process_sum_selector(
+        self,
+        sel: Literal,
+        min_weight: int,
+        weights: Dict[Literal, int],
+        sums: Dict[Literal, Tuple[Totalizer, int]],
+    ) -> None:
+        totalizer, bound = sums[sel]
+        if weights[sel] == min_weight:
+            weights[sel] = 0
+        else:
+            weights[sel] -= min_weight
+        # Increase the bound of this sum: allowing `bound + 1` violations is a
+        # new soft decision with weight `min_weight`.
+        new_bound = bound + 1
+        if new_bound < len(totalizer.outputs):
+            new_selector = -totalizer.at_least(new_bound + 1)
+            weights[new_selector] = weights.get(new_selector, 0) + min_weight
+            sums[new_selector] = (totalizer, new_bound)
+
+    # ------------------------------------------------------------- stratification
+
+    @staticmethod
+    def _strata(weights: Dict[Literal, int]) -> List[Set[Literal]]:
+        """Group selectors into strata of equal weight, highest weight first."""
+        by_weight: Dict[int, Set[Literal]] = {}
+        for sel, weight in weights.items():
+            by_weight.setdefault(weight, set()).add(sel)
+        return [by_weight[w] for w in sorted(by_weight, reverse=True)]

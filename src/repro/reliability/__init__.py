@@ -1,0 +1,61 @@
+"""Time-dependent (mission-time) reliability analysis on top of the MPMCS engine.
+
+The paper treats basic-event probabilities as fixed numbers (Table I).  In
+practice those probabilities come from component reliability models evaluated
+at a *mission time*: an unreliability ``1 - exp(-lambda * t)`` for a
+non-repairable component, a steady-state unavailability for a repairable one,
+and so on.  This package provides those models and the analyses that become
+possible once probabilities are functions of time:
+
+* :mod:`repro.reliability.models`     — component failure/repair models
+  (fixed, exponential, Weibull, repairable, periodically tested).
+* :mod:`repro.reliability.assignment` — assigning a model to every basic event
+  of a fault tree and materialising the tree at a given mission time.
+* :mod:`repro.reliability.curves`     — top-event probability curves, the
+  MPMCS as a function of mission time (including crossover detection, i.e.
+  the times at which the *identity* of the most probable cut set changes),
+  and Birnbaum importance over time.
+
+Everything composes with the MaxSAT pipeline of :mod:`repro.core`: the curves
+re-run the paper's six-step method at every grid point, so the MPMCS-over-time
+analysis is a direct, practically motivated extension of the paper.
+"""
+
+from repro.reliability.assignment import MIN_PROBABILITY, ReliabilityAssignment
+from repro.reliability.curves import (
+    CurvePoint,
+    MPMCSAtTime,
+    TopEventCurve,
+    birnbaum_importance_over_time,
+    mpmcs_crossovers,
+    mpmcs_over_time,
+    time_grid,
+    top_event_curve,
+)
+from repro.reliability.models import (
+    ExponentialFailure,
+    FailureModel,
+    FixedProbability,
+    PeriodicallyTestedComponent,
+    RepairableComponent,
+    WeibullFailure,
+)
+
+__all__ = [
+    "CurvePoint",
+    "ExponentialFailure",
+    "FailureModel",
+    "FixedProbability",
+    "MIN_PROBABILITY",
+    "MPMCSAtTime",
+    "PeriodicallyTestedComponent",
+    "ReliabilityAssignment",
+    "RepairableComponent",
+    "TopEventCurve",
+    "WeibullFailure",
+    "birnbaum_importance_over_time",
+    "mpmcs_crossovers",
+    "mpmcs_over_time",
+    "time_grid",
+    "top_event_curve",
+]

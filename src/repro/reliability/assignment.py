@@ -1,0 +1,132 @@
+"""Assigning failure models to the basic events of a fault tree.
+
+A :class:`ReliabilityAssignment` binds every basic event of a fault tree to a
+:class:`~repro.reliability.models.FailureModel` and can then materialise the
+tree "frozen" at any mission time — a plain :class:`~repro.fta.tree.FaultTree`
+with numeric probabilities that the MaxSAT pipeline, the BDD engine and every
+other analysis of the library accept unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.exceptions import AnalysisError, FaultTreeError
+from repro.fta.tree import FaultTree
+from repro.reliability.models import FailureModel, FixedProbability
+
+__all__ = ["MIN_PROBABILITY", "ReliabilityAssignment"]
+
+#: Basic events require probabilities strictly greater than zero (a zero
+#: probability has an infinite ``-log`` weight); time-dependent models that
+#: evaluate to exactly zero (e.g. an exponential model at ``t = 0``) are
+#: clamped to this floor when a tree is materialised.
+MIN_PROBABILITY = 1e-15
+
+
+class ReliabilityAssignment:
+    """Maps each basic event of a fault tree to a failure model.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree whose events are being modelled.  It is validated once
+        at construction time.
+    models:
+        Optional initial mapping of event name to failure model.  Events not
+        covered keep their static probability from the tree (wrapped in a
+        :class:`FixedProbability` model), so partially time-dependent studies
+        are supported out of the box.
+
+    Example
+    -------
+    .. code-block:: python
+
+        from repro.reliability import ExponentialFailure, ReliabilityAssignment
+        from repro.workloads.library import fire_protection_system
+
+        tree = fire_protection_system()
+        assignment = ReliabilityAssignment(tree)
+        assignment.assign("x1", ExponentialFailure(1e-3))
+        frozen = assignment.tree_at(1000.0)   # FaultTree with p(x1) = 1-exp(-1)
+    """
+
+    def __init__(
+        self,
+        tree: FaultTree,
+        models: Optional[Mapping[str, FailureModel]] = None,
+    ) -> None:
+        tree.validate()
+        self.tree = tree
+        self._models: Dict[str, FailureModel] = {}
+        for name, event in tree.events.items():
+            self._models[name] = FixedProbability(event.probability)
+        if models:
+            for name, model in models.items():
+                self.assign(name, model)
+
+    # -- construction ----------------------------------------------------------
+
+    def assign(self, event_name: str, model: FailureModel) -> None:
+        """Bind ``event_name`` to ``model`` (replacing any previous binding)."""
+        if not self.tree.is_event(event_name):
+            raise FaultTreeError(
+                f"unknown basic event {event_name!r} in fault tree {self.tree.name!r}"
+            )
+        if not isinstance(model, FailureModel):
+            raise AnalysisError(
+                f"model for {event_name!r} must be a FailureModel, "
+                f"got {type(model).__name__}"
+            )
+        self._models[event_name] = model
+
+    def assign_all(self, models: Mapping[str, FailureModel]) -> None:
+        """Bind several events at once."""
+        for name, model in models.items():
+            self.assign(name, model)
+
+    # -- accessors --------------------------------------------------------------
+
+    def model_for(self, event_name: str) -> FailureModel:
+        """Return the failure model bound to ``event_name``."""
+        try:
+            return self._models[event_name]
+        except KeyError as exc:
+            raise FaultTreeError(f"unknown basic event {event_name!r}") from exc
+
+    def items(self) -> Iterator[Tuple[str, FailureModel]]:
+        """Iterate over ``(event name, model)`` pairs."""
+        return iter(self._models.items())
+
+    @property
+    def event_names(self) -> Tuple[str, ...]:
+        return tuple(self._models.keys())
+
+    def time_dependent_events(self) -> Tuple[str, ...]:
+        """Names of events whose model is *not* a fixed probability."""
+        return tuple(
+            name
+            for name, model in self._models.items()
+            if not isinstance(model, FixedProbability)
+        )
+
+    # -- materialisation -----------------------------------------------------------
+
+    def probabilities_at(self, time: float) -> Dict[str, float]:
+        """Evaluate every event's model at ``time`` (clamped to ``(0, 1]``)."""
+        values: Dict[str, float] = {}
+        for name, model in self._models.items():
+            probability = model.probability_at(time)
+            if probability < MIN_PROBABILITY:
+                probability = MIN_PROBABILITY
+            elif probability > 1.0:
+                probability = 1.0
+            values[name] = probability
+        return values
+
+    def tree_at(self, time: float) -> FaultTree:
+        """Return a copy of the tree with probabilities evaluated at ``time``."""
+        frozen = self.tree.copy(name=f"{self.tree.name}@t={time:g}")
+        for name, probability in self.probabilities_at(time).items():
+            frozen.set_probability(name, probability)
+        return frozen

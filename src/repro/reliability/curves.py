@@ -1,0 +1,264 @@
+"""Mission-time curves: top-event probability, MPMCS identity, importance.
+
+All functions take a :class:`~repro.reliability.assignment.ReliabilityAssignment`
+and a sequence of mission times.  The fault-tree *structure* never changes with
+time, so structural work (minimal cut set enumeration) is done once and only
+probabilities are re-evaluated per grid point; the MPMCS-over-time analysis, on
+the other hand, re-runs the paper's full MaxSAT pipeline at every time because
+its optimum may (and does) change identity as probabilities drift.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cutsets import CutSetCollection
+from repro.analysis.importance import importance_measures
+from repro.analysis.mocus import mocus_minimal_cut_sets
+from repro.analysis.topevent import top_event_probability_from_cut_sets
+from repro.bdd.cutsets import bdd_minimal_cut_sets
+from repro.core.pipeline import MPMCSSolver
+from repro.exceptions import AnalysisError
+from repro.reliability.assignment import ReliabilityAssignment
+
+__all__ = [
+    "CurvePoint",
+    "TopEventCurve",
+    "MPMCSAtTime",
+    "time_grid",
+    "top_event_curve",
+    "mpmcs_over_time",
+    "mpmcs_crossovers",
+    "birnbaum_importance_over_time",
+]
+
+
+def time_grid(
+    start: float,
+    stop: float,
+    points: int,
+    *,
+    spacing: str = "linear",
+) -> Tuple[float, ...]:
+    """Build a mission-time grid.
+
+    Parameters
+    ----------
+    start / stop:
+        Grid end points, ``0 <= start < stop``.
+    points:
+        Number of grid points (at least 2); both end points are included.
+    spacing:
+        ``"linear"`` (default) or ``"log"``.  Logarithmic spacing requires
+        ``start > 0``.
+    """
+    if points < 2:
+        raise AnalysisError(f"a time grid needs at least 2 points, got {points}")
+    if not (0.0 <= start < stop) or not math.isfinite(stop):
+        raise AnalysisError(f"invalid time grid bounds: start={start}, stop={stop}")
+    if spacing == "linear":
+        step = (stop - start) / (points - 1)
+        return tuple(start + index * step for index in range(points))
+    if spacing == "log":
+        if start <= 0.0:
+            raise AnalysisError("logarithmic time grids require start > 0")
+        ratio = (stop / start) ** (1.0 / (points - 1))
+        return tuple(start * ratio**index for index in range(points))
+    raise AnalysisError(f"unknown spacing {spacing!r}; expected 'linear' or 'log'")
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """A single ``(mission time, value)`` sample of a curve."""
+
+    time: float
+    value: float
+
+
+@dataclass
+class TopEventCurve:
+    """Top-event probability as a function of mission time.
+
+    Attributes
+    ----------
+    tree_name:
+        Name of the analysed fault tree.
+    method:
+        Probability computation method actually used per grid point.
+    points:
+        The sampled curve, in increasing time order.
+    num_cut_sets:
+        Number of minimal cut sets the curve was computed from.
+    """
+
+    tree_name: str
+    method: str
+    points: Tuple[CurvePoint, ...]
+    num_cut_sets: int
+
+    def times(self) -> Tuple[float, ...]:
+        return tuple(point.time for point in self.points)
+
+    def probabilities(self) -> Tuple[float, ...]:
+        return tuple(point.value for point in self.points)
+
+    def final_probability(self) -> float:
+        """Probability at the last (largest) mission time."""
+        if not self.points:
+            raise AnalysisError("curve has no points")
+        return self.points[-1].value
+
+    def to_rows(self) -> List[Tuple[float, float]]:
+        """Plain ``(time, probability)`` rows for tables and reports."""
+        return [(point.time, point.value) for point in self.points]
+
+
+def _structural_cut_sets(
+    assignment: ReliabilityAssignment,
+    *,
+    algorithm: str,
+    max_candidates: int,
+) -> CutSetCollection:
+    """Enumerate the minimal cut sets of the assignment's tree once."""
+    if algorithm == "mocus":
+        return mocus_minimal_cut_sets(assignment.tree, max_candidates=max_candidates)
+    if algorithm == "bdd":
+        return bdd_minimal_cut_sets(assignment.tree)
+    raise AnalysisError(f"unknown cut-set algorithm {algorithm!r}; expected 'mocus' or 'bdd'")
+
+
+def top_event_curve(
+    assignment: ReliabilityAssignment,
+    times: Sequence[float],
+    *,
+    method: str = "auto",
+    cut_set_algorithm: str = "mocus",
+    max_candidates: int = 200_000,
+) -> TopEventCurve:
+    """Top-event probability over mission time.
+
+    The minimal cut sets are enumerated once (the structure is
+    time-independent); each grid point then only re-evaluates the cut-set
+    probabilities with the assignment's failure models.
+
+    Parameters
+    ----------
+    assignment:
+        Failure-model assignment for the tree.
+    times:
+        Mission times to sample (not necessarily sorted; they are sorted here).
+    method:
+        Probability combination method passed to
+        :func:`repro.analysis.topevent.top_event_probability_from_cut_sets`
+        (``"exact"``, ``"rare-event"``, ``"min-cut-upper-bound"`` or ``"auto"``).
+    cut_set_algorithm:
+        ``"mocus"`` (default) or ``"bdd"``.
+    max_candidates:
+        Candidate cap for the MOCUS enumeration.
+    """
+    if not times:
+        raise AnalysisError("at least one mission time is required")
+    collection = _structural_cut_sets(
+        assignment, algorithm=cut_set_algorithm, max_candidates=max_candidates
+    )
+    cut_sets = [set(cut_set) for cut_set in collection]
+    if not cut_sets:
+        raise AnalysisError(
+            f"fault tree {assignment.tree.name!r} has no cut set: the top event cannot occur"
+        )
+    points: List[CurvePoint] = []
+    for time in sorted(times):
+        probabilities = assignment.probabilities_at(time)
+        value = top_event_probability_from_cut_sets(cut_sets, probabilities, method=method)
+        points.append(CurvePoint(time=time, value=value))
+    return TopEventCurve(
+        tree_name=assignment.tree.name,
+        method=method,
+        points=tuple(points),
+        num_cut_sets=len(cut_sets),
+    )
+
+
+@dataclass(frozen=True)
+class MPMCSAtTime:
+    """The Maximum Probability Minimal Cut Set at one mission time."""
+
+    time: float
+    events: Tuple[str, ...]
+    probability: float
+
+    @property
+    def size(self) -> int:
+        return len(self.events)
+
+
+def mpmcs_over_time(
+    assignment: ReliabilityAssignment,
+    times: Sequence[float],
+    *,
+    solver: Optional[MPMCSSolver] = None,
+) -> List[MPMCSAtTime]:
+    """Run the MaxSAT MPMCS pipeline at every mission time.
+
+    The result tracks how the most probable minimal cut set evolves as the
+    component models age: early in the mission the dominant cut set is usually
+    driven by demand failures (fixed probabilities), later by the components
+    with the highest failure rates.
+    """
+    if not times:
+        raise AnalysisError("at least one mission time is required")
+    pipeline = solver if solver is not None else MPMCSSolver()
+    results: List[MPMCSAtTime] = []
+    for time in sorted(times):
+        frozen = assignment.tree_at(time)
+        result = pipeline.solve(frozen)
+        results.append(
+            MPMCSAtTime(time=time, events=result.events, probability=result.probability)
+        )
+    return results
+
+
+def mpmcs_crossovers(samples: Sequence[MPMCSAtTime]) -> List[Tuple[MPMCSAtTime, MPMCSAtTime]]:
+    """Detect mission times at which the MPMCS *identity* changes.
+
+    Returns the list of consecutive sample pairs ``(before, after)`` whose cut
+    sets differ; an empty list means a single cut set dominates over the whole
+    mission.
+    """
+    crossovers: List[Tuple[MPMCSAtTime, MPMCSAtTime]] = []
+    for before, after in zip(samples, samples[1:]):
+        if before.events != after.events:
+            crossovers.append((before, after))
+    return crossovers
+
+
+def birnbaum_importance_over_time(
+    assignment: ReliabilityAssignment,
+    times: Sequence[float],
+    *,
+    events: Optional[Sequence[str]] = None,
+    cut_set_algorithm: str = "mocus",
+    max_candidates: int = 200_000,
+) -> Dict[str, Tuple[CurvePoint, ...]]:
+    """Birnbaum importance of each selected event as a function of mission time.
+
+    Importance rankings are time-dependent: a component that is unimportant at
+    the start of a mission can dominate the risk near the end of it.  The cut
+    sets are enumerated once; the importance measures are re-evaluated at every
+    grid point from the frozen tree.
+    """
+    if not times:
+        raise AnalysisError("at least one mission time is required")
+    collection = _structural_cut_sets(
+        assignment, algorithm=cut_set_algorithm, max_candidates=max_candidates
+    )
+    selected = list(events) if events is not None else sorted(assignment.tree.events)
+    curves: Dict[str, List[CurvePoint]] = {name: [] for name in selected}
+    for time in sorted(times):
+        frozen = assignment.tree_at(time)
+        measures = importance_measures(frozen, collection, events=selected)
+        for name in selected:
+            curves[name].append(CurvePoint(time=time, value=measures[name].birnbaum))
+    return {name: tuple(points) for name, points in curves.items()}

@@ -1,0 +1,215 @@
+"""Component-level failure and repair models.
+
+Each model maps a mission time ``t`` (in consistent units, typically hours) to
+the probability that the component is in its failed state at ``t``:
+
+* for non-repairable components this is the *unreliability*
+  ``F(t) = P(T_fail <= t)``;
+* for repairable components it is the *unavailability* ``q(t)``, the
+  probability of being down at ``t``.
+
+The models implemented here are the standard ones found in the Fault Tree
+Handbook and in PRA practice.  They deliberately share a minimal interface —
+:meth:`FailureModel.probability_at` — so that the rest of the package can use
+them interchangeably.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ProbabilityError
+
+__all__ = [
+    "FailureModel",
+    "FixedProbability",
+    "ExponentialFailure",
+    "WeibullFailure",
+    "RepairableComponent",
+    "PeriodicallyTestedComponent",
+]
+
+
+def _check_positive(value: float, what: str) -> float:
+    """Validate a strictly positive, finite numeric parameter."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProbabilityError(f"{what} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or value <= 0.0:
+        raise ProbabilityError(f"{what} must be positive and finite, got {value}")
+    return float(value)
+
+
+def _check_time(time: float) -> float:
+    """Validate a non-negative, finite mission time."""
+    if not isinstance(time, (int, float)) or isinstance(time, bool):
+        raise ProbabilityError(f"mission time must be a number, got {type(time).__name__}")
+    if not math.isfinite(time) or time < 0.0:
+        raise ProbabilityError(f"mission time must be non-negative and finite, got {time}")
+    return float(time)
+
+
+class FailureModel:
+    """Interface shared by every component failure/repair model."""
+
+    def probability_at(self, time: float) -> float:
+        """Probability of the failed state at mission time ``time`` (in [0, 1])."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        raise NotImplementedError
+
+    def mean_time_to_failure(self) -> Optional[float]:
+        """Mean time to (first) failure, or ``None`` when it is not defined."""
+        return None
+
+
+@dataclass(frozen=True)
+class FixedProbability(FailureModel):
+    """A time-independent probability — the paper's own setting (Table I)."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        p = self.probability
+        if not isinstance(p, (int, float)) or isinstance(p, bool):
+            raise ProbabilityError(f"probability must be a number, got {type(p).__name__}")
+        if not math.isfinite(p) or not 0.0 <= p <= 1.0:
+            raise ProbabilityError(f"probability must lie in [0, 1], got {p}")
+
+    def probability_at(self, time: float) -> float:
+        _check_time(time)
+        return self.probability
+
+    def describe(self) -> str:
+        return f"fixed probability {self.probability:g}"
+
+
+@dataclass(frozen=True)
+class ExponentialFailure(FailureModel):
+    """Non-repairable component with a constant failure rate ``lambda``.
+
+    Unreliability: ``F(t) = 1 - exp(-lambda * t)``.
+    """
+
+    failure_rate: float
+
+    def __post_init__(self) -> None:
+        _check_positive(self.failure_rate, "failure rate")
+
+    def probability_at(self, time: float) -> float:
+        t = _check_time(time)
+        return 1.0 - math.exp(-self.failure_rate * t)
+
+    def mean_time_to_failure(self) -> float:
+        return 1.0 / self.failure_rate
+
+    def describe(self) -> str:
+        return f"exponential failure, rate {self.failure_rate:g}/h"
+
+
+@dataclass(frozen=True)
+class WeibullFailure(FailureModel):
+    """Non-repairable Weibull failure model.
+
+    Unreliability: ``F(t) = 1 - exp(-(t / scale)^shape)``.  ``shape < 1``
+    models infant mortality, ``shape = 1`` reduces to the exponential model,
+    ``shape > 1`` models wear-out.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        _check_positive(self.shape, "Weibull shape")
+        _check_positive(self.scale, "Weibull scale")
+
+    def probability_at(self, time: float) -> float:
+        t = _check_time(time)
+        if t == 0.0:
+            return 0.0
+        return 1.0 - math.exp(-((t / self.scale) ** self.shape))
+
+    def mean_time_to_failure(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def describe(self) -> str:
+        return f"Weibull failure, shape {self.shape:g}, scale {self.scale:g} h"
+
+
+@dataclass(frozen=True)
+class RepairableComponent(FailureModel):
+    """Repairable component with constant failure and repair rates.
+
+    Transient unavailability of the two-state Markov model:
+
+    ``q(t) = lambda / (lambda + mu) * (1 - exp(-(lambda + mu) * t))``
+
+    which converges to the steady-state unavailability
+    ``lambda / (lambda + mu)`` as ``t`` grows.
+    """
+
+    failure_rate: float
+    repair_rate: float
+
+    def __post_init__(self) -> None:
+        _check_positive(self.failure_rate, "failure rate")
+        _check_positive(self.repair_rate, "repair rate")
+
+    @property
+    def steady_state_unavailability(self) -> float:
+        """Long-run unavailability ``lambda / (lambda + mu)``."""
+        return self.failure_rate / (self.failure_rate + self.repair_rate)
+
+    def probability_at(self, time: float) -> float:
+        t = _check_time(time)
+        total = self.failure_rate + self.repair_rate
+        return self.steady_state_unavailability * (1.0 - math.exp(-total * t))
+
+    def mean_time_to_failure(self) -> float:
+        return 1.0 / self.failure_rate
+
+    def describe(self) -> str:
+        return (
+            f"repairable, failure rate {self.failure_rate:g}/h, "
+            f"repair rate {self.repair_rate:g}/h"
+        )
+
+
+@dataclass(frozen=True)
+class PeriodicallyTestedComponent(FailureModel):
+    """Standby component revealed by periodic tests every ``test_interval`` hours.
+
+    Between tests, an undetected failure accumulates as ``1 - exp(-lambda *
+    tau)`` where ``tau`` is the time elapsed since the last test; the test
+    itself restores the component (perfect test assumed).  The commonly used
+    *average* unavailability ``lambda * T / 2`` is exposed separately.
+    """
+
+    failure_rate: float
+    test_interval: float
+
+    def __post_init__(self) -> None:
+        _check_positive(self.failure_rate, "failure rate")
+        _check_positive(self.test_interval, "test interval")
+
+    def probability_at(self, time: float) -> float:
+        t = _check_time(time)
+        since_test = math.fmod(t, self.test_interval)
+        return 1.0 - math.exp(-self.failure_rate * since_test)
+
+    def average_unavailability(self) -> float:
+        """Time-averaged unavailability over one test interval (exact form)."""
+        lam, tau = self.failure_rate, self.test_interval
+        return 1.0 - (1.0 - math.exp(-lam * tau)) / (lam * tau)
+
+    def mean_time_to_failure(self) -> float:
+        return 1.0 / self.failure_rate
+
+    def describe(self) -> str:
+        return (
+            f"periodically tested, failure rate {self.failure_rate:g}/h, "
+            f"test interval {self.test_interval:g} h"
+        )

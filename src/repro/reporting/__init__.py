@@ -1,0 +1,34 @@
+"""Result reporting: JSON (Fig. 2 equivalent), Graphviz DOT, ASCII and Markdown.
+
+MPMCS4FTA writes its solution to a JSON file that a browser-based viewer then
+renders (paper Fig. 2).  This package reproduces the machine-readable half of
+that pipeline and adds terminal-friendly renderings:
+
+* :mod:`repro.reporting.json_report` — the analysis report document;
+* :mod:`repro.reporting.dot`         — Graphviz DOT export with the MPMCS highlighted;
+* :mod:`repro.reporting.ascii_art`   — plain-text tree rendering for the CLI;
+* :mod:`repro.reporting.tables`      — Markdown tables (Table I reproduction);
+* :mod:`repro.reporting.markdown`    — full Markdown analysis report;
+* :mod:`repro.reporting.html`        — self-contained HTML/SVG viewer (the
+  browser-rendered half of Fig. 2).
+"""
+
+from repro.reporting.json_report import analysis_report, write_analysis_report
+from repro.reporting.dot import to_dot
+from repro.reporting.ascii_art import render_tree
+from repro.reporting.html import html_report, write_html_report
+from repro.reporting.markdown import markdown_report, write_markdown_report
+from repro.reporting.tables import markdown_table, weights_table
+
+__all__ = [
+    "analysis_report",
+    "html_report",
+    "markdown_report",
+    "markdown_table",
+    "render_tree",
+    "to_dot",
+    "weights_table",
+    "write_analysis_report",
+    "write_html_report",
+    "write_markdown_report",
+]

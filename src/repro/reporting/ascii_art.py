@@ -1,0 +1,75 @@
+"""Plain-text rendering of fault trees for the CLI and the examples.
+
+Gates and events are drawn as an indented tree rooted at the top event;
+basic events show their probabilities and MPMCS members are tagged, giving a
+terminal-friendly approximation of the Fig. 2 visualisation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["render_tree"]
+
+
+def render_tree(
+    tree: FaultTree,
+    *,
+    highlight: Optional[Iterable[str]] = None,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Render ``tree`` as indented ASCII text.
+
+    Shared sub-trees (DAG nodes referenced by several parents) are expanded at
+    every reference but marked with ``(shared)`` after the first expansion so
+    the output stays readable.
+    """
+    tree.validate()
+    highlighted: Set[str] = set(highlight or ())
+    lines: List[str] = []
+    expanded: Set[str] = set()
+
+    def label(name: str) -> str:
+        if tree.is_event(name):
+            event = tree.events[name]
+            text = f"{name} [p={event.probability:g}]"
+            if event.description:
+                text += f" — {event.description}"
+        else:
+            gate = tree.gates[name]
+            if gate.gate_type is GateType.VOTING:
+                text = f"{name} ({gate.k}-of-{len(gate.children)})"
+            else:
+                text = f"{name} ({gate.gate_type.value.upper()})"
+            if gate.description:
+                text += f" — {gate.description}"
+        if name in highlighted:
+            text += "   << MPMCS"
+        return text
+
+    def visit(name: str, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "└─ " if is_last else "├─ "
+        if not prefix and depth == 0:
+            lines.append(label(name))
+        else:
+            lines.append(prefix + connector + label(name))
+        if max_depth is not None and depth >= max_depth:
+            return
+        if tree.is_gate(name):
+            if name in expanded:
+                child_prefix = prefix + ("   " if is_last else "│  ")
+                lines.append(child_prefix + "└─ (shared sub-tree, shown above)")
+                return
+            expanded.add(name)
+            children = tree.gates[name].children
+            child_prefix = prefix + ("   " if is_last or depth == 0 else "│  ")
+            if depth == 0:
+                child_prefix = "   " if is_last else "│  "
+            for index, child in enumerate(children):
+                visit(child, child_prefix, index == len(children) - 1, depth + 1)
+
+    visit(tree.top_event, "", True, 0)
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Standalone HTML viewer — the browser-rendered half of paper Fig. 2.
+
+MPMCS4FTA's JSON output feeds a browser page that draws the fault tree with
+the MPMCS highlighted.  :func:`html_report` reproduces that artefact as a
+single self-contained HTML file: an inline SVG drawing of the fault tree
+(gates as boxes, basic events as ellipses, MPMCS members filled red) plus the
+solution summary.  No external assets or JavaScript are required, so the file
+can be archived next to the JSON report.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.pipeline import MPMCSResult
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = ["html_report", "write_html_report"]
+
+_NODE_WIDTH = 150
+_NODE_HEIGHT = 46
+_LEVEL_HEIGHT = 110
+_H_SPACING = 30
+_MARGIN = 40
+
+
+def _levels(tree: FaultTree) -> Dict[str, int]:
+    """Distance of every node from the top event (top = level 0)."""
+    levels: Dict[str, int] = {tree.top_event: 0}
+    frontier = [tree.top_event]
+    while frontier:
+        next_frontier: List[str] = []
+        for name in frontier:
+            if not tree.is_gate(name):
+                continue
+            for child in tree.gates[name].children:
+                level = levels[name] + 1
+                if child not in levels or level > levels[child]:
+                    levels[child] = level
+                    next_frontier.append(child)
+        frontier = next_frontier
+    return levels
+
+
+def _layout(tree: FaultTree) -> Tuple[Dict[str, Tuple[float, float]], float, float]:
+    """Assign (x, y) centre coordinates to every node; returns positions and canvas size."""
+    levels = _levels(tree)
+    by_level: Dict[int, List[str]] = {}
+    for name, level in levels.items():
+        by_level.setdefault(level, []).append(name)
+    for names in by_level.values():
+        names.sort()
+
+    max_per_level = max(len(names) for names in by_level.values())
+    width = _MARGIN * 2 + max_per_level * (_NODE_WIDTH + _H_SPACING)
+    height = _MARGIN * 2 + (max(by_level) + 1) * _LEVEL_HEIGHT
+
+    positions: Dict[str, Tuple[float, float]] = {}
+    for level, names in by_level.items():
+        span = len(names) * (_NODE_WIDTH + _H_SPACING)
+        start = (width - span) / 2 + (_NODE_WIDTH + _H_SPACING) / 2
+        y = _MARGIN + level * _LEVEL_HEIGHT + _NODE_HEIGHT / 2
+        for index, name in enumerate(names):
+            positions[name] = (start + index * (_NODE_WIDTH + _H_SPACING), y)
+    return positions, width, height
+
+
+def _gate_label(tree: FaultTree, name: str) -> str:
+    gate = tree.gates[name]
+    if gate.gate_type is GateType.VOTING:
+        return f"{gate.k}-of-{len(gate.children)}"
+    return gate.gate_type.value.upper()
+
+
+def _svg_fault_tree(tree: FaultTree, highlighted: set) -> str:
+    positions, width, height = _layout(tree)
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width:.0f} {height:.0f}" xmlns="http://www.w3.org/2000/svg" '
+        f'font-family="Helvetica, Arial, sans-serif" font-size="12">'
+    ]
+
+    # Edges first so nodes are drawn on top of them.
+    for gate in tree.gates.values():
+        x1, y1 = positions[gate.name]
+        for child in gate.children:
+            x2, y2 = positions[child]
+            parts.append(
+                f'<line x1="{x1:.1f}" y1="{y1 + _NODE_HEIGHT / 2:.1f}" '
+                f'x2="{x2:.1f}" y2="{y2 - _NODE_HEIGHT / 2:.1f}" stroke="#777" />'
+            )
+
+    for name, (x, y) in positions.items():
+        emphasised = name in highlighted
+        if tree.is_gate(name):
+            stroke = "#c0392b" if emphasised else "#2c3e50"
+            stroke_width = 3 if name == tree.top_event else 1.5
+            parts.append(
+                f'<rect x="{x - _NODE_WIDTH / 2:.1f}" y="{y - _NODE_HEIGHT / 2:.1f}" '
+                f'width="{_NODE_WIDTH}" height="{_NODE_HEIGHT}" rx="4" fill="#ecf0f1" '
+                f'stroke="{stroke}" stroke-width="{stroke_width}" />'
+            )
+            label = f"{name} [{_gate_label(tree, name)}]"
+            parts.append(
+                f'<text x="{x:.1f}" y="{y + 4:.1f}" text-anchor="middle">{html.escape(label)}</text>'
+            )
+        else:
+            event = tree.events[name]
+            fill = "#f1948a" if emphasised else "#d6eaf8"
+            stroke = "#c0392b" if emphasised else "#2471a3"
+            parts.append(
+                f'<ellipse cx="{x:.1f}" cy="{y:.1f}" rx="{_NODE_WIDTH / 2:.1f}" '
+                f'ry="{_NODE_HEIGHT / 2:.1f}" fill="{fill}" stroke="{stroke}" stroke-width="2" />'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="middle">{html.escape(name)}</text>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{y + 14:.1f}" text-anchor="middle" fill="#555">'
+                f"p={event.probability:g}</text>"
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def html_report(
+    tree: FaultTree,
+    result: MPMCSResult,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render a self-contained HTML page with the tree drawing and the MPMCS."""
+    tree.validate()
+    highlighted = set(result.events)
+    svg = _svg_fault_tree(tree, highlighted)
+    heading = html.escape(title or f"MPMCS analysis — {tree.name}")
+    mpmcs_text = html.escape("{" + ", ".join(result.events) + "}")
+
+    weight_rows = "\n".join(
+        f"<tr><td>{html.escape(name)}</td><td>{tree.probability(name):g}</td>"
+        f"<td>{weight:.5f}</td></tr>"
+        for name, weight in sorted(result.weights.items())
+    )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{heading}</title>
+<style>
+  body {{ font-family: Helvetica, Arial, sans-serif; margin: 2em; color: #222; }}
+  h1 {{ font-size: 1.4em; }}
+  table {{ border-collapse: collapse; margin: 1em 0; }}
+  th, td {{ border: 1px solid #bbb; padding: 4px 10px; text-align: left; }}
+  .mpmcs {{ color: #c0392b; font-weight: bold; }}
+  .summary {{ background: #f8f9f9; padding: 1em; border: 1px solid #ddd; }}
+  svg {{ width: 100%; height: auto; border: 1px solid #ddd; margin-top: 1em; }}
+</style>
+</head>
+<body>
+<h1>{heading}</h1>
+<div class="summary">
+  <p>Maximum Probability Minimal Cut Set:
+     <span class="mpmcs">{mpmcs_text}</span>
+     with joint probability <strong>{result.probability:.6g}</strong>
+     (MaxSAT objective {result.cost:.5f}, engine {html.escape(result.engine or "-")}).</p>
+</div>
+<table>
+  <thead><tr><th>MPMCS event</th><th>p(x<sub>i</sub>)</th><th>w<sub>i</sub> = -log p</th></tr></thead>
+  <tbody>
+{weight_rows}
+  </tbody>
+</table>
+{svg}
+</body>
+</html>
+"""
+
+
+def write_html_report(
+    tree: FaultTree,
+    result: MPMCSResult,
+    path: Union[str, Path],
+    **kwargs: object,
+) -> Path:
+    """Write the HTML report to ``path`` and return the resolved path."""
+    path = Path(path)
+    path.write_text(html_report(tree, result, **kwargs), encoding="utf-8")
+    return path

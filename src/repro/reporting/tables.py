@@ -1,0 +1,42 @@
+"""Markdown table helpers, including the Table I reproduction.
+
+:func:`weights_table` renders the probabilities and ``-log`` weights of a
+fault tree's basic events in the layout of Table I of the paper; it is used by
+benchmark E1 and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.weights import log_weights
+from repro.fta.tree import FaultTree
+
+__all__ = ["markdown_table", "weights_table"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple Markdown table (no alignment markers)."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def weights_table(tree: FaultTree, *, digits: int = 5) -> str:
+    """Reproduce Table I: per-event probabilities and ``w_i = -log(p(x_i))``.
+
+    Events are listed in name order; probabilities are shown as given and the
+    weights rounded to ``digits`` decimal places (the paper prints five).
+    """
+    tree.validate()
+    probabilities = tree.probabilities()
+    weights = log_weights(probabilities)
+    names = sorted(probabilities)
+    headers = ["Probs."] + names
+    prob_row = ["p(xi)"] + [f"{probabilities[name]:g}" for name in names]
+    weight_row = ["wi"] + [f"{weights[name]:.{digits}f}" for name in names]
+    return markdown_table(headers, [prob_row, weight_row])

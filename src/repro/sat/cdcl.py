@@ -1,0 +1,596 @@
+"""Conflict-driven clause learning (CDCL) SAT solver.
+
+This is the production SAT engine underneath every MaxSAT algorithm in
+:mod:`repro.maxsat`.  It implements the classical MiniSat-style architecture:
+
+* two-watched-literal unit propagation;
+* 1-UIP conflict analysis with clause learning and non-chronological
+  backjumping;
+* VSIDS variable activities with phase saving;
+* Luby-sequence restarts;
+* activity-based deletion of learned clauses;
+* incremental solving under *assumptions* with extraction of a set of failed
+  assumptions (unsat core), which the core-guided MaxSAT algorithms
+  (Fu–Malik, OLL/RC2) rely on.
+
+The solver is deliberately self-contained (pure Python, no third-party
+dependencies) because the execution environment provides no MaxSAT/SAT
+packages; see DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import BudgetExceededError, SolverError, SolverInterrupted
+from repro.logic.cnf import Literal
+from repro.sat.types import BaseSatSolver, SatResult, SatStatus
+
+__all__ = ["CDCLSolver"]
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class _Clause:
+    """Internal clause representation (literals list plus an activity score)."""
+
+    __slots__ = ("literals", "learnt", "activity")
+
+    def __init__(self, literals: List[int], learnt: bool = False) -> None:
+        self.literals = literals
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class CDCLSolver(BaseSatSolver):
+    """MiniSat-style CDCL solver with assumptions and core extraction.
+
+    Parameters
+    ----------
+    restart_base:
+        Conflict budget of the first restart interval; subsequent intervals
+        follow the Luby sequence scaled by this base.
+    var_decay / clause_decay:
+        Exponential decay factors for VSIDS variable and clause activities.
+    max_learnt_factor:
+        The learned clause database is reduced when it exceeds
+        ``max_learnt_factor`` times the number of original clauses.
+    max_conflicts:
+        Optional global conflict budget; when exceeded, :class:`BudgetExceededError`
+        is raised.  The MaxSAT portfolio uses this to bound stragglers.
+    stop_check:
+        Optional zero-argument callable polled at every restart boundary; when
+        it returns true the solver raises :class:`SolverInterrupted`.  This is
+        the cooperative-cancellation hook used by the parallel portfolio.
+    """
+
+    def __init__(
+        self,
+        *,
+        restart_base: int = 100,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        max_learnt_factor: float = 2.0,
+        max_conflicts: Optional[int] = None,
+        default_phase: bool = False,
+        stop_check: Optional[callable] = None,
+    ) -> None:
+        if not 0.0 < var_decay <= 1.0 or not 0.0 < clause_decay <= 1.0:
+            raise SolverError("decay factors must lie in (0, 1]")
+        if restart_base <= 0:
+            raise SolverError("restart_base must be positive")
+
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: Dict[int, List[_Clause]] = {}
+
+        self._num_vars = 0
+        self._assigns: List[int] = [_UNASSIGNED]  # indexed by var, slot 0 unused
+        self._levels: List[int] = [0]
+        self._reasons: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [default_phase]
+        self._seen: List[bool] = [False]
+
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._propagation_head = 0
+
+        self._var_inc = 1.0
+        self._var_decay = var_decay
+        self._clause_inc = 1.0
+        self._clause_decay = clause_decay
+        self._restart_base = restart_base
+        self._max_learnt_factor = max_learnt_factor
+        self._max_conflicts = max_conflicts
+        self._default_phase = default_phase
+        self.stop_check = stop_check
+
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+
+        self._ok = True  # becomes False once the clause database is trivially UNSAT
+
+    # ------------------------------------------------------------------ setup
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def conflicts(self) -> int:
+        return self._conflicts
+
+    def new_var(self) -> int:
+        """Allocate (and return) a fresh variable index."""
+        self._num_vars += 1
+        self._assigns.append(_UNASSIGNED)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._activity.append(0.0)
+        self._phase.append(self._default_phase)
+        self._seen.append(False)
+        return self._num_vars
+
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self.new_var()
+
+    def add_clause(self, literals: Sequence[Literal]) -> None:
+        """Add a problem clause.  Must be called at decision level 0."""
+        if self._trail_lim:
+            raise SolverError("clauses can only be added at decision level 0")
+        seen: Set[int] = set()
+        clause_lits: List[int] = []
+        for lit in literals:
+            if lit == 0 or not isinstance(lit, int) or isinstance(lit, bool):
+                raise SolverError(f"invalid literal {lit!r}")
+            if -lit in seen:
+                return  # tautology, trivially satisfied
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause_lits.append(lit)
+            self._ensure_var(abs(lit))
+
+        if not self._ok:
+            return
+        # Remove literals already falsified at level 0 and drop satisfied clauses.
+        filtered: List[int] = []
+        for lit in clause_lits:
+            value = self._literal_value(lit)
+            if value == _TRUE and self._levels[abs(lit)] == 0:
+                return
+            if value == _FALSE and self._levels[abs(lit)] == 0:
+                continue
+            filtered.append(lit)
+
+        if not filtered:
+            self._ok = False
+            return
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], None):
+                self._ok = False
+            else:
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._ok = False
+            return
+
+        clause = _Clause(filtered, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+
+    # -------------------------------------------------------------- main solve
+
+    def solve(self, assumptions: Iterable[Literal] = ()) -> SatResult:
+        """Solve the current clause database under ``assumptions``."""
+        assumption_list = [int(lit) for lit in assumptions]
+        for lit in assumption_list:
+            if lit == 0:
+                raise SolverError("assumption literal cannot be 0")
+            self._ensure_var(abs(lit))
+
+        self._decisions = 0
+        self._propagations = 0
+        start_conflicts = self._conflicts
+
+        if not self._ok:
+            return SatResult(status=SatStatus.UNSAT, core=frozenset())
+
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SatResult(status=SatStatus.UNSAT, core=frozenset())
+
+        restart_index = 0
+        while True:
+            if self.stop_check is not None and self.stop_check():
+                self._cancel_until(0)
+                raise SolverInterrupted("solver stopped by cooperative cancellation")
+            budget = self._restart_base * _luby(restart_index)
+            restart_index += 1
+            result = self._search(budget, assumption_list)
+            if result is not None:
+                result.conflicts = self._conflicts - start_conflicts
+                result.decisions = self._decisions
+                result.propagations = self._propagations
+                self._cancel_until(0)
+                return result
+            # budget exhausted -> restart
+            self._cancel_until(0)
+            if self._max_conflicts is not None and self._conflicts >= self._max_conflicts:
+                self._cancel_until(0)
+                raise BudgetExceededError(
+                    f"conflict budget of {self._max_conflicts} exceeded"
+                )
+
+    # ----------------------------------------------------------------- search
+
+    def _search(self, conflict_budget: int, assumptions: List[int]) -> Optional[SatResult]:
+        local_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                local_conflicts += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return SatResult(status=SatStatus.UNSAT, core=frozenset())
+                if self._decision_level() <= len(self._trail_lim) and self._assumption_conflict(
+                    conflict, assumptions
+                ):
+                    core = self._analyze_final_conflict(conflict, assumptions)
+                    return SatResult(status=SatStatus.UNSAT, core=core)
+                learnt, backjump_level = self._analyze(conflict)
+                self._cancel_until(backjump_level)
+                self._record_learnt(learnt)
+                self._decay_activities()
+                if local_conflicts >= conflict_budget:
+                    return None
+                continue
+
+            if len(self._learnts) > self._max_learnt_factor * max(len(self._clauses), 100):
+                self._reduce_learnts()
+
+            # Pick the next decision: pending assumptions first, then VSIDS.
+            lit = self._next_assumption(assumptions)
+            if lit is not None and isinstance(lit, SatResult):
+                return lit
+            if lit is None:
+                lit = self._pick_branch_literal()
+                if lit is None:
+                    return SatResult(status=SatStatus.SAT, model=self._extract_model())
+                self._decisions += 1
+            self._new_decision_level()
+            self._enqueue(lit, None)
+
+    def _next_assumption(self, assumptions: List[int]):
+        """Return the next assumption literal to decide, a SatResult if an
+        assumption is already violated, or None when all assumptions hold."""
+        level = self._decision_level()
+        while level < len(assumptions):
+            lit = assumptions[level]
+            value = self._literal_value(lit)
+            if value == _TRUE:
+                # Already satisfied: open an empty decision level to keep the
+                # level <-> assumption-index correspondence.
+                self._new_decision_level()
+                level = self._decision_level()
+                continue
+            if value == _FALSE:
+                core = self._analyze_final(-lit, assumptions)
+                return SatResult(status=SatStatus.UNSAT, core=core)
+            return lit
+        return None
+
+    def _assumption_conflict(self, conflict: _Clause, assumptions: List[int]) -> bool:
+        """True when the conflict happened while assumption decisions are on the trail."""
+        return bool(assumptions) and self._decision_level() <= len(assumptions)
+
+    # ----------------------------------------------------------- propagation
+
+    def _attach(self, clause: _Clause) -> None:
+        lits = clause.literals
+        self._watches.setdefault(lits[0], []).append(clause)
+        self._watches.setdefault(lits[1], []).append(clause)
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._propagation_head < len(self._trail):
+            lit = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            false_lit = -lit
+            watch_list = self._watches.get(false_lit)
+            if not watch_list:
+                continue
+            new_watch_list: List[_Clause] = []
+            idx = 0
+            conflict: Optional[_Clause] = None
+            while idx < len(watch_list):
+                clause = watch_list[idx]
+                idx += 1
+                lits = clause.literals
+                # Ensure the falsified literal sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._literal_value(first) == _TRUE:
+                    new_watch_list.append(clause)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for k in range(2, len(lits)):
+                    if self._literal_value(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(lits[1], []).append(clause)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(clause)
+                if self._literal_value(first) == _FALSE:
+                    # Conflict: keep the remaining watchers and stop.
+                    new_watch_list.extend(watch_list[idx:])
+                    conflict = clause
+                    break
+                self._enqueue(first, clause)
+                self._propagations += 1
+            self._watches[false_lit] = new_watch_list
+            if conflict is not None:
+                self._propagation_head = len(self._trail)
+                return conflict
+        return None
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        value = self._literal_value(lit)
+        if value == _TRUE:
+            return True
+        if value == _FALSE:
+            return False
+        var = abs(lit)
+        self._assigns[var] = _TRUE if lit > 0 else _FALSE
+        self._levels[var] = self._decision_level()
+        self._reasons[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    # ------------------------------------------------------ conflict analysis
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        """1-UIP conflict analysis; returns (learnt clause, backjump level)."""
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        counter = 0
+        lit_iter: Optional[int] = None
+        clause: Optional[_Clause] = conflict
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+        to_clear: List[int] = []
+
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            start = 1 if lit_iter is not None else 0
+            for lit in clause.literals[start:] if lit_iter is not None else clause.literals:
+                var = abs(lit)
+                if lit_iter is not None and lit == lit_iter:
+                    continue
+                if not seen[var] and self._levels[var] > 0:
+                    seen[var] = True
+                    to_clear.append(var)
+                    self._bump_var(var)
+                    if self._levels[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(lit)
+            # Select the next literal from the trail to resolve on.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            lit_iter = self._trail[trail_index]
+            var = abs(lit_iter)
+            clause = self._reasons[var]
+            seen[var] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+
+        learnt[0] = -lit_iter
+
+        # Compute the backjump level (second highest level in the clause).
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            max_idx = 1
+            for i in range(2, len(learnt)):
+                if self._levels[abs(learnt[i])] > self._levels[abs(learnt[max_idx])]:
+                    max_idx = i
+            learnt[1], learnt[max_idx] = learnt[max_idx], learnt[1]
+            backjump = self._levels[abs(learnt[1])]
+
+        for var in to_clear:
+            seen[var] = False
+        return learnt, backjump
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(list(learnt), learnt=True)
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._bump_clause(clause)
+        self._enqueue(learnt[0], clause)
+
+    def _analyze_final(self, falsified_lit: int, assumptions: List[int]) -> FrozenSet[int]:
+        """Compute a set of failed assumptions given an assumption whose
+        complement is implied by the others (MiniSat's ``analyzeFinal``)."""
+        assumption_set = set(assumptions)
+        core: Set[int] = set()
+        if -falsified_lit in assumption_set:
+            core.add(-falsified_lit)
+        seen = self._seen
+        to_clear: List[int] = []
+        var0 = abs(falsified_lit)
+        if self._levels[var0] > 0:
+            seen[var0] = True
+            to_clear.append(var0)
+        for i in range(len(self._trail) - 1, -1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self._reasons[var]
+            if reason is None:
+                if lit in assumption_set:
+                    core.add(lit)
+            else:
+                for other in reason.literals:
+                    other_var = abs(other)
+                    if other_var != var and self._levels[other_var] > 0 and not seen[other_var]:
+                        seen[other_var] = True
+                        to_clear.append(other_var)
+            seen[var] = False
+        for var in to_clear:
+            seen[var] = False
+        return frozenset(core)
+
+    def _analyze_final_conflict(
+        self, conflict: _Clause, assumptions: List[int]
+    ) -> FrozenSet[int]:
+        """Derive failed assumptions from a conflict reached during assumption decisions."""
+        assumption_set = set(assumptions)
+        core: Set[int] = set()
+        seen = self._seen
+        to_clear: List[int] = []
+        for lit in conflict.literals:
+            var = abs(lit)
+            if self._levels[var] > 0 and not seen[var]:
+                seen[var] = True
+                to_clear.append(var)
+        for i in range(len(self._trail) - 1, -1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self._reasons[var]
+            if reason is None:
+                if lit in assumption_set:
+                    core.add(lit)
+            else:
+                for other in reason.literals:
+                    other_var = abs(other)
+                    if other_var != var and self._levels[other_var] > 0 and not seen[other_var]:
+                        seen[other_var] = True
+                        to_clear.append(other_var)
+            seen[var] = False
+        for var in to_clear:
+            seen[var] = False
+        return frozenset(core)
+
+    # ------------------------------------------------------------- heuristics
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._clause_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._clause_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._clause_inc /= self._clause_decay
+
+    def _pick_branch_literal(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assigns[var] == _UNASSIGNED and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        if best_var is None:
+            return None
+        return best_var if self._phase[best_var] else -best_var
+
+    def _reduce_learnts(self) -> None:
+        """Remove the less active half of the learned clauses (keeping reasons)."""
+        locked = {id(self._reasons[abs(lit)]) for lit in self._trail if self._reasons[abs(lit)]}
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        removed = [
+            c for c in self._learnts[:keep_from] if id(c) not in locked and len(c.literals) > 2
+        ]
+        kept = [c for c in self._learnts[:keep_from] if id(c) in locked or len(c.literals) <= 2]
+        self._learnts = kept + self._learnts[keep_from:]
+        removed_ids = {id(c) for c in removed}
+        if not removed_ids:
+            return
+        for lit, watchers in self._watches.items():
+            if watchers:
+                self._watches[lit] = [c for c in watchers if id(c) not in removed_ids]
+
+    # ----------------------------------------------------------------- helpers
+
+    def _literal_value(self, lit: int) -> int:
+        value = self._assigns[abs(lit)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, boundary - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            self._assigns[var] = _UNASSIGNED
+            self._reasons[var] = None
+            self._phase[var] = lit > 0
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._propagation_head = len(self._trail)
+
+    def _extract_model(self) -> Dict[int, bool]:
+        model: Dict[int, bool] = {}
+        for var in range(1, self._num_vars + 1):
+            value = self._assigns[var]
+            model[var] = value == _TRUE if value != _UNASSIGNED else self._phase[var]
+        return model
+
+
+def _luby(index: int) -> int:
+    """Return the ``index``-th element (0-based) of the Luby restart sequence."""
+    # Find the finite subsequence that contains index and its size.
+    k = 1
+    while (1 << k) - 1 <= index:
+        k += 1
+    k -= 1
+    size = (1 << (k + 1)) - 1
+    i = index
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        k -= 1
+        i = i % size
+    return 1 << k

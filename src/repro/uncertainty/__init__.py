@@ -1,0 +1,48 @@
+"""Epistemic uncertainty propagation for fault-tree analyses.
+
+The probabilities attached to basic events (Table I of the paper) are point
+estimates; in probabilistic risk assessment practice they carry epistemic
+uncertainty, usually expressed as a distribution (a lognormal with an error
+factor, a beta, a uniform range, ...).  This package propagates those
+distributions through the fault tree by Monte Carlo sampling and reports
+
+* the resulting distribution of the top-event probability (mean, standard
+  deviation, arbitrary percentiles),
+* the distribution of the MPMCS probability and — more importantly — how
+  often each minimal cut set *is* the MPMCS across samples (the identity of
+  the paper's optimum is itself uncertain when probabilities are uncertain),
+* uncertainty importance: which event's epistemic uncertainty drives the
+  output uncertainty (Spearman rank correlation between input and output
+  samples).
+
+The structural work (minimal cut set enumeration) is done once; every Monte
+Carlo sample only re-evaluates probabilities, so the analysis scales to
+thousands of samples on mid-size trees.
+"""
+
+from repro.uncertainty.distributions import (
+    BetaUncertainty,
+    LognormalUncertainty,
+    PointEstimate,
+    TriangularUncertainty,
+    UncertainProbability,
+    UniformUncertainty,
+)
+from repro.uncertainty.importance import UncertaintyImportance, uncertainty_importance
+from repro.uncertainty.propagation import (
+    UncertaintyResult,
+    propagate_uncertainty,
+)
+
+__all__ = [
+    "BetaUncertainty",
+    "LognormalUncertainty",
+    "PointEstimate",
+    "TriangularUncertainty",
+    "UncertainProbability",
+    "UncertaintyImportance",
+    "UncertaintyResult",
+    "UniformUncertainty",
+    "propagate_uncertainty",
+    "uncertainty_importance",
+]

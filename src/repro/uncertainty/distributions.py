@@ -1,0 +1,192 @@
+"""Probability distributions describing epistemic uncertainty on basic events.
+
+Every distribution produces samples that are valid basic-event probabilities,
+i.e. values in the half-open interval ``(0, 1]`` (samples are clamped to a
+small positive floor, mirroring what PRA tools do when a sampled probability
+underflows).  Sampling uses :class:`numpy.random.Generator` so studies are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProbabilityError
+
+__all__ = [
+    "UncertainProbability",
+    "PointEstimate",
+    "LognormalUncertainty",
+    "BetaUncertainty",
+    "UniformUncertainty",
+    "TriangularUncertainty",
+    "PROBABILITY_FLOOR",
+]
+
+#: Smallest probability a sample may take (samples below are clamped up).
+PROBABILITY_FLOOR = 1e-15
+
+#: z-score of the 95th percentile; error factors are conventionally defined as
+#: the ratio between the 95th percentile and the median of a lognormal.
+_Z95 = 1.6448536269514722
+
+
+def _clip(samples: np.ndarray) -> np.ndarray:
+    """Clamp samples into the valid probability range ``(0, 1]``."""
+    return np.clip(samples, PROBABILITY_FLOOR, 1.0)
+
+
+class UncertainProbability:
+    """Interface shared by every epistemic-uncertainty distribution."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` probability samples (shape ``(size,)``, values in (0, 1])."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Mean of the distribution (before clamping)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PointEstimate(UncertainProbability):
+    """A degenerate distribution: the probability is known exactly."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        p = self.probability
+        if not isinstance(p, (int, float)) or isinstance(p, bool):
+            raise ProbabilityError(f"probability must be a number, got {type(p).__name__}")
+        if not math.isfinite(p) or not 0.0 < p <= 1.0:
+            raise ProbabilityError(f"probability must lie in (0, 1], got {p}")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.probability)
+
+    def mean(self) -> float:
+        return self.probability
+
+    def describe(self) -> str:
+        return f"point estimate {self.probability:g}"
+
+
+@dataclass(frozen=True)
+class LognormalUncertainty(UncertainProbability):
+    """Lognormal distribution parameterised by its median and error factor.
+
+    The error factor ``EF`` is the conventional PRA parameter: the ratio of
+    the 95th percentile to the median, so ``sigma = ln(EF) / 1.645``.
+    """
+
+    median: float
+    error_factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.median <= 1.0 or not math.isfinite(self.median):
+            raise ProbabilityError(f"median must lie in (0, 1], got {self.median}")
+        if self.error_factor < 1.0 or not math.isfinite(self.error_factor):
+            raise ProbabilityError(
+                f"error factor must be at least 1, got {self.error_factor}"
+            )
+
+    @property
+    def sigma(self) -> float:
+        """Log-space standard deviation implied by the error factor."""
+        return math.log(self.error_factor) / _Z95
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        samples = rng.lognormal(mean=math.log(self.median), sigma=self.sigma, size=size)
+        return _clip(samples)
+
+    def mean(self) -> float:
+        return self.median * math.exp(self.sigma**2 / 2.0)
+
+    def percentile(self, q: float) -> float:
+        """Analytic percentile of the (unclamped) lognormal, ``q`` in (0, 100)."""
+        if not 0.0 < q < 100.0:
+            raise ProbabilityError(f"percentile must lie in (0, 100), got {q}")
+        from scipy.stats import norm
+
+        return self.median * math.exp(self.sigma * norm.ppf(q / 100.0))
+
+    def describe(self) -> str:
+        return f"lognormal, median {self.median:g}, EF {self.error_factor:g}"
+
+
+@dataclass(frozen=True)
+class BetaUncertainty(UncertainProbability):
+    """Beta distribution — the natural conjugate model for demand probabilities."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0 or not math.isfinite(self.alpha):
+            raise ProbabilityError(f"alpha must be positive, got {self.alpha}")
+        if self.beta <= 0.0 or not math.isfinite(self.beta):
+            raise ProbabilityError(f"beta must be positive, got {self.beta}")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return _clip(rng.beta(self.alpha, self.beta, size=size))
+
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    def describe(self) -> str:
+        return f"beta({self.alpha:g}, {self.beta:g})"
+
+
+@dataclass(frozen=True)
+class UniformUncertainty(UncertainProbability):
+    """Uniform distribution over a probability interval ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low < self.high <= 1.0:
+            raise ProbabilityError(
+                f"uniform bounds must satisfy 0 <= low < high <= 1, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return _clip(rng.uniform(self.low, self.high, size=size))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def describe(self) -> str:
+        return f"uniform [{self.low:g}, {self.high:g}]"
+
+
+@dataclass(frozen=True)
+class TriangularUncertainty(UncertainProbability):
+    """Triangular distribution over ``[low, high]`` with the given mode."""
+
+    low: float
+    mode: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.mode <= self.high <= 1.0 or self.low == self.high:
+            raise ProbabilityError(
+                "triangular bounds must satisfy 0 <= low <= mode <= high <= 1 with low < high, "
+                f"got ({self.low}, {self.mode}, {self.high})"
+            )
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return _clip(rng.triangular(self.low, self.mode, self.high, size=size))
+
+    def mean(self) -> float:
+        return (self.low + self.mode + self.high) / 3.0
+
+    def describe(self) -> str:
+        return f"triangular ({self.low:g}, {self.mode:g}, {self.high:g})"

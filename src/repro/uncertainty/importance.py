@@ -1,0 +1,115 @@
+"""Uncertainty importance: which inputs drive the output uncertainty.
+
+The standard PRA approach is a rank-correlation measure: the Spearman
+correlation between the sampled probability of each basic event and the
+sampled top-event probability.  Events whose epistemic uncertainty has no
+influence on the output get a correlation near zero; events driving the output
+uncertainty get values near one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.uncertainty.propagation import UncertaintyResult
+
+__all__ = ["UncertaintyImportance", "uncertainty_importance", "spearman_correlation"]
+
+
+def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation between two 1-D sample arrays.
+
+    Returns 0.0 when either array is constant (no ranks to correlate), which is
+    the convention that makes point-estimate inputs report zero importance.
+    """
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError("samples must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise AnalysisError("at least two samples are required")
+    if np.all(x == x[0]) or np.all(y == y[0]):
+        return 0.0
+    # Average ranks for ties, then Pearson correlation of the ranks.
+    x_ranks = _average_ranks(x)
+    y_ranks = _average_ranks(y)
+    x_centred = x_ranks - x_ranks.mean()
+    y_centred = y_ranks - y_ranks.mean()
+    denominator = float(np.sqrt(np.sum(x_centred**2) * np.sum(y_centred**2)))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.sum(x_centred * y_centred) / denominator)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks (1-based) with ties replaced by their average rank."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average the ranks of tied groups.
+    sorted_values = values[order]
+    index = 0
+    while index < values.size:
+        stop = index
+        while stop + 1 < values.size and sorted_values[stop + 1] == sorted_values[index]:
+            stop += 1
+        if stop > index:
+            ranks[order[index : stop + 1]] = ranks[order[index : stop + 1]].mean()
+        index = stop + 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class UncertaintyImportance:
+    """Uncertainty importance of one basic event."""
+
+    event: str
+    spearman: float
+
+    @property
+    def magnitude(self) -> float:
+        """Absolute correlation, used for ranking."""
+        return abs(self.spearman)
+
+
+def uncertainty_importance(
+    result: UncertaintyResult,
+    *,
+    events: Optional[Sequence[str]] = None,
+    target: str = "top-event",
+) -> List[UncertaintyImportance]:
+    """Rank basic events by how much their uncertainty drives the output.
+
+    Parameters
+    ----------
+    result:
+        A propagation result carrying the raw input and output samples.
+    events:
+        Restrict the ranking to these events (default: all sampled events).
+    target:
+        ``"top-event"`` (default) correlates against the top-event probability
+        samples; ``"mpmcs"`` correlates against the MPMCS probability samples.
+    """
+    if target == "top-event":
+        output = result.top_event_samples
+    elif target == "mpmcs":
+        output = result.mpmcs_probability_samples
+    else:
+        raise AnalysisError(f"unknown target {target!r}; expected 'top-event' or 'mpmcs'")
+    if output is None:
+        raise AnalysisError("the propagation result does not carry raw samples")
+
+    selected = list(events) if events is not None else sorted(result.event_samples)
+    measures: List[UncertaintyImportance] = []
+    for name in selected:
+        try:
+            samples = result.event_samples[name]
+        except KeyError as exc:
+            raise AnalysisError(f"no samples recorded for event {name!r}") from exc
+        measures.append(
+            UncertaintyImportance(event=name, spearman=spearman_correlation(samples, output))
+        )
+    measures.sort(key=lambda measure: (-measure.magnitude, measure.event))
+    return measures

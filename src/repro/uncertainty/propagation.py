@@ -1,0 +1,270 @@
+"""Monte Carlo propagation of basic-event uncertainty through a fault tree.
+
+The analysis enumerates the minimal cut sets once (the structure does not
+depend on the sampled probabilities) and then evaluates, for every Monte Carlo
+sample of the basic-event probabilities,
+
+* the top-event probability (min-cut upper bound, rare-event approximation or
+  inclusion–exclusion), and
+* the probability of every minimal cut set, from which the per-sample MPMCS is
+  identified.
+
+Besides percentile bands for both quantities, the result reports how often
+each cut set was the MPMCS — a direct measure of how robust the paper's
+optimum is to epistemic uncertainty in the input probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cutsets import CutSetCollection
+from repro.analysis.mocus import mocus_minimal_cut_sets
+from repro.analysis.topevent import exact_top_event_probability
+from repro.bdd.cutsets import bdd_minimal_cut_sets
+from repro.exceptions import AnalysisError
+from repro.fta.tree import FaultTree
+from repro.uncertainty.distributions import PointEstimate, UncertainProbability
+
+__all__ = ["SampleSummary", "UncertaintyResult", "propagate_uncertainty"]
+
+#: Default percentiles reported by :func:`propagate_uncertainty`.
+DEFAULT_PERCENTILES = (5.0, 50.0, 95.0)
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of a sampled quantity."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    percentiles: Dict[float, float]
+
+    @classmethod
+    def from_samples(
+        cls, samples: np.ndarray, percentiles: Sequence[float]
+    ) -> "SampleSummary":
+        """Build a summary from a 1-D sample array."""
+        if samples.size == 0:
+            raise AnalysisError("cannot summarise an empty sample array")
+        values = np.percentile(samples, list(percentiles))
+        return cls(
+            mean=float(np.mean(samples)),
+            std=float(np.std(samples, ddof=1)) if samples.size > 1 else 0.0,
+            minimum=float(np.min(samples)),
+            maximum=float(np.max(samples)),
+            percentiles={float(q): float(v) for q, v in zip(percentiles, values)},
+        )
+
+
+@dataclass
+class UncertaintyResult:
+    """Outcome of a Monte Carlo uncertainty propagation.
+
+    Attributes
+    ----------
+    tree_name / num_samples / seed / method:
+        Provenance of the study.
+    top_event:
+        Summary of the sampled top-event probability.
+    mpmcs_probability:
+        Summary of the sampled MPMCS probability (the probability of whichever
+        cut set is most probable *in that sample*).
+    mpmcs_frequencies:
+        For each minimal cut set, the fraction of samples in which it was the
+        MPMCS; sorted by decreasing frequency.  A single entry close to 1.0
+        means the paper's point-estimate optimum is robust to the input
+        uncertainty.
+    point_estimate_mpmcs:
+        The MPMCS at the point-estimate (mean) probabilities, for reference.
+    event_samples:
+        The raw probability samples per basic event (used by the uncertainty
+        importance analysis).
+    top_event_samples / mpmcs_probability_samples:
+        The raw output samples.
+    """
+
+    tree_name: str
+    num_samples: int
+    seed: Optional[int]
+    method: str
+    top_event: SampleSummary
+    mpmcs_probability: SampleSummary
+    mpmcs_frequencies: List[Tuple[Tuple[str, ...], float]]
+    point_estimate_mpmcs: Tuple[str, ...]
+    event_samples: Dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    top_event_samples: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    mpmcs_probability_samples: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def mpmcs_identity_stability(self) -> float:
+        """Frequency of the most common MPMCS identity (1.0 = fully stable)."""
+        if not self.mpmcs_frequencies:
+            raise AnalysisError("no MPMCS frequency data available")
+        return self.mpmcs_frequencies[0][1]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form used by the CLI and the JSON report."""
+        return {
+            "tree": self.tree_name,
+            "samples": self.num_samples,
+            "seed": self.seed,
+            "method": self.method,
+            "top_event": {
+                "mean": self.top_event.mean,
+                "std": self.top_event.std,
+                "percentiles": {str(k): v for k, v in self.top_event.percentiles.items()},
+            },
+            "mpmcs_probability": {
+                "mean": self.mpmcs_probability.mean,
+                "std": self.mpmcs_probability.std,
+                "percentiles": {
+                    str(k): v for k, v in self.mpmcs_probability.percentiles.items()
+                },
+            },
+            "mpmcs_frequencies": [
+                {"cut_set": list(cut_set), "frequency": frequency}
+                for cut_set, frequency in self.mpmcs_frequencies
+            ],
+            "point_estimate_mpmcs": list(self.point_estimate_mpmcs),
+        }
+
+
+def _cut_sets_of(
+    tree: FaultTree, *, algorithm: str, max_candidates: int
+) -> CutSetCollection:
+    if algorithm == "mocus":
+        return mocus_minimal_cut_sets(tree, max_candidates=max_candidates)
+    if algorithm == "bdd":
+        return bdd_minimal_cut_sets(tree)
+    raise AnalysisError(f"unknown cut-set algorithm {algorithm!r}; expected 'mocus' or 'bdd'")
+
+
+def _top_event_samples(
+    cut_set_probabilities: np.ndarray, method: str, sample_matrix: np.ndarray,
+    cut_sets: List[Tuple[str, ...]], event_index: Dict[str, int],
+) -> np.ndarray:
+    """Per-sample top-event probability from per-cut-set probability samples."""
+    if method == "rare-event":
+        return np.minimum(cut_set_probabilities.sum(axis=0), 1.0)
+    if method == "min-cut-upper-bound":
+        return 1.0 - np.prod(1.0 - cut_set_probabilities, axis=0)
+    if method == "exact":
+        num_samples = cut_set_probabilities.shape[1]
+        values = np.empty(num_samples)
+        for index in range(num_samples):
+            probabilities = {
+                name: float(sample_matrix[event_index[name], index]) for name in event_index
+            }
+            values[index] = exact_top_event_probability(cut_sets, probabilities)
+        return values
+    raise AnalysisError(
+        f"unknown method {method!r}; expected 'exact', 'rare-event' or 'min-cut-upper-bound'"
+    )
+
+
+def propagate_uncertainty(
+    tree: FaultTree,
+    uncertainties: Mapping[str, UncertainProbability],
+    *,
+    num_samples: int = 2000,
+    seed: Optional[int] = 2020,
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    method: str = "min-cut-upper-bound",
+    cut_set_algorithm: str = "mocus",
+    max_candidates: int = 200_000,
+) -> UncertaintyResult:
+    """Propagate epistemic uncertainty on basic events through ``tree``.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree to analyse (validated first).
+    uncertainties:
+        Mapping of basic event name to its uncertainty distribution.  Events
+        not covered keep their point-estimate probability from the tree.
+    num_samples:
+        Number of Monte Carlo samples (at least 2).
+    seed:
+        Seed for the random generator (``None`` for a non-deterministic run).
+    percentiles:
+        Percentiles reported in the summaries.
+    method:
+        Per-sample top-event combination: ``"min-cut-upper-bound"`` (default),
+        ``"rare-event"`` or ``"exact"`` (inclusion–exclusion; slow, intended
+        for small trees).
+    cut_set_algorithm / max_candidates:
+        How the minimal cut sets are enumerated (once, before sampling).
+    """
+    tree.validate()
+    if num_samples < 2:
+        raise AnalysisError(f"at least 2 samples are required, got {num_samples}")
+    for name in uncertainties:
+        if not tree.is_event(name):
+            raise AnalysisError(f"unknown basic event {name!r} in uncertainty specification")
+        if not isinstance(uncertainties[name], UncertainProbability):
+            raise AnalysisError(
+                f"uncertainty for {name!r} must be an UncertainProbability, "
+                f"got {type(uncertainties[name]).__name__}"
+            )
+
+    collection = _cut_sets_of(tree, algorithm=cut_set_algorithm, max_candidates=max_candidates)
+    cut_sets = collection.to_sorted_tuples()
+    if not cut_sets:
+        raise AnalysisError(f"fault tree {tree.name!r} has no cut set")
+
+    event_names = sorted(tree.events)
+    event_index = {name: position for position, name in enumerate(event_names)}
+    distributions: Dict[str, UncertainProbability] = {}
+    for name in event_names:
+        distributions[name] = uncertainties.get(name, PointEstimate(tree.probability(name)))
+
+    rng = np.random.default_rng(seed)
+    sample_matrix = np.empty((len(event_names), num_samples))
+    for name in event_names:
+        sample_matrix[event_index[name]] = distributions[name].sample(rng, num_samples)
+
+    # probability of each cut set in each sample: product over member rows.
+    cut_set_probabilities = np.empty((len(cut_sets), num_samples))
+    for row, cut_set in enumerate(cut_sets):
+        rows = [event_index[name] for name in cut_set]
+        cut_set_probabilities[row] = np.prod(sample_matrix[rows, :], axis=0)
+
+    top_samples = _top_event_samples(
+        cut_set_probabilities, method, sample_matrix, cut_sets, event_index
+    )
+    mpmcs_rows = np.argmax(cut_set_probabilities, axis=0)
+    mpmcs_samples = cut_set_probabilities[mpmcs_rows, np.arange(num_samples)]
+
+    counts = np.bincount(mpmcs_rows, minlength=len(cut_sets))
+    frequencies = [
+        (cut_sets[row], float(count) / num_samples)
+        for row, count in enumerate(counts)
+        if count > 0
+    ]
+    frequencies.sort(key=lambda item: (-item[1], item[0]))
+
+    point_probabilities = {name: distributions[name].mean() for name in event_names}
+    point_products = [
+        float(np.prod([point_probabilities[name] for name in cut_set])) for cut_set in cut_sets
+    ]
+    point_mpmcs = cut_sets[int(np.argmax(point_products))]
+
+    return UncertaintyResult(
+        tree_name=tree.name,
+        num_samples=num_samples,
+        seed=seed,
+        method=method,
+        top_event=SampleSummary.from_samples(top_samples, percentiles),
+        mpmcs_probability=SampleSummary.from_samples(mpmcs_samples, percentiles),
+        mpmcs_frequencies=frequencies,
+        point_estimate_mpmcs=point_mpmcs,
+        event_samples={name: sample_matrix[event_index[name]] for name in event_names},
+        top_event_samples=top_samples,
+        mpmcs_probability_samples=mpmcs_samples,
+    )

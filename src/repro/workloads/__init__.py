@@ -1,0 +1,32 @@
+"""Workloads: canonical fault trees from the literature and a random generator.
+
+* :mod:`repro.workloads.library` — hand-encoded canonical trees, including the
+  paper's fire-protection-system example (Fig. 1) with the exact Table I
+  probabilities, plus several classical trees used in FTA tutorials and
+  surveys.  These drive the example-level experiments (E1–E3) and give the
+  tests known ground truth.
+* :mod:`repro.workloads.generator` — a seeded random fault-tree generator
+  parameterised by node count, depth, gate mix and probability ranges, used by
+  the scalability and ablation benchmarks (E4–E6).
+"""
+
+from repro.workloads.generator import GeneratorConfig, random_fault_tree
+from repro.workloads.library import (
+    NAMED_TREES,
+    fire_protection_system,
+    get_tree,
+    pressure_tank,
+    redundant_power_supply,
+    three_motor_system,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "NAMED_TREES",
+    "fire_protection_system",
+    "get_tree",
+    "pressure_tank",
+    "random_fault_tree",
+    "redundant_power_supply",
+    "three_motor_system",
+]

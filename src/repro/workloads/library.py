@@ -1,0 +1,485 @@
+"""Canonical fault trees used by the examples, tests and benchmarks.
+
+The central entry is :func:`fire_protection_system` — the paper's running
+example (Fig. 1): a cyber-physical Fire Protection System whose MPMCS is
+``{x1, x2}`` with joint probability ``0.02``.  Probabilities match Table I of
+the paper exactly.
+
+The other trees are classical teaching/benchmark models re-encoded from the
+FTA literature (Vesely et al.'s Fault Tree Handbook and the Ruijters &
+Stoelinga survey): a pressure-tank rupture tree, a redundant power supply with
+a 2-of-3 voting gate, and a three-motor control system.  They provide
+structural variety (shared events, voting gates, deeper nesting) for the
+integration tests and the baseline-comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.exceptions import FaultTreeError
+from repro.fta.builder import FaultTreeBuilder
+from repro.fta.tree import FaultTree
+
+__all__ = [
+    "fire_protection_system",
+    "pressure_tank",
+    "redundant_power_supply",
+    "three_motor_system",
+    "chemical_reactor_protection",
+    "railway_level_crossing",
+    "scada_water_treatment",
+    "data_center_power",
+    "aircraft_hydraulic_system",
+    "emergency_shutdown_system",
+    "NAMED_TREES",
+    "get_tree",
+]
+
+
+def fire_protection_system() -> FaultTree:
+    """The paper's Fig. 1 example: a cyber-physical Fire Protection System.
+
+    Structure (Section I.A):
+
+    * the FPS fails if the detection system fails **or** the suppression
+      mechanism fails;
+    * detection fails if both sensors fail (``x1`` and ``x2``);
+    * suppression fails if there is no water (``x3``), the nozzles are blocked
+      (``x4``), or the triggering system fails;
+    * triggering fails if both the automatic mode (``x5``) and the remote
+      operation fail;
+    * remote operation fails if the communication channel fails (``x6``) or is
+      taken down by a cyber attack (``x7``).
+
+    Probabilities are those of Table I; the structure function is
+    ``f(t) = (x1 ∧ x2) ∨ (x3 ∨ x4 ∨ (x5 ∧ (x6 ∨ x7)))`` and the MPMCS is
+    ``{x1, x2}`` with joint probability 0.02.
+    """
+    return (
+        FaultTreeBuilder("fire-protection-system")
+        .basic_event("x1", 0.2, description="Sensor 1 fails")
+        .basic_event("x2", 0.1, description="Sensor 2 fails")
+        .basic_event("x3", 0.001, description="No water available")
+        .basic_event("x4", 0.002, description="Sprinkler nozzles blocked")
+        .basic_event("x5", 0.05, description="Automatic trigger fails")
+        .basic_event("x6", 0.1, description="Communication channel fails")
+        .basic_event("x7", 0.05, description="Channel unavailable due to DDoS attack")
+        .and_gate("detection_failure", ["x1", "x2"], description="Fire detection system fails")
+        .or_gate("remote_failure", ["x6", "x7"], description="Remote operation fails")
+        .and_gate("trigger_failure", ["x5", "remote_failure"], description="Triggering fails")
+        .or_gate(
+            "suppression_failure",
+            ["x3", "x4", "trigger_failure"],
+            description="Fire suppression mechanism fails",
+        )
+        .or_gate(
+            "fps_failure",
+            ["detection_failure", "suppression_failure"],
+            description="Fire protection system fails (top event)",
+        )
+        .top("fps_failure")
+        .build()
+    )
+
+
+def pressure_tank() -> FaultTree:
+    """A classical pressure-tank rupture fault tree (Fault Tree Handbook style).
+
+    The tank ruptures if the tank itself fails or if it is over-pressurised;
+    over-pressure requires the relief valve to fail together with a failure of
+    the pressure switch circuit (switch stuck, contacts welded, or operator
+    missing the gauge reading and failing to shut the pump down).
+    """
+    return (
+        FaultTreeBuilder("pressure-tank")
+        .basic_event("tank_failure", 1e-6, description="Tank rupture under normal load")
+        .basic_event("relief_valve_fails", 1e-3, description="Primary relief valve fails")
+        .basic_event("pressure_switch_stuck", 5e-3, description="Pressure switch stuck closed")
+        .basic_event("contacts_welded", 2e-3, description="Relay contacts welded")
+        .basic_event("operator_misses_gauge", 0.05, description="Operator ignores gauge")
+        .basic_event("pump_shutdown_fails", 0.01, description="Manual pump shutdown fails")
+        .or_gate("switch_circuit_fails", ["pressure_switch_stuck", "contacts_welded"])
+        .and_gate("operator_fails", ["operator_misses_gauge", "pump_shutdown_fails"])
+        .or_gate("monitoring_fails", ["switch_circuit_fails", "operator_fails"])
+        .and_gate("overpressure", ["relief_valve_fails", "monitoring_fails"])
+        .or_gate("tank_rupture", ["tank_failure", "overpressure"])
+        .top("tank_rupture")
+        .build()
+    )
+
+
+def redundant_power_supply() -> FaultTree:
+    """A redundant power supply with a 2-of-3 voting gate over the feeders.
+
+    The system loses power when at least two of its three feeders fail or when
+    the common bus bar fails; each feeder fails if its transformer fails or its
+    breaker opens spuriously.  Exercises voting gates (the paper's future-work
+    extension) together with shared basic events.
+    """
+    builder = FaultTreeBuilder("redundant-power-supply")
+    builder.basic_event("busbar_failure", 1e-5, description="Common bus bar fails")
+    for index in (1, 2, 3):
+        builder.basic_event(f"transformer_{index}", 0.002, description=f"Transformer {index} fails")
+        builder.basic_event(f"breaker_{index}", 0.004, description=f"Breaker {index} opens spuriously")
+        builder.or_gate(f"feeder_{index}_fails", [f"transformer_{index}", f"breaker_{index}"])
+    builder.voting_gate(
+        "feeders_majority_lost",
+        2,
+        ["feeder_1_fails", "feeder_2_fails", "feeder_3_fails"],
+        description="At least two of three feeders lost",
+    )
+    builder.or_gate("power_lost", ["busbar_failure", "feeders_majority_lost"])
+    builder.top("power_lost")
+    return builder.build()
+
+
+def three_motor_system() -> FaultTree:
+    """A three-motor control system with shared control and power events.
+
+    The classic example where the same basic events (control circuit failure,
+    power supply failure) feed several intermediate gates, producing a DAG
+    rather than a strict tree — important for exercising shared sub-formulas in
+    the Tseitin encoding and in the BDD baseline.
+    """
+    return (
+        FaultTreeBuilder("three-motor-system")
+        .basic_event("control_circuit", 0.01, description="Shared control circuit fails")
+        .basic_event("power_supply", 0.005, description="Shared power supply fails")
+        .basic_event("motor_1", 0.02, description="Motor 1 mechanical failure")
+        .basic_event("motor_2", 0.02, description="Motor 2 mechanical failure")
+        .basic_event("motor_3", 0.02, description="Motor 3 mechanical failure")
+        .or_gate("motor_1_down", ["motor_1", "control_circuit", "power_supply"])
+        .or_gate("motor_2_down", ["motor_2", "control_circuit", "power_supply"])
+        .or_gate("motor_3_down", ["motor_3", "control_circuit", "power_supply"])
+        .and_gate("all_motors_down", ["motor_1_down", "motor_2_down", "motor_3_down"])
+        .top("all_motors_down")
+        .build()
+    )
+
+
+def chemical_reactor_protection() -> FaultTree:
+    """Runaway reaction in a chemical batch reactor (protection-layer style model).
+
+    The reactor overheats when the cooling function is lost *and* the two
+    protection layers (automatic shutdown and operator response) both fail.
+    Cooling is lost through pump, valve or heat-exchanger failures; the
+    automatic layer shares its temperature sensors with the alarm that the
+    operator relies on, giving the model the shared-event structure typical of
+    layer-of-protection analyses.
+    """
+    return (
+        FaultTreeBuilder("chemical-reactor-protection")
+        .basic_event("cooling_pump_fails", 5e-3, description="Cooling water pump fails")
+        .basic_event("cooling_valve_stuck", 2e-3, description="Cooling valve stuck closed")
+        .basic_event("heat_exchanger_fouled", 1e-3, description="Heat exchanger fouled")
+        .basic_event("temp_sensor_1_fails", 0.01, description="Temperature sensor 1 fails")
+        .basic_event("temp_sensor_2_fails", 0.01, description="Temperature sensor 2 fails")
+        .basic_event("shutdown_logic_fails", 1e-3, description="Shutdown logic solver fails")
+        .basic_event("shutdown_valve_fails", 2e-3, description="Shutdown dump valve fails")
+        .basic_event("operator_ignores_alarm", 0.1, description="Operator ignores the alarm")
+        .basic_event("alarm_annunciator_fails", 5e-3, description="Alarm annunciator fails")
+        .or_gate(
+            "cooling_lost",
+            ["cooling_pump_fails", "cooling_valve_stuck", "heat_exchanger_fouled"],
+            description="Loss of reactor cooling",
+        )
+        .and_gate(
+            "sensors_blind",
+            ["temp_sensor_1_fails", "temp_sensor_2_fails"],
+            description="Both temperature sensors fail",
+        )
+        .or_gate(
+            "auto_shutdown_fails",
+            ["sensors_blind", "shutdown_logic_fails", "shutdown_valve_fails"],
+            description="Automatic shutdown layer fails",
+        )
+        .or_gate(
+            "operator_layer_fails",
+            ["sensors_blind", "alarm_annunciator_fails", "operator_ignores_alarm"],
+            description="Operator response layer fails",
+        )
+        .and_gate(
+            "protection_fails",
+            ["auto_shutdown_fails", "operator_layer_fails"],
+            description="Both protection layers fail",
+        )
+        .and_gate(
+            "runaway_reaction",
+            ["cooling_lost", "protection_fails"],
+            description="Runaway reaction (top event)",
+        )
+        .top("runaway_reaction")
+        .build()
+    )
+
+
+def railway_level_crossing() -> FaultTree:
+    """Hazardous state of a railway level crossing (train passes with barriers up).
+
+    The hazard requires the train detection *or* the barrier function to fail
+    while the warning signals towards road users also fail.  Detection is
+    2-of-3 redundant axle counters; the barrier fails through its motor, its
+    controller or loss of power — the power supply being shared with the
+    warning lights.
+    """
+    builder = FaultTreeBuilder("railway-level-crossing")
+    builder.basic_event("power_supply_fails", 1e-3, description="Local power supply fails")
+    for index in (1, 2, 3):
+        builder.basic_event(
+            f"axle_counter_{index}_fails", 5e-3, description=f"Axle counter {index} fails"
+        )
+    builder.basic_event("interlocking_fault", 1e-4, description="Interlocking logic fault")
+    builder.basic_event("barrier_motor_fails", 2e-3, description="Barrier motor fails")
+    builder.basic_event("barrier_controller_fails", 1e-3, description="Barrier controller fails")
+    builder.basic_event("warning_lights_fail", 3e-3, description="Road warning lights fail")
+    builder.basic_event("bell_fails", 8e-3, description="Warning bell fails")
+    builder.voting_gate(
+        "detection_fails",
+        2,
+        ["axle_counter_1_fails", "axle_counter_2_fails", "axle_counter_3_fails"],
+        description="Train detection lost (2-of-3 axle counters)",
+    )
+    builder.or_gate(
+        "barrier_fails",
+        ["barrier_motor_fails", "barrier_controller_fails", "power_supply_fails"],
+        description="Barriers stay open",
+    )
+    builder.or_gate(
+        "crossing_protection_fails",
+        ["detection_fails", "interlocking_fault", "barrier_fails"],
+        description="Crossing protection function fails",
+    )
+    builder.and_gate(
+        "road_warning_fails",
+        ["warning_lights_fail", "bell_fails"],
+        description="All road-user warnings fail",
+    )
+    builder.or_gate(
+        "lights_or_power",
+        ["road_warning_fails", "power_supply_fails"],
+        description="Road warning unavailable",
+    )
+    builder.and_gate(
+        "crossing_hazard",
+        ["crossing_protection_fails", "lights_or_power"],
+        description="Train passes an unprotected crossing (top event)",
+    )
+    builder.top("crossing_hazard")
+    return builder.build()
+
+
+def scada_water_treatment() -> FaultTree:
+    """Loss of safe dosing in a SCADA-controlled water treatment plant.
+
+    A cyber-physical model in the spirit of the paper's motivation: the dosing
+    function is lost when the physical dosing line fails or when the control
+    loop is compromised, the latter combining sensor failures with cyber
+    events (PLC compromise, HMI spoofing, denial of service on the control
+    network).
+    """
+    return (
+        FaultTreeBuilder("scada-water-treatment")
+        .basic_event("dosing_pump_fails", 3e-3, description="Chemical dosing pump fails")
+        .basic_event("dosing_valve_blocked", 1e-3, description="Dosing valve blocked")
+        .basic_event("chlorine_sensor_drifts", 0.02, description="Chlorine sensor drifts")
+        .basic_event("turbidity_sensor_fails", 0.01, description="Turbidity sensor fails")
+        .basic_event("plc_compromised", 5e-4, description="PLC firmware compromised")
+        .basic_event("hmi_spoofed", 1e-3, description="HMI display spoofed")
+        .basic_event("network_dos", 4e-3, description="DoS on the control network")
+        .basic_event("operator_overrides", 0.05, description="Operator forces manual override")
+        .or_gate(
+            "dosing_line_fails",
+            ["dosing_pump_fails", "dosing_valve_blocked"],
+            description="Physical dosing line fails",
+        )
+        .and_gate(
+            "measurements_lost",
+            ["chlorine_sensor_drifts", "turbidity_sensor_fails"],
+            description="Both water-quality measurements lost",
+        )
+        .or_gate(
+            "control_compromised",
+            ["plc_compromised", "hmi_spoofed", "network_dos"],
+            description="Control/monitoring channel compromised",
+        )
+        .and_gate(
+            "bad_setpoint_applied",
+            ["control_compromised", "operator_overrides"],
+            description="Wrong setpoint applied without detection",
+        )
+        .or_gate(
+            "control_loop_fails",
+            ["measurements_lost", "bad_setpoint_applied"],
+            description="Dosing control loop fails",
+        )
+        .or_gate(
+            "unsafe_dosing",
+            ["dosing_line_fails", "control_loop_fails"],
+            description="Loss of safe dosing (top event)",
+        )
+        .top("unsafe_dosing")
+        .build()
+    )
+
+
+def data_center_power() -> FaultTree:
+    """Loss of power to a dual-fed data-centre rack.
+
+    Each feed combines utility power, a UPS and a distribution path; the
+    diesel generator backs up both feeds (a shared event), and the automatic
+    transfer switch is a common element of both paths — the kind of structure
+    where the MPMCS is not obvious by inspection.
+    """
+    builder = FaultTreeBuilder("data-center-power")
+    builder.basic_event("utility_outage", 0.02, description="Utility power outage")
+    builder.basic_event("generator_fails_to_start", 0.01, description="Diesel generator fails")
+    builder.basic_event("transfer_switch_fails", 2e-3, description="Automatic transfer switch fails")
+    for feed in ("a", "b"):
+        builder.basic_event(f"ups_{feed}_fails", 5e-3, description=f"UPS {feed.upper()} fails")
+        builder.basic_event(f"pdu_{feed}_fails", 1e-3, description=f"PDU {feed.upper()} fails")
+    # The upstream loss is genuinely shared; model it once and reference it twice.
+    builder.and_gate(
+        "upstream_power_lost",
+        ["utility_outage", "generator_fails_to_start"],
+        description="Utility and backup generator both unavailable",
+    )
+    builder.or_gate(
+        "feed_a_fails",
+        ["upstream_power_lost", "transfer_switch_fails", "ups_a_fails", "pdu_a_fails"],
+        description="Feed A fails",
+    )
+    builder.or_gate(
+        "feed_b_fails",
+        ["upstream_power_lost", "transfer_switch_fails", "ups_b_fails", "pdu_b_fails"],
+        description="Feed B fails",
+    )
+    builder.and_gate(
+        "rack_power_lost",
+        ["feed_a_fails", "feed_b_fails"],
+        description="Both feeds lost (top event)",
+    )
+    builder.top("rack_power_lost")
+    return builder.build()
+
+
+def aircraft_hydraulic_system() -> FaultTree:
+    """Loss of hydraulic power for the flight controls of a twin-engine aircraft.
+
+    Three hydraulic circuits (two engine-driven, one electric standby) feed
+    the flight-control actuators; control is lost only when all three circuits
+    are lost.  Engine failures are shared between the pump failures and the
+    electrical system (generator loss), producing a deep DAG with shared
+    events across sub-systems.
+    """
+    builder = FaultTreeBuilder("aircraft-hydraulic-system")
+    builder.basic_event("engine_1_fails", 1e-4, description="Engine 1 in-flight shutdown")
+    builder.basic_event("engine_2_fails", 1e-4, description="Engine 2 in-flight shutdown")
+    builder.basic_event("edp_1_fails", 5e-4, description="Engine-driven pump 1 fails")
+    builder.basic_event("edp_2_fails", 5e-4, description="Engine-driven pump 2 fails")
+    builder.basic_event("elec_pump_fails", 1e-3, description="Electric standby pump fails")
+    builder.basic_event("battery_depleted", 2e-3, description="Battery bus depleted")
+    builder.basic_event("fluid_leak_1", 3e-4, description="Circuit 1 fluid leak")
+    builder.basic_event("fluid_leak_2", 3e-4, description="Circuit 2 fluid leak")
+    builder.basic_event("fluid_leak_3", 3e-4, description="Standby circuit fluid leak")
+    builder.or_gate("circuit_1_lost", ["engine_1_fails", "edp_1_fails", "fluid_leak_1"])
+    builder.or_gate("circuit_2_lost", ["engine_2_fails", "edp_2_fails", "fluid_leak_2"])
+    builder.and_gate(
+        "generators_lost",
+        ["engine_1_fails", "engine_2_fails"],
+        description="Both engine generators lost",
+    )
+    builder.and_gate(
+        "electrical_power_lost",
+        ["generators_lost", "battery_depleted"],
+        description="No electrical power for the standby pump",
+    )
+    builder.or_gate(
+        "circuit_3_lost",
+        ["elec_pump_fails", "electrical_power_lost", "fluid_leak_3"],
+        description="Standby circuit lost",
+    )
+    builder.and_gate(
+        "flight_controls_lost",
+        ["circuit_1_lost", "circuit_2_lost", "circuit_3_lost"],
+        description="All hydraulic circuits lost (top event)",
+    )
+    builder.top("flight_controls_lost")
+    return builder.build()
+
+
+def emergency_shutdown_system() -> FaultTree:
+    """Failure on demand of a 2-of-4 emergency shutdown (ESD) instrumented system.
+
+    Four pressure transmitters vote 2-of-4 into a redundant logic solver pair;
+    the final elements are two shutdown valves in series (either closes the
+    line).  Common-cause miscalibration of the transmitters is modelled as an
+    explicit shared event, which typically ends up being the MPMCS.
+    """
+    builder = FaultTreeBuilder("emergency-shutdown-system")
+    builder.basic_event(
+        "transmitters_miscalibrated", 5e-4, description="Common-cause transmitter miscalibration"
+    )
+    for index in (1, 2, 3, 4):
+        builder.basic_event(
+            f"pt_{index}_fails", 0.01, description=f"Pressure transmitter {index} fails"
+        )
+    builder.basic_event("logic_a_fails", 1e-3, description="Logic solver A fails")
+    builder.basic_event("logic_b_fails", 1e-3, description="Logic solver B fails")
+    builder.basic_event("valve_1_stuck", 2e-3, description="Shutdown valve 1 stuck open")
+    builder.basic_event("valve_2_stuck", 2e-3, description="Shutdown valve 2 stuck open")
+    builder.voting_gate(
+        "transmitters_fail_independently",
+        3,
+        ["pt_1_fails", "pt_2_fails", "pt_3_fails", "pt_4_fails"],
+        description="3-of-4 transmitters fail (defeats 2-of-4 voting)",
+    )
+    builder.or_gate(
+        "sensing_fails",
+        ["transmitters_miscalibrated", "transmitters_fail_independently"],
+        description="Demand not sensed",
+    )
+    builder.and_gate(
+        "logic_fails",
+        ["logic_a_fails", "logic_b_fails"],
+        description="Both logic solvers fail",
+    )
+    builder.and_gate(
+        "final_elements_fail",
+        ["valve_1_stuck", "valve_2_stuck"],
+        description="Both shutdown valves fail to close",
+    )
+    builder.or_gate(
+        "esd_fails_on_demand",
+        ["sensing_fails", "logic_fails", "final_elements_fail"],
+        description="ESD fails on demand (top event)",
+    )
+    builder.top("esd_fails_on_demand")
+    return builder.build()
+
+
+#: Registry of the canonical trees by short name (used by the CLI and benches).
+NAMED_TREES: Dict[str, Callable[[], FaultTree]] = {
+    "fps": fire_protection_system,
+    "fire-protection-system": fire_protection_system,
+    "pressure-tank": pressure_tank,
+    "redundant-power-supply": redundant_power_supply,
+    "three-motor-system": three_motor_system,
+    "chemical-reactor": chemical_reactor_protection,
+    "railway-crossing": railway_level_crossing,
+    "scada-water": scada_water_treatment,
+    "data-center-power": data_center_power,
+    "aircraft-hydraulics": aircraft_hydraulic_system,
+    "emergency-shutdown": emergency_shutdown_system,
+}
+
+
+def get_tree(name: str) -> FaultTree:
+    """Return a canonical tree by registry name."""
+    try:
+        factory = NAMED_TREES[name]
+    except KeyError as exc:
+        raise FaultTreeError(
+            f"unknown canonical tree {name!r}; available: {sorted(set(NAMED_TREES))}"
+        ) from exc
+    return factory()

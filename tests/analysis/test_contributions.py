@@ -1,0 +1,82 @@
+"""Unit tests for cut-set contribution / MPMCS dominance analysis."""
+
+import pytest
+
+from repro.analysis.contributions import (
+    cut_set_contributions,
+    cut_sets_covering,
+    mpmcs_dominance,
+)
+from repro.analysis.cutsets import CutSetCollection
+from repro.analysis.mocus import mocus_minimal_cut_sets
+from repro.exceptions import AnalysisError
+from repro.workloads.library import fire_protection_system
+
+
+def fps_collection():
+    return mocus_minimal_cut_sets(fire_protection_system())
+
+
+class TestContributions:
+    def test_ranked_by_probability(self):
+        contributions = cut_set_contributions(fps_collection())
+        probabilities = [c.probability for c in contributions]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert contributions[0].events == ("x1", "x2")
+        assert contributions[0].rank == 1
+
+    def test_fractions_sum_to_one(self):
+        contributions = cut_set_contributions(fps_collection())
+        assert sum(c.fraction for c in contributions) == pytest.approx(1.0)
+        assert contributions[-1].cumulative_fraction == pytest.approx(1.0)
+
+    def test_cumulative_is_monotone(self):
+        contributions = cut_set_contributions(fps_collection())
+        cumulative = [c.cumulative_fraction for c in contributions]
+        assert cumulative == sorted(cumulative)
+
+    def test_fps_values(self):
+        # Total rare-event probability: 0.02 + 0.005 + 0.0025 + 0.002 + 0.001.
+        contributions = cut_set_contributions(fps_collection())
+        total = 0.02 + 0.005 + 0.0025 + 0.002 + 0.001
+        assert contributions[0].fraction == pytest.approx(0.02 / total)
+        assert contributions[0].size == 2
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(AnalysisError):
+            cut_set_contributions(CutSetCollection(cut_sets=[], probabilities={}))
+
+
+class TestCovering:
+    def test_mpmcs_alone_covers_its_fraction(self):
+        collection = fps_collection()
+        dominance = mpmcs_dominance(collection)
+        assert cut_sets_covering(collection, dominance) == 1
+
+    def test_full_coverage_needs_all_cut_sets(self):
+        collection = fps_collection()
+        assert cut_sets_covering(collection, 1.0) == len(collection)
+
+    def test_half_coverage(self):
+        collection = fps_collection()
+        # The MPMCS contributes ~65.6% of the total, so 50% needs only it.
+        assert cut_sets_covering(collection, 0.5) == 1
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            cut_sets_covering(fps_collection(), 0.0)
+        with pytest.raises(AnalysisError):
+            cut_sets_covering(fps_collection(), 1.5)
+
+
+class TestDominance:
+    def test_fps_dominance(self):
+        dominance = mpmcs_dominance(fps_collection())
+        total = 0.02 + 0.005 + 0.0025 + 0.002 + 0.001
+        assert dominance == pytest.approx(0.02 / total)
+
+    def test_single_cut_set_dominance_is_one(self):
+        collection = CutSetCollection(
+            cut_sets=[frozenset({"a"})], probabilities={"a": 0.3}
+        )
+        assert mpmcs_dominance(collection) == pytest.approx(1.0)

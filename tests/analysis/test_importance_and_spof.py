@@ -1,0 +1,93 @@
+"""Unit tests for importance measures and single-point-of-failure detection."""
+
+import pytest
+
+from repro.analysis.bruteforce import brute_force_minimal_cut_sets
+from repro.analysis.importance import importance_measures
+from repro.analysis.spof import single_points_of_failure
+from repro.exceptions import AnalysisError
+from repro.fta.builder import FaultTreeBuilder
+
+
+class TestSPOF:
+    def test_fps_spofs_are_x3_and_x4(self, fps_tree):
+        spofs = single_points_of_failure(fps_tree)
+        assert [name for name, _ in spofs] == ["x4", "x3"]  # sorted by probability
+        assert dict(spofs)["x3"] == 0.001
+
+    def test_tree_without_spof(self):
+        tree = (
+            FaultTreeBuilder("and")
+            .basic_event("a", 0.1)
+            .basic_event("b", 0.1)
+            .and_gate("top", ["a", "b"])
+            .top("top")
+            .build()
+        )
+        assert single_points_of_failure(tree) == []
+
+    def test_shared_tree_spofs(self, shared_events_tree):
+        spofs = dict(single_points_of_failure(shared_events_tree))
+        assert set(spofs) == {"control_circuit", "power_supply"}
+
+
+class TestImportance:
+    def fps_measures(self, fps_tree):
+        cut_sets = brute_force_minimal_cut_sets(fps_tree)
+        return importance_measures(fps_tree, cut_sets)
+
+    def test_every_event_reported(self, fps_tree):
+        measures = self.fps_measures(fps_tree)
+        assert set(measures) == {f"x{i}" for i in range(1, 8)}
+
+    def test_spof_has_highest_birnbaum(self, fps_tree):
+        measures = self.fps_measures(fps_tree)
+        # The single points of failure (x3, x4) have Birnbaum importance close
+        # to 1: the system state hinges directly on them.
+        assert measures["x3"].birnbaum > measures["x1"].birnbaum
+        assert measures["x4"].birnbaum > measures["x2"].birnbaum
+        assert measures["x3"].birnbaum == pytest.approx(1.0, abs=0.05)
+
+    def test_fussell_vesely_in_unit_interval(self, fps_tree):
+        for measure in self.fps_measures(fps_tree).values():
+            assert 0.0 <= measure.fussell_vesely <= 1.0
+
+    def test_raw_at_least_one(self, fps_tree):
+        for measure in self.fps_measures(fps_tree).values():
+            assert measure.risk_achievement_worth >= 1.0 - 1e-12
+
+    def test_rrw_at_least_one(self, fps_tree):
+        for measure in self.fps_measures(fps_tree).values():
+            assert measure.risk_reduction_worth >= 1.0 - 1e-12
+
+    def test_subset_of_events(self, fps_tree):
+        cut_sets = brute_force_minimal_cut_sets(fps_tree)
+        measures = importance_measures(fps_tree, cut_sets, events=["x1", "x5"])
+        assert set(measures) == {"x1", "x5"}
+
+    def test_unknown_event_rejected(self, fps_tree):
+        cut_sets = brute_force_minimal_cut_sets(fps_tree)
+        with pytest.raises(AnalysisError):
+            importance_measures(fps_tree, cut_sets, events=["ghost"])
+
+    def test_event_absent_from_cut_sets_has_zero_fv(self):
+        tree = (
+            FaultTreeBuilder("mixed")
+            .basic_event("a", 0.2)
+            .basic_event("b", 0.1)
+            .basic_event("c", 0.3)
+            .and_gate("g", ["a", "b"])
+            .or_gate("top", ["g", "c"])
+            .top("top")
+            .build()
+        )
+        cut_sets = brute_force_minimal_cut_sets(tree)
+        measures = importance_measures(tree, cut_sets)
+        # every event is in some cut set here; c (a SPOF) dominates
+        assert measures["c"].fussell_vesely > measures["a"].fussell_vesely
+
+    def test_criticality_scales_birnbaum_by_probability(self, fps_tree):
+        measures = self.fps_measures(fps_tree)
+        for measure in measures.values():
+            assert measure.criticality <= measure.birnbaum / 1e-12 or measure.criticality >= 0.0
+            assert measure.criticality >= 0.0

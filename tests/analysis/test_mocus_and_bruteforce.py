@@ -1,0 +1,102 @@
+"""Unit and property tests for the MOCUS and brute-force MCS enumerators."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.bruteforce import brute_force_minimal_cut_sets, brute_force_mpmcs
+from repro.analysis.mocus import mocus_minimal_cut_sets, mocus_mpmcs
+from repro.exceptions import AnalysisError
+from repro.fta.builder import FaultTreeBuilder
+
+from tests.conftest import small_random_trees
+
+
+class TestFPSCutSets:
+    """Ground truth for the paper's example tree: exactly five minimal cut sets."""
+
+    EXPECTED = {("x3",), ("x4",), ("x1", "x2"), ("x5", "x6"), ("x5", "x7")}
+
+    def test_brute_force(self, fps_tree):
+        collection = brute_force_minimal_cut_sets(fps_tree)
+        assert set(collection.to_sorted_tuples()) == self.EXPECTED
+
+    def test_mocus(self, fps_tree):
+        collection = mocus_minimal_cut_sets(fps_tree)
+        assert set(collection.to_sorted_tuples()) == self.EXPECTED
+
+    def test_mpmcs_from_both(self, fps_tree):
+        assert brute_force_mpmcs(fps_tree) == (("x1", "x2"), pytest.approx(0.02))
+        assert mocus_mpmcs(fps_tree) == (("x1", "x2"), pytest.approx(0.02))
+
+
+class TestVotingGates:
+    def test_mocus_expands_voting_gates(self, voting_tree):
+        collection = mocus_minimal_cut_sets(voting_tree)
+        reference = brute_force_minimal_cut_sets(voting_tree)
+        assert collection.to_sorted_tuples() == reference.to_sorted_tuples()
+        # 2-of-3 over OR-pairs: 3 feeder pairs x 2 components each = 12 pairs + busbar
+        assert len(collection) == 13
+
+    def test_explicit_voting_example(self):
+        tree = (
+            FaultTreeBuilder("vote")
+            .basic_event("a", 0.1)
+            .basic_event("b", 0.2)
+            .basic_event("c", 0.3)
+            .voting_gate("top", 2, ["a", "b", "c"])
+            .top("top")
+            .build()
+        )
+        collection = mocus_minimal_cut_sets(tree)
+        assert set(collection.to_sorted_tuples()) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+
+class TestSharedEvents:
+    def test_shared_event_cut_sets(self, shared_events_tree):
+        collection = mocus_minimal_cut_sets(shared_events_tree)
+        expected = {
+            ("control_circuit",),
+            ("power_supply",),
+            ("motor_1", "motor_2", "motor_3"),
+        }
+        assert set(collection.to_sorted_tuples()) == expected
+
+
+class TestLimitsAndErrors:
+    def test_brute_force_event_limit(self):
+        builder = FaultTreeBuilder("big")
+        names = []
+        for index in range(25):
+            name = f"e{index}"
+            builder.basic_event(name, 0.1)
+            names.append(name)
+        tree = builder.or_gate("top", names).top("top").build()
+        with pytest.raises(AnalysisError, match="limit"):
+            brute_force_minimal_cut_sets(tree, max_events=20)
+
+    def test_mocus_candidate_limit(self, fps_tree):
+        with pytest.raises(AnalysisError, match="candidate limit"):
+            mocus_minimal_cut_sets(fps_tree, max_candidates=2)
+
+    def test_mpmcs_of_tree_without_cut_sets_is_impossible(self):
+        # Every coherent tree with >= 1 event has at least one cut set (all
+        # events), so mocus_mpmcs always succeeds on valid trees.
+        tree = (
+            FaultTreeBuilder("t").basic_event("a", 0.5).or_gate("top", ["a"]).top("top").build()
+        )
+        assert mocus_mpmcs(tree)[0] == ("a",)
+
+
+class TestAgreementProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=10))
+    def test_mocus_equals_brute_force(self, tree):
+        mocus = mocus_minimal_cut_sets(tree)
+        brute = brute_force_minimal_cut_sets(tree)
+        assert mocus.to_sorted_tuples() == brute.to_sorted_tuples()
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=9))
+    def test_every_enumerated_set_is_minimal(self, tree):
+        for cut_set in mocus_minimal_cut_sets(tree):
+            assert tree.is_minimal_cut_set(cut_set)

@@ -1,0 +1,90 @@
+"""Unit tests for independent-module detection."""
+
+import pytest
+
+from repro.analysis.modules import find_modules, modularisation_report
+from repro.exceptions import FaultTreeError
+from repro.fta.builder import FaultTreeBuilder
+from repro.fta.tree import FaultTree
+from repro.workloads.library import fire_protection_system, three_motor_system
+
+
+class TestFindModules:
+    def test_pure_tree_every_gate_is_a_module(self):
+        # The FPS example is a strict tree (no shared nodes), so every gate
+        # roots a module.
+        tree = fire_protection_system()
+        modules = find_modules(tree)
+        assert {module.gate for module in modules} == set(tree.gate_names)
+
+    def test_top_gate_is_always_a_module(self):
+        tree = fire_protection_system()
+        modules = find_modules(tree)
+        assert modules[0].gate == tree.top_event
+        assert modules[0].size == tree.num_nodes
+
+    def test_include_top_false_drops_the_top_gate(self):
+        tree = fire_protection_system()
+        modules = find_modules(tree, include_top=False)
+        assert tree.top_event not in {module.gate for module in modules}
+
+    def test_shared_events_break_modularity(self):
+        # In the three-motor system, control_circuit and power_supply feed all
+        # three motor gates, so none of the motor gates is a module.
+        tree = three_motor_system()
+        modules = find_modules(tree)
+        gates = {module.gate for module in modules}
+        assert gates == {"all_motors_down"}
+
+    def test_partial_sharing(self):
+        tree = (
+            FaultTreeBuilder("partial")
+            .basic_event("a", 0.1)
+            .basic_event("b", 0.1)
+            .basic_event("c", 0.1)
+            .basic_event("shared", 0.1)
+            .and_gate("g1", ["a", "shared"])
+            .and_gate("g2", ["b", "shared"])
+            .or_gate("g3", ["c"])
+            .or_gate("top", ["g1", "g2", "g3"])
+            .top("top")
+            .build()
+        )
+        modules = {module.gate for module in find_modules(tree)}
+        # g1 and g2 share the event "shared", so neither is a module; g3 is.
+        assert "g1" not in modules
+        assert "g2" not in modules
+        assert "g3" in modules
+        assert "top" in modules
+
+    def test_module_contents(self):
+        tree = fire_protection_system()
+        by_gate = {module.gate: module for module in find_modules(tree)}
+        detection = by_gate["detection_failure"]
+        assert detection.events == frozenset({"x1", "x2"})
+        assert detection.gates == frozenset({"detection_failure"})
+        assert detection.size == 3
+
+    def test_invalid_tree_is_rejected(self):
+        tree = FaultTree("broken")
+        tree.add_basic_event("a", 0.1)
+        with pytest.raises(FaultTreeError):
+            find_modules(tree)
+
+
+class TestModularisationReport:
+    def test_report_fields(self):
+        tree = fire_protection_system()
+        report = modularisation_report(tree)
+        assert report["tree"] == "fire-protection-system"
+        assert report["num_gates"] == 5
+        assert report["num_modules"] == 5
+        assert report["num_proper_modules"] == 4
+        assert 0.0 < report["module_fraction"] <= 1.0
+        assert report["largest_proper_module"] == "suppression_failure"
+
+    def test_report_on_dag_tree(self):
+        report = modularisation_report(three_motor_system())
+        assert report["num_proper_modules"] == 0
+        assert report["largest_proper_module"] == ""
+        assert report["largest_proper_module_size"] == 0

@@ -1,0 +1,93 @@
+"""Unit tests for probability-truncated cut-set enumeration."""
+
+import pytest
+
+from repro.analysis.mocus import mocus_minimal_cut_sets
+from repro.analysis.truncation import truncated_cut_sets, truncated_top_event_probability
+from repro.exceptions import AnalysisError
+from repro.fta.builder import FaultTreeBuilder
+from repro.workloads.generator import GeneratorConfig, random_fault_tree
+from repro.workloads.library import fire_protection_system
+
+
+class TestTruncatedCutSets:
+    def test_low_cutoff_returns_all_cut_sets(self):
+        tree = fire_protection_system()
+        full = mocus_minimal_cut_sets(tree)
+        truncated = truncated_cut_sets(tree, 1e-12)
+        assert set(truncated.collection) == set(full)
+        assert truncated.num_retained == len(full)
+
+    def test_cutoff_filters_low_probability_sets(self):
+        tree = fire_protection_system()
+        # Full ranking: {x1,x2}=0.02 > {x5,x6}=0.005 > {x5,x7}=0.0025 >
+        # {x4}=0.002 > {x3}=0.001.
+        result = truncated_cut_sets(tree, 0.0024)
+        retained = {tuple(sorted(cs)) for cs in result.collection}
+        assert retained == {("x1", "x2"), ("x5", "x6"), ("x5", "x7")}
+        assert result.num_pruned > 0
+
+    def test_mpmcs_survives_any_cutoff_below_its_probability(self):
+        tree = fire_protection_system()
+        result = truncated_cut_sets(tree, 0.02)
+        events, probability = result.most_probable()
+        assert events == ("x1", "x2")
+        assert probability == pytest.approx(0.02)
+
+    def test_cutoff_above_everything_returns_empty(self):
+        tree = fire_protection_system()
+        result = truncated_cut_sets(tree, 0.5)
+        assert result.num_retained == 0
+
+    def test_agrees_with_mocus_after_filtering(self):
+        tree = random_fault_tree(GeneratorConfig(num_basic_events=30, seed=5))
+        cutoff = 1e-4
+        probabilities = tree.probabilities()
+        full = mocus_minimal_cut_sets(tree)
+        expected = {
+            cs
+            for cs in full
+            if _product(cs, probabilities) >= cutoff
+        }
+        result = truncated_cut_sets(tree, cutoff)
+        assert set(result.collection) == expected
+
+    def test_validation(self):
+        tree = fire_protection_system()
+        with pytest.raises(AnalysisError):
+            truncated_cut_sets(tree, 0.0)
+        with pytest.raises(AnalysisError):
+            truncated_cut_sets(tree, 1.5)
+
+    def test_candidate_limit(self):
+        tree = random_fault_tree(GeneratorConfig(num_basic_events=60, seed=3))
+        with pytest.raises(AnalysisError):
+            truncated_cut_sets(tree, 1e-30, max_candidates=5)
+
+
+class TestTruncatedTopEvent:
+    def test_lower_bound_property(self):
+        tree = fire_protection_system()
+        full = truncated_top_event_probability(tree, 1e-12)
+        truncated = truncated_top_event_probability(tree, 0.0024)
+        assert truncated["probability"] <= full["probability"]
+        assert truncated["num_retained"] < full["num_retained"]
+
+    def test_empty_retention_reports_zero(self):
+        tree = fire_protection_system()
+        report = truncated_top_event_probability(tree, 0.9)
+        assert report["probability"] == 0.0
+        assert report["num_retained"] == 0
+
+    def test_report_fields(self):
+        report = truncated_top_event_probability(fire_protection_system(), 1e-6)
+        assert report["tree"] == "fire-protection-system"
+        assert report["cutoff"] == 1e-6
+        assert report["method"] == "min-cut-upper-bound"
+
+
+def _product(cut_set, probabilities):
+    product = 1.0
+    for name in cut_set:
+        product *= probabilities[name]
+    return product

@@ -1,0 +1,102 @@
+"""Unit and property tests for BDD-based cut sets, probability and MPMCS."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.bruteforce import brute_force_minimal_cut_sets, brute_force_mpmcs
+from repro.bdd.cutsets import bdd_minimal_cut_sets
+from repro.bdd.manager import BDDManager
+from repro.bdd.ordering import variable_order
+from repro.bdd.probability import bdd_mpmcs, top_event_probability
+from repro.exceptions import AnalysisError, BDDError
+from repro.fta.builder import FaultTreeBuilder
+
+from tests.conftest import small_random_trees
+
+
+class TestOrdering:
+    def test_dfs_order_contains_all_events(self, fps_tree):
+        order = variable_order(fps_tree, heuristic="dfs")
+        assert set(order) == {f"x{i}" for i in range(1, 8)}
+
+    def test_frequency_order_puts_shared_events_first(self, shared_events_tree):
+        order = variable_order(shared_events_tree, heuristic="frequency")
+        assert order[0] in {"control_circuit", "power_supply"}
+
+    def test_alphabetical_order(self, fps_tree):
+        order = variable_order(fps_tree, heuristic="alphabetical")
+        assert list(order) == sorted(order)
+
+    def test_explicit_order_passthrough_and_validation(self, fps_tree):
+        explicit = tuple(sorted(fps_tree.event_names, reverse=True))
+        assert variable_order(fps_tree, explicit=explicit) == explicit
+        with pytest.raises(BDDError):
+            variable_order(fps_tree, explicit=("x1",))
+
+    def test_unknown_heuristic_rejected(self, fps_tree):
+        with pytest.raises(BDDError):
+            variable_order(fps_tree, heuristic="magic")
+
+
+class TestCutSets:
+    def test_fps_cut_sets(self, fps_tree):
+        collection = bdd_minimal_cut_sets(fps_tree)
+        assert set(collection.to_sorted_tuples()) == {
+            ("x3",),
+            ("x4",),
+            ("x1", "x2"),
+            ("x5", "x6"),
+            ("x5", "x7"),
+        }
+
+    def test_cut_set_limit(self, fps_tree):
+        with pytest.raises(AnalysisError):
+            bdd_minimal_cut_sets(fps_tree, max_cut_sets=2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=9))
+    def test_matches_brute_force(self, tree):
+        assert (
+            bdd_minimal_cut_sets(tree).to_sorted_tuples()
+            == brute_force_minimal_cut_sets(tree).to_sorted_tuples()
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=8))
+    def test_ordering_heuristic_does_not_change_cut_sets(self, tree):
+        dfs = bdd_minimal_cut_sets(tree, heuristic="dfs").to_sorted_tuples()
+        freq = bdd_minimal_cut_sets(tree, heuristic="frequency").to_sorted_tuples()
+        assert dfs == freq
+
+
+class TestProbabilityAndMPMCS:
+    def test_fps_top_event_probability(self, fps_tree):
+        # Exact value cross-checked against exhaustive enumeration elsewhere.
+        assert top_event_probability(fps_tree) == pytest.approx(0.0300217392, rel=1e-6)
+
+    def test_fps_bdd_mpmcs_matches_paper(self, fps_tree):
+        events, probability = bdd_mpmcs(fps_tree)
+        assert events == ("x1", "x2")
+        assert probability == pytest.approx(0.02)
+
+    def test_tree_with_single_cut_set(self):
+        tree = (
+            FaultTreeBuilder("and")
+            .basic_event("a", 0.5)
+            .basic_event("b", 0.25)
+            .and_gate("top", ["a", "b"])
+            .top("top")
+            .build()
+        )
+        events, probability = bdd_mpmcs(tree)
+        assert events == ("a", "b")
+        assert probability == pytest.approx(0.125)
+        assert top_event_probability(tree) == pytest.approx(0.125)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=10))
+    def test_bdd_mpmcs_matches_brute_force(self, tree):
+        _, expected_probability = brute_force_mpmcs(tree)
+        events, probability = bdd_mpmcs(tree)
+        assert probability == pytest.approx(expected_probability, rel=1e-9)
+        assert tree.is_minimal_cut_set(events)

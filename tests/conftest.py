@@ -1,0 +1,130 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.fta.tree import FaultTree
+from repro.logic.formula import And, AtLeast, Formula, Not, Or, Var
+from repro.workloads.generator import random_fault_tree
+from repro.workloads.library import (
+    fire_protection_system,
+    pressure_tank,
+    redundant_power_supply,
+    three_motor_system,
+)
+
+
+# --------------------------------------------------------------------------- fixtures
+
+
+@pytest.fixture
+def fps_tree() -> FaultTree:
+    """The paper's Fig. 1 fire-protection-system example."""
+    return fire_protection_system()
+
+
+@pytest.fixture
+def pressure_tank_tree() -> FaultTree:
+    return pressure_tank()
+
+
+@pytest.fixture
+def voting_tree() -> FaultTree:
+    """A tree containing a 2-of-3 voting gate."""
+    return redundant_power_supply()
+
+
+@pytest.fixture
+def shared_events_tree() -> FaultTree:
+    """A DAG-shaped tree with events shared between gates."""
+    return three_motor_system()
+
+
+@pytest.fixture(params=["fps", "pressure-tank", "voting", "shared"])
+def any_library_tree(request) -> FaultTree:
+    """Parametrised fixture cycling through every canonical tree."""
+    return {
+        "fps": fire_protection_system,
+        "pressure-tank": pressure_tank,
+        "voting": redundant_power_supply,
+        "shared": three_motor_system,
+    }[request.param]()
+
+
+# ------------------------------------------------------------------ hypothesis strategies
+
+
+def small_random_trees(
+    min_events: int = 4, max_events: int = 10, voting_ratio: float = 0.2
+) -> st.SearchStrategy[FaultTree]:
+    """Strategy producing small random fault trees (safe for brute force)."""
+    return st.builds(
+        lambda n, seed: random_fault_tree(
+            num_basic_events=n, seed=seed, voting_ratio=voting_ratio
+        ),
+        st.integers(min_value=min_events, max_value=max_events),
+        st.integers(min_value=0, max_value=10_000),
+    )
+
+
+def variable_names(max_vars: int = 5) -> st.SearchStrategy[str]:
+    return st.sampled_from([f"v{i}" for i in range(1, max_vars + 1)])
+
+
+def formulas(max_depth: int = 4, max_vars: int = 5) -> st.SearchStrategy[Formula]:
+    """Strategy producing random Boolean formulas over a small variable pool."""
+    leaves = st.builds(Var, variable_names(max_vars))
+
+    def extend(children: st.SearchStrategy[Formula]) -> st.SearchStrategy[Formula]:
+        operand_lists = st.lists(children, min_size=1, max_size=3)
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda ops: And(tuple(ops)), operand_lists),
+            st.builds(lambda ops: Or(tuple(ops)), operand_lists),
+            st.builds(
+                lambda ops, k: AtLeast(min(k, len(ops)), tuple(ops)),
+                st.lists(children, min_size=1, max_size=3),
+                st.integers(min_value=1, max_value=3),
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=2**max_depth)
+
+
+def cnf_clause_lists(
+    max_vars: int = 6, max_clauses: int = 12
+) -> st.SearchStrategy[List[List[int]]]:
+    """Strategy producing random CNF instances as lists of literal lists."""
+    literal = st.integers(min_value=1, max_value=max_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clause = st.lists(literal, min_size=1, max_size=4)
+    return st.lists(clause, min_size=1, max_size=max_clauses)
+
+
+# ----------------------------------------------------------------------------- helpers
+
+
+def all_assignments(names: List[str]) -> List[Dict[str, bool]]:
+    """Every total truth assignment over ``names`` (use only for small sets)."""
+    result = []
+    for bits in itertools.product([False, True], repeat=len(names)):
+        result.append(dict(zip(names, bits)))
+    return result
+
+
+def brute_force_cnf_satisfiable(clauses: List[List[int]]) -> bool:
+    """Tiny reference SAT check by exhaustive enumeration."""
+    variables = sorted({abs(lit) for clause in clauses for lit in clause})
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause) for clause in clauses
+        ):
+            return True
+    return False

@@ -1,0 +1,94 @@
+"""Unit tests for the log-space weight transformation (paper Steps 3 and 6)."""
+
+import math
+
+import pytest
+
+from repro.core.weights import (
+    MIN_WEIGHT,
+    log_weight,
+    log_weights,
+    probability_from_cost,
+    probability_of_cut_set,
+    weight_of_cut_set,
+)
+from repro.exceptions import ProbabilityError
+
+#: The exact probabilities and -log weights of Table I in the paper.
+TABLE_I = {
+    "x1": (0.2, 1.60944),
+    "x2": (0.1, 2.30259),
+    "x3": (0.001, 6.90776),
+    "x4": (0.002, 6.21461),
+    "x5": (0.05, 2.99573),
+    "x6": (0.1, 2.30259),
+    "x7": (0.05, 2.99573),
+}
+
+
+class TestLogWeight:
+    @pytest.mark.parametrize("event,entry", sorted(TABLE_I.items()))
+    def test_table_one_values(self, event, entry):
+        probability, expected_weight = entry
+        assert log_weight(probability) == pytest.approx(expected_weight, abs=5e-6)
+
+    def test_lower_probability_means_higher_weight(self):
+        assert log_weight(0.001) > log_weight(0.01) > log_weight(0.1)
+
+    def test_probability_one_clamped_to_min_weight(self):
+        assert log_weight(1.0) == MIN_WEIGHT
+
+    @pytest.mark.parametrize("probability", [0.0, -0.5, 1.0001, float("nan")])
+    def test_invalid_probabilities_rejected(self, probability):
+        with pytest.raises(ProbabilityError):
+            log_weight(probability)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ProbabilityError):
+            log_weight("0.5")  # type: ignore[arg-type]
+
+    def test_log_weights_mapping(self):
+        weights = log_weights({name: p for name, (p, _) in TABLE_I.items()})
+        assert set(weights) == set(TABLE_I)
+        assert weights["x3"] == pytest.approx(6.90776, abs=5e-6)
+
+
+class TestReverseTransformation:
+    def test_probability_from_cost_inverts_log(self):
+        assert probability_from_cost(log_weight(0.25)) == pytest.approx(0.25)
+
+    def test_fps_mpmcs_cost_round_trip(self):
+        """Step 6 on the paper's solution: exp(-(w1 + w2)) = 0.2 * 0.1 = 0.02."""
+        cost = log_weight(0.2) + log_weight(0.1)
+        assert probability_from_cost(cost) == pytest.approx(0.02)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ProbabilityError):
+            probability_from_cost(-1.0)
+
+    def test_zero_cost_is_certainty(self):
+        assert probability_from_cost(0.0) == 1.0
+
+
+class TestCutSetHelpers:
+    def test_probability_of_cut_set(self):
+        probabilities = {"a": 0.5, "b": 0.1}
+        assert probability_of_cut_set(["a", "b"], probabilities) == pytest.approx(0.05)
+        assert probability_of_cut_set([], probabilities) == 1.0
+
+    def test_probability_of_cut_set_unknown_event(self):
+        with pytest.raises(ProbabilityError):
+            probability_of_cut_set(["ghost"], {"a": 0.5})
+
+    def test_weight_of_cut_set_matches_sum_of_logs(self):
+        probabilities = {"a": 0.5, "b": 0.1}
+        expected = -math.log(0.5) - math.log(0.1)
+        assert weight_of_cut_set(["a", "b"], probabilities) == pytest.approx(expected)
+
+    def test_weight_and_probability_are_consistent(self):
+        probabilities = {"a": 0.3, "b": 0.07, "c": 0.9}
+        cut_set = ["a", "c"]
+        weight = weight_of_cut_set(cut_set, probabilities)
+        assert probability_from_cost(weight) == pytest.approx(
+            probability_of_cut_set(cut_set, probabilities)
+        )

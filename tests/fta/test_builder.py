@@ -1,0 +1,79 @@
+"""Unit tests for the fluent fault-tree builder."""
+
+import pytest
+
+from repro.exceptions import FaultTreeError
+from repro.fta.builder import FaultTreeBuilder
+from repro.fta.gates import GateType
+
+
+class TestBuilder:
+    def test_full_build(self):
+        tree = (
+            FaultTreeBuilder("demo")
+            .basic_event("a", 0.1)
+            .basic_event("b", 0.2)
+            .basic_event("c", 0.3)
+            .and_gate("g1", ["a", "b"])
+            .or_gate("top", ["g1", "c"])
+            .top("top")
+            .build()
+        )
+        assert tree.name == "demo"
+        assert tree.num_nodes == 5
+        assert tree.top_event == "top"
+
+    def test_voting_gate(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_event("a", 0.1)
+            .basic_event("b", 0.1)
+            .basic_event("c", 0.1)
+            .voting_gate("v", 2, ["a", "b", "c"])
+            .top("v")
+            .build()
+        )
+        assert tree.gates["v"].gate_type is GateType.VOTING
+        assert tree.gates["v"].k == 2
+
+    def test_top_before_children_declared(self):
+        # top-down construction: gate references children added later
+        tree = (
+            FaultTreeBuilder()
+            .or_gate("top", ["a", "b"])
+            .basic_event("a", 0.1)
+            .basic_event("b", 0.2)
+            .top("top")
+            .build()
+        )
+        assert tree.num_events == 2
+
+    def test_build_without_top_raises(self):
+        builder = FaultTreeBuilder().basic_event("a", 0.1)
+        with pytest.raises(FaultTreeError, match="top event"):
+            builder.build()
+
+    def test_build_validates_by_default(self):
+        builder = (
+            FaultTreeBuilder().basic_event("a", 0.1).or_gate("top", ["a", "ghost"]).top("top")
+        )
+        with pytest.raises(FaultTreeError):
+            builder.build()
+
+    def test_build_can_skip_validation(self):
+        builder = (
+            FaultTreeBuilder().basic_event("a", 0.1).or_gate("top", ["a", "ghost"]).top("top")
+        )
+        tree = builder.build(validate=False)
+        assert tree.num_gates == 1
+
+    def test_descriptions_are_stored(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_event("a", 0.1, description="sensor")
+            .or_gate("top", ["a"], description="system fails")
+            .top("top")
+            .build()
+        )
+        assert tree.events["a"].description == "sensor"
+        assert tree.gates["top"].description == "system fails"

@@ -1,0 +1,138 @@
+"""Unit tests for the beta-factor common cause failure transformation."""
+
+import pytest
+
+from repro.analysis.bruteforce import brute_force_mpmcs
+from repro.bdd.probability import top_event_probability
+from repro.core.pipeline import MPMCSSolver
+from repro.exceptions import FaultTreeError
+from repro.fta.builder import FaultTreeBuilder
+from repro.fta.ccf import CCFGroup, apply_beta_factor_model
+from repro.maxsat import RC2Engine
+
+
+def redundant_pump_tree():
+    """Two redundant pumps in AND: without CCF the system looks very safe."""
+    return (
+        FaultTreeBuilder("pumps")
+        .basic_event("pump_a", 0.01)
+        .basic_event("pump_b", 0.01)
+        .basic_event("valve", 1e-5)
+        .and_gate("both_pumps", ["pump_a", "pump_b"])
+        .or_gate("top", ["both_pumps", "valve"])
+        .top("top")
+        .build()
+    )
+
+
+class TestCCFGroupValidation:
+    def test_valid_group(self):
+        group = CCFGroup("pumps", ["pump_a", "pump_b"], 0.1)
+        assert group.beta == 0.1
+        assert group.members == ("pump_a", "pump_b")
+
+    def test_needs_two_members(self):
+        with pytest.raises(FaultTreeError):
+            CCFGroup("g", ["only"], 0.1)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(FaultTreeError):
+            CCFGroup("g", ["a", "a"], 0.1)
+
+    @pytest.mark.parametrize("beta", [0.0, 1.0, -0.1, 1.5])
+    def test_beta_range(self, beta):
+        with pytest.raises(FaultTreeError):
+            CCFGroup("g", ["a", "b"], beta)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FaultTreeError):
+            CCFGroup("", ["a", "b"], 0.1)
+
+
+class TestTransformation:
+    def test_structure_of_transformed_tree(self):
+        tree = redundant_pump_tree()
+        transformed = apply_beta_factor_model(tree, [CCFGroup("pumps", ["pump_a", "pump_b"], 0.1)])
+        transformed.validate()
+        assert "ccf__pumps" in transformed.events
+        assert "pump_a__indep" in transformed.events
+        assert "pump_a__with_ccf" in transformed.gates
+        assert transformed.probability("pump_a__indep") == pytest.approx(0.009)
+        assert transformed.probability("ccf__pumps") == pytest.approx(0.001)
+
+    def test_original_tree_is_untouched(self):
+        tree = redundant_pump_tree()
+        apply_beta_factor_model(tree, [CCFGroup("pumps", ["pump_a", "pump_b"], 0.1)])
+        assert set(tree.events) == {"pump_a", "pump_b", "valve"}
+
+    def test_no_groups_returns_copy(self):
+        tree = redundant_pump_tree()
+        copy = apply_beta_factor_model(tree, [])
+        assert set(copy.events) == set(tree.events)
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(FaultTreeError, match="unknown"):
+            apply_beta_factor_model(
+                redundant_pump_tree(), [CCFGroup("g", ["pump_a", "ghost"], 0.1)]
+            )
+
+    def test_overlapping_groups_rejected(self):
+        groups = [
+            CCFGroup("g1", ["pump_a", "pump_b"], 0.1),
+            CCFGroup("g2", ["pump_b", "valve"], 0.1),
+        ]
+        with pytest.raises(FaultTreeError, match="overlapping"):
+            apply_beta_factor_model(redundant_pump_tree(), groups)
+
+    def test_duplicate_group_names_rejected(self):
+        groups = [
+            CCFGroup("g", ["pump_a", "pump_b"], 0.1),
+            CCFGroup("g", ["valve", "pump_a"], 0.1),
+        ]
+        with pytest.raises(FaultTreeError, match="duplicate"):
+            apply_beta_factor_model(redundant_pump_tree(), groups)
+
+
+class TestAnalysisImpact:
+    def test_ccf_event_becomes_the_mpmcs(self):
+        """The classic CCF insight: with β = 10%, the single common-cause event
+        (p = 1e-3) dominates the independent double failure (p ≈ 8.1e-5)."""
+        tree = redundant_pump_tree()
+        without_ccf = MPMCSSolver(single_engine=RC2Engine()).solve(tree)
+        assert without_ccf.events == ("pump_a", "pump_b")
+
+        transformed = apply_beta_factor_model(tree, [CCFGroup("pumps", ["pump_a", "pump_b"], 0.1)])
+        with_ccf = MPMCSSolver(single_engine=RC2Engine()).solve(transformed)
+        assert with_ccf.events == ("ccf__pumps",)
+        assert with_ccf.probability == pytest.approx(0.001)
+        assert with_ccf.probability > without_ccf.probability
+
+    def test_top_event_probability_increases_with_ccf(self):
+        tree = redundant_pump_tree()
+        transformed = apply_beta_factor_model(tree, [CCFGroup("pumps", ["pump_a", "pump_b"], 0.1)])
+        assert top_event_probability(transformed) > top_event_probability(tree)
+
+    def test_maxsat_matches_brute_force_on_transformed_tree(self):
+        tree = redundant_pump_tree()
+        transformed = apply_beta_factor_model(tree, [CCFGroup("pumps", ["pump_a", "pump_b"], 0.2)])
+        expected_events, expected_probability = brute_force_mpmcs(transformed)
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(transformed)
+        assert result.events == expected_events
+        assert result.probability == pytest.approx(expected_probability)
+
+    def test_voting_architecture_with_ccf(self):
+        tree = (
+            FaultTreeBuilder("2oo3")
+            .basic_event("ch_a", 0.01)
+            .basic_event("ch_b", 0.01)
+            .basic_event("ch_c", 0.01)
+            .voting_gate("top", 2, ["ch_a", "ch_b", "ch_c"])
+            .top("top")
+            .build()
+        )
+        transformed = apply_beta_factor_model(
+            tree, [CCFGroup("channels", ["ch_a", "ch_b", "ch_c"], 0.05)]
+        )
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(transformed)
+        assert result.events == ("ccf__channels",)
+        assert result.probability == pytest.approx(0.05 * 0.01)

@@ -1,0 +1,188 @@
+"""Monte Carlo DFT simulation validated against analytic and CTMC results."""
+
+import math
+
+import pytest
+
+from repro.bdd.probability import top_event_probability
+from repro.exceptions import AnalysisError
+from repro.fta.dynamic import DynamicFaultTree
+from repro.fta.simulation import simulate_dft
+from repro.markov.chain import ContinuousTimeMarkovChain
+
+SAMPLES = 20_000
+
+
+def tolerance(result, extra=0.0):
+    """Five standard errors plus an optional analytic slack."""
+    return 5.0 * result.std_error + extra + 1e-3
+
+
+class TestStaticGatesViaSimulation:
+    def test_or_of_two_events(self):
+        dft = DynamicFaultTree("or2", top_event="top")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 2e-3)
+        dft.add_gate("top", "or", ["a", "b"])
+        t = 400.0
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=1)
+        expected = 1.0 - math.exp(-(1e-3 + 2e-3) * t)
+        assert result.unreliability == pytest.approx(expected, abs=tolerance(result))
+
+    def test_and_of_two_events(self):
+        dft = DynamicFaultTree("and2", top_event="top")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 2e-3)
+        dft.add_gate("top", "and", ["a", "b"])
+        t = 800.0
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=2)
+        expected = (1.0 - math.exp(-1e-3 * t)) * (1.0 - math.exp(-2e-3 * t))
+        assert result.unreliability == pytest.approx(expected, abs=tolerance(result))
+
+    def test_two_of_three_voting(self):
+        rate = 1e-3
+        dft = DynamicFaultTree("vot", top_event="top")
+        for name in ("a", "b", "c"):
+            dft.add_event(name, rate)
+        dft.add_gate("top", "voting", ["a", "b", "c"], k=2)
+        t = 700.0
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=3)
+        p = 1.0 - math.exp(-rate * t)
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert result.unreliability == pytest.approx(expected, abs=tolerance(result))
+
+
+class TestPriorityAnd:
+    def test_pand_matches_ctmc(self):
+        rate_a, rate_b = 1e-3, 1.5e-3
+        t = 900.0
+        dft = DynamicFaultTree("pand", top_event="g")
+        dft.add_event("a", rate_a)
+        dft.add_event("b", rate_b)
+        dft.add_dynamic_gate("g", "pand", ["a", "b"])
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=4)
+
+        chain = ContinuousTimeMarkovChain("none")
+        chain.add_transition("none", "a-first", rate_a)
+        chain.add_transition("none", "b-first", rate_b)
+        chain.add_transition("a-first", "failed", rate_b)   # correct order
+        chain.add_transition("b-first", "out-of-order", rate_a)
+        expected = chain.probability_in(["failed"], t)
+        assert result.unreliability == pytest.approx(expected, abs=tolerance(result))
+
+    def test_pand_is_below_plain_and(self):
+        dft = DynamicFaultTree("pand", top_event="g")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 1e-3)
+        dft.add_dynamic_gate("g", "pand", ["a", "b"])
+        t = 1200.0
+        simulated = simulate_dft(dft, t, num_samples=SAMPLES, seed=5)
+        static = dft.to_static_tree(t)
+        conservative = top_event_probability(static)
+        assert simulated.unreliability <= conservative + 1e-9
+
+
+class TestSpares:
+    def test_cold_spare_is_erlang_two(self):
+        rate = 1e-3
+        t = 1500.0
+        dft = DynamicFaultTree("cold", top_event="sp")
+        dft.add_event("primary", rate)
+        dft.add_event("backup", rate)
+        dft.add_dynamic_gate("sp", "spare", ["primary", "backup"], dormancy=0.0)
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=6)
+        expected = 1.0 - math.exp(-rate * t) * (1.0 + rate * t)
+        assert result.unreliability == pytest.approx(expected, abs=tolerance(result))
+
+    def test_hot_spare_equals_parallel_and(self):
+        rate_p, rate_s = 1e-3, 2e-3
+        t = 1000.0
+        dft = DynamicFaultTree("hot", top_event="sp")
+        dft.add_event("primary", rate_p)
+        dft.add_event("backup", rate_s)
+        dft.add_dynamic_gate("sp", "spare", ["primary", "backup"], dormancy=1.0)
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=7)
+        expected = (1.0 - math.exp(-rate_p * t)) * (1.0 - math.exp(-rate_s * t))
+        assert result.unreliability == pytest.approx(expected, abs=tolerance(result))
+
+    def test_warm_spare_between_cold_and_hot(self):
+        rate = 1e-3
+        t = 1500.0
+
+        def build(dormancy):
+            dft = DynamicFaultTree(f"warm-{dormancy}", top_event="sp")
+            dft.add_event("primary", rate)
+            dft.add_event("backup", rate)
+            dft.add_dynamic_gate("sp", "spare", ["primary", "backup"], dormancy=dormancy)
+            return simulate_dft(dft, t, num_samples=SAMPLES, seed=8).unreliability
+
+        cold, warm, hot = build(0.0), build(0.5), build(1.0)
+        assert cold <= warm + 0.01
+        assert warm <= hot + 0.01
+
+
+class TestFunctionalDependency:
+    def test_fdep_matches_static_probability(self):
+        # With only static gates downstream, the FDEP semantics coincide with
+        # the OR-rewiring of the static approximation, so the BDD value of the
+        # static tree is the exact answer.
+        dft = DynamicFaultTree("fdep", top_event="top")
+        dft.add_event("power", 1e-3)
+        dft.add_event("m1", 2e-3)
+        dft.add_event("m2", 3e-3)
+        dft.add_gate("top", "and", ["m1", "m2"])
+        dft.add_dynamic_gate("fd", "fdep", ["power", "m1", "m2"])
+        t = 300.0
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=9)
+        expected = top_event_probability(dft.to_static_tree(t))
+        assert result.unreliability == pytest.approx(expected, abs=tolerance(result))
+
+    def test_cascading_fdep(self):
+        # trigger -> a, and a -> b: when the trigger fails, both a and b fail.
+        dft = DynamicFaultTree("cascade", top_event="top")
+        dft.add_event("trigger", 1e-3)
+        dft.add_event("a", 1e-4)
+        dft.add_event("b", 1e-4)
+        dft.add_gate("top", "and", ["a", "b"])
+        dft.add_dynamic_gate("fd1", "fdep", ["trigger", "a"])
+        dft.add_dynamic_gate("fd2", "fdep", ["a", "b"])
+        t = 500.0
+        result = simulate_dft(dft, t, num_samples=SAMPLES, seed=10)
+        # The dominant scenario is the trigger failing (which takes a and b
+        # down with it), so the unreliability must be at least P(trigger).
+        assert result.unreliability >= (1.0 - math.exp(-1e-3 * t)) - tolerance(result)
+
+
+class TestResultAndValidation:
+    def test_result_fields_and_dict(self):
+        dft = DynamicFaultTree("or2", top_event="top")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 2e-3)
+        dft.add_gate("top", "or", ["a", "b"])
+        result = simulate_dft(dft, 100.0, num_samples=500, seed=11)
+        assert result.num_samples == 500
+        assert 0.0 <= result.unreliability <= 1.0
+        low, high = result.confidence_interval
+        assert low <= result.unreliability <= high
+        payload = result.to_dict()
+        assert payload["samples"] == 500
+        assert payload["tree"] == "or2"
+
+    def test_validation(self):
+        dft = DynamicFaultTree("or2", top_event="top")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 2e-3)
+        dft.add_gate("top", "or", ["a", "b"])
+        with pytest.raises(AnalysisError):
+            simulate_dft(dft, 0.0)
+        with pytest.raises(AnalysisError):
+            simulate_dft(dft, 100.0, num_samples=0)
+
+    def test_reproducible_from_seed(self):
+        dft = DynamicFaultTree("or2", top_event="top")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 2e-3)
+        dft.add_gate("top", "or", ["a", "b"])
+        first = simulate_dft(dft, 200.0, num_samples=2000, seed=42)
+        second = simulate_dft(dft, 200.0, num_samples=2000, seed=42)
+        assert first.unreliability == second.unreliability

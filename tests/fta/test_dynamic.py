@@ -1,0 +1,175 @@
+"""Unit tests for the dynamic fault tree model and its static approximation."""
+
+import math
+
+import pytest
+
+from repro.bdd.probability import top_event_probability
+from repro.core.pipeline import MPMCSSolver
+from repro.exceptions import FaultTreeError, ProbabilityError
+from repro.fta.dynamic import DynamicFaultTree, DynamicGate, DynamicGateType, RatedEvent
+from repro.maxsat.rc2 import RC2Engine
+
+
+class TestRatedEvent:
+    def test_probability_at(self):
+        event = RatedEvent("pump", 1e-3)
+        assert event.probability_at(0.0) == 0.0
+        assert event.probability_at(1000.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(ProbabilityError):
+            RatedEvent("", 1e-3)
+        with pytest.raises(ProbabilityError):
+            RatedEvent("pump", 0.0)
+        with pytest.raises(ProbabilityError):
+            RatedEvent("pump", float("inf"))
+        with pytest.raises(ProbabilityError):
+            RatedEvent("pump", 1e-3).probability_at(-1.0)
+
+
+class TestDynamicGate:
+    def test_from_string_aliases(self):
+        assert DynamicGateType.from_string("PAND") is DynamicGateType.PAND
+        assert DynamicGateType.from_string("csp") is DynamicGateType.SPARE
+        assert DynamicGateType.from_string("sequence") is DynamicGateType.SEQ
+        with pytest.raises(FaultTreeError):
+            DynamicGateType.from_string("magic")
+
+    def test_needs_two_children(self):
+        with pytest.raises(FaultTreeError):
+            DynamicGate("g", DynamicGateType.PAND, ("a",))
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(FaultTreeError):
+            DynamicGate("g", DynamicGateType.PAND, ("a", "a"))
+
+    def test_dormancy_only_for_spares(self):
+        DynamicGate("g", DynamicGateType.SPARE, ("a", "b"), dormancy=0.5)
+        with pytest.raises(FaultTreeError):
+            DynamicGate("g", DynamicGateType.PAND, ("a", "b"), dormancy=0.5)
+        with pytest.raises(FaultTreeError):
+            DynamicGate("g", DynamicGateType.SPARE, ("a", "b"), dormancy=1.5)
+
+
+class TestDynamicFaultTreeValidation:
+    def test_duplicate_names_rejected(self):
+        dft = DynamicFaultTree("d")
+        dft.add_event("a", 1e-3)
+        with pytest.raises(FaultTreeError):
+            dft.add_event("a", 1e-3)
+
+    def test_undefined_child_rejected(self):
+        dft = DynamicFaultTree("d", top_event="g")
+        dft.add_event("a", 1e-3)
+        dft.add_dynamic_gate("g", "pand", ["a", "missing"])
+        with pytest.raises(FaultTreeError):
+            dft.validate()
+
+    def test_spare_children_must_be_events(self):
+        dft = DynamicFaultTree("d", top_event="sp")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 1e-3)
+        dft.add_gate("or1", "or", ["a", "b"])
+        dft.add_dynamic_gate("sp", "spare", ["or1", "b"])
+        with pytest.raises(FaultTreeError):
+            dft.validate()
+
+    def test_fdep_dependents_must_be_events(self):
+        dft = DynamicFaultTree("d", top_event="top")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 1e-3)
+        dft.add_gate("g", "and", ["a", "b"])
+        dft.add_gate("top", "or", ["a", "b"])
+        dft.add_dynamic_gate("f", "fdep", ["a", "g"])
+        with pytest.raises(FaultTreeError):
+            dft.validate()
+
+    def test_cycle_detection(self):
+        dft = DynamicFaultTree("d", top_event="g1")
+        dft.add_event("a", 1e-3)
+        dft.add_gate("g1", "and", ["g2", "a"])
+        dft.add_gate("g2", "or", ["g1", "a"])
+        with pytest.raises(FaultTreeError):
+            dft.validate()
+
+    def test_missing_top_event(self):
+        dft = DynamicFaultTree("d")
+        dft.add_event("a", 1e-3)
+        with pytest.raises(FaultTreeError):
+            dft.validate()
+
+
+class TestStaticApproximation:
+    def pand_tree(self):
+        dft = DynamicFaultTree("pand-example", top_event="g")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 2e-3)
+        dft.add_dynamic_gate("g", "pand", ["a", "b"])
+        return dft
+
+    def test_pand_becomes_and(self):
+        static = self.pand_tree().to_static_tree(1000.0)
+        static.validate()
+        gate = static.gates["g"]
+        assert gate.gate_type.value == "and"
+        p_a = 1.0 - math.exp(-1e-3 * 1000.0)
+        p_b = 1.0 - math.exp(-2e-3 * 1000.0)
+        assert top_event_probability(static) == pytest.approx(p_a * p_b)
+
+    def test_static_tree_feeds_the_mpmcs_pipeline(self):
+        static = self.pand_tree().to_static_tree(1000.0)
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(static)
+        assert result.events == ("a", "b")
+
+    def test_fdep_rewiring_probability(self):
+        dft = DynamicFaultTree("fdep-example", top_event="top")
+        dft.add_event("power", 1e-3)
+        dft.add_event("m1", 2e-3)
+        dft.add_event("m2", 3e-3)
+        dft.add_gate("top", "and", ["m1", "m2"])
+        dft.add_dynamic_gate("fd", "fdep", ["power", "m1", "m2"])
+        static = dft.to_static_tree(100.0)
+        static.validate()
+        p_power = 1.0 - math.exp(-1e-3 * 100.0)
+        p_m1 = 1.0 - math.exp(-2e-3 * 100.0)
+        p_m2 = 1.0 - math.exp(-3e-3 * 100.0)
+        # top = (m1 or power) and (m2 or power)
+        expected = (
+            p_power
+            + (1.0 - p_power) * p_m1 * p_m2
+        )
+        assert top_event_probability(static) == pytest.approx(expected, rel=1e-9)
+
+    def test_fdep_mpmcs_is_the_common_cause_trigger(self):
+        dft = DynamicFaultTree("fdep-example", top_event="top")
+        dft.add_event("power", 1e-3)
+        dft.add_event("m1", 2e-3)
+        dft.add_event("m2", 3e-3)
+        dft.add_gate("top", "and", ["m1", "m2"])
+        dft.add_dynamic_gate("fd", "fdep", ["power", "m1", "m2"])
+        static = dft.to_static_tree(100.0)
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(static)
+        assert result.events == ("power",)
+
+    def test_spare_becomes_and(self):
+        dft = DynamicFaultTree("spare-example", top_event="sp")
+        dft.add_event("primary", 1e-3)
+        dft.add_event("spare", 1e-3)
+        dft.add_dynamic_gate("sp", "spare", ["primary", "spare"], dormancy=0.0)
+        static = dft.to_static_tree(500.0)
+        assert static.gates["sp"].gate_type.value == "and"
+
+    def test_top_event_cannot_be_fdep(self):
+        dft = DynamicFaultTree("d", top_event="fd")
+        dft.add_event("a", 1e-3)
+        dft.add_event("b", 1e-3)
+        dft.add_dynamic_gate("fd", "fdep", ["a", "b"])
+        with pytest.raises(FaultTreeError):
+            dft.to_static_tree(100.0)
+
+    def test_mission_time_validation(self):
+        with pytest.raises(FaultTreeError):
+            self.pand_tree().to_static_tree(0.0)
+        with pytest.raises(FaultTreeError):
+            self.pand_tree().to_static_tree(float("inf"))

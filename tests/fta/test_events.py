@@ -1,0 +1,52 @@
+"""Unit tests for basic events."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ProbabilityError
+from repro.fta.events import BasicEvent
+
+
+class TestBasicEvent:
+    def test_valid_event(self):
+        event = BasicEvent("x1", 0.2, description="sensor fails")
+        assert event.name == "x1"
+        assert event.probability == 0.2
+        assert event.description == "sensor fails"
+
+    def test_log_weight_matches_paper_table(self):
+        # Table I: p(x1) = 0.2 -> w1 = 1.60944
+        assert BasicEvent("x1", 0.2).log_weight == pytest.approx(1.60944, abs=1e-5)
+        assert BasicEvent("x3", 0.001).log_weight == pytest.approx(6.90776, abs=1e-5)
+
+    def test_probability_one_allowed(self):
+        assert BasicEvent("certain", 1.0).log_weight == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("probability", [0.0, -0.1, 1.5, float("nan"), float("inf")])
+    def test_invalid_probability_rejected(self, probability):
+        with pytest.raises(ProbabilityError):
+            BasicEvent("x", probability)
+
+    def test_non_numeric_probability_rejected(self):
+        with pytest.raises(ProbabilityError):
+            BasicEvent("x", "0.5")  # type: ignore[arg-type]
+        with pytest.raises(ProbabilityError):
+            BasicEvent("x", True)  # type: ignore[arg-type]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProbabilityError):
+            BasicEvent("", 0.5)
+
+    def test_with_probability_returns_new_event(self):
+        original = BasicEvent("x", 0.5, description="d")
+        changed = original.with_probability(0.25)
+        assert changed.probability == 0.25
+        assert changed.name == "x"
+        assert changed.description == "d"
+        assert original.probability == 0.5
+
+    def test_events_are_hashable_and_comparable(self):
+        assert BasicEvent("x", 0.5) == BasicEvent("x", 0.5)
+        assert BasicEvent("x", 0.5) != BasicEvent("x", 0.6)
+        assert len({BasicEvent("x", 0.5), BasicEvent("x", 0.5)}) == 1

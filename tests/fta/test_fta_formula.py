@@ -1,0 +1,60 @@
+"""Unit and property tests for fault tree -> Boolean formula conversion."""
+
+from hypothesis import given, settings
+
+from repro.fta.formula import structure_function, success_function
+from repro.logic.formula import And, AtLeast, Or, Var
+
+from tests.conftest import all_assignments, small_random_trees
+from repro.workloads.library import fire_protection_system, redundant_power_supply
+
+
+class TestStructureFunction:
+    def test_fps_structure_matches_paper_equation(self, fps_tree):
+        """f(t) = (x1 & x2) | (x3 | x4 | (x5 & (x6 | x7)))  (Section II)."""
+        formula = structure_function(fps_tree)
+        expected_vars = {f"x{i}" for i in range(1, 8)}
+        assert formula.variables() == expected_vars
+        # Spot-check the equation on characteristic assignments.
+        base = {name: False for name in expected_vars}
+        assert formula.evaluate({**base, "x1": True, "x2": True}) is True
+        assert formula.evaluate({**base, "x1": True}) is False
+        assert formula.evaluate({**base, "x3": True}) is True
+        assert formula.evaluate({**base, "x5": True, "x7": True}) is True
+        assert formula.evaluate({**base, "x5": True}) is False
+
+    def test_voting_gate_produces_atleast_node(self):
+        formula = structure_function(redundant_power_supply())
+        assert any(isinstance(node, AtLeast) for node in formula.iter_nodes())
+
+    def test_shared_subtrees_share_formula_objects(self, shared_events_tree):
+        formula = structure_function(shared_events_tree)
+        # The shared events appear as identical Var nodes (hash-equal).
+        names = [node.name for node in formula.iter_nodes() if isinstance(node, Var)]
+        assert names.count("control_circuit") >= 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=7))
+    def test_structure_function_matches_tree_evaluation(self, tree):
+        formula = structure_function(tree)
+        events = sorted(tree.events_reachable_from_top())
+        for assignment in all_assignments(events):
+            assert formula.evaluate(assignment) == tree.evaluate(assignment)
+
+
+class TestSuccessFunction:
+    def test_success_is_complement(self, fps_tree):
+        failure = structure_function(fps_tree)
+        success = success_function(fps_tree)
+        events = sorted(fps_tree.events_reachable_from_top())
+        for assignment in all_assignments(events):
+            assert success.evaluate(assignment) == (not failure.evaluate(assignment))
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=6))
+    def test_success_complement_property(self, tree):
+        failure = structure_function(tree)
+        success = success_function(tree)
+        events = sorted(tree.events_reachable_from_top())
+        for assignment in all_assignments(events):
+            assert success.evaluate(assignment) == (not failure.evaluate(assignment))

@@ -1,0 +1,134 @@
+"""Unit tests for the Galileo (.dft) parser."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.fta.gates import GateType
+from repro.fta.parsers.galileo import parse_galileo, parse_galileo_file
+from repro.fta.serializers import to_galileo
+
+FPS_GALILEO = """
+// Fire protection system (paper Fig. 1)
+toplevel "fps";
+"fps" or "detection" "suppression";
+"detection" and "x1" "x2";
+"suppression" or "x3" "x4" "trigger";
+"trigger" and "x5" "remote";
+"remote" or "x6" "x7";
+"x1" prob=0.2;
+"x2" prob=0.1;
+"x3" prob=0.001;
+"x4" prob=0.002;
+"x5" prob=0.05;
+"x6" prob=0.1;
+"x7" prob=0.05;
+"""
+
+
+class TestParsing:
+    def test_fps_document(self):
+        tree = parse_galileo(FPS_GALILEO, name="fps")
+        assert tree.top_event == "fps"
+        assert tree.num_events == 7
+        assert tree.num_gates == 5
+        assert tree.probability("x1") == 0.2
+        assert tree.gates["detection"].gate_type is GateType.AND
+
+    def test_voting_gate(self):
+        text = """
+        toplevel "t";
+        "t" 2of3 "a" "b" "c";
+        "a" prob=0.1; "b" prob=0.1; "c" prob=0.1;
+        """
+        tree = parse_galileo(text)
+        gate = tree.gates["t"]
+        assert gate.gate_type is GateType.VOTING
+        assert gate.k == 2
+
+    def test_voting_gate_arity_mismatch_rejected(self):
+        text = 'toplevel "t"; "t" 2of3 "a" "b"; "a" prob=0.1; "b" prob=0.1;'
+        with pytest.raises(ParseError, match="declares 3 inputs"):
+            parse_galileo(text)
+
+    def test_lambda_rate_converted_with_mission_time(self):
+        text = 'toplevel "t"; "t" or "a"; "a" lambda=0.001;'
+        tree = parse_galileo(text, mission_time=100.0)
+        expected = 1.0 - math.exp(-0.001 * 100.0)
+        assert tree.probability("a") == pytest.approx(expected)
+
+    def test_unquoted_names_supported(self):
+        text = "toplevel top; top and a b; a prob=0.5; b prob=0.5;"
+        tree = parse_galileo(text)
+        assert tree.top_event == "top"
+
+    def test_statements_spanning_lines(self):
+        text = 'toplevel "t";\n"t" and "a"\n   "b";\n"a" prob=0.1;\n"b" prob=0.2;'
+        tree = parse_galileo(text)
+        assert tree.gates["t"].children == ("a", "b")
+
+    def test_comments_ignored(self):
+        text = '// header\ntoplevel "t"; // trailing\n"t" or "a";\n"a" prob=0.3;'
+        assert parse_galileo(text).probability("a") == 0.3
+
+
+class TestErrors:
+    def test_missing_toplevel(self):
+        with pytest.raises(ParseError, match="toplevel"):
+            parse_galileo('"t" or "a"; "a" prob=0.1;')
+
+    def test_duplicate_toplevel(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_galileo('toplevel "a"; toplevel "b"; "a" or "c"; "c" prob=0.1;')
+
+    def test_dynamic_gate_rejected_with_clear_message(self):
+        text = 'toplevel "t"; "t" spare "a" "b"; "a" prob=0.1; "b" prob=0.1;'
+        with pytest.raises(ParseError, match="dynamic gate"):
+            parse_galileo(text)
+
+    def test_basic_event_without_probability(self):
+        with pytest.raises(ParseError, match="prob"):
+            parse_galileo('toplevel "t"; "t" or "a"; "a" dorm=0.5;')
+
+    def test_unterminated_statement(self):
+        with pytest.raises(ParseError, match="not terminated"):
+            parse_galileo('toplevel "t"; "t" or "a"; "a" prob=0.1')
+
+    def test_invalid_numeric_value(self):
+        with pytest.raises(ParseError):
+            parse_galileo('toplevel "t"; "t" or "a"; "a" prob=abc;')
+
+    def test_invalid_mission_time(self):
+        with pytest.raises(ParseError):
+            parse_galileo(FPS_GALILEO, mission_time=0.0)
+
+    def test_empty_document(self):
+        with pytest.raises(ParseError):
+            parse_galileo("")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParseError):
+            parse_galileo_file(tmp_path / "missing.dft")
+
+
+class TestRoundTrip:
+    def test_serialise_then_parse(self, fps_tree):
+        text = to_galileo(fps_tree)
+        parsed = parse_galileo(text, name=fps_tree.name)
+        assert parsed.top_event == fps_tree.top_event
+        assert parsed.probabilities() == fps_tree.probabilities()
+        assert set(parsed.gate_names) == set(fps_tree.gate_names)
+
+    def test_round_trip_with_voting_gate(self, voting_tree):
+        parsed = parse_galileo(to_galileo(voting_tree))
+        gate = parsed.gates["feeders_majority_lost"]
+        assert gate.gate_type is GateType.VOTING
+        assert gate.k == 2
+
+    def test_file_round_trip(self, tmp_path, fps_tree):
+        path = tmp_path / "fps.dft"
+        path.write_text(to_galileo(fps_tree), encoding="utf-8")
+        parsed = parse_galileo_file(path)
+        assert parsed.num_events == 7
+        assert parsed.name == "fps"

@@ -1,0 +1,72 @@
+"""Unit tests for fault-tree gates."""
+
+import pytest
+
+from repro.exceptions import FaultTreeError
+from repro.fta.gates import Gate, GateType
+
+
+class TestGateType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("and", GateType.AND),
+            ("AND", GateType.AND),
+            ("or", GateType.OR),
+            ("voting", GateType.VOTING),
+            ("vot", GateType.VOTING),
+            ("k-of-n", GateType.VOTING),
+            (" atleast ", GateType.VOTING),
+        ],
+    )
+    def test_from_string(self, text, expected):
+        assert GateType.from_string(text) is expected
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(FaultTreeError):
+            GateType.from_string("nand")
+
+
+class TestGate:
+    def test_and_gate(self):
+        gate = Gate("g", GateType.AND, ("a", "b"))
+        assert gate.arity == 2
+        assert "AND" in gate.describe()
+
+    def test_voting_gate_requires_k(self):
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.VOTING, ("a", "b", "c"))
+
+    def test_voting_gate_valid_k(self):
+        gate = Gate("g", GateType.VOTING, ("a", "b", "c"), k=2)
+        assert gate.k == 2
+        assert "2-of-3" in gate.describe()
+
+    @pytest.mark.parametrize("k", [0, 4, -1, 1.5])
+    def test_voting_gate_invalid_k(self, k):
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.VOTING, ("a", "b", "c"), k=k)
+
+    def test_and_or_gates_must_not_define_k(self):
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.AND, ("a", "b"), k=1)
+
+    def test_no_children_rejected(self):
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.OR, ())
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.OR, ("a", "a"))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.OR, ("g", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FaultTreeError):
+            Gate("", GateType.OR, ("a",))
+
+    def test_invalid_gate_type_rejected(self):
+        with pytest.raises(FaultTreeError):
+            Gate("g", "or", ("a",))  # type: ignore[arg-type]

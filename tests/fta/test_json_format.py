@@ -1,0 +1,135 @@
+"""Unit and property tests for the JSON fault-tree format."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ParseError
+from repro.fta.gates import GateType
+from repro.fta.parsers.json_format import parse_json, parse_json_document, parse_json_file
+from repro.fta.serializers import to_json, to_json_document
+
+from tests.conftest import small_random_trees
+
+VALID_DOCUMENT = {
+    "name": "demo",
+    "top": "top",
+    "events": [
+        {"name": "a", "probability": 0.1, "description": "event a"},
+        {"name": "b", "probability": 0.2},
+    ],
+    "gates": [{"name": "top", "type": "and", "children": ["a", "b"]}],
+}
+
+
+class TestParsing:
+    def test_valid_document(self):
+        tree = parse_json_document(VALID_DOCUMENT)
+        assert tree.name == "demo"
+        assert tree.top_event == "top"
+        assert tree.probability("a") == 0.1
+        assert tree.events["a"].description == "event a"
+
+    def test_parse_json_text(self):
+        tree = parse_json(json.dumps(VALID_DOCUMENT))
+        assert tree.num_events == 2
+
+    def test_prob_alias_accepted(self):
+        document = {
+            "top": "a",
+            "events": [{"name": "a", "prob": 0.5}],
+            "gates": [],
+        }
+        assert parse_json_document(document).probability("a") == 0.5
+
+    def test_voting_gate_with_k(self):
+        document = {
+            "top": "v",
+            "events": [{"name": n, "probability": 0.1} for n in "abc"],
+            "gates": [{"name": "v", "type": "voting", "k": 2, "children": ["a", "b", "c"]}],
+        }
+        tree = parse_json_document(document)
+        assert tree.gates["v"].gate_type is GateType.VOTING
+        assert tree.gates["v"].k == 2
+
+    def test_file_parsing(self, tmp_path):
+        path = tmp_path / "tree.json"
+        path.write_text(json.dumps(VALID_DOCUMENT), encoding="utf-8")
+        tree = parse_json_file(path)
+        assert tree.num_gates == 1
+
+
+class TestErrors:
+    def test_invalid_json_text(self):
+        with pytest.raises(ParseError, match="invalid JSON"):
+            parse_json("{not json")
+
+    def test_non_object_document(self):
+        with pytest.raises(ParseError):
+            parse_json_document(["a", "b"])  # type: ignore[arg-type]
+
+    def test_missing_events(self):
+        with pytest.raises(ParseError, match="events"):
+            parse_json_document({"top": "a", "gates": []})
+
+    def test_event_missing_probability(self):
+        document = {"top": "a", "events": [{"name": "a"}], "gates": []}
+        with pytest.raises(ParseError):
+            parse_json_document(document)
+
+    def test_invalid_probability_value(self):
+        document = {"top": "a", "events": [{"name": "a", "probability": 2.0}], "gates": []}
+        with pytest.raises(ParseError):
+            parse_json_document(document)
+
+    def test_gate_without_children(self):
+        document = {
+            "top": "g",
+            "events": [{"name": "a", "probability": 0.1}],
+            "gates": [{"name": "g", "type": "or", "children": []}],
+        }
+        with pytest.raises(ParseError):
+            parse_json_document(document)
+
+    def test_missing_top(self):
+        document = {"events": [{"name": "a", "probability": 0.1}], "gates": []}
+        with pytest.raises(ParseError, match="top"):
+            parse_json_document(document)
+
+    def test_structurally_invalid_tree_reported_as_parse_error(self):
+        document = {
+            "top": "g",
+            "events": [{"name": "a", "probability": 0.1}],
+            "gates": [{"name": "g", "type": "or", "children": ["ghost"]}],
+        }
+        with pytest.raises(ParseError, match="invalid fault tree"):
+            parse_json_document(document)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParseError):
+            parse_json_file(tmp_path / "none.json")
+
+
+class TestRoundTrip:
+    def test_library_tree_round_trip(self, any_library_tree):
+        document = to_json_document(any_library_tree)
+        parsed = parse_json_document(document)
+        assert parsed.top_event == any_library_tree.top_event
+        assert parsed.probabilities() == any_library_tree.probabilities()
+        assert set(parsed.gate_names) == set(any_library_tree.gate_names)
+        for name, gate in any_library_tree.gates.items():
+            assert parsed.gates[name].children == gate.children
+            assert parsed.gates[name].gate_type == gate.gate_type
+
+    def test_to_json_text_round_trip(self, fps_tree):
+        parsed = parse_json(to_json(fps_tree))
+        assert parsed.num_events == fps_tree.num_events
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=10))
+    def test_random_tree_round_trip(self, tree):
+        parsed = parse_json_document(to_json_document(tree))
+        assert parsed.probabilities() == tree.probabilities()
+        assert parsed.top_event == tree.top_event
+        assert set(parsed.gate_names) == set(tree.gate_names)

@@ -1,0 +1,161 @@
+"""Unit tests for the Open-PSA MEF parser/writer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ParseError
+from repro.fta.gates import GateType
+from repro.fta.parsers.openpsa import parse_openpsa, parse_openpsa_file, to_openpsa
+
+from tests.conftest import small_random_trees
+
+FPS_OPENPSA = """<?xml version="1.0"?>
+<opsa-mef>
+  <define-fault-tree name="fps">
+    <define-gate name="top">
+      <or> <gate name="detection"/> <gate name="suppression"/> </or>
+    </define-gate>
+    <define-gate name="detection">
+      <and> <basic-event name="x1"/> <basic-event name="x2"/> </and>
+    </define-gate>
+    <define-gate name="suppression">
+      <or> <basic-event name="x3"/> <basic-event name="x4"/> <gate name="trigger"/> </or>
+    </define-gate>
+    <define-gate name="trigger">
+      <and> <basic-event name="x5"/> <gate name="remote"/> </and>
+    </define-gate>
+    <define-gate name="remote">
+      <or> <basic-event name="x6"/> <basic-event name="x7"/> </or>
+    </define-gate>
+  </define-fault-tree>
+  <model-data>
+    <define-basic-event name="x1"> <float value="0.2"/> </define-basic-event>
+    <define-basic-event name="x2"> <float value="0.1"/> </define-basic-event>
+    <define-basic-event name="x3"> <float value="0.001"/> </define-basic-event>
+    <define-basic-event name="x4"> <float value="0.002"/> </define-basic-event>
+    <define-basic-event name="x5"> <float value="0.05"/> </define-basic-event>
+    <define-basic-event name="x6"> <float value="0.1"/> </define-basic-event>
+    <define-basic-event name="x7"> <float value="0.05"/> </define-basic-event>
+  </model-data>
+</opsa-mef>
+"""
+
+
+class TestParsing:
+    def test_fps_document(self):
+        tree = parse_openpsa(FPS_OPENPSA)
+        assert tree.name == "fps"
+        assert tree.top_event == "top"
+        assert tree.num_events == 7
+        assert tree.num_gates == 5
+        assert tree.probability("x1") == 0.2
+        assert tree.gates["detection"].gate_type is GateType.AND
+
+    def test_parsed_tree_reproduces_paper_result(self):
+        from repro.core.pipeline import MPMCSSolver
+        from repro.maxsat import RC2Engine
+
+        tree = parse_openpsa(FPS_OPENPSA)
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(tree)
+        assert result.events == ("x1", "x2")
+        assert result.probability == pytest.approx(0.02)
+
+    def test_voting_gate_with_min(self):
+        text = """<opsa-mef>
+          <define-fault-tree name="vote">
+            <define-gate name="top">
+              <atleast min="2">
+                <basic-event name="a"/> <basic-event name="b"/> <basic-event name="c"/>
+              </atleast>
+            </define-gate>
+          </define-fault-tree>
+          <model-data>
+            <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+            <define-basic-event name="b"><float value="0.1"/></define-basic-event>
+            <define-basic-event name="c"><float value="0.1"/></define-basic-event>
+          </model-data>
+        </opsa-mef>"""
+        tree = parse_openpsa(text)
+        assert tree.gates["top"].gate_type is GateType.VOTING
+        assert tree.gates["top"].k == 2
+
+    def test_events_defined_inside_fault_tree(self):
+        text = """<opsa-mef>
+          <define-fault-tree name="t">
+            <define-gate name="top"><or><basic-event name="a"/></or></define-gate>
+            <define-basic-event name="a"><float value="0.4"/></define-basic-event>
+          </define-fault-tree>
+        </opsa-mef>"""
+        assert parse_openpsa(text).probability("a") == 0.4
+
+    def test_file_parsing(self, tmp_path):
+        path = tmp_path / "fps.xml"
+        path.write_text(FPS_OPENPSA, encoding="utf-8")
+        assert parse_openpsa_file(path).num_events == 7
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(ParseError, match="invalid XML"):
+            parse_openpsa("<opsa-mef><broken")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(ParseError, match="opsa-mef"):
+            parse_openpsa("<something/>")
+
+    def test_missing_fault_tree(self):
+        with pytest.raises(ParseError, match="define-fault-tree"):
+            parse_openpsa("<opsa-mef><model-data/></opsa-mef>")
+
+    def test_unsupported_connective(self):
+        text = """<opsa-mef><define-fault-tree name="t">
+          <define-gate name="top"><not><basic-event name="a"/></not></define-gate>
+          <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+        </define-fault-tree></opsa-mef>"""
+        with pytest.raises(ParseError, match="not supported"):
+            parse_openpsa(text)
+
+    def test_atleast_requires_min(self):
+        text = """<opsa-mef><define-fault-tree name="t">
+          <define-gate name="top"><atleast>
+            <basic-event name="a"/><basic-event name="b"/>
+          </atleast></define-gate>
+          <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+          <define-basic-event name="b"><float value="0.1"/></define-basic-event>
+        </define-fault-tree></opsa-mef>"""
+        with pytest.raises(ParseError, match="min"):
+            parse_openpsa(text)
+
+    def test_missing_probability(self):
+        text = """<opsa-mef><define-fault-tree name="t">
+          <define-gate name="top"><or><basic-event name="a"/></or></define-gate>
+        </define-fault-tree></opsa-mef>"""
+        with pytest.raises(ParseError, match="probability"):
+            parse_openpsa(text)
+
+    def test_ambiguous_top_event(self):
+        text = """<opsa-mef><define-fault-tree name="t">
+          <define-gate name="g1"><or><basic-event name="a"/></or></define-gate>
+          <define-gate name="g2"><or><basic-event name="a"/></or></define-gate>
+          <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+        </define-fault-tree></opsa-mef>"""
+        with pytest.raises(ParseError, match="top event"):
+            parse_openpsa(text)
+
+
+class TestRoundTrip:
+    def test_library_tree_round_trip(self, any_library_tree):
+        parsed = parse_openpsa(to_openpsa(any_library_tree))
+        assert parsed.top_event == any_library_tree.top_event
+        assert parsed.probabilities() == any_library_tree.probabilities()
+        for name, gate in any_library_tree.gates.items():
+            assert parsed.gates[name].children == gate.children
+            assert parsed.gates[name].gate_type == gate.gate_type
+            assert parsed.gates[name].k == gate.k
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_random_trees(min_events=4, max_events=10))
+    def test_random_tree_round_trip(self, tree):
+        parsed = parse_openpsa(to_openpsa(tree))
+        assert parsed.probabilities() == tree.probabilities()
+        assert parsed.top_event == tree.top_event

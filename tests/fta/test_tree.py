@@ -1,0 +1,197 @@
+"""Unit tests for the FaultTree container."""
+
+import pytest
+
+from repro.exceptions import FaultTreeError
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+
+def small_tree() -> FaultTree:
+    tree = FaultTree("small", top_event="top")
+    tree.add_basic_event("a", 0.1)
+    tree.add_basic_event("b", 0.2)
+    tree.add_basic_event("c", 0.3)
+    tree.add_gate("g1", GateType.AND, ["a", "b"])
+    tree.add_gate("top", GateType.OR, ["g1", "c"])
+    return tree
+
+
+class TestConstruction:
+    def test_node_counts(self):
+        tree = small_tree()
+        assert tree.num_events == 3
+        assert tree.num_gates == 2
+        assert tree.num_nodes == 5
+
+    def test_duplicate_names_rejected(self):
+        tree = small_tree()
+        with pytest.raises(FaultTreeError):
+            tree.add_basic_event("a", 0.5)
+        with pytest.raises(FaultTreeError):
+            tree.add_gate("g1", GateType.OR, ["a"])
+        with pytest.raises(FaultTreeError):
+            tree.add_gate("a", GateType.OR, ["b"])
+
+    def test_gate_type_as_string(self):
+        tree = FaultTree("t", top_event="g")
+        tree.add_basic_event("a", 0.1)
+        tree.add_basic_event("b", 0.1)
+        gate = tree.add_gate("g", "voting", ["a", "b"], k=1)
+        assert gate.gate_type is GateType.VOTING
+
+    def test_node_lookup(self):
+        tree = small_tree()
+        assert tree.node("a").probability == 0.1
+        assert tree.node("g1").gate_type is GateType.AND
+        with pytest.raises(FaultTreeError):
+            tree.node("missing")
+
+    def test_probability_accessors(self):
+        tree = small_tree()
+        assert tree.probability("b") == 0.2
+        assert tree.probabilities()["c"] == 0.3
+        tree.set_probability("b", 0.9)
+        assert tree.probability("b") == 0.9
+        with pytest.raises(FaultTreeError):
+            tree.probability("g1")
+        with pytest.raises(FaultTreeError):
+            tree.set_probability("missing", 0.1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FaultTreeError):
+            FaultTree("")
+        with pytest.raises(FaultTreeError):
+            small_tree().set_top_event("")
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        small_tree().validate()
+
+    def test_missing_top_event(self):
+        tree = FaultTree("t")
+        tree.add_basic_event("a", 0.1)
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+        with pytest.raises(FaultTreeError):
+            _ = tree.top_event
+
+    def test_top_event_must_exist(self):
+        tree = FaultTree("t", top_event="nope")
+        tree.add_basic_event("a", 0.1)
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+
+    def test_undefined_child_rejected(self):
+        tree = FaultTree("t", top_event="g")
+        tree.add_basic_event("a", 0.1)
+        tree.add_gate("g", GateType.OR, ["a", "ghost"])
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+
+    def test_cycle_detected(self):
+        tree = FaultTree("t", top_event="g1")
+        tree.add_basic_event("a", 0.1)
+        tree.add_gate("g1", GateType.OR, ["g2", "a"])
+        tree.add_gate("g2", GateType.OR, ["g1", "a"])
+        with pytest.raises(FaultTreeError, match="cycle"):
+            tree.validate()
+
+    def test_unreachable_nodes_rejected(self):
+        tree = small_tree()
+        tree.add_basic_event("orphan", 0.5)
+        with pytest.raises(FaultTreeError, match="reachable"):
+            tree.validate()
+
+    def test_tree_without_events_rejected(self):
+        tree = FaultTree("t", top_event="g")
+        with pytest.raises(FaultTreeError):
+            tree.validate()
+
+    def test_event_as_top_event_is_allowed(self):
+        tree = FaultTree("t", top_event="a")
+        tree.add_basic_event("a", 0.1)
+        tree.validate()
+        assert tree.evaluate({"a": True}) is True
+
+
+class TestTraversal:
+    def test_topological_order_children_first(self):
+        tree = small_tree()
+        order = tree.topological_order()
+        assert order.index("a") < order.index("g1")
+        assert order.index("b") < order.index("g1")
+        assert order.index("g1") < order.index("top")
+        assert order[-1] == "top"
+
+    def test_reachable_from_top(self):
+        tree = small_tree()
+        assert set(tree.reachable_from("top")) == {"top", "g1", "a", "b", "c"}
+        assert set(tree.events_reachable_from_top()) == {"a", "b", "c"}
+
+    def test_depth(self):
+        assert small_tree().depth() == 3
+
+    def test_statistics(self):
+        stats = small_tree().statistics()
+        assert stats["num_nodes"] == 5
+        assert stats["num_and_gates"] == 1
+        assert stats["num_or_gates"] == 1
+        assert stats["depth"] == 3
+
+
+class TestSemantics:
+    def test_evaluate_or_of_and(self):
+        tree = small_tree()
+        assert tree.evaluate({"c": True}) is True
+        assert tree.evaluate({"a": True, "b": True}) is True
+        assert tree.evaluate({"a": True}) is False
+        assert tree.evaluate({}) is False
+
+    def test_is_cut_set(self):
+        tree = small_tree()
+        assert tree.is_cut_set(["c"])
+        assert tree.is_cut_set(["a", "b"])
+        assert tree.is_cut_set(["a", "b", "c"])
+        assert not tree.is_cut_set(["a"])
+
+    def test_is_minimal_cut_set(self):
+        tree = small_tree()
+        assert tree.is_minimal_cut_set(["a", "b"])
+        assert tree.is_minimal_cut_set(["c"])
+        assert not tree.is_minimal_cut_set(["a", "b", "c"])
+        assert not tree.is_minimal_cut_set(["a"])
+
+    def test_voting_gate_semantics(self):
+        tree = FaultTree("vote", top_event="v")
+        for name in ("a", "b", "c"):
+            tree.add_basic_event(name, 0.1)
+        tree.add_gate("v", GateType.VOTING, ["a", "b", "c"], k=2)
+        assert tree.evaluate({"a": True, "b": True}) is True
+        assert tree.evaluate({"a": True}) is False
+
+    def test_copy_is_equivalent_but_independent(self):
+        tree = small_tree()
+        clone = tree.copy(name="clone")
+        assert clone.name == "clone"
+        assert clone.evaluate({"c": True}) is True
+        clone.add_basic_event("extra", 0.5)
+        assert tree.num_events == 3
+        assert clone.num_events == 4
+
+
+class TestSharedSubtrees:
+    def test_dag_with_shared_events_validates_and_evaluates(self):
+        tree = FaultTree("dag", top_event="top")
+        tree.add_basic_event("shared", 0.01)
+        tree.add_basic_event("m1", 0.1)
+        tree.add_basic_event("m2", 0.1)
+        tree.add_gate("g1", GateType.OR, ["shared", "m1"])
+        tree.add_gate("g2", GateType.OR, ["shared", "m2"])
+        tree.add_gate("top", GateType.AND, ["g1", "g2"])
+        tree.validate()
+        assert tree.evaluate({"shared": True}) is True
+        assert tree.evaluate({"m1": True}) is False
+        assert tree.is_minimal_cut_set(["shared"])
+        assert tree.is_minimal_cut_set(["m1", "m2"])

@@ -1,0 +1,111 @@
+"""Unit tests for the clause/CNF model."""
+
+import pytest
+
+from repro.exceptions import CNFError
+from repro.logic.cnf import CNF, Clause
+
+
+class TestClause:
+    def test_duplicates_removed_preserving_order(self):
+        clause = Clause([1, -2, 1, 3, -2])
+        assert clause.literals == (1, -2, 3)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(CNFError):
+            Clause([1, 0])
+
+    def test_bool_literal_rejected(self):
+        with pytest.raises(CNFError):
+            Clause([True])  # type: ignore[list-item]
+
+    def test_empty_clause_properties(self):
+        clause = Clause([])
+        assert clause.is_empty
+        assert not clause.is_unit
+
+    def test_unit_detection(self):
+        assert Clause([5]).is_unit
+
+    def test_tautology_detection(self):
+        assert Clause([1, -1]).is_tautology()
+        assert not Clause([1, 2]).is_tautology()
+
+    def test_variables(self):
+        assert Clause([1, -3, 2]).variables() == {1, 2, 3}
+
+    def test_satisfaction_with_partial_assignment(self):
+        clause = Clause([1, -2])
+        assert clause.is_satisfied_by({1: True})
+        assert clause.is_satisfied_by({2: False})
+        assert not clause.is_satisfied_by({1: False})
+        assert not clause.is_satisfied_by({})
+
+    def test_membership_and_len(self):
+        clause = Clause([1, -2])
+        assert 1 in clause and -2 in clause and 2 not in clause
+        assert len(clause) == 2
+
+
+class TestCNF:
+    def test_add_clause_tracks_num_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -4])
+        assert cnf.num_vars == 4
+        assert cnf.num_clauses == 1
+
+    def test_new_var_allocates_sequentially(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+
+    def test_named_variables_round_trip(self):
+        cnf = CNF()
+        var = cnf.var_for("x1")
+        assert cnf.var_for("x1") == var
+        assert cnf.var_to_name[var] == "x1"
+
+    def test_conflicting_name_binding_rejected(self):
+        cnf = CNF()
+        cnf.register_name("x1", 1)
+        with pytest.raises(CNFError):
+            cnf.register_name("x1", 2)
+        with pytest.raises(CNFError):
+            cnf.register_name("x2", 1)
+
+    def test_invalid_name_or_var_rejected(self):
+        cnf = CNF()
+        with pytest.raises(CNFError):
+            cnf.register_name("", 1)
+        with pytest.raises(CNFError):
+            cnf.register_name("x", 0)
+
+    def test_is_satisfied_by(self):
+        cnf = CNF([[1, 2], [-1, 3]])
+        assert cnf.is_satisfied_by({1: True, 3: True})
+        assert not cnf.is_satisfied_by({1: True, 3: False})
+
+    def test_named_assignment_projection(self):
+        cnf = CNF()
+        a = cnf.var_for("a")
+        cnf.var_for("b")
+        cnf.add_clause([a])
+        projected = cnf.named_assignment({a: True})
+        assert projected == {"a": True, "b": False}
+
+    def test_copy_is_independent(self):
+        cnf = CNF([[1, 2]])
+        clone = cnf.copy()
+        clone.add_clause([3])
+        assert cnf.num_clauses == 1
+        assert clone.num_clauses == 2
+
+    def test_iteration_and_variables(self):
+        cnf = CNF([[1, -2], [2, 3]])
+        assert len(list(cnf)) == 2
+        assert cnf.variables() == {1, 2, 3}
+
+    def test_constructor_with_names(self):
+        cnf = CNF(name_to_var={"x": 2})
+        assert cnf.num_vars == 2
+        assert cnf.name_to_var["x"] == 2

@@ -1,0 +1,146 @@
+"""Unit and property tests for formula simplification and NNF conversion."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.formula import (
+    And,
+    AtLeast,
+    FALSE,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+)
+from repro.logic.simplify import complement, flatten, simplify, to_nnf
+
+from tests.conftest import all_assignments, formulas
+
+
+def assert_equivalent(left, right):
+    """Check logical equivalence by exhaustive evaluation over shared variables."""
+    names = sorted(left.variables() | right.variables())
+    for assignment in all_assignments(names):
+        assert left.evaluate(assignment) == right.evaluate(assignment), assignment
+
+
+class TestSimplify:
+    def test_constant_folding_and(self):
+        assert simplify(And((Var("a"), FALSE))) == FALSE
+        assert simplify(And((Var("a"), TRUE))) == Var("a")
+
+    def test_constant_folding_or(self):
+        assert simplify(Or((Var("a"), TRUE))) == TRUE
+        assert simplify(Or((Var("a"), FALSE))) == Var("a")
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(Var("a")))) == Var("a")
+
+    def test_duplicate_removal(self):
+        simplified = simplify(And((Var("a"), Var("a"), Var("b"))))
+        assert simplified == And((Var("a"), Var("b")))
+
+    def test_nested_flattening(self):
+        nested = And((Var("a"), And((Var("b"), And((Var("c"),))))))
+        assert simplify(nested) == And((Var("a"), Var("b"), Var("c")))
+
+    def test_complementary_literals_and(self):
+        assert simplify(And((Var("a"), Not(Var("a"))))) == FALSE
+
+    def test_complementary_literals_or(self):
+        assert simplify(Or((Var("a"), Not(Var("a"))))) == TRUE
+
+    def test_xor_constant_elimination(self):
+        simplified = simplify(Var("a") ^ TRUE)
+        assert_equivalent(simplified, Not(Var("a")))
+
+    def test_implies_rewritten(self):
+        simplified = simplify(Implies(Var("a"), Var("b")))
+        assert_equivalent(simplified, Or((Not(Var("a")), Var("b"))))
+
+    def test_atleast_trivial_thresholds(self):
+        ops = (Var("a"), Var("b"), Var("c"))
+        assert simplify(AtLeast(1, ops)) == Or(ops)
+        assert simplify(AtLeast(3, ops)) == And(ops)
+
+    def test_atleast_with_constant_children(self):
+        simplified = simplify(AtLeast(2, (Var("a"), TRUE, Var("b"))))
+        assert_equivalent(simplified, Or((Var("a"), Var("b"))))
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas(max_depth=3, max_vars=4))
+    def test_simplify_preserves_semantics(self, formula):
+        assert_equivalent(formula, simplify(formula))
+
+
+class TestFlatten:
+    def test_flatten_nested_same_type(self):
+        nested = Or((Var("a"), Or((Var("b"), Var("c")))))
+        assert flatten(nested) == Or((Var("a"), Var("b"), Var("c")))
+
+    def test_flatten_preserves_mixed_structure(self):
+        mixed = And((Var("a"), Or((Var("b"), Var("c")))))
+        assert flatten(mixed) == mixed
+
+    @settings(max_examples=40, deadline=None)
+    @given(formulas(max_depth=3, max_vars=4))
+    def test_flatten_preserves_semantics(self, formula):
+        assert_equivalent(formula, flatten(formula))
+
+
+class TestNNF:
+    def test_negation_pushed_to_leaves(self):
+        formula = Not(And((Var("a"), Or((Var("b"), Var("c"))))))
+        nnf = to_nnf(formula)
+        for node in nnf.iter_nodes():
+            if isinstance(node, Not):
+                assert isinstance(node.operand, Var)
+
+    def test_de_morgan_and(self):
+        nnf = to_nnf(Not(And((Var("a"), Var("b")))))
+        assert_equivalent(nnf, Or((Not(Var("a")), Not(Var("b")))))
+
+    def test_de_morgan_or(self):
+        nnf = to_nnf(Not(Or((Var("a"), Var("b")))))
+        assert_equivalent(nnf, And((Not(Var("a")), Not(Var("b")))))
+
+    def test_negated_threshold_identity(self):
+        formula = Not(AtLeast(2, (Var("a"), Var("b"), Var("c"))))
+        assert_equivalent(formula, to_nnf(formula))
+
+    def test_expand_thresholds_removes_atleast_nodes(self):
+        formula = AtLeast(2, (Var("a"), Var("b"), Var("c")))
+        expanded = to_nnf(formula, expand_thresholds=True)
+        assert not any(isinstance(node, AtLeast) for node in expanded.iter_nodes())
+        assert_equivalent(formula, expanded)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas(max_depth=3, max_vars=4))
+    def test_nnf_preserves_semantics(self, formula):
+        assert_equivalent(formula, to_nnf(formula))
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas(max_depth=3, max_vars=4))
+    def test_complement_negates(self, formula):
+        complemented = complement(formula)
+        names = sorted(formula.variables() | complemented.variables())
+        for assignment in all_assignments(names):
+            assert complemented.evaluate(assignment) == (not formula.evaluate(assignment))
+
+
+class TestSuccessTreeExample:
+    """The worked example of paper Step 1 on the FPS structure function."""
+
+    def test_fps_success_tree(self):
+        x = {i: Var(f"x{i}") for i in range(1, 8)}
+        f_t = Or((And((x[1], x[2])), Or((x[3], x[4], And((x[5], Or((x[6], x[7]))))))))
+        success = complement(f_t)
+        # X(t) = (~x1 | ~x2) & (~x3 & ~x4 & (~x5 | (~x6 & ~x7)))
+        expected = And(
+            (
+                Or((Not(x[1]), Not(x[2]))),
+                And((Not(x[3]), Not(x[4]), Or((Not(x[5]), And((Not(x[6]), Not(x[7]))))))),
+            )
+        )
+        assert_equivalent(success, expected)

@@ -1,0 +1,142 @@
+"""Unit tests for the CTMC substrate (validated against analytic formulas)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.markov.chain import ContinuousTimeMarkovChain
+from repro.reliability.models import RepairableComponent
+
+
+def repairable_chain(failure_rate=1e-3, repair_rate=0.05):
+    chain = ContinuousTimeMarkovChain("up")
+    chain.add_transition("up", "down", failure_rate)
+    chain.add_transition("down", "up", repair_rate)
+    return chain
+
+
+class TestConstruction:
+    def test_states_are_registered_in_order(self):
+        chain = repairable_chain()
+        assert chain.states == ("up", "down")
+        assert chain.num_states == 2
+        assert chain.num_transitions == 2
+
+    def test_duplicate_transitions_accumulate(self):
+        chain = ContinuousTimeMarkovChain("a")
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("a", "b", 2.0)
+        matrix = chain.generator_matrix()
+        assert matrix[0, 1] == pytest.approx(3.0)
+
+    def test_generator_rows_sum_to_zero(self):
+        matrix = repairable_chain().generator_matrix()
+        assert np.allclose(matrix.sum(axis=1), 0.0)
+
+    def test_rejects_bad_rates_and_self_loops(self):
+        chain = ContinuousTimeMarkovChain("a")
+        with pytest.raises(AnalysisError):
+            chain.add_transition("a", "b", 0.0)
+        with pytest.raises(AnalysisError):
+            chain.add_transition("a", "b", -1.0)
+        with pytest.raises(AnalysisError):
+            chain.add_transition("a", "a", 1.0)
+
+    def test_is_absorbing(self):
+        chain = ContinuousTimeMarkovChain("up")
+        chain.add_transition("up", "down", 1e-3)
+        assert chain.is_absorbing("down")
+        assert not chain.is_absorbing("up")
+        with pytest.raises(AnalysisError):
+            chain.is_absorbing("nope")
+
+
+class TestTransient:
+    def test_two_state_availability_matches_analytic_formula(self):
+        failure_rate, repair_rate = 1e-3, 0.05
+        chain = repairable_chain(failure_rate, repair_rate)
+        model = RepairableComponent(failure_rate, repair_rate)
+        for t in (0.0, 10.0, 100.0, 1000.0):
+            distribution = chain.transient_distribution(t)
+            assert distribution["down"] == pytest.approx(model.probability_at(t), abs=1e-9)
+            assert distribution["up"] + distribution["down"] == pytest.approx(1.0)
+
+    def test_single_absorbing_transition_is_exponential_cdf(self):
+        rate = 2e-3
+        chain = ContinuousTimeMarkovChain("up")
+        chain.add_transition("up", "down", rate)
+        for t in (1.0, 50.0, 500.0, 5000.0):
+            assert chain.absorption_probability(t) == pytest.approx(
+                1.0 - math.exp(-rate * t), abs=1e-9
+            )
+
+    def test_erlang_two_stage_absorption(self):
+        rate = 1e-3
+        chain = ContinuousTimeMarkovChain(0)
+        chain.add_transition(0, 1, rate)
+        chain.add_transition(1, 2, rate)
+        t = 1500.0
+        expected = 1.0 - math.exp(-rate * t) * (1.0 + rate * t)
+        assert chain.absorption_probability(t) == pytest.approx(expected, abs=1e-9)
+
+    def test_time_zero_is_initial_distribution(self):
+        chain = repairable_chain()
+        distribution = chain.transient_distribution(0.0)
+        assert distribution == {"up": 1.0, "down": 0.0}
+
+    def test_chain_without_transitions(self):
+        chain = ContinuousTimeMarkovChain("only")
+        assert chain.transient_distribution(100.0) == {"only": 1.0}
+
+    def test_probability_in_validates_states(self):
+        chain = repairable_chain()
+        with pytest.raises(AnalysisError):
+            chain.probability_in(["nope"], 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            repairable_chain().transient_distribution(-1.0)
+
+    def test_absorption_requires_an_absorbing_state(self):
+        with pytest.raises(AnalysisError):
+            repairable_chain().absorption_probability(10.0)
+
+    def test_convergence_guard(self):
+        chain = repairable_chain(failure_rate=10.0, repair_rate=10.0)
+        with pytest.raises(AnalysisError):
+            chain.transient_distribution(1e6, max_steps=10)
+
+
+class TestSteadyState:
+    def test_repairable_steady_state(self):
+        failure_rate, repair_rate = 1e-3, 0.05
+        chain = repairable_chain(failure_rate, repair_rate)
+        steady = chain.steady_state()
+        expected_down = failure_rate / (failure_rate + repair_rate)
+        assert steady["down"] == pytest.approx(expected_down, abs=1e-9)
+        assert steady["up"] == pytest.approx(1.0 - expected_down, abs=1e-9)
+
+    def test_absorbing_chain_concentrates_on_absorbing_state(self):
+        chain = ContinuousTimeMarkovChain("up")
+        chain.add_transition("up", "down", 1e-3)
+        steady = chain.steady_state()
+        assert steady["down"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_chain_without_transitions_stays_in_initial_state(self):
+        chain = ContinuousTimeMarkovChain("only")
+        assert chain.steady_state() == {"only": 1.0}
+
+    def test_birth_death_three_states(self):
+        chain = ContinuousTimeMarkovChain(0)
+        chain.add_transition(0, 1, 2.0)
+        chain.add_transition(1, 0, 4.0)
+        chain.add_transition(1, 2, 1.0)
+        chain.add_transition(2, 1, 3.0)
+        steady = chain.steady_state()
+        # Detailed balance: pi1 = pi0 * 2/4, pi2 = pi1 * 1/3.
+        pi0 = 1.0 / (1.0 + 0.5 + 0.5 / 3.0)
+        assert steady[0] == pytest.approx(pi0, abs=1e-9)
+        assert steady[1] == pytest.approx(pi0 * 0.5, abs=1e-9)
+        assert steady[2] == pytest.approx(pi0 * 0.5 / 3.0, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Unit tests for the totalizer cardinality encoding."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.maxsat.cardinality import Totalizer, encode_at_least_k, encode_at_most_k
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SatStatus
+
+
+def build_totalizer(n):
+    solver = CDCLSolver()
+    inputs = [solver.new_var() for _ in range(n)]
+    totalizer = Totalizer(inputs, solver.new_var, solver.add_clause)
+    return solver, inputs, totalizer
+
+
+class TestTotalizerSemantics:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_outputs_count_true_inputs(self, n):
+        solver, inputs, totalizer = build_totalizer(n)
+        assert len(totalizer.outputs) == n
+        for bits in itertools.product([False, True], repeat=n):
+            assumptions = [v if b else -v for v, b in zip(inputs, bits)]
+            result = solver.solve(assumptions)
+            assert result.status is SatStatus.SAT
+            count = sum(bits)
+            for j, output in enumerate(totalizer.outputs, start=1):
+                value = result.model[abs(output)] if output > 0 else not result.model[abs(output)]
+                assert value == (count >= j)
+
+    def test_empty_inputs_rejected(self):
+        solver = CDCLSolver()
+        with pytest.raises(SolverError):
+            Totalizer([], solver.new_var, solver.add_clause)
+
+    def test_at_least_bound_validation(self):
+        _, _, totalizer = build_totalizer(3)
+        with pytest.raises(SolverError):
+            totalizer.at_least(0)
+        with pytest.raises(SolverError):
+            totalizer.at_least(4)
+
+    def test_at_most_returns_negated_outputs(self):
+        _, _, totalizer = build_totalizer(3)
+        units = totalizer.at_most(1)
+        assert units == [-totalizer.outputs[1], -totalizer.outputs[2]]
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("n,k", [(3, 0), (3, 1), (4, 2), (5, 3)])
+    def test_constraint_enforced(self, n, k):
+        solver = CDCLSolver()
+        inputs = [solver.new_var() for _ in range(n)]
+        encode_at_most_k(inputs, k, solver.new_var, solver.add_clause)
+        for bits in itertools.product([False, True], repeat=n):
+            assumptions = [v if b else -v for v, b in zip(inputs, bits)]
+            result = solver.solve(assumptions)
+            expected = sum(bits) <= k
+            assert (result.status is SatStatus.SAT) == expected
+
+    def test_trivial_bound_returns_none(self):
+        solver = CDCLSolver()
+        inputs = [solver.new_var() for _ in range(3)]
+        assert encode_at_most_k(inputs, 3, solver.new_var, solver.add_clause) is None
+
+    def test_negative_bound_rejected(self):
+        solver = CDCLSolver()
+        inputs = [solver.new_var()]
+        with pytest.raises(SolverError):
+            encode_at_most_k(inputs, -1, solver.new_var, solver.add_clause)
+
+
+class TestAtLeastK:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 4), (4, 4)])
+    def test_constraint_enforced(self, n, k):
+        solver = CDCLSolver()
+        inputs = [solver.new_var() for _ in range(n)]
+        encode_at_least_k(inputs, k, solver.new_var, solver.add_clause)
+        for bits in itertools.product([False, True], repeat=n):
+            assumptions = [v if b else -v for v, b in zip(inputs, bits)]
+            result = solver.solve(assumptions)
+            expected = sum(bits) >= k
+            assert (result.status is SatStatus.SAT) == expected
+
+    def test_zero_bound_is_trivial(self):
+        solver = CDCLSolver()
+        inputs = [solver.new_var() for _ in range(2)]
+        assert encode_at_least_k(inputs, 0, solver.new_var, solver.add_clause) is None
+
+    def test_bound_above_size_rejected(self):
+        solver = CDCLSolver()
+        inputs = [solver.new_var() for _ in range(2)]
+        with pytest.raises(SolverError):
+            encode_at_least_k(inputs, 3, solver.new_var, solver.add_clause)

@@ -1,0 +1,67 @@
+"""Unit tests for the stochastic local search upper-bound utility."""
+
+import pytest
+
+from repro.core.encoder import encode_mpmcs
+from repro.exceptions import SolverError
+from repro.maxsat import RC2Engine, WPMaxSATInstance, stochastic_upper_bound
+from repro.workloads.library import fire_protection_system
+
+
+def simple_instance():
+    instance = WPMaxSATInstance(precision=1)
+    instance.add_hard([1, 2])
+    instance.add_soft([-1], 2)
+    instance.add_soft([-2], 5)
+    return instance
+
+
+class TestStochasticUpperBound:
+    def test_returns_feasible_model(self):
+        instance = simple_instance()
+        result = stochastic_upper_bound(instance, seed=3)
+        assert result is not None
+        assert instance.hard_satisfied_by(result.model)
+        assert instance.cost_of_model(result.model) == result.cost
+
+    def test_cost_is_an_upper_bound_on_the_optimum(self):
+        instance = simple_instance()
+        optimum = RC2Engine().solve(instance.copy()).cost
+        result = stochastic_upper_bound(instance, seed=3)
+        assert result.cost >= optimum
+
+    def test_finds_zero_cost_solution_when_one_exists(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1, 2])
+        instance.add_soft([1], 3)
+        instance.add_soft([2, 3], 4)
+        result = stochastic_upper_bound(instance, seed=5, max_flips=500)
+        assert result.cost == 0
+        assert result.float_cost == 0.0
+
+    def test_unsatisfiable_hard_clauses_return_none(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1])
+        assert stochastic_upper_bound(instance) is None
+
+    def test_mpmcs_instance_upper_bound_is_a_real_cut_set(self):
+        encoding = encode_mpmcs(fire_protection_system())
+        optimum = RC2Engine().solve(encoding.instance.copy())
+        result = stochastic_upper_bound(encoding.instance, seed=11, max_flips=5000)
+        assert result is not None
+        # Never better than the proven optimum, never as bad as violating
+        # every soft clause (i.e. the model selects a genuine cut set).
+        assert optimum.cost <= result.cost < encoding.instance.total_soft_weight()
+        cut_set = encoding.cut_set_from_model(result.model)
+        assert fire_protection_system().is_cut_set(cut_set)
+
+    def test_noise_validation(self):
+        with pytest.raises(SolverError):
+            stochastic_upper_bound(simple_instance(), noise=1.5)
+
+    def test_reproducible_from_seed(self):
+        first = stochastic_upper_bound(simple_instance(), seed=9)
+        second = stochastic_upper_bound(simple_instance(), seed=9)
+        assert first.cost == second.cost
+        assert first.model == second.model

@@ -1,0 +1,83 @@
+"""Property-based tests: the new engines must agree with brute force."""
+
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxsat import (
+    BinarySearchEngine,
+    BruteForceEngine,
+    HittingSetEngine,
+    MaxSATStatus,
+    PreprocessingEngine,
+    RC2Engine,
+    WPMaxSATInstance,
+    stochastic_upper_bound,
+)
+
+from tests.conftest import cnf_clause_lists
+
+
+def weighted_soft_units(max_vars: int = 5):
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=20),
+            st.integers(min_value=1, max_value=max_vars),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+
+def build_instance(hard: List[List[int]], soft: List[Tuple[int, int]]) -> WPMaxSATInstance:
+    instance = WPMaxSATInstance(precision=1)
+    for clause in hard:
+        instance.add_hard(clause)
+    for weight, var in soft:
+        instance.add_soft([-var], weight)
+    return instance
+
+
+NEW_ENGINES = [
+    ("hitting-set", HittingSetEngine),
+    ("binary-search", BinarySearchEngine),
+    ("preprocess+rc2", lambda: PreprocessingEngine(RC2Engine())),
+]
+
+
+class TestNewEnginesMatchBruteForce:
+    @settings(max_examples=50, deadline=None)
+    @given(cnf_clause_lists(max_vars=5, max_clauses=8), weighted_soft_units())
+    def test_optimum_cost_matches(self, hard, soft):
+        reference = BruteForceEngine().solve(build_instance(hard, soft))
+        for name, factory in NEW_ENGINES:
+            result = factory().solve(build_instance(hard, soft))
+            assert result.status == reference.status, name
+            if reference.status is MaxSATStatus.OPTIMUM:
+                assert result.cost == reference.cost, (name, hard, soft)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cnf_clause_lists(max_vars=5, max_clauses=8), weighted_soft_units())
+    def test_returned_model_is_consistent(self, hard, soft):
+        for name, factory in NEW_ENGINES:
+            check = build_instance(hard, soft)
+            result = factory().solve(check)
+            if result.status is MaxSATStatus.OPTIMUM:
+                assert check.hard_satisfied_by(result.model), name
+                assert check.cost_of_model(result.model) == result.cost, name
+
+
+class TestLocalSearchIsAnUpperBound:
+    @settings(max_examples=30, deadline=None)
+    @given(cnf_clause_lists(max_vars=5, max_clauses=8), weighted_soft_units())
+    def test_never_below_the_optimum(self, hard, soft):
+        instance = build_instance(hard, soft)
+        reference = BruteForceEngine().solve(build_instance(hard, soft))
+        bound = stochastic_upper_bound(instance, seed=1, max_flips=300, restarts=1)
+        if reference.status is MaxSATStatus.UNSATISFIABLE:
+            assert bound is None
+        else:
+            assert bound is not None
+            assert bound.cost >= reference.cost
+            assert instance.hard_satisfied_by(bound.model)

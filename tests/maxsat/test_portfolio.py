@@ -1,0 +1,105 @@
+"""Unit tests for the parallel MaxSAT portfolio (paper Step 5)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.maxsat import (
+    BruteForceEngine,
+    FuMalikEngine,
+    LinearSearchEngine,
+    MaxSATStatus,
+    PortfolioSolver,
+    RC2Engine,
+    WPMaxSATInstance,
+)
+from repro.maxsat.portfolio import default_engines
+
+
+def sample_instance():
+    instance = WPMaxSATInstance(precision=1)
+    instance.add_hard([1, 2])
+    instance.add_hard([2, 3])
+    instance.add_soft([-1], 4)
+    instance.add_soft([-2], 9)
+    instance.add_soft([-3], 2)
+    return instance
+
+
+class TestConfiguration:
+    def test_default_engines_are_heterogeneous(self):
+        engines = default_engines()
+        assert len(engines) >= 3
+        assert len({engine.name for engine in engines}) == len(engines)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortfolioSolver(mode="gpu")
+
+    def test_empty_engine_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortfolioSolver(engines=[])
+
+    def test_duplicate_engine_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortfolioSolver(engines=[RC2Engine(), RC2Engine()])
+
+
+@pytest.mark.parametrize("mode", ["sequential", "thread"])
+class TestSolving:
+    def test_portfolio_returns_optimum(self, mode):
+        portfolio = PortfolioSolver(mode=mode)
+        result = portfolio.solve(sample_instance())
+        assert result.status is MaxSATStatus.OPTIMUM
+        # Optimal cover of clauses (1|2) and (2|3): set x1 and x3 true (4 + 2 = 6),
+        # cheaper than x2 alone (9).
+        assert result.cost == 6
+
+    def test_report_contains_every_engine(self, mode):
+        portfolio = PortfolioSolver(
+            engines=[RC2Engine(), FuMalikEngine(), LinearSearchEngine()], mode=mode
+        )
+        report = portfolio.solve_with_report(sample_instance())
+        assert report.winner in {"rc2", "fu-malik", "linear-sat-unsat"}
+        assert report.result.status is MaxSATStatus.OPTIMUM
+        assert set(report.engine_statuses) <= {"rc2", "fu-malik", "linear-sat-unsat"}
+        assert report.total_time >= 0.0
+
+    def test_single_engine_portfolio(self, mode):
+        portfolio = PortfolioSolver(engines=[RC2Engine()], mode=mode)
+        result = portfolio.solve(sample_instance())
+        assert result.engine == "rc2"
+        assert result.status is MaxSATStatus.OPTIMUM
+
+    def test_unsatisfiable_instance(self, mode):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1])
+        instance.add_soft([2], 1)
+        result = PortfolioSolver(mode=mode).solve(instance)
+        assert result.status is MaxSATStatus.UNSATISFIABLE
+
+    def test_winner_result_matches_brute_force(self, mode):
+        reference = BruteForceEngine().solve(sample_instance())
+        result = PortfolioSolver(mode=mode).solve(sample_instance())
+        assert result.cost == reference.cost
+
+
+class TestCostOfSampleInstance:
+    def test_reference_cost(self):
+        """Pin down the sample instance's optimum so the parametrised tests above
+        assert a meaningful value: covering clauses (1|2) and (2|3) costs
+        min(weight(x2)=9, weight(x1)+weight(x3)=4+2) = 6."""
+        result = BruteForceEngine().solve(sample_instance())
+        assert result.cost == 6
+
+
+class TestThreadCancellation:
+    def test_losing_engines_are_cancelled_or_finish(self):
+        portfolio = PortfolioSolver(
+            engines=[RC2Engine(), RC2Engine(stratified=True), FuMalikEngine()], mode="thread"
+        )
+        report = portfolio.solve_with_report(sample_instance())
+        # every engine either produced a result or was cancelled -> has a status
+        assert len(report.engine_statuses) == 3
+        for status in report.engine_statuses.values():
+            assert status in {"optimum", "unknown", "unsatisfiable"} or status.startswith("error")

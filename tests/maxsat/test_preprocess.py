@@ -1,0 +1,156 @@
+"""Unit tests for WCNF preprocessing and the preprocessing engine wrapper."""
+
+import pytest
+
+from repro.core.encoder import encode_mpmcs
+from repro.maxsat import (
+    BruteForceEngine,
+    MaxSATStatus,
+    PreprocessingEngine,
+    RC2Engine,
+    WPMaxSATInstance,
+    preprocess_instance,
+)
+from repro.workloads.library import fire_protection_system, pressure_tank
+
+
+class TestUnitPropagation:
+    def test_forced_literals_are_detected(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1, 2])
+        instance.add_hard([-2, 3, 4])
+        result = preprocess_instance(instance)
+        assert not result.proven_unsat
+        assert set(result.forced) == {1, 2}
+        assert result.stats.forced_literals == 2
+
+    def test_conflict_is_detected(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1])
+        result = preprocess_instance(instance)
+        assert result.proven_unsat
+
+    def test_cascading_conflict(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1, 2])
+        instance.add_hard([-2])
+        result = preprocess_instance(instance)
+        assert result.proven_unsat
+
+    def test_forced_literals_are_kept_as_units(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([3])
+        instance.add_hard([1, 2])
+        result = preprocess_instance(instance)
+        assert (3,) in result.instance.hard
+
+
+class TestSoftSimplification:
+    def test_satisfied_soft_clauses_are_dropped(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_soft([1, 2], 5)
+        instance.add_soft([-2], 3)
+        result = preprocess_instance(instance)
+        assert result.stats.soft_dropped_satisfied == 1
+        assert result.instance.num_soft == 1
+        assert result.mandatory_cost == 0
+
+    def test_falsified_soft_clause_becomes_mandatory_cost(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_soft([-1], 7)
+        instance.add_soft([-2], 3)
+        result = preprocess_instance(instance)
+        assert result.stats.soft_dropped_falsified == 1
+        assert result.mandatory_cost == 7
+        assert result.instance.num_soft == 1
+
+    def test_duplicate_soft_clauses_are_merged(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1, 2])
+        instance.add_soft([-1], 2)
+        instance.add_soft([-1], 3)
+        result = preprocess_instance(instance)
+        assert result.stats.soft_merged == 1
+        assert result.instance.num_soft == 1
+        assert result.instance.soft[0].scaled_weight == 5
+
+
+class TestHardSimplification:
+    def test_tautologies_and_duplicates_removed(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1, -1, 2])
+        instance.add_hard([2, 3])
+        instance.add_hard([3, 2])
+        instance.add_soft([-2], 1)
+        result = preprocess_instance(instance)
+        assert result.instance.num_hard == 1
+
+    def test_subsumed_clauses_removed(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1, 2])
+        instance.add_hard([1, 2, 3])
+        instance.add_soft([-1], 1)
+        result = preprocess_instance(instance)
+        assert result.instance.num_hard == 1
+        assert result.stats.subsumed == 1
+
+    def test_subsumption_can_be_disabled(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1, 2])
+        instance.add_hard([1, 2, 3])
+        instance.add_soft([-1], 1)
+        result = preprocess_instance(instance, subsumption=False)
+        assert result.instance.num_hard == 2
+
+    def test_original_instance_is_untouched(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1, 2])
+        instance.add_soft([-2], 3)
+        before = (instance.num_hard, instance.num_soft)
+        preprocess_instance(instance)
+        assert (instance.num_hard, instance.num_soft) == before
+
+
+class TestPreprocessingEngine:
+    def test_matches_plain_engine_on_crafted_instance(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1, 2, 3])
+        instance.add_soft([-1], 4)
+        instance.add_soft([-2], 2)
+        instance.add_soft([-3], 3)
+        plain = BruteForceEngine().solve(instance.copy())
+        wrapped = PreprocessingEngine(BruteForceEngine()).solve(instance)
+        assert wrapped.status is MaxSATStatus.OPTIMUM
+        assert wrapped.cost == plain.cost
+        assert instance.hard_satisfied_by(wrapped.model)
+
+    def test_unsat_is_reported(self):
+        instance = WPMaxSATInstance(precision=1)
+        instance.add_hard([1])
+        instance.add_hard([-1])
+        result = PreprocessingEngine(RC2Engine()).solve(instance)
+        assert result.status is MaxSATStatus.UNSATISFIABLE
+
+    @pytest.mark.parametrize("tree_factory", [fire_protection_system, pressure_tank])
+    def test_mpmcs_instances_solve_identically(self, tree_factory):
+        tree = tree_factory()
+        encoding_plain = encode_mpmcs(tree)
+        encoding_wrapped = encode_mpmcs(tree)
+        plain = RC2Engine().solve(encoding_plain.instance)
+        wrapped = PreprocessingEngine(RC2Engine()).solve(encoding_wrapped.instance)
+        assert wrapped.status is MaxSATStatus.OPTIMUM
+        assert wrapped.cost == plain.cost
+        assert (
+            encoding_wrapped.cut_set_from_model(wrapped.model)
+            == encoding_plain.cut_set_from_model(plain.model)
+        )
+
+    def test_engine_name_mentions_inner(self):
+        assert PreprocessingEngine(RC2Engine()).name == "preprocess+rc2"

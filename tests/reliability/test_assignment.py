@@ -1,0 +1,107 @@
+"""Unit tests for the failure-model assignment layer."""
+
+import math
+
+import pytest
+
+from repro.exceptions import AnalysisError, FaultTreeError
+from repro.fta.builder import FaultTreeBuilder
+from repro.reliability.assignment import MIN_PROBABILITY, ReliabilityAssignment
+from repro.reliability.models import ExponentialFailure, FixedProbability, RepairableComponent
+from repro.workloads.library import fire_protection_system
+
+
+def simple_tree():
+    return (
+        FaultTreeBuilder("simple")
+        .basic_event("a", 0.01)
+        .basic_event("b", 0.02)
+        .basic_event("c", 0.03)
+        .and_gate("bc", ["b", "c"])
+        .or_gate("top", ["a", "bc"])
+        .top("top")
+        .build()
+    )
+
+
+class TestConstruction:
+    def test_defaults_to_static_probabilities(self):
+        tree = fire_protection_system()
+        assignment = ReliabilityAssignment(tree)
+        probabilities = assignment.probabilities_at(12345.0)
+        assert probabilities == pytest.approx(tree.probabilities())
+
+    def test_initial_mapping_is_applied(self):
+        tree = simple_tree()
+        assignment = ReliabilityAssignment(tree, {"a": ExponentialFailure(1e-3)})
+        assert isinstance(assignment.model_for("a"), ExponentialFailure)
+        assert isinstance(assignment.model_for("b"), FixedProbability)
+
+    def test_invalid_tree_is_rejected(self):
+        from repro.fta.tree import FaultTree
+
+        tree = FaultTree("broken")
+        tree.add_basic_event("a", 0.1)
+        with pytest.raises(FaultTreeError):
+            ReliabilityAssignment(tree)
+
+
+class TestAssign:
+    def test_assign_unknown_event_raises(self):
+        assignment = ReliabilityAssignment(simple_tree())
+        with pytest.raises(FaultTreeError):
+            assignment.assign("nope", ExponentialFailure(1e-3))
+
+    def test_assign_non_model_raises(self):
+        assignment = ReliabilityAssignment(simple_tree())
+        with pytest.raises(AnalysisError):
+            assignment.assign("a", 0.5)  # type: ignore[arg-type]
+
+    def test_assign_all(self):
+        assignment = ReliabilityAssignment(simple_tree())
+        assignment.assign_all(
+            {"a": ExponentialFailure(1e-3), "b": RepairableComponent(1e-4, 0.1)}
+        )
+        assert assignment.time_dependent_events() == ("a", "b")
+
+    def test_model_for_unknown_event_raises(self):
+        assignment = ReliabilityAssignment(simple_tree())
+        with pytest.raises(FaultTreeError):
+            assignment.model_for("zzz")
+
+    def test_items_and_event_names(self):
+        assignment = ReliabilityAssignment(simple_tree())
+        names = assignment.event_names
+        assert set(names) == {"a", "b", "c"}
+        assert {name for name, _ in assignment.items()} == {"a", "b", "c"}
+
+
+class TestMaterialisation:
+    def test_probabilities_clamped_to_floor(self):
+        assignment = ReliabilityAssignment(simple_tree(), {"a": ExponentialFailure(1e-3)})
+        probabilities = assignment.probabilities_at(0.0)
+        assert probabilities["a"] == MIN_PROBABILITY
+
+    def test_tree_at_produces_valid_tree(self):
+        assignment = ReliabilityAssignment(simple_tree(), {"a": ExponentialFailure(1e-3)})
+        frozen = assignment.tree_at(1000.0)
+        frozen.validate()
+        assert frozen.probability("a") == pytest.approx(1.0 - math.exp(-1.0))
+        assert frozen.probability("b") == 0.02
+        assert frozen.gate_names == simple_tree().gate_names
+
+    def test_tree_at_does_not_mutate_original(self):
+        tree = simple_tree()
+        assignment = ReliabilityAssignment(tree, {"a": ExponentialFailure(1e-2)})
+        assignment.tree_at(500.0)
+        assert tree.probability("a") == 0.01
+
+    def test_tree_at_name_mentions_time(self):
+        assignment = ReliabilityAssignment(simple_tree())
+        assert "t=250" in assignment.tree_at(250.0).name
+
+    def test_probability_capped_at_one(self):
+        assignment = ReliabilityAssignment(
+            simple_tree(), {"a": FixedProbability(1.0)}
+        )
+        assert assignment.probabilities_at(10.0)["a"] == 1.0

@@ -1,0 +1,178 @@
+"""Unit tests for mission-time curves and the MPMCS-over-time analysis."""
+
+import pytest
+
+from repro.bdd.probability import top_event_probability
+from repro.core.pipeline import MPMCSSolver
+from repro.exceptions import AnalysisError
+from repro.fta.builder import FaultTreeBuilder
+from repro.maxsat.rc2 import RC2Engine
+from repro.reliability.assignment import ReliabilityAssignment
+from repro.reliability.curves import (
+    birnbaum_importance_over_time,
+    mpmcs_crossovers,
+    mpmcs_over_time,
+    time_grid,
+    top_event_curve,
+)
+from repro.reliability.models import ExponentialFailure, FixedProbability
+from repro.workloads.library import fire_protection_system
+
+
+def crossover_tree():
+    """OR(a, AND(b, c)): {a} dominates early, {b, c} dominates late."""
+    return (
+        FaultTreeBuilder("crossover")
+        .basic_event("a", 0.001)
+        .basic_event("b", 0.001)
+        .basic_event("c", 0.001)
+        .and_gate("bc", ["b", "c"])
+        .or_gate("top", ["a", "bc"])
+        .top("top")
+        .build()
+    )
+
+
+def crossover_assignment():
+    assignment = ReliabilityAssignment(crossover_tree())
+    assignment.assign("a", FixedProbability(0.001))
+    assignment.assign("b", ExponentialFailure(1e-3))
+    assignment.assign("c", ExponentialFailure(1e-3))
+    return assignment
+
+
+class TestTimeGrid:
+    def test_linear_grid_includes_endpoints(self):
+        grid = time_grid(0.0, 100.0, 5)
+        assert grid == (0.0, 25.0, 50.0, 75.0, 100.0)
+
+    def test_log_grid_is_geometric(self):
+        grid = time_grid(1.0, 1000.0, 4, spacing="log")
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(1000.0)
+        ratios = [grid[i + 1] / grid[i] for i in range(3)]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(AnalysisError):
+            time_grid(0.0, 10.0, 1)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(AnalysisError):
+            time_grid(10.0, 10.0, 3)
+        with pytest.raises(AnalysisError):
+            time_grid(-1.0, 10.0, 3)
+
+    def test_log_requires_positive_start(self):
+        with pytest.raises(AnalysisError):
+            time_grid(0.0, 10.0, 3, spacing="log")
+
+    def test_unknown_spacing(self):
+        with pytest.raises(AnalysisError):
+            time_grid(0.0, 10.0, 3, spacing="cubic")
+
+
+class TestTopEventCurve:
+    def test_monotone_for_non_repairable_models(self):
+        assignment = crossover_assignment()
+        curve = top_event_curve(assignment, time_grid(0.0, 5000.0, 11))
+        values = curve.probabilities()
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert list(values) == sorted(values)
+
+    def test_matches_bdd_probability_at_each_point(self):
+        assignment = crossover_assignment()
+        times = (100.0, 1000.0, 3000.0)
+        curve = top_event_curve(assignment, times, method="exact")
+        for point in curve.points:
+            frozen = assignment.tree_at(point.time)
+            assert point.value == pytest.approx(top_event_probability(frozen), rel=1e-9)
+
+    def test_static_assignment_gives_flat_curve(self):
+        assignment = ReliabilityAssignment(fire_protection_system())
+        curve = top_event_curve(assignment, (0.0, 10.0, 100.0))
+        first = curve.points[0].value
+        assert all(point.value == pytest.approx(first) for point in curve.points)
+
+    def test_bdd_cut_set_algorithm_agrees_with_mocus(self):
+        assignment = crossover_assignment()
+        times = (10.0, 500.0)
+        mocus_curve = top_event_curve(assignment, times, cut_set_algorithm="mocus")
+        bdd_curve = top_event_curve(assignment, times, cut_set_algorithm="bdd")
+        assert mocus_curve.probabilities() == pytest.approx(bdd_curve.probabilities())
+
+    def test_rows_and_final_probability(self):
+        assignment = crossover_assignment()
+        curve = top_event_curve(assignment, (10.0, 100.0))
+        rows = curve.to_rows()
+        assert len(rows) == 2
+        assert curve.final_probability() == rows[-1][1]
+        assert curve.num_cut_sets == 2
+
+    def test_requires_times(self):
+        with pytest.raises(AnalysisError):
+            top_event_curve(crossover_assignment(), ())
+
+    def test_unknown_cut_set_algorithm(self):
+        with pytest.raises(AnalysisError):
+            top_event_curve(crossover_assignment(), (1.0,), cut_set_algorithm="magic")
+
+
+class TestMPMCSOverTime:
+    def test_crossover_is_detected(self):
+        assignment = crossover_assignment()
+        samples = mpmcs_over_time(
+            assignment,
+            time_grid(1.0, 5000.0, 8, spacing="log"),
+            solver=MPMCSSolver(single_engine=RC2Engine()),
+        )
+        assert samples[0].events == ("a",)
+        assert samples[-1].events == ("b", "c")
+        crossovers = mpmcs_crossovers(samples)
+        assert len(crossovers) == 1
+        before, after = crossovers[0]
+        assert before.events == ("a",)
+        assert after.events == ("b", "c")
+
+    def test_static_tree_has_no_crossover(self):
+        assignment = ReliabilityAssignment(fire_protection_system())
+        samples = mpmcs_over_time(
+            assignment, (1.0, 10.0, 100.0), solver=MPMCSSolver(single_engine=RC2Engine())
+        )
+        assert all(sample.events == ("x1", "x2") for sample in samples)
+        assert mpmcs_crossovers(samples) == []
+
+    def test_probabilities_are_consistent_with_frozen_tree(self):
+        assignment = crossover_assignment()
+        samples = mpmcs_over_time(
+            assignment, (2000.0,), solver=MPMCSSolver(single_engine=RC2Engine())
+        )
+        frozen = assignment.tree_at(2000.0)
+        expected = 1.0
+        for name in samples[0].events:
+            expected *= frozen.probability(name)
+        assert samples[0].probability == pytest.approx(expected)
+
+    def test_requires_times(self):
+        with pytest.raises(AnalysisError):
+            mpmcs_over_time(crossover_assignment(), ())
+
+
+class TestImportanceOverTime:
+    def test_shapes_and_selection(self):
+        assignment = crossover_assignment()
+        curves = birnbaum_importance_over_time(
+            assignment, (10.0, 1000.0, 4000.0), events=("a", "b")
+        )
+        assert set(curves) == {"a", "b"}
+        assert all(len(points) == 3 for points in curves.values())
+
+    def test_importance_of_aging_component_grows(self):
+        assignment = crossover_assignment()
+        curves = birnbaum_importance_over_time(assignment, (10.0, 4000.0))
+        b_curve = curves["b"]
+        assert b_curve[-1].value > b_curve[0].value
+
+    def test_requires_times(self):
+        with pytest.raises(AnalysisError):
+            birnbaum_importance_over_time(crossover_assignment(), ())

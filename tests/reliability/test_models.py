@@ -1,0 +1,168 @@
+"""Unit tests for the component failure/repair models."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ProbabilityError
+from repro.reliability.models import (
+    ExponentialFailure,
+    FailureModel,
+    FixedProbability,
+    PeriodicallyTestedComponent,
+    RepairableComponent,
+    WeibullFailure,
+)
+
+
+class TestFixedProbability:
+    def test_is_constant_in_time(self):
+        model = FixedProbability(0.2)
+        assert model.probability_at(0.0) == 0.2
+        assert model.probability_at(10.0) == 0.2
+        assert model.probability_at(1e6) == 0.2
+
+    def test_zero_and_one_are_accepted(self):
+        assert FixedProbability(0.0).probability_at(5.0) == 0.0
+        assert FixedProbability(1.0).probability_at(5.0) == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan"), float("inf")])
+    def test_rejects_out_of_range_probability(self, bad):
+        with pytest.raises(ProbabilityError):
+            FixedProbability(bad)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ProbabilityError):
+            FixedProbability(0.5).probability_at(-1.0)
+
+    def test_describe_mentions_value(self):
+        assert "0.25" in FixedProbability(0.25).describe()
+
+    def test_mttf_is_undefined(self):
+        assert FixedProbability(0.25).mean_time_to_failure() is None
+
+
+class TestExponentialFailure:
+    def test_zero_time_gives_zero_probability(self):
+        assert ExponentialFailure(1e-3).probability_at(0.0) == 0.0
+
+    def test_matches_analytic_formula(self):
+        rate = 2e-4
+        model = ExponentialFailure(rate)
+        for t in (1.0, 100.0, 5000.0):
+            assert model.probability_at(t) == pytest.approx(1.0 - math.exp(-rate * t))
+
+    def test_monotone_in_time(self):
+        model = ExponentialFailure(1e-3)
+        times = [0.0, 1.0, 10.0, 100.0, 1000.0, 10000.0]
+        values = [model.probability_at(t) for t in times]
+        assert values == sorted(values)
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_mttf(self):
+        assert ExponentialFailure(0.01).mean_time_to_failure() == pytest.approx(100.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_bad_rate(self, bad):
+        with pytest.raises(ProbabilityError):
+            ExponentialFailure(bad)
+
+
+class TestWeibullFailure:
+    def test_shape_one_reduces_to_exponential(self):
+        scale = 500.0
+        weibull = WeibullFailure(shape=1.0, scale=scale)
+        exponential = ExponentialFailure(1.0 / scale)
+        for t in (0.0, 10.0, 250.0, 2000.0):
+            assert weibull.probability_at(t) == pytest.approx(exponential.probability_at(t))
+
+    def test_wearout_shape_grows_faster_late(self):
+        wearout = WeibullFailure(shape=3.0, scale=1000.0)
+        assert wearout.probability_at(100.0) < ExponentialFailure(1e-3).probability_at(100.0)
+        assert wearout.probability_at(3000.0) > 0.99
+
+    def test_mttf_uses_gamma_function(self):
+        model = WeibullFailure(shape=2.0, scale=100.0)
+        assert model.mean_time_to_failure() == pytest.approx(100.0 * math.gamma(1.5))
+
+    @pytest.mark.parametrize("shape,scale", [(0.0, 1.0), (1.0, 0.0), (-2.0, 10.0)])
+    def test_rejects_bad_parameters(self, shape, scale):
+        with pytest.raises(ProbabilityError):
+            WeibullFailure(shape=shape, scale=scale)
+
+
+class TestRepairableComponent:
+    def test_converges_to_steady_state(self):
+        model = RepairableComponent(failure_rate=1e-3, repair_rate=0.1)
+        steady = model.steady_state_unavailability
+        assert steady == pytest.approx(1e-3 / (1e-3 + 0.1))
+        assert model.probability_at(1e6) == pytest.approx(steady, rel=1e-9)
+
+    def test_transient_below_steady_state(self):
+        model = RepairableComponent(failure_rate=1e-3, repair_rate=0.05)
+        for t in (0.0, 1.0, 10.0, 100.0):
+            assert model.probability_at(t) <= model.steady_state_unavailability + 1e-15
+
+    def test_small_time_behaviour_is_lambda_t(self):
+        model = RepairableComponent(failure_rate=1e-4, repair_rate=1e-2)
+        t = 0.01
+        assert model.probability_at(t) == pytest.approx(1e-4 * t, rel=1e-3)
+
+    def test_mttf(self):
+        assert RepairableComponent(2e-3, 0.1).mean_time_to_failure() == pytest.approx(500.0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ProbabilityError):
+            RepairableComponent(failure_rate=0.0, repair_rate=0.1)
+        with pytest.raises(ProbabilityError):
+            RepairableComponent(failure_rate=0.1, repair_rate=-1.0)
+
+
+class TestPeriodicallyTestedComponent:
+    def test_resets_after_each_test(self):
+        model = PeriodicallyTestedComponent(failure_rate=1e-3, test_interval=100.0)
+        just_before = model.probability_at(99.99)
+        just_after = model.probability_at(100.01)
+        assert just_after < just_before
+
+    def test_within_first_interval_matches_exponential(self):
+        model = PeriodicallyTestedComponent(failure_rate=1e-3, test_interval=1000.0)
+        exponential = ExponentialFailure(1e-3)
+        for t in (1.0, 100.0, 999.0):
+            assert model.probability_at(t) == pytest.approx(exponential.probability_at(t))
+
+    def test_average_unavailability_close_to_half_lambda_tau(self):
+        model = PeriodicallyTestedComponent(failure_rate=1e-5, test_interval=100.0)
+        approx = 1e-5 * 100.0 / 2.0
+        assert model.average_unavailability() == pytest.approx(approx, rel=1e-3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ProbabilityError):
+            PeriodicallyTestedComponent(failure_rate=-1.0, test_interval=10.0)
+        with pytest.raises(ProbabilityError):
+            PeriodicallyTestedComponent(failure_rate=1e-3, test_interval=0.0)
+
+
+class TestBaseClass:
+    def test_probability_at_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            FailureModel().probability_at(1.0)
+
+    def test_describe_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            FailureModel().describe()
+
+    def test_default_mttf_is_none(self):
+        assert FailureModel().mean_time_to_failure() is None
+
+    def test_all_models_describe_themselves(self):
+        models = [
+            FixedProbability(0.1),
+            ExponentialFailure(1e-3),
+            WeibullFailure(shape=2.0, scale=100.0),
+            RepairableComponent(1e-3, 0.1),
+            PeriodicallyTestedComponent(1e-3, 100.0),
+        ]
+        for model in models:
+            text = model.describe()
+            assert isinstance(text, str) and text

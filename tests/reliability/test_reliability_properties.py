@@ -1,0 +1,87 @@
+"""Property-based tests for the reliability models and curves."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability.models import (
+    ExponentialFailure,
+    PeriodicallyTestedComponent,
+    RepairableComponent,
+    WeibullFailure,
+)
+
+rates = st.floats(min_value=1e-7, max_value=1.0, allow_nan=False, allow_infinity=False)
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestExponentialProperties:
+    @given(rate=rates, time=times)
+    def test_probability_in_unit_interval(self, rate, time):
+        # exp(-rate * time) underflows to 0 for huge exposures, so 1.0 is reachable.
+        value = ExponentialFailure(rate).probability_at(time)
+        assert 0.0 <= value <= 1.0
+
+    @given(rate=rates, t1=times, t2=times)
+    def test_monotone_in_time(self, rate, t1, t2):
+        model = ExponentialFailure(rate)
+        lo, hi = sorted((t1, t2))
+        assert model.probability_at(lo) <= model.probability_at(hi) + 1e-15
+
+    @given(rate=rates, time=times)
+    def test_bounded_by_rate_times_time(self, rate, time):
+        # 1 - exp(-x) <= x for all x >= 0.
+        assert ExponentialFailure(rate).probability_at(time) <= rate * time + 1e-12
+
+
+class TestWeibullProperties:
+    @given(
+        shape=st.floats(min_value=0.5, max_value=5.0),
+        scale=st.floats(min_value=1.0, max_value=1e5),
+        time=times,
+    )
+    def test_probability_in_unit_interval(self, shape, scale, time):
+        value = WeibullFailure(shape=shape, scale=scale).probability_at(time)
+        assert 0.0 <= value <= 1.0
+
+    @given(scale=st.floats(min_value=1.0, max_value=1e5), time=times)
+    def test_shape_one_equals_exponential(self, scale, time):
+        weibull = WeibullFailure(shape=1.0, scale=scale).probability_at(time)
+        exponential = ExponentialFailure(1.0 / scale).probability_at(time)
+        assert weibull == pytest.approx(exponential, rel=1e-9, abs=1e-12)
+
+
+class TestRepairableProperties:
+    @given(failure_rate=rates, repair_rate=rates, time=times)
+    def test_never_exceeds_steady_state(self, failure_rate, repair_rate, time):
+        model = RepairableComponent(failure_rate, repair_rate)
+        assert model.probability_at(time) <= model.steady_state_unavailability + 1e-15
+
+    @given(failure_rate=rates, repair_rate=rates, t1=times, t2=times)
+    def test_monotone_in_time(self, failure_rate, repair_rate, t1, t2):
+        model = RepairableComponent(failure_rate, repair_rate)
+        lo, hi = sorted((t1, t2))
+        assert model.probability_at(lo) <= model.probability_at(hi) + 1e-15
+
+
+class TestPeriodicallyTestedProperties:
+    @given(
+        rate=st.floats(min_value=1e-7, max_value=1e-2),
+        interval=st.floats(min_value=1.0, max_value=1e4),
+        time=times,
+    )
+    def test_bounded_by_one_interval_exposure(self, rate, interval, time):
+        model = PeriodicallyTestedComponent(failure_rate=rate, test_interval=interval)
+        bound = 1.0 - math.exp(-rate * interval)
+        assert model.probability_at(time) <= bound + 1e-12
+
+    @given(
+        rate=st.floats(min_value=1e-7, max_value=1e-2),
+        interval=st.floats(min_value=1.0, max_value=1e4),
+    )
+    @settings(max_examples=50)
+    def test_average_unavailability_below_worst_case(self, rate, interval):
+        model = PeriodicallyTestedComponent(failure_rate=rate, test_interval=interval)
+        assert 0.0 <= model.average_unavailability() <= 1.0 - math.exp(-rate * interval)

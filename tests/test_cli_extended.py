@@ -1,0 +1,70 @@
+"""Unit tests for the extended CLI subcommands (mcs, importance, topevent, Open-PSA I/O)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fta.parsers.openpsa import to_openpsa
+from repro.workloads.library import fire_protection_system
+
+
+class TestMcsCommand:
+    def test_maxsat_enumeration(self, capsys):
+        assert main(["mcs", "--builtin", "fps", "--limit", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "{x1, x2}" in output
+        assert "single points of failure: x4, x3" in output
+
+    def test_mocus_enumeration(self, capsys):
+        assert main(["mcs", "--builtin", "fps", "--method", "mocus"]) == 0
+        output = capsys.readouterr().out
+        assert "5 minimal cut sets total" in output
+        assert "{x1, x2}" in output
+
+    def test_limit_is_respected(self, capsys):
+        assert main(["mcs", "--builtin", "fps", "--limit", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "#  1" in output and "#  2" in output and "#  3" not in output
+
+
+class TestImportanceCommand:
+    def test_table_printed(self, capsys):
+        assert main(["importance", "--builtin", "fps", "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Fussell-Vesely" in output
+        # three data rows below the two header lines
+        assert len([line for line in output.splitlines() if line.startswith("| x")]) == 3
+
+
+class TestTopEventCommand:
+    def test_estimates_agree(self, capsys):
+        assert main(["topevent", "--builtin", "fps", "--samples", "5000"]) == 0
+        output = capsys.readouterr().out
+        assert "exact (BDD)" in output
+        assert "3.002174e-02" in output
+        assert "Monte Carlo" in output
+        assert "minimal cut sets         : 5" in output
+
+
+class TestOpenPsaIO:
+    def test_analyze_openpsa_file(self, tmp_path, capsys):
+        model = tmp_path / "fps.xml"
+        model.write_text(to_openpsa(fire_protection_system()), encoding="utf-8")
+        assert main(["analyze", str(model), "--quiet"]) == 0
+        assert "x1, x2" in capsys.readouterr().out
+
+    def test_explicit_openpsa_format_flag(self, tmp_path, capsys):
+        model = tmp_path / "fps.model"
+        model.write_text(to_openpsa(fire_protection_system()), encoding="utf-8")
+        assert main(["analyze", str(model), "--quiet", "--format", "openpsa"]) == 0
+        assert "0.02" in capsys.readouterr().out
+
+    def test_generate_openpsa(self, tmp_path, capsys):
+        out = tmp_path / "random.xml"
+        assert main(
+            ["generate", "--events", "12", "--seed", "6", "--out-format", "openpsa", "-o", str(out)]
+        ) == 0
+        text = out.read_text(encoding="utf-8")
+        assert "<opsa-mef>" in text
+        assert main(["analyze", str(out), "--quiet"]) == 0

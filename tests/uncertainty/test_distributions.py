@@ -1,0 +1,136 @@
+"""Unit tests for the epistemic-uncertainty distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProbabilityError
+from repro.uncertainty.distributions import (
+    BetaUncertainty,
+    LognormalUncertainty,
+    PointEstimate,
+    TriangularUncertainty,
+    UncertainProbability,
+    UniformUncertainty,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+ALL_DISTRIBUTIONS = [
+    PointEstimate(0.01),
+    LognormalUncertainty(median=0.001, error_factor=3.0),
+    BetaUncertainty(alpha=2.0, beta=50.0),
+    UniformUncertainty(low=0.001, high=0.01),
+    TriangularUncertainty(low=0.001, mode=0.005, high=0.02),
+]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_samples_are_valid_probabilities(self, distribution):
+        samples = distribution.sample(rng(), 500)
+        assert samples.shape == (500,)
+        assert np.all(samples > 0.0)
+        assert np.all(samples <= 1.0)
+
+    @pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_describe_is_non_empty(self, distribution):
+        assert distribution.describe()
+
+    @pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+    def test_sampling_is_reproducible_from_seed(self, distribution):
+        first = distribution.sample(np.random.default_rng(7), 100)
+        second = distribution.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(first, second)
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            UncertainProbability().sample(rng(), 1)
+        with pytest.raises(NotImplementedError):
+            UncertainProbability().mean()
+        with pytest.raises(NotImplementedError):
+            UncertainProbability().describe()
+
+
+class TestPointEstimate:
+    def test_all_samples_equal_value(self):
+        samples = PointEstimate(0.05).sample(rng(), 50)
+        assert np.all(samples == 0.05)
+
+    def test_mean(self):
+        assert PointEstimate(0.05).mean() == 0.05
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, float("nan")])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ProbabilityError):
+            PointEstimate(bad)
+
+
+class TestLognormal:
+    def test_sigma_from_error_factor(self):
+        distribution = LognormalUncertainty(median=0.001, error_factor=3.0)
+        assert distribution.sigma == pytest.approx(math.log(3.0) / 1.645, rel=1e-3)
+
+    def test_sample_median_close_to_parameter(self):
+        distribution = LognormalUncertainty(median=0.001, error_factor=3.0)
+        samples = distribution.sample(np.random.default_rng(0), 20000)
+        assert np.median(samples) == pytest.approx(0.001, rel=0.05)
+
+    def test_mean_is_above_median(self):
+        distribution = LognormalUncertainty(median=0.001, error_factor=10.0)
+        assert distribution.mean() > 0.001
+
+    def test_percentiles_bracket_median(self):
+        distribution = LognormalUncertainty(median=0.001, error_factor=3.0)
+        assert distribution.percentile(5.0) < 0.001 < distribution.percentile(95.0)
+        assert distribution.percentile(95.0) == pytest.approx(0.003, rel=1e-2)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ProbabilityError):
+            LognormalUncertainty(median=0.001, error_factor=3.0).percentile(0.0)
+
+    @pytest.mark.parametrize("median,ef", [(0.0, 3.0), (1.5, 3.0), (0.1, 0.5)])
+    def test_rejects_invalid(self, median, ef):
+        with pytest.raises(ProbabilityError):
+            LognormalUncertainty(median=median, error_factor=ef)
+
+
+class TestBeta:
+    def test_mean(self):
+        assert BetaUncertainty(alpha=2.0, beta=8.0).mean() == pytest.approx(0.2)
+
+    def test_sample_mean_close_to_analytic(self):
+        distribution = BetaUncertainty(alpha=2.0, beta=8.0)
+        samples = distribution.sample(np.random.default_rng(1), 20000)
+        assert np.mean(samples) == pytest.approx(0.2, rel=0.05)
+
+    @pytest.mark.parametrize("alpha,beta", [(0.0, 1.0), (1.0, -2.0)])
+    def test_rejects_invalid(self, alpha, beta):
+        with pytest.raises(ProbabilityError):
+            BetaUncertainty(alpha=alpha, beta=beta)
+
+
+class TestUniformAndTriangular:
+    def test_uniform_mean_and_bounds(self):
+        distribution = UniformUncertainty(low=0.2, high=0.4)
+        assert distribution.mean() == pytest.approx(0.3)
+        samples = distribution.sample(rng(), 1000)
+        assert np.all((samples >= 0.2) & (samples <= 0.4))
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ProbabilityError):
+            UniformUncertainty(low=0.4, high=0.2)
+
+    def test_triangular_mean_and_bounds(self):
+        distribution = TriangularUncertainty(low=0.1, mode=0.2, high=0.4)
+        assert distribution.mean() == pytest.approx((0.1 + 0.2 + 0.4) / 3.0)
+        samples = distribution.sample(rng(), 1000)
+        assert np.all((samples >= 0.1) & (samples <= 0.4))
+
+    def test_triangular_rejects_mode_outside_bounds(self):
+        with pytest.raises(ProbabilityError):
+            TriangularUncertainty(low=0.1, mode=0.5, high=0.4)

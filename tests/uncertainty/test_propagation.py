@@ -1,0 +1,187 @@
+"""Unit tests for Monte Carlo uncertainty propagation and uncertainty importance."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.fta.builder import FaultTreeBuilder
+from repro.uncertainty.distributions import (
+    LognormalUncertainty,
+    PointEstimate,
+    UniformUncertainty,
+)
+from repro.uncertainty.importance import (
+    spearman_correlation,
+    uncertainty_importance,
+)
+from repro.uncertainty.propagation import SampleSummary, propagate_uncertainty
+from repro.workloads.library import fire_protection_system
+
+
+def small_tree():
+    return (
+        FaultTreeBuilder("small")
+        .basic_event("a", 0.01)
+        .basic_event("b", 0.02)
+        .basic_event("c", 0.05)
+        .and_gate("ab", ["a", "b"])
+        .or_gate("top", ["ab", "c"])
+        .top("top")
+        .build()
+    )
+
+
+class TestSampleSummary:
+    def test_from_samples(self):
+        summary = SampleSummary.from_samples(np.array([1.0, 2.0, 3.0, 4.0]), (50.0,))
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.percentiles[50.0] == pytest.approx(2.5)
+
+    def test_single_sample_has_zero_std(self):
+        summary = SampleSummary.from_samples(np.array([2.0]), (50.0,))
+        assert summary.std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            SampleSummary.from_samples(np.array([]), (50.0,))
+
+
+class TestPropagation:
+    def test_point_estimates_give_degenerate_output(self):
+        tree = fire_protection_system()
+        result = propagate_uncertainty(tree, {}, num_samples=200, seed=1)
+        # With no uncertainty every sample is identical.
+        assert result.top_event.std == pytest.approx(0.0, abs=1e-15)
+        assert result.mpmcs_identity_stability == 1.0
+        assert result.mpmcs_frequencies[0][0] == ("x1", "x2")
+        assert result.point_estimate_mpmcs == ("x1", "x2")
+
+    def test_mpmcs_probability_mean_close_to_point_estimate(self):
+        tree = fire_protection_system()
+        result = propagate_uncertainty(tree, {}, num_samples=100, seed=3)
+        assert result.mpmcs_probability.mean == pytest.approx(0.02, rel=1e-9)
+
+    def test_uncertain_inputs_produce_spread(self):
+        tree = fire_protection_system()
+        spec = {"x1": LognormalUncertainty(median=0.2, error_factor=3.0)}
+        result = propagate_uncertainty(tree, spec, num_samples=500, seed=5)
+        assert result.top_event.std > 0.0
+        assert result.top_event.percentiles[5.0] < result.top_event.percentiles[95.0]
+
+    def test_identity_instability_is_detected(self):
+        # Two competing single-event cut sets with overlapping uncertainty:
+        # OR(a, b) where a and b have wide, overlapping distributions.
+        tree = (
+            FaultTreeBuilder("competition")
+            .basic_event("a", 0.01)
+            .basic_event("b", 0.01)
+            .or_gate("top", ["a", "b"])
+            .top("top")
+            .build()
+        )
+        spec = {
+            "a": UniformUncertainty(low=0.001, high=0.02),
+            "b": UniformUncertainty(low=0.001, high=0.02),
+        }
+        result = propagate_uncertainty(tree, spec, num_samples=1000, seed=11)
+        frequencies = dict(result.mpmcs_frequencies)
+        assert frequencies[("a",)] == pytest.approx(0.5, abs=0.1)
+        assert frequencies[("b",)] == pytest.approx(0.5, abs=0.1)
+        assert result.mpmcs_identity_stability < 0.9
+
+    def test_methods_are_ordered(self):
+        tree = small_tree()
+        spec = {"c": UniformUncertainty(low=0.01, high=0.1)}
+        rare = propagate_uncertainty(tree, spec, num_samples=300, seed=7, method="rare-event")
+        bound = propagate_uncertainty(
+            tree, spec, num_samples=300, seed=7, method="min-cut-upper-bound"
+        )
+        exact = propagate_uncertainty(tree, spec, num_samples=300, seed=7, method="exact")
+        # Rare-event >= min-cut upper bound >= exact, for identical samples.
+        assert rare.top_event.mean >= bound.top_event.mean - 1e-12
+        assert bound.top_event.mean >= exact.top_event.mean - 1e-12
+        assert exact.top_event.mean == pytest.approx(bound.top_event.mean, rel=0.05)
+
+    def test_bdd_cut_set_algorithm_agrees(self):
+        tree = small_tree()
+        spec = {"c": UniformUncertainty(low=0.01, high=0.1)}
+        mocus = propagate_uncertainty(tree, spec, num_samples=200, seed=9)
+        bdd = propagate_uncertainty(tree, spec, num_samples=200, seed=9, cut_set_algorithm="bdd")
+        assert mocus.top_event.mean == pytest.approx(bdd.top_event.mean)
+
+    def test_to_dict_round_trip(self):
+        result = propagate_uncertainty(fire_protection_system(), {}, num_samples=50, seed=2)
+        payload = result.to_dict()
+        assert payload["tree"] == "fire-protection-system"
+        assert payload["samples"] == 50
+        assert payload["point_estimate_mpmcs"] == ["x1", "x2"]
+        assert payload["mpmcs_frequencies"][0]["frequency"] == 1.0
+
+    def test_validation_errors(self):
+        tree = small_tree()
+        with pytest.raises(AnalysisError):
+            propagate_uncertainty(tree, {"zzz": PointEstimate(0.1)}, num_samples=10)
+        with pytest.raises(AnalysisError):
+            propagate_uncertainty(tree, {"a": 0.5}, num_samples=10)  # type: ignore[dict-item]
+        with pytest.raises(AnalysisError):
+            propagate_uncertainty(tree, {}, num_samples=1)
+        with pytest.raises(AnalysisError):
+            propagate_uncertainty(tree, {}, num_samples=10, method="magic")
+        with pytest.raises(AnalysisError):
+            propagate_uncertainty(tree, {}, num_samples=10, cut_set_algorithm="magic")
+
+
+class TestSpearman:
+    def test_perfect_monotone_relationship(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert spearman_correlation(x, x**3) == pytest.approx(1.0)
+        assert spearman_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        x = np.full(10, 0.5)
+        y = np.arange(10, dtype=float)
+        assert spearman_correlation(x, y) == 0.0
+
+    def test_ties_are_handled(self):
+        x = np.array([1.0, 1.0, 2.0, 2.0, 3.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        value = spearman_correlation(x, y)
+        assert 0.8 < value <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            spearman_correlation(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(AnalysisError):
+            spearman_correlation(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+
+class TestUncertaintyImportance:
+    def test_uncertain_event_dominates_ranking(self):
+        tree = fire_protection_system()
+        spec = {"x3": LognormalUncertainty(median=0.001, error_factor=10.0)}
+        result = propagate_uncertainty(tree, spec, num_samples=800, seed=13)
+        ranking = uncertainty_importance(result)
+        assert ranking[0].event == "x3"
+        assert ranking[0].magnitude > 0.9
+        # Point-estimate events contribute no uncertainty.
+        others = {measure.event: measure for measure in ranking[1:]}
+        assert all(measure.spearman == 0.0 for measure in others.values())
+
+    def test_mpmcs_target(self):
+        tree = fire_protection_system()
+        spec = {"x1": LognormalUncertainty(median=0.2, error_factor=2.0)}
+        result = propagate_uncertainty(tree, spec, num_samples=500, seed=17)
+        ranking = uncertainty_importance(result, target="mpmcs")
+        assert ranking[0].event == "x1"
+
+    def test_event_selection_and_errors(self):
+        tree = fire_protection_system()
+        result = propagate_uncertainty(tree, {}, num_samples=50, seed=19)
+        subset = uncertainty_importance(result, events=("x1", "x2"))
+        assert {measure.event for measure in subset} == {"x1", "x2"}
+        with pytest.raises(AnalysisError):
+            uncertainty_importance(result, events=("nope",))
+        with pytest.raises(AnalysisError):
+            uncertainty_importance(result, target="magic")

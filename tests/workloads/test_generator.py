@@ -1,0 +1,118 @@
+"""Unit and property tests for the random fault-tree generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.fta.gates import GateType
+from repro.workloads.generator import GeneratorConfig, random_fault_tree
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        first = random_fault_tree(num_basic_events=50, seed=7)
+        second = random_fault_tree(num_basic_events=50, seed=7)
+        assert first.probabilities() == second.probabilities()
+        assert {g.name: g.children for g in first.gates.values()} == {
+            g.name: g.children for g in second.gates.values()
+        }
+        assert first.top_event == second.top_event
+
+    def test_different_seed_different_tree(self):
+        first = random_fault_tree(num_basic_events=50, seed=1)
+        second = random_fault_tree(num_basic_events=50, seed=2)
+        assert first.probabilities() != second.probabilities()
+
+
+class TestStructure:
+    def test_requested_event_count(self):
+        tree = random_fault_tree(num_basic_events=123, seed=0)
+        assert tree.num_events == 123
+
+    def test_generated_tree_always_validates(self):
+        tree = random_fault_tree(num_basic_events=200, seed=3, voting_ratio=0.2)
+        tree.validate()
+
+    def test_probability_range_respected(self):
+        config = GeneratorConfig(
+            num_basic_events=100, probability_range=(1e-4, 1e-2), seed=11
+        )
+        tree = random_fault_tree(config)
+        for probability in tree.probabilities().values():
+            assert 1e-4 * 0.999 <= probability <= 1e-2 * 1.001
+
+    def test_voting_gates_generated_when_requested(self):
+        config = GeneratorConfig(
+            num_basic_events=150,
+            voting_ratio=1.0,
+            and_ratio=0.0,
+            or_ratio=0.0,
+            gate_arity=(3, 4),
+            seed=5,
+        )
+        tree = random_fault_tree(config)
+        assert any(g.gate_type is GateType.VOTING for g in tree.gates.values())
+
+    def test_event_reuse_creates_shared_children(self):
+        tree = random_fault_tree(num_basic_events=60, seed=9, event_reuse=0.4)
+        reference_counts = {}
+        for gate in tree.gates.values():
+            for child in gate.children:
+                reference_counts[child] = reference_counts.get(child, 0) + 1
+        assert any(count > 1 for count in reference_counts.values())
+        tree.validate()
+
+    def test_custom_name(self):
+        assert random_fault_tree(num_basic_events=10, seed=0, name="bench-1").name == "bench-1"
+
+
+class TestConfigValidation:
+    def test_too_few_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=1, seed=0)
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, gate_arity=(1, 3), seed=0)
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, gate_arity=(4, 2), seed=0)
+
+    def test_invalid_ratios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, and_ratio=-1.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(
+                num_basic_events=10, and_ratio=0.0, or_ratio=0.0, voting_ratio=0.0, seed=0
+            )
+
+    def test_invalid_probability_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, probability_range=(0.5, 0.1), seed=0)
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, probability_range=(0.0, 0.1), seed=0)
+
+    def test_invalid_event_reuse_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, event_reuse=1.0, seed=0)
+
+    def test_config_and_overrides_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(GeneratorConfig(), num_basic_events=10)
+
+
+class TestGeneratedTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.0, max_value=0.4),
+    )
+    def test_always_valid_and_analysable(self, num_events, seed, voting_ratio):
+        tree = random_fault_tree(
+            num_basic_events=num_events, seed=seed, voting_ratio=voting_ratio
+        )
+        tree.validate()
+        assert tree.num_events == num_events
+        # the all-events set must always be a cut set of a coherent tree
+        assert tree.is_cut_set(tree.event_names)

@@ -1,0 +1,79 @@
+"""Unit tests for the canonical tree library."""
+
+import pytest
+
+from repro.exceptions import FaultTreeError
+from repro.workloads.library import (
+    NAMED_TREES,
+    fire_protection_system,
+    get_tree,
+    pressure_tank,
+    redundant_power_supply,
+    three_motor_system,
+)
+
+
+class TestFireProtectionSystem:
+    def test_structure_matches_paper(self):
+        tree = fire_protection_system()
+        assert tree.num_events == 7
+        assert tree.num_gates == 5
+        assert tree.top_event == "fps_failure"
+        assert tree.depth() == 5
+
+    def test_probabilities_match_table_one(self):
+        tree = fire_protection_system()
+        expected = {
+            "x1": 0.2,
+            "x2": 0.1,
+            "x3": 0.001,
+            "x4": 0.002,
+            "x5": 0.05,
+            "x6": 0.1,
+            "x7": 0.05,
+        }
+        assert tree.probabilities() == expected
+
+    def test_structure_function_shape(self):
+        tree = fire_protection_system()
+        # Detection needs both sensors; suppression has three alternatives.
+        assert tree.evaluate({"x1": True, "x2": True}) is True
+        assert tree.evaluate({"x1": True}) is False
+        assert tree.evaluate({"x3": True}) is True
+        assert tree.evaluate({"x5": True, "x6": True}) is True
+        assert tree.evaluate({"x6": True, "x7": True}) is False
+
+
+class TestOtherTrees:
+    def test_pressure_tank_validates(self):
+        tree = pressure_tank()
+        assert tree.num_events == 6
+        tree.validate()
+
+    def test_redundant_power_supply_has_voting_gate(self):
+        tree = redundant_power_supply()
+        assert tree.statistics()["num_voting_gates"] == 1
+
+    def test_three_motor_system_shares_events(self):
+        tree = three_motor_system()
+        referencing = [
+            gate.name for gate in tree.gates.values() if "control_circuit" in gate.children
+        ]
+        assert len(referencing) == 3
+
+    def test_every_library_tree_is_valid(self):
+        for name in set(NAMED_TREES):
+            tree = get_tree(name)
+            tree.validate()
+            assert tree.num_events >= 5
+
+    def test_registry_lookup(self):
+        assert get_tree("fps").name == "fire-protection-system"
+        with pytest.raises(FaultTreeError):
+            get_tree("does-not-exist")
+
+    def test_factories_return_fresh_instances(self):
+        first = fire_protection_system()
+        second = fire_protection_system()
+        first.set_probability("x1", 0.9)
+        assert second.probability("x1") == 0.2

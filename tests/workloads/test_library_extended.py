@@ -1,0 +1,98 @@
+"""Tests for the extended canonical tree library."""
+
+import pytest
+
+from repro.analysis.mocus import mocus_mpmcs
+from repro.core.pipeline import MPMCSSolver
+from repro.maxsat.rc2 import RC2Engine
+from repro.workloads.library import (
+    NAMED_TREES,
+    aircraft_hydraulic_system,
+    chemical_reactor_protection,
+    data_center_power,
+    emergency_shutdown_system,
+    get_tree,
+    railway_level_crossing,
+    scada_water_treatment,
+)
+
+NEW_TREES = [
+    chemical_reactor_protection,
+    railway_level_crossing,
+    scada_water_treatment,
+    data_center_power,
+    aircraft_hydraulic_system,
+    emergency_shutdown_system,
+]
+NEW_TREE_IDS = [factory.__name__ for factory in NEW_TREES]
+
+
+@pytest.fixture(params=NEW_TREES, ids=NEW_TREE_IDS)
+def new_tree(request):
+    return request.param()
+
+
+class TestStructure:
+    def test_tree_validates(self, new_tree):
+        new_tree.validate()
+
+    def test_tree_is_non_trivial(self, new_tree):
+        assert new_tree.num_events >= 7
+        assert new_tree.num_gates >= 4
+        assert new_tree.depth() >= 3
+
+    def test_registered_in_named_trees(self):
+        for name in (
+            "chemical-reactor",
+            "railway-crossing",
+            "scada-water",
+            "data-center-power",
+            "aircraft-hydraulics",
+            "emergency-shutdown",
+        ):
+            tree = get_tree(name)
+            tree.validate()
+            assert NAMED_TREES[name]().name == tree.name
+
+    def test_factories_are_deterministic(self, new_tree):
+        # Rebuilding from the registry returns an identical structure.
+        again = NAMED_TREES[
+            {
+                "chemical-reactor-protection": "chemical-reactor",
+                "railway-level-crossing": "railway-crossing",
+                "scada-water-treatment": "scada-water",
+                "data-center-power": "data-center-power",
+                "aircraft-hydraulic-system": "aircraft-hydraulics",
+                "emergency-shutdown-system": "emergency-shutdown",
+            }[new_tree.name]
+        ]()
+        assert again.probabilities() == new_tree.probabilities()
+        assert set(again.gate_names) == set(new_tree.gate_names)
+
+
+class TestMPMCSConsistency:
+    def test_maxsat_agrees_with_mocus(self, new_tree):
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(new_tree)
+        mocus_events, mocus_probability = mocus_mpmcs(new_tree)
+        assert result.probability == pytest.approx(mocus_probability, rel=1e-9)
+        assert new_tree.is_minimal_cut_set(result.events)
+
+    def test_emergency_shutdown_mpmcs_is_the_common_cause(self):
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(emergency_shutdown_system())
+        assert result.events == ("transmitters_miscalibrated",)
+        assert result.probability == pytest.approx(5e-4)
+
+    def test_data_center_mpmcs_is_the_transfer_switch(self):
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(data_center_power())
+        assert result.events == ("transfer_switch_fails",)
+        assert result.probability == pytest.approx(2e-3)
+
+    def test_railway_mpmcs_is_the_shared_power_supply(self):
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(railway_level_crossing())
+        assert result.events == ("power_supply_fails",)
+        assert result.probability == pytest.approx(1e-3)
+
+    def test_scada_mpmcs_is_the_dosing_pump(self):
+        result = MPMCSSolver(single_engine=RC2Engine()).solve(scada_water_treatment())
+        assert result.events == ("dosing_pump_fails",)
+        assert result.probability == pytest.approx(3e-3)
