@@ -17,12 +17,25 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).resolve().parent.parent / "src"
 
 try:  # pragma: no cover - import guard
     import repro  # noqa: F401
 except ImportError:  # pragma: no cover
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Tag every test in this directory with the ``bench`` marker.
+
+    The default run (``testpaths = tests`` in pytest.ini) already skips this
+    directory; the marker additionally allows ``-m "not bench"`` to deselect
+    benchmarks when they are collected explicitly alongside other tests.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 def emit(title: str, lines) -> None:

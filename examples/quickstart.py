@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Quickstart: reproduce the paper's worked example end to end.
+"""Quickstart: reproduce the paper's worked example through the unified API.
 
 This script builds the cyber-physical Fire Protection System of Fig. 1,
-prints the Table I probability/weight table, runs the six-step MaxSAT
-pipeline, and shows the Maximum Probability Minimal Cut Set — {x1, x2} with a
-joint probability of 0.02 — together with the runner-up cut sets and the JSON
-report the MPMCS4FTA tool would write (Fig. 2).
+prints the Table I probability/weight table, and runs one composite
+:class:`repro.AnalysisSession` request — MPMCS, top-k ranking, top-event
+probability and importance measures in a single call that computes shared
+artifacts (CNF encoding, minimal cut sets, BDD) exactly once.  It then shows
+the same MPMCS coming back from every registered backend (the paper's MaxSAT
+pipeline and the classical MOCUS/BDD/brute-force baselines) and writes the
+JSON report the MPMCS4FTA tool would produce (Fig. 2).
 
 Run it with::
 
@@ -14,47 +17,72 @@ Run it with::
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import MPMCSSolver, enumerate_mpmcs, fire_protection_system
-from repro.reporting.ascii_art import render_tree
-from repro.reporting.json_report import analysis_report
+from repro import AnalysisSession, available_backends, fire_protection_system
+from repro.reporting import render_report, write_report
 from repro.reporting.tables import weights_table
 
 
 def main() -> int:
     # ------------------------------------------------------------------ model
     tree = fire_protection_system()
-    print("Fault tree (paper Fig. 1):\n")
-    print(render_tree(tree))
+
+    # ----------------------------------------------------- the unified facade
+    session = AnalysisSession()
+    report = session.analyze(
+        tree,
+        analyses=["mpmcs", "ranking", "top_event", "importance", "spof"],
+        top_k=5,
+    )
+
+    print("Fault tree (paper Fig. 1), MPMCS highlighted:\n")
+    print(render_report(report, "ascii"))
 
     # --------------------------------------------------- Step 3: -log weights
     print("\nProbabilities and -log weights (paper Table I):\n")
     print(weights_table(tree))
 
-    # --------------------------------------------- Steps 1-6: MPMCS pipeline
-    solver = MPMCSSolver()  # default: parallel portfolio of MaxSAT engines
-    result = solver.solve(tree)
-
+    # ------------------------------------------------------------ the answers
+    summary = report.mpmcs
     print("\nMaximum Probability Minimal Cut Set (paper Section II):")
-    print(f"  MPMCS       = {{{', '.join(result.events)}}}")
-    print(f"  probability = {result.probability:.6g}   (paper: 0.02)")
-    print(f"  -log cost   = {result.cost:.5f}")
-    print(f"  engine      = {result.engine} ({result.solve_time * 1000:.1f} ms)")
+    print(f"  MPMCS       = {{{', '.join(summary.events)}}}")
+    print(f"  probability = {summary.probability:.6g}   (paper: 0.02)")
+    print(f"  -log cost   = {summary.cost:.5f}")
+    print(f"  engine      = {summary.engine} ({summary.solve_time * 1000:.1f} ms)")
 
-    # ------------------------------------------------------- top-k extension
     print("\nAll minimal cut sets ranked by probability:")
-    for entry in enumerate_mpmcs(tree, 5):
+    for entry in report.ranking:
         print(f"  #{entry.rank}: {{{', '.join(entry.events)}}}  p = {entry.probability:.6g}")
+
+    print(f"\nExact top-event probability (BDD): {report.top_event.exact:.6e}")
+    print("Importance (Fussell-Vesely):")
+    for name, measure in sorted(
+        report.importance.items(), key=lambda item: -item[1].fussell_vesely
+    )[:3]:
+        print(f"  {name:<4s} {measure.fussell_vesely:.4f}")
+
+    # ------------------------------------- every backend, one facade, one answer
+    print("\nCross-backend agreement (the registry):")
+    for name in sorted(available_backends()):
+        capabilities = available_backends()[name].capabilities()
+        if "mpmcs" not in capabilities:
+            continue
+        check = AnalysisSession().analyze(tree, ["mpmcs"], backend=name)
+        print(f"  {name:<12s} -> {{{', '.join(check.mpmcs.events)}}} "
+              f"p = {check.mpmcs.probability:.6g}")
+
+    # The session cached the expensive intermediates: composite requests
+    # compute the CNF encoding / cut sets / BDD once.
+    print(f"\nArtifact cache: {session.cache_info()}")
 
     # ------------------------------------------------- Fig. 2 style JSON output
     report_path = Path(__file__).resolve().parent / "fps_report.json"
-    report_path.write_text(json.dumps(analysis_report(tree, result), indent=2), encoding="utf-8")
-    print(f"\nJSON report (Fig. 2 equivalent) written to {report_path}")
+    write_report(report, report_path)
+    print(f"JSON report (Fig. 2 equivalent) written to {report_path}")
     return 0
 
 

@@ -105,10 +105,16 @@ class CutSetCollection:
         return probability_of_cut_set(cut_set, self._require_probabilities())
 
     def ranked(self) -> List[Tuple[CutSet, float]]:
-        """All cut sets sorted by decreasing probability."""
+        """All cut sets sorted by decreasing probability.
+
+        Ties are broken canonically — smaller cut sets first, then the
+        lexicographically smallest sorted event tuple — so that every backend
+        (MOCUS, BDD, brute force, canonicalised MaxSAT) ranks identically and
+        cross-backend equality checks are reproducible.
+        """
         probabilities = self._require_probabilities()
         scored = [(cs, probability_of_cut_set(cs, probabilities)) for cs in self.cut_sets]
-        return sorted(scored, key=lambda item: (-item[1], sorted(item[0])))
+        return sorted(scored, key=lambda item: (-item[1], len(item[0]), tuple(sorted(item[0]))))
 
     def most_probable(self) -> Tuple[CutSet, float]:
         """The Maximum Probability Minimal Cut Set and its probability.

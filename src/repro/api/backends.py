@@ -1,0 +1,395 @@
+"""Built-in analysis backends: adapters over the library's strategies.
+
+Each backend wraps one resolution strategy behind the common
+:class:`~repro.api.registry.AnalysisBackend` protocol:
+
+===============  =======================================================
+``maxsat``       The paper's six-step Weighted Partial MaxSAT pipeline
+                 (MPMCS and blocking-clause top-k ranking).
+``mocus``        Classical top-down MOCUS enumeration plus the analyses
+                 derived from a full cut-set collection (importance,
+                 probability bounds, SPOF, modules, truncation).
+``bdd``          The ROBDD engine (exact probability, Rauzy-style cut
+                 sets, dynamic-programming MPMCS).
+``brute-force``  Exhaustive ground-truth enumeration for small trees.
+``monte-carlo``  Sampling estimator of the top-event probability.
+===============  =======================================================
+
+All backends share the session's :class:`~repro.api.cache.ArtifactCache`:
+the Tseitin CNF encoding, the minimal cut sets (a canonical object — every
+enumeration strategy produces the same collection) and the compiled BDD are
+each computed once per structurally identical tree and reused across
+analyses and backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.analysis.bruteforce import brute_force_minimal_cut_sets
+from repro.analysis.cutsets import CutSetCollection
+from repro.analysis.importance import importance_measures
+from repro.analysis.mocus import mocus_minimal_cut_sets
+from repro.analysis.modules import modularisation_report
+from repro.analysis.montecarlo import estimate_top_event_probability
+from repro.analysis.spof import single_points_of_failure
+from repro.analysis.topevent import (
+    birnbaum_bound,
+    exact_top_event_probability,
+    rare_event_approximation,
+)
+from repro.analysis.truncation import truncated_cut_sets
+from repro.api.cache import ARTIFACT_BDD, ARTIFACT_CUT_SETS, ARTIFACT_ENCODING
+from repro.api.registry import AnalysisBackend, register_backend
+from repro.api.report import AnalysisReport, AnalysisRequest, MPMCSSummary, TopEventSummary
+from repro.bdd.cutsets import cut_sets_of_bdd
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.ordering import variable_order
+from repro.bdd.probability import mpmcs_of_bdd, probability_of_bdd
+from repro.core.encoder import MPMCSEncoding, encode_mpmcs
+from repro.core.pipeline import MPMCSResult, MPMCSSolver
+from repro.core.topk import RankedCutSet
+from repro.core.weights import weight_of_cut_set
+from repro.exceptions import AnalysisError
+from repro.fta.tree import FaultTree
+
+__all__ = [
+    "BDDBackend",
+    "BruteForceBackend",
+    "MaxSATBackend",
+    "MocusBackend",
+    "MonteCarloBackend",
+]
+
+#: Maximum number of cut sets for which the exact inclusion-exclusion
+#: top-event probability is attempted by the cut-set based backends.
+_MAX_EXACT_CUT_SETS = 20
+
+
+def _clone_encoding(encoding: MPMCSEncoding) -> MPMCSEncoding:
+    """A copy of ``encoding`` whose instance can be extended with blocking clauses."""
+    return MPMCSEncoding(
+        instance=encoding.instance.copy(),
+        event_vars=encoding.event_vars,
+        var_events=encoding.var_events,
+        weights=encoding.weights,
+        structure=encoding.structure,
+        success=encoding.success,
+        num_aux_vars=encoding.num_aux_vars,
+    )
+
+
+def _ranking_from_collection(
+    collection: CutSetCollection, tree: FaultTree, top_k: int
+) -> List[RankedCutSet]:
+    """Top-k ranking read directly off an already-enumerated MCS collection."""
+    probabilities = tree.probabilities()
+    return [
+        RankedCutSet(
+            rank=index + 1,
+            events=tuple(sorted(cut_set)),
+            probability=probability,
+            cost=weight_of_cut_set(cut_set, probabilities),
+        )
+        for index, (cut_set, probability) in enumerate(collection.ranked()[:top_k])
+    ]
+
+
+def _summary_from_collection(
+    collection: CutSetCollection, tree: FaultTree, backend: str, elapsed: float
+) -> MPMCSSummary:
+    """Build an :class:`MPMCSSummary` from a ranked cut-set collection."""
+    if not len(collection):
+        raise AnalysisError(f"fault tree {tree.name!r} has no cut set")
+    cut_set, probability = collection.most_probable()
+    events = tuple(sorted(cut_set))
+    cost = weight_of_cut_set(events, tree.probabilities())
+    return MPMCSSummary(
+        events=events,
+        probability=probability,
+        cost=cost,
+        backend=backend,
+        solve_time=elapsed,
+        total_time=elapsed,
+    )
+
+
+class _CutSetBackend(AnalysisBackend):
+    """Shared implementation for backends that analyse a full MCS collection."""
+
+    def _cut_sets(self, tree: FaultTree) -> CutSetCollection:
+        raise NotImplementedError
+
+    def _top_event_summary(self, tree: FaultTree, collection: CutSetCollection) -> TopEventSummary:
+        probabilities = tree.probabilities()
+        cut_sets = list(collection)
+        exact: Optional[float] = None
+        if len(cut_sets) <= _MAX_EXACT_CUT_SETS:
+            exact = exact_top_event_probability(
+                cut_sets, probabilities, max_cut_sets=_MAX_EXACT_CUT_SETS
+            )
+        return TopEventSummary(
+            exact=exact,
+            rare_event_bound=rare_event_approximation(cut_sets, probabilities),
+            min_cut_upper_bound=birnbaum_bound(cut_sets, probabilities),
+            backend=self.name,
+        )
+
+    def run(self, tree: FaultTree, request: AnalysisRequest) -> AnalysisReport:
+        report = AnalysisReport(tree=tree, request=request)
+        needs_collection = {"mcs", "mpmcs", "ranking", "top_event", "importance"}
+        collection: Optional[CutSetCollection] = None
+        if needs_collection & set(request.analyses):
+            start = time.perf_counter()
+            collection = self._cut_sets(tree)
+            elapsed = time.perf_counter() - start
+        for analysis in request.analyses:
+            if analysis == "mcs":
+                report.cut_sets = collection
+            elif analysis == "mpmcs":
+                assert collection is not None
+                report.mpmcs = _summary_from_collection(collection, tree, self.name, elapsed)
+            elif analysis == "ranking":
+                assert collection is not None
+                report.ranking = _ranking_from_collection(collection, tree, request.top_k)
+            elif analysis == "top_event":
+                assert collection is not None
+                report.top_event = self._top_event_summary(tree, collection)
+            elif analysis == "importance":
+                assert collection is not None
+                report.importance = importance_measures(tree, collection)
+            elif analysis == "spof":
+                report.spof = single_points_of_failure(tree)
+            elif analysis == "modules":
+                report.modules = modularisation_report(tree)
+            elif analysis == "truncation":
+                report.truncation = truncated_cut_sets(tree, request.cutoff)
+        return report
+
+
+@register_backend
+class MaxSATBackend(AnalysisBackend):
+    """The paper's Weighted Partial MaxSAT pipeline behind the facade.
+
+    Reuses the session's cached Tseitin CNF encoding: composite requests and
+    repeated :meth:`~repro.api.session.AnalysisSession.analyze` calls on the
+    same tree encode the structure function exactly once, and the top-k
+    ranking extends *copies* of that cached instance with blocking clauses
+    instead of re-encoding for every rank.
+    """
+
+    name = "maxsat"
+    CAPABILITIES = frozenset({"mpmcs", "ranking"})
+
+    def _solver(self) -> MPMCSSolver:
+        if self.context.solver is None:
+            self.context.solver = MPMCSSolver(precision=self.context.precision)
+        return self.context.solver
+
+    def _encoding(self, tree: FaultTree) -> MPMCSEncoding:
+        return self.context.artifacts.get_or_compute(
+            tree,
+            ARTIFACT_ENCODING,
+            lambda: encode_mpmcs(tree, precision=self.context.precision),
+        )
+
+    def _solve_blocked(
+        self, tree: FaultTree, encoding: MPMCSEncoding, blocked: List[Tuple[str, ...]]
+    ) -> Optional[MPMCSResult]:
+        """Solve the cached encoding with ``blocked`` cut sets forbidden."""
+        working = _clone_encoding(encoding) if blocked else encoding
+        for cut_set in blocked:
+            working.instance.add_hard([-working.event_vars[name] for name in cut_set])
+        try:
+            return self._solver().solve_encoding(tree, working)
+        except AnalysisError as exc:
+            if "no cut set" in str(exc):
+                return None
+            raise
+
+    def _scaled_cost(self, encoding: MPMCSEncoding, events: Tuple[str, ...]) -> int:
+        """The solver-level (integer) objective value of a cut set.
+
+        Tie detection must happen at the granularity the solver actually
+        optimises over — the weights scaled by ``instance.precision`` — not
+        at float precision: two cut sets whose float costs differ by less
+        than the quantisation step are indistinguishable to every engine.
+        """
+        instance = encoding.instance
+        return sum(instance.scale_weight(encoding.weights[name]) for name in events)
+
+    def _enumerate(
+        self, tree: FaultTree, encoding: MPMCSEncoding, request: AnalysisRequest, count: int
+    ) -> List[Tuple[MPMCSResult, int]]:
+        """Blocked enumeration of at least ``count`` cut sets by rising cost.
+
+        With ``request.deterministic`` the enumeration keeps going while the
+        head tie persists, so the canonical optimum is guaranteed to be among
+        the returned results.  One shared enumeration serves both the
+        ``mpmcs`` and ``ranking`` analyses — a composite request does not
+        solve twice.
+        """
+        results: List[Tuple[MPMCSResult, int]] = []
+        blocked: List[Tuple[str, ...]] = []
+        head_cost: Optional[int] = None
+        while True:
+            result = self._solve_blocked(tree, encoding, blocked)
+            if result is None:
+                break
+            cost = self._scaled_cost(encoding, result.events)
+            if head_cost is None:
+                head_cost = cost
+            results.append((result, cost))
+            blocked.append(result.events)
+            if len(results) >= count and not (request.deterministic and cost == head_cost):
+                break
+        return results
+
+    def run(self, tree: FaultTree, request: AnalysisRequest) -> AnalysisReport:
+        report = AnalysisReport(tree=tree, request=request)
+        wants_mpmcs = "mpmcs" in request.analyses
+        wants_ranking = "ranking" in request.analyses
+        if not (wants_mpmcs or wants_ranking):
+            return report
+        encoding = self._encoding(tree)
+        count = request.top_k if wants_ranking else 1
+        enumerated = self._enumerate(tree, encoding, request, count)
+        if not enumerated:
+            raise AnalysisError(f"fault tree {tree.name!r} has no cut set")
+        # Canonical order: rising solver cost, then smaller set, then
+        # lexicographic — matching CutSetCollection.ranked() on ties.
+        enumerated.sort(key=lambda item: (item[1], len(item[0].events), item[0].events))
+        if wants_mpmcs:
+            result = enumerated[0][0]
+            report.mpmcs = MPMCSSummary(
+                events=result.events,
+                probability=result.probability,
+                cost=result.cost,
+                backend=self.name,
+                engine=result.engine,
+                solve_time=result.solve_time,
+                total_time=result.total_time,
+                detail=result,
+            )
+        if wants_ranking:
+            report.ranking = [
+                RankedCutSet(
+                    rank=index + 1,
+                    events=result.events,
+                    probability=result.probability,
+                    cost=result.cost,
+                )
+                for index, (result, _) in enumerate(enumerated[:count])
+            ]
+        return report
+
+
+@register_backend
+class MocusBackend(_CutSetBackend):
+    """Classical MOCUS enumeration and the analyses derived from it."""
+
+    name = "mocus"
+    CAPABILITIES = frozenset(
+        {"mcs", "mpmcs", "ranking", "top_event", "importance", "spof", "modules", "truncation"}
+    )
+
+    def _cut_sets(self, tree: FaultTree) -> CutSetCollection:
+        return self.context.artifacts.get_or_compute(
+            tree, ARTIFACT_CUT_SETS, lambda: mocus_minimal_cut_sets(tree)
+        )
+
+
+@register_backend(aliases=("bruteforce", "bf"))
+class BruteForceBackend(_CutSetBackend):
+    """Exhaustive ground-truth enumeration (small trees only)."""
+
+    name = "brute-force"
+    CAPABILITIES = frozenset({"mcs", "mpmcs", "ranking", "top_event", "importance"})
+
+    def _cut_sets(self, tree: FaultTree) -> CutSetCollection:
+        return self.context.artifacts.get_or_compute(
+            tree, ARTIFACT_CUT_SETS, lambda: brute_force_minimal_cut_sets(tree)
+        )
+
+
+@register_backend
+class BDDBackend(AnalysisBackend):
+    """The ROBDD engine: exact probability, cut sets and DP-based MPMCS.
+
+    The compiled BDD is a session artifact, so a composite request such as
+    ``["mpmcs", "top_event"]`` builds it once and runs both linear-time
+    queries on the same diagram.
+    """
+
+    name = "bdd"
+    CAPABILITIES = frozenset({"mcs", "mpmcs", "ranking", "top_event"})
+
+    def _function(self, tree: FaultTree) -> BDD:
+        def build() -> BDD:
+            manager = BDDManager(variable_order(tree, heuristic="dfs"))
+            return manager.from_fault_tree(tree)
+
+        return self.context.artifacts.get_or_compute(tree, ARTIFACT_BDD, build)
+
+    def _collection(self, tree: FaultTree, function: BDD) -> CutSetCollection:
+        return self.context.artifacts.get_or_compute(
+            tree,
+            ARTIFACT_CUT_SETS,
+            lambda: CutSetCollection(
+                cut_sets=cut_sets_of_bdd(function), probabilities=tree.probabilities()
+            ),
+        )
+
+    def run(self, tree: FaultTree, request: AnalysisRequest) -> AnalysisReport:
+        report = AnalysisReport(tree=tree, request=request)
+        function = self._function(tree)
+        probabilities = tree.probabilities()
+        if "mpmcs" in request.analyses:
+            start = time.perf_counter()
+            if function.is_false:
+                raise AnalysisError(
+                    f"fault tree {tree.name!r} has no cut set: the top event cannot occur"
+                )
+            events, probability = mpmcs_of_bdd(function, probabilities)
+            elapsed = time.perf_counter() - start
+            report.mpmcs = MPMCSSummary(
+                events=events,
+                probability=probability,
+                cost=weight_of_cut_set(events, probabilities),
+                backend=self.name,
+                solve_time=elapsed,
+                total_time=elapsed,
+            )
+        if "mcs" in request.analyses:
+            report.cut_sets = self._collection(tree, function)
+        if "ranking" in request.analyses:
+            report.ranking = _ranking_from_collection(
+                self._collection(tree, function), tree, request.top_k
+            )
+        if "top_event" in request.analyses:
+            report.top_event = TopEventSummary(
+                exact=probability_of_bdd(function, probabilities), backend=self.name
+            )
+        return report
+
+
+@register_backend(aliases=("montecarlo", "mc"))
+class MonteCarloBackend(AnalysisBackend):
+    """Sampling estimator of the top-event probability."""
+
+    name = "monte-carlo"
+    CAPABILITIES = frozenset({"top_event"})
+
+    #: Sample count used when the request does not specify one.
+    DEFAULT_SAMPLES = 10_000
+
+    def run(self, tree: FaultTree, request: AnalysisRequest) -> AnalysisReport:
+        report = AnalysisReport(tree=tree, request=request)
+        if "top_event" in request.analyses:
+            samples = request.samples if request.samples > 0 else self.DEFAULT_SAMPLES
+            estimate = estimate_top_event_probability(
+                tree, samples=samples, seed=request.seed
+            )
+            report.top_event = TopEventSummary(monte_carlo=estimate, backend=self.name)
+        return report

@@ -1,0 +1,151 @@
+"""Per-session artifact cache keyed on a structural fault-tree hash.
+
+Composite requests such as ``["mpmcs", "top_event", "importance"]`` need the
+same expensive intermediates several times: the Tseitin CNF encoding (MaxSAT
+pipeline and top-k enumeration), the minimal cut sets (importance measures,
+probability bounds, MPMCS baselines) and the compiled BDD (exact probability,
+BDD cut sets).  :class:`ArtifactCache` memoises them once per structurally
+identical tree so each is computed exactly once per
+:class:`~repro.api.session.AnalysisSession`.
+
+The cache key is a content hash over everything that influences analysis
+results — top event, gate structure and basic-event probabilities — and
+explicitly *not* the tree's display name, so re-parsing or renaming a model
+still hits.  Mutating a tree (e.g. :meth:`FaultTree.set_probability`) changes
+the hash, which invalidates stale artifacts automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, Tuple, TypeVar
+from weakref import WeakKeyDictionary
+
+from repro.fta.tree import FaultTree
+
+__all__ = [
+    "ARTIFACT_BDD",
+    "ARTIFACT_CUT_SETS",
+    "ARTIFACT_ENCODING",
+    "ArtifactCache",
+    "structural_hash",
+]
+
+#: Well-known artifact kinds shared by the built-in backends.
+ARTIFACT_ENCODING = "cnf-encoding"
+ARTIFACT_CUT_SETS = "minimal-cut-sets"
+ARTIFACT_BDD = "bdd"
+
+T = TypeVar("T")
+
+
+def structural_hash(tree: FaultTree) -> str:
+    """Content hash of a fault tree's analysis-relevant structure.
+
+    Two trees receive the same hash exactly when they have the same top
+    event, the same gates (type, ``k``, child order) and the same basic
+    events with bit-identical probabilities.  Names of trees and descriptions
+    of nodes are ignored — they do not influence any analysis result.
+    """
+    events = sorted(
+        (name, event.probability.hex()) for name, event in tree.events.items()
+    )
+    gates = sorted(
+        (gate.name, gate.gate_type.value, gate.k if gate.k is not None else -1, list(gate.children))
+        for gate in tree.gates.values()
+    )
+    payload = json.dumps(
+        {"top": tree.top_event, "events": events, "gates": gates},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Memoisation table for expensive per-tree analysis intermediates.
+
+    Entries are keyed by ``(structural_hash(tree), kind)``.  The cache keeps
+    hit/miss counters per kind so tests (and curious users) can verify that a
+    composite request computed each artifact exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[str, str], Any] = {}
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        # Per-object memo of (tree.version, hash): a composite request probes
+        # the cache several times per tree, and re-serialising the whole tree
+        # for every probe is O(tree) redundant work.  FaultTree.version is
+        # bumped on every mutation, which keeps the memo safe.
+        self._hash_memo: "WeakKeyDictionary[FaultTree, Tuple[int, str]]" = WeakKeyDictionary()
+
+    def key_for(self, tree: FaultTree) -> str:
+        """The structural cache key of ``tree`` (memoised per tree object)."""
+        memo = self._hash_memo.get(tree)
+        if memo is not None and memo[0] == tree.version:
+            return memo[1]
+        digest = structural_hash(tree)
+        self._hash_memo[tree] = (tree.version, digest)
+        return digest
+
+    def get_or_compute(self, tree: FaultTree, kind: str, compute: Callable[[], T]) -> T:
+        """Return the cached artifact of ``kind`` for ``tree``, computing it once."""
+        key = (self.key_for(tree), kind)
+        if key in self._store:
+            self._hits[kind] = self._hits.get(kind, 0) + 1
+            return self._store[key]
+        self._misses[kind] = self._misses.get(kind, 0) + 1
+        value = compute()
+        self._store[key] = value
+        return value
+
+    def invalidate(self, tree: FaultTree) -> int:
+        """Drop every artifact cached for ``tree``; returns the number removed."""
+        prefix = self.key_for(tree)
+        stale = [key for key in self._store if key[0] == prefix]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop all artifacts and reset the counters."""
+        self._store.clear()
+        self._hits.clear()
+        self._misses.clear()
+
+    # -- statistics -----------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(self._hits.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(self._misses.values())
+
+    def hits_for(self, kind: str) -> int:
+        return self._hits.get(kind, 0)
+
+    def misses_for(self, kind: str) -> int:
+        return self._misses.get(kind, 0)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of the counters, suitable for reports and logging."""
+        kinds = sorted(set(self._hits) | set(self._misses))
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "by_kind": {
+                kind: {"hits": self._hits.get(kind, 0), "misses": self._misses.get(kind, 0)}
+                for kind in kinds
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactCache(entries={len(self._store)}, hits={self.hits}, misses={self.misses})"

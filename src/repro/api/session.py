@@ -1,0 +1,247 @@
+"""The :class:`AnalysisSession` — the facade's stateful front door.
+
+A session owns three pieces of shared state:
+
+* an :class:`~repro.api.cache.ArtifactCache` memoising expensive per-tree
+  intermediates (CNF encoding, minimal cut sets, compiled BDD);
+* one :class:`~repro.core.pipeline.MPMCSSolver` (the MaxSAT portfolio),
+  constructed once instead of per call;
+* one instance of each backend, created lazily from the registry.
+
+``analyze`` routes every requested analysis to a backend — an explicit one,
+or per-analysis defaults under ``backend="auto"`` — and merges the partial
+results into a single :class:`~repro.api.report.AnalysisReport`:
+
+.. code-block:: python
+
+    from repro.api import AnalysisSession
+    from repro.workloads.library import fire_protection_system
+
+    session = AnalysisSession()
+    report = session.analyze(
+        fire_protection_system(), analyses=["mpmcs", "top_event", "importance"]
+    )
+    report.mpmcs.events        # ('x1', 'x2')
+    report.top_event.exact     # 0.030021740…
+    session.cache_info()       # hit/miss counters proving artifact reuse
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.api.cache import ArtifactCache
+from repro.api.registry import (
+    AnalysisBackend,
+    BackendContext,
+    backend_class,
+    backends_supporting,
+    canonical_backend_name,
+    create_backend,
+)
+from repro.api.report import AnalysisReport, AnalysisRequest
+from repro.core.pipeline import MPMCSSolver
+from repro.exceptions import AnalysisError
+from repro.fta.tree import FaultTree
+from repro.maxsat.instance import DEFAULT_PRECISION
+
+# The built-in backends register themselves on import.
+import repro.api.backends  # noqa: F401  (registration side effect)
+
+__all__ = ["AnalysisSession", "DEFAULT_ROUTES"]
+
+#: Preferred backend order per analysis under automatic routing.  The first
+#: registered backend in each tuple wins; analyses missing from this table
+#: fall back to any registered backend that supports them (sorted by name).
+DEFAULT_ROUTES: Dict[str, Tuple[str, ...]] = {
+    "mpmcs": ("maxsat", "bdd", "mocus", "brute-force"),
+    "ranking": ("maxsat",),
+    "mcs": ("mocus", "bdd", "brute-force"),
+    "top_event": ("bdd", "mocus", "brute-force", "monte-carlo"),
+    "importance": ("mocus", "brute-force"),
+    "spof": ("mocus",),
+    "modules": ("mocus",),
+    "truncation": ("mocus",),
+}
+
+#: Under automatic routing, ``top_event`` is a composite: the BDD backend
+#: contributes the exact probability, the MOCUS backend the classical bounds,
+#: and (when ``samples > 0``) the Monte Carlo backend a sampling estimate.
+_TOP_EVENT_AUTO_PROVIDERS: Tuple[str, ...] = ("bdd", "mocus")
+
+
+class AnalysisSession:
+    """Front door for every analysis, with routing, caching and batching.
+
+    Parameters
+    ----------
+    mode:
+        Execution mode of the MaxSAT portfolio (``"thread"``, ``"process"``
+        or ``"sequential"``).  Ignored when ``solver`` is given.
+    precision:
+        Integer scaling applied to the ``-log`` probability weights.
+    solver:
+        Optional pre-configured :class:`MPMCSSolver` shared by the session.
+    cache:
+        Optional pre-existing :class:`ArtifactCache` (e.g. to share artifacts
+        across sessions); a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "thread",
+        precision: int = DEFAULT_PRECISION,
+        solver: Optional[MPMCSSolver] = None,
+        cache: Optional[ArtifactCache] = None,
+    ) -> None:
+        self.artifacts = cache if cache is not None else ArtifactCache()
+        self.solver = solver if solver is not None else MPMCSSolver(mode=mode, precision=precision)
+        self.context = BackendContext(
+            artifacts=self.artifacts, solver=self.solver, precision=precision
+        )
+        self._backends: Dict[str, AnalysisBackend] = {}
+
+    # -- backend access ---------------------------------------------------------------
+
+    def backend(self, name: str) -> AnalysisBackend:
+        """The session's instance of the backend registered under ``name``."""
+        canonical = canonical_backend_name(name)
+        instance = self._backends.get(canonical)
+        if instance is None:
+            instance = create_backend(canonical, self.context)
+            self._backends[canonical] = instance
+        return instance
+
+    def cache_info(self) -> Dict[str, object]:
+        """Hit/miss statistics of the session's artifact cache."""
+        return self.artifacts.stats()
+
+    # -- analysis ----------------------------------------------------------------------
+
+    def analyze(
+        self,
+        tree: FaultTree,
+        analyses: Iterable[str] = ("mpmcs",),
+        *,
+        backend: str = "auto",
+        top_k: int = 5,
+        samples: int = 0,
+        seed: int = 0,
+        cutoff: float = 1e-9,
+        deterministic: bool = True,
+    ) -> AnalysisReport:
+        """Run the requested analyses on ``tree`` and return one merged report.
+
+        ``analyses`` accepts the canonical names (and common aliases) of
+        :data:`repro.api.report.ANALYSES`.  ``backend`` forces every analysis
+        through one registered backend; the default ``"auto"`` routes each
+        analysis to its preferred backend (:data:`DEFAULT_ROUTES`).
+        """
+        request = AnalysisRequest.create(
+            analyses,
+            backend=backend,
+            top_k=top_k,
+            samples=samples,
+            seed=seed,
+            cutoff=cutoff,
+            deterministic=deterministic,
+        )
+        return self.run(tree, request)
+
+    def run(self, tree: FaultTree, request: AnalysisRequest) -> AnalysisReport:
+        """Execute a pre-built :class:`AnalysisRequest` against ``tree``."""
+        tree.validate()
+        report = AnalysisReport(tree=tree, request=request)
+        plan = self._plan(request)
+        provider_counts: Dict[str, int] = {}
+        for _, assigned in plan:
+            for analysis in assigned:
+                provider_counts[analysis] = provider_counts.get(analysis, 0) + 1
+        for backend_name, assigned in plan:
+            scoped = request.restricted_to(assigned, backend_name)
+            start = time.perf_counter()
+            try:
+                partial = self.backend(backend_name).run(tree, scoped)
+            except AnalysisError as exc:
+                # An auxiliary provider (e.g. MOCUS contributing optional
+                # top-event bounds next to the BDD's exact value) may fail on
+                # trees another provider handles fine — degrade instead of
+                # sinking the whole request.  A backend that is the *only*
+                # provider of any assigned analysis must still raise.
+                if all(provider_counts[analysis] > 1 for analysis in assigned):
+                    report.warnings.append(
+                        f"backend {backend_name!r} failed for "
+                        f"{', '.join(assigned)}: {exc}"
+                    )
+                    continue
+                raise
+            elapsed = time.perf_counter() - start
+            report.merge_from(partial, assigned, backend_name)
+            report.timings[backend_name] = report.timings.get(backend_name, 0.0) + elapsed
+        missing = [name for name in request.analyses if name not in report.backends]
+        if missing:
+            detail = f"; degraded providers: {'; '.join(report.warnings)}" if report.warnings else ""
+            raise AnalysisError(
+                f"no backend produced the requested analyses {missing!r} "
+                f"(backend={request.backend!r}){detail}"
+            )
+        report.cache_stats = self.artifacts.stats()
+        return report
+
+    # -- routing ----------------------------------------------------------------------
+
+    def _plan(self, request: AnalysisRequest) -> List[Tuple[str, Tuple[str, ...]]]:
+        """Group the requested analyses by the backend that will run them.
+
+        Returns ``[(backend_name, analyses), ...]`` preserving request order.
+        """
+        if request.backend != "auto":
+            name = canonical_backend_name(request.backend)
+            capabilities = backend_class(name).capabilities()
+            unsupported = [a for a in request.analyses if a not in capabilities]
+            if unsupported:
+                raise AnalysisError(
+                    f"backend {name!r} does not support {', '.join(unsupported)}; "
+                    f"its capabilities are {', '.join(sorted(capabilities))}"
+                )
+            return [(name, request.analyses)]
+
+        assignments: Dict[str, List[str]] = {}
+        for analysis in request.analyses:
+            for backend_name in self._providers_for(analysis, request):
+                assignments.setdefault(backend_name, []).append(analysis)
+        return [(name, tuple(assigned)) for name, assigned in assignments.items()]
+
+    def _providers_for(self, analysis: str, request: AnalysisRequest) -> List[str]:
+        """Backends that should contribute to ``analysis`` under auto routing."""
+        if analysis == "top_event":
+            providers = [
+                name for name in _TOP_EVENT_AUTO_PROVIDERS if self._is_registered(name)
+            ]
+            if request.samples > 0 and self._is_registered("monte-carlo"):
+                providers.append("monte-carlo")
+            if providers:
+                return providers
+        for candidate in DEFAULT_ROUTES.get(analysis, ()):
+            if self._is_registered(candidate):
+                return [candidate]
+        fallback = backends_supporting(analysis)
+        if not fallback:
+            raise AnalysisError(f"no registered backend supports the analysis {analysis!r}")
+        return [fallback[0]]
+
+    @staticmethod
+    def _is_registered(name: str) -> bool:
+        try:
+            canonical_backend_name(name)
+        except AnalysisError:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnalysisSession(backends={sorted(self._backends)}, "
+            f"cache={self.artifacts!r})"
+        )

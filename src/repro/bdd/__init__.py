@@ -15,14 +15,22 @@ scratch:
 
 from repro.bdd.manager import BDD, BDDManager
 from repro.bdd.ordering import variable_order
-from repro.bdd.cutsets import bdd_minimal_cut_sets
-from repro.bdd.probability import bdd_mpmcs, top_event_probability
+from repro.bdd.cutsets import bdd_minimal_cut_sets, cut_sets_of_bdd
+from repro.bdd.probability import (
+    bdd_mpmcs,
+    mpmcs_of_bdd,
+    probability_of_bdd,
+    top_event_probability,
+)
 
 __all__ = [
     "BDD",
     "BDDManager",
     "bdd_minimal_cut_sets",
     "bdd_mpmcs",
+    "cut_sets_of_bdd",
+    "mpmcs_of_bdd",
+    "probability_of_bdd",
     "top_event_probability",
     "variable_order",
 ]

@@ -14,6 +14,21 @@ Two complementary algorithms, both linear in the number of BDD nodes:
   at most 1, the optimal set of included variables is an inclusion-minimal cut
   set — the MPMCS.  This is the BDD-based baseline of benchmark E6 and the
   comparison the paper lists as future work.
+
+Both queries are also available on an already-compiled function
+(:func:`probability_of_bdd`, :func:`mpmcs_of_bdd`) so callers holding a cached
+BDD — e.g. the :mod:`repro.api` artifact cache — can avoid recompiling the
+tree for every query.
+
+Tie-breaking
+------------
+When several minimal cut sets share the maximum probability, the dynamic
+programme breaks ties canonically: the smallest cut set wins, and among equal
+sizes the lexicographically smallest sorted event tuple.  This matches the
+ordering of :meth:`repro.analysis.cutsets.CutSetCollection.ranked`, so the
+BDD backend, MOCUS, brute force and the (canonicalised) MaxSAT pipeline all
+return the identical MPMCS on ties — cross-backend equality checks stay
+reproducible.
 """
 
 from __future__ import annotations
@@ -25,7 +40,12 @@ from repro.bdd.ordering import variable_order
 from repro.exceptions import AnalysisError
 from repro.fta.tree import FaultTree
 
-__all__ = ["top_event_probability", "bdd_mpmcs"]
+__all__ = [
+    "bdd_mpmcs",
+    "mpmcs_of_bdd",
+    "probability_of_bdd",
+    "top_event_probability",
+]
 
 
 def top_event_probability(
@@ -36,10 +56,11 @@ def top_event_probability(
     """Exact top-event probability of ``tree`` via its BDD."""
     manager = BDDManager(variable_order(tree, heuristic=heuristic))
     function = manager.from_fault_tree(tree)
-    return _probability(function, tree.probabilities())
+    return probability_of_bdd(function, tree.probabilities())
 
 
-def _probability(function: BDD, probabilities: Mapping[str, float]) -> float:
+def probability_of_bdd(function: BDD, probabilities: Mapping[str, float]) -> float:
+    """Exact probability of an already-compiled BDD function."""
     manager = function.manager
     cache: Dict[int, float] = {FALSE_NODE: 0.0, TRUE_NODE: 1.0}
 
@@ -60,6 +81,69 @@ def _probability(function: BDD, probabilities: Mapping[str, float]) -> float:
     return visit(function.node)
 
 
+# A DP entry is the best cut set reachable from a node: (probability, sorted
+# event tuple), or None when the TRUE terminal is unreachable.
+_Best = Optional[Tuple[float, Tuple[str, ...]]]
+
+
+def _better(a: _Best, b: _Best) -> _Best:
+    """The canonically better of two candidate cut sets.
+
+    Higher probability wins; ties go to the smaller set, then to the
+    lexicographically smaller sorted event tuple — the same order
+    :meth:`CutSetCollection.ranked` uses.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    key_a = (-a[0], len(a[1]), a[1])
+    key_b = (-b[0], len(b[1]), b[1])
+    return a if key_a <= key_b else b
+
+
+def mpmcs_of_bdd(
+    function: BDD, probabilities: Mapping[str, float]
+) -> Tuple[Tuple[str, ...], float]:
+    """MPMCS of an already-compiled BDD function.
+
+    Returns ``(sorted event tuple, probability)``; raises
+    :class:`AnalysisError` when the function is unsatisfiable (no cut set).
+    """
+    if function.is_false:
+        raise AnalysisError("BDD function is constant false: the top event cannot occur")
+
+    manager = function.manager
+    best: Dict[int, _Best] = {FALSE_NODE: None, TRUE_NODE: (1.0, ())}
+
+    def visit(node: int) -> _Best:
+        if node in best:
+            return best[node]
+        level, low, high = manager.node_triple(node)
+        name = manager.var_at_level(level)
+        try:
+            p = probabilities[name]
+        except KeyError as exc:
+            raise AnalysisError(f"no probability known for event {name!r}") from exc
+        low_best = visit(low)
+        high_best = visit(high)
+        include: _Best = None
+        if high_best is not None:
+            include = (
+                high_best[0] * p,
+                tuple(sorted(high_best[1] + (name,))),
+            )
+        value = _better(low_best, include)
+        best[node] = value
+        return value
+
+    top = visit(function.node)
+    if top is None:  # pragma: no cover - is_false already caught this
+        raise AnalysisError("BDD function has no path to the TRUE terminal")
+    probability, members = top[0], top[1]
+    return members, probability
+
+
 def bdd_mpmcs(
     tree: FaultTree,
     *,
@@ -72,52 +156,6 @@ def bdd_mpmcs(
     """
     manager = BDDManager(variable_order(tree, heuristic=heuristic))
     function = manager.from_fault_tree(tree)
-    probabilities = tree.probabilities()
-
     if function.is_false:
         raise AnalysisError(f"fault tree {tree.name!r} has no cut set: the top event cannot occur")
-
-    # best[node] = highest product of included-variable probabilities over all
-    # paths from `node` to the TRUE terminal (None when TRUE is unreachable).
-    best: Dict[int, Optional[float]] = {FALSE_NODE: None, TRUE_NODE: 1.0}
-
-    def visit(node: int) -> Optional[float]:
-        cached = best.get(node, "missing")
-        if cached != "missing":
-            return cached  # type: ignore[return-value]
-        level, low, high = manager.node_triple(node)
-        name = manager.var_at_level(level)
-        low_best = visit(low)
-        high_best = visit(high)
-        candidates = []
-        if low_best is not None:
-            candidates.append(low_best)
-        if high_best is not None:
-            candidates.append(high_best * probabilities[name])
-        value = max(candidates) if candidates else None
-        best[node] = value
-        return value
-
-    top_value = visit(function.node)
-    if top_value is None:  # pragma: no cover - is_false already caught this
-        raise AnalysisError(f"fault tree {tree.name!r} has no cut set")
-
-    # Backtrack to extract the optimal variable set.
-    members = []
-    node = function.node
-    while node not in (FALSE_NODE, TRUE_NODE):
-        level, low, high = manager.node_triple(node)
-        name = manager.var_at_level(level)
-        low_best = best.get(low)
-        high_best = best.get(high)
-        include_value = high_best * probabilities[name] if high_best is not None else None
-        if low_best is not None and (include_value is None or low_best >= include_value):
-            node = low
-        else:
-            members.append(name)
-            node = high
-
-    probability = 1.0
-    for name in members:
-        probability *= probabilities[name]
-    return tuple(sorted(members)), probability
+    return mpmcs_of_bdd(function, tree.probabilities())

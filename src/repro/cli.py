@@ -12,6 +12,10 @@ file".  This CLI mirrors that workflow and adds a few conveniences:
     # analyse one of the built-in canonical trees (e.g. the paper's example)
     $ mpmcs4fta analyze --builtin fps
 
+    # pick a resolution strategy from the backend registry
+    $ mpmcs4fta analyze --builtin fps --backend bdd
+    $ mpmcs4fta backends                            # list the registry
+
     # generate a random benchmark tree and save it
     $ mpmcs4fta generate --events 1000 --seed 7 -o random.json
 
@@ -23,6 +27,11 @@ file".  This CLI mirrors that workflow and adds a few conveniences:
     $ mpmcs4fta importance --builtin fps            # Birnbaum / Fussell-Vesely / RAW
     $ mpmcs4fta topevent --builtin fps              # exact + approximate P(top)
 
+Every analysis subcommand dispatches through one
+:class:`repro.api.AnalysisSession`, so composite invocations share cached
+artifacts (CNF encoding, minimal cut sets, compiled BDD) instead of
+recomputing them per analysis.
+
 The module is also runnable as ``python -m repro.cli``.
 """
 
@@ -32,19 +41,10 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.contributions import cut_set_contributions
-from repro.analysis.importance import importance_measures
-from repro.analysis.mocus import mocus_minimal_cut_sets
-from repro.analysis.modules import modularisation_report
-from repro.analysis.montecarlo import estimate_top_event_probability
-from repro.analysis.spof import single_points_of_failure
-from repro.analysis.topevent import rare_event_approximation
-from repro.analysis.truncation import truncated_cut_sets
-from repro.bdd.probability import top_event_probability
-from repro.core.pipeline import MPMCSSolver
-from repro.core.topk import enumerate_mpmcs
+from repro.api import AnalysisSession, available_backends, backend_class
 from repro.exceptions import ReproError
 from repro.fta.parsers.galileo import parse_galileo_file
 from repro.fta.parsers.json_format import parse_json_file
@@ -59,13 +59,11 @@ from repro.maxsat.hitting_set import HittingSetEngine
 from repro.maxsat.instance import WPMaxSATInstance
 from repro.maxsat.linear import LinearSearchEngine
 from repro.maxsat.rc2 import RC2Engine
-from repro.reporting.tables import markdown_table
 from repro.reporting.ascii_art import render_tree
 from repro.reporting.dot import to_dot
-from repro.reporting.html import write_html_report
 from repro.reporting.json_report import analysis_report
-from repro.reporting.markdown import write_markdown_report
-from repro.reporting.tables import weights_table
+from repro.reporting.tables import markdown_table, weights_table
+from repro.reporting.unified import write_report
 from repro.uncertainty.distributions import LognormalUncertainty
 from repro.uncertainty.importance import uncertainty_importance
 from repro.uncertainty.propagation import propagate_uncertainty
@@ -197,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     truncate.add_argument("--limit", type=int, default=20, help="cut sets to print")
 
+    subparsers.add_parser(
+        "backends", help="list the registered analysis backends and their capabilities"
+    )
+
     solve_wcnf = subparsers.add_parser(
         "solve-wcnf", help="solve a DIMACS WCNF file with one of the built-in MaxSAT engines"
     )
@@ -233,9 +235,22 @@ def _add_tree_source_arguments(parser: argparse.ArgumentParser) -> None:
         default=1.0,
         help="mission time used to convert Galileo lambda= rates to probabilities",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto",) + tuple(sorted(available_backends())),
+        default="auto",
+        help="analysis backend from the registry (default: auto routing)",
+    )
 
 
 def _load_tree(args: argparse.Namespace) -> FaultTree:
+    """Shared tree-loading helper used by every tree-consuming subcommand.
+
+    Resolves ``--builtin`` names, infers the input format from the file
+    extension and applies the ``--mission-time`` probability assignment for
+    Galileo rate models — the boilerplate that used to be repeated across
+    subcommands.
+    """
     if args.builtin:
         return get_tree(args.builtin)
     if args.model is None:
@@ -256,73 +271,88 @@ def _load_tree(args: argparse.Namespace) -> FaultTree:
     return parse_json_file(args.model)
 
 
-def _command_analyze(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
-    solver = MPMCSSolver(mode=args.mode)
-    result = solver.solve(tree)
+def _supports(backend: str, analysis: str) -> bool:
+    """True when ``backend`` (or auto routing) can produce ``analysis``."""
+    if backend == "auto":
+        return True
+    return analysis in backend_class(backend).capabilities()
+
+
+# -- analysis subcommands (dispatch through one AnalysisSession) -----------------------
+
+
+def _command_analyze(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    analyses = ["mpmcs"]
+    if args.top_k > 1:
+        analyses.append("ranking")
+    report = session.analyze(
+        tree, analyses, backend=args.backend, top_k=max(args.top_k, 1)
+    )
+    summary = report.mpmcs
 
     if not args.quiet:
-        print(render_tree(tree, highlight=result.events))
+        print(render_tree(tree, highlight=summary.events))
         print()
-    print(f"MPMCS      : {{{', '.join(result.events)}}}")
-    print(f"Probability: {result.probability:.6g}")
-    print(f"Cost (-log): {result.cost:.5f}")
-    print(f"Engine     : {result.engine}   ({result.solve_time:.3f}s solve, "
-          f"{result.total_time:.3f}s total)")
+    print(f"MPMCS      : {{{', '.join(summary.events)}}}")
+    print(f"Probability: {summary.probability:.6g}")
+    print(f"Cost (-log): {summary.cost:.5f}")
+    print(f"Engine     : {summary.engine or summary.backend}   "
+          f"({summary.solve_time:.3f}s solve, {summary.total_time:.3f}s total)")
 
-    if args.top_k > 1:
-        ranked = enumerate_mpmcs(tree, args.top_k, solver=solver)
+    if args.top_k > 1 and report.ranking:
         print()
         print(f"Top-{args.top_k} minimal cut sets by probability:")
-        for entry in ranked:
+        for entry in report.ranking:
             members = ", ".join(entry.events)
             print(f"  #{entry.rank}: {{{members}}}  p={entry.probability:.6g}")
 
     if args.output:
-        document = analysis_report(tree, result)
+        document = analysis_report(tree, report.mpmcs_result)
         args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
         print(f"\nJSON report written to {args.output}")
     if args.dot:
-        args.dot.write_text(to_dot(tree, highlight=result.events), encoding="utf-8")
+        args.dot.write_text(to_dot(tree, highlight=summary.events), encoding="utf-8")
         print(f"DOT rendering written to {args.dot}")
     return 0
 
 
-def _command_weights(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
+def _command_weights(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
     print(weights_table(tree))
     return 0
 
 
-def _command_show(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
+def _command_show(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
     print(render_tree(tree))
     return 0
 
 
-def _command_mcs(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
+def _command_mcs(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    want_spof = _supports(args.backend, "spof")
     if args.method == "mocus":
-        collection = mocus_minimal_cut_sets(tree)
-        ranked = collection.ranked()[: args.limit]
+        analyses = ["mcs"] + (["spof"] if want_spof else [])
+        report = session.analyze(tree, analyses, backend=args.backend)
+        ranked = report.cut_sets.ranked()[: args.limit]
         entries = [(index + 1, tuple(sorted(cs)), p) for index, (cs, p) in enumerate(ranked)]
-        print(f"{len(collection)} minimal cut sets total (MOCUS); showing {len(entries)}:")
+        enumerator = report.backends["mcs"].upper()
+        print(f"{len(report.cut_sets)} minimal cut sets total ({enumerator}); "
+              f"showing {len(entries)}:")
     else:
-        results = enumerate_mpmcs(tree, args.limit)
-        entries = [(entry.rank, entry.events, entry.probability) for entry in results]
-        print(f"top {len(entries)} minimal cut sets (iterated MaxSAT):")
+        analyses = ["ranking"] + (["spof"] if want_spof else [])
+        report = session.analyze(tree, analyses, backend=args.backend, top_k=args.limit)
+        entries = [(entry.rank, entry.events, entry.probability) for entry in report.ranking]
+        ranking_backend = report.backends["ranking"]
+        label = "iterated MaxSAT" if ranking_backend == "maxsat" else ranking_backend.upper()
+        print(f"top {len(entries)} minimal cut sets ({label}):")
     for rank, events, probability in entries:
         print(f"  #{rank:>3}: p={probability:10.4e}  {{{', '.join(events)}}}")
-    spofs = single_points_of_failure(tree)
-    if spofs:
-        print(f"single points of failure: {', '.join(name for name, _ in spofs)}")
+    if report.spof:
+        print(f"single points of failure: {', '.join(name for name, _ in report.spof)}")
     return 0
 
 
-def _command_importance(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
-    cut_sets = mocus_minimal_cut_sets(tree)
-    measures = importance_measures(tree, cut_sets)
+def _command_importance(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    report = session.analyze(tree, ["importance"], backend=args.backend)
+    measures = report.importance
     ranked = sorted(measures.values(), key=lambda m: m.fussell_vesely, reverse=True)[: args.top]
     rows = [
         [
@@ -342,60 +372,75 @@ def _command_importance(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_topevent(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
-    exact = top_event_probability(tree)
-    cut_sets = mocus_minimal_cut_sets(tree)
-    rare = rare_event_approximation(list(cut_sets), tree.probabilities())
-    estimate = estimate_top_event_probability(tree, samples=args.samples, seed=args.seed)
-    print(f"exact (BDD)              : {exact:.6e}")
-    print(f"rare-event upper bound   : {rare:.6e}")
-    print(
-        f"Monte Carlo ({args.samples} samples): {estimate.probability:.6e} "
-        f"[95% CI {estimate.confidence_low:.3e} .. {estimate.confidence_high:.3e}]"
+def _command_topevent(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    analyses = ["top_event"]
+    if _supports(args.backend, "mcs"):
+        analyses.append("mcs")
+    report = session.analyze(
+        tree, analyses, backend=args.backend, samples=args.samples, seed=args.seed
     )
-    print(f"minimal cut sets         : {len(cut_sets)} (order {cut_sets.order()})")
-    return 0
-
-
-def _command_generate(args: argparse.Namespace) -> int:
-    tree = random_fault_tree(
-        num_basic_events=args.events, seed=args.seed, voting_ratio=args.voting_ratio
-    )
-    if args.out_format == "json":
-        text = to_json(tree)
-    elif args.out_format == "galileo":
-        text = to_galileo(tree)
-    else:
-        text = to_openpsa(tree)
-    if args.output:
-        args.output.write_text(text + ("\n" if not text.endswith("\n") else ""), encoding="utf-8")
-        print(f"wrote {tree.num_nodes}-node tree to {args.output}")
-    else:
-        print(text)
-    return 0
-
-
-def _command_report(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
-    solver = MPMCSSolver()
-    result = solver.solve(tree)
-    if args.to == "html":
-        path = write_html_report(tree, result, args.output)
-    else:
-        ranking = enumerate_mpmcs(tree, max(args.top_k, 1), solver=solver)
-        cut_sets = mocus_minimal_cut_sets(tree)
-        measures = importance_measures(tree, cut_sets)
-        spofs = single_points_of_failure(tree)
-        path = write_markdown_report(
-            tree, result, args.output, ranking=ranking, importance=measures, spofs=spofs
+    summary = report.top_event
+    if summary.exact is not None:
+        print(f"exact (BDD)              : {summary.exact:.6e}")
+    if summary.rare_event_bound is not None:
+        print(f"rare-event upper bound   : {summary.rare_event_bound:.6e}")
+    estimate = summary.monte_carlo
+    if estimate is not None:
+        print(
+            f"Monte Carlo ({estimate.samples} samples): {estimate.probability:.6e} "
+            f"[95% CI {estimate.confidence_low:.3e} .. {estimate.confidence_high:.3e}]"
         )
+    if report.cut_sets is not None:
+        print(f"minimal cut sets         : {len(report.cut_sets)} "
+              f"(order {report.cut_sets.order()})")
+    return 0
+
+
+def _command_report(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    if args.to == "html":
+        report = session.analyze(tree, ["mpmcs"], backend=args.backend)
+    else:
+        report = session.analyze(
+            tree,
+            ["mpmcs", "ranking", "importance", "spof"],
+            backend=args.backend,
+            top_k=max(args.top_k, 1),
+        )
+    path = write_report(report, args.output, fmt=args.to)
     print(f"{args.to} report written to {path}")
     return 0
 
 
-def _command_uncertainty(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
+def _command_modules(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    report = session.analyze(tree, ["modules"], backend=args.backend).modules
+    print(f"gates          : {report['num_gates']}")
+    print(f"modules        : {report['num_modules']} "
+          f"({report['num_proper_modules']} proper, "
+          f"{report['module_fraction']:.0%} of gates)")
+    if report["largest_proper_module"]:
+        print(f"largest proper : {report['largest_proper_module']} "
+              f"({report['largest_proper_module_size']} nodes)")
+    print(f"module gates   : {', '.join(report['module_gates'])}")
+    return 0
+
+
+def _command_truncate(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    result = session.analyze(
+        tree, ["truncation"], backend=args.backend, cutoff=args.cutoff
+    ).truncation
+    print(f"cutoff {args.cutoff:g}: {result.num_retained} cut sets retained, "
+          f"{result.num_pruned} candidates pruned")
+    if result.num_retained == 0:
+        return 0
+    contributions = cut_set_contributions(result.collection)[: args.limit]
+    for entry in contributions:
+        members = ", ".join(entry.events)
+        print(f"  #{entry.rank:>3}: p={entry.probability:10.4e}  "
+              f"({entry.fraction:6.1%} of retained risk)  {{{members}}}")
+    return 0
+
+
+def _command_uncertainty(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
     if args.error_factor < 1.0:
         raise ReproError(f"--error-factor must be at least 1, got {args.error_factor}")
     spec = {
@@ -417,32 +462,33 @@ def _command_uncertainty(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_modules(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
-    report = modularisation_report(tree)
-    print(f"gates          : {report['num_gates']}")
-    print(f"modules        : {report['num_modules']} "
-          f"({report['num_proper_modules']} proper, "
-          f"{report['module_fraction']:.0%} of gates)")
-    if report["largest_proper_module"]:
-        print(f"largest proper : {report['largest_proper_module']} "
-              f"({report['largest_proper_module_size']} nodes)")
-    print(f"module gates   : {', '.join(report['module_gates'])}")
+# -- tree-free subcommands -------------------------------------------------------------
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    tree = random_fault_tree(
+        num_basic_events=args.events, seed=args.seed, voting_ratio=args.voting_ratio
+    )
+    if args.out_format == "json":
+        text = to_json(tree)
+    elif args.out_format == "galileo":
+        text = to_galileo(tree)
+    else:
+        text = to_openpsa(tree)
+    if args.output:
+        args.output.write_text(text + ("\n" if not text.endswith("\n") else ""), encoding="utf-8")
+        print(f"wrote {tree.num_nodes}-node tree to {args.output}")
+    else:
+        print(text)
     return 0
 
 
-def _command_truncate(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
-    result = truncated_cut_sets(tree, args.cutoff)
-    print(f"cutoff {args.cutoff:g}: {result.num_retained} cut sets retained, "
-          f"{result.num_pruned} candidates pruned")
-    if result.num_retained == 0:
-        return 0
-    contributions = cut_set_contributions(result.collection)[: args.limit]
-    for entry in contributions:
-        members = ", ".join(entry.events)
-        print(f"  #{entry.rank:>3}: p={entry.probability:10.4e}  "
-              f"({entry.fraction:6.1%} of retained risk)  {{{members}}}")
+def _command_backends(args: argparse.Namespace) -> int:
+    rows = [
+        [name, ", ".join(sorted(cls.capabilities()))]
+        for name, cls in available_backends().items()
+    ]
+    print(markdown_table(["backend", "capabilities"], rows))
     return 0
 
 
@@ -470,18 +516,25 @@ def _command_solve_wcnf(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {
+#: Subcommands that operate on a fault tree: loaded once, analysed through
+#: one shared session per invocation.
+_TREE_COMMANDS: Dict[str, Callable[[AnalysisSession, FaultTree, argparse.Namespace], int]] = {
     "analyze": _command_analyze,
     "weights": _command_weights,
     "show": _command_show,
     "mcs": _command_mcs,
     "importance": _command_importance,
     "topevent": _command_topevent,
-    "generate": _command_generate,
     "report": _command_report,
     "uncertainty": _command_uncertainty,
     "modules": _command_modules,
     "truncate": _command_truncate,
+}
+
+#: Subcommands that do not take a fault tree.
+_PLAIN_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "generate": _command_generate,
+    "backends": _command_backends,
     "solve-wcnf": _command_solve_wcnf,
 }
 
@@ -491,7 +544,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        handler = _TREE_COMMANDS.get(args.command)
+        if handler is not None:
+            tree = _load_tree(args)
+            session = AnalysisSession(mode=getattr(args, "mode", "thread"))
+            return handler(session, tree, args)
+        return _PLAIN_COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

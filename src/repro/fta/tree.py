@@ -40,6 +40,7 @@ class FaultTree:
         self._events: Dict[str, BasicEvent] = {}
         self._gates: Dict[str, Gate] = {}
         self._top_event: Optional[str] = top_event
+        self._version = 0
 
     # -- construction -------------------------------------------------------------
 
@@ -54,12 +55,14 @@ class FaultTree:
         event = BasicEvent(name=name, probability=probability, description=description)
         self._check_fresh_name(name)
         self._events[name] = event
+        self._version += 1
         return event
 
     def add_event(self, event: BasicEvent) -> BasicEvent:
         """Add an already-constructed :class:`BasicEvent`."""
         self._check_fresh_name(event.name)
         self._events[event.name] = event
+        self._version += 1
         return event
 
     def add_gate(
@@ -88,6 +91,7 @@ class FaultTree:
         )
         self._check_fresh_name(name)
         self._gates[name] = gate
+        self._version += 1
         return gate
 
     def set_top_event(self, name: str) -> None:
@@ -95,6 +99,7 @@ class FaultTree:
         if not name:
             raise FaultTreeError("top event name must be non-empty")
         self._top_event = name
+        self._version += 1
 
     def _check_fresh_name(self, name: str) -> None:
         if name in self._events or name in self._gates:
@@ -107,6 +112,16 @@ class FaultTree:
         if self._top_event is None:
             raise FaultTreeError(f"fault tree {self.name!r} has no top event")
         return self._top_event
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every structural or probability change.
+
+        Lets caches (e.g. :class:`repro.api.ArtifactCache`) memoise derived
+        values per tree object and detect staleness without re-reading the
+        whole structure.
+        """
+        return self._version
 
     @property
     def events(self) -> Dict[str, BasicEvent]:
@@ -168,6 +183,7 @@ class FaultTree:
         if event_name not in self._events:
             raise FaultTreeError(f"unknown basic event {event_name!r}")
         self._events[event_name] = self._events[event_name].with_probability(probability)
+        self._version += 1
 
     # -- validation -----------------------------------------------------------------
 

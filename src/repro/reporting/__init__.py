@@ -10,25 +10,32 @@ that pipeline and adds terminal-friendly renderings:
 * :mod:`repro.reporting.tables`      — Markdown tables (Table I reproduction);
 * :mod:`repro.reporting.markdown`    — full Markdown analysis report;
 * :mod:`repro.reporting.html`        — self-contained HTML/SVG viewer (the
-  browser-rendered half of Fig. 2).
+  browser-rendered half of Fig. 2);
+* :mod:`repro.reporting.unified`     — one entry point rendering a
+  :class:`repro.api.AnalysisReport` in any of the formats above.
 """
 
-from repro.reporting.json_report import analysis_report, write_analysis_report
+from repro.reporting.json_report import analysis_report, report_document, write_analysis_report
 from repro.reporting.dot import to_dot
 from repro.reporting.ascii_art import render_tree
 from repro.reporting.html import html_report, write_html_report
 from repro.reporting.markdown import markdown_report, write_markdown_report
 from repro.reporting.tables import markdown_table, weights_table
+from repro.reporting.unified import FORMATS, render_report, write_report
 
 __all__ = [
+    "FORMATS",
     "analysis_report",
     "html_report",
     "markdown_report",
     "markdown_table",
+    "render_report",
     "render_tree",
+    "report_document",
     "to_dot",
     "weights_table",
     "write_analysis_report",
     "write_html_report",
     "write_markdown_report",
+    "write_report",
 ]

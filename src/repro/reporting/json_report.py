@@ -14,15 +14,19 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.api.report import AnalysisReport
 from repro.core.pipeline import MPMCSResult
 from repro.core.weights import log_weights
 from repro.fta.serializers import to_json_document
 from repro.fta.tree import FaultTree
 
-__all__ = ["analysis_report", "write_analysis_report"]
+__all__ = ["analysis_report", "report_document", "write_analysis_report"]
 
 #: Report format version, bumped on breaking schema changes.
 REPORT_VERSION = "1.0"
+
+#: Version of the unified multi-analysis document (:func:`report_document`).
+UNIFIED_REPORT_VERSION = "2.0"
 
 
 def analysis_report(tree: FaultTree, result: MPMCSResult) -> Dict[str, Any]:
@@ -92,6 +96,30 @@ def _portfolio_section(result: MPMCSResult) -> Optional[Dict[str, Any]]:
         "engine_statuses": dict(result.portfolio.engine_statuses),
         "total_time_s": result.portfolio.total_time,
     }
+
+
+def report_document(report: AnalysisReport) -> Dict[str, Any]:
+    """Unified JSON document for an :class:`~repro.api.report.AnalysisReport`.
+
+    Contains the serialised fault tree, the tree statistics and one section
+    per requested analysis (``report.to_dict()``).  When the report includes
+    an MPMCS, the legacy Fig. 2-style ``solution`` / ``solver`` / ``instance``
+    sections are embedded as well so existing consumers keep working.
+    """
+    document: Dict[str, Any] = {
+        "report_version": UNIFIED_REPORT_VERSION,
+        "tool": "repro-mpmcs4fta",
+        "tree": to_json_document(report.tree),
+        "statistics": report.tree.statistics(),
+        "results": report.to_dict(),
+    }
+    result = report.mpmcs_result
+    if result is not None:
+        legacy = analysis_report(report.tree, result)
+        document["solution"] = legacy["solution"]
+        document["solver"] = legacy["solver"]
+        document["instance"] = legacy["instance"]
+    return document
 
 
 def write_analysis_report(

@@ -1,0 +1,101 @@
+"""One rendering entry point for every format, fed by an `AnalysisReport`.
+
+The :mod:`repro.api` facade produces a single
+:class:`~repro.api.report.AnalysisReport` regardless of which backend did the
+work; :func:`render_report` turns that object into any of the library's
+output formats, and :func:`write_report` picks the format from the file
+suffix:
+
+.. code-block:: python
+
+    from repro.api import AnalysisSession
+    from repro.reporting import render_report, write_report
+
+    report = AnalysisSession().analyze(tree, ["mpmcs", "ranking", "importance", "spof"])
+    print(render_report(report, "ascii"))        # terminal rendering
+    write_report(report, "out/fps.html")          # self-contained HTML viewer
+    write_report(report, "out/fps.json")          # unified machine-readable doc
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.api.report import AnalysisReport
+from repro.exceptions import ReproError
+from repro.reporting.ascii_art import render_tree
+from repro.reporting.dot import to_dot
+from repro.reporting.html import html_report
+from repro.reporting.json_report import report_document
+from repro.reporting.markdown import markdown_report
+
+__all__ = ["FORMATS", "render_report", "write_report"]
+
+#: Formats supported by :func:`render_report`.
+FORMATS = ("json", "markdown", "html", "dot", "ascii")
+
+#: File suffix -> format, used by :func:`write_report`.
+_SUFFIX_FORMATS = {
+    ".json": "json",
+    ".md": "markdown",
+    ".markdown": "markdown",
+    ".html": "html",
+    ".htm": "html",
+    ".dot": "dot",
+    ".gv": "dot",
+    ".txt": "ascii",
+}
+
+
+def _require_mpmcs(report: AnalysisReport, fmt: str):
+    result = report.mpmcs_result
+    if result is None:
+        raise ReproError(
+            f"the {fmt!r} report format needs the 'mpmcs' analysis; "
+            f"this report only contains {', '.join(report.analyses)}"
+        )
+    return result
+
+
+def render_report(report: AnalysisReport, fmt: str = "json") -> str:
+    """Render ``report`` in ``fmt`` (one of :data:`FORMATS`)."""
+    fmt = fmt.strip().lower()
+    if fmt == "json":
+        return json.dumps(report_document(report), indent=2)
+    if fmt == "markdown":
+        return markdown_report(
+            report.tree,
+            _require_mpmcs(report, fmt),
+            ranking=report.ranking,
+            importance=report.importance,
+            spofs=report.spof,
+        )
+    if fmt == "html":
+        return html_report(report.tree, _require_mpmcs(report, fmt))
+    if fmt == "dot":
+        highlight = report.mpmcs.events if report.mpmcs is not None else ()
+        return to_dot(report.tree, highlight=highlight)
+    if fmt == "ascii":
+        highlight = report.mpmcs.events if report.mpmcs is not None else ()
+        return render_tree(report.tree, highlight=highlight)
+    raise ReproError(f"unknown report format {fmt!r}; expected one of {', '.join(FORMATS)}")
+
+
+def write_report(
+    report: AnalysisReport,
+    path: Union[str, Path],
+    *,
+    fmt: str = "",
+) -> Path:
+    """Write ``report`` to ``path``, inferring the format from the suffix.
+
+    An explicit ``fmt`` overrides the inference; unknown suffixes default to
+    the unified JSON document.
+    """
+    path = Path(path)
+    chosen = fmt.strip().lower() or _SUFFIX_FORMATS.get(path.suffix.lower(), "json")
+    text = render_report(report, chosen)
+    path.write_text(text + ("" if text.endswith("\n") else "\n"), encoding="utf-8")
+    return path

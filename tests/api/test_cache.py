@@ -1,0 +1,82 @@
+"""Tests for the structural hash and the artifact cache."""
+
+from repro.api.cache import ArtifactCache, structural_hash
+from repro.workloads.library import fire_protection_system, pressure_tank
+
+
+class TestStructuralHash:
+    def test_identical_structure_same_hash(self):
+        assert structural_hash(fire_protection_system()) == structural_hash(
+            fire_protection_system()
+        )
+
+    def test_name_does_not_affect_hash(self):
+        renamed = fire_protection_system().copy(name="another-name")
+        assert structural_hash(renamed) == structural_hash(fire_protection_system())
+
+    def test_different_trees_different_hash(self):
+        assert structural_hash(fire_protection_system()) != structural_hash(pressure_tank())
+
+    def test_probability_change_changes_hash(self):
+        tree = fire_protection_system()
+        before = structural_hash(tree)
+        tree.set_probability("x1", 0.123)
+        assert structural_hash(tree) != before
+
+
+class TestArtifactCache:
+    def test_compute_once_then_hit(self):
+        cache = ArtifactCache()
+        tree = fire_protection_system()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "artifact"
+
+        assert cache.get_or_compute(tree, "thing", build) == "artifact"
+        assert cache.get_or_compute(tree, "thing", build) == "artifact"
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hits_for("thing") == 1 and cache.misses_for("thing") == 1
+
+    def test_kinds_are_independent(self):
+        cache = ArtifactCache()
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "a", lambda: 1)
+        cache.get_or_compute(tree, "b", lambda: 2)
+        assert len(cache) == 2
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_structurally_equal_trees_share_artifacts(self):
+        cache = ArtifactCache()
+        cache.get_or_compute(fire_protection_system(), "x", lambda: "v")
+        # A different object with identical structure hits the same entry.
+        assert cache.get_or_compute(fire_protection_system(), "x", lambda: "other") == "v"
+        assert cache.hits == 1
+
+    def test_mutation_invalidates_automatically(self):
+        cache = ArtifactCache()
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "x", lambda: "old")
+        tree.set_probability("x1", 0.5)
+        assert cache.get_or_compute(tree, "x", lambda: "new") == "new"
+
+    def test_invalidate_and_clear(self):
+        cache = ArtifactCache()
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "a", lambda: 1)
+        cache.get_or_compute(tree, "b", lambda: 2)
+        assert cache.invalidate(tree) == 2
+        assert len(cache) == 0
+        cache.get_or_compute(tree, "a", lambda: 3)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_stats_shape(self):
+        cache = ArtifactCache()
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "kind", lambda: None)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["by_kind"]["kind"] == {"hits": 0, "misses": 1}

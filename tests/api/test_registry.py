@@ -1,0 +1,113 @@
+"""Tests for the pluggable backend registry."""
+
+import pytest
+
+from repro.api import (
+    AnalysisBackend,
+    AnalysisReport,
+    AnalysisSession,
+    available_backends,
+    backend_capabilities,
+    backend_class,
+    backends_supporting,
+    canonical_backend_name,
+    create_backend,
+    register_backend,
+)
+from repro.api.registry import _ALIASES, _REGISTRY
+from repro.exceptions import AnalysisError
+from repro.workloads.library import fire_protection_system
+
+
+class TestBuiltinRegistry:
+    def test_at_least_five_backends_resolvable_by_name(self):
+        names = set(available_backends())
+        assert {"maxsat", "mocus", "bdd", "brute-force", "monte-carlo"} <= names
+        for name in names:
+            assert backend_class(name).name == name
+
+    def test_aliases_resolve_to_canonical_names(self):
+        assert canonical_backend_name("bruteforce") == "brute-force"
+        assert canonical_backend_name("bf") == "brute-force"
+        assert canonical_backend_name("montecarlo") == "monte-carlo"
+        assert canonical_backend_name("MC") == "monte-carlo"
+        assert canonical_backend_name("MaxSAT") == "maxsat"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(AnalysisError, match="unknown backend"):
+            canonical_backend_name("not-a-backend")
+        with pytest.raises(AnalysisError, match="unknown backend"):
+            AnalysisSession().analyze(fire_protection_system(), backend="not-a-backend")
+
+    def test_capabilities_cover_every_analysis(self):
+        capabilities = backend_capabilities()
+        assert "mpmcs" in capabilities["maxsat"]
+        assert "ranking" in capabilities["maxsat"]
+        assert {"mcs", "importance", "modules", "truncation"} <= capabilities["mocus"]
+        assert {"mpmcs", "mcs", "top_event"} <= capabilities["bdd"]
+        assert capabilities["monte-carlo"] == frozenset({"top_event"})
+
+    def test_backends_supporting(self):
+        assert "maxsat" in backends_supporting("mpmcs")
+        assert "monte-carlo" in backends_supporting("top_event")
+        assert backends_supporting("modules") == ["mocus"]
+
+
+class TestRegisterBackend:
+    @pytest.fixture
+    def clean_registry(self):
+        """Snapshot the registry so the test's registrations do not leak."""
+        saved_registry = dict(_REGISTRY)
+        saved_aliases = dict(_ALIASES)
+        yield
+        _REGISTRY.clear()
+        _REGISTRY.update(saved_registry)
+        _ALIASES.clear()
+        _ALIASES.update(saved_aliases)
+
+    def test_custom_backend_pluggable_end_to_end(self, clean_registry):
+        @register_backend(aliases=("fixed",))
+        class FixedBackend(AnalysisBackend):
+            name = "fixed-answer"
+            CAPABILITIES = frozenset({"mpmcs"})
+
+            def run(self, tree, request):
+                from repro.api.report import MPMCSSummary
+
+                report = AnalysisReport(tree=tree, request=request)
+                report.mpmcs = MPMCSSummary(
+                    events=("x1", "x2"), probability=0.02, cost=3.912, backend=self.name
+                )
+                return report
+
+        assert "fixed-answer" in available_backends()
+        report = AnalysisSession().analyze(
+            fire_protection_system(), ["mpmcs"], backend="fixed"
+        )
+        assert report.mpmcs.events == ("x1", "x2")
+        assert report.backends["mpmcs"] == "fixed-answer"
+
+    def test_backend_without_name_is_rejected(self, clean_registry):
+        with pytest.raises(AnalysisError, match="no registry name"):
+
+            @register_backend
+            class Nameless(AnalysisBackend):
+                CAPABILITIES = frozenset({"mpmcs"})
+
+                def run(self, tree, request):  # pragma: no cover - never runs
+                    raise NotImplementedError
+
+    def test_backend_without_capabilities_is_rejected(self, clean_registry):
+        with pytest.raises(AnalysisError, match="no capabilities"):
+
+            @register_backend
+            class Empty(AnalysisBackend):
+                name = "empty"
+
+                def run(self, tree, request):  # pragma: no cover - never runs
+                    raise NotImplementedError
+
+    def test_create_backend_instantiates_with_context(self):
+        backend = create_backend("mocus")
+        assert backend.name == "mocus"
+        assert backend.context.artifacts is not None

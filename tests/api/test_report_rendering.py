@@ -1,0 +1,97 @@
+"""Tests for the unified AnalysisReport rendering across every format."""
+
+import json
+
+import pytest
+
+from repro.api import AnalysisSession
+from repro.exceptions import ReproError
+from repro.reporting import render_report, report_document, write_report
+from repro.workloads.library import fire_protection_system
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return AnalysisSession().analyze(
+        fire_protection_system(),
+        ["mpmcs", "ranking", "importance", "spof"],
+        top_k=3,
+    )
+
+
+class TestRenderReport:
+    def test_json_document(self, full_report):
+        document = json.loads(render_report(full_report, "json"))
+        assert document["report_version"] == "2.0"
+        assert document["results"]["mpmcs"]["events"] == ["x1", "x2"]
+        # legacy Fig. 2 sections embedded for existing consumers
+        assert document["solution"]["mpmcs"] == ["x1", "x2"]
+        assert document["statistics"]["num_basic_events"] == 7
+
+    def test_markdown(self, full_report):
+        text = render_report(full_report, "markdown")
+        assert "# MPMCS analysis" in text
+        assert "{x1, x2}" in text
+        assert "## Most probable minimal cut sets" in text
+        assert "## Importance measures" in text
+        assert "## Single points of failure" in text
+
+    def test_html(self, full_report):
+        text = render_report(full_report, "html")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text
+
+    def test_dot(self, full_report):
+        text = render_report(full_report, "dot")
+        assert "digraph" in text
+        assert "x1" in text
+
+    def test_ascii(self, full_report):
+        text = render_report(full_report, "ascii")
+        assert "fps_failure" in text
+
+    def test_unknown_format_rejected(self, full_report):
+        with pytest.raises(ReproError, match="unknown report format"):
+            render_report(full_report, "pdf")
+
+    def test_markdown_requires_mpmcs(self):
+        report = AnalysisSession().analyze(fire_protection_system(), ["mcs"])
+        with pytest.raises(ReproError, match="needs the 'mpmcs' analysis"):
+            render_report(report, "markdown")
+
+
+class TestWriteReport:
+    @pytest.mark.parametrize(
+        "filename,needle",
+        [
+            ("r.json", '"report_version"'),
+            ("r.md", "# MPMCS analysis"),
+            ("r.html", "<!DOCTYPE html>"),
+            ("r.dot", "digraph"),
+            ("r.txt", "fps_failure"),
+        ],
+    )
+    def test_format_inferred_from_suffix(self, tmp_path, full_report, filename, needle):
+        path = write_report(full_report, tmp_path / filename)
+        assert needle in path.read_text(encoding="utf-8")
+
+    def test_explicit_format_overrides_suffix(self, tmp_path, full_report):
+        path = write_report(full_report, tmp_path / "weird.out", fmt="markdown")
+        assert "# MPMCS analysis" in path.read_text(encoding="utf-8")
+
+
+class TestReportDocument:
+    def test_document_without_mpmcs_has_no_legacy_solution(self):
+        report = AnalysisSession().analyze(fire_protection_system(), ["modules"])
+        document = report_document(report)
+        assert "solution" not in document
+        assert document["results"]["modules"]["num_modules"] == 5
+
+    def test_mpmcs_result_bridge_for_classical_backends(self):
+        report = AnalysisSession().analyze(
+            fire_protection_system(), ["mpmcs"], backend="mocus"
+        )
+        result = report.mpmcs_result
+        assert result.events == ("x1", "x2")
+        assert result.engine == "mocus"
+        assert result.weights["x1"] == pytest.approx(1.6094379124341003)

@@ -56,6 +56,26 @@ class TestAnalyzeCommand:
     def test_sequential_mode(self, capsys):
         assert main(["analyze", "--builtin", "fps", "--quiet", "--mode", "sequential"]) == 0
 
+    @pytest.mark.parametrize("backend", ["maxsat", "mocus", "bdd", "brute-force"])
+    def test_explicit_backend(self, capsys, backend):
+        assert main(["analyze", "--builtin", "fps", "--quiet", "--backend", backend]) == 0
+        output = capsys.readouterr().out
+        assert "MPMCS      : {x1, x2}" in output
+        assert "0.02" in output
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--builtin", "fps", "--backend", "nope"])
+
+
+class TestBackendsCommand:
+    def test_registry_listing(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        for name in ("maxsat", "mocus", "bdd", "brute-force", "monte-carlo"):
+            assert name in output
+        assert "mpmcs" in output
+
 
 class TestOtherCommands:
     def test_weights_command_prints_table_one(self, capsys):
