@@ -1,0 +1,98 @@
+"""E9 — Scenario sweeps: incremental re-analysis vs naive per-scenario work.
+
+The :mod:`repro.scenarios` sweep executor memoises every gate's minimal cut
+sets under a structure-only subtree hash, so a probability sweep enumerates
+the cut-set structure once and re-ranks it per scenario.  This benchmark
+quantifies the claim on two scales:
+
+* the paper's Fig. 1 tree with a 200-point probability sweep (the smoke case
+  the CI ``bench-smoke`` job runs), asserting incremental and naive sweeps
+  produce identical deltas and that the cache counters prove reuse;
+* a 60-event random tree where the naive path repeats a multi-second MOCUS
+  enumeration per scenario — the incremental path must win wall-clock, not
+  just counters.
+"""
+
+import time
+
+import pytest
+
+from repro.scenarios import SweepExecutor, probability_sweep
+from repro.workloads.generator import random_fault_tree
+from repro.workloads.library import fire_protection_system
+
+from benchmarks.conftest import emit
+
+
+def _strip_timing(outcome):
+    document = outcome.to_dict()
+    document.pop("time_s")
+    return document
+
+
+def test_bench_sweep_fig1_incremental_vs_naive(benchmark):
+    tree = fire_protection_system()
+    scenarios = probability_sweep("x1", start=1e-4, stop=0.5, steps=200)
+
+    report = benchmark(
+        lambda: SweepExecutor().run(tree, scenarios)
+    )
+    naive = SweepExecutor(incremental=False).run(tree, scenarios)
+
+    assert len(report) == 200 and not report.failures
+    reuse = report.subtree_reuse
+    assert reuse["hits"] > 0, "incremental sweep must reuse subtree artifacts"
+    # 5 gates: one structural enumeration total, every scenario a full hit.
+    assert reuse["misses"] == tree.num_gates
+    assert reuse["hits"] == tree.num_gates * len(scenarios)
+    assert [_strip_timing(a) for a in report.outcomes] == [
+        _strip_timing(b) for b in naive.outcomes
+    ]
+
+    emit(
+        "E9 — FPS tree: 200-scenario probability sweep over x1",
+        [
+            f"subtree cache: {reuse['hits']} hits / {reuse['misses']} misses",
+            f"incremental total: {report.total_time_s:.3f}s   "
+            f"naive total: {naive.total_time_s:.3f}s",
+            f"best scenario: {report.best().name}  P(top)={report.best().top_event:.4e}",
+        ],
+    )
+
+
+@pytest.mark.slow
+def test_bench_sweep_speedup_on_random_tree():
+    tree = random_fault_tree(num_basic_events=60, seed=3)
+    event = tree.event_names[0]
+    scenarios = probability_sweep(event, start=1e-4, stop=0.2, steps=10)
+
+    started = time.perf_counter()
+    incremental = SweepExecutor().run(tree, scenarios)
+    incremental_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    naive = SweepExecutor(incremental=False).run(tree, scenarios)
+    naive_time = time.perf_counter() - started
+
+    assert not incremental.failures and not naive.failures
+    assert [_strip_timing(a) for a in incremental.outcomes] == [
+        _strip_timing(b) for b in naive.outcomes
+    ]
+    reuse = incremental.subtree_reuse
+    # Probability-only sweep: every gate enumerated exactly once overall.
+    assert reuse["misses"] == tree.num_gates
+    assert reuse["hits"] == tree.num_gates * len(scenarios)
+    # The naive path repeats a ~1s MOCUS enumeration per scenario; the
+    # incremental path must be measurably faster (observed ~8x; asserted
+    # conservatively to keep the benchmark robust on slow hosts).
+    assert incremental_time < naive_time
+
+    emit(
+        "E9 — 60-event random tree: 10-scenario sweep, incremental vs naive",
+        [
+            f"incremental: {incremental_time:.2f}s   naive: {naive_time:.2f}s   "
+            f"speedup: x{naive_time / incremental_time:.1f}",
+            f"subtree cache: {reuse['hits']} hits / {reuse['misses']} misses "
+            f"({tree.num_gates} gates, {len(scenarios)} scenarios)",
+        ],
+    )

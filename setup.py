@@ -1,9 +1,14 @@
 """Setuptools shim.
 
-The execution environment is offline and ships neither the ``wheel`` package
-nor a PEP 660-capable setuptools, so ``pip install -e .`` falls back to the
-legacy ``setup.py develop`` code path provided by this file.  All project
-metadata lives in ``pyproject.toml``.
+All project metadata lives in ``pyproject.toml``; this file exists for the
+offline execution environment, which ships neither the ``wheel`` package nor
+a PEP 660-capable toolchain.  There, install in development mode with the
+legacy code path this file provides::
+
+    python setup.py develop
+
+On a normal host, ``pip install -e .`` works directly (pip's build isolation
+resolves ``wheel``).
 """
 
 from setuptools import setup

@@ -63,6 +63,27 @@ class CutSetCollection:
     def __post_init__(self) -> None:
         self.cut_sets = minimise_cut_sets(self.cut_sets)
 
+    @classmethod
+    def from_minimal(
+        cls,
+        cut_sets: Sequence[CutSet],
+        probabilities: Optional[Mapping[str, float]] = None,
+    ) -> "CutSetCollection":
+        """Wrap cut sets that are *already* inclusion-minimal, skipping re-minimisation.
+
+        The defensive subsumption pass in ``__post_init__`` is quadratic in
+        the number of cut sets; producers that guarantee minimality by
+        construction (e.g. the incremental per-gate composition in
+        :mod:`repro.scenarios.incremental`, whose every step ends in
+        :func:`minimise_cut_sets`) use this constructor to avoid paying it
+        again on every scenario of a sweep.  The canonical size-then-lexical
+        order is restored cheaply.
+        """
+        collection = cls.__new__(cls)
+        collection.cut_sets = sorted(cut_sets, key=lambda cs: (len(cs), sorted(cs)))
+        collection.probabilities = probabilities
+        return collection
+
     # -- container protocol -------------------------------------------------------
 
     def __len__(self) -> int:

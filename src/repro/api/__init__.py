@@ -40,8 +40,10 @@ from repro.api.cache import (
     ARTIFACT_BDD,
     ARTIFACT_CUT_SETS,
     ARTIFACT_ENCODING,
+    ARTIFACT_SUBTREE_CUT_SETS,
     ArtifactCache,
     structural_hash,
+    subtree_structure_hashes,
 )
 from repro.api.registry import (
     AnalysisBackend,
@@ -71,6 +73,7 @@ __all__ = [
     "ARTIFACT_BDD",
     "ARTIFACT_CUT_SETS",
     "ARTIFACT_ENCODING",
+    "ARTIFACT_SUBTREE_CUT_SETS",
     "AnalysisBackend",
     "AnalysisReport",
     "AnalysisRequest",
@@ -91,4 +94,5 @@ __all__ = [
     "create_backend",
     "register_backend",
     "structural_hash",
+    "subtree_structure_hashes",
 ]

@@ -13,6 +13,15 @@ results — top event, gate structure and basic-event probabilities — and
 explicitly *not* the tree's display name, so re-parsing or renaming a model
 still hits.  Mutating a tree (e.g. :meth:`FaultTree.set_probability`) changes
 the hash, which invalidates stale artifacts automatically.
+
+Beyond whole-tree artifacts the cache also keys artifacts by *subtree*: the
+:mod:`repro.scenarios` sweep engine stores the minimal cut sets of every gate
+under a structure-only hash of the subtree rooted there
+(:func:`subtree_structure_hashes`).  Probabilities are deliberately excluded
+from that hash because the qualitative cut-set structure does not depend on
+them — a probability-only what-if scenario therefore reuses the cut sets of
+*every* gate, and a structural patch (added redundancy, a removed event)
+invalidates only the gates on the path from the edit to the top event.
 """
 
 from __future__ import annotations
@@ -28,14 +37,19 @@ __all__ = [
     "ARTIFACT_BDD",
     "ARTIFACT_CUT_SETS",
     "ARTIFACT_ENCODING",
+    "ARTIFACT_SUBTREE_CUT_SETS",
     "ArtifactCache",
     "structural_hash",
+    "subtree_structure_hashes",
 ]
 
 #: Well-known artifact kinds shared by the built-in backends.
 ARTIFACT_ENCODING = "cnf-encoding"
 ARTIFACT_CUT_SETS = "minimal-cut-sets"
 ARTIFACT_BDD = "bdd"
+#: Per-gate minimal cut sets keyed by structure-only subtree hash (used by the
+#: incremental scenario-sweep path in :mod:`repro.scenarios`).
+ARTIFACT_SUBTREE_CUT_SETS = "subtree-cut-sets"
 
 T = TypeVar("T")
 
@@ -63,6 +77,34 @@ def structural_hash(tree: FaultTree) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def subtree_structure_hashes(tree: FaultTree) -> Dict[str, str]:
+    """Structure-only content hash of the subtree rooted at every node.
+
+    The hash of a basic event is derived from its *name* only, and the hash
+    of a gate from its type, its voting threshold and the (sorted) hashes of
+    its children — probabilities never enter.  Two nodes receive the same
+    hash exactly when the monotone structure functions of their subtrees are
+    syntactically identical up to child order, which is the invariant the
+    subtree-level cut-set cache relies on: minimal cut sets are a purely
+    qualitative artifact, so they can be reused across any two trees (or
+    scenarios) whose subtrees share a structure hash regardless of how the
+    event probabilities differ.
+
+    Only nodes reachable from the top event are hashed.
+    """
+    gates = tree.gates
+    hashes: Dict[str, str] = {}
+    for name in tree.topological_order():
+        gate = gates.get(name)
+        if gate is None:
+            payload = f"event:{name}"
+        else:
+            children = ",".join(sorted(hashes[child] for child in gate.children))
+            payload = f"gate:{gate.gate_type.value}:{gate.k if gate.k is not None else ''}:{children}"
+        hashes[name] = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashes
+
+
 class ArtifactCache:
     """Memoisation table for expensive per-tree analysis intermediates.
 
@@ -80,6 +122,10 @@ class ArtifactCache:
         # for every probe is O(tree) redundant work.  FaultTree.version is
         # bumped on every mutation, which keeps the memo safe.
         self._hash_memo: "WeakKeyDictionary[FaultTree, Tuple[int, str]]" = WeakKeyDictionary()
+        # Same idea for the per-node structure hashes used by subtree artifacts.
+        self._structure_memo: "WeakKeyDictionary[FaultTree, Tuple[int, Dict[str, str]]]" = (
+            WeakKeyDictionary()
+        )
 
     def key_for(self, tree: FaultTree) -> str:
         """The structural cache key of ``tree`` (memoised per tree object)."""
@@ -101,10 +147,60 @@ class ArtifactCache:
         self._store[key] = value
         return value
 
-    def invalidate(self, tree: FaultTree) -> int:
-        """Drop every artifact cached for ``tree``; returns the number removed."""
-        prefix = self.key_for(tree)
-        stale = [key for key in self._store if key[0] == prefix]
+    def put(self, tree: FaultTree, kind: str, value: Any) -> None:
+        """Seed the cache entry of ``kind`` for ``tree`` without counting a miss.
+
+        Used by producers that obtained the artifact through a cheaper route
+        (e.g. the incremental sweep assembling cut sets from cached subtrees)
+        so later :meth:`get_or_compute` probes hit instead of recomputing.
+        """
+        self._store[(self.key_for(tree), kind)] = value
+
+    def structure_keys_for(self, tree: FaultTree) -> Dict[str, str]:
+        """Per-node structure-only hashes of ``tree`` (memoised per tree object)."""
+        memo = self._structure_memo.get(tree)
+        if memo is not None and memo[0] == tree.version:
+            return memo[1]
+        hashes = subtree_structure_hashes(tree)
+        self._structure_memo[tree] = (tree.version, hashes)
+        return hashes
+
+    def get_or_compute_subtree(
+        self, tree: FaultTree, node: str, kind: str, compute: Callable[[], T]
+    ) -> T:
+        """Return the artifact of ``kind`` for the subtree of ``tree`` at ``node``.
+
+        Keyed by the node's structure-only hash, so the entry is shared by
+        every tree (base model or perturbed scenario) containing a
+        structurally identical subtree — probabilities do not participate in
+        the key and the stored value must therefore be purely qualitative.
+        """
+        key = (self.structure_keys_for(tree)[node], kind)
+        if key in self._store:
+            self._hits[kind] = self._hits.get(kind, 0) + 1
+            return self._store[key]
+        self._misses[kind] = self._misses.get(kind, 0) + 1
+        value = compute()
+        self._store[key] = value
+        return value
+
+    def invalidate(self, tree: FaultTree, *, include_subtrees: bool = True) -> int:
+        """Drop every artifact cached for ``tree``; returns the number removed.
+
+        Removes whole-tree artifacts keyed by the tree's *current* structural
+        hash and, unless ``include_subtrees=False``, the subtree artifacts of
+        every node currently in the tree (``include_subtrees=False`` is the
+        sweep executor's per-scenario eviction: the scenario's whole-tree
+        entries are dead after its analysis, but the subtree entries are the
+        shared incremental state every later scenario reuses).  Entries
+        stored under a hash the tree had *before* an in-place mutation are
+        unreachable from here (the key changed with the tree); they are never
+        served stale, but reclaiming their memory requires :meth:`clear`.
+        """
+        keys = {self.key_for(tree)}
+        if include_subtrees:
+            keys.update(self.structure_keys_for(tree).values())
+        stale = [key for key in self._store if key[0] in keys]
         for key in stale:
             del self._store[key]
         return len(stale)

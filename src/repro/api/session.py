@@ -74,6 +74,20 @@ _TOP_EVENT_AUTO_PROVIDERS: Tuple[str, ...] = ("bdd", "mocus")
 class AnalysisSession:
     """Front door for every analysis, with routing, caching and batching.
 
+    **Cache staleness and in-place tree mutation.**  Artifacts are keyed by a
+    content hash of the tree, so mutating a tree in place (e.g.
+    :meth:`FaultTree.set_probability`, :meth:`FaultTree.add_gate`) is *safe*
+    with respect to correctness: the next :meth:`analyze` sees a new hash and
+    recomputes.  Two hazards remain, however.  First, results already handed
+    out — an :class:`AnalysisReport`, a cached ``CutSetCollection`` — are
+    snapshots and are **not** updated when the tree changes; re-run the
+    analysis after mutating.  Second, entries stored under the pre-mutation
+    hash become unreachable garbage that :meth:`invalidate` cannot find any
+    more (it can only compute the *current* hash); call :meth:`invalidate`
+    *before* mutating a tree you will not analyse again, or use
+    :meth:`clear_cache` to reclaim everything.  Non-destructive perturbation
+    via :mod:`repro.scenarios` patches sidesteps both hazards.
+
     Parameters
     ----------
     mode:
@@ -117,6 +131,20 @@ class AnalysisSession:
     def cache_info(self) -> Dict[str, object]:
         """Hit/miss statistics of the session's artifact cache."""
         return self.artifacts.stats()
+
+    def invalidate(self, tree: FaultTree) -> int:
+        """Drop every cached artifact of ``tree``; returns the number removed.
+
+        Call this *before* mutating a tree in place if you will not analyse
+        the pre-mutation structure again — afterwards the old entries are
+        keyed under a hash that can no longer be derived from the tree (see
+        the class docstring on staleness).
+        """
+        return self.artifacts.invalidate(tree)
+
+    def clear_cache(self) -> None:
+        """Drop all cached artifacts and reset the hit/miss counters."""
+        self.artifacts.clear()
 
     # -- analysis ----------------------------------------------------------------------
 

@@ -63,7 +63,26 @@ from repro.reporting.ascii_art import render_tree
 from repro.reporting.dot import to_dot
 from repro.reporting.json_report import analysis_report
 from repro.reporting.tables import markdown_table, weights_table
-from repro.reporting.unified import write_report
+from repro.reporting.unified import render_scenario_report, write_report
+from repro.scenarios import (
+    AddRedundancy,
+    AddSpareChild,
+    Harden,
+    HardeningAction,
+    RemoveEvent,
+    ScaleMissionTime,
+    ScaleProbability,
+    Scenario,
+    SetProbability,
+    SetVotingThreshold,
+    SweepExecutor,
+    mission_time_sweep,
+    plan_mitigation,
+    probability_sweep,
+    rank_actions,
+    scale_sweep,
+    sweep_values,
+)
 from repro.uncertainty.distributions import LognormalUncertainty
 from repro.uncertainty.importance import uncertainty_importance
 from repro.uncertainty.propagation import propagate_uncertainty
@@ -194,6 +213,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--cutoff", type=float, default=1e-9, help="probability cutoff (default: 1e-9)"
     )
     truncate.add_argument("--limit", type=int, default=20, help="cut sets to print")
+
+    whatif = subparsers.add_parser(
+        "whatif", help="apply what-if patches to a model and show the base-vs-scenario deltas"
+    )
+    _add_tree_source_arguments(whatif)
+    whatif.add_argument(
+        "--set", dest="set_probability", action="append", default=[], metavar="EVENT=PROB",
+        help="set a basic event probability (repeatable)",
+    )
+    whatif.add_argument(
+        "--scale", action="append", default=[], metavar="EVENT=FACTOR",
+        help="multiply a basic event probability by a factor (repeatable)",
+    )
+    whatif.add_argument(
+        "--harden", action="append", default=[], metavar="EVENT[=FACTOR]",
+        help="harden an event by a factor (default 0.1; repeatable)",
+    )
+    whatif.add_argument(
+        "--remove", action="append", default=[], metavar="EVENT",
+        help="remove a basic event and simplify the tree (repeatable)",
+    )
+    whatif.add_argument(
+        "--redundancy", action="append", default=[], metavar="EVENT[=COPIES]",
+        help="back an event with redundant unit(s) that must all fail (repeatable)",
+    )
+    whatif.add_argument(
+        "--spare", action="append", default=[], metavar="GATE=PROB",
+        help="add a fresh spare child with the given probability to an AND/voting gate",
+    )
+    whatif.add_argument(
+        "--set-k", dest="set_k", action="append", default=[], metavar="GATE=K",
+        help="change the threshold of a voting gate (repeatable)",
+    )
+    whatif.add_argument(
+        "--mission-factor", type=float, default=None,
+        help="rescale all probabilities to FACTOR times the mission time",
+    )
+    whatif.add_argument("--name", default="what-if", help="scenario name for the report")
+    whatif.add_argument("-o", "--output", type=Path, help="write the JSON scenario report")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="evaluate a parametric scenario sweep with incremental re-analysis"
+    )
+    _add_tree_source_arguments(sweep)
+    sweep.add_argument("--event", help="basic event swept by --values/--start/--stop")
+    sweep.add_argument(
+        "--values", help="comma-separated probability values for --event"
+    )
+    sweep.add_argument("--start", type=float, help="sweep range start (with --stop)")
+    sweep.add_argument("--stop", type=float, help="sweep range stop (with --start)")
+    sweep.add_argument("--steps", type=int, default=20, help="points in the range (default: 20)")
+    sweep.add_argument(
+        "--linear", action="store_true", help="space range points linearly instead of log"
+    )
+    sweep.add_argument(
+        "--scale-factors",
+        help="comma-separated factors: sweep scales of --event instead of absolute values",
+    )
+    sweep.add_argument(
+        "--mission-factors", help="comma-separated mission-time factors to sweep"
+    )
+    sweep.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable subtree artifact reuse (naive per-scenario re-analysis)",
+    )
+    sweep.add_argument(
+        "--limit", type=int, default=0, help="table rows to print (0 = all)"
+    )
+    sweep.add_argument("-o", "--output", type=Path, help="write the JSON sweep report")
+
+    plan = subparsers.add_parser(
+        "plan", help="budgeted mitigation planning: which events to harden first"
+    )
+    _add_tree_source_arguments(plan)
+    plan.add_argument(
+        "--action", action="append", default=[], metavar="EVENT=COST", required=True,
+        help="candidate hardening action and its cost (repeatable)",
+    )
+    plan.add_argument(
+        "--factor", type=float, default=0.1,
+        help="hardening factor applied by every action (default: 0.1)",
+    )
+    plan.add_argument("--budget", type=float, required=True, help="total budget")
+    plan.add_argument(
+        "--method", choices=("greedy", "exact"), default="greedy",
+        help="greedy cost-effectiveness baseline or exact MaxSAT planner",
+    )
+    plan.add_argument(
+        "--objective", choices=("mpmcs", "top-event"), default="mpmcs",
+        help="quantity the greedy planner minimises (default: mpmcs)",
+    )
 
     subparsers.add_parser(
         "backends", help="list the registered analysis backends and their capabilities"
@@ -462,6 +572,147 @@ def _command_uncertainty(session: AnalysisSession, tree: FaultTree, args: argpar
     return 0
 
 
+def _split_kv(text: str, flag: str) -> "tuple[str, str]":
+    """Split an ``NAME=VALUE`` CLI argument, with a helpful error."""
+    name, separator, value = text.partition("=")
+    if not separator or not name or not value:
+        raise ReproError(f"{flag} expects NAME=VALUE, got {text!r}")
+    return name, value
+
+
+def _parse_float(text: str, flag: str) -> float:
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ReproError(f"{flag}: {text!r} is not a number") from exc
+
+
+def _parse_float_list(text: str, flag: str) -> "list[float]":
+    return [_parse_float(part, flag) for part in text.split(",") if part.strip()]
+
+
+def _whatif_patches(args: argparse.Namespace) -> "list":
+    patches = []
+    for item in args.set_probability:
+        event, value = _split_kv(item, "--set")
+        patches.append(SetProbability(event, _parse_float(value, "--set")))
+    for item in args.scale:
+        event, value = _split_kv(item, "--scale")
+        patches.append(ScaleProbability(event, _parse_float(value, "--scale")))
+    for item in args.harden:
+        event, separator, value = item.partition("=")
+        factor = _parse_float(value, "--harden") if separator else None
+        patches.append(Harden(event, factor=factor))
+    for item in args.remove:
+        patches.append(RemoveEvent(item))
+    for item in args.redundancy:
+        event, separator, value = item.partition("=")
+        copies = int(_parse_float(value, "--redundancy")) if separator else 1
+        patches.append(AddRedundancy(event, copies=copies))
+    for item in args.spare:
+        gate, value = _split_kv(item, "--spare")
+        patches.append(AddSpareChild(gate, _parse_float(value, "--spare")))
+    for item in args.set_k:
+        gate, value = _split_kv(item, "--set-k")
+        patches.append(SetVotingThreshold(gate, int(_parse_float(value, "--set-k"))))
+    if args.mission_factor is not None:
+        patches.append(ScaleMissionTime(args.mission_factor))
+    if not patches:
+        raise ReproError(
+            "whatif needs at least one patch (--set/--scale/--harden/--remove/"
+            "--redundancy/--spare/--set-k/--mission-factor)"
+        )
+    return patches
+
+
+def _sweep_backend(backend: str) -> str:
+    """Scenario sweeps need a concrete backend; auto routes to MOCUS."""
+    return "mocus" if backend == "auto" else backend
+
+
+def _command_whatif(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    scenario = Scenario(args.name, _whatif_patches(args))
+    executor = SweepExecutor(session, backend=_sweep_backend(args.backend))
+    report = executor.run(tree, [scenario])
+    print(render_scenario_report(report, "text"))
+    failures = report.failures
+    if args.output:
+        args.output.write_text(
+            render_scenario_report(report, "json") + "\n", encoding="utf-8"
+        )
+        print(f"\nJSON scenario report written to {args.output}")
+    if failures:
+        print(f"error: scenario failed: {failures[0].error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_sweep(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    if args.mission_factors:
+        scenarios = mission_time_sweep(_parse_float_list(args.mission_factors, "--mission-factors"))
+    elif args.event and args.scale_factors:
+        scenarios = scale_sweep(args.event, _parse_float_list(args.scale_factors, "--scale-factors"))
+    elif args.event and args.values:
+        scenarios = probability_sweep(args.event, _parse_float_list(args.values, "--values"))
+    elif args.event and args.start is not None and args.stop is not None:
+        values = sweep_values(args.start, args.stop, args.steps, log_spaced=not args.linear)
+        scenarios = probability_sweep(args.event, values)
+    else:
+        raise ReproError(
+            "sweep needs --event with --values/--scale-factors/--start+--stop, "
+            "or --mission-factors"
+        )
+    executor = SweepExecutor(
+        session, incremental=not args.no_incremental, backend=_sweep_backend(args.backend)
+    )
+    report = executor.run(tree, scenarios)
+    print(render_scenario_report(report, "text", limit=args.limit))
+    if args.output:
+        args.output.write_text(
+            render_scenario_report(report, "json") + "\n", encoding="utf-8"
+        )
+        print(f"\nJSON sweep report written to {args.output}")
+    return 0
+
+
+def _command_plan(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
+    actions = []
+    for item in args.action:
+        event, value = _split_kv(item, "--action")
+        actions.append(
+            HardeningAction(event, cost=_parse_float(value, "--action"), factor=args.factor)
+        )
+    plan = plan_mitigation(
+        tree,
+        actions,
+        args.budget,
+        method=args.method,
+        objective=args.objective.replace("-", "_"),
+        cache=session.artifacts,
+    )
+    print(f"method      : {plan.method}   (budget {plan.budget:g}, spent {plan.total_cost:g})")
+    selected = ", ".join(action.label for action in plan.selected) or "(nothing)"
+    print(f"harden      : {selected}")
+    print(f"MPMCS       : {{{', '.join(plan.base_mpmcs)}}} p={plan.base_mpmcs_probability:.6g}"
+          f"  ->  {{{', '.join(plan.new_mpmcs)}}} p={plan.new_mpmcs_probability:.6g}")
+    print(f"P(top)      : {plan.base_top_event:.6e}  ->  {plan.new_top_event:.6e}"
+          f"  ({plan.top_event_reduction:+.3e} reduction)")
+    print()
+    print("tornado ranking (one action at a time):")
+    rows = [
+        [
+            impact.action.event,
+            f"{impact.action.cost:g}",
+            f"{impact.top_event_after:.4e}",
+            f"{impact.top_event_reduction:.4e}",
+            f"{impact.reduction_per_cost:.4e}",
+        ]
+        for impact in rank_actions(tree, actions, cache=session.artifacts)
+    ]
+    print(markdown_table(["event", "cost", "P(top) after", "reduction", "reduction/cost"], rows))
+    return 0
+
+
 # -- tree-free subcommands -------------------------------------------------------------
 
 
@@ -529,6 +780,9 @@ _TREE_COMMANDS: Dict[str, Callable[[AnalysisSession, FaultTree, argparse.Namespa
     "uncertainty": _command_uncertainty,
     "modules": _command_modules,
     "truncate": _command_truncate,
+    "whatif": _command_whatif,
+    "sweep": _command_sweep,
+    "plan": _command_plan,
 }
 
 #: Subcommands that do not take a fault tree.

@@ -20,18 +20,27 @@ from repro.reporting.dot import to_dot
 from repro.reporting.ascii_art import render_tree
 from repro.reporting.html import html_report, write_html_report
 from repro.reporting.markdown import markdown_report, write_markdown_report
-from repro.reporting.tables import markdown_table, weights_table
-from repro.reporting.unified import FORMATS, render_report, write_report
+from repro.reporting.tables import markdown_table, scenario_delta_table, weights_table
+from repro.reporting.unified import (
+    FORMATS,
+    SCENARIO_FORMATS,
+    render_report,
+    render_scenario_report,
+    write_report,
+)
 
 __all__ = [
     "FORMATS",
+    "SCENARIO_FORMATS",
     "analysis_report",
     "html_report",
     "markdown_report",
     "markdown_table",
     "render_report",
+    "render_scenario_report",
     "render_tree",
     "report_document",
+    "scenario_delta_table",
     "to_dot",
     "weights_table",
     "write_analysis_report",

@@ -7,12 +7,15 @@ benchmark E1 and the quickstart example.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from repro.core.weights import log_weights
 from repro.fta.tree import FaultTree
 
-__all__ = ["markdown_table", "weights_table"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios -> api -> reporting)
+    from repro.scenarios.report import ScenarioReport
+
+__all__ = ["markdown_table", "scenario_delta_table", "weights_table"]
 
 
 def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -40,3 +43,40 @@ def weights_table(tree: FaultTree, *, digits: int = 5) -> str:
     prob_row = ["p(xi)"] + [f"{probabilities[name]:g}" for name in names]
     weight_row = ["wi"] + [f"{weights[name]:.{digits}f}" for name in names]
     return markdown_table(headers, [prob_row, weight_row])
+
+
+def _signed(value: float) -> str:
+    return f"{value:+.4e}"
+
+
+def scenario_delta_table(report: "ScenarioReport", *, limit: int = 0) -> str:
+    """Base-vs-scenario delta table of a :class:`~repro.scenarios.ScenarioReport`.
+
+    One row per scenario: top-event probability with its delta against the
+    base model, the scenario's MPMCS with its probability delta, and a
+    ``changed`` marker when the weakest link itself moved.  ``limit`` caps
+    the number of rows (0 = all); failed scenarios render their error.
+    """
+    headers = ["scenario", "P(top)", "ΔP(top)", "MPMCS", "P(MPMCS)", "ΔP(MPMCS)", "changed"]
+    rows: List[Sequence[object]] = []
+    outcomes = report.outcomes[:limit] if limit > 0 else report.outcomes
+    for outcome in outcomes:
+        if not outcome.ok:
+            rows.append([outcome.name, f"error: {outcome.error}", "", "", "", "", ""])
+            continue
+        rows.append(
+            [
+                outcome.name,
+                f"{outcome.top_event:.4e}" if outcome.top_event is not None else "-",
+                _signed(outcome.top_event_delta) if outcome.top_event_delta is not None else "-",
+                "{" + ", ".join(outcome.mpmcs_events) + "}" if outcome.mpmcs_events else "-",
+                (
+                    f"{outcome.mpmcs_probability:.4e}"
+                    if outcome.mpmcs_probability is not None
+                    else "-"
+                ),
+                _signed(outcome.mpmcs_delta) if outcome.mpmcs_delta is not None else "-",
+                "yes" if outcome.mpmcs_changed else "",
+            ]
+        )
+    return markdown_table(headers, rows)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from repro.api.report import AnalysisReport
 from repro.exceptions import ReproError
@@ -30,8 +30,12 @@ from repro.reporting.dot import to_dot
 from repro.reporting.html import html_report
 from repro.reporting.json_report import report_document
 from repro.reporting.markdown import markdown_report
+from repro.reporting.tables import scenario_delta_table
 
-__all__ = ["FORMATS", "render_report", "write_report"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios -> api)
+    from repro.scenarios.report import ScenarioReport
+
+__all__ = ["FORMATS", "SCENARIO_FORMATS", "render_report", "render_scenario_report", "write_report"]
 
 #: Formats supported by :func:`render_report`.
 FORMATS = ("json", "markdown", "html", "dot", "ascii")
@@ -81,6 +85,49 @@ def render_report(report: AnalysisReport, fmt: str = "json") -> str:
         highlight = report.mpmcs.events if report.mpmcs is not None else ()
         return render_tree(report.tree, highlight=highlight)
     raise ReproError(f"unknown report format {fmt!r}; expected one of {', '.join(FORMATS)}")
+
+
+#: Formats supported by :func:`render_scenario_report`.
+SCENARIO_FORMATS = ("json", "markdown", "text")
+
+
+def render_scenario_report(report: "ScenarioReport", fmt: str = "markdown", *, limit: int = 0) -> str:
+    """Render a :class:`~repro.scenarios.ScenarioReport` delta table.
+
+    ``"markdown"`` produces the per-scenario delta table, ``"json"`` the full
+    machine-readable document (:meth:`ScenarioReport.to_dict`), and
+    ``"text"`` a compact terminal summary: the table plus base values and the
+    cache-reuse counters proving incremental re-analysis.
+    """
+    fmt = fmt.strip().lower()
+    if fmt == "json":
+        return json.dumps(report.to_dict(), indent=2)
+    if fmt == "markdown":
+        return scenario_delta_table(report, limit=limit)
+    if fmt == "text":
+        lines = [
+            f"tree     : {report.tree_name}",
+            f"backend  : {report.backend}   "
+            f"({'incremental' if report.incremental else 'naive'} sweep, "
+            f"{len(report)} scenario(s), {report.total_time_s:.3f}s)",
+        ]
+        if report.base_top_event is not None:
+            lines.append(f"base P(top) : {report.base_top_event:.6e}")
+        if report.base_mpmcs_events is not None:
+            lines.append(
+                f"base MPMCS  : {{{', '.join(report.base_mpmcs_events)}}}"
+                f"  p={report.base_mpmcs_probability:.6g}"
+            )
+        reuse = report.subtree_reuse
+        lines.append(
+            f"subtree cache: {reuse['hits']} hits / {reuse['misses']} misses"
+        )
+        lines.append("")
+        lines.append(scenario_delta_table(report, limit=limit))
+        return "\n".join(lines)
+    raise ReproError(
+        f"unknown scenario report format {fmt!r}; expected one of {', '.join(SCENARIO_FORMATS)}"
+    )
 
 
 def write_report(

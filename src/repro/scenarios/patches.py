@@ -1,0 +1,431 @@
+"""Declarative, non-destructive fault-tree perturbations.
+
+A :class:`Patch` describes *one* change to a fault tree — harden a component,
+add a redundant unit, remove an attack vector, stretch the mission time —
+without mutating the base model: :meth:`Patch.apply` always returns a new
+:class:`~repro.fta.tree.FaultTree`.  Patches compose into named
+:class:`~repro.scenarios.scenario.Scenario` objects and parametric sweeps,
+which the :class:`~repro.scenarios.sweep.SweepExecutor` evaluates in bulk.
+
+Two families of patches exist:
+
+* **probability patches** (:class:`SetProbability`, :class:`ScaleProbability`,
+  :class:`Harden`, :class:`ScaleMissionTime`) keep the structure function
+  untouched, so the incremental sweep path reuses *every* cached subtree
+  artifact;
+* **structural patches** (:class:`RemoveEvent`, :class:`AddRedundancy`,
+  :class:`AddSpareChild`, :class:`SetVotingThreshold`, :class:`ApplyCCF`)
+  rewrite part of the DAG; only the subtrees on the path from the edit to the
+  top event lose their cache entries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import FaultTreeError
+from repro.fta.ccf import CCFGroup, apply_beta_factor_model
+from repro.fta.gates import GateType
+from repro.fta.tree import FaultTree
+
+__all__ = [
+    "AddRedundancy",
+    "AddSpareChild",
+    "ApplyCCF",
+    "Harden",
+    "Patch",
+    "RemoveEvent",
+    "ScaleMissionTime",
+    "ScaleProbability",
+    "SetProbability",
+    "SetVotingThreshold",
+]
+
+#: Default hardening factor applied by :class:`Harden` when neither a factor
+#: nor a target probability is given (one order of magnitude improvement).
+DEFAULT_HARDENING_FACTOR = 0.1
+
+
+def _clamp_probability(value: float) -> float:
+    """Clamp a perturbed probability into the library's (0, 1] domain."""
+    return min(max(value, 1e-300), 1.0)
+
+
+class Patch(abc.ABC):
+    """One non-destructive perturbation of a fault tree."""
+
+    @abc.abstractmethod
+    def apply(self, tree: FaultTree) -> FaultTree:
+        """Return a *new* tree with this patch applied; ``tree`` is unchanged."""
+
+    @property
+    @abc.abstractmethod
+    def label(self) -> str:
+        """Short identifier used to name scenarios built from this patch."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description (defaults to :attr:`label`)."""
+        return self.label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label})"
+
+
+def _require_event(tree: FaultTree, event: str) -> None:
+    if not tree.is_event(event):
+        raise FaultTreeError(
+            f"patch references unknown basic event {event!r} in tree {tree.name!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SetProbability(Patch):
+    """Replace the probability of one basic event."""
+
+    event: str
+    probability: float
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        _require_event(tree, self.event)
+        patched = tree.copy()
+        patched.set_probability(self.event, self.probability)
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"{self.event}={self.probability:g}"
+
+
+@dataclass(frozen=True)
+class ScaleProbability(Patch):
+    """Multiply the probability of one basic event by a positive factor."""
+
+    event: str
+    factor: float
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        if self.factor <= 0:
+            raise FaultTreeError(f"scale factor must be positive, got {self.factor}")
+        _require_event(tree, self.event)
+        patched = tree.copy()
+        patched.set_probability(
+            self.event, _clamp_probability(tree.probability(self.event) * self.factor)
+        )
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"{self.event}*{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class Harden(Patch):
+    """Harden a component: reduce its failure probability.
+
+    Either an explicit target ``probability`` or a multiplicative ``factor``
+    (default :data:`DEFAULT_HARDENING_FACTOR`).  Hardening may only lower the
+    probability — raising it is rejected so that mitigation plans stay
+    monotone.
+    """
+
+    event: str
+    factor: Optional[float] = None
+    probability: Optional[float] = None
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        _require_event(tree, self.event)
+        base = tree.probability(self.event)
+        target = self.hardened_probability(base)
+        if target > base:
+            raise FaultTreeError(
+                f"hardening {self.event!r} cannot raise its probability "
+                f"({base:g} -> {target:g})"
+            )
+        patched = tree.copy()
+        patched.set_probability(self.event, target)
+        return patched
+
+    def hardened_probability(self, base: float) -> float:
+        """The probability ``base`` becomes under this hardening action."""
+        if self.probability is not None:
+            return _clamp_probability(self.probability)
+        factor = self.factor if self.factor is not None else DEFAULT_HARDENING_FACTOR
+        if not 0 < factor <= 1:
+            raise FaultTreeError(f"hardening factor must lie in (0, 1], got {factor}")
+        return _clamp_probability(base * factor)
+
+    @property
+    def label(self) -> str:
+        if self.probability is not None:
+            return f"harden({self.event}={self.probability:g})"
+        factor = self.factor if self.factor is not None else DEFAULT_HARDENING_FACTOR
+        return f"harden({self.event}*{factor:g})"
+
+
+@dataclass(frozen=True)
+class ScaleMissionTime(Patch):
+    """Rescale every event probability to a different mission time.
+
+    Under the exponential failure law ``p = 1 - exp(-λt)`` used by the
+    Galileo rate models, changing the mission time from ``t`` to ``factor·t``
+    transforms every probability as ``p' = 1 - (1 - p)**factor``.  The patch
+    applies that transformation uniformly, so sweeping ``factor`` produces a
+    mission-time sensitivity curve without re-parsing the rate model.
+    """
+
+    factor: float
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        if self.factor <= 0:
+            raise FaultTreeError(f"mission-time factor must be positive, got {self.factor}")
+        patched = tree.copy()
+        for name, probability in tree.probabilities().items():
+            patched.set_probability(
+                name, _clamp_probability(1.0 - (1.0 - probability) ** self.factor)
+            )
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"mission-time*{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class RemoveEvent(Patch):
+    """Eliminate a basic event (it can never occur) and simplify the tree.
+
+    Models a decommissioned attack vector or a failure mode engineered away.
+    The event becomes constant FALSE, which propagates: an AND gate over it
+    can never fire and disappears with it, an OR gate merely loses the child,
+    and a k-of-n voting gate keeps its threshold over one fewer input (turning
+    impossible when ``k`` exceeds the remaining inputs).  Subtrees orphaned by
+    the simplification are pruned.  Removing an event the top event cannot
+    survive without raises :class:`FaultTreeError`.
+    """
+
+    event: str
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        _require_event(tree, self.event)
+        gates = tree.gates
+        false_nodes: Set[str] = {self.event}
+        surviving: Dict[str, Tuple[GateType, Tuple[str, ...], Optional[int], Optional[str]]] = {}
+        for name in tree.topological_order():
+            gate = gates.get(name)
+            if gate is None:
+                continue
+            children = tuple(c for c in gate.children if c not in false_nodes)
+            if gate.gate_type is GateType.AND:
+                if len(children) < len(gate.children):
+                    false_nodes.add(name)
+                    continue
+            elif gate.gate_type is GateType.OR:
+                if not children:
+                    false_nodes.add(name)
+                    continue
+            else:  # voting: removed children contribute nothing to the count
+                assert gate.k is not None
+                if gate.k > len(children):
+                    false_nodes.add(name)
+                    continue
+            surviving[name] = (gate.gate_type, children, gate.k, gate.description)
+
+        top = tree.top_event
+        if top in false_nodes:
+            raise FaultTreeError(
+                f"removing event {self.event!r} makes the top event of "
+                f"{tree.name!r} impossible"
+            )
+
+        patched = FaultTree(tree.name, top_event=top)
+        events = tree.events
+        reachable: Set[str] = set()
+        stack = [top]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            if node in surviving:
+                stack.extend(surviving[node][1])
+        for name in reachable:
+            if name in events:
+                event = events[name]
+                patched.add_basic_event(name, event.probability, description=event.description)
+            else:
+                gate_type, children, k, description = surviving[name]
+                patched.add_gate(name, gate_type, children, k=k, description=description)
+        patched.validate()
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"remove({self.event})"
+
+
+@dataclass(frozen=True)
+class AddRedundancy(Patch):
+    """Back a basic event with redundant units: all must fail together.
+
+    The event ``e`` is replaced by an AND gate over ``e`` and ``copies``
+    fresh basic events (``e__r1``, ``e__r2``, …) whose probability defaults
+    to that of ``e``.  Every gate referencing ``e`` is rewired to the new
+    gate — the classical "install a redundant pump" mitigation.
+    """
+
+    event: str
+    copies: int = 1
+    probability: Optional[float] = None
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        if self.copies < 1:
+            raise FaultTreeError(f"redundancy needs at least one copy, got {self.copies}")
+        _require_event(tree, self.event)
+        gate_name = f"{self.event}__redundant"
+        duplicate_probability = (
+            self.probability if self.probability is not None else tree.probability(self.event)
+        )
+        patched = FaultTree(tree.name)
+        for event in tree.events.values():
+            patched.add_basic_event(event.name, event.probability, description=event.description)
+        duplicates = []
+        for index in range(self.copies):
+            duplicate = f"{self.event}__r{index + 1}"
+            patched.add_basic_event(
+                duplicate,
+                duplicate_probability,
+                description=f"Redundant unit {index + 1} of {self.event}",
+            )
+            duplicates.append(duplicate)
+        patched.add_gate(
+            gate_name,
+            GateType.AND,
+            [self.event] + duplicates,
+            description=f"{self.event} with {self.copies} redundant unit(s)",
+        )
+        for gate in tree.gates.values():
+            children = [gate_name if c == self.event else c for c in gate.children]
+            patched.add_gate(
+                gate.name, gate.gate_type, children, k=gate.k, description=gate.description
+            )
+        top = tree.top_event
+        patched.set_top_event(gate_name if top == self.event else top)
+        patched.validate()
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"redundancy({self.event}x{self.copies})"
+
+
+@dataclass(frozen=True)
+class AddSpareChild(Patch):
+    """Add a fresh basic event as an extra child of an existing gate.
+
+    On an AND gate this models an additional independent barrier that must
+    also fail.  On a k-of-n voting gate the threshold rises with the pool
+    (``k+1``-of-``n+1``): an installed spare lets the subsystem tolerate one
+    *more* unit failure — keeping ``k`` fixed while growing ``n`` would make
+    the gate easier to trip and the "mitigation" would raise the failure
+    probability.  Adding to an OR gate is rejected — it would introduce a
+    new failure mode, which is a modelling change, not a mitigation.
+    """
+
+    gate: str
+    probability: float
+    name: Optional[str] = None
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        if not tree.is_gate(self.gate):
+            raise FaultTreeError(f"patch references unknown gate {self.gate!r}")
+        gate = tree.gates[self.gate]
+        if gate.gate_type is GateType.OR:
+            raise FaultTreeError(
+                f"cannot add a spare child to OR gate {self.gate!r}: it would add a "
+                "failure mode instead of removing one"
+            )
+        spare = self.name or f"{self.gate}__spare"
+        patched = FaultTree(tree.name, top_event=tree.top_event)
+        for event in tree.events.values():
+            patched.add_basic_event(event.name, event.probability, description=event.description)
+        patched.add_basic_event(spare, self.probability, description=f"Spare unit on {self.gate}")
+        for other in tree.gates.values():
+            if other.name == self.gate:
+                patched.add_gate(
+                    other.name,
+                    other.gate_type,
+                    tuple(other.children) + (spare,),
+                    k=other.k + 1 if other.k is not None else None,
+                    description=other.description,
+                )
+            else:
+                patched.add_gate(
+                    other.name, other.gate_type, other.children, k=other.k,
+                    description=other.description,
+                )
+        patched.validate()
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"spare({self.gate}+{self.probability:g})"
+
+
+@dataclass(frozen=True)
+class SetVotingThreshold(Patch):
+    """Change the ``k`` threshold of an existing k-of-n voting gate."""
+
+    gate: str
+    k: int
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        if not tree.is_gate(self.gate):
+            raise FaultTreeError(f"patch references unknown gate {self.gate!r}")
+        gate = tree.gates[self.gate]
+        if gate.gate_type is not GateType.VOTING:
+            raise FaultTreeError(
+                f"gate {self.gate!r} is a {gate.gate_type.value} gate, not a voting gate"
+            )
+        patched = FaultTree(tree.name, top_event=tree.top_event)
+        for event in tree.events.values():
+            patched.add_basic_event(event.name, event.probability, description=event.description)
+        for other in tree.gates.values():
+            k = self.k if other.name == self.gate else other.k
+            patched.add_gate(
+                other.name, other.gate_type, other.children, k=k, description=other.description
+            )
+        patched.validate()
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"k({self.gate})={self.k}"
+
+
+@dataclass(frozen=True)
+class ApplyCCF(Patch):
+    """Apply a beta-factor common-cause-failure group (for CCF-factor sweeps).
+
+    Wraps :func:`repro.fta.ccf.apply_beta_factor_model` with a single group so
+    that ``beta`` can participate in scenario grids like any other knob.
+    """
+
+    group: str
+    members: Tuple[str, ...]
+    beta: float
+
+    def __init__(self, group: str, members: Sequence[str], beta: float) -> None:
+        object.__setattr__(self, "group", group)
+        object.__setattr__(self, "members", tuple(members))
+        object.__setattr__(self, "beta", float(beta))
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        return apply_beta_factor_model(
+            tree, [CCFGroup(self.group, self.members, self.beta)], name=tree.name
+        )
+
+    @property
+    def label(self) -> str:
+        return f"ccf({self.group},beta={self.beta:g})"

@@ -1,0 +1,461 @@
+"""Budgeted mitigation planning: which components to harden first.
+
+The MPMCS names the weakest link; this module turns that insight into a
+*plan*.  Given a set of candidate :class:`HardeningAction`\\ s (per-event cost
+and effect) and a budget, the planner selects the action subset that pushes
+the Maximum Probability Minimal Cut Set down the most:
+
+* :func:`greedy_plan` — the classical cost-effectiveness baseline: repeatedly
+  buy the affordable action with the best objective reduction per unit cost.
+  Fast, and optimal surprisingly often, but it can be trapped (hardening the
+  current MPMCS may just promote the runner-up cut set).
+* :func:`exact_plan` — an exact re-encoding into Weighted Partial MaxSAT,
+  reusing the library's solver portfolio.  The objective ``min_H max_C
+  P'(C)`` becomes, in the paper's ``-log`` weight space, ``max_H min_C
+  w'(C)`` — a bottleneck problem solved by binary search over the finite set
+  of achievable cut-set weights.  Each feasibility probe asks: *is there a
+  selection of actions, of minimal total cost, under which every minimal cut
+  set weighs at least θ?*  Per-cut-set weight constraints are pseudo-Boolean
+  and compile through the generalized totalizer
+  (:func:`repro.maxsat.pb.encode_weighted_at_most`); action costs become soft
+  clauses, so the MaxSAT optimum is the cheapest plan reaching θ.
+
+:func:`rank_actions` provides the tornado-style sensitivity ranking: the
+one-at-a-time impact of every candidate action on the top-event probability
+and the MPMCS, sorted by risk reduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cutsets import CutSet, CutSetCollection
+from repro.analysis.topevent import top_event_probability_from_cut_sets
+from repro.api.cache import ArtifactCache
+from repro.core.weights import log_weight
+from repro.exceptions import AnalysisError
+from repro.fta.tree import FaultTree
+from repro.maxsat.instance import WPMaxSATInstance
+from repro.maxsat.pb import encode_weighted_at_most
+from repro.maxsat.portfolio import PortfolioSolver
+from repro.scenarios.incremental import incremental_cut_sets
+from repro.scenarios.patches import DEFAULT_HARDENING_FACTOR, Harden
+
+__all__ = [
+    "ActionImpact",
+    "HardeningAction",
+    "MitigationPlan",
+    "exact_plan",
+    "greedy_plan",
+    "plan_mitigation",
+    "rank_actions",
+]
+
+#: Guard on the exact planner's threshold enumeration: every cut set
+#: contributes ``2**|C ∩ actions|`` candidate weights.
+_MAX_THRESHOLD_CANDIDATES = 200_000
+
+
+@dataclass(frozen=True)
+class HardeningAction:
+    """One purchasable mitigation: harden ``event`` at ``cost``.
+
+    The effect is either an explicit target ``probability`` or a
+    multiplicative ``factor`` (default
+    :data:`~repro.scenarios.patches.DEFAULT_HARDENING_FACTOR`); hardening may
+    only lower the probability.
+    """
+
+    event: str
+    cost: float
+    factor: Optional[float] = None
+    probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise AnalysisError(f"action cost for {self.event!r} must be positive")
+
+    def as_patch(self) -> Harden:
+        return Harden(self.event, factor=self.factor, probability=self.probability)
+
+    def hardened_probability(self, base: float) -> float:
+        return self.as_patch().hardened_probability(base)
+
+    @property
+    def label(self) -> str:
+        return self.as_patch().label
+
+
+@dataclass(frozen=True)
+class ActionImpact:
+    """Tornado-style one-at-a-time impact of a single hardening action."""
+
+    action: HardeningAction
+    top_event_before: float
+    top_event_after: float
+    mpmcs_probability_before: float
+    mpmcs_probability_after: float
+
+    @property
+    def top_event_reduction(self) -> float:
+        return self.top_event_before - self.top_event_after
+
+    @property
+    def reduction_per_cost(self) -> float:
+        return self.top_event_reduction / self.action.cost
+
+
+@dataclass(frozen=True)
+class MitigationPlan:
+    """The selected hardening set and its projected effect."""
+
+    method: str
+    budget: float
+    selected: Tuple[HardeningAction, ...]
+    total_cost: float
+    base_mpmcs: Tuple[str, ...]
+    base_mpmcs_probability: float
+    new_mpmcs: Tuple[str, ...]
+    new_mpmcs_probability: float
+    base_top_event: float
+    new_top_event: float
+
+    @property
+    def events(self) -> Tuple[str, ...]:
+        """Names of the hardened events, sorted."""
+        return tuple(sorted(action.event for action in self.selected))
+
+    @property
+    def mpmcs_reduction(self) -> float:
+        return self.base_mpmcs_probability - self.new_mpmcs_probability
+
+    @property
+    def top_event_reduction(self) -> float:
+        return self.base_top_event - self.new_top_event
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "budget": self.budget,
+            "selected": [
+                {"event": action.event, "cost": action.cost, "effect": action.label}
+                for action in self.selected
+            ],
+            "total_cost": self.total_cost,
+            "base_mpmcs": list(self.base_mpmcs),
+            "base_mpmcs_probability": self.base_mpmcs_probability,
+            "new_mpmcs": list(self.new_mpmcs),
+            "new_mpmcs_probability": self.new_mpmcs_probability,
+            "base_top_event": self.base_top_event,
+            "new_top_event": self.new_top_event,
+        }
+
+
+# -- shared evaluation helpers -----------------------------------------------------------
+
+
+def _cut_set_structure(
+    tree: FaultTree, cache: Optional[ArtifactCache]
+) -> List[CutSet]:
+    collection = incremental_cut_sets(tree, cache if cache is not None else ArtifactCache())
+    if not len(collection):
+        raise AnalysisError(f"fault tree {tree.name!r} has no cut set to mitigate")
+    return list(collection)
+
+
+def _probabilities_under(
+    tree: FaultTree, selection: Iterable[HardeningAction]
+) -> Dict[str, float]:
+    probabilities = tree.probabilities()
+    for action in selection:
+        probabilities[action.event] = action.hardened_probability(
+            tree.probability(action.event)
+        )
+    return probabilities
+
+
+def _mpmcs_under(
+    structure: Sequence[CutSet], probabilities: Mapping[str, float]
+) -> Tuple[Tuple[str, ...], float]:
+    collection = CutSetCollection(cut_sets=list(structure), probabilities=probabilities)
+    events, probability = collection.most_probable()
+    return tuple(sorted(events)), probability
+
+
+def _top_event_under(
+    structure: Sequence[CutSet], probabilities: Mapping[str, float]
+) -> float:
+    return top_event_probability_from_cut_sets(structure, probabilities, method="auto")
+
+
+def _validate_actions(tree: FaultTree, actions: Sequence[HardeningAction]) -> None:
+    seen: Set[str] = set()
+    for action in actions:
+        if not tree.is_event(action.event):
+            raise AnalysisError(f"action references unknown basic event {action.event!r}")
+        if action.event in seen:
+            raise AnalysisError(f"multiple actions target event {action.event!r}")
+        seen.add(action.event)
+        base = tree.probability(action.event)
+        if action.hardened_probability(base) > base:
+            raise AnalysisError(
+                f"action on {action.event!r} would raise its probability; "
+                "hardening must not make things worse"
+            )
+
+
+# -- tornado-style sensitivity ranking ---------------------------------------------------
+
+
+def rank_actions(
+    tree: FaultTree,
+    actions: Sequence[HardeningAction],
+    *,
+    cache: Optional[ArtifactCache] = None,
+) -> List[ActionImpact]:
+    """One-at-a-time impact of each action, sorted by top-event reduction.
+
+    The classical tornado diagram restricted to the downside every action can
+    actually buy; ties break on cost (cheaper first) then event name.
+    """
+    _validate_actions(tree, actions)
+    structure = _cut_set_structure(tree, cache)
+    base_probabilities = tree.probabilities()
+    base_top = _top_event_under(structure, base_probabilities)
+    _, base_mpmcs_probability = _mpmcs_under(structure, base_probabilities)
+    impacts = []
+    for action in actions:
+        probabilities = _probabilities_under(tree, [action])
+        _, mpmcs_probability = _mpmcs_under(structure, probabilities)
+        impacts.append(
+            ActionImpact(
+                action=action,
+                top_event_before=base_top,
+                top_event_after=_top_event_under(structure, probabilities),
+                mpmcs_probability_before=base_mpmcs_probability,
+                mpmcs_probability_after=mpmcs_probability,
+            )
+        )
+    return sorted(
+        impacts,
+        key=lambda impact: (
+            -impact.top_event_reduction,
+            impact.action.cost,
+            impact.action.event,
+        ),
+    )
+
+
+# -- greedy baseline ---------------------------------------------------------------------
+
+
+def greedy_plan(
+    tree: FaultTree,
+    actions: Sequence[HardeningAction],
+    budget: float,
+    *,
+    objective: str = "mpmcs",
+    cache: Optional[ArtifactCache] = None,
+) -> MitigationPlan:
+    """Cost-effectiveness greedy baseline.
+
+    Repeatedly buys the affordable action with the largest objective
+    reduction per unit cost (``objective`` is ``"mpmcs"`` — the MPMCS
+    probability, the paper's quantity — or ``"top_event"``), stopping when
+    the budget is exhausted or no affordable action still reduces the
+    objective.
+    """
+    if objective not in ("mpmcs", "top_event"):
+        raise AnalysisError(f"unknown objective {objective!r}; use 'mpmcs' or 'top_event'")
+    _validate_actions(tree, actions)
+    structure = _cut_set_structure(tree, cache)
+
+    def objective_value(selection: List[HardeningAction]) -> float:
+        probabilities = _probabilities_under(tree, selection)
+        if objective == "mpmcs":
+            return _mpmcs_under(structure, probabilities)[1]
+        return _top_event_under(structure, probabilities)
+
+    selected: List[HardeningAction] = []
+    remaining = list(actions)
+    spent = 0.0
+    current = objective_value(selected)
+    while True:
+        best: Optional[Tuple[float, float, str, HardeningAction]] = None
+        for action in remaining:
+            if spent + action.cost > budget + 1e-12:
+                continue
+            value = objective_value(selected + [action])
+            reduction = current - value
+            if reduction <= 0:
+                continue
+            key = (-(reduction / action.cost), action.cost, action.event)
+            if best is None or key < best[:3]:
+                best = (*key, action)
+        if best is None:
+            break
+        action = best[3]
+        selected.append(action)
+        remaining.remove(action)
+        spent += action.cost
+        current = objective_value(selected)
+
+    return _assemble_plan(tree, structure, selected, budget, method="greedy")
+
+
+# -- exact MaxSAT planner ----------------------------------------------------------------
+
+
+def exact_plan(
+    tree: FaultTree,
+    actions: Sequence[HardeningAction],
+    budget: float,
+    *,
+    cache: Optional[ArtifactCache] = None,
+    solver: Optional[PortfolioSolver] = None,
+    precision: int = 10**6,
+) -> MitigationPlan:
+    """Exact budgeted MPMCS minimisation via Weighted Partial MaxSAT.
+
+    Maximises ``min_C w'(C)`` (equivalently minimises the post-hardening
+    MPMCS probability) over all action subsets within budget, by binary
+    search over the finite candidate thresholds; each feasibility probe is a
+    WPMaxSAT instance solved with the library's engine portfolio.  Among all
+    subsets reaching the optimal threshold the *cheapest* one is returned.
+    """
+    _validate_actions(tree, actions)
+    structure = _cut_set_structure(tree, cache)
+    portfolio = solver if solver is not None else PortfolioSolver(mode="sequential")
+
+    base_weights = {name: log_weight(p) for name, p in tree.probabilities().items()}
+    deltas: Dict[str, int] = {}
+    costs: Dict[str, float] = {}
+    for action in actions:
+        base = tree.probability(action.event)
+        hardened = action.hardened_probability(base)
+        delta = log_weight(hardened) - base_weights[action.event]
+        deltas[action.event] = max(0, int(round(delta * precision)))
+        costs[action.event] = action.cost
+    action_by_event = {action.event: action for action in actions}
+
+    cut_weights = [
+        int(round(sum(base_weights[name] for name in cut_set) * precision))
+        for cut_set in structure
+    ]
+
+    # Finite candidate set for the bottleneck value min_C w'(C): every cut
+    # set's weight under every subset of its actionable members.
+    candidates: Set[int] = set()
+    total_subsets = sum(
+        2 ** len([e for e in cut_set if e in deltas]) for cut_set in structure
+    )
+    if total_subsets > _MAX_THRESHOLD_CANDIDATES:
+        raise AnalysisError(
+            f"exact planner would enumerate {total_subsets} candidate thresholds "
+            f"(limit {_MAX_THRESHOLD_CANDIDATES}); use greedy_plan for this model"
+        )
+    for cut_set, base_weight in zip(structure, cut_weights):
+        actionable = [event for event in cut_set if event in deltas]
+        for size in range(len(actionable) + 1):
+            for combo in itertools.combinations(actionable, size):
+                candidates.add(base_weight + sum(deltas[event] for event in combo))
+    thresholds = sorted(candidates)
+
+    def feasible(theta: int) -> Optional[List[HardeningAction]]:
+        """Cheapest action set making every cut set weigh >= theta, or None."""
+        instance = WPMaxSATInstance(precision=precision)
+        harden_vars = {event: instance.new_var() for event in sorted(deltas)}
+        for cut_set, base_weight in zip(structure, cut_weights):
+            need = theta - base_weight
+            if need <= 0:
+                continue
+            terms = [
+                (deltas[event], harden_vars[event])
+                for event in sorted(cut_set)
+                if event in deltas and deltas[event] > 0
+            ]
+            available = sum(weight for weight, _ in terms)
+            if available < need:
+                return None  # no selection can lift this cut set to theta
+            # sum(delta_e * h_e) >= need  <=>  sum(delta_e * (1 - h_e)) <= available - need
+            encode_weighted_at_most(
+                [(weight, -var) for weight, var in terms],
+                available - need,
+                instance.new_var,
+                instance.add_hard,
+            )
+        for event, var in harden_vars.items():
+            instance.add_soft([-var], costs[event])
+        if instance.num_soft == 0:
+            return []  # theta is free: no constraint requires any action
+        result = portfolio.solve(instance)
+        if not result.is_optimum:
+            return None
+        if result.float_cost > budget + 1e-9:
+            return None
+        return [
+            action_by_event[event]
+            for event, var in sorted(harden_vars.items())
+            if result.value(var)
+        ]
+
+    best_selection: List[HardeningAction] = []
+    low, high = 0, len(thresholds) - 1
+    while low <= high:
+        mid = (low + high) // 2
+        selection = feasible(thresholds[mid])
+        if selection is not None:
+            best_selection = selection
+            low = mid + 1
+        else:
+            high = mid - 1
+
+    return _assemble_plan(tree, structure, best_selection, budget, method="maxsat")
+
+
+def _assemble_plan(
+    tree: FaultTree,
+    structure: Sequence[CutSet],
+    selected: Sequence[HardeningAction],
+    budget: float,
+    *,
+    method: str,
+) -> MitigationPlan:
+    base_probabilities = tree.probabilities()
+    base_mpmcs, base_mpmcs_probability = _mpmcs_under(structure, base_probabilities)
+    new_probabilities = _probabilities_under(tree, selected)
+    new_mpmcs, new_mpmcs_probability = _mpmcs_under(structure, new_probabilities)
+    ordered = tuple(sorted(selected, key=lambda action: action.event))
+    return MitigationPlan(
+        method=method,
+        budget=budget,
+        selected=ordered,
+        total_cost=sum(action.cost for action in ordered),
+        base_mpmcs=base_mpmcs,
+        base_mpmcs_probability=base_mpmcs_probability,
+        new_mpmcs=new_mpmcs,
+        new_mpmcs_probability=new_mpmcs_probability,
+        base_top_event=_top_event_under(structure, base_probabilities),
+        new_top_event=_top_event_under(structure, new_probabilities),
+    )
+
+
+def plan_mitigation(
+    tree: FaultTree,
+    actions: Sequence[HardeningAction],
+    budget: float,
+    *,
+    method: str = "greedy",
+    objective: str = "mpmcs",
+    cache: Optional[ArtifactCache] = None,
+) -> MitigationPlan:
+    """Front door: dispatch to :func:`greedy_plan` or :func:`exact_plan`."""
+    if method == "greedy":
+        return greedy_plan(tree, actions, budget, objective=objective, cache=cache)
+    if method in ("exact", "maxsat"):
+        if objective != "mpmcs":
+            raise AnalysisError("the exact planner optimises the 'mpmcs' objective only")
+        return exact_plan(tree, actions, budget, cache=cache)
+    raise AnalysisError(f"unknown planning method {method!r}; use 'greedy' or 'exact'")

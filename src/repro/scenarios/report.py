@@ -1,0 +1,133 @@
+"""Result types of a scenario sweep: base-vs-scenario delta tables.
+
+A :class:`ScenarioReport` pairs the base model's
+:class:`~repro.api.report.AnalysisReport` with one :class:`ScenarioOutcome`
+per evaluated scenario.  Each outcome carries the scenario's top-event
+probability and MPMCS alongside their deltas against the base, so the
+operator's question — *which intervention moves the needle, and by how
+much?* — is answered by a single table.  The report renders through the
+library's existing table/JSON machinery (see
+:func:`repro.reporting.tables.scenario_delta_table` and
+:func:`repro.reporting.unified.render_scenario_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.cache import ARTIFACT_SUBTREE_CUT_SETS
+from repro.api.report import AnalysisReport
+
+__all__ = ["ScenarioOutcome", "ScenarioReport"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """The effect of one scenario, relative to the base model.
+
+    ``error`` is set (and every result field ``None``) when the scenario
+    failed to apply or analyse — one impossible scenario must not sink a
+    thousand-scenario sweep.
+    """
+
+    name: str
+    description: str = ""
+    top_event: Optional[float] = None
+    top_event_delta: Optional[float] = None
+    mpmcs_events: Optional[Tuple[str, ...]] = None
+    mpmcs_probability: Optional[float] = None
+    mpmcs_delta: Optional[float] = None
+    mpmcs_changed: bool = False
+    time_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "top_event": self.top_event,
+            "top_event_delta": self.top_event_delta,
+            "mpmcs": list(self.mpmcs_events) if self.mpmcs_events is not None else None,
+            "mpmcs_probability": self.mpmcs_probability,
+            "mpmcs_delta": self.mpmcs_delta,
+            "mpmcs_changed": self.mpmcs_changed,
+            "time_s": self.time_s,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of a :class:`~repro.scenarios.sweep.SweepExecutor` run."""
+
+    tree_name: str
+    analyses: Tuple[str, ...]
+    backend: str
+    incremental: bool
+    base: AnalysisReport
+    base_top_event: Optional[float]
+    base_mpmcs_events: Optional[Tuple[str, ...]]
+    base_mpmcs_probability: Optional[float]
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    total_time_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def ok_outcomes(self) -> List[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def failures(self) -> List[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def subtree_reuse(self) -> Dict[str, int]:
+        """Hit/miss counters of the subtree cut-set artifact — the proof of
+        incremental reuse across the sweep."""
+        by_kind = self.cache_stats.get("by_kind", {})
+        counters = by_kind.get(ARTIFACT_SUBTREE_CUT_SETS, {"hits": 0, "misses": 0})
+        return {"hits": counters.get("hits", 0), "misses": counters.get("misses", 0)}
+
+    def ranked_by_top_event(self) -> List[ScenarioOutcome]:
+        """Successful outcomes sorted by ascending top-event probability
+        (best mitigation first)."""
+        return sorted(
+            self.ok_outcomes,
+            key=lambda outcome: (
+                outcome.top_event if outcome.top_event is not None else float("inf")
+            ),
+        )
+
+    def best(self) -> Optional[ScenarioOutcome]:
+        """The scenario with the lowest top-event probability, if any succeeded."""
+        ranked = self.ranked_by_top_event()
+        return ranked[0] if ranked else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tree": self.tree_name,
+            "analyses": list(self.analyses),
+            "backend": self.backend,
+            "incremental": self.incremental,
+            "base": {
+                "top_event": self.base_top_event,
+                "mpmcs": (
+                    list(self.base_mpmcs_events)
+                    if self.base_mpmcs_events is not None
+                    else None
+                ),
+                "mpmcs_probability": self.base_mpmcs_probability,
+            },
+            "scenarios": [outcome.to_dict() for outcome in self.outcomes],
+            "cache": dict(self.cache_stats),
+            "subtree_reuse": self.subtree_reuse,
+            "total_time_s": self.total_time_s,
+        }

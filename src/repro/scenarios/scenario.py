@@ -1,0 +1,161 @@
+"""Named scenarios and parametric scenario families.
+
+A :class:`Scenario` is an ordered bundle of patches with a stable name —
+"harden both sensors", "double the mission time" — that applies
+non-destructively to any base tree.  The module-level helpers build the
+common parametric families: one-dimensional probability/scale/mission-time/
+CCF-beta sweeps and full cartesian grids over independent patch axes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import FaultTreeError
+from repro.fta.tree import FaultTree
+from repro.scenarios.patches import (
+    ApplyCCF,
+    Patch,
+    ScaleMissionTime,
+    ScaleProbability,
+    SetProbability,
+)
+
+__all__ = [
+    "Scenario",
+    "ccf_beta_sweep",
+    "mission_time_sweep",
+    "probability_sweep",
+    "scale_sweep",
+    "scenario_grid",
+    "sweep_values",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, ordered composition of patches.
+
+    ``apply`` runs the patches left to right, so later patches see the
+    effects of earlier ones (e.g. ``AddRedundancy`` followed by a
+    ``SetProbability`` of the freshly added unit).
+    """
+
+    name: str
+    patches: Tuple[Patch, ...]
+    description: str = ""
+
+    def __init__(
+        self, name: str, patches: Iterable[Patch], description: str = ""
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "patches", tuple(patches))
+        object.__setattr__(self, "description", description)
+        if not self.name:
+            raise FaultTreeError("scenario name must be non-empty")
+        if not self.patches:
+            raise FaultTreeError(f"scenario {self.name!r} has no patches")
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        """Apply every patch in order and return the perturbed tree."""
+        patched = tree
+        for patch in self.patches:
+            patched = patch.apply(patched)
+        return patched
+
+    def describe(self) -> str:
+        """Human-readable summary: explicit description or the patch labels."""
+        return self.description or " + ".join(p.label for p in self.patches)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scenario({self.name!r}, {len(self.patches)} patch(es))"
+
+
+def _named(patch: Patch, prefix: Optional[str]) -> Scenario:
+    name = f"{prefix}:{patch.label}" if prefix else patch.label
+    return Scenario(name, (patch,))
+
+
+def probability_sweep(
+    event: str,
+    values: Optional[Sequence[float]] = None,
+    *,
+    start: Optional[float] = None,
+    stop: Optional[float] = None,
+    steps: int = 20,
+    log_spaced: bool = True,
+    prefix: Optional[str] = None,
+) -> List[Scenario]:
+    """One scenario per probability value of ``event``.
+
+    Either pass explicit ``values`` or a ``start``/``stop`` range expanded
+    into ``steps`` points (log-spaced by default, since probabilities span
+    orders of magnitude).
+    """
+    if values is None:
+        if start is None or stop is None:
+            raise FaultTreeError("probability_sweep needs either values or start/stop")
+        values = sweep_values(start, stop, steps, log_spaced=log_spaced)
+    return [_named(SetProbability(event, value), prefix) for value in values]
+
+
+def scale_sweep(
+    event: str, factors: Sequence[float], *, prefix: Optional[str] = None
+) -> List[Scenario]:
+    """One scenario per multiplicative factor applied to ``event``."""
+    return [_named(ScaleProbability(event, factor), prefix) for factor in factors]
+
+
+def mission_time_sweep(
+    factors: Sequence[float], *, prefix: Optional[str] = None
+) -> List[Scenario]:
+    """One scenario per mission-time stretch/compression factor."""
+    return [_named(ScaleMissionTime(factor), prefix) for factor in factors]
+
+
+def ccf_beta_sweep(
+    group: str,
+    members: Sequence[str],
+    betas: Sequence[float],
+    *,
+    prefix: Optional[str] = None,
+) -> List[Scenario]:
+    """One scenario per common-cause beta factor over the same group."""
+    return [_named(ApplyCCF(group, members, beta), prefix) for beta in betas]
+
+
+def scenario_grid(axes: Sequence[Sequence[Patch]], *, prefix: str = "") -> List[Scenario]:
+    """Cartesian product of independent patch axes.
+
+    Each axis is a sequence of alternative patches; the grid contains one
+    scenario per combination picking exactly one patch from every axis,
+    named by joining the chosen patch labels.  A two-axis grid of 20
+    probability values x 5 mission times yields 100 scenarios.
+    """
+    if not axes or any(not axis for axis in axes):
+        raise FaultTreeError("scenario_grid needs at least one non-empty axis")
+    scenarios = []
+    for combo in itertools.product(*axes):
+        label = "+".join(patch.label for patch in combo)
+        name = f"{prefix}:{label}" if prefix else label
+        scenarios.append(Scenario(name, combo))
+    return scenarios
+
+
+def sweep_values(
+    start: float, stop: float, steps: int, *, log_spaced: bool = True
+) -> List[float]:
+    """``steps`` values from ``start`` to ``stop``, log- or linearly spaced."""
+    if steps < 1:
+        raise FaultTreeError(f"steps must be at least 1, got {steps}")
+    if steps == 1:
+        return [start]
+    if log_spaced:
+        if start <= 0 or stop <= 0:
+            raise FaultTreeError("log-spaced sweeps need positive bounds")
+        low, high = math.log(start), math.log(stop)
+        return [math.exp(low + (high - low) * i / (steps - 1)) for i in range(steps)]
+    return [start + (stop - start) * i / (steps - 1) for i in range(steps)]

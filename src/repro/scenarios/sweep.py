@@ -1,0 +1,198 @@
+"""The sweep executor: evaluate many scenarios with incremental re-analysis.
+
+:class:`SweepExecutor` layers on the ordinary
+:class:`~repro.api.session.AnalysisSession` — every scenario is analysed
+through the same backend registry, request validation and report types as a
+one-off analysis — and adds the incremental path: before each scenario is
+handed to the session, its minimal cut sets are assembled from the session
+cache's *subtree* artifacts (see :mod:`repro.scenarios.incremental`) and
+seeded as the scenario tree's whole-tree cut-set artifact.  Cut-set-driven
+backends then hit that artifact instead of re-enumerating, which turns a
+200-scenario probability sweep into one structural enumeration plus 200
+cheap probability re-rankings.
+
+The results are identical to fresh per-scenario analysis (the seeded
+artifact is exactly what the backend would have computed); the tests
+cross-check this against two independent backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.api.report import AnalysisReport
+from repro.api.session import AnalysisSession
+from repro.exceptions import ReproError
+from repro.fta.tree import FaultTree
+from repro.scenarios.incremental import seed_session_cut_sets
+from repro.scenarios.report import ScenarioOutcome, ScenarioReport
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["SweepExecutor", "run_sweep"]
+
+#: Default analyses of a sweep: the two quantities an operator acts on.
+DEFAULT_ANALYSES: Tuple[str, ...] = ("mpmcs", "top_event")
+
+#: Default backend.  MOCUS serves every default analysis from the (seeded)
+#: cut-set artifact, which is what makes the incremental path effective.
+DEFAULT_BACKEND = "mocus"
+
+
+def _top_event_estimate(report: AnalysisReport) -> Optional[float]:
+    if report.top_event is None:
+        return None
+    return report.top_event.best_estimate
+
+
+class SweepExecutor:
+    """Evaluates scenario families against a base tree with shared caching.
+
+    Parameters
+    ----------
+    session:
+        Optional pre-built :class:`AnalysisSession`; its artifact cache then
+        persists across sweeps (a second sweep over the same tree starts
+        fully warm).  A fresh session is created otherwise.
+    incremental:
+        When true (default), seed each scenario's cut sets from the subtree
+        cache before analysis.  ``False`` forces the naive path — every
+        scenario re-enumerates from scratch — which exists for correctness
+        cross-checks and the speedup benchmark.
+    backend:
+        Registry name of the backend analysing every scenario.
+    """
+
+    def __init__(
+        self,
+        session: Optional[AnalysisSession] = None,
+        *,
+        incremental: bool = True,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        self.session = session if session is not None else AnalysisSession()
+        self.incremental = incremental
+        self.backend = backend
+
+    def run(
+        self,
+        tree: FaultTree,
+        scenarios: Iterable[Scenario],
+        *,
+        analyses: Sequence[str] = DEFAULT_ANALYSES,
+        top_k: int = 5,
+        samples: int = 0,
+        seed: int = 0,
+    ) -> ScenarioReport:
+        """Analyse ``tree`` and every scenario; return the delta report."""
+        scenario_list = list(scenarios)
+        started = time.perf_counter()
+
+        if self.incremental:
+            seed_session_cut_sets(tree, self.session.artifacts)
+        base = self.session.analyze(
+            tree, analyses, backend=self.backend, top_k=top_k, samples=samples, seed=seed
+        )
+        base_top = _top_event_estimate(base)
+        base_mpmcs_events = base.mpmcs.events if base.mpmcs is not None else None
+        base_mpmcs_probability = base.mpmcs.probability if base.mpmcs is not None else None
+
+        report = ScenarioReport(
+            tree_name=tree.name,
+            analyses=tuple(base.request.analyses),
+            backend=self.backend,
+            incremental=self.incremental,
+            base=base,
+            base_top_event=base_top,
+            base_mpmcs_events=base_mpmcs_events,
+            base_mpmcs_probability=base_mpmcs_probability,
+        )
+
+        for scenario in scenario_list:
+            scenario_started = time.perf_counter()
+            try:
+                patched = scenario.apply(tree)
+                if self.incremental:
+                    seed_session_cut_sets(patched, self.session.artifacts)
+                partial = self.session.analyze(
+                    patched,
+                    analyses,
+                    backend=self.backend,
+                    top_k=top_k,
+                    samples=samples,
+                    seed=seed,
+                )
+            except ReproError as exc:
+                report.outcomes.append(
+                    ScenarioOutcome(
+                        name=scenario.name,
+                        description=scenario.describe(),
+                        time_s=time.perf_counter() - scenario_started,
+                        error=str(exc),
+                    )
+                )
+                continue
+            self._evict_scenario_artifacts(tree, patched)
+            top = _top_event_estimate(partial)
+            mpmcs = partial.mpmcs
+            report.outcomes.append(
+                ScenarioOutcome(
+                    name=scenario.name,
+                    description=scenario.describe(),
+                    top_event=top,
+                    top_event_delta=(
+                        top - base_top if top is not None and base_top is not None else None
+                    ),
+                    mpmcs_events=mpmcs.events if mpmcs is not None else None,
+                    mpmcs_probability=mpmcs.probability if mpmcs is not None else None,
+                    mpmcs_delta=(
+                        mpmcs.probability - base_mpmcs_probability
+                        if mpmcs is not None and base_mpmcs_probability is not None
+                        else None
+                    ),
+                    mpmcs_changed=(
+                        mpmcs is not None
+                        and base_mpmcs_events is not None
+                        and mpmcs.events != base_mpmcs_events
+                    ),
+                    time_s=time.perf_counter() - scenario_started,
+                )
+            )
+
+        report.cache_stats = self.session.cache_info()
+        report.total_time_s = time.perf_counter() - started
+        return report
+
+    def _evict_scenario_artifacts(self, base: FaultTree, patched: FaultTree) -> None:
+        """Drop the scenario tree's whole-tree cache entries after analysis.
+
+        Whole-tree artifacts are keyed by a probability-including hash that
+        is unique to the scenario, so once its report is assembled they are
+        dead weight — without eviction a long sweep grows the session cache
+        by one seeded collection (plus backend artifacts) per scenario.  The
+        shared *subtree* entries, which every later scenario reuses, are
+        kept; so is everything belonging to the base tree (an identity
+        scenario such as ``mission-time*1`` hashes equal to it).
+        """
+        artifacts = self.session.artifacts
+        if artifacts.key_for(patched) != artifacts.key_for(base):
+            artifacts.invalidate(patched, include_subtrees=False)
+
+
+def run_sweep(
+    tree: FaultTree,
+    scenarios: Iterable[Scenario],
+    *,
+    analyses: Sequence[str] = DEFAULT_ANALYSES,
+    backend: str = DEFAULT_BACKEND,
+    incremental: bool = True,
+    session: Optional[AnalysisSession] = None,
+    top_k: int = 5,
+    samples: int = 0,
+    seed: int = 0,
+) -> ScenarioReport:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    executor = SweepExecutor(session, incremental=incremental, backend=backend)
+    return executor.run(
+        tree, scenarios, analyses=analyses, top_k=top_k, samples=samples, seed=seed
+    )

@@ -257,3 +257,41 @@ class TestArtifactReuse:
         report = session.analyze(fire_protection_system(), ["mpmcs", "ranking"])
         assert report.cache_stats["misses"] >= 1
         assert report.cache_stats["hits"] >= 1
+
+
+class TestSessionCacheControl:
+    def test_invalidate_drops_tree_artifacts(self):
+        session = AnalysisSession()
+        tree = fire_protection_system()
+        session.analyze(tree, ["mpmcs", "top_event"])
+        assert len(session.artifacts) > 0
+        removed = session.invalidate(tree)
+        assert removed > 0
+        # the next analysis recomputes instead of hitting stale entries
+        misses_before = session.artifacts.misses
+        session.analyze(tree, ["mpmcs"])
+        assert session.artifacts.misses > misses_before
+
+    def test_invalidate_unknown_tree_is_a_noop(self):
+        session = AnalysisSession()
+        session.analyze(fire_protection_system(), ["mpmcs"])
+        from repro.workloads.library import pressure_tank
+
+        assert session.invalidate(pressure_tank()) == 0
+        assert len(session.artifacts) > 0
+
+    def test_clear_cache_resets_everything(self):
+        session = AnalysisSession()
+        session.analyze(fire_protection_system(), ["mpmcs"])
+        session.clear_cache()
+        assert len(session.artifacts) == 0
+        assert session.cache_info()["hits"] == 0
+
+    def test_in_place_mutation_is_detected_not_served_stale(self):
+        session = AnalysisSession()
+        tree = fire_protection_system()
+        before = session.analyze(tree, ["mpmcs"]).mpmcs.probability
+        tree.set_probability("x1", 0.5)
+        after = session.analyze(tree, ["mpmcs"]).mpmcs.probability
+        assert before == pytest.approx(0.02)
+        assert after == pytest.approx(0.05)

@@ -1,0 +1,113 @@
+"""End-to-end CLI tests for the whatif / sweep / plan subcommands."""
+
+import json
+
+from repro.cli import main
+
+
+class TestWhatifCommand:
+    def test_harden_single_event(self, capsys):
+        assert main(["whatif", "--builtin", "fps", "--harden", "x1"]) == 0
+        output = capsys.readouterr().out
+        assert "base MPMCS  : {x1, x2}" in output
+        assert "what-if" in output
+        assert "ΔP(top)" in output
+
+    def test_structural_patches_and_json_output(self, tmp_path, capsys):
+        out = tmp_path / "whatif.json"
+        code = main(
+            [
+                "whatif", "--builtin", "fps",
+                "--remove", "x7",
+                "--redundancy", "x1",
+                "--set", "x3=0.0005",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["scenarios"][0]["mpmcs_changed"] is True
+        assert document["base"]["mpmcs"] == ["x1", "x2"]
+
+    def test_spare_and_threshold_patches(self, capsys):
+        assert main(
+            ["whatif", "--builtin", "redundant-power-supply",
+             "--set-k", "feeders_majority_lost=3",
+             "--spare", "feeders_majority_lost=0.01"]
+        ) == 0
+        assert "ΔP(top)" in capsys.readouterr().out
+
+    def test_no_patches_is_an_error(self, capsys):
+        assert main(["whatif", "--builtin", "fps"]) == 1
+        assert "at least one patch" in capsys.readouterr().err
+
+    def test_impossible_scenario_fails_cleanly(self, capsys):
+        assert main(["whatif", "--builtin", "fps", "--remove", "x3", "--remove", "x4",
+                     "--remove", "x5", "--remove", "x1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_value_list_sweep(self, capsys):
+        assert main(
+            ["sweep", "--builtin", "fps", "--event", "x1", "--values", "0.01,0.1,0.4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "x1=0.01" in output and "x1=0.4" in output
+        assert "subtree cache:" in output
+
+    def test_range_sweep_with_json_report(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--builtin", "fps", "--event", "x1",
+             "--start", "0.001", "--stop", "0.5", "--steps", "5", "-o", str(out)]
+        )
+        assert code == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert len(document["scenarios"]) == 5
+        assert document["subtree_reuse"]["hits"] > 0
+
+    def test_mission_factor_sweep_naive_mode(self, capsys):
+        assert main(
+            ["sweep", "--builtin", "fps", "--mission-factors", "0.5,1,2",
+             "--no-incremental"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "naive sweep" in output
+        assert "mission-time*2" in output
+
+    def test_scale_factor_sweep(self, capsys):
+        assert main(
+            ["sweep", "--builtin", "fps", "--event", "x2", "--scale-factors", "0.1,10"]
+        ) == 0
+        assert "x2*0.1" in capsys.readouterr().out
+
+    def test_missing_axis_is_an_error(self, capsys):
+        assert main(["sweep", "--builtin", "fps"]) == 1
+        assert "sweep needs" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_greedy_plan(self, capsys):
+        code = main(
+            ["plan", "--builtin", "fps", "--action", "x1=2", "--action", "x5=1",
+             "--budget", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "method      : greedy" in output
+        assert "tornado ranking" in output
+
+    def test_exact_plan_backend(self, capsys):
+        code = main(
+            ["plan", "--builtin", "fps", "--action", "x1=2", "--action", "x2=2",
+             "--action", "x5=1", "--budget", "3", "--method", "exact"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "method      : maxsat" in output
+        assert "harden(x5*0.1)" in output
+
+    def test_malformed_action_is_an_error(self, capsys):
+        assert main(["plan", "--builtin", "fps", "--action", "x1", "--budget", "1"]) == 1
+        assert "NAME=VALUE" in capsys.readouterr().err

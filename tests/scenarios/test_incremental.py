@@ -1,0 +1,145 @@
+"""Incremental cut-set computation: correctness and subtree-level reuse."""
+
+import pytest
+
+from repro.analysis.bruteforce import brute_force_minimal_cut_sets
+from repro.analysis.mocus import mocus_minimal_cut_sets
+from repro.api.cache import (
+    ARTIFACT_SUBTREE_CUT_SETS,
+    ArtifactCache,
+    subtree_structure_hashes,
+)
+from repro.scenarios import (
+    AddRedundancy,
+    Harden,
+    RemoveEvent,
+    incremental_cut_sets,
+    seed_session_cut_sets,
+)
+from repro.workloads.generator import random_fault_tree
+from repro.workloads.library import (
+    NAMED_TREES,
+    fire_protection_system,
+    get_tree,
+    redundant_power_supply,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", sorted(NAMED_TREES))
+    def test_matches_mocus_on_library_trees(self, name):
+        tree = get_tree(name)
+        incremental = incremental_cut_sets(tree, ArtifactCache())
+        reference = mocus_minimal_cut_sets(tree)
+        assert sorted(incremental.to_sorted_tuples()) == sorted(
+            reference.to_sorted_tuples()
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force_on_random_trees(self, seed):
+        tree = random_fault_tree(
+            num_basic_events=10, seed=seed, voting_ratio=0.3, event_reuse=0.2
+        )
+        incremental = incremental_cut_sets(tree, ArtifactCache())
+        reference = brute_force_minimal_cut_sets(tree)
+        assert sorted(incremental.to_sorted_tuples()) == sorted(
+            reference.to_sorted_tuples()
+        )
+
+    def test_collection_carries_tree_probabilities(self):
+        tree = fire_protection_system()
+        collection = incremental_cut_sets(tree, ArtifactCache())
+        events, probability = collection.most_probable()
+        assert tuple(sorted(events)) == ("x1", "x2")
+        assert probability == pytest.approx(0.02)
+
+
+class TestStructureHashes:
+    def test_probability_change_keeps_structure_hashes(self):
+        base = fire_protection_system()
+        patched = Harden("x1", factor=0.5).apply(base)
+        assert subtree_structure_hashes(base) == subtree_structure_hashes(patched)
+
+    def test_structural_change_dirties_only_the_path_to_top(self):
+        base = fire_protection_system()
+        patched = AddRedundancy("x5").apply(base)
+        before = subtree_structure_hashes(base)
+        after = subtree_structure_hashes(patched)
+        # untouched subtrees keep their hash ...
+        for node in ("detection_failure", "remote_failure", "x1", "x3"):
+            assert before[node] == after[node]
+        # ... the ancestors of the edit do not.
+        for node in ("trigger_failure", "suppression_failure", "fps_failure"):
+            assert before[node] != after[node]
+
+    def test_child_order_does_not_matter(self):
+        from repro.fta.builder import FaultTreeBuilder
+
+        def build(order):
+            return (
+                FaultTreeBuilder("t")
+                .basic_event("a", 0.1)
+                .basic_event("b", 0.2)
+                .or_gate("top", list(order))
+                .top("top")
+                .build()
+            )
+
+        assert (
+            subtree_structure_hashes(build(["a", "b"]))["top"]
+            == subtree_structure_hashes(build(["b", "a"]))["top"]
+        )
+
+
+class TestReuse:
+    def test_probability_patch_reuses_every_gate(self):
+        cache = ArtifactCache()
+        base = fire_protection_system()
+        incremental_cut_sets(base, cache)
+        assert cache.misses_for(ARTIFACT_SUBTREE_CUT_SETS) == base.num_gates
+        patched = Harden("x1").apply(base)
+        incremental_cut_sets(patched, cache)
+        assert cache.misses_for(ARTIFACT_SUBTREE_CUT_SETS) == base.num_gates
+        assert cache.hits_for(ARTIFACT_SUBTREE_CUT_SETS) == base.num_gates
+
+    def test_structural_patch_recomputes_only_dirty_path(self):
+        cache = ArtifactCache()
+        base = fire_protection_system()
+        incremental_cut_sets(base, cache)
+        misses_before = cache.misses_for(ARTIFACT_SUBTREE_CUT_SETS)
+        patched = RemoveEvent("x7").apply(base)
+        incremental_cut_sets(patched, cache)
+        new_misses = cache.misses_for(ARTIFACT_SUBTREE_CUT_SETS) - misses_before
+        # remote_failure, trigger_failure, suppression_failure, fps_failure
+        # change; detection_failure is reused.
+        assert new_misses == 4
+        assert cache.hits_for(ARTIFACT_SUBTREE_CUT_SETS) == 1
+
+    def test_shared_structure_across_different_trees(self):
+        cache = ArtifactCache()
+        incremental_cut_sets(fire_protection_system(), cache)
+        # A fresh object with identical structure is a full cache hit.
+        incremental_cut_sets(fire_protection_system(), cache)
+        assert cache.hits_for(ARTIFACT_SUBTREE_CUT_SETS) == fire_protection_system().num_gates
+
+    def test_voting_trees_cache_cleanly(self):
+        cache = ArtifactCache()
+        tree = redundant_power_supply()
+        first = incremental_cut_sets(tree, cache)
+        second = incremental_cut_sets(tree, cache)
+        assert first.to_sorted_tuples() == second.to_sorted_tuples()
+        assert cache.hits_for(ARTIFACT_SUBTREE_CUT_SETS) == tree.num_gates
+
+
+class TestSeeding:
+    def test_seed_session_cut_sets_feeds_backends(self):
+        from repro.api import ARTIFACT_CUT_SETS, AnalysisSession
+
+        session = AnalysisSession()
+        tree = fire_protection_system()
+        seed_session_cut_sets(tree, session.artifacts)
+        report = session.analyze(tree, ["mpmcs", "mcs"], backend="mocus")
+        assert report.mpmcs.events == ("x1", "x2")
+        # the MOCUS backend hit the seeded artifact instead of enumerating
+        assert session.artifacts.hits_for(ARTIFACT_CUT_SETS) >= 1
+        assert session.artifacts.misses_for(ARTIFACT_CUT_SETS) == 0

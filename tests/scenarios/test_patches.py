@@ -1,0 +1,212 @@
+"""Semantics of the declarative perturbation model (repro.scenarios.patches)."""
+
+import pytest
+
+from repro.api.cache import ArtifactCache
+from repro.exceptions import FaultTreeError
+from repro.fta.gates import GateType
+from repro.scenarios import (
+    AddRedundancy,
+    AddSpareChild,
+    ApplyCCF,
+    Harden,
+    RemoveEvent,
+    ScaleMissionTime,
+    ScaleProbability,
+    Scenario,
+    SetProbability,
+    SetVotingThreshold,
+    incremental_cut_sets,
+    probability_sweep,
+    scale_sweep,
+    scenario_grid,
+)
+from repro.workloads.library import fire_protection_system, redundant_power_supply
+
+
+def cut_sets(tree):
+    return incremental_cut_sets(tree, ArtifactCache()).to_sorted_tuples()
+
+
+class TestProbabilityPatches:
+    def test_set_probability(self):
+        tree = fire_protection_system()
+        patched = SetProbability("x1", 0.5).apply(tree)
+        assert patched.probability("x1") == 0.5
+        assert tree.probability("x1") == 0.2  # base tree untouched
+
+    def test_scale_probability(self):
+        patched = ScaleProbability("x2", 0.5).apply(fire_protection_system())
+        assert patched.probability("x2") == pytest.approx(0.05)
+
+    def test_scale_clamps_to_one(self):
+        patched = ScaleProbability("x1", 100.0).apply(fire_protection_system())
+        assert patched.probability("x1") == 1.0
+
+    def test_scale_rejects_nonpositive_factor(self):
+        with pytest.raises(FaultTreeError):
+            ScaleProbability("x1", 0.0).apply(fire_protection_system())
+
+    def test_harden_default_factor(self):
+        patched = Harden("x1").apply(fire_protection_system())
+        assert patched.probability("x1") == pytest.approx(0.02)
+
+    def test_harden_explicit_probability(self):
+        patched = Harden("x1", probability=0.001).apply(fire_protection_system())
+        assert patched.probability("x1") == pytest.approx(0.001)
+
+    def test_harden_rejects_raising_probability(self):
+        with pytest.raises(FaultTreeError):
+            Harden("x3", probability=0.9).apply(fire_protection_system())
+
+    def test_mission_time_transformation(self):
+        tree = fire_protection_system()
+        patched = ScaleMissionTime(2.0).apply(tree)
+        for name, probability in tree.probabilities().items():
+            assert patched.probability(name) == pytest.approx(
+                1.0 - (1.0 - probability) ** 2.0
+            )
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(FaultTreeError):
+            SetProbability("nope", 0.5).apply(fire_protection_system())
+
+
+class TestStructuralPatches:
+    def test_remove_event_drops_singleton_cut_set(self):
+        patched = RemoveEvent("x3").apply(fire_protection_system())
+        assert ("x3",) not in cut_sets(patched)
+        assert ("x4",) in cut_sets(patched)
+
+    def test_remove_event_kills_and_gate(self):
+        # x1 is under the AND detection gate: removing it removes {x1, x2}.
+        patched = RemoveEvent("x1").apply(fire_protection_system())
+        assert ("x1", "x2") not in cut_sets(patched)
+        assert not patched.is_event("x1")
+        assert not patched.is_gate("detection_failure")
+        # the orphaned sibling x2 is pruned with its gate
+        assert not patched.is_event("x2")
+
+    def test_remove_event_or_gate_keeps_siblings(self):
+        patched = RemoveEvent("x7").apply(fire_protection_system())
+        assert ("x5", "x6") in cut_sets(patched)
+        assert ("x5", "x7") not in cut_sets(patched)
+
+    def test_remove_impossible_top_rejected(self):
+        tree = fire_protection_system()
+        # After removing every suppression path, only {x1, x2} remains; the
+        # tree cannot survive losing x1 as well.
+        for event in ("x3", "x4", "x5"):
+            tree = RemoveEvent(event).apply(tree)
+        assert cut_sets(tree) == [("x1", "x2")]
+        with pytest.raises(FaultTreeError):
+            RemoveEvent("x1").apply(tree)
+
+    def test_remove_event_from_voting_gate_keeps_threshold(self):
+        tree = redundant_power_supply()
+        before = cut_sets(tree)
+        # transformer_1 sits under feeder 1, an input of the 2-of-3 gate.
+        patched = RemoveEvent("transformer_1").apply(tree)
+        after = cut_sets(patched)
+        assert any("transformer_1" in cs for cs in before)
+        assert all("transformer_1" not in cs for cs in after)
+        patched.validate()
+
+    def test_add_redundancy_requires_all_units_to_fail(self):
+        patched = AddRedundancy("x1").apply(fire_protection_system())
+        sets = cut_sets(patched)
+        assert ("x1", "x1__r1", "x2") in sets
+        assert ("x1", "x2") not in sets
+        assert patched.probability("x1__r1") == patched.probability("x1")
+
+    def test_add_redundancy_custom_probability_and_copies(self):
+        patched = AddRedundancy("x3", copies=2, probability=0.5).apply(
+            fire_protection_system()
+        )
+        assert ("x3", "x3__r1", "x3__r2") in cut_sets(patched)
+        assert patched.probability("x3__r1") == 0.5
+
+    def test_add_spare_child_to_and_gate(self):
+        patched = AddSpareChild("detection_failure", 0.01).apply(fire_protection_system())
+        assert ("detection_failure__spare", "x1", "x2") in cut_sets(patched)
+
+    def test_add_spare_child_to_voting_gate_raises_threshold(self):
+        from repro.analysis.topevent import top_event_probability_from_cut_sets
+        from repro.scenarios import incremental_cut_sets as inc
+
+        tree = redundant_power_supply()
+        patched = AddSpareChild("feeders_majority_lost", 0.01).apply(tree)
+        gate = patched.gates["feeders_majority_lost"]
+        # 2-of-3 becomes 3-of-4: one more tolerated unit failure
+        assert gate.k == 3 and gate.arity == 4
+        before = inc(tree, ArtifactCache())
+        after = inc(patched, ArtifactCache())
+        assert top_event_probability_from_cut_sets(
+            list(after), patched.probabilities()
+        ) < top_event_probability_from_cut_sets(list(before), tree.probabilities())
+
+    def test_add_spare_child_rejects_or_gate(self):
+        with pytest.raises(FaultTreeError):
+            AddSpareChild("suppression_failure", 0.01).apply(fire_protection_system())
+
+    def test_set_voting_threshold(self):
+        tree = redundant_power_supply()
+        patched = SetVotingThreshold("feeders_majority_lost", 3).apply(tree)
+        assert patched.gates["feeders_majority_lost"].k == 3
+        # 3-of-3 demands strictly larger cut sets than 2-of-3
+        assert min(len(cs) for cs in cut_sets(patched)) >= min(
+            len(cs) for cs in cut_sets(tree)
+        )
+
+    def test_set_voting_threshold_rejects_non_voting_gate(self):
+        with pytest.raises(FaultTreeError):
+            SetVotingThreshold("detection_failure", 2).apply(fire_protection_system())
+
+    def test_apply_ccf_shifts_mpmcs_to_common_cause(self):
+        tree = fire_protection_system()
+        patched = ApplyCCF("sensors", ("x1", "x2"), beta=0.2).apply(tree)
+        assert patched.is_event("ccf__sensors")
+        assert ("ccf__sensors",) in cut_sets(patched)
+
+
+class TestScenarios:
+    def test_patches_compose_in_order(self):
+        scenario = Scenario(
+            "combo", [AddRedundancy("x1"), SetProbability("x1__r1", 0.9)]
+        )
+        patched = scenario.apply(fire_protection_system())
+        assert patched.probability("x1__r1") == 0.9
+
+    def test_base_tree_never_mutated(self):
+        tree = fire_protection_system()
+        version = tree.version
+        Scenario("s", [Harden("x1"), RemoveEvent("x3"), AddRedundancy("x5")]).apply(tree)
+        assert tree.version == version
+        assert tree.probability("x1") == 0.2
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(FaultTreeError):
+            Scenario("empty", [])
+
+    def test_probability_sweep_names_and_values(self):
+        scenarios = probability_sweep("x1", [0.1, 0.2])
+        assert [s.name for s in scenarios] == ["x1=0.1", "x1=0.2"]
+        assert scenarios[0].apply(fire_protection_system()).probability("x1") == 0.1
+
+    def test_probability_sweep_range_is_log_spaced(self):
+        scenarios = probability_sweep("x1", start=1e-4, stop=1e-2, steps=3)
+        values = [s.apply(fire_protection_system()).probability("x1") for s in scenarios]
+        assert values == pytest.approx([1e-4, 1e-3, 1e-2])
+
+    def test_scenario_grid_cartesian_product(self):
+        grid = scenario_grid(
+            [
+                [SetProbability("x1", 0.1), SetProbability("x1", 0.2)],
+                [ScaleMissionTime(0.5), ScaleMissionTime(2.0)],
+            ]
+        )
+        assert len(grid) == 4
+        assert len({s.name for s in grid}) == 4
+
+    def test_scale_sweep_labels(self):
+        assert [s.name for s in scale_sweep("x2", [0.5, 2.0])] == ["x2*0.5", "x2*2"]

@@ -1,0 +1,142 @@
+"""Sweep executor: incremental-vs-fresh agreement and the acceptance sweep."""
+
+import pytest
+
+from repro.api import AnalysisSession
+from repro.scenarios import (
+    RemoveEvent,
+    Scenario,
+    SetProbability,
+    SweepExecutor,
+    mission_time_sweep,
+    probability_sweep,
+    run_sweep,
+    scenario_grid,
+)
+from repro.workloads.library import fire_protection_system, pressure_tank
+
+
+class TestSweepBasics:
+    def test_outcomes_carry_deltas(self):
+        report = SweepExecutor().run(
+            fire_protection_system(), probability_sweep("x1", [0.4])
+        )
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        assert outcome.top_event == pytest.approx(report.base_top_event + outcome.top_event_delta)
+        assert outcome.mpmcs_probability == pytest.approx(0.04)
+        assert outcome.mpmcs_delta == pytest.approx(0.02)
+        assert not outcome.mpmcs_changed
+
+    def test_mpmcs_change_detection(self):
+        report = SweepExecutor().run(
+            fire_protection_system(), probability_sweep("x1", [0.001])
+        )
+        outcome = report.outcomes[0]
+        assert outcome.mpmcs_changed
+        assert outcome.mpmcs_events == ("x5", "x6")
+
+    def test_failed_scenario_is_captured_not_raised(self):
+        scenarios = [
+            Scenario("impossible", [RemoveEvent("tank_failure"), RemoveEvent("relief_valve_fails")]),
+            Scenario("fine", [SetProbability("tank_failure", 0.5)]),
+        ]
+        report = SweepExecutor().run(pressure_tank(), scenarios)
+        assert len(report.failures) == 1
+        assert "impossible" == report.failures[0].name
+        assert report.outcomes[1].ok
+
+    def test_ranked_and_best(self):
+        report = SweepExecutor().run(
+            fire_protection_system(), probability_sweep("x1", [0.4, 0.01, 0.1])
+        )
+        ranked = report.ranked_by_top_event()
+        assert [o.name for o in ranked] == ["x1=0.01", "x1=0.1", "x1=0.4"]
+        assert report.best().name == "x1=0.01"
+
+    def test_mission_time_and_grid_sweeps_run(self):
+        report = run_sweep(
+            fire_protection_system(),
+            mission_time_sweep([0.5, 1.0, 2.0])
+            + scenario_grid([[SetProbability("x1", 0.1), SetProbability("x1", 0.3)]]),
+        )
+        assert len(report) == 5 and not report.failures
+        # mission time 1.0 is the identity: zero delta
+        identity = next(o for o in report.outcomes if o.name == "mission-time*1")
+        assert identity.top_event_delta == pytest.approx(0.0, abs=1e-15)
+
+    def test_report_document_shape(self):
+        report = SweepExecutor().run(
+            fire_protection_system(), probability_sweep("x1", [0.1])
+        )
+        document = report.to_dict()
+        assert document["tree"] == "fire-protection-system"
+        assert document["base"]["mpmcs"] == ["x1", "x2"]
+        assert document["scenarios"][0]["name"] == "x1=0.1"
+        assert document["subtree_reuse"]["hits"] > 0
+
+
+def _strip_timing(outcome):
+    document = outcome.to_dict()
+    document.pop("time_s")
+    return document
+
+
+class TestAcceptanceSweep:
+    """The ISSUE acceptance criterion: a 200-scenario sweep with nonzero
+    reuse whose per-scenario deltas match fresh per-scenario analysis on at
+    least two backends."""
+
+    def test_200_scenario_sweep_matches_fresh_analysis_on_two_backends(self):
+        tree = fire_protection_system()
+        scenarios = probability_sweep("x1", start=1e-4, stop=0.9, steps=200)
+
+        report = SweepExecutor().run(tree, scenarios)
+        assert len(report) == 200 and not report.failures
+
+        # Nonzero artifact reuse, and the exact incremental profile: one
+        # structural enumeration (5 gates), then 200 scenarios of pure hits.
+        reuse = report.subtree_reuse
+        assert reuse["misses"] == tree.num_gates
+        assert reuse["hits"] == tree.num_gates * 200
+
+        # Cross-check every scenario against fresh sessions on two
+        # independent backends (BDD and brute force — neither shares code
+        # with the incremental cut-set composition).
+        for backend in ("bdd", "brute-force"):
+            fresh = AnalysisSession()
+            for scenario, outcome in zip(scenarios, report.outcomes):
+                reference = fresh.analyze(
+                    scenario.apply(tree), ["mpmcs", "top_event"], backend=backend
+                )
+                assert outcome.mpmcs_events == reference.mpmcs.events
+                assert outcome.mpmcs_probability == pytest.approx(
+                    reference.mpmcs.probability, rel=1e-9
+                )
+                assert outcome.top_event == pytest.approx(
+                    reference.top_event.best_estimate, rel=1e-9
+                )
+
+    def test_incremental_and_naive_sweeps_agree_exactly(self):
+        tree = pressure_tank()
+        scenarios = probability_sweep(
+            "relief_valve_fails", start=1e-5, stop=0.5, steps=40
+        ) + mission_time_sweep([0.25, 0.5, 2.0, 4.0])
+        incremental = SweepExecutor(incremental=True).run(tree, scenarios)
+        naive = SweepExecutor(incremental=False).run(tree, scenarios)
+        assert [_strip_timing(a) for a in incremental.outcomes] == [
+            _strip_timing(b) for b in naive.outcomes
+        ]
+        assert incremental.subtree_reuse["hits"] > 0
+        assert naive.subtree_reuse == {"hits": 0, "misses": 0}
+
+    def test_session_cache_does_not_grow_with_scenario_count(self):
+        # Per-scenario whole-tree artifacts are evicted after each scenario's
+        # analysis; only the shared subtree entries and the base tree's
+        # artifacts may remain, independent of sweep length.
+        tree = fire_protection_system()
+        executor = SweepExecutor()
+        executor.run(tree, probability_sweep("x1", start=1e-3, stop=0.5, steps=5))
+        entries_after_small = len(executor.session.artifacts)
+        executor.run(tree, probability_sweep("x2", start=1e-3, stop=0.5, steps=60))
+        assert len(executor.session.artifacts) == entries_after_small

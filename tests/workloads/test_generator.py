@@ -101,6 +101,85 @@ class TestConfigValidation:
             random_fault_tree(GeneratorConfig(), num_basic_events=10)
 
 
+class TestDeterminismExtended:
+    def test_same_config_same_serialised_tree(self):
+        from repro.fta.serializers import to_json
+
+        config = GeneratorConfig(
+            num_basic_events=80, seed=42, voting_ratio=0.3, event_reuse=0.25,
+            gate_arity=(2, 5), probability_range=(1e-6, 0.5),
+        )
+        first = random_fault_tree(GeneratorConfig(**config.__dict__))
+        second = random_fault_tree(GeneratorConfig(**config.__dict__))
+        assert to_json(first) == to_json(second)
+
+    def test_structural_hash_determinism(self):
+        from repro.api.cache import structural_hash
+
+        assert structural_hash(
+            random_fault_tree(num_basic_events=60, seed=11, voting_ratio=0.2)
+        ) == structural_hash(
+            random_fault_tree(num_basic_events=60, seed=11, voting_ratio=0.2)
+        )
+
+
+class TestVotingGateArity:
+    def test_voting_thresholds_always_within_arity(self):
+        for seed in range(8):
+            tree = random_fault_tree(
+                num_basic_events=60, seed=seed, voting_ratio=1.0,
+                and_ratio=0.0, or_ratio=0.0, gate_arity=(3, 6),
+            )
+            for gate in tree.gates.values():
+                if gate.gate_type is GateType.VOTING:
+                    # generator draws k in [2, arity-1]: strictly between
+                    # OR (k=1) and AND (k=n), the interesting regime
+                    assert 2 <= gate.k <= gate.arity - 1
+
+    def test_minimum_arity_falls_back_to_and(self):
+        # with arity forced to 2, voting is impossible and every gate must
+        # fall back to AND rather than emit an invalid threshold
+        tree = random_fault_tree(
+            num_basic_events=40, seed=7, voting_ratio=1.0,
+            and_ratio=0.0, or_ratio=0.0, gate_arity=(2, 2),
+        )
+        assert all(g.gate_type is GateType.AND for g in tree.gates.values())
+        tree.validate()
+
+    def test_mixed_arity_range_produces_valid_voting_trees(self):
+        tree = random_fault_tree(
+            num_basic_events=100, seed=13, voting_ratio=0.5, gate_arity=(2, 3)
+        )
+        tree.validate()
+        for gate in tree.gates.values():
+            if gate.gate_type is GateType.VOTING:
+                assert gate.arity >= 3
+
+
+class TestProbabilityRangeValidation:
+    def test_degenerate_range_pins_every_probability(self):
+        tree = random_fault_tree(
+            num_basic_events=30, seed=0, probability_range=(0.01, 0.01)
+        )
+        for probability in tree.probabilities().values():
+            assert probability == pytest.approx(0.01)
+
+    def test_upper_bound_one_is_accepted_and_clamped(self):
+        tree = random_fault_tree(
+            num_basic_events=30, seed=1, probability_range=(0.5, 1.0)
+        )
+        for probability in tree.probabilities().values():
+            assert 0.5 * 0.999 <= probability <= 1.0
+
+    def test_bound_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, probability_range=(0.5, 1.5))
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_fault_tree(num_basic_events=10, probability_range=(-0.1, 0.5))
+
+
 class TestGeneratedTreeProperties:
     @settings(max_examples=25, deadline=None)
     @given(
