@@ -1,0 +1,158 @@
+"""E10 — Parallel scenario sweeps through the service: 1 vs N workers.
+
+The :mod:`repro.service` worker layer partitions a scenario grid over a
+process pool whose workers share artifacts through the persistent disk store.
+This benchmark demonstrates the acceptance claim of the service subsystem:
+
+* a sweep submitted through the service with **4 workers and a warm disk
+  store** produces **byte-identical canonical report dicts** to the
+  sequential in-process :class:`SweepExecutor` on the same grid, and
+* it completes **faster** than the sequential run — asserted wherever the
+  host actually has multiple cores (a single-core container cannot speed up
+  CPU-bound work by adding processes, so there the wall-clock comparison is
+  reported but not asserted), and
+* the warm store serves a **nonzero artifact hit rate** to every worker.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.scenarios import SweepExecutor, probability_sweep
+from repro.scenarios.report import ScenarioReport
+from repro.service.jobs import JobQueue
+from repro.service.workers import WorkerPool, run_parallel_sweep
+from repro.fta.serializers import to_json_document
+from repro.workloads.generator import random_fault_tree
+from repro.workloads.library import fire_protection_system
+
+from benchmarks.conftest import emit
+
+
+def _canonical_json(report_dict):
+    return json.dumps(ScenarioReport.canonicalize(report_dict), sort_keys=True)
+
+
+def _available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def test_bench_parallel_sweep_smoke(benchmark, tmp_path):
+    """Fig. 1 grid: service-submitted parallel sweep ≡ sequential executor."""
+    tree = fire_protection_system()
+    scenarios = probability_sweep("x1", start=1e-4, stop=0.5, steps=60)
+    sequential = SweepExecutor().run(tree, scenarios)
+
+    store = tmp_path / "store"
+    parallel = benchmark(
+        lambda: run_parallel_sweep(
+            tree, scenarios, workers=2, store_path=str(store)
+        )
+    )
+    assert _canonical_json(parallel.to_dict()) == _canonical_json(sequential.to_dict())
+    # The repeated benchmark rounds re-read the store the first round wrote.
+    assert parallel.cache_stats.get("store_hits", 0) > 0
+
+
+@pytest.mark.slow
+def test_bench_parallel_sweep_one_vs_four_workers(tmp_path):
+    """The acceptance comparison on a 56-event tree with ~2800 cut sets."""
+    tree = random_fault_tree(num_basic_events=56, seed=3)
+    event = sorted(tree.events)[0]
+    scenarios = probability_sweep(event, start=1e-4, stop=0.5, steps=160)
+    store = str(tmp_path / "store")
+
+    # Sequential baseline: the plain in-process executor, cold cache.
+    started = time.perf_counter()
+    sequential = SweepExecutor().run(tree, scenarios)
+    sequential_s = time.perf_counter() - started
+
+    # Warm the disk store (one pass over a slice of the grid suffices: the
+    # subtree artifacts and the structure-keyed BDD cover the whole grid).
+    run_parallel_sweep(tree, scenarios[:2], workers=1, store_path=store)
+
+    # The 4-worker sweep, submitted through the service job queue.
+    queue = JobQueue()
+    pool = WorkerPool(queue, workers=1, store_path=store).start()
+    try:
+        job = queue.submit(
+            "sweep",
+            {
+                "tree": to_json_document(tree),
+                "scenarios": {
+                    "family": "probability_sweep",
+                    "event": event,
+                    "start": 1e-4,
+                    "stop": 0.5,
+                    "steps": 160,
+                },
+                "workers": 4,
+            },
+        )
+        started = time.perf_counter()
+        settled = queue.wait(job.id, timeout=600.0)
+        parallel_s = time.perf_counter() - started
+        assert settled.status.value == "done", settled.error
+        result = settled.result
+    finally:
+        pool.stop()
+
+    report_dict = result["report"]
+    store_hits = report_dict["cache"].get("store_hits", 0)
+    cores = _available_cores()
+    emit(
+        "E10 — parallel sweep, 1 vs 4 workers (warm store)",
+        [
+            f"grid                : 160 scenarios over {event!r}, 56-event tree",
+            f"sequential          : {sequential_s:8.2f} s",
+            f"service, 4 workers  : {parallel_s:8.2f} s  (warm store)",
+            f"speedup             : {sequential_s / parallel_s:8.2f} x",
+            f"warm-store hits     : {store_hits}",
+            f"host cores          : {cores}",
+        ],
+    )
+
+    # Identical results, always.
+    assert _canonical_json(report_dict) == _canonical_json(sequential.to_dict())
+    assert len(report_dict["scenarios"]) == 160
+    # Warm store served every worker's structural artifacts.
+    assert store_hits > 0
+    # The speedup claim needs hardware that can actually run work in
+    # parallel; a 1-core container serialises the processes again.
+    if cores >= 2:
+        assert parallel_s < sequential_s, (
+            f"4-worker warm-store sweep ({parallel_s:.2f}s) should beat the "
+            f"sequential executor ({sequential_s:.2f}s) on a {cores}-core host"
+        )
+
+
+@pytest.mark.slow
+def test_bench_warm_store_accelerates_cold_process(tmp_path):
+    """A second run over a warm store skips the structural enumeration."""
+    tree = random_fault_tree(num_basic_events=56, seed=3)
+    event = sorted(tree.events)[0]
+    scenarios = probability_sweep(event, start=1e-4, stop=0.5, steps=20)
+    store = str(tmp_path / "store")
+
+    started = time.perf_counter()
+    cold = run_parallel_sweep(tree, scenarios, workers=1, store_path=store)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = run_parallel_sweep(tree, scenarios, workers=1, store_path=store)
+    warm_s = time.perf_counter() - started
+
+    emit(
+        "E10b — cold vs warm store (sequential, same grid)",
+        [
+            f"cold store : {cold_s:8.2f} s  (store hits: {cold.cache_stats.get('store_hits', 0)})",
+            f"warm store : {warm_s:8.2f} s  (store hits: {warm.cache_stats.get('store_hits', 0)})",
+        ],
+    )
+    assert cold.cache_stats.get("store_hits", 0) == 0
+    assert warm.cache_stats.get("store_hits", 0) > 0
+    assert _canonical_json(warm.to_dict()) == _canonical_json(cold.to_dict())

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Callable, Dict, Tuple, TypeVar
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 from weakref import WeakKeyDictionary
 
 from repro.fta.tree import FaultTree
@@ -37,8 +38,10 @@ __all__ = [
     "ARTIFACT_BDD",
     "ARTIFACT_CUT_SETS",
     "ARTIFACT_ENCODING",
+    "ARTIFACT_SUBTREE_BDD",
     "ARTIFACT_SUBTREE_CUT_SETS",
     "ArtifactCache",
+    "ArtifactStoreBackend",
     "structural_hash",
     "subtree_structure_hashes",
 ]
@@ -50,6 +53,43 @@ ARTIFACT_BDD = "bdd"
 #: Per-gate minimal cut sets keyed by structure-only subtree hash (used by the
 #: incremental scenario-sweep path in :mod:`repro.scenarios`).
 ARTIFACT_SUBTREE_CUT_SETS = "subtree-cut-sets"
+#: Compiled BDD keyed by the *structure-only* hash of the top event's subtree.
+#: The diagram encodes the monotone structure function alone — probabilities
+#: only enter at evaluation time — so one compilation serves every
+#: probability-perturbed scenario of a sweep (see
+#: :class:`repro.scenarios.sweep.SweepExecutor`).
+ARTIFACT_SUBTREE_BDD = "subtree-bdd"
+
+
+class ArtifactStoreBackend:
+    """Second-tier storage behind an :class:`ArtifactCache`.
+
+    The in-memory cache probes its backend on a miss and writes every freshly
+    computed artifact through to it, which is how artifacts outlive a process:
+    :class:`repro.service.store.DiskArtifactStore` implements this protocol
+    over a content-addressed on-disk layout shared between processes.  The
+    keys handed to a backend are the same ``(content_hash, kind)`` pairs the
+    memory tier uses, so any two caches pointed at one backend exchange
+    artifacts for structurally identical (sub)trees automatically.
+    """
+
+    def load(self, key_hash: str, kind: str) -> Tuple[bool, Any]:
+        """Return ``(found, value)`` for the artifact stored under the key."""
+        raise NotImplementedError
+
+    def store(self, key_hash: str, kind: str, value: Any) -> None:
+        """Persist ``value`` under the key (best effort; may silently skip)."""
+        raise NotImplementedError
+
+    def discard(self, key_hash: str) -> int:
+        """Drop every kind stored under ``key_hash``; returns the count removed.
+
+        Called by :meth:`ArtifactCache.invalidate` so that explicit
+        invalidation reaches the persistent tier too — otherwise the next
+        miss would re-fetch the stale entry from disk.  The default is a
+        no-op for backends without deletion support.
+        """
+        return 0
 
 T = TypeVar("T")
 
@@ -111,12 +151,40 @@ class ArtifactCache:
     Entries are keyed by ``(structural_hash(tree), kind)``.  The cache keeps
     hit/miss counters per kind so tests (and curious users) can verify that a
     composite request computed each artifact exactly once.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound on the number of in-memory entries.  When set, the
+        cache evicts least-recently-used entries once the bound is exceeded
+        (per-kind eviction counters appear in :meth:`stats`), so a
+        long-running service or an unbounded sweep cannot grow the memory
+        tier without limit.  ``None`` (the default) keeps the historical
+        unbounded behaviour.
+    backend:
+        Optional :class:`ArtifactStoreBackend` probed on every memory miss
+        and written through on every computation, e.g. the persistent
+        :class:`repro.service.store.DiskArtifactStore`.  Backend hits and
+        misses are counted separately from memory hits (``store_hits`` /
+        ``store_misses`` in :meth:`stats`).
     """
 
-    def __init__(self) -> None:
-        self._store: Dict[Tuple[str, str], Any] = {}
+    def __init__(
+        self,
+        *,
+        max_entries: Optional[int] = None,
+        backend: Optional[ArtifactStoreBackend] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self._store: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self.max_entries = max_entries
+        self.backend = backend
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        self._evictions: Dict[str, int] = {}
+        self._store_hits: Dict[str, int] = {}
+        self._store_misses: Dict[str, int] = {}
         # Per-object memo of (tree.version, hash): a composite request probes
         # the cache several times per tree, and re-serialising the whole tree
         # for every probe is O(tree) redundant work.  FaultTree.version is
@@ -136,15 +204,42 @@ class ArtifactCache:
         self._hash_memo[tree] = (tree.version, digest)
         return digest
 
+    def _lookup(self, key: Tuple[str, str], kind: str) -> Tuple[bool, Any]:
+        """Probe the memory tier, then the backend; count at the tier that answered."""
+        if key in self._store:
+            self._hits[kind] = self._hits.get(kind, 0) + 1
+            self._store.move_to_end(key)
+            return True, self._store[key]
+        self._misses[kind] = self._misses.get(kind, 0) + 1
+        if self.backend is not None:
+            found, value = self.backend.load(key[0], kind)
+            if found:
+                self._store_hits[kind] = self._store_hits.get(kind, 0) + 1
+                self._insert(key, value)
+                return True, value
+            self._store_misses[kind] = self._store_misses.get(kind, 0) + 1
+        return False, None
+
+    def _insert(self, key: Tuple[str, str], value: Any) -> None:
+        """Insert into the memory tier, evicting LRU entries past the bound."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                evicted_key, _ = self._store.popitem(last=False)
+                evicted_kind = evicted_key[1]
+                self._evictions[evicted_kind] = self._evictions.get(evicted_kind, 0) + 1
+
     def get_or_compute(self, tree: FaultTree, kind: str, compute: Callable[[], T]) -> T:
         """Return the cached artifact of ``kind`` for ``tree``, computing it once."""
         key = (self.key_for(tree), kind)
-        if key in self._store:
-            self._hits[kind] = self._hits.get(kind, 0) + 1
-            return self._store[key]
-        self._misses[kind] = self._misses.get(kind, 0) + 1
+        found, value = self._lookup(key, kind)
+        if found:
+            return value
         value = compute()
-        self._store[key] = value
+        self._insert(key, value)
+        if self.backend is not None:
+            self.backend.store(key[0], kind, value)
         return value
 
     def put(self, tree: FaultTree, kind: str, value: Any) -> None:
@@ -153,8 +248,11 @@ class ArtifactCache:
         Used by producers that obtained the artifact through a cheaper route
         (e.g. the incremental sweep assembling cut sets from cached subtrees)
         so later :meth:`get_or_compute` probes hit instead of recomputing.
+        Seeded entries are *not* written through to the backend: they are
+        per-scenario assemblies whose building blocks (the subtree artifacts)
+        are already persisted.
         """
-        self._store[(self.key_for(tree), kind)] = value
+        self._insert((self.key_for(tree), kind), value)
 
     def structure_keys_for(self, tree: FaultTree) -> Dict[str, str]:
         """Per-node structure-only hashes of ``tree`` (memoised per tree object)."""
@@ -176,15 +274,22 @@ class ArtifactCache:
         the key and the stored value must therefore be purely qualitative.
         """
         key = (self.structure_keys_for(tree)[node], kind)
-        if key in self._store:
-            self._hits[kind] = self._hits.get(kind, 0) + 1
-            return self._store[key]
-        self._misses[kind] = self._misses.get(kind, 0) + 1
+        found, value = self._lookup(key, kind)
+        if found:
+            return value
         value = compute()
-        self._store[key] = value
+        self._insert(key, value)
+        if self.backend is not None:
+            self.backend.store(key[0], kind, value)
         return value
 
-    def invalidate(self, tree: FaultTree, *, include_subtrees: bool = True) -> int:
+    def invalidate(
+        self,
+        tree: FaultTree,
+        *,
+        include_subtrees: bool = True,
+        include_backend: bool = True,
+    ) -> int:
         """Drop every artifact cached for ``tree``; returns the number removed.
 
         Removes whole-tree artifacts keyed by the tree's *current* structural
@@ -192,10 +297,14 @@ class ArtifactCache:
         every node currently in the tree (``include_subtrees=False`` is the
         sweep executor's per-scenario eviction: the scenario's whole-tree
         entries are dead after its analysis, but the subtree entries are the
-        shared incremental state every later scenario reuses).  Entries
-        stored under a hash the tree had *before* an in-place mutation are
-        unreachable from here (the key changed with the tree); they are never
-        served stale, but reclaiming their memory requires :meth:`clear`.
+        shared incremental state every later scenario reuses).  With a
+        persistent backend, invalidation reaches the disk tier too unless
+        ``include_backend=False`` — a memory-only drop would otherwise be
+        undone by the next probe re-fetching the stale entry from disk.
+        Entries stored under a hash the tree had *before* an in-place
+        mutation are unreachable from here (the key changed with the tree);
+        they are never served stale, but reclaiming their memory requires
+        :meth:`clear`.
         """
         keys = {self.key_for(tree)}
         if include_subtrees:
@@ -203,13 +312,27 @@ class ArtifactCache:
         stale = [key for key in self._store if key[0] in keys]
         for key in stale:
             del self._store[key]
+        if include_backend and self.backend is not None:
+            # Duck-typed: backends without deletion support may omit discard.
+            discard = getattr(self.backend, "discard", None)
+            if discard is not None:
+                for key_hash in keys:
+                    discard(key_hash)
         return len(stale)
 
     def clear(self) -> None:
-        """Drop all artifacts and reset the counters."""
+        """Drop all in-memory artifacts and reset the counters.
+
+        The persistent backend (if any) is left untouched — clearing the
+        memory tier of one process must not destroy artifacts other
+        processes share.
+        """
         self._store.clear()
         self._hits.clear()
         self._misses.clear()
+        self._evictions.clear()
+        self._store_hits.clear()
+        self._store_misses.clear()
 
     # -- statistics -----------------------------------------------------------------
 
@@ -220,6 +343,19 @@ class ArtifactCache:
     @property
     def misses(self) -> int:
         return sum(self._misses.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(self._evictions.values())
+
+    @property
+    def store_hits(self) -> int:
+        """Artifacts served by the persistent backend instead of recomputed."""
+        return sum(self._store_hits.values())
+
+    @property
+    def store_misses(self) -> int:
+        return sum(self._store_misses.values())
 
     def hits_for(self, kind: str) -> int:
         return self._hits.get(kind, 0)
@@ -232,16 +368,31 @@ class ArtifactCache:
 
     def stats(self) -> Dict[str, Any]:
         """Snapshot of the counters, suitable for reports and logging."""
-        kinds = sorted(set(self._hits) | set(self._misses))
-        return {
+        kinds = sorted(
+            set(self._hits)
+            | set(self._misses)
+            | set(self._evictions)
+            | set(self._store_hits)
+            | set(self._store_misses)
+        )
+        stats: Dict[str, Any] = {
             "entries": len(self._store),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "by_kind": {
-                kind: {"hits": self._hits.get(kind, 0), "misses": self._misses.get(kind, 0)}
+                kind: {
+                    "hits": self._hits.get(kind, 0),
+                    "misses": self._misses.get(kind, 0),
+                    "evictions": self._evictions.get(kind, 0),
+                }
                 for kind in kinds
             },
         }
+        if self.backend is not None:
+            stats["store_hits"] = self.store_hits
+            stats["store_misses"] = self.store_misses
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactCache(entries={len(self._store)}, hits={self.hits}, misses={self.misses})"

@@ -154,6 +154,30 @@ class AnalysisRequest:
         """A copy of this request scoped to one backend and a subset of analyses."""
         return replace(self, analyses=tuple(analyses), backend=backend)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "analyses": list(self.analyses),
+            "backend": self.backend,
+            "top_k": self.top_k,
+            "samples": self.samples,
+            "seed": self.seed,
+            "cutoff": self.cutoff,
+            "deterministic": self.deterministic,
+        }
+
+    @staticmethod
+    def from_dict(document: Dict[str, Any]) -> "AnalysisRequest":
+        """Inverse of :meth:`to_dict` (revalidates through :meth:`create`)."""
+        return AnalysisRequest.create(
+            document.get("analyses", ("mpmcs",)),
+            backend=document.get("backend", "auto"),
+            top_k=int(document.get("top_k", 5)),
+            samples=int(document.get("samples", 0)),
+            seed=int(document.get("seed", 0)),
+            cutoff=float(document.get("cutoff", 1e-9)),
+            deterministic=bool(document.get("deterministic", True)),
+        )
+
 
 @dataclass(frozen=True)
 class MPMCSSummary:
@@ -187,6 +211,24 @@ class MPMCSSummary:
             "solve_time_s": self.solve_time,
             "total_time_s": self.total_time,
         }
+
+    @staticmethod
+    def from_dict(document: Dict[str, Any]) -> "MPMCSSummary":
+        """Inverse of :meth:`to_dict`.
+
+        The full :class:`MPMCSResult` ``detail`` does not survive the JSON
+        form — only the backend-independent summary does — so a round-tripped
+        summary compares equal on every serialised field.
+        """
+        return MPMCSSummary(
+            events=tuple(document["events"]),
+            probability=float(document["probability"]),
+            cost=float(document["cost"]),
+            backend=document.get("backend", ""),
+            engine=document.get("engine", ""),
+            solve_time=float(document.get("solve_time_s", 0.0)),
+            total_time=float(document.get("total_time_s", 0.0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -248,6 +290,34 @@ class TopEventSummary:
             "backend": self.backend,
         }
 
+    @staticmethod
+    def from_dict(document: Dict[str, Any]) -> "TopEventSummary":
+        """Inverse of :meth:`to_dict`.
+
+        The Monte Carlo hit *count* is not serialised (it is derivable as
+        ``probability * samples``); the reconstructed estimate carries that
+        derived value, which every serialised field is independent of.
+        """
+        monte_carlo = None
+        raw = document.get("monte_carlo")
+        if raw is not None:
+            monte_carlo = MonteCarloEstimate(
+                probability=float(raw["probability"]),
+                standard_error=float(raw["standard_error"]),
+                confidence_low=float(raw["confidence_low"]),
+                confidence_high=float(raw["confidence_high"]),
+                samples=int(raw["samples"]),
+                hits=float(raw["probability"]) * int(raw["samples"]),
+                seed=int(raw["seed"]),
+            )
+        return TopEventSummary(
+            exact=document.get("exact"),
+            rare_event_bound=document.get("rare_event_bound"),
+            min_cut_upper_bound=document.get("min_cut_upper_bound"),
+            monte_carlo=monte_carlo,
+            backend=document.get("backend", ""),
+        )
+
 
 @dataclass
 class AnalysisReport:
@@ -259,8 +329,13 @@ class AnalysisReport:
     routing combined several backends for one analysis).
     """
 
-    tree: FaultTree
+    #: The analysed tree.  ``None`` only for reports reconstructed from JSON
+    #: without a model at hand (:meth:`from_dict`); such reports serialise
+    #: and render tables but cannot bridge to tree-consuming renderers.
+    tree: Optional[FaultTree]
     request: AnalysisRequest
+    #: Fallback display name used when ``tree`` is ``None``.
+    name: str = ""
     backends: Dict[str, str] = field(default_factory=dict)
     mpmcs: Optional[MPMCSSummary] = None
     ranking: Optional[List[RankedCutSet]] = None
@@ -278,7 +353,7 @@ class AnalysisReport:
 
     @property
     def tree_name(self) -> str:
-        return self.tree.name
+        return self.tree.name if self.tree is not None else self.name
 
     @property
     def analyses(self) -> Tuple[str, ...]:
@@ -295,6 +370,8 @@ class AnalysisReport:
             return None
         if self.mpmcs.detail is not None:
             return self.mpmcs.detail
+        if self.tree is None:
+            return None  # synthesising weights needs the event probabilities
         weights = {name: log_weight(self.tree.probability(name)) for name in self.mpmcs.events}
         return MPMCSResult(
             tree_name=self.tree.name,
@@ -338,8 +415,9 @@ class AnalysisReport:
     def to_dict(self) -> Dict[str, Any]:
         """Plain JSON-serialisable form of every populated section."""
         document: Dict[str, Any] = {
-            "tree": self.tree.name,
+            "tree": self.tree_name,
             "analyses": list(self.analyses),
+            "request": self.request.to_dict(),
             "backends": dict(self.backends),
             "timings_s": dict(self.timings),
             "cache": dict(self.cache_stats),
@@ -361,11 +439,8 @@ class AnalysisReport:
         )
         document["cut_sets"] = (
             [
-                {"events": list(events), "probability": probability}
-                for events, probability in (
-                    (tuple(sorted(cs)), self.cut_sets.probability_of(cs))
-                    for cs, _ in self.cut_sets.ranked()
-                )
+                {"events": sorted(cut_set), "probability": probability}
+                for cut_set, probability in self.cut_sets.ranked()
             ]
             if self.cut_sets is not None and self.cut_sets.probabilities is not None
             else (
@@ -409,3 +484,80 @@ class AnalysisReport:
             else None
         )
         return document
+
+    @classmethod
+    def from_dict(
+        cls, document: Dict[str, Any], *, tree: Optional[FaultTree] = None
+    ) -> "AnalysisReport":
+        """Reconstruct a report from its :meth:`to_dict` JSON form.
+
+        This is the service's transport inverse: the server ships
+        ``report.to_dict()`` over HTTP and the client rebuilds a live
+        :class:`AnalysisReport` here.  Pass the analysed ``tree`` (the client
+        submitted it, so it has it) to restore the probability-bearing
+        sections bit-identically — ``from_dict(r.to_dict(), tree=t).to_dict()
+        == r.to_dict()``.  Without a tree the report still reconstructs, but
+        cut-set collections lose their per-event probabilities (the JSON form
+        only carries per-*set* products) and :attr:`mpmcs_result` is
+        unavailable.
+        """
+        request = (
+            AnalysisRequest.from_dict(document["request"])
+            if document.get("request") is not None
+            else AnalysisRequest.create(document.get("analyses", ("mpmcs",)))
+        )
+        report = cls(tree=tree, request=request, name=document.get("tree", ""))
+        report.backends = dict(document.get("backends", {}))
+        report.timings = dict(document.get("timings_s", {}))
+        report.cache_stats = dict(document.get("cache", {}))
+        report.warnings = list(document.get("warnings", []))
+        probabilities = tree.probabilities() if tree is not None else None
+
+        if document.get("mpmcs") is not None:
+            report.mpmcs = MPMCSSummary.from_dict(document["mpmcs"])
+        if document.get("ranking") is not None:
+            report.ranking = [
+                RankedCutSet(
+                    rank=int(entry["rank"]),
+                    events=tuple(entry["events"]),
+                    probability=float(entry["probability"]),
+                    cost=float(entry["cost"]),
+                )
+                for entry in document["ranking"]
+            ]
+        if document.get("cut_sets") is not None:
+            report.cut_sets = CutSetCollection.from_minimal(
+                [frozenset(entry["events"]) for entry in document["cut_sets"]],
+                probabilities=probabilities,
+            )
+        if document.get("top_event") is not None:
+            report.top_event = TopEventSummary.from_dict(document["top_event"])
+        if document.get("importance") is not None:
+            report.importance = {
+                name: ImportanceMeasures(
+                    event=name,
+                    probability=float(measure["probability"]),
+                    birnbaum=float(measure["birnbaum"]),
+                    criticality=float(measure["criticality"]),
+                    fussell_vesely=float(measure["fussell_vesely"]),
+                    risk_achievement_worth=float(measure["risk_achievement_worth"]),
+                    risk_reduction_worth=float(measure["risk_reduction_worth"]),
+                )
+                for name, measure in document["importance"].items()
+            }
+        if document.get("spof") is not None:
+            report.spof = [(name, probability) for name, probability in document["spof"]]
+        if document.get("modules") is not None:
+            report.modules = dict(document["modules"])
+        if document.get("truncation") is not None:
+            raw = document["truncation"]
+            report.truncation = TruncationResult(
+                collection=CutSetCollection.from_minimal(
+                    [frozenset(events) for events in raw["cut_sets"]],
+                    probabilities=probabilities,
+                ),
+                cutoff=float(raw["cutoff"]),
+                num_retained=int(raw["num_retained"]),
+                num_pruned=int(raw["num_pruned"]),
+            )
+        return report

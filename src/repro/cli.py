@@ -64,6 +64,8 @@ from repro.reporting.dot import to_dot
 from repro.reporting.json_report import analysis_report
 from repro.reporting.tables import markdown_table, weights_table
 from repro.reporting.unified import render_scenario_report, write_report
+from repro.service import AnalysisService, ServiceClient
+from repro.service import serve as start_service
 from repro.scenarios import (
     AddRedundancy,
     AddSpareChild,
@@ -308,6 +310,80 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "backends", help="list the registered analysis backends and their capabilities"
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP analysis service (submit/poll/fetch over JSON)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765, help="TCP port (default: 8765; 0 = ephemeral)")
+    serve.add_argument(
+        "--store", type=Path, default=None,
+        help="directory of the persistent artifact store shared across runs and workers",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="job worker threads (default: 2)"
+    )
+    serve.add_argument(
+        "--sweep-workers", type=int, default=0,
+        help="default process fan-out for sweep jobs (default: 0 = in-process)",
+    )
+    serve.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="LRU bound on each worker's in-memory artifact cache (default: unbounded)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a tree (or a scenario sweep over it) to a running service"
+    )
+    _add_tree_source_arguments(submit)
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL"
+    )
+    submit.add_argument(
+        "--analyses", default="mpmcs,top_event",
+        help="comma-separated analyses for analyze jobs (default: mpmcs,top_event)",
+    )
+    submit.add_argument("--top-k", type=int, default=5, help="cut sets for the ranking analysis")
+    submit.add_argument("--samples", type=int, default=0, help="Monte Carlo samples")
+    submit.add_argument("--seed", type=int, default=0, help="Monte Carlo PRNG seed")
+    submit.add_argument(
+        "--sweep-event", help="submit a sweep job varying this basic event instead"
+    )
+    submit.add_argument(
+        "--sweep-values", help="comma-separated probability values for --sweep-event"
+    )
+    submit.add_argument("--sweep-start", type=float, help="sweep range start (with --sweep-stop)")
+    submit.add_argument("--sweep-stop", type=float, help="sweep range stop (with --sweep-start)")
+    submit.add_argument(
+        "--sweep-steps", type=int, default=20, help="points in the sweep range (default: 20)"
+    )
+    submit.add_argument(
+        "--sweep-mission-factors",
+        help="comma-separated mission-time factors: submit a mission-time sweep",
+    )
+    submit.add_argument(
+        "--sweep-workers", type=int, default=0,
+        help="process fan-out for the sweep job (default: 0 = service default)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of waiting for the result",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, help="seconds to wait for the result"
+    )
+    submit.add_argument("-o", "--output", type=Path, help="write the result JSON to this path")
+
+    jobs = subparsers.add_parser(
+        "jobs", help="list jobs on a running service, or inspect/cancel one"
+    )
+    jobs.add_argument("job_id", nargs="?", help="job id (omit to list every job)")
+    jobs.add_argument("--url", default="http://127.0.0.1:8765", help="service base URL")
+    jobs.add_argument(
+        "--result", action="store_true", help="fetch the finished job's result JSON"
+    )
+    jobs.add_argument("--cancel", action="store_true", help="cancel a queued job")
+    jobs.add_argument("-o", "--output", type=Path, help="write fetched result JSON to this path")
 
     solve_wcnf = subparsers.add_parser(
         "solve-wcnf", help="solve a DIMACS WCNF file with one of the built-in MaxSAT engines"
@@ -767,6 +843,154 @@ def _command_solve_wcnf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    service = AnalysisService(
+        store_path=str(args.store) if args.store else None,
+        workers=args.workers,
+        sweep_workers=args.sweep_workers,
+        cache_max_entries=args.cache_max_entries,
+    )
+    server = start_service(
+        service, host=args.host, port=args.port, background=False
+    )
+    store_note = f" (store: {args.store})" if args.store else " (no persistent store)"
+    print(
+        f"repro service listening on http://{args.host}:{server.server_port}"
+        f" with {args.workers} worker(s){store_note}"
+    )
+    print("endpoints: /health /backends /analyze /batch /sweep /jobs  — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    client = ServiceClient(args.url, timeout=args.timeout)
+    wants_sweep = bool(
+        args.sweep_event or args.sweep_values or args.sweep_mission_factors
+    )
+    if wants_sweep:
+        if args.sweep_mission_factors:
+            spec = {
+                "family": "mission_time_sweep",
+                "factors": _parse_float_list(args.sweep_mission_factors, "--sweep-mission-factors"),
+            }
+        elif args.sweep_event and args.sweep_values:
+            spec = {
+                "family": "probability_sweep",
+                "event": args.sweep_event,
+                "values": _parse_float_list(args.sweep_values, "--sweep-values"),
+            }
+        elif args.sweep_event and args.sweep_start is not None and args.sweep_stop is not None:
+            spec = {
+                "family": "probability_sweep",
+                "event": args.sweep_event,
+                "start": args.sweep_start,
+                "stop": args.sweep_stop,
+                "steps": args.sweep_steps,
+            }
+        else:
+            raise ReproError(
+                "sweep submission needs --sweep-event with --sweep-values or "
+                "--sweep-start+--sweep-stop, or --sweep-mission-factors"
+            )
+        job = client.submit_sweep(
+            tree,
+            spec,
+            backend=_sweep_backend(args.backend),
+            workers=args.sweep_workers,
+            top_k=args.top_k,
+            samples=args.samples,
+            seed=args.seed,
+        )
+    else:
+        analyses = [name.strip() for name in args.analyses.split(",") if name.strip()]
+        job = client.submit_analyze(
+            tree,
+            analyses=analyses,
+            backend=args.backend,
+            top_k=args.top_k,
+            samples=args.samples,
+            seed=args.seed,
+        )
+    print(f"submitted {job['id']} ({'sweep' if wants_sweep else 'analyze'}, "
+          f"status: {job['status']})")
+    if args.no_wait:
+        print(f"poll with: repro jobs {job['id']} --url {args.url} --result")
+        return 0
+    done = client.wait(job["id"], timeout=args.timeout)
+    if done["status"] != "done":
+        print(f"error: job {job['id']} {done['status']}: {done.get('error')}", file=sys.stderr)
+        return 1
+    result = done["result"]
+    if args.output:
+        args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"result JSON written to {args.output}")
+    elif wants_sweep:
+        report = result["report"]
+        best = min(
+            (s for s in report["scenarios"] if s.get("top_event") is not None),
+            key=lambda s: s["top_event"],
+            default=None,
+        )
+        print(f"sweep over {result['num_scenarios']} scenario(s), "
+              f"base P(top) = {report['base']['top_event']:.6e}")
+        if best is not None:
+            print(f"best scenario: {best['name']}  P(top) = {best['top_event']:.6e}")
+    else:
+        report = result["report"]
+        if report.get("mpmcs"):
+            print(f"MPMCS      : {{{', '.join(report['mpmcs']['events'])}}}  "
+                  f"p={report['mpmcs']['probability']:.6g}")
+        top = report.get("top_event") or {}
+        estimate = top.get("exact", None)
+        if estimate is None:
+            estimate = top.get("min_cut_upper_bound")
+        if estimate is not None:
+            print(f"P(top)     : {estimate:.6e}")
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.job_id is None:
+        entries = client.jobs()
+        if not entries:
+            print("no jobs")
+            return 0
+        rows = [
+            [job["id"], job["kind"], job["status"], job.get("error") or ""]
+            for job in entries
+        ]
+        print(markdown_table(["id", "kind", "status", "error"], rows))
+        return 0
+    if args.cancel:
+        job = client.cancel(args.job_id)
+        print(f"{job['id']}: {job['status']}")
+        return 0
+    if args.result:
+        job = client.result(args.job_id)
+        if job["status"] != "done":
+            print(f"error: job {job['id']} {job['status']}: {job.get('error')}", file=sys.stderr)
+            return 1
+        text = json.dumps(job["result"], indent=2)
+        if args.output:
+            args.output.write_text(text + "\n", encoding="utf-8")
+            print(f"result JSON written to {args.output}")
+        else:
+            print(text)
+        return 0
+    job = client.job(args.job_id)
+    print(json.dumps(job, indent=2))
+    return 0
+
+
 #: Subcommands that operate on a fault tree: loaded once, analysed through
 #: one shared session per invocation.
 _TREE_COMMANDS: Dict[str, Callable[[AnalysisSession, FaultTree, argparse.Namespace], int]] = {
@@ -790,6 +1014,9 @@ _PLAIN_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "generate": _command_generate,
     "backends": _command_backends,
     "solve-wcnf": _command_solve_wcnf,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "jobs": _command_jobs,
 }
 
 

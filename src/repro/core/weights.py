@@ -55,9 +55,16 @@ def probability_from_cost(cost: float) -> float:
 
 
 def probability_of_cut_set(cut_set: Iterable[str], probabilities: Mapping[str, float]) -> float:
-    """Joint probability of a cut set assuming independent basic events."""
+    """Joint probability of a cut set assuming independent basic events.
+
+    The product multiplies in *sorted* event order: float multiplication is
+    order-sensitive in the last ulp, and set iteration order varies with the
+    per-process hash seed, so the canonical order is what makes probabilities
+    bit-identical across processes — which the parallel sweep service relies
+    on when asserting worker results equal to a sequential run.
+    """
     product = 1.0
-    for name in cut_set:
+    for name in sorted(cut_set):
         try:
             probability = probabilities[name]
         except KeyError as exc:
@@ -69,5 +76,9 @@ def probability_of_cut_set(cut_set: Iterable[str], probabilities: Mapping[str, f
 
 
 def weight_of_cut_set(cut_set: Iterable[str], probabilities: Mapping[str, float]) -> float:
-    """Total ``-log`` weight of a cut set (the MaxSAT objective value)."""
-    return sum(log_weight(probabilities[name]) for name in cut_set)
+    """Total ``-log`` weight of a cut set (the MaxSAT objective value).
+
+    Summed in sorted event order for cross-process bit-reproducibility (see
+    :func:`probability_of_cut_set`).
+    """
+    return sum(log_weight(probabilities[name]) for name in sorted(cut_set))

@@ -73,6 +73,13 @@ from repro.scenarios.scenario import (
     scenario_grid,
     sweep_values,
 )
+from repro.scenarios.serialization import (
+    patch_from_dict,
+    patch_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+    scenarios_from_spec,
+)
 from repro.scenarios.sweep import SweepExecutor, run_sweep
 
 __all__ = [
@@ -98,12 +105,17 @@ __all__ = [
     "greedy_plan",
     "incremental_cut_sets",
     "mission_time_sweep",
+    "patch_from_dict",
+    "patch_to_dict",
     "plan_mitigation",
     "probability_sweep",
     "rank_actions",
     "run_sweep",
     "scale_sweep",
+    "scenario_from_dict",
     "scenario_grid",
+    "scenario_to_dict",
+    "scenarios_from_spec",
     "seed_session_cut_sets",
     "sweep_values",
 ]

@@ -111,6 +111,46 @@ class ScenarioReport:
         ranked = self.ranked_by_top_event()
         return ranked[0] if ranked else None
 
+    #: :meth:`to_dict` keys that vary between otherwise identical runs.
+    VOLATILE_KEYS = ("cache", "subtree_reuse", "total_time_s")
+    #: Per-scenario keys that vary between otherwise identical runs.
+    VOLATILE_OUTCOME_KEYS = ("time_s",)
+
+    @staticmethod
+    def canonicalize(document: Dict[str, Any]) -> Dict[str, Any]:
+        """Strip run telemetry from a :meth:`to_dict` document (non-mutating).
+
+        The single definition of "volatile" shared by
+        :meth:`to_canonical_dict` and consumers holding only the JSON form
+        (e.g. a service client comparing a fetched result against a local
+        run, or the parallel-sweep benchmark).
+        """
+        document = {
+            key: value
+            for key, value in document.items()
+            if key not in ScenarioReport.VOLATILE_KEYS
+        }
+        document["scenarios"] = [
+            {
+                key: value
+                for key, value in outcome.items()
+                if key not in ScenarioReport.VOLATILE_OUTCOME_KEYS
+            }
+            for outcome in document["scenarios"]
+        ]
+        return document
+
+    def to_canonical_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus run telemetry (timings and cache counters).
+
+        Two sweeps over the same tree and scenario list — sequential or
+        partitioned over any number of workers — produce byte-identical
+        canonical dicts (``json.dumps(..., sort_keys=True)``), which is how
+        the parallel executor's equivalence is asserted; only wall-clock and
+        hit/miss telemetry may differ between runs.
+        """
+        return self.canonicalize(self.to_dict())
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "tree": self.tree_name,

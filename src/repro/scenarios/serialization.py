@@ -1,0 +1,213 @@
+"""JSON round-trip for patches and scenarios — the sweep wire format.
+
+The analysis service transports whole scenario sweeps as JSON: the client
+submits a tree document plus either an explicit scenario list or a compact
+parametric *spec*, and the worker reconstructs live
+:class:`~repro.scenarios.patches.Patch` /
+:class:`~repro.scenarios.scenario.Scenario` objects on the other side.
+
+Patch documents are tagged dicts, e.g.::
+
+    {"type": "set_probability", "event": "x1", "probability": 0.01}
+    {"type": "add_redundancy", "event": "pump", "copies": 2}
+
+and specs name the parametric families of :mod:`repro.scenarios.scenario`::
+
+    {"family": "probability_sweep", "event": "x1",
+     "start": 1e-4, "stop": 0.5, "steps": 50}
+    {"family": "mission_time_sweep", "factors": [0.5, 1, 2, 4]}
+
+``patch_from_dict(patch_to_dict(p))`` reconstructs an equal patch for every
+built-in patch type (they are frozen dataclasses, so equality is field-wise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Type
+
+from repro.exceptions import ReproError
+from repro.scenarios.patches import (
+    AddRedundancy,
+    AddSpareChild,
+    ApplyCCF,
+    Harden,
+    Patch,
+    RemoveEvent,
+    ScaleMissionTime,
+    ScaleProbability,
+    SetProbability,
+    SetVotingThreshold,
+)
+from repro.scenarios.scenario import (
+    Scenario,
+    ccf_beta_sweep,
+    mission_time_sweep,
+    probability_sweep,
+    scale_sweep,
+    sweep_values,
+)
+
+__all__ = [
+    "patch_from_dict",
+    "patch_to_dict",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "scenarios_from_spec",
+]
+
+
+class SerializationError(ReproError):
+    """Malformed patch/scenario/spec document."""
+
+
+#: Tag <-> class table; the tag is the snake_case of the class name.
+_PATCH_TYPES: Dict[str, Type[Patch]] = {
+    "set_probability": SetProbability,
+    "scale_probability": ScaleProbability,
+    "harden": Harden,
+    "scale_mission_time": ScaleMissionTime,
+    "remove_event": RemoveEvent,
+    "add_redundancy": AddRedundancy,
+    "add_spare_child": AddSpareChild,
+    "set_voting_threshold": SetVotingThreshold,
+    "apply_ccf": ApplyCCF,
+}
+
+#: Constructor fields per tag: (field, required).  Everything is a plain
+#: JSON scalar except ``apply_ccf.members`` (a list of event names).
+_PATCH_FIELDS: Dict[str, Tuple[Tuple[str, bool], ...]] = {
+    "set_probability": (("event", True), ("probability", True)),
+    "scale_probability": (("event", True), ("factor", True)),
+    "harden": (("event", True), ("factor", False), ("probability", False)),
+    "scale_mission_time": (("factor", True),),
+    "remove_event": (("event", True),),
+    "add_redundancy": (("event", True), ("copies", False), ("probability", False)),
+    "add_spare_child": (("gate", True), ("probability", True), ("name", False)),
+    "set_voting_threshold": (("gate", True), ("k", True)),
+    "apply_ccf": (("group", True), ("members", True), ("beta", True)),
+}
+
+_TYPE_TAGS: Dict[Type[Patch], str] = {cls: tag for tag, cls in _PATCH_TYPES.items()}
+
+
+def patch_to_dict(patch: Patch) -> Dict[str, Any]:
+    """Tagged JSON document for one built-in patch."""
+    tag = _TYPE_TAGS.get(type(patch))
+    if tag is None:
+        raise SerializationError(
+            f"patch type {type(patch).__name__!r} has no JSON form; "
+            "only the built-in patches serialise"
+        )
+    document: Dict[str, Any] = {"type": tag}
+    for field, _ in _PATCH_FIELDS[tag]:
+        value = getattr(patch, field)
+        if value is None:
+            continue
+        document[field] = list(value) if field == "members" else value
+    return document
+
+
+def patch_from_dict(document: Mapping[str, Any]) -> Patch:
+    """Reconstruct a patch from its tagged JSON document."""
+    if not isinstance(document, Mapping) or "type" not in document:
+        raise SerializationError(f"patch document needs a 'type' tag, got {document!r}")
+    tag = document["type"]
+    cls = _PATCH_TYPES.get(tag)
+    if cls is None:
+        raise SerializationError(
+            f"unknown patch type {tag!r}; expected one of {', '.join(sorted(_PATCH_TYPES))}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for field, required in _PATCH_FIELDS[tag]:
+        if field in document:
+            kwargs[field] = document[field]
+        elif required:
+            raise SerializationError(f"patch {tag!r} is missing the required field {field!r}")
+    unknown = set(document) - {"type"} - {field for field, _ in _PATCH_FIELDS[tag]}
+    if unknown:
+        raise SerializationError(
+            f"patch {tag!r} has unknown fields: {', '.join(sorted(unknown))}"
+        )
+    return cls(**kwargs)
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """JSON document for one named scenario."""
+    document: Dict[str, Any] = {
+        "name": scenario.name,
+        "patches": [patch_to_dict(patch) for patch in scenario.patches],
+    }
+    if scenario.description:
+        document["description"] = scenario.description
+    return document
+
+
+def scenario_from_dict(document: Mapping[str, Any]) -> Scenario:
+    """Reconstruct a named scenario from its JSON document."""
+    if not isinstance(document, Mapping):
+        raise SerializationError(f"scenario document must be an object, got {document!r}")
+    try:
+        name = document["name"]
+        patches = document["patches"]
+    except KeyError as exc:
+        raise SerializationError(f"scenario document is missing {exc}") from exc
+    if not isinstance(patches, Sequence) or isinstance(patches, (str, bytes)):
+        raise SerializationError("scenario 'patches' must be a list of patch documents")
+    return Scenario(
+        name,
+        [patch_from_dict(patch) for patch in patches],
+        description=document.get("description", ""),
+    )
+
+
+def _spec_values(spec: Mapping[str, Any], *, field: str = "values") -> List[float]:
+    """Explicit ``values`` or a ``start``/``stop``/``steps`` range."""
+    if field in spec:
+        return [float(value) for value in spec[field]]
+    if "start" in spec and "stop" in spec:
+        return sweep_values(
+            float(spec["start"]),
+            float(spec["stop"]),
+            int(spec.get("steps", 20)),
+            log_spaced=bool(spec.get("log_spaced", True)),
+        )
+    raise SerializationError(
+        f"sweep spec needs either {field!r} or 'start'+'stop' bounds: {dict(spec)!r}"
+    )
+
+
+def scenarios_from_spec(spec: "Mapping[str, Any] | Sequence[Any]") -> List[Scenario]:
+    """Expand a JSON sweep description into a scenario list.
+
+    Accepts either an explicit list of scenario documents
+    (:func:`scenario_from_dict` applied element-wise) or a parametric family
+    spec carrying a ``family`` tag: ``probability_sweep`` (``event`` +
+    values/range), ``scale_sweep`` (``event`` + ``factors``),
+    ``mission_time_sweep`` (``factors``), ``ccf_beta_sweep`` (``group``,
+    ``members``, ``betas``).
+    """
+    if isinstance(spec, Sequence) and not isinstance(spec, (str, bytes)):
+        return [scenario_from_dict(document) for document in spec]
+    if not isinstance(spec, Mapping):
+        raise SerializationError(f"sweep spec must be an object or a list, got {spec!r}")
+    family = spec.get("family")
+    prefix = spec.get("prefix")
+    if family == "probability_sweep":
+        return probability_sweep(spec["event"], _spec_values(spec), prefix=prefix)
+    if family == "scale_sweep":
+        return scale_sweep(
+            spec["event"], [float(f) for f in spec["factors"]], prefix=prefix
+        )
+    if family == "mission_time_sweep":
+        return mission_time_sweep([float(f) for f in spec["factors"]], prefix=prefix)
+    if family == "ccf_beta_sweep":
+        return ccf_beta_sweep(
+            spec["group"],
+            list(spec["members"]),
+            [float(b) for b in spec["betas"]],
+            prefix=prefix,
+        )
+    raise SerializationError(
+        f"unknown sweep family {family!r}; expected probability_sweep, scale_sweep, "
+        "mission_time_sweep or ccf_beta_sweep"
+    )

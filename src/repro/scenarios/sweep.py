@@ -19,10 +19,14 @@ cross-check this against two independent backends.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Set, Tuple
 
-from repro.api.report import AnalysisReport
+from repro.api.cache import ARTIFACT_SUBTREE_BDD
+from repro.api.report import AnalysisReport, TopEventSummary
 from repro.api.session import AnalysisSession
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.ordering import variable_order
+from repro.bdd.probability import probability_of_bdd
 from repro.exceptions import ReproError
 from repro.fta.tree import FaultTree
 from repro.scenarios.incremental import seed_session_cut_sets
@@ -61,6 +65,17 @@ class SweepExecutor:
         cross-checks and the speedup benchmark.
     backend:
         Registry name of the backend analysing every scenario.
+    exact_top_event:
+        When true (default), scenarios whose cut-set analysis returned only
+        probability *bounds* — the cut-set backends cap exact
+        inclusion-exclusion at 20 cut sets — get their exact top-event
+        probability from the BDD engine instead.  The compiled diagram is
+        cached under the *structure-only* hash of the top event's subtree
+        (:data:`~repro.api.cache.ARTIFACT_SUBTREE_BDD`): the structure
+        function does not depend on probabilities, so a probability-only
+        sweep compiles once and evaluates per scenario in linear time.
+        Trees whose BDD compilation fails (pathological orderings) fall back
+        to bounds, once per distinct structure.
     """
 
     def __init__(
@@ -69,10 +84,13 @@ class SweepExecutor:
         *,
         incremental: bool = True,
         backend: str = DEFAULT_BACKEND,
+        exact_top_event: bool = True,
     ) -> None:
         self.session = session if session is not None else AnalysisSession()
         self.incremental = incremental
         self.backend = backend
+        self.exact_top_event = exact_top_event
+        self._bdd_unavailable: Set[str] = set()
 
     def run(
         self,
@@ -93,6 +111,7 @@ class SweepExecutor:
         base = self.session.analyze(
             tree, analyses, backend=self.backend, top_k=top_k, samples=samples, seed=seed
         )
+        self._augment_exact_top_event(tree, base)
         base_top = _top_event_estimate(base)
         base_mpmcs_events = base.mpmcs.events if base.mpmcs is not None else None
         base_mpmcs_probability = base.mpmcs.probability if base.mpmcs is not None else None
@@ -122,6 +141,7 @@ class SweepExecutor:
                     samples=samples,
                     seed=seed,
                 )
+                self._augment_exact_top_event(patched, partial)
             except ReproError as exc:
                 report.outcomes.append(
                     ScenarioOutcome(
@@ -163,6 +183,47 @@ class SweepExecutor:
         report.total_time_s = time.perf_counter() - started
         return report
 
+    def _augment_exact_top_event(self, tree: FaultTree, report: AnalysisReport) -> None:
+        """Fill in the exact BDD top-event probability where only bounds exist.
+
+        The cut-set backends stop computing exact inclusion-exclusion beyond
+        20 cut sets, so large perturbed trees used to report bounds only.
+        This resolves the exact value through a BDD compiled once per
+        *structure* (probability-only scenarios share it) and merges it into
+        the report's :class:`TopEventSummary`, keeping the bounds alongside.
+        """
+        if not self.exact_top_event:
+            return
+        summary = report.top_event
+        if summary is None or summary.exact is not None:
+            return
+        exact = self._bdd_top_event(tree)
+        if exact is None:
+            return
+        report.top_event = TopEventSummary(exact=exact, backend="bdd").merged_with(summary)
+        previous = report.backends.get("top_event")
+        report.backends["top_event"] = f"{previous}+bdd" if previous else "bdd"
+
+    def _bdd_top_event(self, tree: FaultTree) -> Optional[float]:
+        """Exact P(top) via the structure-keyed BDD; ``None`` when unavailable."""
+        cache = self.session.artifacts
+        structure_key = cache.structure_keys_for(tree)[tree.top_event]
+        if structure_key in self._bdd_unavailable:
+            return None
+
+        def build() -> BDD:
+            manager = BDDManager(variable_order(tree, heuristic="dfs"))
+            return manager.from_fault_tree(tree)
+
+        try:
+            function = cache.get_or_compute_subtree(
+                tree, tree.top_event, ARTIFACT_SUBTREE_BDD, build
+            )
+            return probability_of_bdd(function, tree.probabilities())
+        except (ReproError, MemoryError, RecursionError):
+            self._bdd_unavailable.add(structure_key)
+            return None
+
     def _evict_scenario_artifacts(self, base: FaultTree, patched: FaultTree) -> None:
         """Drop the scenario tree's whole-tree cache entries after analysis.
 
@@ -176,7 +237,11 @@ class SweepExecutor:
         """
         artifacts = self.session.artifacts
         if artifacts.key_for(patched) != artifacts.key_for(base):
-            artifacts.invalidate(patched, include_subtrees=False)
+            # Memory-only eviction (include_backend=False): this reclaims the
+            # dead per-scenario weight from the hot tier without paying disk
+            # deletions per scenario or destroying store entries that a
+            # future identical scenario could reuse.
+            artifacts.invalidate(patched, include_subtrees=False, include_backend=False)
 
 
 def run_sweep(
@@ -190,9 +255,12 @@ def run_sweep(
     top_k: int = 5,
     samples: int = 0,
     seed: int = 0,
+    exact_top_event: bool = True,
 ) -> ScenarioReport:
     """One-shot convenience wrapper around :class:`SweepExecutor`."""
-    executor = SweepExecutor(session, incremental=incremental, backend=backend)
+    executor = SweepExecutor(
+        session, incremental=incremental, backend=backend, exact_top_event=exact_top_event
+    )
     return executor.run(
         tree, scenarios, analyses=analyses, top_k=top_k, samples=samples, seed=seed
     )

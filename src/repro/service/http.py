@@ -1,0 +1,378 @@
+"""Dependency-free HTTP/JSON front end for the analysis service.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no web framework, in
+keeping with the library's pure-standard-library policy.  The wire format is
+exactly the job payload/result vocabulary of :mod:`repro.service.workers`,
+so anything expressible through the Python API is expressible over HTTP:
+
+====== ========================== ==============================================
+Method Path                       Meaning
+====== ========================== ==============================================
+GET    ``/health``                liveness + queue and store statistics
+GET    ``/backends``              registered analysis backends and capabilities
+POST   ``/analyze``               submit a single-tree analysis job
+POST   ``/batch``                 submit a many-trees batch job
+POST   ``/sweep``                 submit a scenario sweep job
+GET    ``/jobs``                  list jobs in the ledger
+GET    ``/jobs/<id>``             one job's status document
+GET    ``/jobs/<id>/result``      the finished job's result (409 until done)
+POST   ``/jobs/<id>/cancel``      cancel a job that has not started
+====== ========================== ==============================================
+
+Submissions return ``202 Accepted`` with the job status document; pass
+``"wait": true`` (optionally ``"timeout": seconds``) in the body to block
+until the job settles and receive the result inline (``200``).
+
+:class:`ServiceClient` is the matching :mod:`urllib`-based client used by the
+``repro submit`` / ``repro jobs`` CLI subcommands, the tests and the demo.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Type, Union
+from urllib.parse import urlsplit
+
+from repro.api.registry import available_backends
+from repro.exceptions import ReproError
+from repro.fta.serializers import to_json_document
+from repro.fta.tree import FaultTree
+from repro.service.jobs import Job, JobError, JobQueue, JobStatus
+from repro.service.store import open_store
+from repro.service.workers import WorkerPool
+
+__all__ = ["AnalysisService", "ServiceClient", "ServiceError", "serve"]
+
+#: Refuse request bodies larger than this (a tree document of this size is
+#: far beyond anything the analyses handle anyway).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceError(ReproError):
+    """Client-side error talking to the analysis service."""
+
+
+class AnalysisService:
+    """The deployable unit: job queue + worker pool + shared disk store.
+
+    Parameters
+    ----------
+    store_path:
+        Directory of the shared :class:`~repro.service.store.DiskArtifactStore`;
+        ``None`` runs with in-memory caches only (artifacts die with the
+        process).
+    workers:
+        Worker *threads* draining the job queue (job-level concurrency).
+    sweep_workers:
+        Default process fan-out for sweep jobs that do not specify their own
+        ``workers``; ``0`` keeps sweeps in-process.
+    cache_max_entries:
+        LRU bound for each runner's in-memory cache tier.
+    """
+
+    def __init__(
+        self,
+        *,
+        store_path: Optional[str] = None,
+        workers: int = 2,
+        sweep_workers: int = 0,
+        cache_max_entries: Optional[int] = None,
+        max_finished: int = 256,
+    ) -> None:
+        self.store_path = store_path
+        self.queue = JobQueue(max_finished=max_finished)
+        self._store_view = open_store(store_path)
+        self.pool = WorkerPool(
+            self.queue,
+            workers=workers,
+            store_path=store_path,
+            store=self._store_view,
+            cache_max_entries=cache_max_entries,
+            sweep_workers=sweep_workers,
+        )
+        self.started_at = time.time()
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "AnalysisService":
+        if not self._started:
+            self.pool.start()
+            self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self._started:
+            self.pool.stop()
+            self._started = False
+
+    # -- operations (shared by HTTP handler and direct Python use) --------------------
+
+    def submit(self, kind: str, payload: Dict[str, Any]) -> Job:
+        """Validate the payload shape early and enqueue the job."""
+        if kind in ("analyze", "sweep") and not isinstance(payload.get("tree"), dict):
+            raise JobError(f"{kind} payload needs a 'tree' JSON document")
+        if kind == "sweep" and payload.get("scenarios") is None:
+            raise JobError("sweep payload needs a 'scenarios' list or family spec")
+        if kind == "batch" and not isinstance(payload.get("trees"), list):
+            raise JobError("batch payload needs a 'trees' list of JSON documents")
+        return self.queue.submit(kind, payload)
+
+    def health(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_at,
+            "workers": self.pool.num_workers,
+            "jobs": self.queue.stats(),
+        }
+        if self._store_view is not None:
+            document["store"] = self._store_view.stats()
+        return document
+
+    @staticmethod
+    def backends() -> Dict[str, List[str]]:
+        return {
+            name: sorted(cls.capabilities())
+            for name, cls in available_backends().items()
+        }
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto an :class:`AnalysisService` instance."""
+
+    service: AnalysisService  # injected by _handler_for
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # quiet by default; the CLI announces the endpoint once
+
+    def _send_json(self, status: int, document: Dict[str, Any]) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            # The oversize body is rejected *unread*; close the connection so
+            # a keep-alive client cannot desynchronise on the leftover bytes.
+            self.close_connection = True
+            raise JobError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            document = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JobError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise JobError("request body must be a JSON object")
+        return document
+
+    # -- routing ----------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        try:
+            if path == "/health":
+                self._send_json(200, self.service.health())
+            elif path == "/backends":
+                self._send_json(200, {"backends": self.service.backends()})
+            elif path == "/jobs":
+                self._send_json(
+                    200, {"jobs": [job.to_dict() for job in self.service.queue.jobs()]}
+                )
+            elif path.startswith("/jobs/") and path.endswith("/result"):
+                self._get_result(path[len("/jobs/") : -len("/result")])
+            elif path.startswith("/jobs/"):
+                job = self.service.queue.get(path[len("/jobs/") :])
+                self._send_json(200, {"job": job.to_dict()})
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except JobError as exc:
+            self._error(404 if "unknown job id" in str(exc) else 400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        try:
+            if path in ("/analyze", "/batch", "/sweep"):
+                self._submit(path.lstrip("/"))
+            elif path.startswith("/jobs/") and path.endswith("/cancel"):
+                job = self.service.queue.cancel(path[len("/jobs/") : -len("/cancel")])
+                self._send_json(200, {"job": job.to_dict()})
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except JobError as exc:
+            self._error(404 if "unknown job id" in str(exc) else 400, str(exc))
+        except ReproError as exc:
+            self._error(400, str(exc))
+
+    # -- handlers ---------------------------------------------------------------------
+
+    def _submit(self, kind: str) -> None:
+        payload = self._read_body()
+        wait = bool(payload.pop("wait", False))
+        # Validate the timeout *before* enqueueing: failing afterwards would
+        # drop the connection while leaving an orphan job the client never
+        # learns the id of.
+        raw_timeout = payload.pop("timeout", None)
+        try:
+            timeout = float(raw_timeout) if raw_timeout is not None else None
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"'timeout' must be a number, got {raw_timeout!r}") from exc
+        job = self.service.submit(kind, payload)
+        if not wait:
+            self._send_json(202, {"job": job.to_dict()})
+            return
+        job = self.service.queue.wait(job.id, timeout=timeout)
+        status = 200 if job.status.terminal else 202
+        self._send_json(status, {"job": job.to_dict(include_result=True)})
+
+    def _get_result(self, job_id: str) -> None:
+        job = self.service.queue.get(job_id)
+        if job.status is JobStatus.DONE:
+            self._send_json(200, {"job": job.to_dict(include_result=True)})
+        elif job.status is JobStatus.FAILED:
+            self._send_json(200, {"job": job.to_dict(include_result=True)})
+        else:
+            self._error(409, f"job {job_id} is {job.status.value}; no result yet")
+
+
+def _handler_for(service: AnalysisService) -> Type[_ServiceRequestHandler]:
+    return type(
+        "BoundServiceRequestHandler", (_ServiceRequestHandler,), {"service": service}
+    )
+
+
+def serve(
+    service: AnalysisService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    background: bool = True,
+    start_workers: bool = True,
+) -> ThreadingHTTPServer:
+    """Start the worker pool and the HTTP server; returns the live server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_port``).  With ``background=True`` (default) the accept
+    loop runs on a daemon thread and the call returns immediately — shut down
+    with ``server.shutdown()`` followed by ``service.stop()``.  With
+    ``background=False`` the caller owns the accept loop
+    (``server.serve_forever()``), which is what the ``repro serve`` CLI does.
+    """
+    server = ThreadingHTTPServer((host, port), _handler_for(service))
+    if start_workers:
+        service.start()
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-service-http", daemon=True
+        )
+        thread.start()
+    return server
+
+
+class ServiceClient:
+    """Minimal :mod:`urllib`-based client for the service endpoints."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort detail extraction
+                detail = ""
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}: {detail or exc.reason}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+
+    @staticmethod
+    def _tree_document(tree: Union[FaultTree, Dict[str, Any]]) -> Dict[str, Any]:
+        return to_json_document(tree) if isinstance(tree, FaultTree) else tree
+
+    # -- endpoints --------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def backends(self) -> Dict[str, List[str]]:
+        return self._request("GET", "/backends")["backends"]
+
+    def submit_analyze(
+        self, tree: Union[FaultTree, Dict[str, Any]], **options: Any
+    ) -> Dict[str, Any]:
+        payload = {"tree": self._tree_document(tree), **options}
+        return self._request("POST", "/analyze", payload)["job"]
+
+    def submit_sweep(
+        self,
+        tree: Union[FaultTree, Dict[str, Any]],
+        scenarios: Union[Sequence[Dict[str, Any]], Dict[str, Any]],
+        **options: Any,
+    ) -> Dict[str, Any]:
+        payload = {"tree": self._tree_document(tree), "scenarios": scenarios, **options}
+        return self._request("POST", "/sweep", payload)["job"]
+
+    def submit_batch(
+        self, trees: Sequence[Union[FaultTree, Dict[str, Any]]], **options: Any
+    ) -> Dict[str, Any]:
+        payload = {"trees": [self._tree_document(tree) for tree in trees], **options}
+        return self._request("POST", "/batch", payload)["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll_interval: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; returns the result-bearing document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed", "cancelled"):
+                if job["status"] == "done" or job["status"] == "failed":
+                    return self.result(job_id)
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"job {job_id} did not finish within {timeout:g}s")
+            time.sleep(poll_interval)

@@ -1,0 +1,234 @@
+"""In-process job queue for the analysis service.
+
+A :class:`Job` is one unit of submitted work — a single-tree analysis, a
+batch of trees, or a whole scenario sweep — described by a JSON-serialisable
+payload and resolved to a JSON-serialisable result, so the same objects flow
+unchanged through the HTTP layer.  :class:`JobQueue` is the thread-safe FIFO
+the :class:`~repro.service.workers.WorkerPool` drains: submission never
+blocks, claiming blocks with an optional timeout, and every state transition
+(``queued -> running -> done | failed``, or ``queued -> cancelled``) is
+recorded with timestamps for the status endpoints.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.exceptions import ReproError
+
+__all__ = ["Job", "JobError", "JobQueue", "JobStatus", "JOB_KINDS"]
+
+#: Work types the service understands (see :mod:`repro.service.workers`).
+JOB_KINDS = ("analyze", "batch", "sweep")
+
+
+class JobError(ReproError):
+    """Invalid job submission or an operation on a job in the wrong state."""
+
+
+class JobStatus(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its lifecycle record."""
+
+    id: str
+    kind: str
+    payload: Dict[str, Any]
+    status: JobStatus = JobStatus.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def to_dict(self, *, include_result: bool = False) -> Dict[str, Any]:
+        """JSON-ready status document (results are fetched separately by default)."""
+        document: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if include_result:
+            document["result"] = self.result
+        return document
+
+
+class JobQueue:
+    """Thread-safe FIFO of :class:`Job` objects with a status ledger.
+
+    Finished jobs stay queryable until ``max_finished`` older ones push them
+    out, so a polling client always has a window to collect its result.
+    """
+
+    def __init__(self, *, max_finished: int = 256) -> None:
+        if max_finished < 1:
+            raise JobError(f"max_finished must be at least 1, got {max_finished}")
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._job_done = threading.Condition(self._lock)
+        self._pending: Deque[str] = deque()
+        self._jobs: "Dict[str, Job]" = {}
+        self._finished_order: Deque[str] = deque()
+        self._max_finished = max_finished
+        self._next_id = 0
+        self._closed = False
+
+    # -- submission -------------------------------------------------------------------
+
+    def submit(self, kind: str, payload: Dict[str, Any]) -> Job:
+        """Enqueue a new job and return its ledger entry."""
+        if kind not in JOB_KINDS:
+            raise JobError(f"unknown job kind {kind!r}; expected one of {', '.join(JOB_KINDS)}")
+        with self._lock:
+            if self._closed:
+                raise JobError("the job queue is closed")
+            self._next_id += 1
+            job = Job(id=f"job-{self._next_id:06d}", kind=kind, payload=payload)
+            self._jobs[job.id] = job
+            self._pending.append(job.id)
+            self._not_empty.notify()
+            return job
+
+    # -- worker side ------------------------------------------------------------------
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the oldest queued job and mark it running.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``) and returns
+        ``None`` on timeout or once the queue is closed and drained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                while self._pending:
+                    job = self._jobs.get(self._pending.popleft())
+                    if job is None or job.status is not JobStatus.QUEUED:
+                        # Cancelled while waiting — possibly already trimmed
+                        # from the ledger by _remember_finished.
+                        continue
+                    job.status = JobStatus.RUNNING
+                    job.started_at = time.time()
+                    return job
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+
+    def finish(self, job_id: str, result: Dict[str, Any]) -> Job:
+        """Resolve a running job successfully."""
+        return self._settle(job_id, JobStatus.DONE, result=result)
+
+    def fail(self, job_id: str, error: str) -> Job:
+        """Resolve a running job with an error message."""
+        return self._settle(job_id, JobStatus.FAILED, error=error)
+
+    def _settle(
+        self,
+        job_id: str,
+        status: JobStatus,
+        *,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> Job:
+        with self._lock:
+            job = self._require(job_id)
+            if job.status is not JobStatus.RUNNING:
+                raise JobError(f"job {job_id} is {job.status.value}, not running")
+            job.status = status
+            job.result = result
+            job.error = error
+            job.finished_at = time.time()
+            self._remember_finished(job.id)
+            self._job_done.notify_all()
+            return job
+
+    # -- client side ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            return self._require(job_id)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job that has not started yet."""
+        with self._lock:
+            job = self._require(job_id)
+            if job.status is not JobStatus.QUEUED:
+                raise JobError(f"job {job_id} is {job.status.value}; only queued jobs cancel")
+            job.status = JobStatus.CANCELLED
+            job.finished_at = time.time()
+            self._remember_finished(job.id)
+            self._job_done.notify_all()
+            return job
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state (or the timeout passes)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            job = self._require(job_id)
+            while not job.status.terminal:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._job_done.wait(remaining)
+            return job
+
+    def jobs(self) -> List[Job]:
+        """Every job still in the ledger, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.id)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {status.value: 0 for status in JobStatus}
+            for job in self._jobs.values():
+                counts[job.status.value] += 1
+            counts["total"] = len(self._jobs)
+            return counts
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting submissions and wake blocked :meth:`claim` calls."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # -- internals (callers hold the lock) --------------------------------------------
+
+    def _require(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobError(f"unknown job id {job_id!r}")
+        return job
+
+    def _remember_finished(self, job_id: str) -> None:
+        self._finished_order.append(job_id)
+        while len(self._finished_order) > self._max_finished:
+            stale = self._finished_order.popleft()
+            self._jobs.pop(stale, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

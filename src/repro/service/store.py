@@ -1,0 +1,281 @@
+"""Persistent, content-addressed artifact store shared between processes.
+
+:class:`DiskArtifactStore` implements the
+:class:`~repro.api.cache.ArtifactStoreBackend` protocol over a directory
+tree, so an :class:`~repro.api.cache.ArtifactCache` constructed with
+``backend=DiskArtifactStore(path)`` transparently reuses every artifact any
+earlier (or concurrent) process computed for a structurally identical
+(sub)tree.
+
+Design points:
+
+* **Content addressing.**  Entries live at
+  ``<root>/v<FORMAT_VERSION>/<kind-slug>/<hh>/<hash>.art`` where ``hash`` is
+  the cache's own structural / subtree-structure key.  Identical keys imply
+  identical values (the keys are content hashes over everything that
+  influences the artifact), so concurrent writers racing on one entry are
+  benign — whichever atomic rename lands last installs the same bytes.
+* **Atomic writes.**  Every entry is written to a unique temporary file in
+  the destination directory and published with :func:`os.replace`; a reader
+  can never observe a half-written entry under its final name, and a crashed
+  writer leaves only a ``*.tmp*`` file that is ignored (and swept by
+  :meth:`sweep_temp_files`).
+* **Versioned format with integrity checks.**  Each file carries a magic
+  tag, a format version and a SHA-256 digest of the pickled payload.  A torn,
+  truncated or bit-flipped entry fails verification, is treated as a miss and
+  is deleted so it cannot poison later readers.  Bumping
+  :data:`FORMAT_VERSION` retires old entries wholesale (they live under a
+  different version directory) instead of misreading them.
+* **Best-effort durability.**  ``store`` never raises on unpicklable values
+  or filesystem trouble — the memory tier still holds the artifact and the
+  analysis proceeds; the failure is only counted (``errors`` /
+  ``skipped_unpicklable`` in :meth:`stats`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import re
+import struct
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.api.cache import ArtifactStoreBackend
+
+__all__ = ["DiskArtifactStore", "FORMAT_VERSION", "MAGIC", "open_store"]
+
+#: Magic tag opening every artifact file.
+MAGIC = b"RPROART1"
+#: On-disk format version; bump to orphan (not misread) old entries.
+FORMAT_VERSION = 1
+
+#: Header layout after the magic: format version, payload length, SHA-256
+#: digest of the payload.  Fixed-size so verification reads are trivial.
+_HEADER = struct.Struct(">IQ32s")
+
+_SLUG_RE = re.compile(r"[^a-z0-9_-]+")
+
+
+def _kind_slug(kind: str) -> str:
+    """Filesystem-safe directory name for an artifact kind."""
+    slug = _SLUG_RE.sub("-", kind.lower()).strip("-")
+    return slug or "unknown"
+
+
+class DiskArtifactStore(ArtifactStoreBackend):
+    """Disk-backed second tier for :class:`~repro.api.cache.ArtifactCache`.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on demand).  Multiple processes
+        may point at the same root concurrently.
+    protocol:
+        Pickle protocol for payloads; defaults to
+        :data:`pickle.HIGHEST_PROTOCOL`.
+    fsync:
+        When true, fsync every entry before publishing it.  Off by default —
+        the store is a cache: losing an entry on power failure only costs a
+        recomputation, while fsync per artifact costs milliseconds each.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        *,
+        protocol: int = pickle.HIGHEST_PROTOCOL,
+        fsync: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.protocol = protocol
+        self.fsync = fsync
+        self._version_dir = self.root / f"v{FORMAT_VERSION}"
+        self._version_dir.mkdir(parents=True, exist_ok=True)
+        # The store deserialises pickles, so its directory is a trust
+        # boundary: anyone who can write it can execute code in every
+        # process that reads it.  Keep it private to the owning user
+        # (best effort — e.g. FAT filesystems have no mode bits).
+        try:
+            os.chmod(self.root, 0o700)
+        except OSError:
+            pass
+        self._entries_memo: Optional[Tuple[float, int]] = None
+        self._counters: Dict[str, int] = {
+            "loads": 0,
+            "load_hits": 0,
+            "load_misses": 0,
+            "writes": 0,
+            "corrupt_dropped": 0,
+            "skipped_unpicklable": 0,
+            "errors": 0,
+        }
+
+    # -- key -> path mapping ----------------------------------------------------------
+
+    def path_for(self, key_hash: str, kind: str) -> Path:
+        """The on-disk location of the entry for ``(key_hash, kind)``."""
+        return self._version_dir / _kind_slug(kind) / key_hash[:2] / f"{key_hash}.art"
+
+    # -- ArtifactStoreBackend protocol ------------------------------------------------
+
+    def load(self, key_hash: str, kind: str) -> Tuple[bool, Any]:
+        """Read and verify one entry; corrupt entries count as misses and are dropped."""
+        self._counters["loads"] += 1
+        path = self.path_for(key_hash, kind)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._counters["load_misses"] += 1
+            return False, None
+        value, ok = self._decode(blob)
+        if not ok:
+            self._counters["corrupt_dropped"] += 1
+            self._counters["load_misses"] += 1
+            self._unlink_quietly(path)
+            return False, None
+        self._counters["load_hits"] += 1
+        return True, value
+
+    def discard(self, key_hash: str) -> int:
+        """Remove every kind stored under ``key_hash``; returns the count.
+
+        Backs :meth:`ArtifactCache.invalidate` for store-backed caches; the
+        scan is one glob per kind directory, not a full store walk.
+        """
+        removed = 0
+        for path in self._version_dir.glob(f"*/{key_hash[:2]}/{key_hash}.art"):
+            self._unlink_quietly(path)
+            removed += 1
+        return removed
+
+    def store(self, key_hash: str, kind: str, value: Any) -> None:
+        """Atomically persist one entry; never raises (best-effort tier)."""
+        try:
+            payload = pickle.dumps(value, protocol=self.protocol)
+        except Exception:  # noqa: BLE001 - unpicklable artifacts are skipped
+            self._counters["skipped_unpicklable"] += 1
+            return
+        blob = self._encode(payload)
+        path = self.path_for(key_hash, kind)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key_hash[:8]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                os.replace(temp_name, path)
+            except BaseException:
+                self._unlink_quietly(Path(temp_name))
+                raise
+            self._counters["writes"] += 1
+        except OSError:
+            self._counters["errors"] += 1
+
+    # -- wire format ------------------------------------------------------------------
+
+    def _encode(self, payload: bytes) -> bytes:
+        digest = hashlib.sha256(payload).digest()
+        buffer = io.BytesIO()
+        buffer.write(MAGIC)
+        buffer.write(_HEADER.pack(FORMAT_VERSION, len(payload), digest))
+        buffer.write(payload)
+        return buffer.getvalue()
+
+    @staticmethod
+    def _decode(blob: bytes) -> Tuple[Any, bool]:
+        """``(value, ok)``; ``ok`` is false for torn/corrupt/foreign content."""
+        header_end = len(MAGIC) + _HEADER.size
+        if len(blob) < header_end or not blob.startswith(MAGIC):
+            return None, False
+        version, length, digest = _HEADER.unpack_from(blob, len(MAGIC))
+        payload = blob[header_end:]
+        if version != FORMAT_VERSION or len(payload) != length:
+            return None, False
+        if hashlib.sha256(payload).digest() != digest:
+            return None, False
+        try:
+            return pickle.loads(payload), True
+        except Exception:  # noqa: BLE001 - stale classes, truncated pickles, ...
+            return None, False
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        key_hash, kind = key
+        return self.path_for(key_hash, kind).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def _entry_paths(self) -> Iterator[Path]:
+        yield from self._version_dir.glob("*/*/*.art")
+
+    def _unlink_quietly(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def sweep_temp_files(self) -> int:
+        """Remove temporary files abandoned by crashed writers; returns the count."""
+        removed = 0
+        for leftover in self._version_dir.glob("*/*/.*.tmp*"):
+            self._unlink_quietly(leftover)
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry of the current format version; returns the count."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            self._unlink_quietly(path)
+            removed += 1
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total payload bytes currently on disk (entries of this version)."""
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    #: How long a counted on-disk entry total stays fresh in :meth:`stats`.
+    ENTRIES_MEMO_TTL_S = 15.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Process-local operation counters plus the on-disk entry count.
+
+        Counting entries walks the store directory (O(entries)); the count is
+        memoised for :data:`ENTRIES_MEMO_TTL_S` so a monitoring loop polling
+        ``/health`` does not turn into a continuous filesystem scan.  Writes
+        through this handle refresh the memo opportunistically.
+        """
+        now = time.monotonic()
+        if self._entries_memo is None or now - self._entries_memo[0] > self.ENTRIES_MEMO_TTL_S:
+            self._entries_memo = (now, len(self))
+        stats: Dict[str, Any] = dict(self._counters)
+        stats["entries"] = self._entries_memo[1]
+        stats["root"] = str(self.root)
+        stats["format_version"] = FORMAT_VERSION
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskArtifactStore(root={str(self.root)!r})"
+
+
+def open_store(path: "Optional[str | os.PathLike[str]]") -> Optional[DiskArtifactStore]:
+    """``DiskArtifactStore(path)`` or ``None`` when no path is configured."""
+    return DiskArtifactStore(path) if path is not None else None

@@ -1,0 +1,423 @@
+"""Job execution: worker pool, and scenario sweeps partitioned over processes.
+
+Two layers live here:
+
+* :func:`run_parallel_sweep` delivers the ROADMAP's "parallel sweeps" item:
+  the scenario grid is split into contiguous chunks, each chunk runs through
+  an ordinary :class:`~repro.scenarios.sweep.SweepExecutor` in its own
+  process, and the per-worker sessions share artifacts through one
+  :class:`~repro.service.store.DiskArtifactStore` instead of one in-memory
+  cache — subtree cut sets and structure-keyed BDDs computed by any worker
+  (or a previous run) are disk hits for every other worker.  The merged
+  :class:`~repro.scenarios.report.ScenarioReport` is canonically identical
+  to a sequential run over the same grid
+  (:meth:`~repro.scenarios.report.ScenarioReport.to_canonical_dict`).
+* :class:`JobRunner` / :class:`WorkerPool` execute the queued jobs of
+  :class:`~repro.service.jobs.JobQueue`: each pool thread owns a runner with
+  a persistent store-backed :class:`~repro.api.session.AnalysisSession`, so
+  repeated jobs over structurally similar trees get warmer and warmer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.cache import ArtifactCache
+from repro.api.report import AnalysisRequest
+from repro.api.session import AnalysisSession
+from repro.exceptions import ReproError
+from repro.fta.parsers.json_format import parse_json_document
+from repro.fta.tree import FaultTree
+from repro.scenarios.report import ScenarioReport
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.serialization import scenarios_from_spec
+from repro.scenarios.sweep import DEFAULT_ANALYSES, DEFAULT_BACKEND, SweepExecutor
+from repro.service.jobs import Job, JobError, JobQueue
+from repro.service.store import DiskArtifactStore, open_store
+
+__all__ = [
+    "JobRunner",
+    "WorkerPool",
+    "merge_scenario_reports",
+    "run_parallel_sweep",
+]
+
+
+def _merge_cache_stats(parts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum per-worker :meth:`ArtifactCache.stats` snapshots field-wise."""
+    merged: Dict[str, Any] = {
+        "entries": 0,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "by_kind": {},
+    }
+    for part in parts:
+        for counter in ("entries", "hits", "misses", "evictions", "store_hits", "store_misses"):
+            if counter in part:
+                merged[counter] = merged.get(counter, 0) + part[counter]
+        for kind, counters in part.get("by_kind", {}).items():
+            slot = merged["by_kind"].setdefault(kind, {})
+            for counter, value in counters.items():
+                slot[counter] = slot.get(counter, 0) + value
+    return merged
+
+
+def merge_scenario_reports(reports: Sequence[ScenarioReport]) -> ScenarioReport:
+    """Merge per-chunk sweep reports (in chunk order) into one report.
+
+    Every chunk analysed the same base tree with the same configuration, so
+    the base sections are interchangeable; the first report contributes them,
+    the outcomes concatenate in order, and the cache statistics sum.
+    """
+    if not reports:
+        raise ReproError("cannot merge an empty list of scenario reports")
+    head = reports[0]
+    merged = ScenarioReport(
+        tree_name=head.tree_name,
+        analyses=head.analyses,
+        backend=head.backend,
+        incremental=head.incremental,
+        base=head.base,
+        base_top_event=head.base_top_event,
+        base_mpmcs_events=head.base_mpmcs_events,
+        base_mpmcs_probability=head.base_mpmcs_probability,
+    )
+    for report in reports:
+        merged.outcomes.extend(report.outcomes)
+    merged.cache_stats = _merge_cache_stats([report.cache_stats for report in reports])
+    merged.total_time_s = sum(report.total_time_s for report in reports)
+    return merged
+
+
+def _partition(items: Sequence[Any], parts: int) -> List[Sequence[Any]]:
+    """Split ``items`` into at most ``parts`` contiguous, order-preserving chunks."""
+    parts = max(1, min(parts, len(items)))
+    base, extra = divmod(len(items), parts)
+    chunks: List[Sequence[Any]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def _sweep_chunk(
+    payload: Tuple[int, FaultTree, Sequence[Scenario], Dict[str, Any]]
+) -> Tuple[int, ScenarioReport]:
+    """Process-pool worker: run one scenario chunk with a store-backed session."""
+    index, tree, scenarios, config = payload
+    cache = ArtifactCache(
+        max_entries=config.get("cache_max_entries"),
+        backend=open_store(config.get("store_path")),
+    )
+    executor = SweepExecutor(
+        AnalysisSession(cache=cache),
+        incremental=config.get("incremental", True),
+        backend=config.get("backend", DEFAULT_BACKEND),
+        exact_top_event=config.get("exact_top_event", True),
+    )
+    report = executor.run(
+        tree,
+        scenarios,
+        analyses=config.get("analyses", DEFAULT_ANALYSES),
+        top_k=config.get("top_k", 5),
+        samples=config.get("samples", 0),
+        seed=config.get("seed", 0),
+    )
+    return index, report
+
+
+def run_parallel_sweep(
+    tree: FaultTree,
+    scenarios: Sequence[Scenario],
+    *,
+    workers: int,
+    store_path: Optional[str] = None,
+    analyses: Sequence[str] = DEFAULT_ANALYSES,
+    backend: str = DEFAULT_BACKEND,
+    incremental: bool = True,
+    exact_top_event: bool = True,
+    top_k: int = 5,
+    samples: int = 0,
+    seed: int = 0,
+    cache_max_entries: Optional[int] = None,
+    session: Optional[AnalysisSession] = None,
+) -> ScenarioReport:
+    """Evaluate a scenario sweep partitioned over ``workers`` processes.
+
+    Results are canonically identical to the sequential
+    :class:`SweepExecutor` on the same grid — compare
+    :meth:`ScenarioReport.to_canonical_dict` — because every chunk runs the
+    unmodified sequential executor; parallelism only changes *where* the
+    scenarios run and lets artifacts flow through the shared ``store_path``
+    instead of one in-memory cache.  ``workers <= 1`` (or a platform without
+    subprocess support) degrades to one in-process sequential sweep over a
+    store-backed session.
+    """
+    scenario_list = list(scenarios)
+    started = time.perf_counter()
+    config = {
+        "store_path": store_path,
+        "analyses": tuple(analyses),
+        "backend": backend,
+        "incremental": incremental,
+        "exact_top_event": exact_top_event,
+        "top_k": top_k,
+        "samples": samples,
+        "seed": seed,
+        "cache_max_entries": cache_max_entries,
+    }
+
+    if workers > 1 and len(scenario_list) > 1:
+        if store_path is not None:
+            # Warm the store with the base analysis before fanning out: on a
+            # cold store every chunk would otherwise race through the same
+            # expensive base computation (subtree cut sets, BDD) and N-1 of
+            # the results would be discarded by the merge.  On a warm store
+            # this pass is almost entirely disk hits.
+            warm_cache = ArtifactCache(
+                max_entries=cache_max_entries, backend=open_store(store_path)
+            )
+            SweepExecutor(
+                AnalysisSession(cache=warm_cache),
+                incremental=incremental,
+                backend=backend,
+                exact_top_event=exact_top_event,
+            ).run(tree, [], analyses=analyses, top_k=top_k, samples=samples, seed=seed)
+        chunks = _partition(scenario_list, workers)
+        payloads = [(index, tree, chunk, config) for index, chunk in enumerate(chunks)]
+        try:
+            # Spawn, not fork: the service calls this from worker threads, and
+            # forking a multithreaded process can deadlock a child on a lock
+            # some other thread held at fork time (CPython 3.12+ deprecates
+            # exactly that).  The interpreter-startup cost per worker is
+            # amortised over the chunk.
+            with ProcessPoolExecutor(
+                max_workers=len(chunks),
+                mp_context=multiprocessing.get_context("spawn"),
+            ) as pool:
+                parts = sorted(pool.map(_sweep_chunk, payloads), key=lambda item: item[0])
+        except (OSError, BrokenProcessPool):
+            # Degrade to the sequential path below.  This fires when workers
+            # cannot come up at all — sandboxes without subprocess support
+            # (OSError), interactive/stdin ``__main__`` contexts that spawn
+            # cannot re-import (BrokenProcessPool at startup) — and also if
+            # the pool breaks mid-run (e.g. an OOM-killed worker): completed
+            # chunk work is then discarded and the grid re-runs in-process,
+            # trading wall-clock for a correct, complete report.  Analysis
+            # errors never surface as either type (per-scenario failures are
+            # captured in the outcomes).
+            parts = None
+        if parts is not None:
+            merged = merge_scenario_reports([report for _, report in parts])
+            merged.total_time_s = time.perf_counter() - started
+            return merged
+
+    if session is None:
+        cache = ArtifactCache(
+            max_entries=cache_max_entries, backend=open_store(store_path)
+        )
+        session = AnalysisSession(cache=cache)
+    executor = SweepExecutor(
+        session, incremental=incremental, backend=backend, exact_top_event=exact_top_event
+    )
+    return executor.run(
+        tree, scenario_list, analyses=analyses, top_k=top_k, samples=samples, seed=seed
+    )
+
+
+class JobRunner:
+    """Executes queued jobs against a persistent store-backed session.
+
+    One runner per worker thread: the session (and its memory cache tier) is
+    reused across jobs, while the disk store shares artifacts with every
+    other runner, process and past service run.
+    """
+
+    def __init__(
+        self,
+        *,
+        store_path: Optional[str] = None,
+        store: Optional[DiskArtifactStore] = None,
+        cache_max_entries: Optional[int] = None,
+        sweep_workers: int = 0,
+        mode: str = "thread",
+    ) -> None:
+        if store is None:
+            store = open_store(store_path)
+        elif store_path is None:
+            store_path = str(store.root)
+        self.store_path = store_path
+        self.cache_max_entries = cache_max_entries
+        self.sweep_workers = sweep_workers
+        self.session = AnalysisSession(
+            mode=mode,
+            cache=ArtifactCache(max_entries=cache_max_entries, backend=store),
+        )
+
+    # -- payload decoding -------------------------------------------------------------
+
+    @staticmethod
+    def _tree_from(payload: Dict[str, Any]) -> FaultTree:
+        document = payload.get("tree")
+        if not isinstance(document, dict):
+            raise JobError("job payload needs a 'tree' JSON document")
+        return parse_json_document(document)
+
+    @staticmethod
+    def _request_from(payload: Dict[str, Any]) -> AnalysisRequest:
+        # The job payload is a superset of the request document (extra keys
+        # like "tree" are ignored by from_dict), so the wire decode is the
+        # report module's own inverse — one place defines the fields.
+        return AnalysisRequest.from_dict(payload)
+
+    # -- job kinds --------------------------------------------------------------------
+
+    def execute(self, job: Job) -> Dict[str, Any]:
+        """Run one claimed job and return its JSON-serialisable result."""
+        if job.kind == "analyze":
+            return self._run_analyze(job.payload)
+        if job.kind == "batch":
+            return self._run_batch(job.payload)
+        if job.kind == "sweep":
+            return self._run_sweep(job.payload)
+        raise JobError(f"unknown job kind {job.kind!r}")
+
+    def _run_analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        tree = self._tree_from(payload)
+        report = self.session.run(tree, self._request_from(payload))
+        return {"kind": "analyze", "tree": tree.name, "report": report.to_dict()}
+
+    def _run_batch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        documents = payload.get("trees")
+        if not isinstance(documents, list) or not documents:
+            raise JobError("batch job payload needs a non-empty 'trees' list")
+        request = self._request_from(payload)
+        items: List[Dict[str, Any]] = []
+        for index, document in enumerate(documents):
+            try:
+                tree = parse_json_document(document)
+                report = self.session.run(tree, request)
+                items.append(
+                    {"index": index, "tree": tree.name, "ok": True, "report": report.to_dict()}
+                )
+            except Exception as exc:  # noqa: BLE001 - failures are data in a batch
+                name = document.get("name", f"#{index}") if isinstance(document, dict) else f"#{index}"
+                items.append({"index": index, "tree": name, "ok": False, "error": str(exc)})
+        return {
+            "kind": "batch",
+            "num_ok": sum(1 for item in items if item["ok"]),
+            "items": items,
+        }
+
+    def _run_sweep(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        tree = self._tree_from(payload)
+        spec = payload.get("scenarios")
+        if spec is None:
+            raise JobError("sweep job payload needs a 'scenarios' list or family spec")
+        scenarios = scenarios_from_spec(spec)
+        # A missing/zero workers field means "use the service default" (the
+        # CLI always sends the key, with 0 when the user did not choose).
+        workers = int(payload.get("workers") or 0) or self.sweep_workers
+        report = run_parallel_sweep(
+            tree,
+            scenarios,
+            workers=workers,
+            store_path=self.store_path,
+            analyses=tuple(payload.get("analyses", DEFAULT_ANALYSES)),
+            backend=payload.get("backend", DEFAULT_BACKEND),
+            incremental=bool(payload.get("incremental", True)),
+            exact_top_event=bool(payload.get("exact_top_event", True)),
+            top_k=int(payload.get("top_k", 5)),
+            samples=int(payload.get("samples", 0)),
+            seed=int(payload.get("seed", 0)),
+            cache_max_entries=self.cache_max_entries,
+            session=self.session if workers <= 1 else None,
+        )
+        return {
+            "kind": "sweep",
+            "tree": tree.name,
+            "workers": workers,
+            "num_scenarios": len(report),
+            "report": report.to_dict(),
+        }
+
+
+class WorkerPool:
+    """Threads draining a :class:`JobQueue`, one :class:`JobRunner` each.
+
+    Analysis is CPU-bound pure Python, so thread-level parallelism mostly
+    provides job-level concurrency (a long sweep does not block a quick
+    status-probe analysis); true parallel compute comes from the process
+    fan-out inside sweep jobs (``workers`` in the sweep payload) and the
+    MaxSAT portfolio's own process mode.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        workers: int = 2,
+        store_path: Optional[str] = None,
+        store: Optional[DiskArtifactStore] = None,
+        cache_max_entries: Optional[int] = None,
+        sweep_workers: int = 0,
+        poll_interval: float = 0.2,
+    ) -> None:
+        if workers < 1:
+            raise JobError(f"worker pool needs at least one worker, got {workers}")
+        self.queue = queue
+        self.num_workers = workers
+        # One store handle shared by every runner (and the service's health
+        # view): the handle is just counters + path mapping, and sharing it
+        # makes its statistics reflect the whole pool.
+        self._runner_config = {
+            "store_path": store_path,
+            "store": store if store is not None else open_store(store_path),
+            "cache_max_entries": cache_max_entries,
+            "sweep_workers": sweep_workers,
+        }
+        self._poll_interval = poll_interval
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> "WorkerPool":
+        if self._threads:
+            raise JobError("worker pool already started")
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _worker_loop(self) -> None:
+        runner = JobRunner(**self._runner_config)
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=self._poll_interval)
+            if job is None:
+                continue
+            try:
+                result = runner.execute(job)
+            except Exception as exc:  # noqa: BLE001 - job failures are results
+                self.queue.fail(job.id, str(exc))
+            else:
+                self.queue.finish(job.id, result)
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        """Stop accepting work and join the worker threads."""
+        self._stop.set()
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()

@@ -79,4 +79,127 @@ class TestArtifactCache:
         cache.get_or_compute(tree, "kind", lambda: None)
         stats = cache.stats()
         assert stats["entries"] == 1
-        assert stats["by_kind"]["kind"] == {"hits": 0, "misses": 1}
+        assert stats["evictions"] == 0
+        assert stats["by_kind"]["kind"] == {"hits": 0, "misses": 1, "evictions": 0}
+
+
+class _DictBackend:
+    """In-memory ArtifactStoreBackend double with call recording."""
+
+    def __init__(self):
+        self.entries = {}
+        self.loads = []
+        self.stores = []
+
+    def load(self, key_hash, kind):
+        self.loads.append((key_hash, kind))
+        key = (key_hash, kind)
+        if key in self.entries:
+            return True, self.entries[key]
+        return False, None
+
+    def store(self, key_hash, kind, value):
+        self.stores.append((key_hash, kind))
+        self.entries[(key_hash, kind)] = value
+
+
+class TestBoundedCache:
+    """The LRU entry cap — a long sweep must not grow the cache without limit."""
+
+    def test_eviction_past_cap(self):
+        cache = ArtifactCache(max_entries=2)
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "a", lambda: 1)
+        cache.get_or_compute(tree, "b", lambda: 2)
+        cache.get_or_compute(tree, "c", lambda: 3)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.stats()["by_kind"]["a"]["evictions"] == 1
+
+    def test_lru_order_respects_recent_hits(self):
+        cache = ArtifactCache(max_entries=2)
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "a", lambda: 1)
+        cache.get_or_compute(tree, "b", lambda: 2)
+        cache.get_or_compute(tree, "a", lambda: 0)  # refresh "a"
+        cache.get_or_compute(tree, "c", lambda: 3)  # evicts "b", not "a"
+        calls = []
+        cache.get_or_compute(tree, "a", lambda: calls.append(1))
+        assert not calls, '"a" must have survived as most recently used'
+
+    def test_long_sweep_stays_under_cap(self):
+        """Satellite acceptance: a long sweep's session cache respects the cap."""
+        from repro.api.session import AnalysisSession
+        from repro.scenarios import SweepExecutor, probability_sweep
+
+        cap = 24
+        cache = ArtifactCache(max_entries=cap)
+        executor = SweepExecutor(AnalysisSession(cache=cache))
+        tree = fire_protection_system()
+        report = executor.run(
+            tree, probability_sweep("x1", start=1e-4, stop=0.5, steps=120)
+        )
+        assert len(report) == 120
+        assert len(cache) <= cap
+        assert cache.stats()["entries"] <= cap
+        # The sweep results are unaffected by the bound: spot-check monotone
+        # top-event growth along the (increasing) probability sweep.
+        tops = [outcome.top_event for outcome in report.ok_outcomes]
+        assert all(a <= b + 1e-15 for a, b in zip(tops, tops[1:]))
+
+    def test_unbounded_by_default(self):
+        cache = ArtifactCache()
+        tree = fire_protection_system()
+        for index in range(50):
+            cache.get_or_compute(tree, f"kind-{index}", lambda: index)
+        assert len(cache) == 50 and cache.evictions == 0
+
+
+class TestBackendTier:
+    """The ArtifactStoreBackend hook: probe on miss, write through on compute."""
+
+    def test_miss_probes_backend_and_writes_through(self):
+        backend = _DictBackend()
+        cache = ArtifactCache(backend=backend)
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "kind", lambda: "computed")
+        assert backend.loads and backend.stores  # probed, then persisted
+        assert cache.store_misses == 1 and cache.store_hits == 0
+
+    def test_backend_hit_skips_compute(self):
+        backend = _DictBackend()
+        first = ArtifactCache(backend=backend)
+        tree = fire_protection_system()
+        first.get_or_compute(tree, "kind", lambda: "computed")
+
+        second = ArtifactCache(backend=backend)  # fresh memory tier, same backend
+        calls = []
+        value = second.get_or_compute(tree, "kind", lambda: calls.append(1) or "recomputed")
+        assert value == "computed" and not calls
+        assert second.store_hits == 1
+        stats = second.stats()
+        assert stats["store_hits"] == 1 and stats["store_misses"] == 0
+
+    def test_backend_hit_promotes_to_memory(self):
+        backend = _DictBackend()
+        cache = ArtifactCache(backend=backend)
+        tree = fire_protection_system()
+        backend.entries[(cache.key_for(tree), "kind")] = "persisted"
+        cache.get_or_compute(tree, "kind", lambda: "recomputed")
+        cache.get_or_compute(tree, "kind", lambda: "recomputed")
+        assert cache.hits == 1  # second probe answered by memory, not backend
+        assert len(backend.loads) == 1
+
+    def test_put_does_not_write_through(self):
+        backend = _DictBackend()
+        cache = ArtifactCache(backend=backend)
+        tree = fire_protection_system()
+        cache.put(tree, "kind", "seeded")
+        assert not backend.stores
+        calls = []
+        assert cache.get_or_compute(tree, "kind", lambda: calls.append(1)) == "seeded"
+        assert not calls
+
+    def test_stats_hide_store_counters_without_backend(self):
+        cache = ArtifactCache()
+        assert "store_hits" not in cache.stats()

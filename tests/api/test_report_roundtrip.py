@@ -1,0 +1,124 @@
+"""JSON round-trip of AnalysisReport and its summary inverses.
+
+The service transports reports as ``to_dict()`` JSON; these tests pin the
+inverse: ``AnalysisReport.from_dict(r.to_dict(), tree=t).to_dict()`` is
+byte-identical to ``r.to_dict()`` (via ``json.dumps(sort_keys=True)``), for
+every analysis section and across randomly generated trees.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import AnalysisReport, AnalysisRequest, AnalysisSession, MPMCSSummary, TopEventSummary
+from repro.workloads.generator import random_fault_tree
+from repro.workloads.library import fire_protection_system
+
+ALL_ANALYSES = ["mpmcs", "ranking", "mcs", "top_event", "importance", "spof", "modules", "truncation"]
+
+
+def _dumps(document):
+    return json.dumps(document, sort_keys=True)
+
+
+def _roundtrip(report, tree):
+    document = report.to_dict()
+    rebuilt = AnalysisReport.from_dict(document, tree=tree)
+    assert _dumps(rebuilt.to_dict()) == _dumps(document)
+    return rebuilt
+
+
+class TestFig1RoundTrip:
+    def test_full_report_roundtrip(self):
+        tree = fire_protection_system()
+        report = AnalysisSession().analyze(tree, ALL_ANALYSES, samples=400, seed=7)
+        rebuilt = _roundtrip(report, tree)
+        assert rebuilt.mpmcs.events == ("x1", "x2")
+        assert rebuilt.top_event.exact == report.top_event.exact
+        assert rebuilt.request == report.request
+
+    def test_roundtrip_without_tree_keeps_summaries(self):
+        tree = fire_protection_system()
+        report = AnalysisSession().analyze(tree, ["mpmcs", "top_event"])
+        rebuilt = AnalysisReport.from_dict(report.to_dict())
+        assert rebuilt.tree is None
+        assert rebuilt.tree_name == tree.name
+        assert rebuilt.mpmcs.events == ("x1", "x2")
+        assert rebuilt.top_event.to_dict() == report.top_event.to_dict()
+        # The legacy bridge needs probabilities, which only the tree has.
+        assert rebuilt.mpmcs_result is None
+
+    def test_single_backend_roundtrips(self):
+        tree = fire_protection_system()
+        for backend in ("maxsat", "mocus", "bdd", "brute-force"):
+            report = AnalysisSession().analyze(tree, ["mpmcs"], backend=backend)
+            _roundtrip(report, tree)
+
+
+class TestSummaryInverses:
+    def test_mpmcs_summary_inverse(self):
+        summary = MPMCSSummary(
+            events=("a", "b"), probability=0.02, cost=3.912, backend="maxsat",
+            engine="rc2", solve_time=0.01, total_time=0.05,
+        )
+        rebuilt = MPMCSSummary.from_dict(summary.to_dict())
+        assert rebuilt == summary
+
+    def test_top_event_summary_inverse_without_monte_carlo(self):
+        summary = TopEventSummary(
+            exact=0.03, rare_event_bound=0.031, min_cut_upper_bound=0.0305, backend="bdd+mocus"
+        )
+        assert TopEventSummary.from_dict(summary.to_dict()) == summary
+
+    def test_top_event_summary_inverse_with_monte_carlo(self):
+        tree = fire_protection_system()
+        report = AnalysisSession().analyze(tree, ["top_event"], samples=500, seed=3)
+        rebuilt = TopEventSummary.from_dict(report.top_event.to_dict())
+        assert rebuilt.to_dict() == report.top_event.to_dict()
+        assert rebuilt.monte_carlo.samples == 500
+
+    def test_request_inverse(self):
+        request = AnalysisRequest.create(
+            ["mpmcs", "ranking"], backend="maxsat", top_k=7, samples=100,
+            seed=5, cutoff=1e-6, deterministic=False,
+        )
+        assert AnalysisRequest.from_dict(request.to_dict()) == request
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_events=st.integers(min_value=5, max_value=14),
+        analyses=st.lists(
+            st.sampled_from(["mpmcs", "ranking", "mcs", "top_event", "importance"]),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ),
+    )
+    def test_random_tree_reports_roundtrip(self, seed, num_events, analyses):
+        tree = random_fault_tree(num_basic_events=num_events, seed=seed)
+        session = AnalysisSession()
+        report = session.analyze(tree, analyses, backend="mocus")
+        _roundtrip(report, tree)
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        probability=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+        events=st.lists(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=4), min_size=1, max_size=4, unique=True
+        ),
+    )
+    def test_mpmcs_summary_property(self, probability, events):
+        summary = MPMCSSummary(
+            events=tuple(sorted(events)),
+            probability=probability,
+            cost=-1.0,
+            backend="test",
+        )
+        rebuilt = MPMCSSummary.from_dict(summary.to_dict())
+        assert rebuilt == summary
+        assert _dumps(rebuilt.to_dict()) == _dumps(summary.to_dict())

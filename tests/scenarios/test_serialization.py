@@ -1,0 +1,142 @@
+"""Patch/scenario JSON round-trip and sweep-spec expansion (the wire format)."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.scenarios import (
+    AddRedundancy,
+    AddSpareChild,
+    ApplyCCF,
+    Harden,
+    RemoveEvent,
+    ScaleMissionTime,
+    ScaleProbability,
+    Scenario,
+    SetProbability,
+    SetVotingThreshold,
+    patch_from_dict,
+    patch_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+    scenarios_from_spec,
+)
+
+ALL_PATCHES = [
+    SetProbability("x1", 0.01),
+    ScaleProbability("x2", 2.5),
+    Harden("x3"),
+    Harden("x3", factor=0.2),
+    Harden("x3", probability=1e-4),
+    ScaleMissionTime(4.0),
+    RemoveEvent("x4"),
+    AddRedundancy("x5"),
+    AddRedundancy("x5", copies=3, probability=0.002),
+    AddSpareChild("g1", 0.01),
+    AddSpareChild("g1", 0.01, name="spare-unit"),
+    SetVotingThreshold("g2", 3),
+    ApplyCCF("pumps", ["p1", "p2", "p3"], 0.1),
+]
+
+
+class TestPatchRoundTrip:
+    @pytest.mark.parametrize("patch", ALL_PATCHES, ids=lambda p: p.label)
+    def test_every_patch_type_roundtrips(self, patch):
+        document = patch_to_dict(patch)
+        rebuilt = patch_from_dict(document)
+        assert rebuilt == patch  # frozen dataclasses: field-wise equality
+        assert patch_to_dict(rebuilt) == document
+
+    def test_optional_fields_omitted_when_none(self):
+        document = patch_to_dict(Harden("x1"))
+        assert document == {"type": "harden", "event": "x1"}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError, match="unknown patch type"):
+            patch_from_dict({"type": "teleport", "event": "x1"})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ReproError, match="missing the required field"):
+            patch_from_dict({"type": "set_probability", "event": "x1"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError, match="unknown fields"):
+            patch_from_dict({"type": "remove_event", "event": "x1", "extra": 1})
+
+    def test_untagged_document_rejected(self):
+        with pytest.raises(ReproError, match="'type' tag"):
+            patch_from_dict({"event": "x1"})
+
+
+class TestScenarioRoundTrip:
+    def test_scenario_roundtrips(self):
+        scenario = Scenario(
+            "mitigate", [Harden("x1", factor=0.1), AddRedundancy("x2")],
+            description="harden the sensor and duplicate the pump",
+        )
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt == scenario
+        assert rebuilt.describe() == scenario.describe()
+
+    def test_description_omitted_when_empty(self):
+        document = scenario_to_dict(Scenario("s", [RemoveEvent("x1")]))
+        assert "description" not in document
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(ReproError):
+            scenario_from_dict({"name": "s"})  # no patches
+        with pytest.raises(ReproError):
+            scenario_from_dict({"patches": []})  # no name
+        with pytest.raises(ReproError):
+            scenario_from_dict({"name": "s", "patches": "nope"})
+
+
+class TestSpecExpansion:
+    def test_explicit_scenario_list(self):
+        scenarios = scenarios_from_spec(
+            [scenario_to_dict(Scenario("a", [SetProbability("x1", 0.5)]))]
+        )
+        assert [scenario.name for scenario in scenarios] == ["a"]
+
+    def test_probability_sweep_with_values(self):
+        scenarios = scenarios_from_spec(
+            {"family": "probability_sweep", "event": "x1", "values": [0.1, 0.2]}
+        )
+        assert [scenario.name for scenario in scenarios] == ["x1=0.1", "x1=0.2"]
+
+    def test_probability_sweep_with_range(self):
+        scenarios = scenarios_from_spec(
+            {"family": "probability_sweep", "event": "x1",
+             "start": 1e-3, "stop": 1e-1, "steps": 5}
+        )
+        assert len(scenarios) == 5
+        first = scenarios[0].patches[0]
+        assert isinstance(first, SetProbability) and first.event == "x1"
+        # sweep_values is log-spaced: the endpoint returns via exp(log(x)).
+        assert first.probability == pytest.approx(1e-3, rel=1e-12)
+
+    def test_scale_and_mission_time_and_ccf_families(self):
+        assert len(scenarios_from_spec(
+            {"family": "scale_sweep", "event": "x1", "factors": [0.5, 2.0]}
+        )) == 2
+        assert len(scenarios_from_spec(
+            {"family": "mission_time_sweep", "factors": [1, 2, 3]}
+        )) == 3
+        scenarios = scenarios_from_spec(
+            {"family": "ccf_beta_sweep", "group": "g", "members": ["a", "b"],
+             "betas": [0.05, 0.1]}
+        )
+        assert scenarios[0].patches[0] == ApplyCCF("g", ["a", "b"], 0.05)
+
+    def test_prefix_forwarded(self):
+        scenarios = scenarios_from_spec(
+            {"family": "mission_time_sweep", "factors": [2.0], "prefix": "mt"}
+        )
+        assert scenarios[0].name == "mt:mission-time*2"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ReproError, match="unknown sweep family"):
+            scenarios_from_spec({"family": "quantum_sweep"})
+
+    def test_rangeless_spec_rejected(self):
+        with pytest.raises(ReproError, match="'start'"):
+            scenarios_from_spec({"family": "probability_sweep", "event": "x1"})

@@ -140,3 +140,73 @@ class TestAcceptanceSweep:
         entries_after_small = len(executor.session.artifacts)
         executor.run(tree, probability_sweep("x2", start=1e-3, stop=0.5, steps=60))
         assert len(executor.session.artifacts) == entries_after_small
+
+
+class TestExactTopEventAtScale:
+    """ROADMAP item: BDD-exact P(top) in the sweep path beyond 20 cut sets."""
+
+    def _big_tree(self):
+        from repro.workloads.generator import random_fault_tree
+
+        tree = random_fault_tree(num_basic_events=40, seed=7)
+        # Guard the premise: the cut-set backends cap exact inclusion-
+        # exclusion at 20 cut sets, so this tree must exceed it.
+        collection = AnalysisSession().analyze(tree, ["mcs"], backend="mocus").cut_sets
+        assert len(collection) > 20
+        return tree
+
+    def test_sweep_reports_exact_value_beyond_cutset_cap(self):
+        tree = self._big_tree()
+        event = sorted(tree.events)[0]
+        report = SweepExecutor().run(tree, probability_sweep(event, [0.001, 0.01, 0.1]))
+        # Base and every scenario carry the exact value, cross-checked
+        # against a direct BDD analysis of the same tree.
+        bdd_exact = AnalysisSession().analyze(
+            tree, ["top_event"], backend="bdd"
+        ).top_event.exact
+        assert report.base.top_event.exact == pytest.approx(bdd_exact, rel=1e-12)
+        assert "bdd" in report.base.backends["top_event"]
+        for outcome in report.outcomes:
+            assert outcome.top_event is not None
+
+    def test_one_bdd_build_serves_probability_only_sweep(self):
+        from repro.api.cache import ARTIFACT_SUBTREE_BDD
+
+        tree = self._big_tree()
+        event = sorted(tree.events)[0]
+        session = AnalysisSession()
+        executor = SweepExecutor(session)
+        executor.run(tree, probability_sweep(event, [0.001, 0.01, 0.1, 0.2]))
+        # Probability patches keep the structure hash, so the BDD compiles
+        # once (one miss) and every later scenario re-evaluates it (hits).
+        assert session.artifacts.misses_for(ARTIFACT_SUBTREE_BDD) == 1
+        assert session.artifacts.hits_for(ARTIFACT_SUBTREE_BDD) >= 4
+
+    def test_exact_top_event_opt_out(self):
+        tree = self._big_tree()
+        event = sorted(tree.events)[0]
+        report = SweepExecutor(exact_top_event=False).run(
+            tree, probability_sweep(event, [0.01])
+        )
+        assert report.base.top_event.exact is None
+        assert report.base.top_event.min_cut_upper_bound is not None
+
+    def test_small_trees_unaffected(self):
+        """Below the cap the cut-set exact path already answers; no BDD runs."""
+        from repro.api.cache import ARTIFACT_SUBTREE_BDD
+
+        session = AnalysisSession()
+        SweepExecutor(session).run(
+            fire_protection_system(), probability_sweep("x1", [0.01, 0.1])
+        )
+        assert session.artifacts.misses_for(ARTIFACT_SUBTREE_BDD) == 0
+
+    def test_incremental_and_fresh_agree_with_exact_values(self):
+        tree = self._big_tree()
+        event = sorted(tree.events)[0]
+        scenarios = probability_sweep(event, [0.001, 0.05, 0.3])
+        incremental = SweepExecutor(incremental=True).run(tree, scenarios)
+        fresh = SweepExecutor(incremental=False).run(tree, scenarios)
+        for a, b in zip(incremental.outcomes, fresh.outcomes):
+            assert a.top_event == pytest.approx(b.top_event, rel=1e-12)
+            assert a.mpmcs_events == b.mpmcs_events

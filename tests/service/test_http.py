@@ -1,0 +1,169 @@
+"""HTTP front end: endpoints, wait-inline submissions, error codes."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.fta.serializers import to_json_document
+from repro.scenarios.serialization import scenario_to_dict
+from repro.scenarios.scenario import probability_sweep
+from repro.service.http import AnalysisService, ServiceClient, ServiceError, serve
+from repro.workloads.library import fire_protection_system
+
+
+@pytest.fixture(scope="module")
+def live_service(tmp_path_factory):
+    """One service + HTTP server shared by the module's tests."""
+    store = tmp_path_factory.mktemp("store")
+    service = AnalysisService(store_path=str(store), workers=2)
+    server = serve(service, port=0)
+    client = ServiceClient(f"http://127.0.0.1:{server.server_port}", timeout=120.0)
+    yield client
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+class TestEndpoints:
+    def test_health(self, live_service):
+        health = live_service.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert "jobs" in health and "store" in health
+
+    def test_backends(self, live_service):
+        backends = live_service.backends()
+        assert "maxsat" in backends and "mpmcs" in backends["maxsat"]
+
+    def test_analyze_submit_poll_fetch(self, live_service):
+        job = live_service.submit_analyze(
+            fire_protection_system(), analyses=["mpmcs", "top_event"]
+        )
+        assert job["status"] in ("queued", "running", "done")
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "done"
+        report = done["result"]["report"]
+        assert report["mpmcs"]["events"] == ["x1", "x2"]
+        assert report["top_event"]["exact"] == pytest.approx(0.030021740460)
+
+    def test_sweep_with_explicit_scenarios(self, live_service):
+        scenarios = [
+            scenario_to_dict(scenario)
+            for scenario in probability_sweep("x1", [0.001, 0.01, 0.1])
+        ]
+        job = live_service.submit_sweep(fire_protection_system(), scenarios)
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "done"
+        result = done["result"]
+        assert result["num_scenarios"] == 3
+        names = [outcome["name"] for outcome in result["report"]["scenarios"]]
+        assert names == ["x1=0.001", "x1=0.01", "x1=0.1"]
+
+    def test_sweep_with_family_spec(self, live_service):
+        job = live_service.submit_sweep(
+            fire_protection_system(),
+            {"family": "mission_time_sweep", "factors": [0.5, 1.0, 2.0]},
+        )
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "done"
+        assert done["result"]["num_scenarios"] == 3
+
+    def test_batch(self, live_service):
+        trees = [fire_protection_system(), fire_protection_system()]
+        job = live_service.submit_batch(trees, analyses=["mpmcs"])
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "done"
+        assert done["result"]["num_ok"] == 2
+
+    def test_wait_inline_submission(self, live_service):
+        """wait=true blocks the POST and returns the result in one round trip."""
+        document = {
+            "tree": to_json_document(fire_protection_system()),
+            "analyses": ["mpmcs"],
+            "wait": True,
+            "timeout": 60,
+        }
+        request = urllib.request.Request(
+            f"{live_service.base_url}/analyze",
+            data=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            assert response.status == 200
+            payload = json.loads(response.read())
+        assert payload["job"]["status"] == "done"
+        assert payload["job"]["result"]["report"]["mpmcs"]["events"] == ["x1", "x2"]
+
+    def test_jobs_listing(self, live_service):
+        live_service.wait(
+            live_service.submit_analyze(fire_protection_system())["id"], timeout=60.0
+        )
+        jobs = live_service.jobs()
+        assert jobs and all("id" in job and "status" in job for job in jobs)
+
+
+class TestErrors:
+    def test_malformed_tree_job_fails_cleanly(self, live_service):
+        job = live_service.submit_analyze({"name": "broken"})  # no top/events
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "failed"
+        assert done["error"]
+
+    def test_missing_tree_rejected_at_submit(self, live_service):
+        with pytest.raises(ServiceError, match="400"):
+            live_service._request("POST", "/analyze", {"analyses": ["mpmcs"]})
+
+    def test_sweep_without_scenarios_rejected(self, live_service):
+        with pytest.raises(ServiceError, match="400"):
+            live_service._request(
+                "POST", "/sweep", {"tree": to_json_document(fire_protection_system())}
+            )
+
+    def test_unknown_job_404(self, live_service):
+        with pytest.raises(ServiceError, match="404"):
+            live_service.job("job-999999")
+
+    def test_unknown_path_404(self, live_service):
+        with pytest.raises(ServiceError, match="404"):
+            live_service._request("GET", "/nope")
+
+    def test_non_numeric_timeout_rejected_before_enqueue(self, live_service):
+        jobs_before = len(live_service.jobs())
+        with pytest.raises(ServiceError, match="400"):
+            live_service._request(
+                "POST",
+                "/analyze",
+                {
+                    "tree": to_json_document(fire_protection_system()),
+                    "wait": True,
+                    "timeout": "soon",
+                },
+            )
+        # The invalid request must not have left an orphan job behind.
+        assert len(live_service.jobs()) == jobs_before
+
+    def test_invalid_json_body_400(self, live_service):
+        request = urllib.request.Request(
+            f"{live_service.base_url}/analyze",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+
+class TestCancelOverHTTP:
+    def test_cancel_queued_job(self, tmp_path):
+        # A service whose pool never starts: jobs stay queued and cancellable.
+        service = AnalysisService(store_path=None, workers=1)
+        server = serve(service, port=0, background=True, start_workers=False)
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.server_port}")
+            job = client.submit_analyze(fire_protection_system())
+            cancelled = client.cancel(job["id"])
+            assert cancelled["status"] == "cancelled"
+        finally:
+            server.shutdown()
+            server.server_close()

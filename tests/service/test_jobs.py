@@ -1,0 +1,165 @@
+"""Job queue semantics: FIFO order, state transitions, cancellation, trimming."""
+
+import threading
+
+import pytest
+
+from repro.service.jobs import JobError, JobQueue, JobStatus
+
+
+class TestSubmitClaim:
+    def test_fifo_order(self):
+        queue = JobQueue()
+        first = queue.submit("analyze", {"n": 1})
+        second = queue.submit("analyze", {"n": 2})
+        assert queue.claim(timeout=0).id == first.id
+        assert queue.claim(timeout=0).id == second.id
+        assert queue.claim(timeout=0) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobError):
+            JobQueue().submit("mystery", {})
+
+    def test_claim_marks_running_with_timestamp(self):
+        queue = JobQueue()
+        job = queue.submit("sweep", {})
+        claimed = queue.claim(timeout=0)
+        assert claimed.id == job.id
+        assert claimed.status is JobStatus.RUNNING
+        assert claimed.started_at is not None
+
+    def test_claim_blocks_until_submission(self):
+        queue = JobQueue()
+        claimed = []
+
+        def worker():
+            claimed.append(queue.claim(timeout=5.0))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        queue.submit("analyze", {})
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert claimed[0] is not None and claimed[0].status is JobStatus.RUNNING
+
+
+class TestSettlement:
+    def test_finish_carries_result(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+        queue.claim(timeout=0)
+        settled = queue.finish(job.id, {"answer": 42})
+        assert settled.status is JobStatus.DONE
+        assert settled.result == {"answer": 42}
+        assert settled.finished_at is not None
+
+    def test_fail_carries_error(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+        queue.claim(timeout=0)
+        settled = queue.fail(job.id, "boom")
+        assert settled.status is JobStatus.FAILED
+        assert settled.error == "boom"
+
+    def test_cannot_finish_unclaimed_job(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+        with pytest.raises(JobError):
+            queue.finish(job.id, {})
+
+    def test_wait_returns_settled_job(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+
+        def worker():
+            claimed = queue.claim(timeout=5.0)
+            queue.finish(claimed.id, {"ok": True})
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        settled = queue.wait(job.id, timeout=5.0)
+        thread.join()
+        assert settled.status is JobStatus.DONE
+
+    def test_wait_timeout_returns_current_state(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+        assert queue.wait(job.id, timeout=0.01).status is JobStatus.QUEUED
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+        cancelled = queue.cancel(job.id)
+        assert cancelled.status is JobStatus.CANCELLED
+        assert queue.claim(timeout=0) is None  # never handed to a worker
+
+    def test_cancel_running_job_rejected(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+        queue.claim(timeout=0)
+        with pytest.raises(JobError):
+            queue.cancel(job.id)
+
+    def test_unknown_id(self):
+        with pytest.raises(JobError):
+            JobQueue().get("job-999999")
+
+    def test_claim_survives_cancelled_job_trimmed_from_ledger(self):
+        """A cancelled id still in the pending deque must not kill a worker."""
+        queue = JobQueue(max_finished=2)
+        first = queue.submit("analyze", {})
+        second = queue.submit("analyze", {})
+        queue.claim(timeout=0)
+        queue.claim(timeout=0)  # both running; pending deque is empty
+        cancelled = queue.submit("analyze", {})
+        queue.cancel(cancelled.id)  # cancelled while its id is still pending
+        # Two settlements trim the cancelled entry from the ledger.
+        queue.finish(first.id, {})
+        queue.finish(second.id, {})
+        survivor = queue.submit("analyze", {})
+        claimed = queue.claim(timeout=0)  # must skip the dangling id, not KeyError
+        assert claimed is not None and claimed.id == survivor.id
+
+
+class TestLedger:
+    def test_finished_jobs_trimmed(self):
+        queue = JobQueue(max_finished=2)
+        ids = []
+        for index in range(4):
+            job = queue.submit("analyze", {"n": index})
+            queue.claim(timeout=0)
+            queue.finish(job.id, {})
+            ids.append(job.id)
+        remaining = {job.id for job in queue.jobs()}
+        assert ids[0] not in remaining and ids[1] not in remaining
+        assert ids[2] in remaining and ids[3] in remaining
+
+    def test_stats_counts(self):
+        queue = JobQueue()
+        queue.submit("analyze", {})
+        running = queue.submit("analyze", {})
+        queue.claim(timeout=0)  # claims the first
+        stats = queue.stats()
+        assert stats["queued"] == 1 and stats["running"] == 1 and stats["total"] == 2
+        assert running.status is JobStatus.QUEUED
+
+    def test_closed_queue_rejects_submissions_and_drains(self):
+        queue = JobQueue()
+        queue.submit("analyze", {})
+        queue.close()
+        with pytest.raises(JobError):
+            queue.submit("analyze", {})
+        assert queue.claim(timeout=0) is not None  # drains what was queued
+        assert queue.claim(timeout=0) is None
+
+    def test_to_dict_shape(self):
+        queue = JobQueue()
+        job = queue.submit("sweep", {"tree": {}})
+        document = job.to_dict()
+        assert document["id"] == job.id
+        assert document["kind"] == "sweep"
+        assert document["status"] == "queued"
+        assert "result" not in document
+        assert "result" in job.to_dict(include_result=True)

@@ -1,0 +1,260 @@
+"""Disk artifact store: format integrity, contention, crash and cold-start tests."""
+
+import os
+import pickle
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api.cache import ARTIFACT_CUT_SETS, ARTIFACT_SUBTREE_CUT_SETS, ArtifactCache
+from repro.api.session import AnalysisSession
+from repro.service.store import FORMAT_VERSION, MAGIC, DiskArtifactStore
+from repro.workloads.library import fire_protection_system
+
+KEY = "a" * 64
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        value = (frozenset({"x1", "x2"}), frozenset({"x5"}))
+        store.store(KEY, "cut-sets", value)
+        found, loaded = store.load(KEY, "cut-sets")
+        assert found and loaded == value
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        found, value = store.load("f" * 64, "cut-sets")
+        assert not found and value is None
+        assert store.stats()["load_misses"] == 1
+
+    def test_kinds_are_namespaced(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "kind-a", 1)
+        store.store(KEY, "kind-b", 2)
+        assert store.load(KEY, "kind-a") == (True, 1)
+        assert store.load(KEY, "kind-b") == (True, 2)
+        assert len(store) == 2
+
+    def test_unpicklable_value_is_skipped_not_raised(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "kind", lambda: None)  # lambdas don't pickle
+        assert store.stats()["skipped_unpicklable"] == 1
+        assert store.load(KEY, "kind")[0] is False
+
+    def test_second_store_handle_sees_entries(self, tmp_path):
+        DiskArtifactStore(tmp_path).store(KEY, "kind", {"v": 1})
+        assert DiskArtifactStore(tmp_path).load(KEY, "kind") == (True, {"v": 1})
+
+
+class TestCorruption:
+    """Torn and corrupt entries must read as misses and be dropped."""
+
+    def _entry_path(self, store: DiskArtifactStore) -> Path:
+        store.store(KEY, "kind", list(range(100)))
+        path = store.path_for(KEY, "kind")
+        assert path.is_file()
+        return path
+
+    def test_truncated_entry_detected_and_dropped(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        path = self._entry_path(store)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn write
+        found, _ = store.load(KEY, "kind")
+        assert not found
+        assert not path.exists(), "corrupt entry must be removed"
+        assert store.stats()["corrupt_dropped"] == 1
+
+    def test_bit_flip_in_payload_detected(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        path = self._entry_path(store)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.load(KEY, "kind")[0] is False
+
+    def test_foreign_file_detected(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        path = store.path_for(KEY, "kind")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an artifact at all")
+        assert store.load(KEY, "kind")[0] is False
+
+    def test_wrong_format_version_detected(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        path = self._entry_path(store)
+        blob = bytearray(path.read_bytes())
+        # The 4 bytes after the magic are the big-endian format version.
+        blob[len(MAGIC) : len(MAGIC) + 4] = (FORMAT_VERSION + 1).to_bytes(4, "big")
+        path.write_bytes(bytes(blob))
+        assert store.load(KEY, "kind")[0] is False
+
+    def test_raw_pickle_is_never_trusted(self, tmp_path):
+        """An unchecksummed file (e.g. from a foreign tool) must not load."""
+        store = DiskArtifactStore(tmp_path)
+        path = store.path_for(KEY, "kind")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"v": 1}))
+        assert store.load(KEY, "kind")[0] is False
+
+    def test_sweep_temp_files(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        path = store.path_for(KEY, "kind")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        (path.parent / f".{KEY[:8]}.abandoned.tmp").write_bytes(b"partial")
+        assert store.sweep_temp_files() == 1
+
+
+class TestContention:
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Racing writers of one content-addressed entry are benign."""
+        value = {"payload": list(range(500))}
+        errors = []
+
+        def hammer():
+            try:
+                store = DiskArtifactStore(tmp_path)
+                for _ in range(25):
+                    store.store(KEY, "kind", value)
+                    found, loaded = store.load(KEY, "kind")
+                    # os.replace is atomic: once any writer has published,
+                    # every read sees a complete, verified entry.
+                    assert found and loaded == value
+            except Exception as exc:  # noqa: BLE001 - collected for the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert DiskArtifactStore(tmp_path).load(KEY, "kind") == (True, value)
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        keys = [f"{index:02x}" * 32 for index in range(24)]
+        errors = []
+
+        def writer(part):
+            try:
+                store = DiskArtifactStore(tmp_path)
+                for key in part:
+                    store.store(key, "kind", {"key": key})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(keys[index::4],)) for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        store = DiskArtifactStore(tmp_path)
+        assert len(store) == len(keys)
+        for key in keys:
+            assert store.load(key, "kind") == (True, {"key": key})
+
+
+class TestColdStart:
+    """A fresh process must reuse artifacts a previous process computed."""
+
+    def test_cold_start_reuses_warm_store(self, tmp_path):
+        # Process 1: a real subprocess analyses the Fig. 1 tree against the store.
+        script = (
+            "from repro.api.cache import ArtifactCache\n"
+            "from repro.api.session import AnalysisSession\n"
+            "from repro.service.store import DiskArtifactStore\n"
+            "from repro.workloads.library import fire_protection_system\n"
+            f"cache = ArtifactCache(backend=DiskArtifactStore({str(tmp_path)!r}))\n"
+            "session = AnalysisSession(cache=cache)\n"
+            "report = session.analyze(fire_protection_system(),\n"
+            "                         ['mpmcs', 'top_event', 'mcs'], backend='mocus')\n"
+            "assert report.mpmcs.events == ('x1', 'x2')\n"
+            "print(cache.store_hits, cache.store_misses)\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        first = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert first.returncode == 0, first.stderr
+        assert DiskArtifactStore(tmp_path).stats()["entries"] > 0
+
+        # Process 2 (this one): a brand-new cache over the same store path.
+        cache = ArtifactCache(backend=DiskArtifactStore(tmp_path))
+        session = AnalysisSession(cache=cache)
+        report = session.analyze(
+            fire_protection_system(), ["mpmcs", "top_event", "mcs"], backend="mocus"
+        )
+        assert report.mpmcs.events == ("x1", "x2")
+        assert cache.store_hits > 0, "cold-start process must hit the warm store"
+        assert cache.misses_for(ARTIFACT_CUT_SETS) == 1  # memory miss ...
+        assert cache._store_hits.get(ARTIFACT_CUT_SETS, 0) == 1  # ... served by disk
+
+    def test_artifacts_survive_within_process_restart_simulation(self, tmp_path):
+        """Same-process equivalent (fast path covered without a subprocess)."""
+        first = ArtifactCache(backend=DiskArtifactStore(tmp_path))
+        AnalysisSession(cache=first).analyze(
+            fire_protection_system(), ["mcs"], backend="mocus"
+        )
+        assert first.store_hits == 0
+
+        second = ArtifactCache(backend=DiskArtifactStore(tmp_path))
+        AnalysisSession(cache=second).analyze(
+            fire_protection_system(), ["mcs"], backend="mocus"
+        )
+        assert second.store_hits > 0
+        assert second.stats()["store_hits"] == second.store_hits
+
+
+class TestInvalidation:
+    def test_invalidate_reaches_the_disk_tier(self, tmp_path):
+        """Explicit invalidation must not be undone by a stale disk re-fetch."""
+        store = DiskArtifactStore(tmp_path)
+        cache = ArtifactCache(backend=store)
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "kind", lambda: "stale")
+        assert cache.invalidate(tree) >= 1
+        # Both tiers are empty now: the next probe recomputes.
+        assert cache.get_or_compute(tree, "kind", lambda: "fresh") == "fresh"
+        assert cache.store_hits == 0
+
+    def test_memory_only_invalidation_keeps_disk_entries(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        cache = ArtifactCache(backend=store)
+        tree = fire_protection_system()
+        cache.get_or_compute(tree, "kind", lambda: "value")
+        cache.invalidate(tree, include_backend=False)
+        assert cache.get_or_compute(tree, "kind", lambda: "recomputed") == "value"
+        assert cache.store_hits == 1
+
+    def test_discard_removes_every_kind(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "kind-a", 1)
+        store.store(KEY, "kind-b", 2)
+        assert store.discard(KEY) == 2
+        assert store.load(KEY, "kind-a")[0] is False
+
+
+class TestStoreStats:
+    def test_stats_and_clear(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "kind", [1, 2, 3])
+        stats = store.stats()
+        assert stats["writes"] == 1
+        assert stats["entries"] == 1
+        assert stats["format_version"] == FORMAT_VERSION
+        assert store.size_bytes() > 0
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
