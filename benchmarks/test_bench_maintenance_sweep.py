@@ -1,0 +1,92 @@
+"""E11 — Maintenance-policy sweeps: repair-rate throughput, warm vs cold.
+
+A repair-rate sweep perturbs one component's reliability model and re-freezes
+it at the mission time, so no scenario ever changes the structure function —
+the best case for the incremental cache: the cut-set structure is enumerated
+once (cold) and every scenario afterwards is a pure probability re-ranking.
+This benchmark measures that claim on the Fig. 1 tree with repairable
+sensors:
+
+* **cold** — a fresh executor pays the one-off structural enumeration plus
+  100 re-rankings;
+* **warm** — a second sweep through the *same* executor starts with every
+  subtree artifact cached and must not add a single further miss;
+* correctness — the incremental and naive paths produce canonically
+  identical reports, and each scenario matches the direct
+  ``ReliabilityAssignment.tree_at`` materialisation of its perturbed model.
+"""
+
+import time
+
+from repro.reliability import ReliabilityAssignment, RepairableComponent
+from repro.scenarios import SetRepairRate, SweepExecutor, repair_rate_sweep, sweep_values
+
+from benchmarks.conftest import emit
+
+MISSION_TIME = 1000.0
+
+
+def _repairable_assignment():
+    from repro.workloads.library import fire_protection_system
+
+    assignment = ReliabilityAssignment(fire_protection_system())
+    assignment.assign("x1", RepairableComponent(failure_rate=1e-3, repair_rate=0.01))
+    assignment.assign("x2", RepairableComponent(failure_rate=5e-4, repair_rate=0.02))
+    return assignment
+
+
+def _canonical_without_mode(report):
+    """Canonical dict minus the configuration flag that names the sweep path."""
+    document = report.to_canonical_dict()
+    document.pop("incremental")
+    return document
+
+
+def test_bench_repair_rate_sweep_warm_vs_cold(benchmark):
+    assignment = _repairable_assignment()
+    base = assignment.tree_at(MISSION_TIME)
+    rates = sweep_values(1e-3, 1.0, 100)
+    scenarios = repair_rate_sweep(assignment, "x1", rates, mission_time=MISSION_TIME)
+
+    executor = SweepExecutor()
+    started = time.perf_counter()
+    cold = executor.run(base, scenarios)
+    cold_time = time.perf_counter() - started
+
+    warm = benchmark(lambda: executor.run(base, scenarios))
+
+    assert not cold.failures and not warm.failures
+    cold_reuse = cold.subtree_reuse
+    warm_reuse = warm.subtree_reuse
+    # Cold run: one structural enumeration (a miss per gate), then pure hits.
+    assert cold_reuse["misses"] == base.num_gates
+    assert cold_reuse["hits"] == base.num_gates * len(scenarios)
+    # Warm run: the session cache already holds every subtree — the counters
+    # are cumulative across the executor's lifetime, so the miss count must
+    # not move at all while the hits grow by a full sweep's worth.
+    assert warm_reuse["misses"] == cold_reuse["misses"]
+    assert warm_reuse["hits"] >= cold_reuse["hits"] + base.num_gates * len(scenarios)
+
+    naive = SweepExecutor(incremental=False).run(base, scenarios)
+    assert _canonical_without_mode(warm) == _canonical_without_mode(naive)
+
+    # Spot-check the model semantics: a scenario's probabilities equal the
+    # direct materialisation of the perturbed assignment.
+    middle = len(rates) // 2
+    direct = (
+        SetRepairRate("x1", rates[middle])
+        .apply_to_assignment(assignment)
+        .tree_at(MISSION_TIME)
+    )
+    patched = scenarios[middle].apply(base)
+    assert patched.probabilities() == direct.probabilities()
+
+    emit(
+        "E11 — FPS tree (repairable sensors): 100-policy repair-rate sweep",
+        [
+            f"cold: {cold_time:.3f}s ({cold_reuse['hits']} hits / "
+            f"{cold_reuse['misses']} misses)   warm: {warm.total_time_s:.3f}s",
+            f"naive total: {naive.total_time_s:.3f}s",
+            f"best policy: {warm.best().name}  P(top)={warm.best().top_event:.4e}",
+        ],
+    )

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Maintenance policy sweeps and the mitigation frontier, end to end.
+
+The paper's MPMCS names the weakest link; this walkthrough shows the two
+decision-support layers built on top of it:
+
+1. **maintenance-policy sweeps** — the Fig. 1 fire-protection sensors become
+   repairable components and the automatic trigger a periodically tested one;
+   sweeping the repair rate and the inspection interval through the
+   incremental :class:`~repro.scenarios.SweepExecutor` shows exactly when a
+   better maintenance policy dethrones the weakest link (every scenario is a
+   pure probability re-ranking: watch the subtree cache counters);
+2. **the Pareto frontier** — instead of planning at one budget point,
+   :func:`~repro.scenarios.pareto_frontier` enumerates every Pareto-optimal
+   ``(cost, residual risk)`` purchase via the exact MaxSAT feasibility probe;
+3. **the same two workloads over HTTP** — a ``repair_rate_sweep`` family spec
+   with a ``models`` section and a ``/frontier`` job, submitted to an
+   in-process analysis service.
+
+The script asserts its key results and exits non-zero on any failure, so it
+doubles as the CI smoke test for the maintenance/frontier stack.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/maintenance_frontier.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.reliability import (
+    PeriodicallyTestedComponent,
+    ReliabilityAssignment,
+    RepairableComponent,
+)
+from repro.reporting import frontier_table, render_scenario_report
+from repro.scenarios import (
+    HardeningAction,
+    SetRepairRate,
+    SweepExecutor,
+    exact_plan,
+    model_to_dict,
+    pareto_frontier,
+    repair_rate_sweep,
+    sweep_values,
+    test_interval_sweep,
+)
+from repro.service import AnalysisService, ServiceClient, serve
+from repro.workloads.library import fire_protection_system
+
+MISSION_TIME = 1000.0  # hours
+
+
+def build_assignment() -> ReliabilityAssignment:
+    """Fig. 1 tree with maintenance-aware models on the actionable events."""
+    tree = fire_protection_system()
+    assignment = ReliabilityAssignment(tree)
+    assignment.assign("x1", RepairableComponent(failure_rate=1e-3, repair_rate=0.01))
+    assignment.assign("x2", RepairableComponent(failure_rate=5e-4, repair_rate=0.01))
+    assignment.assign("x5", PeriodicallyTestedComponent(failure_rate=1e-4, test_interval=500.0))
+    return assignment
+
+
+def main() -> int:
+    assignment = build_assignment()
+    base = assignment.tree_at(MISSION_TIME)
+
+    # ----------------------------------------- 1a. repair-rate sweep (x1)
+    rates = sweep_values(1e-3, 1.0, 12)
+    executor = SweepExecutor()
+    sweep = executor.run(
+        base, repair_rate_sweep(assignment, "x1", rates, mission_time=MISSION_TIME)
+    )
+    assert not sweep.failures
+    reuse = sweep.subtree_reuse
+    # Maintenance scenarios never change the structure function: one
+    # enumeration per gate overall, every scenario a pure cache hit.
+    assert reuse["misses"] == base.num_gates
+    assert reuse["hits"] == base.num_gates * len(rates)
+    tops = [outcome.top_event for outcome in sweep.outcomes]
+    assert tops == sorted(tops, reverse=True), "faster repairs must lower P(top)"
+    # Every scenario equals the direct materialisation of the perturbed model.
+    for rate, outcome in zip(rates, sweep.outcomes):
+        direct = SetRepairRate("x1", rate).apply_to_assignment(assignment)
+        expected = direct.tree_at(MISSION_TIME).probabilities()
+        patched = SetRepairRate("x1", rate).at(assignment, MISSION_TIME).apply(base)
+        assert patched.probabilities() == expected
+    print(f"repair-rate sweep over x1 ({len(rates)} policies, "
+          f"subtree cache {reuse['hits']} hits / {reuse['misses']} misses):")
+    print(render_scenario_report(sweep, "markdown", limit=4))
+
+    # ----------------------------------------- 1b. inspection-interval sweep (x5)
+    intervals = [100.0, 250.0, 500.0, 1000.0]
+    inspection = executor.run(
+        base,
+        test_interval_sweep(assignment, "x5", intervals, mission_time=MISSION_TIME),
+    )
+    assert not inspection.failures
+    print("\ninspection-policy sweep over x5:")
+    print(render_scenario_report(inspection, "markdown"))
+
+    # ----------------------------------------- 2. the Pareto frontier
+    actions = [
+        HardeningAction("x1", cost=2.0),
+        HardeningAction("x2", cost=2.0),
+        HardeningAction("x4", cost=1.0),
+        HardeningAction("x5", cost=1.0),
+    ]
+    frontier = pareto_frontier(base, actions, method="exact")
+    first, last = frontier.points[0], frontier.points[-1]
+    assert first.cost == 0 and first.selected == ()
+    assert first.mpmcs_probability == frontier.base_mpmcs_probability
+    unconstrained = exact_plan(base, actions, budget=sum(a.cost for a in actions))
+    assert abs(last.mpmcs_probability - unconstrained.new_mpmcs_probability) < 1e-12
+    costs = [point.cost for point in frontier.points]
+    risks = [point.mpmcs_probability for point in frontier.points]
+    assert costs == sorted(costs) and risks == sorted(risks, reverse=True)
+    print(f"\nPareto frontier ({frontier.method}, {len(frontier)} points):")
+    print(frontier_table(frontier))
+
+    # ----------------------------------------- 3. the same workloads over HTTP
+    service = AnalysisService(workers=2)
+    server = serve(service, host="127.0.0.1", port=0)
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{server.server_port}", timeout=120.0)
+        models = {
+            name: model_to_dict(assignment.model_for(name))
+            for name in ("x1", "x2", "x5")
+        }
+        job = client.submit_sweep(
+            assignment.tree,
+            {"family": "repair_rate_sweep", "event": "x1", "rates": rates},
+            models=models,
+            mission_time=MISSION_TIME,
+        )
+        done = client.wait(job["id"], timeout=120.0)
+        assert done["status"] == "done"
+        wire = done["result"]["report"]
+        local = sweep.to_canonical_dict()
+        remote = type(sweep).canonicalize(wire)
+        assert remote == local, "service sweep must match the local run"
+        print(f"\nservice repair-rate sweep: {done['result']['num_scenarios']} "
+              "scenario(s), canonically identical to the local run")
+
+        frontier_job = client.submit_frontier(
+            base,
+            [{"event": action.event, "cost": action.cost} for action in actions],
+            method="exact",
+        )
+        frontier_done = client.wait(frontier_job["id"], timeout=120.0)
+        assert frontier_done["status"] == "done"
+        assert frontier_done["result"]["frontier"] == frontier.to_dict()
+        print(f"service frontier job: {frontier_done['result']['num_points']} "
+              "point(s), identical to the local frontier")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    print("\nall maintenance-frontier checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

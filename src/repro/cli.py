@@ -62,10 +62,15 @@ from repro.maxsat.rc2 import RC2Engine
 from repro.reporting.ascii_art import render_tree
 from repro.reporting.dot import to_dot
 from repro.reporting.json_report import analysis_report
-from repro.reporting.tables import markdown_table, weights_table
+from repro.reporting.tables import frontier_table, markdown_table, weights_table
 from repro.reporting.unified import render_scenario_report, write_report
 from repro.service import AnalysisService, ServiceClient
 from repro.service import serve as start_service
+from repro.reliability import (
+    PeriodicallyTestedComponent,
+    ReliabilityAssignment,
+    RepairableComponent,
+)
 from repro.scenarios import (
     AddRedundancy,
     AddSpareChild,
@@ -79,11 +84,14 @@ from repro.scenarios import (
     SetVotingThreshold,
     SweepExecutor,
     mission_time_sweep,
+    pareto_frontier,
     plan_mitigation,
     probability_sweep,
     rank_actions,
+    repair_rate_sweep,
     scale_sweep,
     sweep_values,
+    test_interval_sweep,
 )
 from repro.uncertainty.distributions import LognormalUncertainty
 from repro.uncertainty.importance import uncertainty_importance
@@ -277,6 +285,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--mission-factors", help="comma-separated mission-time factors to sweep"
     )
     sweep.add_argument(
+        "--repair-rate",
+        help="comma-separated repair rates (/h) for --event: sweep the maintenance "
+        "policy of a repairable component (the first value is the current policy)",
+    )
+    sweep.add_argument(
+        "--test-interval",
+        help="comma-separated test intervals (h) for --event: sweep the inspection "
+        "policy of a periodically tested component (the first value is the current policy)",
+    )
+    sweep.add_argument(
+        "--failure-rate", type=float,
+        help="failure rate (/h) of --event's component model "
+        "(required with --repair-rate/--test-interval)",
+    )
+    sweep.add_argument(
         "--no-incremental", action="store_true",
         help="disable subtree artifact reuse (naive per-scenario re-analysis)",
     )
@@ -297,14 +320,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--factor", type=float, default=0.1,
         help="hardening factor applied by every action (default: 0.1)",
     )
-    plan.add_argument("--budget", type=float, required=True, help="total budget")
     plan.add_argument(
-        "--method", choices=("greedy", "exact"), default="greedy",
-        help="greedy cost-effectiveness baseline or exact MaxSAT planner",
+        "--budget", type=float, default=None,
+        help="total budget (required unless --pareto is given)",
+    )
+    plan.add_argument(
+        "--method", choices=("greedy", "exact", "auto"), default=None,
+        help="greedy cost-effectiveness baseline or exact MaxSAT planner "
+        "(default: greedy; --pareto defaults to auto)",
     )
     plan.add_argument(
         "--objective", choices=("mpmcs", "top-event"), default="mpmcs",
         help="quantity the greedy planner minimises (default: mpmcs)",
+    )
+    plan.add_argument(
+        "--pareto", action="store_true",
+        help="enumerate the whole cost-vs-risk Pareto frontier instead of "
+        "planning at a single budget point",
+    )
+    plan.add_argument(
+        "-o", "--output", type=Path,
+        help="write the plan/frontier JSON document to this path",
     )
 
     subparsers.add_parser(
@@ -418,8 +454,10 @@ def _add_tree_source_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mission-time",
         type=float,
-        default=1.0,
-        help="mission time used to convert Galileo lambda= rates to probabilities",
+        default=None,
+        help="mission time used to convert Galileo lambda= rates to probabilities "
+        "(default: 1) and to freeze maintenance-policy sweeps "
+        "(required with --repair-rate/--test-interval)",
     )
     parser.add_argument(
         "--backend",
@@ -451,7 +489,8 @@ def _load_tree(args: argparse.Namespace) -> FaultTree:
         else:
             fmt = "json"
     if fmt == "galileo":
-        return parse_galileo_file(args.model, mission_time=args.mission_time)
+        mission_time = args.mission_time if args.mission_time is not None else 1.0
+        return parse_galileo_file(args.model, mission_time=mission_time)
     if fmt == "openpsa":
         return parse_openpsa_file(args.model)
     return parse_json_file(args.model)
@@ -723,8 +762,60 @@ def _command_whatif(session: AnalysisSession, tree: FaultTree, args: argparse.Na
     return 0
 
 
+def _maintenance_sweep_scenarios(
+    tree: FaultTree, args: argparse.Namespace
+) -> "tuple[FaultTree, list]":
+    """Build the (materialised tree, scenarios) of a maintenance-policy sweep.
+
+    ``--repair-rate``/``--test-interval`` sweep the named component's
+    maintenance policy: the event's reliability model is built from
+    ``--failure-rate`` with the *first* swept value as the current policy, the
+    base tree is the assignment frozen at ``--mission-time``, and each
+    scenario re-freezes the perturbed model at the same time.
+    """
+    if args.repair_rate and args.test_interval:
+        raise ReproError("use either --repair-rate or --test-interval, not both")
+    if not args.event:
+        raise ReproError("--repair-rate/--test-interval need --event")
+    if args.failure_rate is None:
+        raise ReproError(
+            "--repair-rate/--test-interval need --failure-rate to build the "
+            "component's reliability model"
+        )
+    if args.mission_time is None:
+        # Silently freezing at the 1h Galileo default would make every
+        # maintenance policy look identical (P ~ lambda*t regardless of the
+        # repair rate); demand an explicit choice instead.
+        raise ReproError(
+            "--repair-rate/--test-interval need --mission-time to freeze the "
+            "perturbed models at"
+        )
+    assignment = ReliabilityAssignment(tree)
+    if args.repair_rate:
+        rates = _parse_float_list(args.repair_rate, "--repair-rate")
+        if not rates:
+            raise ReproError("--repair-rate needs at least one repair rate")
+        assignment.assign(args.event, RepairableComponent(args.failure_rate, rates[0]))
+        scenarios = repair_rate_sweep(
+            assignment, args.event, rates, mission_time=args.mission_time
+        )
+    else:
+        intervals = _parse_float_list(args.test_interval, "--test-interval")
+        if not intervals:
+            raise ReproError("--test-interval needs at least one test interval")
+        assignment.assign(
+            args.event, PeriodicallyTestedComponent(args.failure_rate, intervals[0])
+        )
+        scenarios = test_interval_sweep(
+            assignment, args.event, intervals, mission_time=args.mission_time
+        )
+    return assignment.tree_at(args.mission_time), scenarios
+
+
 def _command_sweep(session: AnalysisSession, tree: FaultTree, args: argparse.Namespace) -> int:
-    if args.mission_factors:
+    if args.repair_rate or args.test_interval:
+        tree, scenarios = _maintenance_sweep_scenarios(tree, args)
+    elif args.mission_factors:
         scenarios = mission_time_sweep(_parse_float_list(args.mission_factors, "--mission-factors"))
     elif args.event and args.scale_factors:
         scenarios = scale_sweep(args.event, _parse_float_list(args.scale_factors, "--scale-factors"))
@@ -735,8 +826,8 @@ def _command_sweep(session: AnalysisSession, tree: FaultTree, args: argparse.Nam
         scenarios = probability_sweep(args.event, values)
     else:
         raise ReproError(
-            "sweep needs --event with --values/--scale-factors/--start+--stop, "
-            "or --mission-factors"
+            "sweep needs --event with --values/--scale-factors/--start+--stop/"
+            "--repair-rate/--test-interval, or --mission-factors"
         )
     executor = SweepExecutor(
         session, incremental=not args.no_incremental, backend=_sweep_backend(args.backend)
@@ -758,11 +849,19 @@ def _command_plan(session: AnalysisSession, tree: FaultTree, args: argparse.Name
         actions.append(
             HardeningAction(event, cost=_parse_float(value, "--action"), factor=args.factor)
         )
+    if args.pareto:
+        if args.objective != "mpmcs":
+            raise ReproError("the Pareto frontier optimises the 'mpmcs' objective only")
+        return _command_plan_pareto(session, tree, actions, args)
+    if args.budget is None:
+        raise ReproError("plan needs --budget (or --pareto for the whole frontier)")
+    if args.method == "auto":
+        raise ReproError("--method auto applies to --pareto only; use greedy or exact")
     plan = plan_mitigation(
         tree,
         actions,
         args.budget,
-        method=args.method,
+        method=args.method or "greedy",
         objective=args.objective.replace("-", "_"),
         cache=session.artifacts,
     )
@@ -786,6 +885,44 @@ def _command_plan(session: AnalysisSession, tree: FaultTree, args: argparse.Name
         for impact in rank_actions(tree, actions, cache=session.artifacts)
     ]
     print(markdown_table(["event", "cost", "P(top) after", "reduction", "reduction/cost"], rows))
+    if args.output:
+        args.output.write_text(
+            json.dumps(plan.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"\nplan JSON written to {args.output}")
+    return 0
+
+
+def _command_plan_pareto(
+    session: AnalysisSession,
+    tree: FaultTree,
+    actions: "list[HardeningAction]",
+    args: argparse.Namespace,
+) -> int:
+    frontier = pareto_frontier(
+        tree, actions, method=args.method or "auto", cache=session.artifacts
+    )
+    print(f"method      : {frontier.method}   ({len(frontier)} Pareto point(s))")
+    print(
+        f"base MPMCS  : {{{', '.join(frontier.base_mpmcs)}}}"
+        f"  p={frontier.base_mpmcs_probability:.6g}"
+        f"   P(top) {frontier.base_top_event:.6e}"
+    )
+    if args.budget is not None:
+        best = frontier.best_within(args.budget)
+        chosen = ", ".join(best.events) or "(nothing)"
+        print(
+            f"budget {args.budget:g} buys: {chosen}"
+            f"  ->  P(MPMCS) {best.mpmcs_probability:.6g}"
+            f"   P(top) {best.top_event:.6e}"
+        )
+    print()
+    print(frontier_table(frontier))
+    if args.output:
+        args.output.write_text(
+            json.dumps(frontier.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"\nfrontier JSON written to {args.output}")
     return 0
 
 
@@ -858,7 +995,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"repro service listening on http://{args.host}:{server.server_port}"
         f" with {args.workers} worker(s){store_note}"
     )
-    print("endpoints: /health /backends /analyze /batch /sweep /jobs  — Ctrl-C to stop")
+    print("endpoints: /health /backends /analyze /batch /sweep /frontier /jobs  — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

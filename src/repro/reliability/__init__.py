@@ -21,7 +21,11 @@ re-run the paper's six-step method at every grid point, so the MPMCS-over-time
 analysis is a direct, practically motivated extension of the paper.
 """
 
-from repro.reliability.assignment import MIN_PROBABILITY, ReliabilityAssignment
+from repro.reliability.assignment import (
+    MIN_PROBABILITY,
+    ReliabilityAssignment,
+    clamp_probability,
+)
 from repro.reliability.curves import (
     CurvePoint,
     MPMCSAtTime,
@@ -54,6 +58,7 @@ __all__ = [
     "TopEventCurve",
     "WeibullFailure",
     "birnbaum_importance_over_time",
+    "clamp_probability",
     "mpmcs_crossovers",
     "mpmcs_over_time",
     "time_grid",

@@ -15,13 +15,28 @@ from repro.exceptions import AnalysisError, FaultTreeError
 from repro.fta.tree import FaultTree
 from repro.reliability.models import FailureModel, FixedProbability
 
-__all__ = ["MIN_PROBABILITY", "ReliabilityAssignment"]
+__all__ = ["MIN_PROBABILITY", "ReliabilityAssignment", "clamp_probability"]
 
 #: Basic events require probabilities strictly greater than zero (a zero
 #: probability has an infinite ``-log`` weight); time-dependent models that
 #: evaluate to exactly zero (e.g. an exponential model at ``t = 0``) are
 #: clamped to this floor when a tree is materialised.
 MIN_PROBABILITY = 1e-15
+
+
+def clamp_probability(value: float) -> float:
+    """Clamp a model-evaluated probability into the library's ``(0, 1]`` domain.
+
+    The single clamp shared by :meth:`ReliabilityAssignment.probabilities_at`
+    and the maintenance patches of :mod:`repro.scenarios.patches`, so a
+    maintenance scenario's single-event update is bit-identical to a full
+    :meth:`ReliabilityAssignment.tree_at` materialisation.
+    """
+    if value < MIN_PROBABILITY:
+        return MIN_PROBABILITY
+    if value > 1.0:
+        return 1.0
+    return value
 
 
 class ReliabilityAssignment:
@@ -85,6 +100,21 @@ class ReliabilityAssignment:
         for name, model in models.items():
             self.assign(name, model)
 
+    def with_models(self, models: Mapping[str, FailureModel]) -> "ReliabilityAssignment":
+        """A new assignment over the same tree with some models replaced.
+
+        The non-destructive counterpart of :meth:`assign_all`, used by the
+        maintenance patches of :mod:`repro.scenarios.patches`: the receiver is
+        left untouched, so a scenario sweep can derive hundreds of perturbed
+        maintenance policies from one base assignment.
+        """
+        clone = ReliabilityAssignment.__new__(ReliabilityAssignment)
+        clone.tree = self.tree
+        clone._models = dict(self._models)
+        for name, model in models.items():
+            clone.assign(name, model)
+        return clone
+
     # -- accessors --------------------------------------------------------------
 
     def model_for(self, event_name: str) -> FailureModel:
@@ -114,15 +144,10 @@ class ReliabilityAssignment:
 
     def probabilities_at(self, time: float) -> Dict[str, float]:
         """Evaluate every event's model at ``time`` (clamped to ``(0, 1]``)."""
-        values: Dict[str, float] = {}
-        for name, model in self._models.items():
-            probability = model.probability_at(time)
-            if probability < MIN_PROBABILITY:
-                probability = MIN_PROBABILITY
-            elif probability > 1.0:
-                probability = 1.0
-            values[name] = probability
-        return values
+        return {
+            name: clamp_probability(model.probability_at(time))
+            for name, model in self._models.items()
+        }
 
     def tree_at(self, time: float) -> FaultTree:
         """Return a copy of the tree with probabilities evaluated at ``time``."""

@@ -20,7 +20,12 @@ from repro.reporting.dot import to_dot
 from repro.reporting.ascii_art import render_tree
 from repro.reporting.html import html_report, write_html_report
 from repro.reporting.markdown import markdown_report, write_markdown_report
-from repro.reporting.tables import markdown_table, scenario_delta_table, weights_table
+from repro.reporting.tables import (
+    frontier_table,
+    markdown_table,
+    scenario_delta_table,
+    weights_table,
+)
 from repro.reporting.unified import (
     FORMATS,
     SCENARIO_FORMATS,
@@ -35,6 +40,7 @@ __all__ = [
     "analysis_report",
     "html_report",
     "markdown_report",
+    "frontier_table",
     "markdown_table",
     "render_report",
     "render_scenario_report",

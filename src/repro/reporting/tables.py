@@ -13,9 +13,10 @@ from repro.core.weights import log_weights
 from repro.fta.tree import FaultTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios -> api -> reporting)
+    from repro.scenarios.planner import ParetoFrontier
     from repro.scenarios.report import ScenarioReport
 
-__all__ = ["markdown_table", "scenario_delta_table", "weights_table"]
+__all__ = ["frontier_table", "markdown_table", "scenario_delta_table", "weights_table"]
 
 
 def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -47,6 +48,31 @@ def weights_table(tree: FaultTree, *, digits: int = 5) -> str:
 
 def _signed(value: float) -> str:
     return f"{value:+.4e}"
+
+
+def frontier_table(frontier: "ParetoFrontier") -> str:
+    """Cost-vs-risk table of a :class:`~repro.scenarios.planner.ParetoFrontier`.
+
+    One row per Pareto-optimal point: the spend, the purchased hardening
+    actions, the residual MPMCS with its probability and delta against the
+    base model, and the exact top-event probability under the selection.  The
+    first row is always the base model (cost 0, nothing purchased).
+    """
+    headers = ["cost", "actions", "MPMCS", "P(MPMCS)", "ΔP(MPMCS)", "P(top)"]
+    rows: List[Sequence[object]] = []
+    for point in frontier.points:
+        actions = ", ".join(action.label for action in point.selected) or "(base)"
+        rows.append(
+            [
+                f"{point.cost:g}",
+                actions,
+                "{" + ", ".join(point.mpmcs) + "}",
+                f"{point.mpmcs_probability:.4e}",
+                _signed(point.mpmcs_probability - frontier.base_mpmcs_probability),
+                f"{point.top_event:.4e}",
+            ]
+        )
+    return markdown_table(headers, rows)
 
 
 def scenario_delta_table(report: "ScenarioReport", *, limit: int = 0) -> str:

@@ -47,33 +47,58 @@ from repro.scenarios.patches import (
     AddSpareChild,
     ApplyCCF,
     Harden,
+    MaintenanceAtTime,
+    MaintenancePatch,
     Patch,
     RemoveEvent,
+    ScaleFailureRate,
     ScaleMissionTime,
     ScaleProbability,
+    ScaleRepairRate,
+    ScaleTestInterval,
+    SetFailureRate,
+    SetMTTR,
     SetProbability,
+    SetRepairRate,
+    SetTestInterval,
     SetVotingThreshold,
 )
 from repro.scenarios.planner import (
     ActionImpact,
+    FrontierPoint,
     HardeningAction,
     MitigationPlan,
+    ParetoFrontier,
     exact_plan,
     greedy_plan,
+    pareto_frontier,
     plan_mitigation,
     rank_actions,
 )
-from repro.scenarios.report import ScenarioOutcome, ScenarioReport
+from repro.scenarios.report import (
+    ScenarioOutcome,
+    ScenarioReport,
+    mpmcs_identity_changed,
+)
 from repro.scenarios.scenario import (
     Scenario,
     ccf_beta_sweep,
+    maintenance_sweep,
     mission_time_sweep,
     probability_sweep,
+    repair_rate_sweep,
     scale_sweep,
     scenario_grid,
     sweep_values,
+    test_interval_sweep,
 )
 from repro.scenarios.serialization import (
+    action_from_dict,
+    action_to_dict,
+    actions_from_spec,
+    assignment_from_documents,
+    model_from_dict,
+    model_to_dict,
     patch_from_dict,
     patch_to_dict,
     scenario_from_dict,
@@ -87,29 +112,50 @@ __all__ = [
     "AddRedundancy",
     "AddSpareChild",
     "ApplyCCF",
+    "FrontierPoint",
     "Harden",
     "HardeningAction",
+    "MaintenanceAtTime",
+    "MaintenancePatch",
     "MitigationPlan",
+    "ParetoFrontier",
     "Patch",
     "RemoveEvent",
+    "ScaleFailureRate",
     "ScaleMissionTime",
     "ScaleProbability",
+    "ScaleRepairRate",
+    "ScaleTestInterval",
     "Scenario",
     "ScenarioOutcome",
     "ScenarioReport",
+    "SetFailureRate",
+    "SetMTTR",
     "SetProbability",
+    "SetRepairRate",
+    "SetTestInterval",
     "SetVotingThreshold",
     "SweepExecutor",
+    "action_from_dict",
+    "action_to_dict",
+    "actions_from_spec",
+    "assignment_from_documents",
     "ccf_beta_sweep",
     "exact_plan",
     "greedy_plan",
     "incremental_cut_sets",
+    "maintenance_sweep",
     "mission_time_sweep",
+    "model_from_dict",
+    "model_to_dict",
+    "mpmcs_identity_changed",
+    "pareto_frontier",
     "patch_from_dict",
     "patch_to_dict",
     "plan_mitigation",
     "probability_sweep",
     "rank_actions",
+    "repair_rate_sweep",
     "run_sweep",
     "scale_sweep",
     "scenario_from_dict",
@@ -118,4 +164,5 @@ __all__ = [
     "scenarios_from_spec",
     "seed_session_cut_sets",
     "sweep_values",
+    "test_interval_sweep",
 ]

@@ -7,7 +7,7 @@ without mutating the base model: :meth:`Patch.apply` always returns a new
 :class:`~repro.scenarios.scenario.Scenario` objects and parametric sweeps,
 which the :class:`~repro.scenarios.sweep.SweepExecutor` evaluates in bulk.
 
-Two families of patches exist:
+Three families of patches exist:
 
 * **probability patches** (:class:`SetProbability`, :class:`ScaleProbability`,
   :class:`Harden`, :class:`ScaleMissionTime`) keep the structure function
@@ -16,12 +16,31 @@ Two families of patches exist:
 * **structural patches** (:class:`RemoveEvent`, :class:`AddRedundancy`,
   :class:`AddSpareChild`, :class:`SetVotingThreshold`, :class:`ApplyCCF`)
   rewrite part of the DAG; only the subtrees on the path from the edit to the
-  top event lose their cache entries.
+  top event lose their cache entries;
+* **maintenance patches** (:class:`SetFailureRate`, :class:`ScaleFailureRate`,
+  :class:`SetRepairRate`, :class:`ScaleRepairRate`, :class:`SetMTTR`,
+  :class:`SetTestInterval`, :class:`ScaleTestInterval`) perturb the
+  *failure/repair model* of one event in a
+  :class:`~repro.reliability.assignment.ReliabilityAssignment` — a different
+  repair rate, a different inspection policy — and materialise through
+  :meth:`MaintenancePatch.at`, which freezes the perturbed model at a mission
+  time.  Like the probability family they never touch the structure function,
+  so maintenance-policy sweeps are pure probability re-rankings over the
+  incremental cache.
+
+Every patch validates its parameters at construction time (dataclass
+``__post_init__``), so a malformed patch — a non-positive scale factor, a
+probability outside ``(0, 1]`` — fails the moment it is built.  The service
+front end relies on this: deserialising a bad patch document raises before the
+job is enqueued, turning garbage submissions into immediate HTTP 400s instead
+of mid-job failures.
 """
 
 from __future__ import annotations
 
 import abc
+import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Set, Tuple
 
@@ -29,17 +48,33 @@ from repro.exceptions import FaultTreeError
 from repro.fta.ccf import CCFGroup, apply_beta_factor_model
 from repro.fta.gates import GateType
 from repro.fta.tree import FaultTree
+from repro.reliability.assignment import ReliabilityAssignment, clamp_probability
+from repro.reliability.models import (
+    ExponentialFailure,
+    FailureModel,
+    PeriodicallyTestedComponent,
+    RepairableComponent,
+)
 
 __all__ = [
     "AddRedundancy",
     "AddSpareChild",
     "ApplyCCF",
     "Harden",
+    "MaintenanceAtTime",
+    "MaintenancePatch",
     "Patch",
     "RemoveEvent",
+    "ScaleFailureRate",
     "ScaleMissionTime",
     "ScaleProbability",
+    "ScaleRepairRate",
+    "ScaleTestInterval",
+    "SetFailureRate",
+    "SetMTTR",
     "SetProbability",
+    "SetRepairRate",
+    "SetTestInterval",
     "SetVotingThreshold",
 ]
 
@@ -51,6 +86,43 @@ DEFAULT_HARDENING_FACTOR = 0.1
 def _clamp_probability(value: float) -> float:
     """Clamp a perturbed probability into the library's (0, 1] domain."""
     return min(max(value, 1e-300), 1.0)
+
+
+# -- construction-time parameter validation ----------------------------------------------
+
+
+def _check_name(value: object, what: str) -> None:
+    if not isinstance(value, str) or not value:
+        raise FaultTreeError(f"{what} must be a non-empty string, got {value!r}")
+
+
+def _check_number(value: object, what: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise FaultTreeError(f"{what} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise FaultTreeError(f"{what} must be finite, got {value}")
+    return float(value)
+
+
+def _check_positive(value: object, what: str) -> float:
+    number = _check_number(value, what)
+    if number <= 0.0:
+        raise FaultTreeError(f"{what} must be positive, got {value}")
+    return number
+
+
+def _check_unit_probability(value: object, what: str) -> float:
+    number = _check_number(value, what)
+    if not 0.0 < number <= 1.0:
+        raise FaultTreeError(f"{what} must lie in (0, 1], got {value}")
+    return number
+
+
+def _check_count(value: object, what: str, *, minimum: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise FaultTreeError(f"{what} must be an integer, got {type(value).__name__}")
+    if value < minimum:
+        raise FaultTreeError(f"{what} must be at least {minimum}, got {value}")
 
 
 class Patch(abc.ABC):
@@ -87,6 +159,10 @@ class SetProbability(Patch):
     event: str
     probability: float
 
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_unit_probability(self.probability, "probability")
+
     def apply(self, tree: FaultTree) -> FaultTree:
         _require_event(tree, self.event)
         patched = tree.copy()
@@ -105,9 +181,11 @@ class ScaleProbability(Patch):
     event: str
     factor: float
 
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.factor, "scale factor")
+
     def apply(self, tree: FaultTree) -> FaultTree:
-        if self.factor <= 0:
-            raise FaultTreeError(f"scale factor must be positive, got {self.factor}")
         _require_event(tree, self.event)
         patched = tree.copy()
         patched.set_probability(
@@ -133,6 +211,21 @@ class Harden(Patch):
     event: str
     factor: Optional[float] = None
     probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        if self.factor is not None:
+            factor = _check_number(self.factor, "hardening factor")
+            if not 0.0 < factor <= 1.0:
+                raise FaultTreeError(
+                    f"hardening factor must lie in (0, 1], got {self.factor}"
+                )
+        if self.probability is not None:
+            number = _check_number(self.probability, "hardening target probability")
+            if not 0.0 <= number <= 1.0:
+                raise FaultTreeError(
+                    f"hardening target probability must lie in [0, 1], got {self.probability}"
+                )
 
     def apply(self, tree: FaultTree) -> FaultTree:
         _require_event(tree, self.event)
@@ -177,9 +270,10 @@ class ScaleMissionTime(Patch):
 
     factor: float
 
+    def __post_init__(self) -> None:
+        _check_positive(self.factor, "mission-time factor")
+
     def apply(self, tree: FaultTree) -> FaultTree:
-        if self.factor <= 0:
-            raise FaultTreeError(f"mission-time factor must be positive, got {self.factor}")
         patched = tree.copy()
         for name, probability in tree.probabilities().items():
             patched.set_probability(
@@ -206,6 +300,9 @@ class RemoveEvent(Patch):
     """
 
     event: str
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
 
     def apply(self, tree: FaultTree) -> FaultTree:
         _require_event(tree, self.event)
@@ -279,9 +376,13 @@ class AddRedundancy(Patch):
     copies: int = 1
     probability: Optional[float] = None
 
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_count(self.copies, "redundancy copies", minimum=1)
+        if self.probability is not None:
+            _check_unit_probability(self.probability, "redundant unit probability")
+
     def apply(self, tree: FaultTree) -> FaultTree:
-        if self.copies < 1:
-            raise FaultTreeError(f"redundancy needs at least one copy, got {self.copies}")
         _require_event(tree, self.event)
         gate_name = f"{self.event}__redundant"
         duplicate_probability = (
@@ -337,6 +438,12 @@ class AddSpareChild(Patch):
     probability: float
     name: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        _check_name(self.gate, "gate name")
+        _check_unit_probability(self.probability, "spare probability")
+        if self.name is not None:
+            _check_name(self.name, "spare event name")
+
     def apply(self, tree: FaultTree) -> FaultTree:
         if not tree.is_gate(self.gate):
             raise FaultTreeError(f"patch references unknown gate {self.gate!r}")
@@ -380,6 +487,10 @@ class SetVotingThreshold(Patch):
     gate: str
     k: int
 
+    def __post_init__(self) -> None:
+        _check_name(self.gate, "gate name")
+        _check_count(self.k, "voting threshold", minimum=1)
+
     def apply(self, tree: FaultTree) -> FaultTree:
         if not tree.is_gate(self.gate):
             raise FaultTreeError(f"patch references unknown gate {self.gate!r}")
@@ -420,12 +531,283 @@ class ApplyCCF(Patch):
         object.__setattr__(self, "group", group)
         object.__setattr__(self, "members", tuple(members))
         object.__setattr__(self, "beta", float(beta))
+        # Constructing the CCFGroup eagerly validates every parameter (name,
+        # member count/uniqueness, beta in (0, 1)) at patch-build time.
+        self._group()
+
+    def _group(self) -> CCFGroup:
+        return CCFGroup(self.group, self.members, self.beta)
 
     def apply(self, tree: FaultTree) -> FaultTree:
-        return apply_beta_factor_model(
-            tree, [CCFGroup(self.group, self.members, self.beta)], name=tree.name
-        )
+        return apply_beta_factor_model(tree, [self._group()], name=tree.name)
 
     @property
     def label(self) -> str:
         return f"ccf({self.group},beta={self.beta:g})"
+
+
+# -- maintenance patches: repair/inspection policy over reliability models ----------------
+
+#: Models carrying a constant ``failure_rate`` parameter.
+_RATED_MODELS = (ExponentialFailure, RepairableComponent, PeriodicallyTestedComponent)
+
+
+class MaintenancePatch(Patch):
+    """Perturb the failure/repair *model* of one event, not a static probability.
+
+    Maintenance patches answer maintenance-policy what-ifs — *what if repairs
+    were twice as fast? what if we inspected monthly instead of yearly?* —
+    which live in the :mod:`repro.reliability` model space, not in the fault
+    tree itself.  They therefore apply in two stages:
+
+    1. :meth:`perturb` maps one :class:`~repro.reliability.models.FailureModel`
+       to its perturbed counterpart (pure; the kind of model each patch
+       accepts is validated here);
+    2. :meth:`at` binds the patch to a
+       :class:`~repro.reliability.assignment.ReliabilityAssignment` and a
+       mission time, yielding an ordinary tree-level :class:`Patch`
+       (:class:`MaintenanceAtTime`) that freezes the perturbed model's
+       probability into a copied tree — exactly what
+       ``assignment.tree_at(mission_time)`` would produce for that event.
+
+    Applying an *unbound* maintenance patch to a tree is an error: the tree
+    alone does not know which reliability model produced its probabilities.
+    """
+
+    event: str  # supplied by the frozen dataclass subclasses
+
+    @abc.abstractmethod
+    def perturb(self, model: FailureModel) -> FailureModel:
+        """Return the perturbed model; reject incompatible model kinds."""
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        raise FaultTreeError(
+            f"maintenance patch {self.label!r} perturbs a reliability model, not the "
+            "fault tree; bind it with .at(assignment, mission_time) — or build "
+            "scenarios through repair_rate_sweep/test_interval_sweep/"
+            "maintenance_sweep — before applying it"
+        )
+
+    def apply_to_assignment(
+        self, assignment: ReliabilityAssignment
+    ) -> ReliabilityAssignment:
+        """A new assignment with this event's model perturbed (non-destructive)."""
+        return assignment.with_models(
+            {self.event: self.perturb(assignment.model_for(self.event))}
+        )
+
+    def at(
+        self, assignment: ReliabilityAssignment, mission_time: float
+    ) -> "MaintenanceAtTime":
+        """Bind to ``assignment`` and freeze at ``mission_time`` (tree-level patch).
+
+        Binding validates eagerly: an unknown event, or a model kind this
+        patch cannot perturb (e.g. a repair rate on a fixed-probability
+        event), fails here — at decode/bind time — rather than once per
+        scenario in the middle of a sweep.
+        """
+        self.perturb(assignment.model_for(self.event))
+        return MaintenanceAtTime(self, assignment, float(mission_time))
+
+    def _reject(self, model: FailureModel, needs: str) -> "FaultTreeError":
+        return FaultTreeError(
+            f"maintenance patch {self.label!r} needs a {needs} model for "
+            f"{self.event!r}, got: {model.describe()}"
+        )
+
+
+@dataclass(frozen=True)
+class SetFailureRate(MaintenancePatch):
+    """Replace the constant failure rate ``lambda`` of a rated model."""
+
+    event: str
+    failure_rate: float
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.failure_rate, "failure rate")
+
+    def perturb(self, model: FailureModel) -> FailureModel:
+        if not isinstance(model, _RATED_MODELS):
+            raise self._reject(model, "constant-failure-rate")
+        return dataclasses.replace(model, failure_rate=self.failure_rate)
+
+    @property
+    def label(self) -> str:
+        return f"lambda({self.event})={self.failure_rate:g}"
+
+
+@dataclass(frozen=True)
+class ScaleFailureRate(MaintenancePatch):
+    """Multiply the constant failure rate ``lambda`` by a positive factor."""
+
+    event: str
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.factor, "failure-rate factor")
+
+    def perturb(self, model: FailureModel) -> FailureModel:
+        if not isinstance(model, _RATED_MODELS):
+            raise self._reject(model, "constant-failure-rate")
+        return dataclasses.replace(model, failure_rate=model.failure_rate * self.factor)
+
+    @property
+    def label(self) -> str:
+        return f"lambda({self.event})*{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class SetRepairRate(MaintenancePatch):
+    """Replace the repair rate ``mu`` of a repairable component."""
+
+    event: str
+    repair_rate: float
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.repair_rate, "repair rate")
+
+    def perturb(self, model: FailureModel) -> FailureModel:
+        if not isinstance(model, RepairableComponent):
+            raise self._reject(model, "repairable-component")
+        return dataclasses.replace(model, repair_rate=self.repair_rate)
+
+    @property
+    def label(self) -> str:
+        return f"mu({self.event})={self.repair_rate:g}"
+
+
+@dataclass(frozen=True)
+class ScaleRepairRate(MaintenancePatch):
+    """Multiply the repair rate ``mu`` of a repairable component by a factor."""
+
+    event: str
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.factor, "repair-rate factor")
+
+    def perturb(self, model: FailureModel) -> FailureModel:
+        if not isinstance(model, RepairableComponent):
+            raise self._reject(model, "repairable-component")
+        return dataclasses.replace(model, repair_rate=model.repair_rate * self.factor)
+
+    @property
+    def label(self) -> str:
+        return f"mu({self.event})*{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class SetMTTR(MaintenancePatch):
+    """Set the mean time to repair (``mu = 1 / MTTR``) of a repairable component."""
+
+    event: str
+    mttr: float
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.mttr, "mean time to repair")
+
+    def perturb(self, model: FailureModel) -> FailureModel:
+        if not isinstance(model, RepairableComponent):
+            raise self._reject(model, "repairable-component")
+        return dataclasses.replace(model, repair_rate=1.0 / self.mttr)
+
+    @property
+    def label(self) -> str:
+        return f"mttr({self.event})={self.mttr:g}"
+
+
+@dataclass(frozen=True)
+class SetTestInterval(MaintenancePatch):
+    """Replace the inspection interval of a periodically tested component."""
+
+    event: str
+    test_interval: float
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.test_interval, "test interval")
+
+    def perturb(self, model: FailureModel) -> FailureModel:
+        if not isinstance(model, PeriodicallyTestedComponent):
+            raise self._reject(model, "periodically-tested")
+        return dataclasses.replace(model, test_interval=self.test_interval)
+
+    @property
+    def label(self) -> str:
+        return f"tau({self.event})={self.test_interval:g}"
+
+
+@dataclass(frozen=True)
+class ScaleTestInterval(MaintenancePatch):
+    """Multiply the inspection interval of a periodically tested component."""
+
+    event: str
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_name(self.event, "event name")
+        _check_positive(self.factor, "test-interval factor")
+
+    def perturb(self, model: FailureModel) -> FailureModel:
+        if not isinstance(model, PeriodicallyTestedComponent):
+            raise self._reject(model, "periodically-tested")
+        return dataclasses.replace(model, test_interval=model.test_interval * self.factor)
+
+    @property
+    def label(self) -> str:
+        return f"tau({self.event})*{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class MaintenanceAtTime(Patch):
+    """A maintenance patch bound to an assignment and frozen at a mission time.
+
+    ``apply`` copies the incoming tree and replaces only the perturbed event's
+    probability with the perturbed model evaluated at ``mission_time``
+    (clamped exactly like
+    :meth:`~repro.reliability.assignment.ReliabilityAssignment.probabilities_at`),
+    so the result is identical to materialising the perturbed assignment via
+    ``tree_at(mission_time)`` — while composing with other patches and leaving
+    the tree's structure function untouched (the incremental sweep path reuses
+    every cached subtree artifact).
+    """
+
+    patch: MaintenancePatch
+    assignment: ReliabilityAssignment
+    mission_time: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.patch, MaintenancePatch):
+            raise FaultTreeError(
+                f"MaintenanceAtTime wraps a MaintenancePatch, got {type(self.patch).__name__}"
+            )
+        if not isinstance(self.assignment, ReliabilityAssignment):
+            raise FaultTreeError(
+                "MaintenanceAtTime needs a ReliabilityAssignment, got "
+                f"{type(self.assignment).__name__}"
+            )
+        time = _check_number(self.mission_time, "mission time")
+        if time < 0.0:
+            raise FaultTreeError(f"mission time must be non-negative, got {self.mission_time}")
+
+    def apply(self, tree: FaultTree) -> FaultTree:
+        event = self.patch.event
+        _require_event(tree, event)
+        model = self.patch.perturb(self.assignment.model_for(event))
+        patched = tree.copy()
+        patched.set_probability(
+            event, clamp_probability(model.probability_at(self.mission_time))
+        )
+        return patched
+
+    @property
+    def label(self) -> str:
+        return f"{self.patch.label}@t={self.mission_time:g}"
+
+    def describe(self) -> str:
+        return f"{self.patch.describe()} at mission time {self.mission_time:g} h"

@@ -19,7 +19,23 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.api.cache import ARTIFACT_SUBTREE_CUT_SETS
 from repro.api.report import AnalysisReport
 
-__all__ = ["ScenarioOutcome", "ScenarioReport"]
+__all__ = ["ScenarioOutcome", "ScenarioReport", "mpmcs_identity_changed"]
+
+
+def mpmcs_identity_changed(
+    base_events: Optional[Tuple[str, ...]], events: Optional[Tuple[str, ...]]
+) -> bool:
+    """Whether the weakest link moved — including appearing or disappearing.
+
+    ``None`` means "no MPMCS was computed" on that side.  A scenario that
+    *eliminates* the base MPMCS (or whose analysis produces one where the base
+    had none) is a change every bit as actionable as a displaced cut set, so
+    a one-sided ``None`` counts as changed; only two identical answers — or
+    two absences — count as unchanged.
+    """
+    if base_events is None and events is None:
+        return False
+    return base_events != events
 
 
 @dataclass(frozen=True)

@@ -16,22 +16,29 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import FaultTreeError
 from repro.fta.tree import FaultTree
+from repro.reliability.assignment import ReliabilityAssignment
 from repro.scenarios.patches import (
     ApplyCCF,
+    MaintenancePatch,
     Patch,
     ScaleMissionTime,
     ScaleProbability,
     SetProbability,
+    SetRepairRate,
+    SetTestInterval,
 )
 
 __all__ = [
     "Scenario",
     "ccf_beta_sweep",
+    "maintenance_sweep",
     "mission_time_sweep",
     "probability_sweep",
+    "repair_rate_sweep",
     "scale_sweep",
     "scenario_grid",
     "sweep_values",
+    "test_interval_sweep",
 ]
 
 
@@ -125,6 +132,61 @@ def ccf_beta_sweep(
 ) -> List[Scenario]:
     """One scenario per common-cause beta factor over the same group."""
     return [_named(ApplyCCF(group, members, beta), prefix) for beta in betas]
+
+
+def maintenance_sweep(
+    assignment: ReliabilityAssignment,
+    patches: Sequence[MaintenancePatch],
+    *,
+    mission_time: float,
+    prefix: Optional[str] = None,
+) -> List[Scenario]:
+    """One scenario per maintenance patch, bound to ``assignment`` at ``mission_time``.
+
+    The generic entry point behind :func:`repair_rate_sweep` and
+    :func:`test_interval_sweep`: every patch perturbs one event's
+    failure/repair model and freezes the perturbed probability at the given
+    mission time.  None of these scenarios change the structure function, so
+    the sweep executor reuses every cached subtree artifact — a
+    maintenance-policy sweep is a pure probability re-ranking.
+    """
+    return [
+        _named(patch.at(assignment, mission_time), prefix) for patch in patches
+    ]
+
+
+def repair_rate_sweep(
+    assignment: ReliabilityAssignment,
+    event: str,
+    rates: Sequence[float],
+    *,
+    mission_time: float,
+    prefix: Optional[str] = None,
+) -> List[Scenario]:
+    """One scenario per candidate repair rate ``mu`` of ``event``."""
+    return maintenance_sweep(
+        assignment,
+        [SetRepairRate(event, rate) for rate in rates],
+        mission_time=mission_time,
+        prefix=prefix,
+    )
+
+
+def test_interval_sweep(
+    assignment: ReliabilityAssignment,
+    event: str,
+    intervals: Sequence[float],
+    *,
+    mission_time: float,
+    prefix: Optional[str] = None,
+) -> List[Scenario]:
+    """One scenario per candidate inspection interval of ``event``."""
+    return maintenance_sweep(
+        assignment,
+        [SetTestInterval(event, interval) for interval in intervals],
+        mission_time=mission_time,
+        prefix=prefix,
+    )
 
 
 def scenario_grid(axes: Sequence[Sequence[Patch]], *, prefix: str = "") -> List[Scenario]:

@@ -23,31 +23,58 @@ built-in patch type (they are frozen dataclasses, so equality is field-wise).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Sequence, Tuple, Type
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.exceptions import ReproError
+from repro.fta.tree import FaultTree
+from repro.reliability.assignment import ReliabilityAssignment
+from repro.reliability.models import (
+    ExponentialFailure,
+    FailureModel,
+    FixedProbability,
+    PeriodicallyTestedComponent,
+    RepairableComponent,
+    WeibullFailure,
+)
 from repro.scenarios.patches import (
     AddRedundancy,
     AddSpareChild,
     ApplyCCF,
     Harden,
+    MaintenancePatch,
     Patch,
     RemoveEvent,
+    ScaleFailureRate,
     ScaleMissionTime,
     ScaleProbability,
+    ScaleRepairRate,
+    ScaleTestInterval,
+    SetFailureRate,
+    SetMTTR,
     SetProbability,
+    SetRepairRate,
+    SetTestInterval,
     SetVotingThreshold,
 )
+from repro.scenarios.planner import HardeningAction
 from repro.scenarios.scenario import (
     Scenario,
     ccf_beta_sweep,
     mission_time_sweep,
     probability_sweep,
+    repair_rate_sweep,
     scale_sweep,
     sweep_values,
+    test_interval_sweep,
 )
 
 __all__ = [
+    "actions_from_spec",
+    "action_from_dict",
+    "action_to_dict",
+    "assignment_from_documents",
+    "model_from_dict",
+    "model_to_dict",
     "patch_from_dict",
     "patch_to_dict",
     "scenario_from_dict",
@@ -71,6 +98,13 @@ _PATCH_TYPES: Dict[str, Type[Patch]] = {
     "add_spare_child": AddSpareChild,
     "set_voting_threshold": SetVotingThreshold,
     "apply_ccf": ApplyCCF,
+    "set_failure_rate": SetFailureRate,
+    "scale_failure_rate": ScaleFailureRate,
+    "set_repair_rate": SetRepairRate,
+    "scale_repair_rate": ScaleRepairRate,
+    "set_mttr": SetMTTR,
+    "set_test_interval": SetTestInterval,
+    "scale_test_interval": ScaleTestInterval,
 }
 
 #: Constructor fields per tag: (field, required).  Everything is a plain
@@ -85,6 +119,13 @@ _PATCH_FIELDS: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "add_spare_child": (("gate", True), ("probability", True), ("name", False)),
     "set_voting_threshold": (("gate", True), ("k", True)),
     "apply_ccf": (("group", True), ("members", True), ("beta", True)),
+    "set_failure_rate": (("event", True), ("failure_rate", True)),
+    "scale_failure_rate": (("event", True), ("factor", True)),
+    "set_repair_rate": (("event", True), ("repair_rate", True)),
+    "scale_repair_rate": (("event", True), ("factor", True)),
+    "set_mttr": (("event", True), ("mttr", True)),
+    "set_test_interval": (("event", True), ("test_interval", True)),
+    "scale_test_interval": (("event", True), ("factor", True)),
 }
 
 _TYPE_TAGS: Dict[Type[Patch], str] = {cls: tag for tag, cls in _PATCH_TYPES.items()}
@@ -128,7 +169,12 @@ def patch_from_dict(document: Mapping[str, Any]) -> Patch:
         raise SerializationError(
             f"patch {tag!r} has unknown fields: {', '.join(sorted(unknown))}"
         )
-    return cls(**kwargs)
+    try:
+        return cls(**kwargs)
+    except ReproError:
+        raise  # the patch's own __post_init__ validation: already descriptive
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"patch {tag!r} has malformed fields: {exc}") from exc
 
 
 def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
@@ -142,8 +188,43 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
     return document
 
 
-def scenario_from_dict(document: Mapping[str, Any]) -> Scenario:
-    """Reconstruct a named scenario from its JSON document."""
+def _bind_maintenance(
+    patch: Patch,
+    assignment: Optional[ReliabilityAssignment],
+    mission_time: Optional[float],
+    *,
+    context: str,
+) -> Patch:
+    """Bind a raw maintenance patch to the payload's assignment, or reject it."""
+    if not isinstance(patch, MaintenancePatch):
+        return patch
+    if assignment is None:
+        raise SerializationError(
+            f"{context} contains maintenance patch {patch.label!r}, which needs "
+            "reliability models; provide a 'models' section in the payload"
+        )
+    if mission_time is None:
+        raise SerializationError(
+            f"{context} contains maintenance patch {patch.label!r}, which needs a "
+            "numeric 'mission_time' in the payload"
+        )
+    return patch.at(assignment, mission_time)
+
+
+def scenario_from_dict(
+    document: Mapping[str, Any],
+    *,
+    assignment: Optional[ReliabilityAssignment] = None,
+    mission_time: Optional[float] = None,
+) -> Scenario:
+    """Reconstruct a named scenario from its JSON document.
+
+    Maintenance patches (``set_repair_rate`` and friends) perturb reliability
+    models, so they only deserialise when the surrounding payload supplies an
+    ``assignment`` (built from its ``models`` section) and a ``mission_time``
+    to bind them with; otherwise the document is rejected outright — at
+    submission time, not mid-job.
+    """
     if not isinstance(document, Mapping):
         raise SerializationError(f"scenario document must be an object, got {document!r}")
     try:
@@ -155,7 +236,15 @@ def scenario_from_dict(document: Mapping[str, Any]) -> Scenario:
         raise SerializationError("scenario 'patches' must be a list of patch documents")
     return Scenario(
         name,
-        [patch_from_dict(patch) for patch in patches],
+        [
+            _bind_maintenance(
+                patch_from_dict(patch),
+                assignment,
+                mission_time,
+                context=f"scenario {name!r}",
+            )
+            for patch in patches
+        ],
         description=document.get("description", ""),
     )
 
@@ -176,7 +265,46 @@ def _spec_values(spec: Mapping[str, Any], *, field: str = "values") -> List[floa
     )
 
 
-def scenarios_from_spec(spec: "Mapping[str, Any] | Sequence[Any]") -> List[Scenario]:
+def _maintenance_context(
+    family: str,
+    assignment: Optional[ReliabilityAssignment],
+    mission_time: Optional[float],
+    spec: Mapping[str, Any],
+) -> Tuple[ReliabilityAssignment, float]:
+    """Resolve the assignment + mission time a maintenance family needs."""
+    if assignment is None:
+        raise SerializationError(
+            f"sweep family {family!r} perturbs reliability models; provide a "
+            "'models' section in the payload"
+        )
+    resolved = spec.get("mission_time", mission_time)
+    if resolved is None:
+        raise SerializationError(
+            f"sweep family {family!r} needs a numeric 'mission_time' (in the spec "
+            "or the payload)"
+        )
+    if not isinstance(resolved, (int, float)) or isinstance(resolved, bool):
+        raise SerializationError(
+            f"sweep family {family!r}: 'mission_time' must be a number, got {resolved!r}"
+        )
+    if mission_time is not None and float(resolved) != float(mission_time):
+        # The base tree was already frozen at the payload's mission time; a
+        # different spec-level time would silently conflate the maintenance
+        # change with an unrequested mission-time change in every delta.
+        raise SerializationError(
+            f"sweep family {family!r}: spec mission_time {resolved!r} conflicts "
+            f"with the payload's mission_time {mission_time!r} the base tree is "
+            "frozen at"
+        )
+    return assignment, float(resolved)
+
+
+def scenarios_from_spec(
+    spec: "Mapping[str, Any] | Sequence[Any]",
+    *,
+    assignment: Optional[ReliabilityAssignment] = None,
+    mission_time: Optional[float] = None,
+) -> List[Scenario]:
     """Expand a JSON sweep description into a scenario list.
 
     Accepts either an explicit list of scenario documents
@@ -184,12 +312,39 @@ def scenarios_from_spec(spec: "Mapping[str, Any] | Sequence[Any]") -> List[Scena
     spec carrying a ``family`` tag: ``probability_sweep`` (``event`` +
     values/range), ``scale_sweep`` (``event`` + ``factors``),
     ``mission_time_sweep`` (``factors``), ``ccf_beta_sweep`` (``group``,
-    ``members``, ``betas``).
+    ``members``, ``betas``), and — given an ``assignment`` built from the
+    payload's ``models`` section plus a ``mission_time`` —
+    ``repair_rate_sweep`` (``event`` + ``rates``/range) and
+    ``test_interval_sweep`` (``event`` + ``intervals``/range).
     """
     if isinstance(spec, Sequence) and not isinstance(spec, (str, bytes)):
-        return [scenario_from_dict(document) for document in spec]
+        return [
+            scenario_from_dict(
+                document, assignment=assignment, mission_time=mission_time
+            )
+            for document in spec
+        ]
     if not isinstance(spec, Mapping):
         raise SerializationError(f"sweep spec must be an object or a list, got {spec!r}")
+    try:
+        return _scenarios_from_family_spec(
+            spec, assignment=assignment, mission_time=mission_time
+        )
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        # Missing fields and uncoercible values must surface as the wire
+        # format's own error (an HTTP 400 at submit time), never as a bare
+        # KeyError/ValueError crashing the request handler.
+        raise SerializationError(f"malformed sweep spec {dict(spec)!r}: {exc!r}") from exc
+
+
+def _scenarios_from_family_spec(
+    spec: Mapping[str, Any],
+    *,
+    assignment: Optional[ReliabilityAssignment],
+    mission_time: Optional[float],
+) -> List[Scenario]:
     family = spec.get("family")
     prefix = spec.get("prefix")
     if family == "probability_sweep":
@@ -207,7 +362,160 @@ def scenarios_from_spec(spec: "Mapping[str, Any] | Sequence[Any]") -> List[Scena
             [float(b) for b in spec["betas"]],
             prefix=prefix,
         )
+    if family == "repair_rate_sweep":
+        bound, time = _maintenance_context(family, assignment, mission_time, spec)
+        return repair_rate_sweep(
+            bound,
+            spec["event"],
+            _spec_values(spec, field="rates"),
+            mission_time=time,
+            prefix=prefix,
+        )
+    if family == "test_interval_sweep":
+        bound, time = _maintenance_context(family, assignment, mission_time, spec)
+        return test_interval_sweep(
+            bound,
+            spec["event"],
+            _spec_values(spec, field="intervals"),
+            mission_time=time,
+            prefix=prefix,
+        )
     raise SerializationError(
         f"unknown sweep family {family!r}; expected probability_sweep, scale_sweep, "
-        "mission_time_sweep or ccf_beta_sweep"
+        "mission_time_sweep, ccf_beta_sweep, repair_rate_sweep or test_interval_sweep"
     )
+
+
+# -- failure-model documents (the sweep payload's 'models' section) ----------------------
+
+#: Tag <-> class table for reliability models; tags mirror the patch tags.
+_MODEL_TYPES: Dict[str, Type[FailureModel]] = {
+    "fixed": FixedProbability,
+    "exponential": ExponentialFailure,
+    "weibull": WeibullFailure,
+    "repairable": RepairableComponent,
+    "periodically_tested": PeriodicallyTestedComponent,
+}
+
+_MODEL_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "fixed": ("probability",),
+    "exponential": ("failure_rate",),
+    "weibull": ("shape", "scale"),
+    "repairable": ("failure_rate", "repair_rate"),
+    "periodically_tested": ("failure_rate", "test_interval"),
+}
+
+_MODEL_TAGS: Dict[Type[FailureModel], str] = {
+    cls: tag for tag, cls in _MODEL_TYPES.items()
+}
+
+
+def model_to_dict(model: FailureModel) -> Dict[str, Any]:
+    """Tagged JSON document for one built-in failure model."""
+    tag = _MODEL_TAGS.get(type(model))
+    if tag is None:
+        raise SerializationError(
+            f"failure model {type(model).__name__!r} has no JSON form; "
+            "only the built-in models serialise"
+        )
+    document: Dict[str, Any] = {"type": tag}
+    for field in _MODEL_FIELDS[tag]:
+        document[field] = getattr(model, field)
+    return document
+
+
+def model_from_dict(document: Mapping[str, Any]) -> FailureModel:
+    """Reconstruct a failure model from its tagged JSON document."""
+    if not isinstance(document, Mapping) or "type" not in document:
+        raise SerializationError(f"model document needs a 'type' tag, got {document!r}")
+    tag = document["type"]
+    cls = _MODEL_TYPES.get(tag)
+    if cls is None:
+        raise SerializationError(
+            f"unknown model type {tag!r}; expected one of {', '.join(sorted(_MODEL_TYPES))}"
+        )
+    fields = _MODEL_FIELDS[tag]
+    missing = [field for field in fields if field not in document]
+    if missing:
+        raise SerializationError(
+            f"model {tag!r} is missing the required field(s) {', '.join(missing)}"
+        )
+    unknown = set(document) - {"type"} - set(fields)
+    if unknown:
+        raise SerializationError(
+            f"model {tag!r} has unknown fields: {', '.join(sorted(unknown))}"
+        )
+    return cls(**{field: document[field] for field in fields})
+
+
+def assignment_from_documents(
+    tree: FaultTree, models: Mapping[str, Mapping[str, Any]]
+) -> ReliabilityAssignment:
+    """Build a :class:`ReliabilityAssignment` from a tree and model documents.
+
+    ``models`` maps basic-event names to tagged model documents; events not
+    listed keep their static probability from the tree.  Unknown events and
+    malformed documents raise (the service maps this to HTTP 400).
+    """
+    if not isinstance(models, Mapping):
+        raise SerializationError(
+            f"'models' must map event names to model documents, got {models!r}"
+        )
+    return ReliabilityAssignment(
+        tree, {name: model_from_dict(document) for name, document in models.items()}
+    )
+
+
+# -- hardening-action documents (the frontier/plan payloads) -----------------------------
+
+_ACTION_FIELDS: Tuple[Tuple[str, bool], ...] = (
+    ("event", True),
+    ("cost", True),
+    ("factor", False),
+    ("probability", False),
+)
+
+
+def action_to_dict(action: HardeningAction) -> Dict[str, Any]:
+    """JSON document for one hardening action."""
+    document: Dict[str, Any] = {}
+    for field, _ in _ACTION_FIELDS:
+        value = getattr(action, field)
+        if value is not None:
+            document[field] = value
+    return document
+
+
+def action_from_dict(document: Mapping[str, Any]) -> HardeningAction:
+    """Reconstruct a hardening action from its JSON document."""
+    if not isinstance(document, Mapping):
+        raise SerializationError(f"action document must be an object, got {document!r}")
+    kwargs: Dict[str, Any] = {}
+    for field, required in _ACTION_FIELDS:
+        if field in document:
+            kwargs[field] = document[field]
+        elif required:
+            raise SerializationError(
+                f"action document is missing the required field {field!r}"
+            )
+    unknown = set(document) - {field for field, _ in _ACTION_FIELDS}
+    if unknown:
+        raise SerializationError(
+            f"action document has unknown fields: {', '.join(sorted(unknown))}"
+        )
+    action = HardeningAction(**kwargs)
+    # Constructing the patch eagerly validates the effect parameters (factor
+    # in (0, 1], probability in [0, 1]) at deserialisation time.
+    action.as_patch()
+    return action
+
+
+def actions_from_spec(spec: Sequence[Any]) -> List[HardeningAction]:
+    """Deserialise the ``actions`` list of a frontier/plan payload."""
+    if not isinstance(spec, Sequence) or isinstance(spec, (str, bytes)):
+        raise SerializationError(
+            f"'actions' must be a list of action documents, got {spec!r}"
+        )
+    if not spec:
+        raise SerializationError("'actions' must list at least one hardening action")
+    return [action_from_dict(document) for document in spec]

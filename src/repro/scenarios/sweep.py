@@ -30,7 +30,11 @@ from repro.bdd.probability import probability_of_bdd
 from repro.exceptions import ReproError
 from repro.fta.tree import FaultTree
 from repro.scenarios.incremental import seed_session_cut_sets
-from repro.scenarios.report import ScenarioOutcome, ScenarioReport
+from repro.scenarios.report import (
+    ScenarioOutcome,
+    ScenarioReport,
+    mpmcs_identity_changed,
+)
 from repro.scenarios.scenario import Scenario
 
 __all__ = ["SweepExecutor", "run_sweep"]
@@ -170,10 +174,8 @@ class SweepExecutor:
                         if mpmcs is not None and base_mpmcs_probability is not None
                         else None
                     ),
-                    mpmcs_changed=(
-                        mpmcs is not None
-                        and base_mpmcs_events is not None
-                        and mpmcs.events != base_mpmcs_events
+                    mpmcs_changed=mpmcs_identity_changed(
+                        base_mpmcs_events, mpmcs.events if mpmcs is not None else None
                     ),
                     time_s=time.perf_counter() - scenario_started,
                 )

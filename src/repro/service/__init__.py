@@ -8,9 +8,10 @@ The missing layer between the :mod:`repro.api` facade and a deployable tool:
   CNF encodings and BDDs computed by one process are reused by the next —
   across restarts and across concurrent workers;
 * a **job queue and worker pool** (:mod:`repro.service.jobs`,
-  :mod:`repro.service.workers`) accepting analysis, batch and scenario-sweep
-  jobs, with sweeps partitioned over a process pool whose workers share
-  artifacts through the disk store (:func:`run_parallel_sweep`);
+  :mod:`repro.service.workers`) accepting analysis, batch, scenario-sweep
+  and Pareto-frontier jobs, with sweeps partitioned over a process pool
+  whose workers share artifacts through the disk store
+  (:func:`run_parallel_sweep`);
 * a **dependency-free HTTP/JSON front end** (:mod:`repro.service.http`,
   built on :mod:`http.server`) to submit trees and sweeps, poll job status
   and fetch finished reports, plus the matching ``repro serve`` /

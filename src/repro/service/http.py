@@ -13,6 +13,7 @@ GET    ``/backends``              registered analysis backends and capabilities
 POST   ``/analyze``               submit a single-tree analysis job
 POST   ``/batch``                 submit a many-trees batch job
 POST   ``/sweep``                 submit a scenario sweep job
+POST   ``/frontier``              submit a Pareto-frontier mitigation-planning job
 GET    ``/jobs``                  list jobs in the ledger
 GET    ``/jobs/<id>``             one job's status document
 GET    ``/jobs/<id>/result``      the finished job's result (409 until done)
@@ -44,7 +45,11 @@ from repro.fta.serializers import to_json_document
 from repro.fta.tree import FaultTree
 from repro.service.jobs import Job, JobError, JobQueue, JobStatus
 from repro.service.store import open_store
-from repro.service.workers import WorkerPool
+from repro.service.workers import (
+    WorkerPool,
+    decode_frontier_payload,
+    decode_sweep_payload,
+)
 
 __all__ = ["AnalysisService", "ServiceClient", "ServiceError", "serve"]
 
@@ -114,11 +119,22 @@ class AnalysisService:
     # -- operations (shared by HTTP handler and direct Python use) --------------------
 
     def submit(self, kind: str, payload: Dict[str, Any]) -> Job:
-        """Validate the payload shape early and enqueue the job."""
-        if kind in ("analyze", "sweep") and not isinstance(payload.get("tree"), dict):
+        """Validate the payload early and enqueue the job.
+
+        Sweep and frontier payloads are *fully decoded* here — tree, patch
+        parameters, family specs, reliability models, hardening actions — so
+        a malformed submission is rejected with an immediate HTTP 400 instead
+        of failing later, once per scenario, in a worker.  (The decoded
+        objects are discarded; workers decode again from the queued JSON.)
+        """
+        if kind in ("analyze", "sweep", "frontier") and not isinstance(
+            payload.get("tree"), dict
+        ):
             raise JobError(f"{kind} payload needs a 'tree' JSON document")
-        if kind == "sweep" and payload.get("scenarios") is None:
-            raise JobError("sweep payload needs a 'scenarios' list or family spec")
+        if kind == "sweep":
+            decode_sweep_payload(payload)
+        if kind == "frontier":
+            decode_frontier_payload(payload)
         if kind == "batch" and not isinstance(payload.get("trees"), list):
             raise JobError("batch payload needs a 'trees' list of JSON documents")
         return self.queue.submit(kind, payload)
@@ -207,7 +223,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
         try:
-            if path in ("/analyze", "/batch", "/sweep"):
+            if path in ("/analyze", "/batch", "/sweep", "/frontier"):
                 self._submit(path.lstrip("/"))
             elif path.startswith("/jobs/") and path.endswith("/cancel"):
                 job = self.service.queue.cancel(path[len("/jobs/") : -len("/cancel")])
@@ -349,6 +365,19 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         payload = {"trees": [self._tree_document(tree) for tree in trees], **options}
         return self._request("POST", "/batch", payload)["job"]
+
+    def submit_frontier(
+        self,
+        tree: Union[FaultTree, Dict[str, Any]],
+        actions: Sequence[Dict[str, Any]],
+        **options: Any,
+    ) -> Dict[str, Any]:
+        payload = {
+            "tree": self._tree_document(tree),
+            "actions": list(actions),
+            **options,
+        }
+        return self._request("POST", "/frontier", payload)["job"]
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")["job"]

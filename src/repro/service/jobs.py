@@ -24,7 +24,7 @@ from repro.exceptions import ReproError
 __all__ = ["Job", "JobError", "JobQueue", "JobStatus", "JOB_KINDS"]
 
 #: Work types the service understands (see :mod:`repro.service.workers`).
-JOB_KINDS = ("analyze", "batch", "sweep")
+JOB_KINDS = ("analyze", "batch", "sweep", "frontier")
 
 
 class JobError(ReproError):

@@ -41,6 +41,7 @@ import pickle
 import re
 import struct
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
@@ -105,6 +106,10 @@ class DiskArtifactStore(ArtifactStoreBackend):
         except OSError:
             pass
         self._entries_memo: Optional[Tuple[float, int]] = None
+        # One handle is shared by every worker thread (the pool deliberately
+        # shares it so the statistics cover the whole service), so the memo's
+        # read-modify-write updates need a lock to not lose counts.
+        self._memo_lock = threading.Lock()
         self._counters: Dict[str, int] = {
             "loads": 0,
             "load_hits": 0,
@@ -173,7 +178,22 @@ class DiskArtifactStore(ArtifactStoreBackend):
                     if self.fsync:
                         handle.flush()
                         os.fsync(handle.fileno())
-                os.replace(temp_name, path)
+                # Keep the memoised entry count fresh under heavy writing: a
+                # brand-new entry bumps the count in place (overwrites leave
+                # it unchanged).  The existence check, the publishing rename
+                # and the bump form one critical section so two threads
+                # racing on the same new key cannot both count it; the memo's
+                # timestamp is deliberately untouched so the periodic full
+                # recount still reconciles entries written by *other*
+                # processes sharing the store directory.
+                with self._memo_lock:
+                    existed = path.is_file()
+                    os.replace(temp_name, path)
+                    if not existed and self._entries_memo is not None:
+                        self._entries_memo = (
+                            self._entries_memo[0],
+                            self._entries_memo[1] + 1,
+                        )
             except BaseException:
                 self._unlink_quietly(Path(temp_name))
                 raise
@@ -261,13 +281,24 @@ class DiskArtifactStore(ArtifactStoreBackend):
         Counting entries walks the store directory (O(entries)); the count is
         memoised for :data:`ENTRIES_MEMO_TTL_S` so a monitoring loop polling
         ``/health`` does not turn into a continuous filesystem scan.  Writes
-        through this handle refresh the memo opportunistically.
+        of *new* entries through this handle bump the memoised count in place
+        (see :meth:`store`), so ``entries`` stays accurate during heavy
+        writing; entries created by other processes appear at the next
+        TTL-driven recount.
         """
         now = time.monotonic()
-        if self._entries_memo is None or now - self._entries_memo[0] > self.ENTRIES_MEMO_TTL_S:
-            self._entries_memo = (now, len(self))
+        with self._memo_lock:
+            memo = self._entries_memo
+        if memo is None or now - memo[0] > self.ENTRIES_MEMO_TTL_S:
+            # len(self) walks the directory: keep it outside the lock, and
+            # re-check on publication so a racing recount is not regressed.
+            memo = (now, len(self))
+            with self._memo_lock:
+                if self._entries_memo is None or self._entries_memo[0] < now:
+                    self._entries_memo = memo
+                memo = self._entries_memo
         stats: Dict[str, Any] = dict(self._counters)
-        stats["entries"] = self._entries_memo[1]
+        stats["entries"] = memo[1]
         stats["root"] = str(self.root)
         stats["format_version"] = FORMAT_VERSION
         return stats

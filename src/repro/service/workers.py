@@ -33,9 +33,15 @@ from repro.api.session import AnalysisSession
 from repro.exceptions import ReproError
 from repro.fta.parsers.json_format import parse_json_document
 from repro.fta.tree import FaultTree
+from repro.reliability.assignment import ReliabilityAssignment
+from repro.scenarios.planner import HardeningAction, pareto_frontier, validate_actions
 from repro.scenarios.report import ScenarioReport
 from repro.scenarios.scenario import Scenario
-from repro.scenarios.serialization import scenarios_from_spec
+from repro.scenarios.serialization import (
+    actions_from_spec,
+    assignment_from_documents,
+    scenarios_from_spec,
+)
 from repro.scenarios.sweep import DEFAULT_ANALYSES, DEFAULT_BACKEND, SweepExecutor
 from repro.service.jobs import Job, JobError, JobQueue
 from repro.service.store import DiskArtifactStore, open_store
@@ -43,9 +49,82 @@ from repro.service.store import DiskArtifactStore, open_store
 __all__ = [
     "JobRunner",
     "WorkerPool",
+    "decode_frontier_payload",
+    "decode_sweep_payload",
     "merge_scenario_reports",
     "run_parallel_sweep",
 ]
+
+#: Frontier methods accepted over the wire.
+_FRONTIER_METHODS = ("auto", "exact", "greedy")
+
+
+def _materialised_tree(
+    payload: Dict[str, Any]
+) -> Tuple[FaultTree, Optional[ReliabilityAssignment], Optional[float]]:
+    """Decode the payload's tree, materialising reliability models if present.
+
+    A payload may carry a ``models`` section (event name -> tagged failure
+    model document) plus a ``mission_time``; the analysed tree is then the
+    :class:`~repro.reliability.assignment.ReliabilityAssignment` frozen at
+    that time, and the assignment is returned alongside so maintenance
+    scenarios can bind to it.
+    """
+    document = payload.get("tree")
+    if not isinstance(document, dict):
+        raise JobError("job payload needs a 'tree' JSON document")
+    tree = parse_json_document(document)
+    raw_time = payload.get("mission_time")
+    mission_time: Optional[float] = None
+    if raw_time is not None:
+        if not isinstance(raw_time, (int, float)) or isinstance(raw_time, bool):
+            raise JobError(f"'mission_time' must be a number, got {raw_time!r}")
+        mission_time = float(raw_time)
+    models = payload.get("models")
+    if models is None:
+        return tree, None, mission_time
+    if mission_time is None:
+        raise JobError("a payload with 'models' needs a numeric 'mission_time'")
+    assignment = assignment_from_documents(tree, models)
+    return assignment.tree_at(mission_time), assignment, mission_time
+
+
+def decode_sweep_payload(
+    payload: Dict[str, Any]
+) -> Tuple[FaultTree, List[Scenario]]:
+    """Decode (and thereby fully validate) a sweep job payload.
+
+    Shared by :meth:`JobRunner.execute` and the HTTP submit path: running it
+    at submission time turns malformed trees, patches and specs into
+    immediate HTTP 400s instead of per-scenario failures mid-job.
+    """
+    tree, assignment, mission_time = _materialised_tree(payload)
+    spec = payload.get("scenarios")
+    if spec is None:
+        raise JobError("sweep job payload needs a 'scenarios' list or family spec")
+    scenarios = scenarios_from_spec(
+        spec, assignment=assignment, mission_time=mission_time
+    )
+    return tree, scenarios
+
+
+def decode_frontier_payload(
+    payload: Dict[str, Any]
+) -> Tuple[FaultTree, List[HardeningAction], Dict[str, Any]]:
+    """Decode (and thereby fully validate) a frontier job payload."""
+    tree, _, _ = _materialised_tree(payload)
+    actions = actions_from_spec(payload.get("actions"))
+    validate_actions(tree, actions)
+    method = payload.get("method", "auto")
+    if method not in _FRONTIER_METHODS:
+        raise JobError(
+            f"unknown frontier method {method!r}; expected one of "
+            f"{', '.join(_FRONTIER_METHODS)}"
+        )
+    precision = payload.get("precision", 10**6)
+    if not isinstance(precision, int) or isinstance(precision, bool) or precision < 1:
+        raise JobError(f"'precision' must be a positive integer, got {precision!r}")
+    return tree, actions, {"method": method, "precision": precision}
 
 
 def _merge_cache_stats(parts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
@@ -288,6 +367,8 @@ class JobRunner:
             return self._run_batch(job.payload)
         if job.kind == "sweep":
             return self._run_sweep(job.payload)
+        if job.kind == "frontier":
+            return self._run_frontier(job.payload)
         raise JobError(f"unknown job kind {job.kind!r}")
 
     def _run_analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -318,11 +399,7 @@ class JobRunner:
         }
 
     def _run_sweep(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        tree = self._tree_from(payload)
-        spec = payload.get("scenarios")
-        if spec is None:
-            raise JobError("sweep job payload needs a 'scenarios' list or family spec")
-        scenarios = scenarios_from_spec(spec)
+        tree, scenarios = decode_sweep_payload(payload)
         # A missing/zero workers field means "use the service default" (the
         # CLI always sends the key, with 0 when the user did not choose).
         workers = int(payload.get("workers") or 0) or self.sweep_workers
@@ -347,6 +424,23 @@ class JobRunner:
             "workers": workers,
             "num_scenarios": len(report),
             "report": report.to_dict(),
+        }
+
+    def _run_frontier(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        tree, actions, options = decode_frontier_payload(payload)
+        frontier = pareto_frontier(
+            tree,
+            actions,
+            method=options["method"],
+            precision=options["precision"],
+            cache=self.session.artifacts,
+        )
+        return {
+            "kind": "frontier",
+            "tree": tree.name,
+            "method": frontier.method,
+            "num_points": len(frontier),
+            "frontier": frontier.to_dict(),
         }
 
 

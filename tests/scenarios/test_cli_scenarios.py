@@ -111,3 +111,104 @@ class TestPlanCommand:
     def test_malformed_action_is_an_error(self, capsys):
         assert main(["plan", "--builtin", "fps", "--action", "x1", "--budget", "1"]) == 1
         assert "NAME=VALUE" in capsys.readouterr().err
+
+
+class TestMaintenanceSweepFlags:
+    def test_repair_rate_sweep(self, capsys):
+        code = main(
+            ["sweep", "--builtin", "fps", "--event", "x1",
+             "--repair-rate", "0.01,0.1,1", "--failure-rate", "0.001",
+             "--mission-time", "1000"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mu(x1)=0.01@t=1000" in output and "mu(x1)=1@t=1000" in output
+        assert "subtree cache:" in output
+
+    def test_test_interval_sweep(self, capsys):
+        code = main(
+            ["sweep", "--builtin", "fps", "--event", "x5",
+             "--test-interval", "100,500,1000", "--failure-rate", "0.0001",
+             "--mission-time", "1000"]
+        )
+        assert code == 0
+        assert "tau(x5)=100@t=1000" in capsys.readouterr().out
+
+    def test_maintenance_flags_need_failure_rate(self, capsys):
+        assert main(
+            ["sweep", "--builtin", "fps", "--event", "x1", "--repair-rate", "0.1"]
+        ) == 1
+        assert "--failure-rate" in capsys.readouterr().err
+
+    def test_maintenance_flags_are_mutually_exclusive(self, capsys):
+        assert main(
+            ["sweep", "--builtin", "fps", "--event", "x1", "--repair-rate", "0.1",
+             "--test-interval", "100", "--failure-rate", "0.001"]
+        ) == 1
+        assert "not both" in capsys.readouterr().err
+
+
+class TestParetoFlag:
+    def test_pareto_frontier_table(self, capsys):
+        code = main(
+            ["plan", "--builtin", "fps", "--action", "x1=2", "--action", "x2=2",
+             "--action", "x4=1", "--action", "x5=1", "--pareto"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "method      : exact" in output
+        assert "(base)" in output                  # the cost-0 endpoint
+        assert "ΔP(MPMCS)" in output
+
+    def test_pareto_with_budget_names_the_affordable_point(self, capsys):
+        code = main(
+            ["plan", "--builtin", "fps", "--action", "x1=2", "--action", "x5=1",
+             "--budget", "3", "--pareto"]
+        )
+        assert code == 0
+        assert "budget 3 buys:" in capsys.readouterr().out
+
+    def test_pareto_json_output(self, tmp_path, capsys):
+        out = tmp_path / "frontier.json"
+        code = main(
+            ["plan", "--builtin", "fps", "--action", "x1=2", "--action", "x5=1",
+             "--pareto", "--method", "greedy", "-o", str(out)]
+        )
+        assert code == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["method"] == "greedy"
+        assert document["points"][0]["cost"] == 0
+
+    def test_plan_without_budget_is_an_error(self, capsys):
+        assert main(["plan", "--builtin", "fps", "--action", "x1=2"]) == 1
+        assert "--budget" in capsys.readouterr().err
+
+    def test_plan_json_output(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        code = main(
+            ["plan", "--builtin", "fps", "--action", "x1=2", "--budget", "2",
+             "--method", "exact", "-o", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text(encoding="utf-8"))["method"] == "maxsat"
+
+    def test_maintenance_flags_need_mission_time(self, capsys):
+        assert main(
+            ["sweep", "--builtin", "fps", "--event", "x1",
+             "--repair-rate", "0.1", "--failure-rate", "0.001"]
+        ) == 1
+        assert "--mission-time" in capsys.readouterr().err
+
+    def test_pareto_rejects_non_mpmcs_objective(self, capsys):
+        assert main(
+            ["plan", "--builtin", "fps", "--action", "x1=2", "--pareto",
+             "--objective", "top-event"]
+        ) == 1
+        assert "mpmcs" in capsys.readouterr().err
+
+    def test_empty_rate_list_is_a_clean_error(self, capsys):
+        assert main(
+            ["sweep", "--builtin", "fps", "--event", "x1", "--repair-rate", ",",
+             "--failure-rate", "0.001", "--mission-time", "1000"]
+        ) == 1
+        assert "at least one repair rate" in capsys.readouterr().err

@@ -1,0 +1,234 @@
+"""Maintenance patches: model perturbation, binding, and end-to-end sweeps."""
+
+import pytest
+
+from repro.exceptions import FaultTreeError
+from repro.reliability import (
+    ExponentialFailure,
+    FixedProbability,
+    PeriodicallyTestedComponent,
+    ReliabilityAssignment,
+    RepairableComponent,
+    WeibullFailure,
+)
+from repro.scenarios import (
+    ScaleFailureRate,
+    ScaleRepairRate,
+    ScaleTestInterval,
+    Scenario,
+    SetFailureRate,
+    SetMTTR,
+    SetRepairRate,
+    SetTestInterval,
+    SweepExecutor,
+    maintenance_sweep,
+    repair_rate_sweep,
+)
+from repro.scenarios import test_interval_sweep as interval_sweep  # noqa: F401 - aliased so pytest does not collect it
+from repro.workloads.library import fire_protection_system
+
+MISSION_TIME = 1000.0
+
+
+@pytest.fixture()
+def assignment():
+    bound = ReliabilityAssignment(fire_protection_system())
+    bound.assign("x1", RepairableComponent(failure_rate=1e-3, repair_rate=0.01))
+    bound.assign("x2", RepairableComponent(failure_rate=5e-4, repair_rate=0.02))
+    bound.assign("x5", PeriodicallyTestedComponent(failure_rate=1e-4, test_interval=500.0))
+    bound.assign("x6", ExponentialFailure(failure_rate=2e-5))
+    return bound
+
+
+class TestPerturbSemantics:
+    def test_set_repair_rate(self, assignment):
+        model = SetRepairRate("x1", 0.5).perturb(assignment.model_for("x1"))
+        assert model == RepairableComponent(failure_rate=1e-3, repair_rate=0.5)
+
+    def test_scale_repair_rate(self, assignment):
+        model = ScaleRepairRate("x1", 10.0).perturb(assignment.model_for("x1"))
+        assert model.repair_rate == pytest.approx(0.1)
+        assert model.failure_rate == 1e-3  # untouched
+
+    def test_set_mttr_is_inverse_repair_rate(self, assignment):
+        model = SetMTTR("x1", 4.0).perturb(assignment.model_for("x1"))
+        assert model.repair_rate == pytest.approx(0.25)
+
+    def test_set_and_scale_test_interval(self, assignment):
+        base = assignment.model_for("x5")
+        assert SetTestInterval("x5", 100.0).perturb(base).test_interval == 100.0
+        assert ScaleTestInterval("x5", 0.5).perturb(base).test_interval == 250.0
+
+    def test_failure_rate_patches_cover_every_rated_model(self, assignment):
+        for event in ("x1", "x5", "x6"):
+            model = SetFailureRate(event, 7e-3).perturb(assignment.model_for(event))
+            assert model.failure_rate == 7e-3
+            scaled = ScaleFailureRate(event, 2.0).perturb(assignment.model_for(event))
+            assert scaled.failure_rate == pytest.approx(
+                2.0 * assignment.model_for(event).failure_rate
+            )
+
+    def test_wrong_model_kind_rejected(self, assignment):
+        with pytest.raises(FaultTreeError, match="repairable-component"):
+            SetRepairRate("x5", 0.1).perturb(assignment.model_for("x5"))
+        with pytest.raises(FaultTreeError, match="periodically-tested"):
+            SetTestInterval("x1", 100.0).perturb(assignment.model_for("x1"))
+        with pytest.raises(FaultTreeError, match="constant-failure-rate"):
+            SetFailureRate("x3", 1e-3).perturb(FixedProbability(0.1))
+        with pytest.raises(FaultTreeError, match="constant-failure-rate"):
+            ScaleFailureRate("w", 2.0).perturb(WeibullFailure(shape=2.0, scale=100.0))
+
+    def test_parameters_validated_at_construction(self):
+        with pytest.raises(FaultTreeError):
+            SetRepairRate("x1", 0.0)
+        with pytest.raises(FaultTreeError):
+            ScaleRepairRate("x1", -1.0)
+        with pytest.raises(FaultTreeError):
+            SetMTTR("x1", 0.0)
+        with pytest.raises(FaultTreeError):
+            SetTestInterval("x5", float("inf"))
+        with pytest.raises(FaultTreeError):
+            SetFailureRate("", 1e-3)
+
+
+class TestBinding:
+    def test_unbound_apply_is_a_clear_error(self, assignment):
+        with pytest.raises(FaultTreeError, match="bind it with .at"):
+            SetRepairRate("x1", 0.1).apply(fire_protection_system())
+
+    def test_apply_to_assignment_is_non_destructive(self, assignment):
+        perturbed = SetRepairRate("x1", 0.5).apply_to_assignment(assignment)
+        assert perturbed.model_for("x1").repair_rate == 0.5
+        assert assignment.model_for("x1").repair_rate == 0.01
+        assert perturbed.model_for("x2") == assignment.model_for("x2")
+
+    def test_bound_apply_matches_direct_materialisation(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        patch = SetRepairRate("x1", 0.5)
+        patched = patch.at(assignment, MISSION_TIME).apply(base)
+        direct = patch.apply_to_assignment(assignment).tree_at(MISSION_TIME)
+        assert patched.probabilities() == direct.probabilities()
+
+    def test_bound_apply_keeps_structure_and_base(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        version = base.version
+        patched = SetMTTR("x1", 10.0).at(assignment, MISSION_TIME).apply(base)
+        assert base.version == version  # non-destructive
+        assert patched.gates.keys() == base.gates.keys()
+
+    def test_bound_label_names_the_mission_time(self, assignment):
+        bound = SetRepairRate("x1", 0.5).at(assignment, MISSION_TIME)
+        assert bound.label == "mu(x1)=0.5@t=1000"
+
+    def test_unknown_event_rejected_at_bind(self, assignment):
+        with pytest.raises(FaultTreeError):
+            SetRepairRate("nope", 0.5).at(assignment, MISSION_TIME)
+
+    def test_incompatible_model_rejected_at_bind(self, assignment):
+        # x5 is periodically tested; a repair-rate patch must fail when bound,
+        # not once per scenario in the middle of a sweep
+        with pytest.raises(FaultTreeError, match="repairable-component"):
+            SetRepairRate("x5", 0.5).at(assignment, MISSION_TIME)
+
+    def test_invalid_mission_time_rejected(self, assignment):
+        with pytest.raises(FaultTreeError):
+            SetRepairRate("x1", 0.5).at(assignment, -1.0)
+
+
+class TestMaintenanceSweeps:
+    def test_repair_rate_sweep_matches_direct_tree_at(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        rates = [0.001, 0.01, 0.1, 1.0]
+        report = SweepExecutor().run(
+            base, repair_rate_sweep(assignment, "x1", rates, mission_time=MISSION_TIME)
+        )
+        assert not report.failures
+        for rate, outcome in zip(rates, report.outcomes):
+            direct_tree = (
+                SetRepairRate("x1", rate)
+                .apply_to_assignment(assignment)
+                .tree_at(MISSION_TIME)
+            )
+            direct = SweepExecutor().run(direct_tree, [])
+            assert outcome.top_event == pytest.approx(direct.base_top_event, rel=1e-12)
+            assert outcome.mpmcs_probability == pytest.approx(
+                direct.base_mpmcs_probability, rel=1e-12
+            )
+
+    def test_sweep_is_pure_probability_rerank(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        rates = [0.001, 0.01, 0.1, 1.0]
+        report = SweepExecutor().run(
+            base, repair_rate_sweep(assignment, "x1", rates, mission_time=MISSION_TIME)
+        )
+        reuse = report.subtree_reuse
+        assert reuse["misses"] == base.num_gates
+        assert reuse["hits"] == base.num_gates * len(rates)
+
+    def test_incremental_and_naive_paths_agree(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        scenarios = repair_rate_sweep(
+            assignment, "x1", [0.005, 0.05, 0.5], mission_time=MISSION_TIME
+        )
+        incremental = SweepExecutor().run(base, scenarios).to_canonical_dict()
+        naive = SweepExecutor(incremental=False).run(base, scenarios).to_canonical_dict()
+        # The reports differ only in the configuration flag naming the path.
+        incremental.pop("incremental")
+        naive.pop("incremental")
+        assert incremental == naive
+
+    def test_faster_repair_lowers_risk_monotonically(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        report = SweepExecutor().run(
+            base,
+            repair_rate_sweep(
+                assignment, "x1", [0.001, 0.01, 0.1, 1.0], mission_time=MISSION_TIME
+            ),
+        )
+        tops = [outcome.top_event for outcome in report.outcomes]
+        assert tops == sorted(tops, reverse=True)
+
+    def test_test_interval_sweep(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        report = SweepExecutor().run(
+            base,
+            interval_sweep(
+                assignment, "x5", [100.0, 500.0, 1000.0], mission_time=MISSION_TIME
+            ),
+        )
+        assert not report.failures
+        assert [outcome.name for outcome in report.outcomes] == [
+            "tau(x5)=100@t=1000",
+            "tau(x5)=500@t=1000",
+            "tau(x5)=1000@t=1000",
+        ]
+
+    def test_maintenance_sweep_composes_mixed_patches(self, assignment):
+        base = assignment.tree_at(MISSION_TIME)
+        report = SweepExecutor().run(
+            base,
+            maintenance_sweep(
+                assignment,
+                [SetRepairRate("x1", 0.1), SetTestInterval("x5", 100.0)],
+                mission_time=MISSION_TIME,
+            ),
+        )
+        assert not report.failures
+        assert all(outcome.top_event <= report.base_top_event for outcome in report.outcomes)
+
+    def test_mixed_scenario_composes_with_static_patches(self, assignment):
+        from repro.scenarios import SetProbability
+
+        base = assignment.tree_at(MISSION_TIME)
+        scenario = Scenario(
+            "combo",
+            [
+                SetRepairRate("x1", 0.5).at(assignment, MISSION_TIME),
+                SetProbability("x3", 0.0001),
+            ],
+        )
+        report = SweepExecutor().run(base, [scenario])
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        patched = scenario.apply(base)
+        assert patched.probability("x3") == 0.0001

@@ -178,3 +178,37 @@ class TestValidationAndRanking:
         assert document["method"] == "maxsat"
         assert document["base_mpmcs"] == ["x1", "x2"]
         assert document["total_cost"] == pytest.approx(3.0)
+
+
+class TestPlannerEdgeCases:
+    """Degenerate inputs must return the base plan — no crash, no spend."""
+
+    def _assert_base_plan(self, plan):
+        assert plan.selected == ()
+        assert plan.total_cost == 0.0
+        assert plan.new_mpmcs_probability == pytest.approx(plan.base_mpmcs_probability)
+        assert plan.new_mpmcs == plan.base_mpmcs
+        assert plan.new_top_event == pytest.approx(plan.base_top_event)
+
+    def test_empty_action_set(self):
+        tree = fire_protection_system()
+        self._assert_base_plan(greedy_plan(tree, [], budget=10.0))
+        self._assert_base_plan(exact_plan(tree, [], budget=10.0))
+
+    def test_zero_effect_actions_are_never_bought(self):
+        # factor = 1 - 1e-12: the weight delta rounds to 0 at the exact
+        # planner's default precision (1e-12 * 1e6 << 1), and the float
+        # reduction (~1e-12 relative) is below the greedy tolerance.  Buying
+        # such an action would spend budget for no measurable risk reduction.
+        tree = fire_protection_system()
+        actions = [
+            HardeningAction("x1", cost=1.0, factor=1.0 - 1e-12),
+            HardeningAction("x5", cost=1.0, factor=1.0 - 1e-12),
+        ]
+        self._assert_base_plan(greedy_plan(tree, actions, budget=10.0))
+        self._assert_base_plan(exact_plan(tree, actions, budget=10.0))
+
+    def test_budget_below_cheapest_action(self):
+        tree = fire_protection_system()
+        self._assert_base_plan(greedy_plan(tree, FPS_ACTIONS, budget=0.5))
+        self._assert_base_plan(exact_plan(tree, FPS_ACTIONS, budget=0.5))

@@ -140,3 +140,190 @@ class TestSpecExpansion:
     def test_rangeless_spec_rejected(self):
         with pytest.raises(ReproError, match="'start'"):
             scenarios_from_spec({"family": "probability_sweep", "event": "x1"})
+
+
+class TestMaintenanceWireFormat:
+    """Maintenance patches, failure models and the maintenance sweep families."""
+
+    def _assignment(self):
+        from repro.reliability import (
+            PeriodicallyTestedComponent,
+            ReliabilityAssignment,
+            RepairableComponent,
+        )
+        from repro.workloads.library import fire_protection_system
+
+        assignment = ReliabilityAssignment(fire_protection_system())
+        assignment.assign("x1", RepairableComponent(1e-3, 0.01))
+        assignment.assign("x5", PeriodicallyTestedComponent(1e-4, 500.0))
+        return assignment
+
+    def test_every_maintenance_patch_roundtrips(self):
+        from repro.scenarios import (
+            ScaleFailureRate,
+            ScaleRepairRate,
+            ScaleTestInterval,
+            SetFailureRate,
+            SetMTTR,
+            SetRepairRate,
+            SetTestInterval,
+        )
+
+        for patch in [
+            SetFailureRate("x1", 2e-3),
+            ScaleFailureRate("x1", 0.5),
+            SetRepairRate("x1", 0.1),
+            ScaleRepairRate("x1", 4.0),
+            SetMTTR("x1", 24.0),
+            SetTestInterval("x5", 250.0),
+            ScaleTestInterval("x5", 2.0),
+        ]:
+            document = patch_to_dict(patch)
+            assert patch_from_dict(document) == patch
+
+    def test_invalid_maintenance_parameters_rejected_at_deserialisation(self):
+        with pytest.raises(ReproError):
+            patch_from_dict({"type": "set_repair_rate", "event": "x1", "repair_rate": 0})
+        with pytest.raises(ReproError):
+            patch_from_dict({"type": "set_test_interval", "event": "x5",
+                             "test_interval": -1})
+
+    def test_invalid_static_patch_parameters_rejected_at_deserialisation(self):
+        # every patch class validates in __post_init__, so garbage submitted
+        # over the wire fails at decode time, not once per scenario mid-job
+        bad = [
+            {"type": "set_probability", "event": "x1", "probability": 1.5},
+            {"type": "set_probability", "event": "x1", "probability": 0},
+            {"type": "scale_probability", "event": "x1", "factor": -2},
+            {"type": "harden", "event": "x1", "factor": 1.5},
+            {"type": "harden", "event": "x1", "probability": -0.1},
+            {"type": "scale_mission_time", "factor": 0},
+            {"type": "remove_event", "event": ""},
+            {"type": "add_redundancy", "event": "x1", "copies": 0},
+            {"type": "add_spare_child", "gate": "g", "probability": 2},
+            {"type": "set_voting_threshold", "gate": "g", "k": 0},
+            {"type": "apply_ccf", "group": "g", "members": ["a"], "beta": 0.1},
+            {"type": "apply_ccf", "group": "g", "members": ["a", "b"], "beta": 1.5},
+        ]
+        for document in bad:
+            with pytest.raises(ReproError):
+                patch_from_dict(document)
+
+    def test_model_documents_roundtrip(self):
+        from repro.reliability import (
+            ExponentialFailure,
+            FixedProbability,
+            PeriodicallyTestedComponent,
+            RepairableComponent,
+            WeibullFailure,
+        )
+        from repro.scenarios import model_from_dict, model_to_dict
+
+        for model in [
+            FixedProbability(0.1),
+            ExponentialFailure(1e-3),
+            WeibullFailure(shape=2.0, scale=100.0),
+            RepairableComponent(1e-3, 0.1),
+            PeriodicallyTestedComponent(1e-4, 500.0),
+        ]:
+            assert model_from_dict(model_to_dict(model)) == model
+
+    def test_malformed_model_documents_rejected(self):
+        from repro.scenarios import model_from_dict
+
+        with pytest.raises(ReproError, match="unknown model type"):
+            model_from_dict({"type": "quantum"})
+        with pytest.raises(ReproError, match="missing the required field"):
+            model_from_dict({"type": "repairable", "failure_rate": 1e-3})
+        with pytest.raises(ReproError, match="unknown fields"):
+            model_from_dict({"type": "exponential", "failure_rate": 1e-3, "mu": 1})
+        with pytest.raises(ReproError):  # model __post_init__ validation
+            model_from_dict({"type": "exponential", "failure_rate": -1})
+
+    def test_repair_rate_family_binds_to_the_assignment(self):
+        scenarios = scenarios_from_spec(
+            {"family": "repair_rate_sweep", "event": "x1", "rates": [0.01, 0.1]},
+            assignment=self._assignment(),
+            mission_time=1000.0,
+        )
+        assert [scenario.name for scenario in scenarios] == [
+            "mu(x1)=0.01@t=1000", "mu(x1)=0.1@t=1000",
+        ]
+
+    def test_test_interval_family_accepts_spec_level_mission_time(self):
+        scenarios = scenarios_from_spec(
+            {"family": "test_interval_sweep", "event": "x5",
+             "intervals": [100.0], "mission_time": 2000.0},
+            assignment=self._assignment(),
+        )
+        assert scenarios[0].name == "tau(x5)=100@t=2000"
+
+    def test_maintenance_family_without_models_rejected(self):
+        with pytest.raises(ReproError, match="models"):
+            scenarios_from_spec(
+                {"family": "repair_rate_sweep", "event": "x1", "rates": [0.1]}
+            )
+
+    def test_maintenance_family_without_mission_time_rejected(self):
+        with pytest.raises(ReproError, match="mission_time"):
+            scenarios_from_spec(
+                {"family": "repair_rate_sweep", "event": "x1", "rates": [0.1]},
+                assignment=self._assignment(),
+            )
+
+    def test_explicit_scenario_with_maintenance_patch_binds(self):
+        scenarios = scenarios_from_spec(
+            [{"name": "faster-repairs",
+              "patches": [{"type": "set_repair_rate", "event": "x1",
+                           "repair_rate": 0.5}]}],
+            assignment=self._assignment(),
+            mission_time=1000.0,
+        )
+        from repro.workloads.library import fire_protection_system
+
+        patched = scenarios[0].apply(self._assignment().tree_at(1000.0))
+        assert patched.probability("x1") != fire_protection_system().probability("x1")
+
+    def test_explicit_maintenance_scenario_without_models_rejected(self):
+        with pytest.raises(ReproError, match="maintenance patch"):
+            scenarios_from_spec(
+                [{"name": "s", "patches": [
+                    {"type": "set_repair_rate", "event": "x1", "repair_rate": 0.5}]}]
+            )
+
+
+class TestActionWireFormat:
+    def test_action_roundtrip(self):
+        from repro.scenarios import HardeningAction, action_from_dict, action_to_dict
+
+        for action in [
+            HardeningAction("x1", cost=2.0),
+            HardeningAction("x2", cost=1.0, factor=0.5),
+            HardeningAction("x3", cost=3.0, probability=1e-4),
+        ]:
+            assert action_from_dict(action_to_dict(action)) == action
+
+    def test_malformed_actions_rejected(self):
+        from repro.scenarios import action_from_dict, actions_from_spec
+
+        with pytest.raises(ReproError, match="missing the required field"):
+            action_from_dict({"event": "x1"})
+        with pytest.raises(ReproError, match="unknown fields"):
+            action_from_dict({"event": "x1", "cost": 1.0, "budget": 2})
+        with pytest.raises(ReproError):  # cost must be positive
+            action_from_dict({"event": "x1", "cost": 0})
+        with pytest.raises(ReproError):  # factor validated via the patch
+            action_from_dict({"event": "x1", "cost": 1.0, "factor": 2.0})
+        with pytest.raises(ReproError, match="at least one"):
+            actions_from_spec([])
+        with pytest.raises(ReproError, match="list"):
+            actions_from_spec("nope")
+
+    def test_non_numeric_mission_time_rejected_as_serialization_error(self):
+        # must be a ReproError (-> HTTP 400), not a bare ValueError/TypeError
+        with pytest.raises(ReproError, match="must be a number"):
+            scenarios_from_spec(
+                {"family": "repair_rate_sweep", "event": "x1", "rates": [0.1],
+                 "mission_time": "soon"},
+                assignment=TestMaintenanceWireFormat()._assignment(),
+            )

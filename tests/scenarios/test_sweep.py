@@ -210,3 +210,54 @@ class TestExactTopEventAtScale:
         for a, b in zip(incremental.outcomes, fresh.outcomes):
             assert a.top_event == pytest.approx(b.top_event, rel=1e-12)
             assert a.mpmcs_events == b.mpmcs_events
+
+
+class TestMPMCSIdentityChange:
+    """The ``mpmcs_changed`` predicate: displacement AND appearance/disappearance."""
+
+    def test_predicate_treats_one_sided_none_as_changed(self):
+        from repro.scenarios import mpmcs_identity_changed
+
+        # appearance: the base had no MPMCS, the scenario produced one
+        assert mpmcs_identity_changed(None, ("x1", "x2"))
+        # disappearance: the scenario lost its MPMCS entirely
+        assert mpmcs_identity_changed(("x1", "x2"), None)
+        # two absences are not a change
+        assert not mpmcs_identity_changed(None, None)
+        # the ordinary cases are unaffected
+        assert not mpmcs_identity_changed(("x1", "x2"), ("x1", "x2"))
+        assert mpmcs_identity_changed(("x1", "x2"), ("x5", "x6"))
+
+    def test_remove_event_displacing_the_weakest_link_is_flagged(self):
+        # Removing x1 kills the base MPMCS {x1, x2}: the weakest-link role
+        # moves to another cut set and the outcome must say so.
+        report = SweepExecutor().run(
+            fire_protection_system(), [Scenario("no-x1", [RemoveEvent("x1")])]
+        )
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        assert outcome.mpmcs_events != report.base_mpmcs_events
+        assert outcome.mpmcs_changed
+
+    def test_remove_event_preserving_the_weakest_link_is_not_flagged(self):
+        # x7 belongs to no dominant cut set: {x1, x2} stays the MPMCS.
+        report = SweepExecutor().run(
+            fire_protection_system(), [Scenario("no-x7", [RemoveEvent("x7")])]
+        )
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        assert outcome.mpmcs_events == report.base_mpmcs_events
+        assert not outcome.mpmcs_changed
+
+    def test_sweep_without_mpmcs_analysis_reports_unchanged(self):
+        # Neither side computes an MPMCS: two absences must not read as a
+        # change (the pre-fix predicate got this right; keep it that way).
+        report = SweepExecutor().run(
+            fire_protection_system(),
+            [Scenario("no-x7", [RemoveEvent("x7")])],
+            analyses=("top_event",),
+        )
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        assert report.base_mpmcs_events is None and outcome.mpmcs_events is None
+        assert not outcome.mpmcs_changed

@@ -167,3 +167,113 @@ class TestCancelOverHTTP:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestMaintenanceAndFrontierEndpoints:
+    def _models(self):
+        from repro.reliability import RepairableComponent
+        from repro.scenarios.serialization import model_to_dict
+
+        return {"x1": model_to_dict(RepairableComponent(1e-3, 0.01))}
+
+    def test_maintenance_sweep_over_the_wire(self, live_service):
+        job = live_service.submit_sweep(
+            fire_protection_system(),
+            {"family": "repair_rate_sweep", "event": "x1", "rates": [0.01, 0.1, 1.0]},
+            models=self._models(),
+            mission_time=1000.0,
+        )
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "done"
+        report = done["result"]["report"]
+        names = [outcome["name"] for outcome in report["scenarios"]]
+        assert names == ["mu(x1)=0.01@t=1000", "mu(x1)=0.1@t=1000", "mu(x1)=1@t=1000"]
+        tops = [outcome["top_event"] for outcome in report["scenarios"]]
+        assert tops == sorted(tops, reverse=True)  # faster repairs, lower risk
+
+    def test_frontier_job_end_to_end(self, live_service):
+        job = live_service.submit_frontier(
+            fire_protection_system(),
+            [{"event": "x1", "cost": 2.0}, {"event": "x5", "cost": 1.0}],
+            method="exact",
+        )
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "done"
+        frontier = done["result"]["frontier"]
+        assert frontier["points"][0]["cost"] == 0
+        assert frontier["points"][0]["mpmcs_probability"] == pytest.approx(0.02)
+        assert frontier["points"][-1]["mpmcs_probability"] == pytest.approx(0.002)
+        costs = [point["cost"] for point in frontier["points"]]
+        assert costs == sorted(costs)
+
+    def test_invalid_patch_rejected_at_submit_with_400(self, live_service):
+        # scale factor 0 is invalid; pre-validation must reject the submission
+        # outright (HTTP 400) instead of queueing a job that fails per scenario
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_sweep(
+                fire_protection_system(),
+                [{"name": "bad", "patches": [
+                    {"type": "scale_probability", "event": "x1", "factor": 0}]}],
+            )
+
+    def test_maintenance_sweep_without_models_rejected_with_400(self, live_service):
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_sweep(
+                fire_protection_system(),
+                {"family": "repair_rate_sweep", "event": "x1", "rates": [0.1]},
+            )
+
+    def test_malformed_frontier_action_rejected_with_400(self, live_service):
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_frontier(
+                fire_protection_system(), [{"event": "x1", "cost": -1.0}]
+            )
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_frontier(
+                fire_protection_system(),
+                [{"event": "unknown-event", "cost": 1.0}],
+            )
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_frontier(
+                fire_protection_system(),
+                [{"event": "x1", "cost": 1.0}],
+                method="simplex",
+            )
+
+    def test_incomplete_family_spec_rejected_with_400_not_a_crash(self, live_service):
+        # A spec missing its required field used to raise a bare KeyError out
+        # of the handler (connection dropped); it must be a clean HTTP 400.
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_sweep(
+                fire_protection_system(),
+                {"family": "scale_sweep", "factors": [1.0]},  # no "event"
+            )
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_sweep(
+                fire_protection_system(),
+                {"family": "probability_sweep", "event": "x1", "values": ["abc"]},
+            )
+
+    def test_incompatible_maintenance_model_rejected_at_submit(self, live_service):
+        # x2 has no repairable model in the payload: binding must fail with a
+        # 400 at submission, not once per scenario mid-job.
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_sweep(
+                fire_protection_system(),
+                [{"name": "s", "patches": [
+                    {"type": "set_repair_rate", "event": "x2", "repair_rate": 0.5}]}],
+                models=self._models(),  # models only x1
+                mission_time=1000.0,
+            )
+
+    def test_conflicting_spec_mission_time_rejected_at_submit(self, live_service):
+        # The base tree freezes at the payload's mission_time; a different
+        # spec-level time would corrupt every delta.
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_sweep(
+                fire_protection_system(),
+                {"family": "repair_rate_sweep", "event": "x1", "rates": [0.1],
+                 "mission_time": 2000.0},
+                models=self._models(),
+                mission_time=1000.0,
+            )

@@ -258,3 +258,49 @@ class TestStoreStats:
     def test_invalid_max_entries_rejected(self):
         with pytest.raises(ValueError):
             ArtifactCache(max_entries=0)
+
+
+class TestEntriesMemoFreshness:
+    def test_new_entry_refreshes_memoised_count(self, tmp_path):
+        """Regression: store() must bump the memo so /health never reports a
+        stale entry count while the service is writing heavily."""
+        store = DiskArtifactStore(tmp_path)
+        assert store.stats()["entries"] == 0  # memo populated (TTL starts now)
+        store.store(KEY, "cut-sets", {"value": 1})
+        assert store.stats()["entries"] == 1  # fresh without waiting the TTL out
+        store.store("b" * 64, "cut-sets", {"value": 2})
+        store.store("c" * 64, "bdd", {"value": 3})
+        assert store.stats()["entries"] == 3
+
+    def test_overwrites_do_not_inflate_the_count(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        assert store.stats()["entries"] == 0
+        store.store(KEY, "cut-sets", {"value": 1})
+        store.store(KEY, "cut-sets", {"value": 2})  # same key+kind: overwrite
+        assert store.stats()["entries"] == 1
+
+    def test_writes_before_first_stats_need_no_memo(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", {"value": 1})  # no memo yet: nothing to bump
+        assert store.stats()["entries"] == 1
+
+    def test_concurrent_same_key_writers_do_not_overcount(self, tmp_path):
+        """The check-rename-bump critical section: many threads racing on the
+        same small key set must leave the memo at exactly the distinct count."""
+        store = DiskArtifactStore(tmp_path)
+        assert store.stats()["entries"] == 0  # arm the memo
+        keys = [c * 64 for c in "abcde"]
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for key in keys:
+                store.store(key, "cut-sets", {"key": key})
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.stats()["entries"] == len(keys)
+        assert len(store) == len(keys)
