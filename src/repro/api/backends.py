@@ -25,7 +25,8 @@ analyses and backends.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.bruteforce import brute_force_minimal_cut_sets
 from repro.analysis.cutsets import CutSetCollection
@@ -50,9 +51,10 @@ from repro.bdd.probability import mpmcs_of_bdd, probability_of_bdd
 from repro.core.encoder import MPMCSEncoding, encode_mpmcs
 from repro.core.pipeline import MPMCSResult, MPMCSSolver
 from repro.core.topk import RankedCutSet
-from repro.core.weights import weight_of_cut_set
-from repro.exceptions import AnalysisError
+from repro.core.weights import probability_of_cut_set, weight_of_cut_set
+from repro.exceptions import AnalysisError, BudgetExceededError
 from repro.fta.tree import FaultTree
+from repro.maxsat.incremental import IncrementalMaxSATSession
 
 __all__ = [
     "BDDBackend",
@@ -144,6 +146,7 @@ class _CutSetBackend(AnalysisBackend):
             start = time.perf_counter()
             collection = self._cut_sets(tree)
             elapsed = time.perf_counter() - start
+            report.profile["solve_seconds"] = elapsed
         for analysis in request.analyses:
             if analysis == "mcs":
                 report.cut_sets = collection
@@ -182,6 +185,20 @@ class MaxSATBackend(AnalysisBackend):
     name = "maxsat"
     CAPABILITIES = frozenset({"mpmcs", "ranking"})
 
+    #: Engine label reported by warm incremental solves.
+    WARM_ENGINE = "incremental-hitting-set"
+    #: Default bound on live warm sessions (each owns a persistent solver).
+    WARM_SESSION_LIMIT = 4
+
+    def __init__(self, context=None) -> None:
+        super().__init__(context)
+        #: Warm incremental sessions keyed by the structure-only hash of the
+        #: tree's top subtree.  Populated only when a sweep opts in through
+        #: :meth:`enable_warm_sessions` — one-off analyses keep the portfolio.
+        self._warm_sessions: "OrderedDict[str, IncrementalMaxSATSession]" = OrderedDict()
+        self.warm_enabled = False
+        self.warm_session_limit = self.WARM_SESSION_LIMIT
+
     def _solver(self) -> MPMCSSolver:
         if self.context.solver is None:
             self.context.solver = MPMCSSolver(precision=self.context.precision)
@@ -191,8 +208,94 @@ class MaxSATBackend(AnalysisBackend):
         return self.context.artifacts.get_or_compute(
             tree,
             ARTIFACT_ENCODING,
-            lambda: encode_mpmcs(tree, precision=self.context.precision),
+            lambda: encode_mpmcs(
+                tree, precision=self.context.precision, cache=self.context.artifacts
+            ),
         )
+
+    # -- warm incremental sessions ---------------------------------------------
+
+    def enable_warm_sessions(self, limit: Optional[int] = None) -> None:
+        """Route repeated same-structure solves through persistent sessions.
+
+        Called by the scenario sweep executor: probability/maintenance
+        scenarios share one structure hash, so after the first scenario every
+        later one becomes a *weight-only re-solve* on a warm solver — no
+        Tseitin encoding, no portfolio fan-out, no solver restart.  Solves
+        that blow the session's core budget fall back to the cold portfolio
+        transparently.
+        """
+        self.warm_enabled = True
+        if limit is not None:
+            if limit < 1:
+                raise AnalysisError(f"warm session limit must be at least 1, got {limit}")
+            self.warm_session_limit = limit
+
+    def _warm_session_for(self, tree: FaultTree) -> IncrementalMaxSATSession:
+        """The (LRU-bounded) warm session for ``tree``'s structure."""
+        key = self.context.artifacts.structure_keys_for(tree)[tree.top_event]
+        session = self._warm_sessions.get(key)
+        if session is None:
+            session = IncrementalMaxSATSession(
+                tree, self.context.artifacts, precision=self.context.precision
+            )
+            self._warm_sessions[key] = session
+            while len(self._warm_sessions) > self.warm_session_limit:
+                self._warm_sessions.popitem(last=False)
+        else:
+            self._warm_sessions.move_to_end(key)
+        return session
+
+    def _enumerate_warm(
+        self, tree: FaultTree, request: AnalysisRequest, count: int
+    ) -> Tuple[List[Tuple[MPMCSResult, int]], float]:
+        """Blocked enumeration through the warm session (same contract as
+        :meth:`_enumerate`); returns the results plus the session encode time
+        attributable to this call (non-zero only when the session was built).
+
+        Raises :class:`BudgetExceededError` when the session blows its core
+        budget — the caller then falls back to the cold portfolio path.
+        """
+        known = self.context.artifacts.structure_keys_for(tree)[tree.top_event] in self._warm_sessions
+        session = self._warm_session_for(tree)
+        encode_seconds = 0.0 if known else session.encode_time
+        probabilities = tree.probabilities()
+        verify = self._solver().verify
+
+        results: List[Tuple[MPMCSResult, int]] = []
+        blocked: List[Tuple[str, ...]] = []
+        head_cost: Optional[int] = None
+        while True:
+            outcome = session.solve_tree(tree, blocked)
+            if outcome is None:
+                break
+            if verify and not tree.is_minimal_cut_set(outcome.events):
+                raise AnalysisError(
+                    f"internal error: extracted set {outcome.events} is not a minimal "
+                    f"cut set of {tree.name!r}; please report this as a bug"
+                )
+            result = MPMCSResult(
+                tree_name=tree.name,
+                events=outcome.events,
+                probability=probability_of_cut_set(outcome.events, probabilities),
+                cost=outcome.cost,
+                weights=dict(outcome.probability_weights),
+                engine=self.WARM_ENGINE,
+                solve_time=outcome.solve_time,
+                total_time=outcome.solve_time,
+                num_vars=session.num_vars,
+                num_hard=session.num_hard,
+                num_soft=len(session.event_vars),
+                num_aux_vars=session.num_aux_vars,
+            )
+            cost = outcome.scaled_cost
+            if head_cost is None:
+                head_cost = cost
+            results.append((result, cost))
+            blocked.append(outcome.events)
+            if len(results) >= count and not (request.deterministic and cost == head_cost):
+                break
+        return results, encode_seconds
 
     def _solve_blocked(
         self, tree: FaultTree, encoding: MPMCSEncoding, blocked: List[Tuple[str, ...]]
@@ -252,9 +355,35 @@ class MaxSATBackend(AnalysisBackend):
         wants_ranking = "ranking" in request.analyses
         if not (wants_mpmcs or wants_ranking):
             return report
-        encoding = self._encoding(tree)
         count = request.top_k if wants_ranking else 1
-        enumerated = self._enumerate(tree, encoding, request, count)
+        enumerated: Optional[List[Tuple[MPMCSResult, int]]] = None
+        if self.warm_enabled:
+            solve_start = time.perf_counter()
+            try:
+                enumerated, encode_seconds = self._enumerate_warm(tree, request, count)
+            except BudgetExceededError:
+                # Pathological structure for the hitting-set loop: fall back
+                # to the cold portfolio for this tree.
+                enumerated = None
+            else:
+                report.profile["encode_seconds"] = encode_seconds
+                report.profile["solve_seconds"] = (
+                    time.perf_counter() - solve_start - encode_seconds
+                )
+                report.profile["warm_solves"] = 1
+        if enumerated is None:
+            encode_start = time.perf_counter()
+            encoding = self._encoding(tree)
+            solve_start = time.perf_counter()
+            enumerated = self._enumerate(tree, encoding, request, count)
+            report.profile["encode_seconds"] = (
+                report.profile.get("encode_seconds", 0.0) + solve_start - encode_start
+            )
+            report.profile["solve_seconds"] = (
+                report.profile.get("solve_seconds", 0.0)
+                + time.perf_counter()
+                - solve_start
+            )
         if not enumerated:
             raise AnalysisError(f"fault tree {tree.name!r} has no cut set")
         # Canonical order: rising solver cost, then smaller set, then
@@ -343,7 +472,10 @@ class BDDBackend(AnalysisBackend):
 
     def run(self, tree: FaultTree, request: AnalysisRequest) -> AnalysisReport:
         report = AnalysisReport(tree=tree, request=request)
+        build_start = time.perf_counter()
         function = self._function(tree)
+        report.profile["encode_seconds"] = time.perf_counter() - build_start
+        query_start = time.perf_counter()
         probabilities = tree.probabilities()
         if "mpmcs" in request.analyses:
             start = time.perf_counter()
@@ -371,6 +503,7 @@ class BDDBackend(AnalysisBackend):
             report.top_event = TopEventSummary(
                 exact=probability_of_bdd(function, probabilities), backend=self.name
             )
+        report.profile["solve_seconds"] = time.perf_counter() - query_start
         return report
 
 
@@ -388,8 +521,10 @@ class MonteCarloBackend(AnalysisBackend):
         report = AnalysisReport(tree=tree, request=request)
         if "top_event" in request.analyses:
             samples = request.samples if request.samples > 0 else self.DEFAULT_SAMPLES
+            start = time.perf_counter()
             estimate = estimate_top_event_probability(
                 tree, samples=samples, seed=request.seed
             )
+            report.profile["solve_seconds"] = time.perf_counter() - start
             report.top_event = TopEventSummary(monte_carlo=estimate, backend=self.name)
         return report

@@ -39,6 +39,7 @@ __all__ = [
     "ARTIFACT_CUT_SETS",
     "ARTIFACT_ENCODING",
     "ARTIFACT_SUBTREE_BDD",
+    "ARTIFACT_SUBTREE_CNF",
     "ARTIFACT_SUBTREE_CUT_SETS",
     "ArtifactCache",
     "ArtifactStoreBackend",
@@ -59,6 +60,13 @@ ARTIFACT_SUBTREE_CUT_SETS = "subtree-cut-sets"
 #: probability-perturbed scenario of a sweep (see
 #: :class:`repro.scenarios.sweep.SweepExecutor`).
 ARTIFACT_SUBTREE_BDD = "subtree-bdd"
+#: Relocatable Tseitin CNF fragment of one gate, keyed by the structure-only
+#: hash of the gate's subtree (see :class:`repro.logic.tseitin.CNFFragment`).
+#: Fragments are purely qualitative — clauses over local variables plus an
+#: interface literal — so, like the subtree cut sets, one cached fragment
+#: serves every probability-perturbed scenario of a sweep, and a structural
+#: patch re-encodes only the gates on the path from the edit to the top event.
+ARTIFACT_SUBTREE_CNF = "subtree-cnf"
 
 
 class ArtifactStoreBackend:
@@ -363,6 +371,14 @@ class ArtifactCache:
     def misses_for(self, kind: str) -> int:
         return self._misses.get(kind, 0)
 
+    def store_hits_for(self, kind: str) -> int:
+        """Backend (second-tier) hits of one artifact kind."""
+        return self._store_hits.get(kind, 0)
+
+    def store_misses_for(self, kind: str) -> int:
+        """Backend (second-tier) misses of one artifact kind."""
+        return self._store_misses.get(kind, 0)
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -392,6 +408,13 @@ class ArtifactCache:
         if self.backend is not None:
             stats["store_hits"] = self.store_hits
             stats["store_misses"] = self.store_misses
+            # Per-kind backend counters appear only for store-backed caches so
+            # the memory-only stats shape stays unchanged.  They let sweep
+            # logs attribute cross-process reuse to cut sets vs BDDs vs CNF
+            # fragments instead of one aggregate number.
+            for kind, counters in stats["by_kind"].items():
+                counters["store_hits"] = self._store_hits.get(kind, 0)
+                counters["store_misses"] = self._store_misses.get(kind, 0)
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

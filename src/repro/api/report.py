@@ -347,6 +347,13 @@ class AnalysisReport:
     truncation: Optional[TruncationResult] = None
     timings: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Per-stage performance breakdown: ``encode_seconds`` (CNF/BDD/cut-set
+    #: structure preparation), ``solve_seconds`` (search/enumeration),
+    #: ``cache_hits`` / ``cache_misses`` (artifact-cache probes during this
+    #: run) and, for store-backed sessions, ``store_hits`` / ``store_misses``.
+    #: Backends contribute their stage timings; the session adds the cache
+    #: deltas.  Purely observational — stripped by :meth:`to_canonical_dict`.
+    profile: Dict[str, Any] = field(default_factory=dict)
     #: Non-fatal degradations, e.g. an auxiliary backend that failed while
     #: another provider still satisfied the analysis.
     warnings: List[str] = field(default_factory=list)
@@ -412,6 +419,46 @@ class AnalysisReport:
             previous = self.backends.get(analysis)
             self.backends[analysis] = f"{previous}+{label}" if previous else label
 
+    #: :meth:`to_dict` keys that vary between otherwise identical runs —
+    #: wall-clock timings, cache telemetry and the profiling breakdown.
+    VOLATILE_KEYS = ("timings_s", "cache", "profile")
+    #: Volatile keys inside the ``mpmcs`` section: which engine won (a race
+    #: in thread mode, or the warm incremental path vs the cold portfolio)
+    #: and how long it took are run telemetry, not analysis results.
+    VOLATILE_MPMCS_KEYS = ("engine", "solve_time_s", "total_time_s")
+
+    @staticmethod
+    def canonicalize(document: Dict[str, Any]) -> Dict[str, Any]:
+        """Strip run telemetry from a :meth:`to_dict` document (non-mutating).
+
+        The single definition of "volatile" shared by
+        :meth:`to_canonical_dict` and consumers holding only the JSON form.
+        """
+        document = {
+            key: value
+            for key, value in document.items()
+            if key not in AnalysisReport.VOLATILE_KEYS
+        }
+        if document.get("mpmcs") is not None:
+            document["mpmcs"] = {
+                key: value
+                for key, value in document["mpmcs"].items()
+                if key not in AnalysisReport.VOLATILE_MPMCS_KEYS
+            }
+        return document
+
+    def to_canonical_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus run telemetry (timings, cache, profile, engine).
+
+        Two analyses of the same tree with the same request — cold portfolio
+        or warm incremental, fresh session or fully cached — produce
+        byte-identical canonical dicts (``json.dumps(..., sort_keys=True)``);
+        only wall-clock and reuse telemetry may differ between runs.  The
+        incremental-sweep benchmark asserts its speedup against exactly this
+        equality.
+        """
+        return self.canonicalize(self.to_dict())
+
     def to_dict(self) -> Dict[str, Any]:
         """Plain JSON-serialisable form of every populated section."""
         document: Dict[str, Any] = {
@@ -421,6 +468,7 @@ class AnalysisReport:
             "backends": dict(self.backends),
             "timings_s": dict(self.timings),
             "cache": dict(self.cache_stats),
+            "profile": dict(self.profile),
             "warnings": list(self.warnings),
         }
         document["mpmcs"] = self.mpmcs.to_dict() if self.mpmcs is not None else None
@@ -510,6 +558,7 @@ class AnalysisReport:
         report.backends = dict(document.get("backends", {}))
         report.timings = dict(document.get("timings_s", {}))
         report.cache_stats = dict(document.get("cache", {}))
+        report.profile = dict(document.get("profile", {}))
         report.warnings = list(document.get("warnings", []))
         probabilities = tree.probabilities() if tree is not None else None
 

@@ -187,6 +187,12 @@ class AnalysisSession:
         for _, assigned in plan:
             for analysis in assigned:
                 provider_counts[analysis] = provider_counts.get(analysis, 0) + 1
+        cache_before = (
+            self.artifacts.hits,
+            self.artifacts.misses,
+            self.artifacts.store_hits,
+            self.artifacts.store_misses,
+        )
         for backend_name, assigned in plan:
             scoped = request.restricted_to(assigned, backend_name)
             start = time.perf_counter()
@@ -208,6 +214,16 @@ class AnalysisSession:
             elapsed = time.perf_counter() - start
             report.merge_from(partial, assigned, backend_name)
             report.timings[backend_name] = report.timings.get(backend_name, 0.0) + elapsed
+            # Per-stage profile: backends contribute encode/solve stage
+            # timings; numeric entries sum when several backends serve one
+            # composite request.
+            for key, value in partial.profile.items():
+                report.profile[key] = report.profile.get(key, 0) + value
+        report.profile["cache_hits"] = self.artifacts.hits - cache_before[0]
+        report.profile["cache_misses"] = self.artifacts.misses - cache_before[1]
+        if self.artifacts.backend is not None:
+            report.profile["store_hits"] = self.artifacts.store_hits - cache_before[2]
+            report.profile["store_misses"] = self.artifacts.store_misses - cache_before[3]
         missing = [name for name in request.analyses if name not in report.backends]
         if missing:
             detail = f"; degraded providers: {'; '.join(report.warnings)}" if report.warnings else ""

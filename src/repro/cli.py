@@ -63,7 +63,7 @@ from repro.reporting.ascii_art import render_tree
 from repro.reporting.dot import to_dot
 from repro.reporting.json_report import analysis_report
 from repro.reporting.tables import frontier_table, markdown_table, weights_table
-from repro.reporting.unified import render_scenario_report, write_report
+from repro.reporting.unified import render_profile, render_scenario_report, write_report
 from repro.service import AnalysisService, ServiceClient
 from repro.service import serve as start_service
 from repro.reliability import (
@@ -136,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--dot", type=Path, help="also write a Graphviz DOT rendering")
     analyze.add_argument(
         "--quiet", action="store_true", help="suppress the ASCII tree rendering"
+    )
+    analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage timing breakdown (encode/solve seconds, cache hits)",
     )
 
     weights = subparsers.add_parser(
@@ -523,6 +528,10 @@ def _command_analyze(session: AnalysisSession, tree: FaultTree, args: argparse.N
     print(f"Cost (-log): {summary.cost:.5f}")
     print(f"Engine     : {summary.engine or summary.backend}   "
           f"({summary.solve_time:.3f}s solve, {summary.total_time:.3f}s total)")
+
+    if args.profile:
+        print()
+        print(render_profile(report))
 
     if args.top_k > 1 and report.ranking:
         print()

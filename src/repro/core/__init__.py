@@ -23,7 +23,12 @@ from repro.core.weights import (
     probability_of_cut_set,
     weight_of_cut_set,
 )
-from repro.core.encoder import MPMCSEncoding, encode_mpmcs
+from repro.core.encoder import (
+    MPMCSEncoding,
+    assemble_structure_cnf,
+    encode_mpmcs,
+    gate_fragment,
+)
 from repro.core.pipeline import MPMCSResult, MPMCSSolver, find_mpmcs
 from repro.core.topk import RankedCutSet, enumerate_mpmcs
 
@@ -32,8 +37,10 @@ __all__ = [
     "MPMCSResult",
     "MPMCSSolver",
     "RankedCutSet",
+    "assemble_structure_cnf",
     "encode_mpmcs",
     "enumerate_mpmcs",
+    "gate_fragment",
     "find_mpmcs",
     "log_weights",
     "probability_from_cost",

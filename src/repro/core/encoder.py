@@ -25,17 +25,107 @@ to true, hence the extracted set is an inclusion-minimal cut set — the MPMCS.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.weights import log_weight
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, FaultTreeError
 from repro.fta.formula import structure_function, success_function
+from repro.fta.gates import Gate, GateType
 from repro.fta.tree import FaultTree
-from repro.logic.formula import Formula
-from repro.logic.tseitin import tseitin_encode
+from repro.logic.cnf import CNF
+from repro.logic.formula import AtLeast, Formula, Var, conjoin, disjoin
+from repro.logic.tseitin import CNFFragment, TseitinResult, encode_fragment, tseitin_encode
 from repro.maxsat.instance import DEFAULT_PRECISION, WPMaxSATInstance
 
-__all__ = ["MPMCSEncoding", "encode_mpmcs"]
+__all__ = [
+    "MPMCSEncoding",
+    "assemble_structure_cnf",
+    "encode_mpmcs",
+    "gate_fragment",
+]
+
+
+def _slot(index: int) -> str:
+    """Synthetic interface name of the ``index``-th child slot of a gate."""
+    return f"@{index}"
+
+
+def gate_fragment(gate: Gate) -> CNFFragment:
+    """Relocatable CNF fragment of one gate over anonymous child slots.
+
+    The fragment treats each child *occurrence* as an opaque input (slot
+    ``@0``, ``@1``, …) so it contains no node names and is reusable by any
+    gate whose subtree shares the structure-only hash — all supported gate
+    types are symmetric in their children, so slot order never matters, and
+    occurrences of logically equivalent children are interchangeable.
+    """
+    slots = [Var(_slot(index)) for index in range(len(gate.children))]
+    if gate.gate_type is GateType.AND:
+        formula: Formula = conjoin(slots)
+    elif gate.gate_type is GateType.OR:
+        formula = disjoin(slots)
+    elif gate.gate_type is GateType.VOTING:
+        formula = AtLeast(gate.k or 1, slots)
+    else:  # pragma: no cover - defensive
+        raise FaultTreeError(f"unsupported gate type {gate.gate_type!r}")
+    return encode_fragment(formula, [_slot(index) for index in range(len(gate.children))])
+
+
+def assemble_structure_cnf(tree: FaultTree, cache: Optional[Any] = None) -> TseitinResult:
+    """CNF of ``tree``'s structure function stitched from per-gate fragments.
+
+    Equisatisfiable (over the event variables) with the monolithic
+    ``tseitin_encode(structure_function(tree))``, but built gate by gate from
+    :class:`~repro.logic.tseitin.CNFFragment` objects.  When ``cache`` (an
+    :class:`~repro.api.cache.ArtifactCache`, duck-typed to avoid the layering
+    cycle) is given, each gate's fragment is memoised under the structure-only
+    hash of its subtree — kind ``subtree-cnf`` — so across the scenarios of a
+    sweep only the gates whose subtree actually changed are re-encoded, and a
+    probability-only scenario re-encodes nothing at all.
+
+    The root literal is asserted, exactly like ``tseitin_encode`` with
+    ``assert_root=True``.
+    """
+    tree.validate()
+    cnf = CNF()
+    aux_vars: List[int] = []
+
+    def new_aux() -> int:
+        var = cnf.new_var()
+        aux_vars.append(var)
+        return var
+
+    gates = tree.gates
+    literals: Dict[str, int] = {}
+    for name in tree.topological_order():
+        gate = gates.get(name)
+        if gate is None:
+            literals[name] = cnf.var_for(name)
+            continue
+        if cache is None:
+            fragment = gate_fragment(gate)
+        else:
+            # Imported lazily: repro.api imports this module at package-init
+            # time, so a top-level import here would be circular.
+            from repro.api.cache import ARTIFACT_SUBTREE_CNF
+
+            fragment = cache.get_or_compute_subtree(
+                tree, name, ARTIFACT_SUBTREE_CNF, lambda g=gate: gate_fragment(g)
+            )
+        inputs = {
+            _slot(index): literals[child] for index, child in enumerate(gate.children)
+        }
+        literals[name] = fragment.instantiate(
+            inputs, new_var=new_aux, add_clause=cnf.add_clause
+        )
+    root = literals[tree.top_event]
+    cnf.add_clause([root])
+    return TseitinResult(
+        cnf=cnf,
+        root_literal=root,
+        var_map=dict(cnf.name_to_var),
+        aux_vars=tuple(aux_vars),
+    )
 
 
 @dataclass
@@ -81,6 +171,7 @@ def encode_mpmcs(
     *,
     precision: int = DEFAULT_PRECISION,
     include_success: bool = True,
+    cache: Optional[Any] = None,
 ) -> MPMCSEncoding:
     """Encode the MPMCS problem of ``tree`` as Weighted Partial MaxSAT.
 
@@ -94,12 +185,23 @@ def encode_mpmcs(
     include_success:
         Whether to also materialise the success-tree formula (used by reports);
         disable for the largest benchmark instances to save a little time.
+    cache:
+        Optional artifact cache (duck-typed
+        :class:`~repro.api.cache.ArtifactCache`).  When given, the hard CNF is
+        assembled from per-gate fragments memoised under structure-only
+        subtree hashes (:func:`assemble_structure_cnf`) instead of re-running
+        the monolithic Tseitin transformation, so repeated encodings of
+        structurally overlapping trees — the scenarios of a sweep — share the
+        encoding work.
     """
     tree.validate()
     structure = structure_function(tree)
     success = success_function(tree) if include_success else None
 
-    encoding_result = tseitin_encode(structure, assert_root=True)
+    if cache is None:
+        encoding_result = tseitin_encode(structure, assert_root=True)
+    else:
+        encoding_result = assemble_structure_cnf(tree, cache)
     cnf = encoding_result.cnf
 
     instance = WPMaxSATInstance(precision=precision)

@@ -41,6 +41,10 @@ class FaultTree:
         self._gates: Dict[str, Gate] = {}
         self._top_event: Optional[str] = top_event
         self._version = 0
+        # Version-keyed memos for the two traversals every analysis repeats.
+        # Mutating methods bump _version, which invalidates both implicitly.
+        self._validated_version: Optional[int] = None
+        self._topo_memo: Optional[Tuple[int, Tuple[str, ...]]] = None
 
     # -- construction -------------------------------------------------------------
 
@@ -198,7 +202,13 @@ class FaultTree:
         * every node is reachable from the top event (unreachable nodes almost
           always indicate a modelling error);
         * the tree contains at least one basic event.
+
+        Validation is memoised per :attr:`version`: analyses re-validate
+        liberally, and re-walking an unchanged DAG every time is pure
+        overhead on hot sweep paths.
         """
+        if self._validated_version == self._version:
+            return
         if self._top_event is None:
             raise FaultTreeError(f"fault tree {self.name!r} has no top event")
         if self._top_event not in self._events and self._top_event not in self._gates:
@@ -223,6 +233,7 @@ class FaultTree:
             raise FaultTreeError(
                 f"nodes not reachable from the top event: {sorted(unreachable)}"
             )
+        self._validated_version = self._version
 
     def _check_acyclic(self) -> None:
         state: Dict[str, int] = {}  # 0 = unvisited, 1 = on stack, 2 = done
@@ -273,8 +284,13 @@ class FaultTree:
 
         Children always appear before their parents, so analyses can evaluate
         gates in a single pass.  Only nodes reachable from the top event are
-        included.
+        included.  The order is memoised per :attr:`version` (a fresh list is
+        returned each call) because evaluation-heavy paths — cut-set checks,
+        sweeps — ask for it thousands of times on an unchanged tree.
         """
+        memo = self._topo_memo
+        if memo is not None and memo[0] == self._version:
+            return list(memo[1])
         self.validate()
         order: List[str] = []
         visited: Set[str] = set()
@@ -296,6 +312,7 @@ class FaultTree:
                     order.append(current)
 
         visit(self.top_event)
+        self._topo_memo = (self._version, tuple(order))
         return order
 
     def events_reachable_from_top(self) -> Tuple[str, ...]:

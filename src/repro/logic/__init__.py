@@ -31,12 +31,19 @@ from repro.logic.formula import (
 )
 from repro.logic.cnf import CNF, Clause, Literal
 from repro.logic.simplify import complement, flatten, simplify, to_nnf
-from repro.logic.tseitin import TseitinEncoder, TseitinResult, tseitin_encode
+from repro.logic.tseitin import (
+    CNFFragment,
+    TseitinEncoder,
+    TseitinResult,
+    encode_fragment,
+    tseitin_encode,
+)
 
 __all__ = [
     "And",
     "AtLeast",
     "CNF",
+    "CNFFragment",
     "Clause",
     "Const",
     "FALSE",
@@ -54,5 +61,6 @@ __all__ = [
     "flatten",
     "simplify",
     "to_nnf",
+    "encode_fragment",
     "tseitin_encode",
 ]

@@ -15,7 +15,7 @@ cardinality construction rather than an exponential expansion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import FormulaError
 from repro.logic.cnf import CNF, Literal
@@ -31,7 +31,13 @@ from repro.logic.formula import (
     Xor,
 )
 
-__all__ = ["TseitinEncoder", "TseitinResult", "tseitin_encode"]
+__all__ = [
+    "CNFFragment",
+    "TseitinEncoder",
+    "TseitinResult",
+    "encode_fragment",
+    "tseitin_encode",
+]
 
 
 @dataclass
@@ -237,3 +243,130 @@ def tseitin_encode(
     """Convenience wrapper: encode ``formula`` with a fresh :class:`TseitinEncoder`."""
     encoder = TseitinEncoder(cnf)
     return encoder.encode(formula, assert_root=assert_root)
+
+
+@dataclass(frozen=True)
+class CNFFragment:
+    """A relocatable Tseitin encoding of one sub-formula.
+
+    The fragment's clauses are expressed over *local* variables ``1..num_vars``
+    where the first ``len(inputs)`` variables are the fragment's interface
+    inputs (in the order of :attr:`inputs`) and every higher variable is an
+    internal auxiliary.  :meth:`instantiate` stitches the fragment into a host
+    CNF by substituting arbitrary host *literals* for the inputs and
+    offset-remapping the internals onto freshly allocated host variables, so
+    one encoded fragment can be placed any number of times, in any CNF, at any
+    variable offset.
+
+    This is what makes per-gate encodings cacheable across the scenarios of a
+    sweep: the incremental MaxSAT path stores one fragment per gate under the
+    gate's structure-only subtree hash and re-assembles whole-tree encodings
+    from cache hits instead of re-running Tseitin from scratch (see
+    :func:`repro.core.encoder.assemble_structure_cnf`).
+
+    Attributes
+    ----------
+    inputs:
+        Interface input names, bound to local variables ``1..len(inputs)``.
+    num_vars:
+        Total number of local variables (inputs plus internals).
+    clauses:
+        The fragment's clauses over local variables.
+    output:
+        The local literal representing the truth of the encoded sub-formula.
+        It is *not* asserted — the host decides what to do with it (feed it to
+        a parent fragment, or assert it as the root).
+    """
+
+    inputs: Tuple[str, ...]
+    num_vars: int
+    clauses: Tuple[Tuple[Literal, ...], ...]
+    output: Literal
+
+    @property
+    def num_internal_vars(self) -> int:
+        return self.num_vars - len(self.inputs)
+
+    def instantiate(
+        self,
+        literals: Mapping[str, Literal],
+        *,
+        new_var: Callable[[], int],
+        add_clause: Callable[[Sequence[Literal]], Any],
+    ) -> Literal:
+        """Stitch this fragment into a host CNF; returns the host output literal.
+
+        ``literals`` maps every input name to the host literal standing in for
+        it (which may itself be negated — e.g. another fragment's output).
+        Internal variables are allocated through ``new_var`` so the fragment
+        relocates to whatever offset the host is at.
+        """
+        mapping: Dict[int, Literal] = {}
+        for index, name in enumerate(self.inputs, start=1):
+            try:
+                mapping[index] = literals[name]
+            except KeyError:
+                raise FormulaError(
+                    f"fragment instantiation is missing a literal for input {name!r}"
+                ) from None
+        for var in range(len(self.inputs) + 1, self.num_vars + 1):
+            mapping[var] = new_var()
+
+        def remap(literal: Literal) -> Literal:
+            host = mapping[abs(literal)]
+            return host if literal > 0 else -host
+
+        for clause in self.clauses:
+            add_clause([remap(literal) for literal in clause])
+        return remap(self.output)
+
+    # -- wire form -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable wire form (used by persistent artifact stores)."""
+        return {
+            "inputs": list(self.inputs),
+            "num_vars": self.num_vars,
+            "clauses": [list(clause) for clause in self.clauses],
+            "output": self.output,
+        }
+
+    @staticmethod
+    def from_dict(document: Mapping[str, Any]) -> "CNFFragment":
+        """Inverse of :meth:`to_dict`."""
+        return CNFFragment(
+            inputs=tuple(document["inputs"]),
+            num_vars=int(document["num_vars"]),
+            clauses=tuple(tuple(int(l) for l in clause) for clause in document["clauses"]),
+            output=int(document["output"]),
+        )
+
+
+def encode_fragment(formula: Formula, inputs: Sequence[str]) -> CNFFragment:
+    """Encode ``formula`` as a relocatable :class:`CNFFragment`.
+
+    ``inputs`` declares the interface: every variable the formula mentions
+    must appear in it (unused declared inputs are allowed — they simply bind
+    local variables no clause constrains).  The formula's root literal is
+    returned unasserted so the fragment composes under negation and inside
+    larger encodings.
+    """
+    ordered = list(dict.fromkeys(inputs))
+    cnf = CNF()
+    for name in ordered:
+        cnf.var_for(name)
+    encoder = TseitinEncoder(cnf)
+    result = encoder.encode(formula, assert_root=False)
+    declared = set(ordered)
+    for name in cnf.name_to_var:
+        if name not in declared:
+            raise FormulaError(
+                f"formula mentions variable {name!r} outside the declared fragment "
+                f"inputs {tuple(ordered)!r}"
+            )
+    return CNFFragment(
+        inputs=tuple(ordered),
+        num_vars=cnf.num_vars,
+        clauses=tuple(tuple(clause.literals) for clause in cnf),
+        output=result.root_literal,
+    )

@@ -25,6 +25,10 @@ top of the CDCL SAT engine of :mod:`repro.sat`:
 * :class:`repro.maxsat.portfolio.PortfolioSolver` — the parallel portfolio of
   Step 5: heterogeneous engine configurations race on the same instance and the
   first completed result wins.
+* :class:`repro.maxsat.incremental.IncrementalMaxSATSession` — warm-started
+  implicit-hitting-set solving for weight-only re-solves across scenario
+  sweeps: one persistent CDCL solver, weight-independent cached cores, and
+  activation-literal blocking clauses.
 """
 
 from repro.maxsat.instance import SoftClause, WPMaxSATInstance
@@ -35,6 +39,7 @@ from repro.maxsat.fumalik import FuMalikEngine
 from repro.maxsat.linear import LinearSearchEngine
 from repro.maxsat.binary_search import BinarySearchEngine
 from repro.maxsat.hitting_set import HittingSetEngine
+from repro.maxsat.incremental import IncrementalMaxSATSession, IncrementalSolveResult
 from repro.maxsat.bruteforce import BruteForceEngine
 from repro.maxsat.local_search import LocalSearchResult, stochastic_upper_bound
 from repro.maxsat.preprocess import (
@@ -50,6 +55,8 @@ __all__ = [
     "BruteForceEngine",
     "FuMalikEngine",
     "HittingSetEngine",
+    "IncrementalMaxSATSession",
+    "IncrementalSolveResult",
     "LinearSearchEngine",
     "LocalSearchResult",
     "MaxSATEngine",

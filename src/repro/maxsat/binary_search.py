@@ -72,6 +72,7 @@ class BinarySearchEngine(MaxSATEngine):
             lower = 0
 
             while lower < upper:
+                self._check_stop()
                 middle = (lower + upper) // 2
                 solver, _ = self._build_oracle(instance, bound=middle)
                 result = solver.solve()

@@ -6,7 +6,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.exceptions import SolverError
+from repro.exceptions import SolverError, SolverInterrupted
 from repro.logic.cnf import Literal
 from repro.maxsat.instance import SoftClause, WPMaxSATInstance
 from repro.maxsat.result import MaxSATResult, MaxSATStatus
@@ -65,6 +65,19 @@ class MaxSATEngine:
         raise NotImplementedError
 
     # -- shared helpers ----------------------------------------------------------
+
+    def _check_stop(self) -> None:
+        """Raise :class:`SolverInterrupted` when cooperative cancellation fired.
+
+        The CDCL solver polls :attr:`stop_check` at its restart boundaries,
+        but an engine also spends real time *between* oracle calls — building
+        fresh oracles, relaxing cores, encoding pseudo-Boolean bounds.
+        Engines call this at the top of every iteration so a lost portfolio
+        race stops burning CPU between solver restarts too, which matters for
+        long warm sweeps where the winner finishes in milliseconds.
+        """
+        if self.stop_check is not None and self.stop_check():
+            raise SolverInterrupted("engine stopped by cooperative cancellation")
 
     def _new_sat_solver(self, instance: WPMaxSATInstance) -> CDCLSolver:
         """Build a CDCL solver preloaded with the hard clauses of ``instance``."""

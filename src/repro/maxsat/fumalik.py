@@ -58,6 +58,7 @@ class FuMalikEngine(MaxSATEngine):
         sat_calls = 0
         try:
             while True:
+                self._check_stop()
                 assumptions = [sel for sel, (weight, _) in soft_clauses.items() if weight > 0]
                 result = solver.solve(assumptions)
                 sat_calls += 1

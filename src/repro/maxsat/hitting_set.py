@@ -38,6 +38,7 @@ def minimum_cost_hitting_set(
     weights: Dict[Literal, int],
     *,
     max_nodes: int = 2_000_000,
+    seed: Optional[Set[Literal]] = None,
 ) -> Tuple[Set[Literal], int]:
     """Exact minimum-cost hitting set of ``cores`` by branch and bound.
 
@@ -45,38 +46,76 @@ def minimum_cost_hitting_set(
     choice is the sum of its elements' weights.  Returns the chosen set and
     its cost.  Raises :class:`BudgetExceededError` when the search exceeds
     ``max_nodes`` nodes (a safety valve; never reached on realistic inputs).
+
+    ``seed`` optionally provides a known feasible hitting set (e.g. the
+    previous solve's solution in an incremental sweep); its cost becomes the
+    initial upper bound, which can prune the search dramatically when the
+    optimum moved little.  The seed is only used when it actually hits every
+    core.
+
+    Internally the cores a partial choice still misses are tracked as one
+    arbitrary-precision bitmask (bit ``i`` = core ``i`` unhit) and every
+    element's coverage is a precomputed mask, so extending a branch is two
+    integer ops instead of a scan over the core list.
     """
     if not cores:
         return set(), 0
 
+    # Element -> bitmask of the cores it hits.
+    coverage: Dict[Literal, int] = {}
+    for index, core in enumerate(cores):
+        bit = 1 << index
+        for element in core:
+            coverage[element] = coverage.get(element, 0) | bit
+    all_mask = (1 << len(cores)) - 1
+
     # Greedy warm start: repeatedly pick the element hitting the most
     # still-unhit cores (ties broken by weight) to obtain an upper bound.
     best_set, best_cost = _greedy_hitting_set(cores, weights)
+    if seed is not None:
+        seed_mask = 0
+        for element in seed:
+            seed_mask |= coverage.get(element, 0)
+        if seed_mask == all_mask:
+            seed_cost = sum(weights.get(element, 0) for element in seed)
+            if seed_cost < best_cost:
+                best_set, best_cost = set(seed), seed_cost
+
+    # Branching order inside a core: cheapest element first.
+    sorted_cores = [
+        sorted(core, key=lambda lit: weights.get(lit, 0)) for core in cores
+    ]
     nodes = 0
 
-    def remaining_unhit(chosen: Set[Literal]) -> List[FrozenSet[Literal]]:
-        return [core for core in cores if not (core & chosen)]
-
-    def search(chosen: Set[Literal], cost: int, index: int, unhit: List[FrozenSet[Literal]]) -> None:
+    def search(chosen: Set[Literal], cost: int, unhit_mask: int) -> None:
         nonlocal best_set, best_cost, nodes
         nodes += 1
         if nodes > max_nodes:
             raise BudgetExceededError("hitting set search exceeded its node budget")
         if cost >= best_cost:
             return
-        if not unhit:
+        if not unhit_mask:
             best_set, best_cost = set(chosen), cost
             return
-        # Branch on the elements of the smallest unhit core (fewest children).
-        core = min(unhit, key=len)
-        for element in sorted(core, key=lambda lit: weights.get(lit, 0)):
-            new_chosen = chosen | {element}
+        # Branch on the elements of an unhit core with the fewest elements.
+        core_index = -1
+        probe = unhit_mask
+        while probe:
+            index = (probe & -probe).bit_length() - 1
+            if core_index < 0 or len(sorted_cores[index]) < len(sorted_cores[core_index]):
+                core_index = index
+                if len(sorted_cores[index]) <= 2:
+                    break
+            probe &= probe - 1
+        for element in sorted_cores[core_index]:
             new_cost = cost + weights.get(element, 0)
             if new_cost >= best_cost:
                 continue
-            search(new_chosen, new_cost, index + 1, remaining_unhit(new_chosen))
+            chosen.add(element)
+            search(chosen, new_cost, unhit_mask & ~coverage[element])
+            chosen.discard(element)
 
-    search(set(), 0, 0, list(cores))
+    search(set(), 0, all_mask)
     return best_set, best_cost
 
 
@@ -132,6 +171,7 @@ class HittingSetEngine(MaxSATEngine):
 
         try:
             for _ in range(self.max_iterations):
+                self._check_stop()
                 hitting_set, _ = minimum_cost_hitting_set(cores, weights)
                 assumptions = [sel for sel in selectors if sel not in hitting_set]
                 result = solver.solve(assumptions)

@@ -1,0 +1,344 @@
+"""Warm-started incremental MaxSAT sessions for weight-only re-solves.
+
+The MPMCS encoding has a very particular shape: the *hard* clauses are the
+Tseitin CNF of the fault tree's structure function — fixed across every
+scenario of a probability or maintenance sweep — while the *soft* clauses are
+unit clauses ``(¬x_i)`` whose weights are the only thing a weight-only
+scenario changes.  Two classical facts make this shape perfectly incremental:
+
+* **Unsat cores are weight-independent.**  A core is a set of assumption
+  literals that cannot hold together given the hard clauses; weights never
+  participate.  Cores discovered while solving one scenario are therefore
+  valid for *every* scenario sharing the structure.
+* **CDCL state is reusable.**  Learned clauses are logical consequences of
+  the clause database alone, so a solver that keeps its learned clauses,
+  VSIDS activities and saved phases across calls (see
+  :meth:`repro.sat.cdcl.CDCLSolver.add_clauses`) answers later, similar
+  queries dramatically faster than a cold start.
+
+:class:`IncrementalMaxSATSession` exploits both with a MaxHS-style implicit
+hitting set loop (Davies & Bacchus) over one persistent solver:
+
+1. compute a minimum-cost hitting set of the cached cores under the
+   *current* scenario's weights;
+2. one SAT call assuming every soft clause outside the hitting set — on a
+   warm session this is typically the *only* oracle work a scenario needs;
+3. SAT: the model is optimal (its cost is bounded by the hitting set's cost,
+   which lower-bounds every solution).  UNSAT: cache the new core and repeat.
+
+Blocking clauses for tied-optimum / top-k enumeration are added once with an
+*activation literal* ``r`` — ``(r ∨ ¬x_1 ∨ … ∨ ¬x_k)`` constrains nothing
+until ``¬r`` is assumed — so they too persist and are reused by every later
+scenario that blocks the same cut set.  Nothing the session ever adds to the
+solver is scenario-specific, which is what makes a maintenance or
+probability sweep a sequence of *weight-only re-solves*: no re-encoding, no
+solver restart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import AnalysisError, BudgetExceededError, SolverError
+from repro.fta.tree import FaultTree
+from repro.logic.cnf import Literal
+from repro.maxsat.hitting_set import minimum_cost_hitting_set
+from repro.maxsat.instance import DEFAULT_PRECISION, scale_weight
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.types import SatStatus
+
+__all__ = ["IncrementalMaxSATSession", "IncrementalSolveResult"]
+
+
+@dataclass(frozen=True)
+class IncrementalSolveResult:
+    """One optimal solution of a weight-only re-solve.
+
+    ``events`` is the extracted minimal cut set, ``scaled_cost`` the integer
+    objective at the session's precision (the granularity every tie decision
+    must use) and ``cost`` the float ``-log`` objective.
+    """
+
+    events: Tuple[str, ...]
+    scaled_cost: int
+    cost: float
+    probability_weights: Dict[str, float]
+    sat_calls: int
+    solve_time: float
+
+
+class IncrementalMaxSATSession:
+    """Persistent MaxSAT solving for one fault-tree *structure*.
+
+    A session is keyed by the structure-only hash of the tree it was built
+    from: any tree sharing that hash (every probability/maintenance scenario
+    of a sweep) can be re-solved through the same session by passing its
+    weights, because the hard clauses, the event variable numbering (by
+    *name*) and the unsat cores all depend on structure alone.
+
+    Parameters
+    ----------
+    tree:
+        The tree whose structure function is encoded.  Only its structure is
+        retained — per-solve weights come from :meth:`solve_tree` /
+        :meth:`solve`.
+    cache:
+        Optional artifact cache; forwarded to
+        :func:`~repro.core.encoder.assemble_structure_cnf` so the encoding is
+        stitched from cached per-gate CNF fragments.
+    precision:
+        Integer weight scaling, which must match the cold pipeline's for the
+        two paths to agree on ties.
+    max_rounds:
+        Safety cap on core-discovery iterations per solve; exceeding it
+        raises :class:`BudgetExceededError` so callers can fall back to the
+        cold portfolio.
+    """
+
+    def __init__(
+        self,
+        tree: FaultTree,
+        cache: Optional[Any] = None,
+        *,
+        precision: int = DEFAULT_PRECISION,
+        max_rounds: int = 100_000,
+    ) -> None:
+        # Imported lazily: repro.core.encoder imports repro.maxsat.instance,
+        # so a top-level import here would cycle through the package inits.
+        from repro.core.encoder import assemble_structure_cnf
+
+        if precision <= 0:
+            raise SolverError("precision must be a positive integer")
+        started = time.perf_counter()
+        self.precision = precision
+        self.max_rounds = max_rounds
+
+        encoding = assemble_structure_cnf(tree, cache)
+        self._solver = CDCLSolver()
+        for _ in range(encoding.cnf.num_vars):
+            self._solver.new_var()
+        for clause in encoding.cnf:
+            self._solver.add_clause(list(clause.literals))
+
+        reachable = set(tree.events_reachable_from_top())
+        self.event_vars: Dict[str, int] = {
+            name: var
+            for name, var in sorted(encoding.var_map.items(), key=lambda item: item[1])
+            if name in reachable
+        }
+        if not self.event_vars:
+            raise AnalysisError(
+                f"fault tree {tree.name!r} has no events reachable from the top"
+            )
+        self._var_events: Dict[int, str] = {
+            var: name for name, var in self.event_vars.items()
+        }
+        #: Soft selectors in deterministic (variable) order: assuming the
+        #: selector means "this event stays out of the cut set".
+        self._selectors: Tuple[Literal, ...] = tuple(
+            -var for var in sorted(self._var_events)
+        )
+        self.num_vars = encoding.cnf.num_vars
+        self.num_hard = encoding.cnf.num_clauses
+        self.num_aux_vars = len(encoding.aux_vars)
+
+        #: Cached cores: frozensets of assumption literals (event selectors
+        #: and possibly block-activation assumptions).  Weight-independent.
+        self._cores: List[FrozenSet[Literal]] = []
+        #: Persistent blocking clauses: cut set -> activation variable ``r``.
+        self._block_vars: Dict[Tuple[str, ...], int] = {}
+        self._block_var_set: Set[int] = set()
+        #: Last optimal hitting set per block signature: in a weight-only
+        #: sweep the optimum rarely moves, so the previous solution seeds the
+        #: branch-and-bound with a near-tight upper bound.
+        self._hs_memo: Dict[FrozenSet[Literal], Set[Literal]] = {}
+
+        self.encode_time = time.perf_counter() - started
+        self.sat_calls = 0
+        self.solves = 0
+        self.rounds = 0
+
+    # -- weights ---------------------------------------------------------------
+
+    def _scale_weight(self, weight: float) -> int:
+        """The shared quantisation (:func:`repro.maxsat.instance.scale_weight`).
+
+        Warm/cold agreement on tied optima depends on both paths using the
+        one definition, so this is a delegation, not a re-implementation.
+        """
+        return scale_weight(weight, self.precision)
+
+    def scaled_cost_of(self, events: Iterable[str], weights: Dict[str, float]) -> int:
+        """The integer objective of a cut set under ``weights``."""
+        return sum(self._scale_weight(weights[name]) for name in events)
+
+    # -- blocking --------------------------------------------------------------
+
+    def _block_assumption(self, cut_set: Tuple[str, ...]) -> Literal:
+        """The assumption literal activating the blocking clause of ``cut_set``.
+
+        Created on first use: the clause ``(r ∨ ¬x_1 ∨ … ∨ ¬x_k)`` is inert
+        while ``r`` is free and forbids the cut set (and all supersets) while
+        ``¬r`` is assumed.  The clause persists, so re-blocking the same cut
+        set in a later scenario costs nothing.
+        """
+        key = tuple(sorted(cut_set))
+        var = self._block_vars.get(key)
+        if var is None:
+            var = self._solver.new_var()
+            try:
+                literals = [var] + [-self.event_vars[name] for name in key]
+            except KeyError as exc:
+                raise AnalysisError(
+                    f"cannot block cut set {key!r}: event {exc.args[0]!r} is not part "
+                    "of this structure"
+                ) from None
+            self._solver.add_clause(literals)
+            self._block_vars[key] = var
+            self._block_var_set.add(var)
+        return -var
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve_tree(
+        self, tree: FaultTree, blocked: Sequence[Tuple[str, ...]] = ()
+    ) -> Optional[IncrementalSolveResult]:
+        """Solve for ``tree``'s probabilities (its structure must match).
+
+        Convenience wrapper deriving the ``-log`` weights from the tree's
+        event probabilities exactly like the cold pipeline's Step 3.
+        """
+        from repro.core.weights import log_weight  # lazy: avoids an import cycle
+
+        probabilities = tree.probabilities()
+        weights = {
+            name: log_weight(probabilities[name]) for name in self.event_vars
+        }
+        return self.solve(weights, blocked)
+
+    def solve(
+        self,
+        weights: Dict[str, float],
+        blocked: Sequence[Tuple[str, ...]] = (),
+    ) -> Optional[IncrementalSolveResult]:
+        """Minimum ``-log``-weight cut set under ``weights``; ``None`` if none.
+
+        ``None`` mirrors the cold path's exhausted-enumeration signal: either
+        the structure has no cut set at all, or every remaining cut set is
+        forbidden by ``blocked``.  Raises :class:`BudgetExceededError` when
+        the core-discovery loop exceeds ``max_rounds`` (callers then fall
+        back to a cold solve).
+        """
+        started = time.perf_counter()
+        scaled: Dict[Literal, int] = {
+            -var: self._scale_weight(weights[name])
+            for name, var in self.event_vars.items()
+        }
+        block_assumptions = sorted(
+            (self._block_assumption(cut_set) for cut_set in blocked), key=abs
+        )
+        active_blocks = set(block_assumptions)
+
+        sat_calls = 0
+        for _ in range(self.max_rounds):
+            self.rounds += 1
+            usable: List[FrozenSet[Literal]] = []
+            exhausted = False
+            for core in self._cores:
+                block_part = frozenset(
+                    literal for literal in core if abs(literal) in self._block_var_set
+                )
+                if not block_part <= active_blocks:
+                    continue  # depends on a blocking clause that is not active
+                stripped = core - block_part
+                if not stripped:
+                    # Every member of the core is an active block: the blocked
+                    # cut sets alone already exhaust the structure.
+                    exhausted = True
+                    break
+                usable.append(stripped)
+            if exhausted:
+                self.solves += 1
+                self.sat_calls += sat_calls
+                return None
+
+            signature = frozenset(active_blocks)
+            hitting_set, _ = minimum_cost_hitting_set(
+                usable, scaled, seed=self._hs_memo.get(signature)
+            )
+            self._hs_memo[signature] = hitting_set
+            assumptions = block_assumptions + [
+                selector for selector in self._selectors if selector not in hitting_set
+            ]
+            result = self._solver.solve(assumptions)
+            sat_calls += 1
+
+            if result.status is SatStatus.SAT:
+                model = result.model or {}
+                events = tuple(
+                    sorted(
+                        name
+                        for name, var in self.event_vars.items()
+                        if model.get(var, False)
+                    )
+                )
+                self.solves += 1
+                self.sat_calls += sat_calls
+                probability_weights = {name: weights[name] for name in events}
+                return IncrementalSolveResult(
+                    events=events,
+                    scaled_cost=self.scaled_cost_of(events, weights),
+                    cost=sum(probability_weights.values()),
+                    probability_weights=probability_weights,
+                    sat_calls=sat_calls,
+                    solve_time=time.perf_counter() - started,
+                )
+
+            core = frozenset(result.core)
+            if not core:
+                # Conflict independent of every assumption: the structure
+                # itself is unsatisfiable — the top event cannot occur.
+                self.solves += 1
+                self.sat_calls += sat_calls
+                return None
+            self._cores.append(core)
+
+        raise BudgetExceededError(
+            f"incremental MaxSAT session exceeded {self.max_rounds} core rounds"
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._cores)
+
+    @property
+    def num_block_clauses(self) -> int:
+        return len(self._block_vars)
+
+    @property
+    def num_learnts(self) -> int:
+        return self._solver.num_learnts
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for logging and the profiling report."""
+        return {
+            "solves": self.solves,
+            "sat_calls": self.sat_calls,
+            "rounds": self.rounds,
+            "cores": len(self._cores),
+            "block_clauses": len(self._block_vars),
+            "learnt_clauses": self._solver.num_learnts,
+            "num_vars": self.num_vars,
+            "num_hard": self.num_hard,
+            "encode_seconds": self.encode_time,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IncrementalMaxSATSession(events={len(self.event_vars)}, "
+            f"cores={len(self._cores)}, solves={self.solves})"
+        )

@@ -21,10 +21,23 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.exceptions import SolverError
 from repro.logic.cnf import CNF, Literal
 
-__all__ = ["SoftClause", "WPMaxSATInstance", "DEFAULT_PRECISION"]
+__all__ = ["SoftClause", "WPMaxSATInstance", "DEFAULT_PRECISION", "scale_weight"]
 
 #: Default scale factor applied to float weights (1e-9 weight resolution).
 DEFAULT_PRECISION = 10**9
+
+
+def scale_weight(weight: float, precision: int) -> int:
+    """Quantise a float weight to the integer solver scale (rounding, min 1).
+
+    The single definition of weight quantisation: every consumer — instance
+    construction, tie detection in the facade, the warm incremental session —
+    must agree bit-for-bit on this mapping, or two solvers could disagree on
+    which of two near-tied optima is cheaper.
+    """
+    if weight <= 0 or not math.isfinite(weight):
+        raise SolverError(f"weight must be positive and finite, got {weight}")
+    return max(1, int(round(weight * precision)))
 
 
 @dataclass(frozen=True)
@@ -133,9 +146,7 @@ class WPMaxSATInstance:
 
     def scale_weight(self, weight: float) -> int:
         """Convert a float weight to the internal integer scale (rounding, min 1)."""
-        if weight <= 0 or not math.isfinite(weight):
-            raise SolverError(f"weight must be positive and finite, got {weight}")
-        return max(1, int(round(weight * self.precision)))
+        return scale_weight(weight, self.precision)
 
     def unscale_cost(self, scaled_cost: int) -> float:
         """Convert an integer cost back to the original float scale."""

@@ -69,6 +69,7 @@ class LinearSearchEngine(MaxSATEngine):
 
         try:
             while True:
+                self._check_stop()
                 solver, indicators = self._build_oracle(instance, best_cost)
                 result = solver.solve()
                 sat_calls += 1

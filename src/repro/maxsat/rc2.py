@@ -86,6 +86,7 @@ class RC2Engine(MaxSATEngine):
 
         try:
             while True:
+                self._check_stop()
                 assumptions = [
                     sel
                     for sel, weight in weights.items()

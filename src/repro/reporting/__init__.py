@@ -29,6 +29,7 @@ from repro.reporting.tables import (
 from repro.reporting.unified import (
     FORMATS,
     SCENARIO_FORMATS,
+    render_profile,
     render_report,
     render_scenario_report,
     write_report,
@@ -42,6 +43,7 @@ __all__ = [
     "markdown_report",
     "frontier_table",
     "markdown_table",
+    "render_profile",
     "render_report",
     "render_scenario_report",
     "render_tree",

@@ -35,7 +35,14 @@ from repro.reporting.tables import scenario_delta_table
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios -> api)
     from repro.scenarios.report import ScenarioReport
 
-__all__ = ["FORMATS", "SCENARIO_FORMATS", "render_report", "render_scenario_report", "write_report"]
+__all__ = [
+    "FORMATS",
+    "SCENARIO_FORMATS",
+    "render_profile",
+    "render_report",
+    "render_scenario_report",
+    "write_report",
+]
 
 #: Formats supported by :func:`render_report`.
 FORMATS = ("json", "markdown", "html", "dot", "ascii")
@@ -85,6 +92,47 @@ def render_report(report: AnalysisReport, fmt: str = "json") -> str:
         highlight = report.mpmcs.events if report.mpmcs is not None else ()
         return render_tree(report.tree, highlight=highlight)
     raise ReproError(f"unknown report format {fmt!r}; expected one of {', '.join(FORMATS)}")
+
+
+def render_profile(report: AnalysisReport) -> str:
+    """Human-readable per-stage performance breakdown of one analysis run.
+
+    Shows the stage timings (``encode_seconds`` — CNF/BDD/cut-set structure
+    preparation, ``solve_seconds`` — search and enumeration) and the
+    artifact-cache counters the run accumulated, so the effect of warm
+    sessions and cached fragments is visible without running a benchmark.
+    """
+    profile = report.profile
+    lines = ["performance profile:"]
+    if not profile:
+        lines.append("  (no profiling data recorded)")
+        return "\n".join(lines)
+    for key in ("encode_seconds", "solve_seconds"):
+        if key in profile:
+            stage = key.replace("_seconds", "")
+            lines.append(f"  {stage:<12}: {profile[key]:.6f}s")
+    for key in ("warm_solves", "cache_hits", "cache_misses", "store_hits", "store_misses"):
+        if key in profile:
+            lines.append(f"  {key:<12}: {profile[key]}")
+    extras = sorted(
+        key
+        for key in profile
+        if key
+        not in {
+            "encode_seconds",
+            "solve_seconds",
+            "warm_solves",
+            "cache_hits",
+            "cache_misses",
+            "store_hits",
+            "store_misses",
+        }
+    )
+    for key in extras:
+        lines.append(f"  {key:<12}: {profile[key]}")
+    for backend, seconds in sorted(report.timings.items()):
+        lines.append(f"  backend {backend}: {seconds:.6f}s")
+    return "\n".join(lines)
 
 
 #: Formats supported by :func:`render_scenario_report`.

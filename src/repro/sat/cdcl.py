@@ -124,6 +124,20 @@ class CDCLSolver(BaseSatSolver):
     def conflicts(self) -> int:
         return self._conflicts
 
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learnt) clauses currently attached."""
+        return len(self._clauses)
+
+    @property
+    def num_learnts(self) -> int:
+        """Number of learned clauses currently retained.
+
+        Exposed so incremental users (and tests) can observe that knowledge
+        acquired in one :meth:`solve` call survives into the next.
+        """
+        return len(self._learnts)
+
     def new_var(self) -> int:
         """Allocate (and return) a fresh variable index."""
         self._num_vars += 1
@@ -183,6 +197,22 @@ class CDCLSolver(BaseSatSolver):
         clause = _Clause(filtered, learnt=False)
         self._clauses.append(clause)
         self._attach(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[Literal]]) -> None:
+        """Add several problem clauses between :meth:`solve` calls.
+
+        This is the incremental interface MiniSat-style workflows rely on:
+        every :meth:`solve` returns with the trail cancelled back to decision
+        level 0, so new clauses can be added at any point between solves and
+        the solver keeps *all* accumulated state — learned clauses, VSIDS
+        variable activities and saved phases — instead of starting cold.
+        Clauses must be logically compatible with reusing learned clauses,
+        i.e. they only ever *strengthen* the formula (which is all CDCL
+        requires: learned clauses are consequences of the clause database and
+        remain consequences of any superset).
+        """
+        for clause in clauses:
+            self.add_clause(clause)
 
     # -------------------------------------------------------------- main solve
 

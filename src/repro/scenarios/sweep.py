@@ -22,6 +22,7 @@ import time
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
 from repro.api.cache import ARTIFACT_SUBTREE_BDD
+from repro.api.registry import backend_class, canonical_backend_name
 from repro.api.report import AnalysisReport, TopEventSummary
 from repro.api.session import AnalysisSession
 from repro.bdd.manager import BDD, BDDManager
@@ -95,6 +96,29 @@ class SweepExecutor:
         self.backend = backend
         self.exact_top_event = exact_top_event
         self._bdd_unavailable: Set[str] = set()
+        self._fill_top_event = False
+        if backend == "auto":
+            # Automatic routing covers every analysis; mpmcs routes to maxsat.
+            self._capabilities: Optional[frozenset] = None
+            warm_backend = "maxsat"
+        else:
+            self._capabilities = backend_class(canonical_backend_name(backend)).capabilities()
+            warm_backend = backend
+        self._warm_backend = None
+        if incremental:
+            # The maxsat backend's incremental path: persistent per-structure
+            # solver sessions turn the probability-only scenarios of a sweep
+            # into weight-only re-solves (no re-encoding, no solver restart).
+            # The opt-in is scoped to :meth:`run` so one-off analyses on a
+            # shared session keep the cold portfolio; the sessions themselves
+            # persist on the backend, so a second sweep starts fully warm.
+            # Backends without warm sessions simply opt out here.
+            try:
+                instance = self.session.backend(warm_backend)
+            except ReproError:
+                instance = None
+            if getattr(instance, "enable_warm_sessions", None) is not None:
+                self._warm_backend = instance
 
     def run(
         self,
@@ -106,9 +130,63 @@ class SweepExecutor:
         samples: int = 0,
         seed: int = 0,
     ) -> ScenarioReport:
-        """Analyse ``tree`` and every scenario; return the delta report."""
+        """Analyse ``tree`` and every scenario; return the delta report.
+
+        A ``top_event`` request outside the configured backend's capabilities
+        is not forced through it: a ``maxsat`` sweep with the default
+        ``("mpmcs", "top_event")`` analyses runs ``mpmcs`` through the warm
+        MaxSAT path while ``top_event`` is served by the structure-keyed BDD
+        (the same diagram the ``exact_top_event`` augmentation uses), so every
+        backend answers the sweep's two headline questions.  Any *other*
+        unsupported analysis fails loudly, exactly like a direct ``analyze``.
+        """
+        if self._warm_backend is None:
+            return self._run(
+                tree, scenarios, analyses=analyses, top_k=top_k, samples=samples, seed=seed
+            )
+        # Warm incremental solving is scoped to this sweep: restore the
+        # backend's routing afterwards so one-off analyses on a shared
+        # session keep the cold portfolio (the warm sessions themselves are
+        # retained for the next sweep).
+        previous = self._warm_backend.warm_enabled
+        self._warm_backend.enable_warm_sessions()
+        try:
+            return self._run(
+                tree, scenarios, analyses=analyses, top_k=top_k, samples=samples, seed=seed
+            )
+        finally:
+            self._warm_backend.warm_enabled = previous
+
+    def _run(
+        self,
+        tree: FaultTree,
+        scenarios: Iterable[Scenario],
+        *,
+        analyses: Sequence[str],
+        top_k: int,
+        samples: int,
+        seed: int,
+    ) -> ScenarioReport:
         scenario_list = list(scenarios)
         started = time.perf_counter()
+
+        requested = tuple(analyses)
+        run_analyses: Tuple[str, ...] = requested
+        self._fill_top_event = False
+        if self._capabilities is not None and "top_event" not in self._capabilities:
+            # ``top_event`` is the one analysis with a backend-independent
+            # fallback (the structure-keyed BDD below), so it alone is lifted
+            # out of the backend's request.  Any other unsupported analysis
+            # stays in and fails loudly in the session, exactly like a direct
+            # ``analyze`` call would.
+            run_analyses = tuple(a for a in requested if a != "top_event")
+            self._fill_top_event = "top_event" in requested
+            if not run_analyses:
+                raise ReproError(
+                    f"backend {self.backend!r} supports none of the requested "
+                    f"analyses {requested!r}"
+                )
+        analyses = run_analyses
 
         if self.incremental:
             seed_session_cut_sets(tree, self.session.artifacts)
@@ -194,15 +272,18 @@ class SweepExecutor:
         *structure* (probability-only scenarios share it) and merges it into
         the report's :class:`TopEventSummary`, keeping the bounds alongside.
         """
-        if not self.exact_top_event:
+        if not self.exact_top_event and not getattr(self, "_fill_top_event", False):
             return
         summary = report.top_event
-        if summary is None or summary.exact is not None:
+        if summary is None and not getattr(self, "_fill_top_event", False):
+            return
+        if summary is not None and summary.exact is not None:
             return
         exact = self._bdd_top_event(tree)
         if exact is None:
             return
-        report.top_event = TopEventSummary(exact=exact, backend="bdd").merged_with(summary)
+        filled = TopEventSummary(exact=exact, backend="bdd")
+        report.top_event = filled if summary is None else filled.merged_with(summary)
         previous = report.backends.get("top_event")
         report.backends["top_event"] = f"{previous}+bdd" if previous else "bdd"
 

@@ -203,3 +203,34 @@ class TestBackendTier:
     def test_stats_hide_store_counters_without_backend(self):
         cache = ArtifactCache()
         assert "store_hits" not in cache.stats()
+        cache.get_or_compute(fire_protection_system(), "kind", lambda: 1)
+        assert "store_hits" not in cache.stats()["by_kind"]["kind"]
+
+    def test_per_kind_store_counters(self):
+        """Satellite acceptance: store hits/misses are attributable per kind."""
+        backend = _DictBackend()
+        first = ArtifactCache(backend=backend)
+        tree = fire_protection_system()
+        first.get_or_compute(tree, "cut-sets", lambda: "a")
+        first.get_or_compute(tree, "cnf", lambda: "b")
+
+        second = ArtifactCache(backend=backend)
+        second.get_or_compute(tree, "cut-sets", lambda: "a")  # store hit
+        second.get_or_compute(tree, "fresh-kind", lambda: "c")  # store miss
+        assert second.store_hits_for("cut-sets") == 1
+        assert second.store_misses_for("cut-sets") == 0
+        assert second.store_hits_for("fresh-kind") == 0
+        assert second.store_misses_for("fresh-kind") == 1
+        by_kind = second.stats()["by_kind"]
+        assert by_kind["cut-sets"]["store_hits"] == 1
+        assert by_kind["cut-sets"]["store_misses"] == 0
+        assert by_kind["fresh-kind"]["store_hits"] == 0
+        assert by_kind["fresh-kind"]["store_misses"] == 1
+        # The aggregates stay consistent with the per-kind view.
+        stats = second.stats()
+        assert stats["store_hits"] == sum(
+            counters.get("store_hits", 0) for counters in by_kind.values()
+        )
+        assert stats["store_misses"] == sum(
+            counters.get("store_misses", 0) for counters in by_kind.values()
+        )

@@ -103,3 +103,34 @@ class TestThreadCancellation:
         assert len(report.engine_statuses) == 3
         for status in report.engine_statuses.values():
             assert status in {"optimum", "unknown", "unsatisfiable"} or status.startswith("error")
+
+    @pytest.mark.parametrize(
+        "engine_factory",
+        [
+            RC2Engine,
+            lambda: RC2Engine(stratified=True),
+            FuMalikEngine,
+            LinearSearchEngine,
+        ],
+        ids=["rc2", "rc2-stratified", "fu-malik", "linear"],
+    )
+    def test_cancellation_observed_between_engine_iterations(self, engine_factory):
+        """A pre-fired stop check halts the engine before its first oracle call.
+
+        The CDCL solver polls the stop check at restart boundaries; the
+        engines must *also* poll it between their own iterations (oracle
+        rebuilds, core relaxations) so that a lost race stops promptly even
+        when each individual SAT call is short.
+        """
+        engine = engine_factory()
+        calls = {"n": 0}
+
+        def stop_immediately():
+            calls["n"] += 1
+            return True
+
+        engine.stop_check = stop_immediately
+        result = engine.solve(sample_instance())
+        assert result.status is MaxSATStatus.UNKNOWN
+        assert result.sat_calls == 0
+        assert calls["n"] >= 1

@@ -1,0 +1,55 @@
+"""CNF fragments flowing through the persistent artifact store.
+
+The incremental MaxSAT path stores per-gate :class:`CNFFragment` artifacts
+under the ``subtree-cnf`` kind; they must serialise through the disk store's
+wire format so parallel sweep workers (and later service runs) reuse the
+encodings a previous process produced.
+"""
+
+from repro.api.cache import ARTIFACT_SUBTREE_CNF, ArtifactCache
+from repro.core.encoder import assemble_structure_cnf
+from repro.logic.formula import AtLeast, Var, Xor
+from repro.logic.tseitin import CNFFragment, encode_fragment
+from repro.service.store import DiskArtifactStore
+from repro.workloads.generator import random_fault_tree
+
+
+class TestFragmentWireFormat:
+    def test_fragment_survives_store_round_trip(self, tmp_path):
+        store = DiskArtifactStore(tmp_path / "store")
+        fragment = encode_fragment(
+            Xor((Var("a"), AtLeast(2, (Var("b"), Var("c"), Var("d"))))),
+            ["a", "b", "c", "d"],
+        )
+        store.store("k" * 64, ARTIFACT_SUBTREE_CNF, fragment)
+        found, restored = store.load("k" * 64, ARTIFACT_SUBTREE_CNF)
+        assert found
+        assert restored == fragment
+        assert isinstance(restored, CNFFragment)
+
+    def test_fragment_dict_wire_form_round_trips(self):
+        fragment = encode_fragment(AtLeast(2, (Var("x"), Var("y"), Var("z"))), ["x", "y", "z"])
+        assert CNFFragment.from_dict(fragment.to_dict()) == fragment
+
+
+class TestCrossCacheFragmentReuse:
+    def test_second_cache_hits_fragments_from_store(self, tmp_path):
+        """A cold cache pointed at a warm store re-assembles without encoding."""
+        store = DiskArtifactStore(tmp_path / "store")
+        tree = random_fault_tree(num_basic_events=20, seed=13, voting_ratio=0.3)
+
+        first = ArtifactCache(backend=store)
+        original = assemble_structure_cnf(tree, first)
+        assert first.misses_for(ARTIFACT_SUBTREE_CNF) == len(tree.gates)
+        assert first.store_misses_for(ARTIFACT_SUBTREE_CNF) == len(tree.gates)
+
+        second = ArtifactCache(backend=store)  # fresh memory tier, warm disk
+        reassembled = assemble_structure_cnf(tree, second)
+        assert second.store_hits_for(ARTIFACT_SUBTREE_CNF) == len(tree.gates)
+        assert second.stats()["by_kind"][ARTIFACT_SUBTREE_CNF]["store_hits"] == len(
+            tree.gates
+        )
+        assert [c.literals for c in reassembled.cnf] == [
+            c.literals for c in original.cnf
+        ]
+        assert reassembled.root_literal == original.root_literal
