@@ -1,0 +1,104 @@
+"""E13 — Campaign resume overhead: replaying a finished campaign vs cold.
+
+The resumability claim of :mod:`repro.campaigns` has a measurable cost
+model: a resumed campaign pays only ledger lookups (one content-hash probe
+and one store read per chunk) instead of re-running the analyses.  This
+benchmark runs a three-stage campaign (probability sweep -> mitigation
+frontier -> merged report) cold into a fresh store, then resubmits the
+identical spec and measures the pure-replay wall clock.  It asserts
+
+* the replay executes **zero** chunks — every chunk is a ledger hit,
+* the replayed merged report is canonically byte-identical to the cold one,
+* the replay is faster than the cold run (the whole point of the ledger),
+
+and writes a JSON perf record for the CI artifact (``BENCH_CAMPAIGN_JSON``,
+default ``BENCH_campaign.json``).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.campaigns import CampaignSpec, run_campaign
+from repro.campaigns.spec import frontier_stage, report_stage, sweep_stage
+from repro.fta.serializers import to_json_document
+from repro.workloads.library import fire_protection_system
+
+from benchmarks.conftest import emit
+
+
+def _spec(steps=40, chunk_size=4) -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-campaign-resume",
+        tree=to_json_document(fire_protection_system()),
+        stages=(
+            sweep_stage(
+                "sweep",
+                {"family": "probability_sweep", "event": "x1",
+                 "start": 1e-4, "stop": 0.5, "steps": steps},
+                chunk_size=chunk_size,
+            ),
+            frontier_stage(
+                "frontier",
+                [
+                    {"event": "x1", "cost": 2.0, "factor": 0.1},
+                    {"event": "x2", "cost": 2.0, "factor": 0.1},
+                    {"event": "x4", "cost": 1.0, "factor": 0.5},
+                    {"event": "x5", "cost": 1.0, "factor": 0.5},
+                ],
+                depends_on=("sweep",),
+            ),
+            report_stage("final", depends_on=("sweep", "frontier")),
+        ),
+    )
+
+
+def _canonical(outcome) -> str:
+    return json.dumps(
+        outcome.stage_results["final"]["stages"]["sweep"]["canonical"],
+        sort_keys=True,
+    )
+
+
+def test_bench_campaign_resume_overhead(tmp_path):
+    """Cold campaign vs pure-ledger replay of the identical spec."""
+    spec = _spec()
+    store = tmp_path / "store"
+
+    started = time.perf_counter()
+    cold = run_campaign(spec, store_path=str(store))
+    cold_s = time.perf_counter() - started
+    assert cold.status == "done", cold.error
+
+    started = time.perf_counter()
+    resumed = run_campaign(spec, store_path=str(store))
+    resume_s = time.perf_counter() - started
+    assert resumed.status == "done", resumed.error
+
+    total_chunks = cold.ledger_hits + cold.executed_chunks
+    assert resumed.executed_chunks == 0
+    assert resumed.ledger_hits == total_chunks
+    assert _canonical(resumed) == _canonical(cold)
+
+    speedup = cold_s / resume_s if resume_s else float("inf")
+    record = {
+        "benchmark": "E13-campaign-resume-overhead",
+        "campaign": spec.campaign_id(),
+        "stages": len(spec.stages),
+        "chunks": total_chunks,
+        "cold_wall_clock_s": round(cold_s, 4),
+        "resume_wall_clock_s": round(resume_s, 4),
+        "resume_speedup": round(speedup, 2),
+        "resume_s_per_chunk": round(resume_s / total_chunks, 6),
+        "ledger": dict(resumed.ledger_stats),
+    }
+    output = Path(os.environ.get("BENCH_CAMPAIGN_JSON", "BENCH_campaign.json"))
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    emit(
+        "E13 — campaign resume overhead (pure ledger replay vs cold)",
+        [f"{key:22}: {value}" for key, value in record.items()]
+        + [f"{'json record':22}: {output}"],
+    )
+    # A replay does no solving at all; even on a noisy runner it must win.
+    assert speedup > 1.5

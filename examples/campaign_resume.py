@@ -1,0 +1,149 @@
+"""Kill a sweep campaign mid-flight, restart it, lose nothing.
+
+The :mod:`repro.campaigns` layer gives every chunk of a multi-stage sweep a
+content address and records completed chunks in a persistent ledger inside
+the artifact store.  This demo proves the resulting crash-safety claim the
+hard way:
+
+1. declare a three-stage campaign (probability sweep -> mitigation frontier
+   -> merged report) over the paper's Fig. 1 fire-protection tree;
+2. run it in a **victim subprocess** that SIGKILLs itself after a handful of
+   chunks — no cleanup handlers, no atexit, exactly like an OOM kill;
+3. restart the campaign onto the same store: every chunk completed before
+   the kill is served from the ledger (zero recomputation), only the
+   remainder executes;
+4. compare against an uninterrupted run in a pristine store: the merged
+   sweep reports are **canonically byte-identical**;
+5. resubmit the finished spec once more: the whole campaign is a ledger hit.
+
+Run from the repository root:
+
+.. code-block:: console
+
+    $ PYTHONPATH=src python examples/campaign_resume.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.campaigns import CampaignRunner, CampaignSpec, run_campaign
+from repro.campaigns.spec import frontier_stage, report_stage, sweep_stage
+from repro.fta.serializers import to_json_document
+from repro.workloads.library import fire_protection_system
+
+SURVIVE = 4  # chunks allowed to finish before the SIGKILL lands
+
+VICTIM = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.campaigns import CampaignRunner, CampaignSpec
+
+    store, spec_path, survive = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    spec = CampaignSpec.from_dict(json.loads(open(spec_path).read()))
+    completed = {"count": 0}
+
+    def kill_after(stage, index, attempt):
+        if completed["count"] >= survive:
+            os.kill(os.getpid(), signal.SIGKILL)
+        completed["count"] += 1
+
+    CampaignRunner(store_path=store, before_chunk=kill_after).run(spec)
+    """
+)
+
+
+def build_spec() -> CampaignSpec:
+    """Sweep -> frontier -> report over the Fig. 1 fire-protection tree."""
+    return CampaignSpec(
+        name="fps-resume-demo",
+        tree=to_json_document(fire_protection_system()),
+        stages=(
+            sweep_stage(
+                "sweep",
+                {"family": "probability_sweep", "event": "x1",
+                 "start": 1e-4, "stop": 0.5, "steps": 12},
+                chunk_size=2,
+            ),
+            frontier_stage(
+                "frontier",
+                [
+                    {"event": "x1", "cost": 2.0, "factor": 0.1},
+                    {"event": "x2", "cost": 2.0, "factor": 0.1},
+                    {"event": "x4", "cost": 1.0, "factor": 0.5},
+                    {"event": "x5", "cost": 1.0, "factor": 0.5},
+                ],
+            ),
+            report_stage("final", depends_on=("sweep", "frontier")),
+        ),
+    )
+
+
+def canonical_sweep(outcome) -> str:
+    """The merged sweep report minus telemetry — the identity that must hold."""
+    return json.dumps(
+        outcome.stage_results["final"]["stages"]["sweep"]["canonical"],
+        sort_keys=True,
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+        store = Path(tmp) / "store"
+        spec_path = Path(tmp) / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        print(f"campaign {spec.campaign_id()} ({spec.name})")
+
+        # -- 2. the victim run: SIGKILL after SURVIVE chunks ------------------
+        victim = subprocess.run(
+            [sys.executable, "-c", VICTIM, str(store), str(spec_path), str(SURVIVE)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=dict(os.environ),
+        )
+        assert victim.returncode == -signal.SIGKILL, (
+            f"victim should die by SIGKILL, got {victim.returncode}: {victim.stderr}"
+        )
+        print(f"victim process SIGKILLed after {SURVIVE} chunks "
+              f"(returncode {victim.returncode})")
+
+        status = CampaignRunner(store_path=str(store)).status(spec)
+        done = sum(stage["chunks_done"] for stage in status["stages"])
+        total = sum(stage["chunks_total"] for stage in status["stages"])
+        print(f"ledger on disk : status={status['status']!r}, "
+              f"{done}/{total} chunks completed")
+        assert status["status"] == "running", status
+        assert done == SURVIVE, status
+
+        # -- 3. restart onto the same store -----------------------------------
+        resumed = run_campaign(spec, store_path=str(store))
+        assert resumed.status == "done", resumed.error
+        print(f"resumed run    : {resumed.ledger_hits} chunks from the ledger, "
+              f"{resumed.executed_chunks} executed")
+        assert resumed.ledger_hits == SURVIVE
+        assert resumed.executed_chunks == total - SURVIVE
+
+        # -- 4. byte-identical to an uninterrupted run ------------------------
+        pristine = run_campaign(spec, store_path=str(Path(tmp) / "fresh-store"))
+        assert canonical_sweep(resumed) == canonical_sweep(pristine)
+        print("merged sweep report canonically identical to an uninterrupted run")
+
+        # -- 5. resubmitting the finished spec is a pure ledger replay --------
+        replay = run_campaign(spec, store_path=str(store))
+        assert replay.status == "done" and replay.executed_chunks == 0
+        assert replay.ledger_hits == total
+        print(f"replay         : {replay.ledger_hits}/{total} ledger hits, "
+              "0 chunks executed")
+        print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

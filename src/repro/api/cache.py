@@ -36,6 +36,7 @@ from repro.fta.tree import FaultTree
 
 __all__ = [
     "ARTIFACT_BDD",
+    "ARTIFACT_CAMPAIGN_LEDGER",
     "ARTIFACT_CUT_SETS",
     "ARTIFACT_ENCODING",
     "ARTIFACT_SUBTREE_BDD",
@@ -67,6 +68,14 @@ ARTIFACT_SUBTREE_BDD = "subtree-bdd"
 #: serves every probability-perturbed scenario of a sweep, and a structural
 #: patch re-encodes only the gates on the path from the edit to the top event.
 ARTIFACT_SUBTREE_CNF = "subtree-cnf"
+#: Campaign completion-ledger entries (see :mod:`repro.campaigns.ledger`):
+#: per-chunk results keyed by a hash of campaign id + chunk content, plus one
+#: state record per campaign keyed by the campaign id alone.  Written through
+#: :class:`repro.service.store.DiskArtifactStore` with the same atomic,
+#: versioned, checksummed entry format as every other artifact kind, which is
+#: what makes a killed campaign resumable: the ledger either contains a whole
+#: verified chunk result or nothing.
+ARTIFACT_CAMPAIGN_LEDGER = "campaign-ledger"
 
 
 class ArtifactStoreBackend:

@@ -1,0 +1,167 @@
+"""The persistent per-chunk completion ledger of a campaign.
+
+Ledger entries ride the existing :class:`~repro.service.store.DiskArtifactStore`
+machinery — the same atomic-rename, versioned, SHA-256-checksummed entry
+format every other artifact kind uses — under the dedicated
+:data:`~repro.api.cache.ARTIFACT_CAMPAIGN_LEDGER` kind.  Two record shapes
+live there:
+
+* **chunk records**, keyed by ``sha256(campaign_id ':' chunk_hash)``: the
+  chunk's full result plus attempt metadata.  Written once, after the chunk
+  completed; a crash between chunks loses at most the in-flight chunk.
+* **state records**, keyed by ``sha256(campaign_id ':state')``: the campaign
+  spec document plus its lifecycle status (``running``/``done``/``failed``)
+  and, once finished, the final merged result.  This is what lets a fresh
+  process resume a campaign from nothing but its id.
+
+A ledger constructed without a store degrades to an in-process dict — the
+campaign still runs (and retries), it just cannot survive the process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.cache import ARTIFACT_CAMPAIGN_LEDGER
+
+__all__ = ["CompletionLedger", "campaign_state", "chunk_record_key", "state_record_key"]
+
+
+def chunk_record_key(campaign_id: str, chunk_hash: str) -> str:
+    """Store key of one chunk's completion record."""
+    return hashlib.sha256(f"{campaign_id}:{chunk_hash}".encode("utf-8")).hexdigest()
+
+
+def state_record_key(campaign_id: str) -> str:
+    """Store key of a campaign's state record."""
+    return hashlib.sha256(f"{campaign_id}:state".encode("utf-8")).hexdigest()
+
+
+def campaign_state(store: Any, campaign_id: str) -> Optional[Dict[str, Any]]:
+    """Load a campaign's state record from a store, or ``None``."""
+    if store is None:
+        return None
+    found, value = store.load(state_record_key(campaign_id), ARTIFACT_CAMPAIGN_LEDGER)
+    return value if found and isinstance(value, dict) else None
+
+
+class CompletionLedger:
+    """Per-campaign view over the ledger records of one artifact store.
+
+    The ledger counts its own traffic — ``hits`` (chunks served from the
+    ledger instead of recomputed) and ``writes`` — which is how the
+    crash-resume tests assert *zero recomputation* of completed chunks.
+    """
+
+    def __init__(self, store: Any, campaign_id: str) -> None:
+        self.store = store
+        self.campaign_id = campaign_id
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def persistent(self) -> bool:
+        return self.store is not None
+
+    # -- chunk records ----------------------------------------------------------------
+
+    def load_chunk(self, chunk_hash: str) -> Tuple[bool, Optional[Dict[str, Any]]]:
+        """``(found, record)`` for one chunk's completion record."""
+        key = chunk_record_key(self.campaign_id, chunk_hash)
+        if self.store is None:
+            record = self._memory.get(key)
+            found = record is not None
+        else:
+            found, record = self.store.load(key, ARTIFACT_CAMPAIGN_LEDGER)
+        if found and isinstance(record, dict) and record.get("chunk") == chunk_hash:
+            self.hits += 1
+            return True, record
+        self.misses += 1
+        return False, None
+
+    def store_chunk(
+        self,
+        *,
+        stage: str,
+        index: int,
+        chunk_hash: str,
+        result: Any,
+        attempts: int,
+    ) -> Dict[str, Any]:
+        """Persist one completed chunk's record (atomic via the store)."""
+        record = {
+            "campaign": self.campaign_id,
+            "stage": stage,
+            "index": index,
+            "chunk": chunk_hash,
+            "result": result,
+            "attempts": attempts,
+            "completed_at": time.time(),
+        }
+        key = chunk_record_key(self.campaign_id, chunk_hash)
+        if self.store is None:
+            self._memory[key] = record
+        else:
+            self.store.store(key, ARTIFACT_CAMPAIGN_LEDGER, record)
+        self.writes += 1
+        return record
+
+    def completed_chunks(self, chunk_hashes: List[str]) -> Dict[str, Dict[str, Any]]:
+        """Probe the ledger for every hash; returns the found records by hash.
+
+        Unlike :meth:`load_chunk` this does not touch the hit/miss counters —
+        it is the *status* path (``GET /campaigns/<id>``), not the execution
+        path, and status polling must not masquerade as resume reuse.
+        """
+        found: Dict[str, Dict[str, Any]] = {}
+        for chunk_hash in chunk_hashes:
+            key = chunk_record_key(self.campaign_id, chunk_hash)
+            if self.store is None:
+                record = self._memory.get(key)
+                ok = record is not None
+            else:
+                ok, record = self.store.load(key, ARTIFACT_CAMPAIGN_LEDGER)
+            if ok and isinstance(record, dict) and record.get("chunk") == chunk_hash:
+                found[chunk_hash] = record
+        return found
+
+    # -- state record -----------------------------------------------------------------
+
+    def load_state(self) -> Optional[Dict[str, Any]]:
+        if self.store is None:
+            return self._memory.get(state_record_key(self.campaign_id))
+        return campaign_state(self.store, self.campaign_id)
+
+    def store_state(
+        self,
+        *,
+        status: str,
+        spec_document: Dict[str, Any],
+        name: str,
+        error: Optional[str] = None,
+        stages: Optional[Dict[str, Any]] = None,
+        result: Any = None,
+    ) -> Dict[str, Any]:
+        record = {
+            "campaign": self.campaign_id,
+            "name": name,
+            "status": status,
+            "spec": spec_document,
+            "error": error,
+            "stages": stages or {},
+            "result": result,
+            "updated_at": time.time(),
+        }
+        key = state_record_key(self.campaign_id)
+        if self.store is None:
+            self._memory[key] = record
+        else:
+            self.store.store(key, ARTIFACT_CAMPAIGN_LEDGER, record)
+        return record
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

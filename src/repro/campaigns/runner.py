@@ -1,0 +1,866 @@
+"""Campaign execution: resume from the ledger, retry with backoff, merge.
+
+:class:`CampaignRunner` walks a :class:`~repro.campaigns.spec.CampaignSpec`
+in topological order and executes every stage whose dependencies completed.
+Stage fan-out is per-chunk:
+
+1. each chunk is probed in the :class:`~repro.campaigns.ledger.CompletionLedger`
+   first — a hit returns the persisted result with **zero recomputation**;
+2. missing chunks execute either in-process (sequentially, sharing one
+   store-backed :class:`~repro.api.session.AnalysisSession`) or partitioned
+   over a spawn :class:`~concurrent.futures.ProcessPoolExecutor` when the
+   spec asks for ``workers > 1`` — the exact machinery the historical
+   ``run_parallel_sweep`` used, now with the ledger written as every chunk
+   lands so a crash loses at most the in-flight chunks;
+3. failed chunks retry with capped exponential backoff
+   (``retry_base_delay_s * 2**attempt``, capped at ``retry_max_delay_s``)
+   up to ``max_retries`` extra attempts before the stage — and the campaign —
+   fails.
+
+Because chunks are contiguous, order-preserving slices analysed under the
+campaign's single global configuration, the merged
+:class:`~repro.scenarios.report.ScenarioReport` of a killed-and-resumed
+campaign is canonically byte-identical to an uninterrupted run (and to a
+sequential :class:`~repro.scenarios.sweep.SweepExecutor` pass over the same
+grid) — only telemetry (timings, hit counters) differs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.cache import ArtifactCache
+from repro.api.session import AnalysisSession
+from repro.exceptions import ReproError
+from repro.fta.parsers.json_format import parse_json_document
+from repro.fta.tree import FaultTree
+from repro.reliability.assignment import ReliabilityAssignment
+from repro.campaigns.ledger import CompletionLedger
+from repro.campaigns.spec import CampaignError, CampaignSpec, Chunk, StageSpec
+from repro.scenarios.planner import pareto_frontier, validate_actions
+from repro.scenarios.report import ScenarioReport
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.serialization import (
+    SerializationError,
+    actions_from_spec,
+    assignment_from_documents,
+    scenario_to_dict,
+    scenarios_from_spec,
+)
+from repro.scenarios.sweep import SweepExecutor
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignRunner",
+    "StageStats",
+    "materialise_tree",
+    "merge_scenario_reports",
+    "run_campaign",
+]
+
+
+def materialise_tree(
+    tree_document: Dict[str, Any],
+    models: Optional[Dict[str, Any]] = None,
+    mission_time: Optional[float] = None,
+) -> Tuple[FaultTree, Optional[ReliabilityAssignment], Optional[float]]:
+    """Decode a tree document, materialising reliability models if present.
+
+    With a ``models`` section (event name -> tagged failure-model document)
+    and a ``mission_time``, the analysed tree is the
+    :class:`~repro.reliability.assignment.ReliabilityAssignment` frozen at
+    that time; the assignment is returned alongside so maintenance scenarios
+    can bind to it.  Shared by the campaign runner and the service's job
+    payload decoding.
+    """
+    if not isinstance(tree_document, dict):
+        raise CampaignError("campaign needs a 'tree' JSON document")
+    tree = parse_json_document(tree_document)
+    if mission_time is not None:
+        if not isinstance(mission_time, (int, float)) or isinstance(mission_time, bool):
+            raise CampaignError(f"'mission_time' must be a number, got {mission_time!r}")
+        mission_time = float(mission_time)
+    if models is None:
+        return tree, None, mission_time
+    if mission_time is None:
+        raise CampaignError("a spec with 'models' needs a numeric 'mission_time'")
+    assignment = assignment_from_documents(tree, models)
+    return assignment.tree_at(mission_time), assignment, mission_time
+
+
+def _merge_cache_stats(parts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum per-worker :meth:`ArtifactCache.stats` snapshots field-wise."""
+    merged: Dict[str, Any] = {
+        "entries": 0,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "by_kind": {},
+    }
+    for part in parts:
+        for counter in ("entries", "hits", "misses", "evictions", "store_hits", "store_misses"):
+            if counter in part:
+                merged[counter] = merged.get(counter, 0) + part[counter]
+        for kind, counters in part.get("by_kind", {}).items():
+            slot = merged["by_kind"].setdefault(kind, {})
+            for counter, value in counters.items():
+                slot[counter] = slot.get(counter, 0) + value
+    return merged
+
+
+def merge_scenario_reports(reports: Sequence[ScenarioReport]) -> ScenarioReport:
+    """Merge per-chunk sweep reports (in chunk order) into one report.
+
+    Every chunk analysed the same base tree with the same configuration, so
+    the base sections are interchangeable; the first report contributes them,
+    the outcomes concatenate in order, and the cache statistics sum.
+    """
+    if not reports:
+        raise ReproError("cannot merge an empty list of scenario reports")
+    head = reports[0]
+    merged = ScenarioReport(
+        tree_name=head.tree_name,
+        analyses=head.analyses,
+        backend=head.backend,
+        incremental=head.incremental,
+        base=head.base,
+        base_top_event=head.base_top_event,
+        base_mpmcs_events=head.base_mpmcs_events,
+        base_mpmcs_probability=head.base_mpmcs_probability,
+    )
+    for report in reports:
+        merged.outcomes.extend(report.outcomes)
+    merged.cache_stats = _merge_cache_stats([report.cache_stats for report in reports])
+    merged.total_time_s = sum(report.total_time_s for report in reports)
+    return merged
+
+
+def _open_store(path: Optional[str]) -> Any:
+    # Lazy: repro.campaigns must stay importable without (and before)
+    # repro.service — the service imports *us*.
+    if path is None:
+        return None
+    from repro.service.store import DiskArtifactStore
+
+    return DiskArtifactStore(path)
+
+
+def _sweep_chunk_worker(
+    payload: "Tuple[int, FaultTree, Sequence[Scenario], Dict[str, Any]]",
+) -> Tuple[int, ScenarioReport]:
+    """Process-pool entry point: run one scenario chunk, store-backed."""
+    index, tree, scenarios, config = payload
+    cache = ArtifactCache(
+        max_entries=config.get("cache_max_entries"),
+        backend=_open_store(config.get("store_path")),
+    )
+    executor = SweepExecutor(
+        AnalysisSession(cache=cache),
+        incremental=config.get("incremental", True),
+        backend=config.get("backend", "mocus"),
+        exact_top_event=config.get("exact_top_event", True),
+    )
+    report = executor.run(
+        tree,
+        scenarios,
+        analyses=config.get("analyses", ("mpmcs", "top_event")),
+        top_k=config.get("top_k", 5),
+        samples=config.get("samples", 0),
+        seed=config.get("seed", 0),
+    )
+    return index, report
+
+
+@dataclass
+class StageStats:
+    """Execution accounting of one stage — the proof of (non-)recomputation."""
+
+    name: str
+    kind: str
+    status: str = "pending"
+    chunks_total: int = 0
+    ledger_hits: int = 0
+    executed: int = 0
+    attempts: int = 0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "chunks_total": self.chunks_total,
+            "ledger_hits": self.ledger_hits,
+            "executed": self.executed,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a finished (or failed) campaign run produced."""
+
+    campaign_id: str
+    name: str
+    status: str
+    stage_results: Dict[str, Any] = field(default_factory=dict)
+    stage_stats: List[StageStats] = field(default_factory=list)
+    ledger_stats: Dict[str, int] = field(default_factory=dict)
+    total_time_s: float = 0.0
+    error: Optional[str] = None
+
+    def report(self) -> Optional[ScenarioReport]:
+        """The merged report of the first sweep stage, if one completed."""
+        for value in self.stage_results.values():
+            if isinstance(value, ScenarioReport):
+                return value
+        return None
+
+    @property
+    def ledger_hits(self) -> int:
+        return sum(stats.ledger_hits for stats in self.stage_stats)
+
+    @property
+    def executed_chunks(self) -> int:
+        return sum(stats.executed for stats in self.stage_stats)
+
+    def result_document(self) -> Dict[str, Any]:
+        """JSON-ready result: stage results with reports in dict form."""
+        stages: Dict[str, Any] = {}
+        for name, value in self.stage_results.items():
+            stages[name] = value.to_dict() if isinstance(value, ScenarioReport) else value
+        return {
+            "kind": "campaign",
+            "campaign": self.campaign_id,
+            "name": self.name,
+            "status": self.status,
+            "stages": stages,
+            "error": self.error,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready status document (results are fetched separately)."""
+        return {
+            "campaign": self.campaign_id,
+            "name": self.name,
+            "status": self.status,
+            "stages": [stats.to_dict() for stats in self.stage_stats],
+            "ledger": dict(self.ledger_stats),
+            "total_time_s": self.total_time_s,
+            "error": self.error,
+        }
+
+
+class CampaignRunner:
+    """Executes campaign specs with ledger-backed resume.
+
+    Parameters
+    ----------
+    store:
+        :class:`~repro.service.store.DiskArtifactStore` (or compatible
+        backend) holding both the completion ledger and the shared analysis
+        artifacts; ``None`` disables persistence (the campaign still runs,
+        retries and merges — it just cannot survive the process).
+    store_path:
+        Convenience alternative to ``store``.
+    session:
+        Optional pre-built session for in-process chunk execution; a fresh
+        store-backed session is created otherwise.
+    sleep:
+        Injection point for the backoff delay (tests pass a recorder).
+    before_chunk:
+        Optional hook called as ``before_chunk(stage_name, chunk_index,
+        attempt)`` immediately before each in-process chunk attempt; raising
+        makes the attempt fail.  Exists for fault-injection tests.
+    stop_check:
+        Optional zero-argument callable invoked at every chunk boundary;
+        raise from it to abort the campaign cooperatively (the service wires
+        the job's cancellation/timeout guard here).
+    """
+
+    def __init__(
+        self,
+        *,
+        store: Any = None,
+        store_path: Optional[str] = None,
+        session: Optional[AnalysisSession] = None,
+        cache_max_entries: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        before_chunk: Optional[Callable[[str, int, int], None]] = None,
+        stop_check: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if store is None and store_path is not None:
+            store = _open_store(store_path)
+        self.store = store
+        self.store_path = store_path if store_path is not None else (
+            str(store.root) if store is not None and hasattr(store, "root") else None
+        )
+        self.cache_max_entries = cache_max_entries
+        self._session = session
+        self._sleep = sleep
+        self._before_chunk = before_chunk
+        self._stop_check = stop_check
+
+    # -- session ----------------------------------------------------------------------
+
+    @property
+    def session(self) -> AnalysisSession:
+        if self._session is None:
+            cache = ArtifactCache(max_entries=self.cache_max_entries, backend=self.store)
+            self._session = AnalysisSession(cache=cache)
+        return self._session
+
+    def _check_stop(self) -> None:
+        if self._stop_check is not None:
+            self._stop_check()
+
+    # -- public API -------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        *,
+        tree: Optional[FaultTree] = None,
+        scenario_overrides: Optional[Dict[str, List[Scenario]]] = None,
+    ) -> CampaignOutcome:
+        """Execute ``spec``, resuming every chunk the ledger already holds.
+
+        ``tree`` and ``scenario_overrides`` let an embedding caller (the
+        refactored ``run_parallel_sweep``) supply *live* objects instead of
+        re-decoding the spec's JSON; overridden sweep stages whose scenarios
+        have no JSON form (e.g. bound maintenance patches) run **unledgered**
+        — executed every time, never persisted — because a content address
+        cannot be computed for them.
+        """
+        campaign_id = spec.campaign_id()
+        ledger = CompletionLedger(self.store, campaign_id)
+        outcome = CampaignOutcome(campaign_id=campaign_id, name=spec.name, status="running")
+        started = time.perf_counter()
+
+        stats_by_name: Dict[str, StageStats] = {}
+        for stage in spec.stages:
+            stats_by_name[stage.name] = StageStats(name=stage.name, kind=stage.kind)
+        outcome.stage_stats = [stats_by_name[stage.name] for stage in spec.stages]
+
+        ledger.store_state(
+            status="running",
+            spec_document=spec.to_dict(),
+            name=spec.name,
+            stages={name: stats.to_dict() for name, stats in stats_by_name.items()},
+        )
+
+        if tree is None:
+            tree, assignment, mission_time = materialise_tree(
+                spec.tree, spec.models, spec.mission_time
+            )
+        else:
+            _, assignment, mission_time = (tree, None, spec.mission_time)
+            if spec.models is not None:
+                _, assignment, mission_time = materialise_tree(
+                    spec.tree, spec.models, spec.mission_time
+                )
+
+        try:
+            for stage in spec.topological_order():
+                stats = stats_by_name[stage.name]
+                stats.status = "running"
+                self._check_stop()
+                override = (scenario_overrides or {}).get(stage.name)
+                if stage.kind == "sweep":
+                    result = self._run_sweep_stage(
+                        spec, stage, tree, assignment, mission_time, ledger, stats,
+                        live_scenarios=override,
+                    )
+                elif stage.kind == "frontier":
+                    result = self._run_frontier_stage(spec, stage, tree, ledger, stats)
+                else:
+                    result = self._run_report_stage(
+                        spec, stage, outcome.stage_results, ledger, stats
+                    )
+                stats.status = "done"
+                outcome.stage_results[stage.name] = result
+        except ReproError as exc:
+            failed = next(
+                (s for s in outcome.stage_stats if s.status == "running"), None
+            )
+            if failed is not None:
+                failed.status = "failed"
+                failed.error = str(exc)
+            outcome.status = "failed"
+            outcome.error = str(exc)
+            outcome.ledger_stats = ledger.stats()
+            outcome.total_time_s = time.perf_counter() - started
+            ledger.store_state(
+                status="failed",
+                spec_document=spec.to_dict(),
+                name=spec.name,
+                error=str(exc),
+                stages={name: stats.to_dict() for name, stats in stats_by_name.items()},
+            )
+            raise
+
+        outcome.status = "done"
+        outcome.ledger_stats = ledger.stats()
+        outcome.total_time_s = time.perf_counter() - started
+        ledger.store_state(
+            status="done",
+            spec_document=spec.to_dict(),
+            name=spec.name,
+            stages={name: stats.to_dict() for name, stats in stats_by_name.items()},
+            result=outcome.result_document(),
+        )
+        return outcome
+
+    # -- status (no execution) ----------------------------------------------------------
+
+    def status(self, spec: CampaignSpec) -> Dict[str, Any]:
+        """Ledger-derived progress of ``spec`` without executing anything.
+
+        Chunk hashes are recomputed from the spec (they are deterministic),
+        then probed against the ledger; the result is the per-stage
+        ``chunks_total`` / ``chunks_done`` progress a status endpoint shows.
+        """
+        campaign_id = spec.campaign_id()
+        ledger = CompletionLedger(self.store, campaign_id)
+        state = ledger.load_state()
+        stages: List[Dict[str, Any]] = []
+        try:
+            tree, assignment, mission_time = materialise_tree(
+                spec.tree, spec.models, spec.mission_time
+            )
+        except ReproError:
+            tree = assignment = mission_time = None  # spec stored before a format change
+        for stage in spec.stages:
+            entry: Dict[str, Any] = {"name": stage.name, "kind": stage.kind}
+            try:
+                chunks = self._stage_chunks(spec, stage, assignment, mission_time)
+            except ReproError:
+                chunks = None
+            if chunks is None:
+                entry["chunks_total"] = None
+                entry["chunks_done"] = None
+            else:
+                hashes = [chunk.hash for chunk in chunks]
+                done = ledger.completed_chunks(hashes)
+                entry["chunks_total"] = len(chunks)
+                entry["chunks_done"] = len(done)
+            stages.append(entry)
+        return {
+            "campaign": campaign_id,
+            "name": spec.name,
+            "status": (state or {}).get("status", "unknown"),
+            "error": (state or {}).get("error"),
+            "stages": stages,
+            "persistent": ledger.persistent,
+        }
+
+    def _stage_chunks(
+        self,
+        spec: CampaignSpec,
+        stage: StageSpec,
+        assignment: Optional[ReliabilityAssignment],
+        mission_time: Optional[float],
+    ) -> Optional[List[Chunk]]:
+        if stage.kind != "sweep":
+            return [spec.single_chunk_for(stage)]
+        raw = stage.payload.get("scenarios")
+        if raw is None:
+            return None
+        scenarios = scenarios_from_spec(raw, assignment=assignment, mission_time=mission_time)
+        documents = [scenario_to_dict(s) for s in scenarios]
+        return spec.chunks_for(stage, documents)
+
+    # -- sweep stages -----------------------------------------------------------------
+
+    def _run_sweep_stage(
+        self,
+        spec: CampaignSpec,
+        stage: StageSpec,
+        tree: FaultTree,
+        assignment: Optional[ReliabilityAssignment],
+        mission_time: Optional[float],
+        ledger: CompletionLedger,
+        stats: StageStats,
+        *,
+        live_scenarios: Optional[List[Scenario]] = None,
+    ) -> ScenarioReport:
+        if live_scenarios is not None:
+            scenarios = list(live_scenarios)
+        else:
+            raw = stage.payload.get("scenarios")
+            if raw is None:
+                raise CampaignError(
+                    f"sweep stage {stage.name!r} needs a 'scenarios' list or family spec"
+                )
+            scenarios = scenarios_from_spec(
+                raw, assignment=assignment, mission_time=mission_time
+            )
+
+        # Content addresses need the wire form; scenarios without one (bound
+        # maintenance patches injected as live objects) run unledgered.
+        documents: Optional[List[Dict[str, Any]]]
+        try:
+            documents = [scenario_to_dict(scenario) for scenario in scenarios]
+        except SerializationError:
+            documents = None
+
+        chunk_size = stage.payload.get("chunk_size") or max(1, len(scenarios))
+        if not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1:
+            raise CampaignError(
+                f"stage {stage.name!r}: chunk_size must be a positive integer, "
+                f"got {stage.payload.get('chunk_size')!r}"
+            )
+        pieces: List[List[Scenario]] = (
+            [scenarios[start : start + chunk_size] for start in range(0, len(scenarios), chunk_size)]
+            if scenarios
+            else [[]]
+        )
+        if documents is not None:
+            chunks = spec.chunks_for(stage, documents)
+            if len(chunks) != len(pieces):  # pragma: no cover - defensive
+                raise CampaignError(
+                    f"stage {stage.name!r}: chunk partitioning diverged "
+                    f"({len(chunks)} hashed vs {len(pieces)} live)"
+                )
+        else:
+            chunks = [
+                Chunk(stage=stage.name, index=index, hash="", payload={})
+                for index in range(len(pieces))
+            ]
+
+        stats.chunks_total = len(pieces)
+        results: List[Optional[ScenarioReport]] = [None] * len(pieces)
+        todo: List[int] = []
+        for index, chunk in enumerate(chunks):
+            self._check_stop()
+            if chunk.hash:
+                found, record = ledger.load_chunk(chunk.hash)
+                if found:
+                    results[index] = record["result"]
+                    stats.ledger_hits += 1
+                    continue
+            todo.append(index)
+
+        if todo:
+            self._execute_sweep_chunks(
+                spec, stage, tree, pieces, chunks, todo, results, ledger, stats
+            )
+
+        missing = [index for index, result in enumerate(results) if result is None]
+        if missing:  # pragma: no cover - defensive
+            raise CampaignError(
+                f"stage {stage.name!r}: chunk(s) {missing} produced no result"
+            )
+        merged = merge_scenario_reports([result for result in results if result is not None])
+        return merged
+
+    def _sweep_config(self, spec: CampaignSpec) -> Dict[str, Any]:
+        return {
+            "store_path": self.store_path,
+            "analyses": tuple(spec.analyses),
+            "backend": spec.backend,
+            "incremental": spec.incremental,
+            "exact_top_event": spec.exact_top_event,
+            "top_k": spec.top_k,
+            "samples": spec.samples,
+            "seed": spec.seed,
+            "cache_max_entries": self.cache_max_entries,
+        }
+
+    def _execute_sweep_chunks(
+        self,
+        spec: CampaignSpec,
+        stage: StageSpec,
+        tree: FaultTree,
+        pieces: List[List[Scenario]],
+        chunks: List[Chunk],
+        todo: List[int],
+        results: List[Optional[ScenarioReport]],
+        ledger: CompletionLedger,
+        stats: StageStats,
+    ) -> None:
+        config = self._sweep_config(spec)
+        remaining = list(todo)
+        if spec.workers > 1 and len(remaining) > 1:
+            if self.store is not None:
+                # Warm the store with the base analysis before fanning out: on
+                # a cold store every chunk would otherwise race through the
+                # same expensive base computation and N-1 of the results would
+                # be discarded by the merge.
+                self._warm_base(spec, tree)
+            remaining = self._run_chunks_in_processes(
+                spec, stage, tree, pieces, chunks, remaining, results, ledger, stats, config
+            )
+        for index in remaining:
+            results[index] = self._run_chunk_with_retries(
+                spec,
+                stage,
+                chunks[index],
+                index,
+                ledger,
+                stats,
+                lambda: self._run_chunk_inline(spec, tree, pieces[index]),
+            )
+
+    def _warm_base(self, spec: CampaignSpec, tree: FaultTree) -> None:
+        SweepExecutor(
+            self.session,
+            incremental=spec.incremental,
+            backend=spec.backend,
+            exact_top_event=spec.exact_top_event,
+        ).run(
+            tree,
+            [],
+            analyses=spec.analyses,
+            top_k=spec.top_k,
+            samples=spec.samples,
+            seed=spec.seed,
+        )
+
+    def _run_chunk_inline(
+        self, spec: CampaignSpec, tree: FaultTree, scenarios: List[Scenario]
+    ) -> ScenarioReport:
+        executor = SweepExecutor(
+            self.session,
+            incremental=spec.incremental,
+            backend=spec.backend,
+            exact_top_event=spec.exact_top_event,
+        )
+        return executor.run(
+            tree,
+            scenarios,
+            analyses=spec.analyses,
+            top_k=spec.top_k,
+            samples=spec.samples,
+            seed=spec.seed,
+            stop_check=self._stop_check,
+        )
+
+    def _run_chunk_with_retries(
+        self,
+        spec: CampaignSpec,
+        stage: StageSpec,
+        chunk: Chunk,
+        index: int,
+        ledger: CompletionLedger,
+        stats: StageStats,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Run one chunk attempt loop; persist to the ledger on success."""
+        attempt = 0
+        while True:
+            self._check_stop()
+            stats.attempts += 1
+            try:
+                if self._before_chunk is not None:
+                    self._before_chunk(stage.name, index, attempt)
+                result = compute()
+            except ReproError as exc:
+                if attempt >= spec.max_retries:
+                    raise CampaignError(
+                        f"stage {stage.name!r} chunk {index} failed after "
+                        f"{attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                self._sleep(self._backoff_delay(spec, attempt))
+                attempt += 1
+                continue
+            stats.executed += 1
+            if chunk.hash:
+                ledger.store_chunk(
+                    stage=stage.name,
+                    index=index,
+                    chunk_hash=chunk.hash,
+                    result=result,
+                    attempts=attempt + 1,
+                )
+            return result
+
+    @staticmethod
+    def _backoff_delay(spec: CampaignSpec, attempt: int) -> float:
+        return min(spec.retry_base_delay_s * (2 ** attempt), spec.retry_max_delay_s)
+
+    def _run_chunks_in_processes(
+        self,
+        spec: CampaignSpec,
+        stage: StageSpec,
+        tree: FaultTree,
+        pieces: List[List[Scenario]],
+        chunks: List[Chunk],
+        todo: List[int],
+        results: List[Optional[ScenarioReport]],
+        ledger: CompletionLedger,
+        stats: StageStats,
+        config: Dict[str, Any],
+    ) -> List[int]:
+        """Fan the missing chunks over a spawn process pool.
+
+        Returns the indices that still need the in-process path — everything
+        on pool breakage (sandboxes without subprocess support, OOM-killed
+        workers), or nothing on success.  The ledger is written as each chunk
+        lands, so even a run whose pool later breaks keeps its finished work.
+        """
+        import multiprocessing
+
+        pending = {index: 0 for index in todo}  # index -> attempts so far
+        try:
+            # Spawn, not fork: the service calls this from worker threads, and
+            # forking a multithreaded process can deadlock a child on a lock
+            # some other thread held at fork time.
+            with ProcessPoolExecutor(
+                max_workers=min(spec.workers, len(todo)),
+                mp_context=multiprocessing.get_context("spawn"),
+            ) as pool:
+                while pending:
+                    self._check_stop()
+                    futures = {
+                        pool.submit(
+                            _sweep_chunk_worker, (index, tree, pieces[index], config)
+                        ): index
+                        for index in pending
+                    }
+                    failed: Dict[int, str] = {}
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        stats.attempts += 1
+                        try:
+                            _, report = future.result()
+                        except (OSError, BrokenProcessPool):
+                            raise
+                        except Exception as exc:  # noqa: BLE001 - chunk failures retry
+                            failed[index] = str(exc)
+                            continue
+                        results[index] = report
+                        stats.executed += 1
+                        if chunks[index].hash:
+                            ledger.store_chunk(
+                                stage=stage.name,
+                                index=index,
+                                chunk_hash=chunks[index].hash,
+                                result=report,
+                                attempts=pending[index] + 1,
+                            )
+                        del pending[index]
+                    if failed:
+                        exhausted = [
+                            index for index in failed if pending[index] >= spec.max_retries
+                        ]
+                        if exhausted:
+                            index = exhausted[0]
+                            raise CampaignError(
+                                f"stage {stage.name!r} chunk {index} failed after "
+                                f"{pending[index] + 1} attempt(s): {failed[index]}"
+                            )
+                        delay = max(
+                            self._backoff_delay(spec, pending[index]) for index in failed
+                        )
+                        for index in failed:
+                            pending[index] += 1
+                        self._sleep(delay)
+        except (OSError, BrokenProcessPool):
+            # Degrade to the in-process path for whatever is left; completed
+            # chunks stay completed (and ledgered).
+            return sorted(pending)
+        return []
+
+    # -- frontier stages --------------------------------------------------------------
+
+    def _run_frontier_stage(
+        self,
+        spec: CampaignSpec,
+        stage: StageSpec,
+        tree: FaultTree,
+        ledger: CompletionLedger,
+        stats: StageStats,
+    ) -> Dict[str, Any]:
+        chunk = spec.single_chunk_for(stage)
+        stats.chunks_total = 1
+        found, record = ledger.load_chunk(chunk.hash)
+        if found:
+            stats.ledger_hits += 1
+            return record["result"]
+
+        actions = actions_from_spec(stage.payload.get("actions"))
+        validate_actions(tree, actions)
+        method = stage.payload.get("method", "auto")
+        precision = stage.payload.get("precision", 10**6)
+
+        def compute() -> Dict[str, Any]:
+            frontier = pareto_frontier(
+                tree,
+                actions,
+                method=method,
+                precision=precision,
+                cache=self.session.artifacts,
+            )
+            return frontier.to_dict()
+
+        return self._run_chunk_with_retries(spec, stage, chunk, 0, ledger, stats, compute)
+
+    # -- report stages ----------------------------------------------------------------
+
+    def _run_report_stage(
+        self,
+        spec: CampaignSpec,
+        stage: StageSpec,
+        stage_results: Dict[str, Any],
+        ledger: CompletionLedger,
+        stats: StageStats,
+    ) -> Dict[str, Any]:
+        chunk = spec.single_chunk_for(stage)
+        stats.chunks_total = 1
+        found, record = ledger.load_chunk(chunk.hash)
+        if found:
+            stats.ledger_hits += 1
+            return record["result"]
+        dependencies = stage.depends_on or tuple(
+            done.name for done in spec.stages if done.name != stage.name
+        )
+        document: Dict[str, Any] = {
+            "kind": "campaign_report",
+            "campaign": spec.campaign_id(),
+            "name": spec.name,
+            "stages": {},
+        }
+        for name in dependencies:
+            if name not in stage_results:
+                raise CampaignError(
+                    f"report stage {stage.name!r}: dependency {name!r} has no result"
+                )
+            value = stage_results[name]
+            if isinstance(value, ScenarioReport):
+                document["stages"][name] = {
+                    "kind": "sweep",
+                    "report": value.to_dict(),
+                    "canonical": value.to_canonical_dict(),
+                }
+            else:
+                document["stages"][name] = {"kind": spec.stage(name).kind, "result": value}
+        stats.executed += 1
+        stats.attempts += 1
+        ledger.store_chunk(
+            stage=stage.name, index=0, chunk_hash=chunk.hash, result=document, attempts=1
+        )
+        return document
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store_path: Optional[str] = None,
+    store: Any = None,
+    session: Optional[AnalysisSession] = None,
+    cache_max_entries: Optional[int] = None,
+) -> CampaignOutcome:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    runner = CampaignRunner(
+        store=store,
+        store_path=store_path,
+        session=session,
+        cache_max_entries=cache_max_entries,
+    )
+    return runner.run(spec)

@@ -41,7 +41,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.analysis.contributions import cut_set_contributions
 from repro.api import AnalysisSession, available_backends, backend_class
@@ -64,8 +64,10 @@ from repro.reporting.dot import to_dot
 from repro.reporting.json_report import analysis_report
 from repro.reporting.tables import frontier_table, markdown_table, weights_table
 from repro.reporting.unified import render_profile, render_scenario_report, write_report
+from repro.campaigns import CampaignRunner, campaign_state
 from repro.service import AnalysisService, ServiceClient
 from repro.service import serve as start_service
+from repro.service.store import open_store
 from repro.reliability import (
     PeriodicallyTestedComponent,
     ReliabilityAssignment,
@@ -83,6 +85,7 @@ from repro.scenarios import (
     SetProbability,
     SetVotingThreshold,
     SweepExecutor,
+    campaign_from_dict,
     mission_time_sweep,
     pareto_frontier,
     plan_mitigation,
@@ -425,6 +428,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs.add_argument("--cancel", action="store_true", help="cancel a queued job")
     jobs.add_argument("-o", "--output", type=Path, help="write fetched result JSON to this path")
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run, inspect or resume a resumable sweep campaign (local or via a service)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a campaign spec (JSON file) with ledger-backed resume"
+    )
+    campaign_run.add_argument("spec", type=Path, help="campaign spec JSON file")
+    campaign_run.add_argument(
+        "--store", type=Path, default=None,
+        help="artifact-store directory holding the completion ledger "
+        "(local mode; omit for in-memory, no resume across runs)",
+    )
+    campaign_run.add_argument(
+        "--url", default=None,
+        help="submit to a running service at this base URL instead of running locally",
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=None,
+        help="override the spec's process fan-out (local mode)",
+    )
+    campaign_run.add_argument(
+        "--no-wait", action="store_true",
+        help="with --url: return the job id immediately instead of waiting",
+    )
+    campaign_run.add_argument(
+        "--timeout", type=float, default=600.0, help="seconds to wait for the result"
+    )
+    campaign_run.add_argument(
+        "-o", "--output", type=Path, help="write the campaign result JSON to this path"
+    )
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="per-stage chunk progress of a campaign, from its ledger"
+    )
+    campaign_status.add_argument("campaign_id", help="campaign id (content hash of the spec)")
+    campaign_status.add_argument(
+        "--store", type=Path, default=None, help="artifact-store directory (local mode)"
+    )
+    campaign_status.add_argument(
+        "--url", default=None, help="query a running service at this base URL"
+    )
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="resume a campaign by id using the spec persisted in its ledger"
+    )
+    campaign_resume.add_argument("campaign_id", help="campaign id (content hash of the spec)")
+    campaign_resume.add_argument(
+        "--store", type=Path, default=None, help="artifact-store directory (local mode)"
+    )
+    campaign_resume.add_argument(
+        "--url", default=None, help="resume on a running service at this base URL"
+    )
+    campaign_resume.add_argument(
+        "--workers", type=int, default=None,
+        help="override the spec's process fan-out (local mode)",
+    )
+    campaign_resume.add_argument(
+        "--timeout", type=float, default=600.0, help="seconds to wait for the result"
+    )
+    campaign_resume.add_argument(
+        "-o", "--output", type=Path, help="write the campaign result JSON to this path"
+    )
 
     solve_wcnf = subparsers.add_parser(
         "solve-wcnf", help="solve a DIMACS WCNF file with one of the built-in MaxSAT engines"
@@ -1004,7 +1073,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"repro service listening on http://{args.host}:{server.server_port}"
         f" with {args.workers} worker(s){store_note}"
     )
-    print("endpoints: /health /backends /analyze /batch /sweep /frontier /jobs  — Ctrl-C to stop")
+    print("endpoints: /health /backends /analyze /batch /sweep /frontier /campaigns /jobs  — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1137,6 +1206,140 @@ def _command_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign_spec_document(path: Path) -> Dict[str, Any]:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read campaign spec {path}: {exc}") from exc
+    if isinstance(document, dict) and isinstance(document.get("spec"), dict):
+        document = document["spec"]
+    if not isinstance(document, dict):
+        raise ReproError("campaign spec file must hold a JSON object")
+    return document
+
+
+def _print_campaign_outcome(document: Dict[str, Any]) -> None:
+    print(f"campaign {document['campaign']} ({document['name']}): {document['status']}")
+    rows = [
+        [
+            stage["name"],
+            stage["kind"],
+            stage["status"],
+            str(stage["chunks_total"]),
+            str(stage["ledger_hits"]),
+            str(stage["executed"]),
+        ]
+        for stage in document.get("stages", [])
+    ]
+    if rows:
+        print(markdown_table(
+            ["stage", "kind", "status", "chunks", "ledger hits", "executed"], rows
+        ))
+    if document.get("error"):
+        print(f"error: {document['error']}", file=sys.stderr)
+
+
+def _local_campaign_store(args: argparse.Namespace):
+    if args.store is None:
+        raise ReproError(
+            f"'campaign {args.campaign_command}' needs --url (service mode) "
+            "or --store (local ledger directory)"
+        )
+    return open_store(str(args.store))
+
+
+def _resolve_local_spec(store: Any, campaign_id: str, workers: Optional[int]):
+    state = campaign_state(store, campaign_id)
+    if state is None or not isinstance(state.get("spec"), dict):
+        raise ReproError(f"unknown campaign id {campaign_id!r} in this store")
+    document = dict(state["spec"])
+    if workers is not None:
+        document["workers"] = workers
+    return campaign_from_dict(document)
+
+
+def _write_campaign_result(args: argparse.Namespace, result: Dict[str, Any]) -> None:
+    if getattr(args, "output", None):
+        args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"campaign result JSON written to {args.output}")
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    if args.url and getattr(args, "store", None):
+        raise ReproError("--url and --store are mutually exclusive")
+    handler = {
+        "run": _command_campaign_run,
+        "status": _command_campaign_status,
+        "resume": _command_campaign_resume,
+    }[args.campaign_command]
+    return handler(args)
+
+
+def _command_campaign_run(args: argparse.Namespace) -> int:
+    document = _load_campaign_spec_document(args.spec)
+    if args.workers is not None:
+        document = {**document, "workers": args.workers}
+    if args.url:
+        client = ServiceClient(args.url, timeout=args.timeout)
+        response = client.submit_campaign(
+            document, wait=not args.no_wait, timeout=args.timeout
+        )
+        job = response["job"]
+        print(f"campaign {response['campaign']} submitted as job {job['id']} "
+              f"(status: {job['status']})")
+        if args.no_wait:
+            print(f"poll with: repro campaign status {response['campaign']} --url {args.url}")
+            return 0
+        if job["status"] != "done":
+            print(f"error: job {job['id']} {job['status']}: {job.get('error')}",
+                  file=sys.stderr)
+            return 1
+        outcome = job["result"]
+        _print_campaign_outcome(outcome)
+        _write_campaign_result(args, outcome["result"])
+        return 0
+    spec = campaign_from_dict(document)
+    store = open_store(str(args.store)) if args.store else None
+    outcome = CampaignRunner(store=store).run(spec)
+    _print_campaign_outcome(outcome.to_dict())
+    _write_campaign_result(args, outcome.result_document())
+    return 0 if outcome.status == "done" else 1
+
+
+def _command_campaign_status(args: argparse.Namespace) -> int:
+    if args.url:
+        document = ServiceClient(args.url).campaign(args.campaign_id)
+    else:
+        store = _local_campaign_store(args)
+        spec = _resolve_local_spec(store, args.campaign_id, None)
+        document = CampaignRunner(store=store).status(spec)
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def _command_campaign_resume(args: argparse.Namespace) -> int:
+    if args.url:
+        client = ServiceClient(args.url, timeout=args.timeout)
+        response = client.resume_campaign(args.campaign_id)
+        job = response["job"]
+        print(f"campaign {response['campaign']} resuming as job {job['id']}")
+        done = client.wait(job["id"], timeout=args.timeout)
+        if done["status"] != "done":
+            print(f"error: job {job['id']} {done['status']}: {done.get('error')}",
+                  file=sys.stderr)
+            return 1
+        outcome = done["result"]
+        _print_campaign_outcome(outcome)
+        _write_campaign_result(args, outcome["result"])
+        return 0
+    store = _local_campaign_store(args)
+    spec = _resolve_local_spec(store, args.campaign_id, args.workers)
+    outcome = CampaignRunner(store=store).run(spec)
+    _print_campaign_outcome(outcome.to_dict())
+    _write_campaign_result(args, outcome.result_document())
+    return 0 if outcome.status == "done" else 1
+
+
 #: Subcommands that operate on a fault tree: loaded once, analysed through
 #: one shared session per invocation.
 _TREE_COMMANDS: Dict[str, Callable[[AnalysisSession, FaultTree, argparse.Namespace], int]] = {
@@ -1163,6 +1366,7 @@ _PLAIN_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "serve": _command_serve,
     "submit": _command_submit,
     "jobs": _command_jobs,
+    "campaign": _command_campaign,
 }
 
 

@@ -22,7 +22,7 @@ import concurrent.futures
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, SolverError
 from repro.maxsat.engine import MaxSATEngine
@@ -111,6 +111,13 @@ class PortfolioSolver:
         if len(set(names)) != len(names):
             raise ConfigurationError(f"portfolio engine names must be unique, got {names}")
         self.mode = mode
+        #: Optional external cooperative-cancellation hook: a zero-argument
+        #: callable returning True when the *whole* portfolio should stop
+        #: (the analysis service wires a job's cancel/timeout guard here).
+        #: Honoured by the sequential and thread modes — engines in process
+        #: mode are pickled into their workers, so a live callable cannot
+        #: follow them there.
+        self.external_stop: "Optional[Callable[[], bool]]" = None
 
     # -- public API ------------------------------------------------------------
 
@@ -134,6 +141,7 @@ class PortfolioSolver:
         statuses: Dict[str, str] = {}
         winner: Optional[Tuple[str, MaxSATResult]] = None
         for engine in self.engines:
+            engine.stop_check = self.external_stop
             engine_start = time.perf_counter()
             try:
                 result = engine.solve(instance)
@@ -165,8 +173,13 @@ class PortfolioSolver:
         results: Dict[str, MaxSATResult] = {}
         lock = threading.Lock()
 
+        external = self.external_stop
+
         def run(engine: MaxSATEngine) -> None:
-            engine.stop_check = stop_event.is_set
+            if external is None:
+                engine.stop_check = stop_event.is_set
+            else:
+                engine.stop_check = lambda: stop_event.is_set() or external()
             engine_start = time.perf_counter()
             try:
                 result = engine.solve(instance)

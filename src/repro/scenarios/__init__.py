@@ -97,6 +97,8 @@ from repro.scenarios.serialization import (
     action_to_dict,
     actions_from_spec,
     assignment_from_documents,
+    campaign_from_dict,
+    campaign_to_dict,
     model_from_dict,
     model_to_dict,
     patch_from_dict,
@@ -140,6 +142,8 @@ __all__ = [
     "action_to_dict",
     "actions_from_spec",
     "assignment_from_documents",
+    "campaign_from_dict",
+    "campaign_to_dict",
     "ccf_beta_sweep",
     "exact_plan",
     "greedy_plan",

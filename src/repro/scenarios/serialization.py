@@ -73,6 +73,8 @@ __all__ = [
     "action_from_dict",
     "action_to_dict",
     "assignment_from_documents",
+    "campaign_from_dict",
+    "campaign_to_dict",
     "model_from_dict",
     "model_to_dict",
     "patch_from_dict",
@@ -519,3 +521,35 @@ def actions_from_spec(spec: Sequence[Any]) -> List[HardeningAction]:
     if not spec:
         raise SerializationError("'actions' must list at least one hardening action")
     return [action_from_dict(document) for document in spec]
+
+
+# -- campaign documents (the resumable-sweep wire format) --------------------------------
+
+
+def campaign_to_dict(spec: Any) -> Dict[str, Any]:
+    """Canonical JSON document for a :class:`~repro.campaigns.spec.CampaignSpec`.
+
+    The campaigns package imports this module (scenario/action documents are
+    the vocabulary of its stage payloads), so the dependency here is lazy —
+    this wrapper simply re-exposes the campaign wire format next to the other
+    scenario-layer document converters.
+    """
+    from repro.campaigns.spec import CampaignSpec
+
+    if not isinstance(spec, CampaignSpec):
+        raise SerializationError(f"expected a CampaignSpec, got {type(spec).__name__!r}")
+    return spec.to_dict()
+
+
+def campaign_from_dict(document: Mapping[str, Any]) -> Any:
+    """Reconstruct a :class:`~repro.campaigns.spec.CampaignSpec` from its document.
+
+    Malformed documents surface as :class:`SerializationError`, matching the
+    rest of the wire format (an HTTP 400 at submit time).
+    """
+    from repro.campaigns.spec import CampaignError, CampaignSpec
+
+    try:
+        return CampaignSpec.from_dict(document)
+    except CampaignError as exc:
+        raise SerializationError(str(exc)) from exc

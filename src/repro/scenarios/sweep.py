@@ -19,7 +19,7 @@ cross-check this against two independent backends.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional, Sequence, Set, Tuple
+from typing import Callable, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.api.cache import ARTIFACT_SUBTREE_BDD
 from repro.api.registry import backend_class, canonical_backend_name
@@ -129,8 +129,16 @@ class SweepExecutor:
         top_k: int = 5,
         samples: int = 0,
         seed: int = 0,
+        stop_check: Optional[Callable[[], None]] = None,
     ) -> ScenarioReport:
         """Analyse ``tree`` and every scenario; return the delta report.
+
+        ``stop_check`` is the cooperative-cancellation hook: it is invoked
+        before the base analysis and before every scenario, and aborting is
+        done by *raising* from it (the service raises its job-cancelled /
+        job-timeout errors there).  It deliberately runs outside the
+        per-scenario error handling so a cancellation is never recorded as a
+        failed scenario outcome.
 
         A ``top_event`` request outside the configured backend's capabilities
         is not forced through it: a ``maxsat`` sweep with the default
@@ -142,7 +150,13 @@ class SweepExecutor:
         """
         if self._warm_backend is None:
             return self._run(
-                tree, scenarios, analyses=analyses, top_k=top_k, samples=samples, seed=seed
+                tree,
+                scenarios,
+                analyses=analyses,
+                top_k=top_k,
+                samples=samples,
+                seed=seed,
+                stop_check=stop_check,
             )
         # Warm incremental solving is scoped to this sweep: restore the
         # backend's routing afterwards so one-off analyses on a shared
@@ -152,7 +166,13 @@ class SweepExecutor:
         self._warm_backend.enable_warm_sessions()
         try:
             return self._run(
-                tree, scenarios, analyses=analyses, top_k=top_k, samples=samples, seed=seed
+                tree,
+                scenarios,
+                analyses=analyses,
+                top_k=top_k,
+                samples=samples,
+                seed=seed,
+                stop_check=stop_check,
             )
         finally:
             self._warm_backend.warm_enabled = previous
@@ -166,9 +186,12 @@ class SweepExecutor:
         top_k: int,
         samples: int,
         seed: int,
+        stop_check: Optional[Callable[[], None]] = None,
     ) -> ScenarioReport:
         scenario_list = list(scenarios)
         started = time.perf_counter()
+        if stop_check is not None:
+            stop_check()
 
         requested = tuple(analyses)
         run_analyses: Tuple[str, ...] = requested
@@ -210,6 +233,10 @@ class SweepExecutor:
         )
 
         for scenario in scenario_list:
+            # Outside the try: a cancellation raised here must abort the
+            # sweep, not be recorded as one failed scenario outcome.
+            if stop_check is not None:
+                stop_check()
             scenario_started = time.perf_counter()
             try:
                 patched = scenario.apply(tree)

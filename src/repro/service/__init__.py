@@ -15,7 +15,12 @@ The missing layer between the :mod:`repro.api` facade and a deployable tool:
 * a **dependency-free HTTP/JSON front end** (:mod:`repro.service.http`,
   built on :mod:`http.server`) to submit trees and sweeps, poll job status
   and fetch finished reports, plus the matching ``repro serve`` /
-  ``repro submit`` / ``repro jobs`` CLI subcommands.
+  ``repro submit`` / ``repro jobs`` CLI subcommands;
+* **resumable campaigns** (:mod:`repro.campaigns`, re-exported here): a
+  declarative stage DAG over the job queue whose per-chunk completion
+  ledger lives in the same disk store, so a killed service resumes a
+  campaign exactly where it stopped (``POST /campaigns``,
+  ``repro campaign run/status/resume``).
 
 Quickstart:
 
@@ -30,7 +35,8 @@ Quickstart:
     report = client.wait(job["id"])["result"]
 """
 
-from repro.service.jobs import Job, JobQueue, JobStatus
+from repro.campaigns import CampaignOutcome, CampaignRunner, CampaignSpec, run_campaign
+from repro.service.jobs import CONTROL_PRIORITY, Job, JobQueue, JobStatus
 from repro.service.store import DiskArtifactStore
 from repro.service.workers import (
     JobRunner,
@@ -42,6 +48,10 @@ from repro.service.http import AnalysisService, ServiceClient, serve
 
 __all__ = [
     "AnalysisService",
+    "CONTROL_PRIORITY",
+    "CampaignOutcome",
+    "CampaignRunner",
+    "CampaignSpec",
     "DiskArtifactStore",
     "Job",
     "JobQueue",
@@ -50,6 +60,7 @@ __all__ = [
     "ServiceClient",
     "WorkerPool",
     "merge_scenario_reports",
+    "run_campaign",
     "run_parallel_sweep",
     "serve",
 ]

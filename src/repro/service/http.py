@@ -14,11 +14,24 @@ POST   ``/analyze``               submit a single-tree analysis job
 POST   ``/batch``                 submit a many-trees batch job
 POST   ``/sweep``                 submit a scenario sweep job
 POST   ``/frontier``              submit a Pareto-frontier mitigation-planning job
+POST   ``/campaigns``             submit (or resume) a resumable campaign
+GET    ``/campaigns``             list known campaigns and their states
+GET    ``/campaigns/<id>``        campaign status with per-stage chunk progress
+GET    ``/campaigns/<id>/result`` the finished campaign's result (409 until done)
+POST   ``/campaigns/<id>/resume`` resubmit a campaign by id (resumes from ledger)
 GET    ``/jobs``                  list jobs in the ledger
 GET    ``/jobs/<id>``             one job's status document
 GET    ``/jobs/<id>/result``      the finished job's result (409 until done)
-POST   ``/jobs/<id>/cancel``      cancel a job that has not started
+POST   ``/jobs/<id>/cancel``      cancel a queued job, or request cooperative
+                                  cancellation of a running one
 ====== ========================== ==============================================
+
+Campaign identity is content-addressed (the id is a hash of the canonical
+spec document), so ``POST /campaigns`` with a spec whose campaign already ran
+— fully or partially — resumes it from the completion ledger instead of
+recomputing; ``/campaigns/<id>/resume`` does the same by id alone, using the
+spec persisted in the ledger's state record (it therefore works even after a
+service restart).
 
 Submissions return ``202 Accepted`` with the job status document; pass
 ``"wait": true`` (optionally ``"timeout": seconds``) in the body to block
@@ -36,17 +49,21 @@ import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Sequence, Type, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 from urllib.parse import urlsplit
 
 from repro.api.registry import available_backends
+from repro.campaigns.ledger import campaign_state
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 from repro.exceptions import ReproError
 from repro.fta.serializers import to_json_document
 from repro.fta.tree import FaultTree
-from repro.service.jobs import Job, JobError, JobQueue, JobStatus
+from repro.service.jobs import CONTROL_PRIORITY, Job, JobError, JobQueue, JobStatus
 from repro.service.store import open_store
 from repro.service.workers import (
     WorkerPool,
+    decode_campaign_payload,
     decode_frontier_payload,
     decode_sweep_payload,
 )
@@ -102,6 +119,11 @@ class AnalysisService:
         )
         self.started_at = time.time()
         self._started = False
+        # Campaign id -> {"name", "spec", "jobs": [...]} for campaigns seen by
+        # *this* process; campaigns from earlier runs are reachable through
+        # the ledger's state records in the store.
+        self._campaigns: Dict[str, Dict[str, Any]] = {}
+        self._campaigns_lock = threading.Lock()
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -138,6 +160,81 @@ class AnalysisService:
         if kind == "batch" and not isinstance(payload.get("trees"), list):
             raise JobError("batch payload needs a 'trees' list of JSON documents")
         return self.queue.submit(kind, payload)
+
+    # -- campaigns --------------------------------------------------------------------
+
+    def submit_campaign(self, payload: Dict[str, Any]) -> Tuple[Job, str]:
+        """Validate a campaign spec and enqueue its orchestration job.
+
+        The job runs at :data:`~repro.service.jobs.CONTROL_PRIORITY`, above
+        the default priority of bulk work, so a backlog of sweep jobs never
+        starves campaign orchestration.  Submitting a spec whose campaign
+        already has ledger state *is* a resume — identity is content-based.
+        """
+        spec = decode_campaign_payload(payload)
+        campaign_id = spec.campaign_id()
+        job = self.queue.submit(
+            "campaign", {"spec": spec.to_dict()}, priority=CONTROL_PRIORITY
+        )
+        with self._campaigns_lock:
+            entry = self._campaigns.setdefault(
+                campaign_id, {"name": spec.name, "spec": spec.to_dict(), "jobs": []}
+            )
+            entry["jobs"].append(job.id)
+        return job, campaign_id
+
+    def _campaign_spec(self, campaign_id: str) -> CampaignSpec:
+        """Resolve a campaign id to its spec — registry first, then ledger."""
+        with self._campaigns_lock:
+            entry = self._campaigns.get(campaign_id)
+        if entry is not None:
+            return CampaignSpec.from_dict(entry["spec"])
+        state = campaign_state(self._store_view, campaign_id)
+        if state is not None and isinstance(state.get("spec"), dict):
+            return CampaignSpec.from_dict(state["spec"])
+        raise JobError(f"unknown campaign id {campaign_id!r}")
+
+    def campaign_status(self, campaign_id: str) -> Dict[str, Any]:
+        """Ledger-derived status document with per-stage chunk progress."""
+        spec = self._campaign_spec(campaign_id)
+        runner = CampaignRunner(store=self._store_view)
+        document = runner.status(spec)
+        with self._campaigns_lock:
+            entry = self._campaigns.get(campaign_id)
+            document["jobs"] = list(entry["jobs"]) if entry is not None else []
+        return document
+
+    def campaign_result(self, campaign_id: str) -> Optional[Dict[str, Any]]:
+        """The finished campaign's result document from the ledger, or ``None``."""
+        self._campaign_spec(campaign_id)  # 404 for unknown ids
+        state = campaign_state(self._store_view, campaign_id)
+        if state is not None and state.get("status") == "done":
+            return state.get("result")
+        return None
+
+    def resume_campaign(self, campaign_id: str) -> Tuple[Job, str]:
+        """Resubmit a campaign by id; the ledger supplies completed chunks."""
+        spec = self._campaign_spec(campaign_id)
+        return self.submit_campaign({"spec": spec.to_dict()})
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        """Every campaign this process has seen, with its current ledger state."""
+        with self._campaigns_lock:
+            known = {
+                campaign_id: dict(entry) for campaign_id, entry in self._campaigns.items()
+            }
+        documents: List[Dict[str, Any]] = []
+        for campaign_id, entry in sorted(known.items()):
+            state = campaign_state(self._store_view, campaign_id)
+            documents.append(
+                {
+                    "campaign": campaign_id,
+                    "name": entry["name"],
+                    "status": (state or {}).get("status", "unknown"),
+                    "jobs": list(entry["jobs"]),
+                }
+            )
+        return documents
 
     def health(self) -> Dict[str, Any]:
         document: Dict[str, Any] = {
@@ -215,10 +312,27 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif path.startswith("/jobs/"):
                 job = self.service.queue.get(path[len("/jobs/") :])
                 self._send_json(200, {"job": job.to_dict()})
+            elif path == "/campaigns":
+                self._send_json(200, {"campaigns": self.service.campaigns()})
+            elif path.startswith("/campaigns/") and path.endswith("/result"):
+                campaign_id = path[len("/campaigns/") : -len("/result")]
+                result = self.service.campaign_result(campaign_id)
+                if result is None:
+                    self._error(409, f"campaign {campaign_id} has no result yet")
+                else:
+                    self._send_json(200, {"result": result})
+            elif path.startswith("/campaigns/"):
+                campaign_id = path[len("/campaigns/") :]
+                self._send_json(200, {"campaign": self.service.campaign_status(campaign_id)})
             else:
                 self._error(404, f"unknown path {path!r}")
         except JobError as exc:
-            self._error(404 if "unknown job id" in str(exc) else 400, str(exc))
+            self._error(404 if self._is_not_found(exc) else 400, str(exc))
+
+    @staticmethod
+    def _is_not_found(exc: JobError) -> bool:
+        message = str(exc)
+        return "unknown job id" in message or "unknown campaign id" in message
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
@@ -228,10 +342,16 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif path.startswith("/jobs/") and path.endswith("/cancel"):
                 job = self.service.queue.cancel(path[len("/jobs/") : -len("/cancel")])
                 self._send_json(200, {"job": job.to_dict()})
+            elif path == "/campaigns":
+                self._submit_campaign()
+            elif path.startswith("/campaigns/") and path.endswith("/resume"):
+                campaign_id = path[len("/campaigns/") : -len("/resume")]
+                job, campaign_id = self.service.resume_campaign(campaign_id)
+                self._send_json(202, {"job": job.to_dict(), "campaign": campaign_id})
             else:
                 self._error(404, f"unknown path {path!r}")
         except JobError as exc:
-            self._error(404 if "unknown job id" in str(exc) else 400, str(exc))
+            self._error(404 if self._is_not_found(exc) else 400, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
 
@@ -255,6 +375,24 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         job = self.service.queue.wait(job.id, timeout=timeout)
         status = 200 if job.status.terminal else 202
         self._send_json(status, {"job": job.to_dict(include_result=True)})
+
+    def _submit_campaign(self) -> None:
+        payload = self._read_body()
+        wait = bool(payload.pop("wait", False))
+        raw_timeout = payload.pop("timeout", None)
+        try:
+            timeout = float(raw_timeout) if raw_timeout is not None else None
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"'timeout' must be a number, got {raw_timeout!r}") from exc
+        job, campaign_id = self.service.submit_campaign(payload)
+        if not wait:
+            self._send_json(202, {"job": job.to_dict(), "campaign": campaign_id})
+            return
+        job = self.service.queue.wait(job.id, timeout=timeout)
+        status = 200 if job.status.terminal else 202
+        self._send_json(
+            status, {"job": job.to_dict(include_result=True), "campaign": campaign_id}
+        )
 
     def _get_result(self, job_id: str) -> None:
         job = self.service.queue.get(job_id)
@@ -390,6 +528,26 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def submit_campaign(
+        self, spec: Union["CampaignSpec", Dict[str, Any]], **options: Any
+    ) -> Dict[str, Any]:
+        """Submit a campaign spec; returns ``{"job": ..., "campaign": <id>}``."""
+        document = spec.to_dict() if isinstance(spec, CampaignSpec) else spec
+        payload = {"spec": document, **options}
+        return self._request("POST", "/campaigns", payload)
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def campaign(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/campaigns/{campaign_id}")["campaign"]
+
+    def campaign_result(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/campaigns/{campaign_id}/result")["result"]
+
+    def resume_campaign(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/campaigns/{campaign_id}/resume")
 
     def wait(
         self, job_id: str, *, timeout: float = 300.0, poll_interval: float = 0.1

@@ -46,7 +46,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
-from repro.api.cache import ArtifactStoreBackend
+from repro.api.cache import ARTIFACT_CAMPAIGN_LEDGER, ArtifactStoreBackend
 
 __all__ = ["DiskArtifactStore", "FORMAT_VERSION", "MAGIC", "open_store"]
 
@@ -118,6 +118,10 @@ class DiskArtifactStore(ArtifactStoreBackend):
             "corrupt_dropped": 0,
             "skipped_unpicklable": 0,
             "errors": 0,
+            "gc_runs": 0,
+            "gc_removed": 0,
+            "gc_removed_bytes": 0,
+            "gc_protected": 0,
         }
 
     # -- key -> path mapping ----------------------------------------------------------
@@ -261,6 +265,113 @@ class DiskArtifactStore(ArtifactStoreBackend):
             self._unlink_quietly(path)
             removed += 1
         return removed
+
+    def _protected_ledger_paths(self) -> "set[Path]":
+        """Campaign-ledger entries that :meth:`gc` must never evict.
+
+        Evicting the completion ledger of a campaign that is still running
+        (or was killed mid-run and will be resumed) would silently turn its
+        resume into a full recomputation, so every ledger record — chunk and
+        state alike — of a campaign whose state is not terminal is protected.
+        A campaign with no readable state record is treated as non-terminal:
+        the conservative default keeps a crashed-before-first-state-write
+        campaign resumable.
+        """
+        ledger_dir = self._version_dir / _kind_slug(ARTIFACT_CAMPAIGN_LEDGER)
+        records: "list[Tuple[Path, Dict[str, Any]]]" = []
+        status_by_campaign: Dict[str, str] = {}
+        for path in ledger_dir.glob("*/*.art"):
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            value, ok = self._decode(blob)
+            if not ok or not isinstance(value, dict):
+                continue  # corrupt/foreign: not protected, normal gc applies
+            campaign = value.get("campaign")
+            if not isinstance(campaign, str):
+                continue
+            records.append((path, value))
+            if "spec" in value and isinstance(value.get("status"), str):
+                status_by_campaign[campaign] = value["status"]
+        terminal = ("done", "failed")
+        return {
+            path
+            for path, value in records
+            if status_by_campaign.get(value["campaign"]) not in terminal
+        }
+
+    def gc(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Evict entries by age and/or total size; returns a removal summary.
+
+        ``max_age_s`` drops every entry older than that many seconds (by
+        mtime — an overwrite refreshes it).  ``max_bytes`` then evicts
+        oldest-first until the store fits the budget.  Both are optional and
+        compose; calling with neither is a no-op.  Ledger entries of
+        non-terminal campaigns are never evicted (see
+        :meth:`_protected_ledger_paths`) — they are the resume state of
+        in-flight work, not reproducible cache content.  Eviction totals
+        accumulate in :meth:`stats` (``gc_removed``, ``gc_removed_bytes``,
+        ``gc_protected``).
+        """
+        now = time.time()
+        removed = 0
+        removed_bytes = 0
+        protected_kept = 0
+        protected = self._protected_ledger_paths() if (
+            max_bytes is not None or max_age_s is not None
+        ) else set()
+
+        entries: "list[Tuple[float, int, Path]]" = []
+        for path in self._entry_paths():
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+
+        survivors: "list[Tuple[float, int, Path]]" = []
+        for mtime, size, path in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                if path in protected:
+                    protected_kept += 1
+                    survivors.append((mtime, size, path))
+                    continue
+                self._unlink_quietly(path)
+                removed += 1
+                removed_bytes += size
+                continue
+            survivors.append((mtime, size, path))
+
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            for mtime, size, path in sorted(survivors):
+                if total <= max_bytes:
+                    break
+                if path in protected:
+                    protected_kept += 1
+                    continue
+                self._unlink_quietly(path)
+                removed += 1
+                removed_bytes += size
+                total -= size
+
+        with self._memo_lock:
+            self._entries_memo = None  # force a recount at the next stats()
+            self._counters["gc_runs"] += 1
+            self._counters["gc_removed"] += removed
+            self._counters["gc_removed_bytes"] += removed_bytes
+            self._counters["gc_protected"] += protected_kept
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "protected": protected_kept,
+        }
 
     def size_bytes(self) -> int:
         """Total payload bytes currently on disk (entries of this version)."""

@@ -1,54 +1,63 @@
-"""Job execution: worker pool, and scenario sweeps partitioned over processes.
+"""Job execution: worker pool, and scenario sweeps routed through campaigns.
 
 Two layers live here:
 
-* :func:`run_parallel_sweep` delivers the ROADMAP's "parallel sweeps" item:
-  the scenario grid is split into contiguous chunks, each chunk runs through
-  an ordinary :class:`~repro.scenarios.sweep.SweepExecutor` in its own
-  process, and the per-worker sessions share artifacts through one
-  :class:`~repro.service.store.DiskArtifactStore` instead of one in-memory
-  cache — subtree cut sets and structure-keyed BDDs computed by any worker
-  (or a previous run) are disk hits for every other worker.  The merged
-  :class:`~repro.scenarios.report.ScenarioReport` is canonically identical
+* :func:`run_parallel_sweep` delivers the ROADMAP's "parallel sweeps" item.
+  Internally it is a **one-stage campaign**: the scenario grid becomes a
+  single ``sweep`` stage of a :class:`~repro.campaigns.spec.CampaignSpec`,
+  and the :class:`~repro.campaigns.runner.CampaignRunner` chunks it, fans the
+  chunks over spawn processes, persists every finished chunk in the
+  completion ledger of the shared
+  :class:`~repro.service.store.DiskArtifactStore`, and merges in chunk order.
+  One execution path serves the standalone helper, the ``sweep`` job kind and
+  full campaign jobs; the merged
+  :class:`~repro.scenarios.report.ScenarioReport` stays canonically identical
   to a sequential run over the same grid
   (:meth:`~repro.scenarios.report.ScenarioReport.to_canonical_dict`).
 * :class:`JobRunner` / :class:`WorkerPool` execute the queued jobs of
   :class:`~repro.service.jobs.JobQueue`: each pool thread owns a runner with
   a persistent store-backed :class:`~repro.api.session.AnalysisSession`, so
   repeated jobs over structurally similar trees get warmer and warmer.
+  Runners enforce the queue's cooperative cancellation and per-job timeouts:
+  a :class:`_JobGuard` is polled at scenario/chunk boundaries (and wired into
+  the MaxSAT portfolio's engine ``stop_check`` hook), so a cancelled job
+  settles as ``cancelled`` and a timed-out one fails with a distinguishable
+  ``timed out after …`` reason.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.cache import ArtifactCache
 from repro.api.report import AnalysisRequest
 from repro.api.session import AnalysisSession
+from repro.campaigns.runner import (
+    CampaignOutcome,
+    CampaignRunner,
+    materialise_tree,
+    merge_scenario_reports,
+)
+from repro.campaigns.spec import CampaignError, CampaignSpec, StageSpec
 from repro.exceptions import ReproError
 from repro.fta.parsers.json_format import parse_json_document
+from repro.fta.serializers import to_json_document
 from repro.fta.tree import FaultTree
 from repro.reliability.assignment import ReliabilityAssignment
 from repro.scenarios.planner import HardeningAction, pareto_frontier, validate_actions
 from repro.scenarios.report import ScenarioReport
 from repro.scenarios.scenario import Scenario
-from repro.scenarios.serialization import (
-    actions_from_spec,
-    assignment_from_documents,
-    scenarios_from_spec,
-)
-from repro.scenarios.sweep import DEFAULT_ANALYSES, DEFAULT_BACKEND, SweepExecutor
-from repro.service.jobs import Job, JobError, JobQueue
+from repro.scenarios.serialization import actions_from_spec, scenarios_from_spec
+from repro.scenarios.sweep import DEFAULT_ANALYSES, DEFAULT_BACKEND
+from repro.service.jobs import Job, JobCancelled, JobError, JobQueue, JobTimeout
 from repro.service.store import DiskArtifactStore, open_store
 
 __all__ = [
     "JobRunner",
     "WorkerPool",
+    "decode_campaign_payload",
     "decode_frontier_payload",
     "decode_sweep_payload",
     "merge_scenario_reports",
@@ -64,29 +73,15 @@ def _materialised_tree(
 ) -> Tuple[FaultTree, Optional[ReliabilityAssignment], Optional[float]]:
     """Decode the payload's tree, materialising reliability models if present.
 
-    A payload may carry a ``models`` section (event name -> tagged failure
-    model document) plus a ``mission_time``; the analysed tree is then the
-    :class:`~repro.reliability.assignment.ReliabilityAssignment` frozen at
-    that time, and the assignment is returned alongside so maintenance
-    scenarios can bind to it.
+    Thin wrapper over :func:`repro.campaigns.runner.materialise_tree` mapping
+    its errors onto :class:`JobError` (the HTTP 400 vocabulary).
     """
-    document = payload.get("tree")
-    if not isinstance(document, dict):
-        raise JobError("job payload needs a 'tree' JSON document")
-    tree = parse_json_document(document)
-    raw_time = payload.get("mission_time")
-    mission_time: Optional[float] = None
-    if raw_time is not None:
-        if not isinstance(raw_time, (int, float)) or isinstance(raw_time, bool):
-            raise JobError(f"'mission_time' must be a number, got {raw_time!r}")
-        mission_time = float(raw_time)
-    models = payload.get("models")
-    if models is None:
-        return tree, None, mission_time
-    if mission_time is None:
-        raise JobError("a payload with 'models' needs a numeric 'mission_time'")
-    assignment = assignment_from_documents(tree, models)
-    return assignment.tree_at(mission_time), assignment, mission_time
+    try:
+        return materialise_tree(
+            payload.get("tree"), payload.get("models"), payload.get("mission_time")
+        )
+    except CampaignError as exc:
+        raise JobError(str(exc).replace("campaign", "job payload", 1)) from exc
 
 
 def decode_sweep_payload(
@@ -127,51 +122,40 @@ def decode_frontier_payload(
     return tree, actions, {"method": method, "precision": precision}
 
 
-def _merge_cache_stats(parts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    """Sum per-worker :meth:`ArtifactCache.stats` snapshots field-wise."""
-    merged: Dict[str, Any] = {
-        "entries": 0,
-        "hits": 0,
-        "misses": 0,
-        "evictions": 0,
-        "by_kind": {},
-    }
-    for part in parts:
-        for counter in ("entries", "hits", "misses", "evictions", "store_hits", "store_misses"):
-            if counter in part:
-                merged[counter] = merged.get(counter, 0) + part[counter]
-        for kind, counters in part.get("by_kind", {}).items():
-            slot = merged["by_kind"].setdefault(kind, {})
-            for counter, value in counters.items():
-                slot[counter] = slot.get(counter, 0) + value
-    return merged
+def decode_campaign_payload(payload: Dict[str, Any]) -> CampaignSpec:
+    """Decode (and thereby fully validate) a campaign job payload.
 
-
-def merge_scenario_reports(reports: Sequence[ScenarioReport]) -> ScenarioReport:
-    """Merge per-chunk sweep reports (in chunk order) into one report.
-
-    Every chunk analysed the same base tree with the same configuration, so
-    the base sections are interchangeable; the first report contributes them,
-    the outcomes concatenate in order, and the cache statistics sum.
+    The payload carries the campaign spec document under ``spec`` (or is the
+    spec document itself, for convenience).  Decoding validates the DAG, the
+    tree and — stage by stage — every scenario/action document, so malformed
+    campaigns are immediate HTTP 400s.
     """
-    if not reports:
-        raise ReproError("cannot merge an empty list of scenario reports")
-    head = reports[0]
-    merged = ScenarioReport(
-        tree_name=head.tree_name,
-        analyses=head.analyses,
-        backend=head.backend,
-        incremental=head.incremental,
-        base=head.base,
-        base_top_event=head.base_top_event,
-        base_mpmcs_events=head.base_mpmcs_events,
-        base_mpmcs_probability=head.base_mpmcs_probability,
+    document = payload.get("spec", payload)
+    try:
+        spec = CampaignSpec.from_dict(document)
+    except CampaignError as exc:
+        raise JobError(str(exc)) from exc
+    tree, assignment, mission_time = materialise_tree(
+        spec.tree, spec.models, spec.mission_time
     )
-    for report in reports:
-        merged.outcomes.extend(report.outcomes)
-    merged.cache_stats = _merge_cache_stats([report.cache_stats for report in reports])
-    merged.total_time_s = sum(report.total_time_s for report in reports)
-    return merged
+    for stage in spec.stages:
+        if stage.kind == "sweep":
+            raw = stage.payload.get("scenarios")
+            if raw is None:
+                raise JobError(
+                    f"sweep stage {stage.name!r} needs a 'scenarios' list or family spec"
+                )
+            scenarios_from_spec(raw, assignment=assignment, mission_time=mission_time)
+        elif stage.kind == "frontier":
+            actions = actions_from_spec(stage.payload.get("actions"))
+            validate_actions(tree, actions)
+            method = stage.payload.get("method", "auto")
+            if method not in _FRONTIER_METHODS:
+                raise JobError(
+                    f"stage {stage.name!r}: unknown frontier method {method!r}; "
+                    f"expected one of {', '.join(_FRONTIER_METHODS)}"
+                )
+    return spec
 
 
 def _partition(items: Sequence[Any], parts: int) -> List[Sequence[Any]]:
@@ -185,32 +169,6 @@ def _partition(items: Sequence[Any], parts: int) -> List[Sequence[Any]]:
         chunks.append(items[start : start + size])
         start += size
     return chunks
-
-
-def _sweep_chunk(
-    payload: Tuple[int, FaultTree, Sequence[Scenario], Dict[str, Any]]
-) -> Tuple[int, ScenarioReport]:
-    """Process-pool worker: run one scenario chunk with a store-backed session."""
-    index, tree, scenarios, config = payload
-    cache = ArtifactCache(
-        max_entries=config.get("cache_max_entries"),
-        backend=open_store(config.get("store_path")),
-    )
-    executor = SweepExecutor(
-        AnalysisSession(cache=cache),
-        incremental=config.get("incremental", True),
-        backend=config.get("backend", DEFAULT_BACKEND),
-        exact_top_event=config.get("exact_top_event", True),
-    )
-    report = executor.run(
-        tree,
-        scenarios,
-        analyses=config.get("analyses", DEFAULT_ANALYSES),
-        top_k=config.get("top_k", 5),
-        samples=config.get("samples", 0),
-        seed=config.get("seed", 0),
-    )
-    return index, report
 
 
 def run_parallel_sweep(
@@ -228,88 +186,102 @@ def run_parallel_sweep(
     seed: int = 0,
     cache_max_entries: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
+    stop_check: Optional[Any] = None,
 ) -> ScenarioReport:
     """Evaluate a scenario sweep partitioned over ``workers`` processes.
 
-    Results are canonically identical to the sequential
-    :class:`SweepExecutor` on the same grid — compare
-    :meth:`ScenarioReport.to_canonical_dict` — because every chunk runs the
-    unmodified sequential executor; parallelism only changes *where* the
-    scenarios run and lets artifacts flow through the shared ``store_path``
-    instead of one in-memory cache.  ``workers <= 1`` (or a platform without
-    subprocess support) degrades to one in-process sequential sweep over a
-    store-backed session.
+    Internally this is a **one-stage campaign**: the grid becomes a single
+    ``sweep`` stage, chunked into at most ``workers`` contiguous slices, each
+    executed through the unmodified sequential
+    :class:`~repro.scenarios.sweep.SweepExecutor` (in spawn worker processes
+    when ``workers > 1``, in-process otherwise).  With a ``store_path`` every
+    finished chunk is persisted in the campaign completion ledger, so an
+    identical sweep — same tree, configuration and scenarios — resumes from
+    the ledger instead of recomputing, and a sweep killed mid-run only redoes
+    its unfinished chunks.
+
+    Results are canonically identical to the sequential executor on the same
+    grid — compare :meth:`ScenarioReport.to_canonical_dict` — whether chunks
+    were computed or replayed from the ledger.  ``workers <= 1`` (or a
+    platform without subprocess support) degrades to in-process execution
+    over a store-backed session.  Scenarios without a JSON wire form (live
+    bound maintenance patches) run unledgered: everything still executes and
+    merges, nothing persists.
+
+    ``stop_check`` is a zero-argument callable polled at scenario and chunk
+    boundaries; aborting is done by raising from it.
     """
     scenario_list = list(scenarios)
     started = time.perf_counter()
-    config = {
-        "store_path": store_path,
-        "analyses": tuple(analyses),
-        "backend": backend,
-        "incremental": incremental,
-        "exact_top_event": exact_top_event,
-        "top_k": top_k,
-        "samples": samples,
-        "seed": seed,
-        "cache_max_entries": cache_max_entries,
-    }
 
-    if workers > 1 and len(scenario_list) > 1:
-        if store_path is not None:
-            # Warm the store with the base analysis before fanning out: on a
-            # cold store every chunk would otherwise race through the same
-            # expensive base computation (subtree cut sets, BDD) and N-1 of
-            # the results would be discarded by the merge.  On a warm store
-            # this pass is almost entirely disk hits.
-            warm_cache = ArtifactCache(
-                max_entries=cache_max_entries, backend=open_store(store_path)
-            )
-            SweepExecutor(
-                AnalysisSession(cache=warm_cache),
-                incremental=incremental,
-                backend=backend,
-                exact_top_event=exact_top_event,
-            ).run(tree, [], analyses=analyses, top_k=top_k, samples=samples, seed=seed)
-        chunks = _partition(scenario_list, workers)
-        payloads = [(index, tree, chunk, config) for index, chunk in enumerate(chunks)]
-        try:
-            # Spawn, not fork: the service calls this from worker threads, and
-            # forking a multithreaded process can deadlock a child on a lock
-            # some other thread held at fork time (CPython 3.12+ deprecates
-            # exactly that).  The interpreter-startup cost per worker is
-            # amortised over the chunk.
-            with ProcessPoolExecutor(
-                max_workers=len(chunks),
-                mp_context=multiprocessing.get_context("spawn"),
-            ) as pool:
-                parts = sorted(pool.map(_sweep_chunk, payloads), key=lambda item: item[0])
-        except (OSError, BrokenProcessPool):
-            # Degrade to the sequential path below.  This fires when workers
-            # cannot come up at all — sandboxes without subprocess support
-            # (OSError), interactive/stdin ``__main__`` contexts that spawn
-            # cannot re-import (BrokenProcessPool at startup) — and also if
-            # the pool breaks mid-run (e.g. an OOM-killed worker): completed
-            # chunk work is then discarded and the grid re-runs in-process,
-            # trading wall-clock for a correct, complete report.  Analysis
-            # errors never surface as either type (per-scenario failures are
-            # captured in the outcomes).
-            parts = None
-        if parts is not None:
-            merged = merge_scenario_reports([report for _, report in parts])
-            merged.total_time_s = time.perf_counter() - started
-            return merged
+    tree_document: Optional[Dict[str, Any]]
+    try:
+        tree_document = to_json_document(tree)
+    except ReproError:
+        # No faithful tree document means no trustworthy content addresses:
+        # run the campaign without a store so nothing mis-keyed persists.
+        tree_document = None
 
-    if session is None:
-        cache = ArtifactCache(
-            max_entries=cache_max_entries, backend=open_store(store_path)
-        )
-        session = AnalysisSession(cache=cache)
-    executor = SweepExecutor(
-        session, incremental=incremental, backend=backend, exact_top_event=exact_top_event
+    fan_out = workers if len(scenario_list) > 1 else 0
+    if scenario_list and fan_out > 1:
+        chunk_count = min(fan_out, len(scenario_list))
+        chunk_size = -(-len(scenario_list) // chunk_count)  # ceil division
+    else:
+        chunk_size = 0  # one chunk
+    spec = CampaignSpec(
+        name=f"parallel-sweep-{tree.name}",
+        tree=tree_document if tree_document is not None else {"name": tree.name},
+        stages=(
+            StageSpec(name="sweep", kind="sweep", payload={"chunk_size": chunk_size}),
+        ),
+        analyses=tuple(analyses),
+        backend=backend,
+        incremental=incremental,
+        exact_top_event=exact_top_event,
+        top_k=top_k,
+        samples=samples,
+        seed=seed,
+        workers=fan_out,
     )
-    return executor.run(
-        tree, scenario_list, analyses=analyses, top_k=top_k, samples=samples, seed=seed
+    runner = CampaignRunner(
+        store_path=store_path if tree_document is not None else None,
+        session=session,
+        cache_max_entries=cache_max_entries,
+        stop_check=stop_check,
     )
+    outcome = runner.run(spec, tree=tree, scenario_overrides={"sweep": scenario_list})
+    report = outcome.report()
+    if report is None:  # pragma: no cover - a sweep stage always yields a report
+        raise ReproError("parallel sweep produced no report")
+    report.total_time_s = time.perf_counter() - started
+    return report
+
+
+class _JobGuard:
+    """Cancellation/timeout guard for one running job.
+
+    Callable form (``guard()`` -> bool) feeds the MaxSAT portfolio's engine
+    ``stop_check`` hook; :meth:`check` is the raising form polled at
+    scenario/chunk boundaries.  Timeouts are measured from the job's claim
+    time, so queue wait does not count against the budget.
+    """
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        started = job.started_at if job.started_at is not None else time.time()
+        self.deadline = started + job.timeout if job.timeout is not None else None
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.time() > self.deadline
+
+    def __call__(self) -> bool:
+        return self.job.cancel_event.is_set() or self.expired()
+
+    def check(self) -> None:
+        if self.job.cancel_event.is_set():
+            raise JobCancelled(f"job {self.job.id} was cancelled")
+        if self.expired():
+            raise JobTimeout(f"timed out after {self.job.timeout:g}s")
 
 
 class JobRunner:
@@ -333,6 +305,7 @@ class JobRunner:
             store = open_store(store_path)
         elif store_path is None:
             store_path = str(store.root)
+        self.store = store
         self.store_path = store_path
         self.cache_max_entries = cache_max_entries
         self.sweep_workers = sweep_workers
@@ -360,35 +333,61 @@ class JobRunner:
     # -- job kinds --------------------------------------------------------------------
 
     def execute(self, job: Job) -> Dict[str, Any]:
-        """Run one claimed job and return its JSON-serialisable result."""
-        if job.kind == "analyze":
-            return self._run_analyze(job.payload)
-        if job.kind == "batch":
-            return self._run_batch(job.payload)
-        if job.kind == "sweep":
-            return self._run_sweep(job.payload)
-        if job.kind == "frontier":
-            return self._run_frontier(job.payload)
-        raise JobError(f"unknown job kind {job.kind!r}")
+        """Run one claimed job and return its JSON-serialisable result.
+
+        The job's cancellation/timeout guard is active for the whole run:
+        wired into the session's MaxSAT portfolio (engine ``stop_check``) and
+        polled at scenario/chunk boundaries by the sweep and campaign paths.
+        :class:`JobCancelled` / :class:`JobTimeout` escape to the worker
+        loop, which settles the job accordingly.
+        """
+        guard = _JobGuard(job)
+        portfolio = getattr(self.session.solver, "portfolio", None)
+        if portfolio is not None:
+            portfolio.external_stop = guard
+        try:
+            guard.check()
+            if job.kind == "analyze":
+                return self._run_analyze(job.payload)
+            if job.kind == "batch":
+                return self._run_batch(job.payload, guard)
+            if job.kind == "sweep":
+                return self._run_sweep(job.payload, guard)
+            if job.kind == "frontier":
+                return self._run_frontier(job.payload)
+            if job.kind == "campaign":
+                return self._run_campaign(job.payload, guard)
+            raise JobError(f"unknown job kind {job.kind!r}")
+        finally:
+            if portfolio is not None:
+                portfolio.external_stop = None
 
     def _run_analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         tree = self._tree_from(payload)
         report = self.session.run(tree, self._request_from(payload))
         return {"kind": "analyze", "tree": tree.name, "report": report.to_dict()}
 
-    def _run_batch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _run_batch(
+        self, payload: Dict[str, Any], guard: Optional[_JobGuard] = None
+    ) -> Dict[str, Any]:
         documents = payload.get("trees")
         if not isinstance(documents, list) or not documents:
             raise JobError("batch job payload needs a non-empty 'trees' list")
         request = self._request_from(payload)
         items: List[Dict[str, Any]] = []
         for index, document in enumerate(documents):
+            # Outside the per-item handler: cancellation aborts the batch, it
+            # is never recorded as one failed tree.
+            if guard is not None:
+                guard.check()
             try:
                 tree = parse_json_document(document)
                 report = self.session.run(tree, request)
                 items.append(
                     {"index": index, "tree": tree.name, "ok": True, "report": report.to_dict()}
                 )
+            except (JobCancelled, JobTimeout):
+                raise
             except Exception as exc:  # noqa: BLE001 - failures are data in a batch
                 name = document.get("name", f"#{index}") if isinstance(document, dict) else f"#{index}"
                 items.append({"index": index, "tree": name, "ok": False, "error": str(exc)})
@@ -398,7 +397,9 @@ class JobRunner:
             "items": items,
         }
 
-    def _run_sweep(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _run_sweep(
+        self, payload: Dict[str, Any], guard: Optional[_JobGuard] = None
+    ) -> Dict[str, Any]:
         tree, scenarios = decode_sweep_payload(payload)
         # A missing/zero workers field means "use the service default" (the
         # CLI always sends the key, with 0 when the user did not choose).
@@ -417,6 +418,7 @@ class JobRunner:
             seed=int(payload.get("seed", 0)),
             cache_max_entries=self.cache_max_entries,
             session=self.session if workers <= 1 else None,
+            stop_check=guard.check if guard is not None else None,
         )
         return {
             "kind": "sweep",
@@ -443,6 +445,23 @@ class JobRunner:
             "frontier": frontier.to_dict(),
         }
 
+    def _run_campaign(
+        self, payload: Dict[str, Any], guard: Optional[_JobGuard] = None
+    ) -> Dict[str, Any]:
+        spec = decode_campaign_payload(payload)
+        runner = CampaignRunner(
+            store=self.store,
+            store_path=self.store_path,
+            session=self.session,
+            cache_max_entries=self.cache_max_entries,
+            stop_check=guard.check if guard is not None else None,
+        )
+        outcome: CampaignOutcome = runner.run(spec)
+        document = outcome.to_dict()
+        document["kind"] = "campaign"
+        document["result"] = outcome.result_document()
+        return document
+
 
 class WorkerPool:
     """Threads draining a :class:`JobQueue`, one :class:`JobRunner` each.
@@ -450,7 +469,7 @@ class WorkerPool:
     Analysis is CPU-bound pure Python, so thread-level parallelism mostly
     provides job-level concurrency (a long sweep does not block a quick
     status-probe analysis); true parallel compute comes from the process
-    fan-out inside sweep jobs (``workers`` in the sweep payload) and the
+    fan-out inside sweep/campaign jobs (``workers`` in the payload) and the
     MaxSAT portfolio's own process mode.
     """
 
@@ -503,8 +522,24 @@ class WorkerPool:
                 continue
             try:
                 result = runner.execute(job)
-            except Exception as exc:  # noqa: BLE001 - job failures are results
+            except JobCancelled:
+                self.queue.finish_cancelled(job.id)
+            except JobTimeout as exc:
                 self.queue.fail(job.id, str(exc))
+            except Exception as exc:  # noqa: BLE001 - job failures are results
+                # An engine interrupted by the guard surfaces as a generic
+                # solver error; attribute it to the cancellation/timeout that
+                # actually caused it.
+                if job.cancel_event.is_set():
+                    self.queue.finish_cancelled(job.id)
+                elif (
+                    job.timeout is not None
+                    and job.started_at is not None
+                    and time.time() > job.started_at + job.timeout
+                ):
+                    self.queue.fail(job.id, f"timed out after {job.timeout:g}s")
+                else:
+                    self.queue.fail(job.id, str(exc))
             else:
                 self.queue.finish(job.id, result)
 

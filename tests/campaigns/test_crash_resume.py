@@ -1,0 +1,153 @@
+"""Kill a campaign mid-flight with SIGKILL, restart, assert exact resume.
+
+The victim process runs the campaign in a subprocess with a ``before_chunk``
+hook that SIGKILLs the process once a configured number of chunks have
+completed — no cleanup handlers, no atexit, exactly like an OOM kill or a
+power cut.  The restarted run must serve every completed chunk from the
+ledger (zero recomputation, proven by the stage stats and ledger counters)
+and produce a merged report canonically byte-identical to an uninterrupted
+run of the same spec in a fresh store.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SPEC_DOCUMENT = {
+    "name": "crash-resume",
+    "tree": {
+        "name": "demo",
+        "top": "TOP",
+        "events": [
+            {"name": "A", "probability": 0.1},
+            {"name": "B", "probability": 0.2},
+            {"name": "C", "probability": 0.3},
+        ],
+        "gates": [{"name": "TOP", "type": "or", "children": ["A", "B", "C"]}],
+    },
+    "stages": [
+        {
+            "name": "sweep",
+            "kind": "sweep",
+            "payload": {
+                "chunk_size": 1,
+                "scenarios": [
+                    {
+                        "name": f"s{i}",
+                        "patches": [
+                            {
+                                "type": "set_probability",
+                                "event": "A",
+                                "probability": 0.02 * (i + 1),
+                            }
+                        ],
+                    }
+                    for i in range(4)
+                ],
+            },
+        },
+        {"name": "final", "kind": "report", "payload": {}, "depends_on": ["sweep"]},
+    ],
+}
+
+VICTIM = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.campaigns import CampaignRunner, CampaignSpec
+
+    store, spec_path, survive = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    spec = CampaignSpec.from_dict(json.loads(open(spec_path).read()))
+    completed = {"count": 0}
+
+    def kill_after(stage, index, attempt):
+        # Called before each chunk attempt; by then `completed["count"]`
+        # chunks have already finished and been ledgered.
+        if completed["count"] >= survive:
+            os.kill(os.getpid(), signal.SIGKILL)
+        completed["count"] += 1
+
+    CampaignRunner(store_path=store, before_chunk=kill_after).run(spec)
+    """
+)
+
+
+def _run_victim(store: Path, spec_path: Path, survive: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", VICTIM, str(store), str(spec_path), str(survive)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC_DOCUMENT), encoding="utf-8")
+    return path
+
+
+def _canonical(outcome) -> str:
+    return json.dumps(
+        outcome.stage_results["final"]["stages"]["sweep"]["canonical"], sort_keys=True
+    )
+
+
+class TestCrashResume:
+    def test_sigkill_mid_campaign_resumes_exactly(self, tmp_path, spec_path):
+        from repro.campaigns import CampaignSpec, run_campaign
+
+        store = tmp_path / "store"
+        survive = 2
+        victim = _run_victim(store, spec_path, survive)
+        assert victim.returncode == -signal.SIGKILL, victim.stderr
+
+        spec = CampaignSpec.from_dict(SPEC_DOCUMENT)
+        resumed = run_campaign(spec, store_path=str(store))
+        assert resumed.status == "done"
+        stats = {s.name: s for s in resumed.stage_stats}
+        # The two chunks that completed before the kill are served from the
+        # ledger; only the remaining work executes.
+        assert stats["sweep"].ledger_hits == survive
+        assert stats["sweep"].executed == 4 - survive
+        assert resumed.ledger_stats["hits"] == survive
+
+        # Canonically byte-identical to an uninterrupted run in a pristine
+        # store (canonical = minus wall-clock and cache telemetry, which is
+        # the only thing allowed to differ).
+        uninterrupted = run_campaign(spec, store_path=str(tmp_path / "fresh-store"))
+        assert _canonical(resumed) == _canonical(uninterrupted)
+
+    def test_kill_before_any_chunk_is_a_plain_cold_run(self, tmp_path, spec_path):
+        from repro.campaigns import CampaignSpec, run_campaign
+
+        store = tmp_path / "store"
+        victim = _run_victim(store, spec_path, 0)
+        assert victim.returncode == -signal.SIGKILL, victim.stderr
+
+        resumed = run_campaign(CampaignSpec.from_dict(SPEC_DOCUMENT), store_path=str(store))
+        assert resumed.status == "done"
+        assert resumed.ledger_hits == 0
+        assert resumed.executed_chunks == 5
+
+    def test_interrupted_state_record_reports_running(self, tmp_path, spec_path):
+        """A killed campaign leaves status='running' — the truth on disk."""
+        from repro.campaigns import CampaignSpec
+        from repro.campaigns.ledger import campaign_state
+        from repro.service.store import DiskArtifactStore
+
+        store = tmp_path / "store"
+        victim = _run_victim(store, spec_path, 2)
+        assert victim.returncode == -signal.SIGKILL, victim.stderr
+        spec = CampaignSpec.from_dict(SPEC_DOCUMENT)
+        state = campaign_state(DiskArtifactStore(store), spec.campaign_id())
+        assert state is not None and state["status"] == "running"

@@ -1,0 +1,241 @@
+"""CampaignRunner: ledger-backed resume, retries with backoff, status documents."""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CampaignError,
+    CampaignRunner,
+    CampaignSpec,
+    frontier_stage,
+    report_stage,
+    run_campaign,
+    sweep_stage,
+)
+from repro.campaigns.ledger import campaign_state
+from repro.service.store import DiskArtifactStore
+
+TREE = {
+    "name": "demo",
+    "top": "TOP",
+    "events": [
+        {"name": "A", "probability": 0.1},
+        {"name": "B", "probability": 0.2},
+        {"name": "C", "probability": 0.3},
+    ],
+    "gates": [{"name": "TOP", "type": "or", "children": ["A", "B", "C"]}],
+}
+
+SCENARIOS = [
+    {
+        "name": f"s{i}",
+        "patches": [
+            {"type": "set_probability", "event": "A", "probability": 0.05 * (i + 1)}
+        ],
+    }
+    for i in range(3)
+]
+
+ACTIONS = [
+    {"event": "A", "cost": 2.0, "probability": 0.01},
+    {"event": "B", "cost": 3.0, "probability": 0.02},
+]
+
+
+def three_stage_spec(**overrides):
+    fields = dict(
+        name="runner-test",
+        tree=TREE,
+        stages=(
+            sweep_stage("sweep", SCENARIOS, chunk_size=1),
+            frontier_stage("frontier", ACTIONS, depends_on=("sweep",)),
+            report_stage("final", depends_on=("sweep", "frontier")),
+        ),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestColdRun:
+    def test_three_stage_campaign(self, tmp_path):
+        outcome = run_campaign(three_stage_spec(), store_path=str(tmp_path))
+        assert outcome.status == "done"
+        assert [s.name for s in outcome.stage_stats] == ["sweep", "frontier", "final"]
+        assert outcome.ledger_hits == 0
+        assert outcome.executed_chunks == 5  # 3 sweep + 1 frontier + 1 report
+        report = outcome.report()
+        assert report is not None and len(report.outcomes) == 3
+        frontier = outcome.stage_results["frontier"]
+        assert frontier["points"]
+        final = outcome.stage_results["final"]
+        assert set(final["stages"]) == {"sweep", "frontier"}
+
+    def test_merged_report_preserves_scenario_order(self, tmp_path):
+        outcome = run_campaign(three_stage_spec(), store_path=str(tmp_path))
+        names = [s.name for s in outcome.report().outcomes]
+        assert names == ["s0", "s1", "s2"]
+
+    def test_state_record_written(self, tmp_path):
+        spec = three_stage_spec()
+        run_campaign(spec, store_path=str(tmp_path))
+        store = DiskArtifactStore(tmp_path)
+        state = campaign_state(store, spec.campaign_id())
+        assert state is not None
+        assert state["status"] == "done"
+        assert state["spec"] == spec.to_dict()
+        assert state["result"]["kind"] == "campaign"
+
+    def test_in_memory_runner_works_without_persistence(self):
+        outcome = run_campaign(three_stage_spec())
+        assert outcome.status == "done"
+        assert outcome.ledger_stats["hits"] == 0
+        assert outcome.ledger_stats["writes"] == 5
+
+
+class TestResume:
+    def test_resume_serves_every_chunk_from_ledger(self, tmp_path):
+        spec = three_stage_spec()
+        cold = run_campaign(spec, store_path=str(tmp_path))
+        resumed = run_campaign(spec, store_path=str(tmp_path))
+        assert resumed.status == "done"
+        assert resumed.ledger_hits == 5
+        assert resumed.executed_chunks == 0
+        cold_doc = json.dumps(cold.result_document(), sort_keys=True)
+        resumed_doc = json.dumps(resumed.result_document(), sort_keys=True)
+        assert cold_doc == resumed_doc
+
+    def test_resubmitting_equal_spec_is_a_resume(self, tmp_path):
+        run_campaign(three_stage_spec(), store_path=str(tmp_path))
+        # A *new* but canonically identical spec object shares the identity.
+        resumed = run_campaign(three_stage_spec(), store_path=str(tmp_path))
+        assert resumed.executed_chunks == 0
+
+    def test_changed_spec_is_a_different_campaign(self, tmp_path):
+        run_campaign(three_stage_spec(), store_path=str(tmp_path))
+        other = run_campaign(three_stage_spec(top_k=7), store_path=str(tmp_path))
+        assert other.ledger_hits == 0
+        assert other.executed_chunks == 5
+
+
+class TestRetries:
+    def test_flaky_chunk_retries_with_backoff(self, tmp_path):
+        spec = three_stage_spec(max_retries=3, retry_base_delay_s=0.5, retry_max_delay_s=10.0)
+        failures = {"count": 0}
+        delays = []
+
+        def flaky(stage, index, attempt):
+            if stage == "sweep" and index == 1 and failures["count"] < 2:
+                failures["count"] += 1
+                raise CampaignError("injected chunk failure")
+
+        runner = CampaignRunner(
+            store_path=str(tmp_path), sleep=delays.append, before_chunk=flaky
+        )
+        outcome = runner.run(spec)
+        assert outcome.status == "done"
+        assert delays == [0.5, 1.0]  # base * 2**attempt
+        stats = {s.name: s for s in outcome.stage_stats}
+        assert stats["sweep"].executed == 3
+        assert stats["sweep"].attempts == 5  # 3 successes + 2 injected failures
+
+    def test_backoff_delay_is_capped(self, tmp_path):
+        spec = three_stage_spec(max_retries=4, retry_base_delay_s=1.0, retry_max_delay_s=2.5)
+        failures = {"count": 0}
+        delays = []
+
+        def flaky(stage, index, attempt):
+            if stage == "sweep" and index == 0 and failures["count"] < 4:
+                failures["count"] += 1
+                raise CampaignError("injected chunk failure")
+
+        CampaignRunner(
+            store_path=str(tmp_path), sleep=delays.append, before_chunk=flaky
+        ).run(spec)
+        assert delays == [1.0, 2.0, 2.5, 2.5]
+
+    def test_exhausted_retries_fail_the_campaign(self, tmp_path):
+        spec = three_stage_spec(max_retries=1)
+        delays = []
+
+        def always_fail(stage, index, attempt):
+            if stage == "frontier":
+                raise CampaignError("injected permanent failure")
+
+        runner = CampaignRunner(
+            store_path=str(tmp_path), sleep=delays.append, before_chunk=always_fail
+        )
+        with pytest.raises(CampaignError, match="failed after 2 attempt"):
+            runner.run(spec)
+        assert len(delays) == 1
+        # The failure is durable: the state record says failed, the completed
+        # sweep chunks stay ledgered.
+        store = DiskArtifactStore(tmp_path)
+        state = campaign_state(store, spec.campaign_id())
+        assert state["status"] == "failed"
+        assert "injected permanent failure" in state["error"]
+        assert state["stages"]["frontier"]["status"] == "failed"
+        assert state["stages"]["sweep"]["status"] == "done"
+
+    def test_failed_campaign_resumes_past_completed_stages(self, tmp_path):
+        spec = three_stage_spec(max_retries=0)
+        calls = {"frontier": 0}
+
+        def fail_frontier_once(stage, index, attempt):
+            if stage == "frontier" and calls["frontier"] == 0:
+                calls["frontier"] += 1
+                raise CampaignError("injected transient failure")
+
+        flaky_runner = CampaignRunner(
+            store_path=str(tmp_path), sleep=lambda _ : None, before_chunk=fail_frontier_once
+        )
+        with pytest.raises(CampaignError):
+            flaky_runner.run(spec)
+        resumed = run_campaign(spec, store_path=str(tmp_path))
+        assert resumed.status == "done"
+        stats = {s.name: s for s in resumed.stage_stats}
+        assert stats["sweep"].ledger_hits == 3 and stats["sweep"].executed == 0
+        assert stats["frontier"].executed == 1
+        assert stats["final"].executed == 1
+
+
+class TestStatus:
+    def test_status_before_during_after(self, tmp_path):
+        spec = three_stage_spec()
+        runner = CampaignRunner(store_path=str(tmp_path))
+        before = runner.status(spec)
+        assert before["status"] == "unknown"
+        assert [(s["chunks_done"], s["chunks_total"]) for s in before["stages"]] == [
+            (0, 3),
+            (0, 1),
+            (0, 1),
+        ]
+        runner.run(spec)
+        after = CampaignRunner(store_path=str(tmp_path)).status(spec)
+        assert after["status"] == "done"
+        assert [(s["chunks_done"], s["chunks_total"]) for s in after["stages"]] == [
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        ]
+        assert after["persistent"] is True
+
+    def test_status_without_store_is_not_persistent(self):
+        document = CampaignRunner().status(three_stage_spec())
+        assert document["persistent"] is False
+
+
+class TestStopCheck:
+    def test_stop_check_aborts_between_chunks(self, tmp_path):
+        from repro.service.jobs import JobCancelled
+
+        calls = {"count": 0}
+
+        def stop_after_two():
+            calls["count"] += 1
+            if calls["count"] > 2:
+                raise JobCancelled("stop requested")
+
+        runner = CampaignRunner(store_path=str(tmp_path), stop_check=stop_after_two)
+        with pytest.raises(JobCancelled):
+            runner.run(three_stage_spec())

@@ -1,0 +1,214 @@
+"""CampaignSpec: DAG validation, content-addressed chunking, wire round-trip."""
+
+import pytest
+
+from repro.campaigns.spec import (
+    DEFAULT_CHUNK_SIZE,
+    CampaignError,
+    CampaignSpec,
+    StageSpec,
+    frontier_stage,
+    report_stage,
+    sweep_stage,
+)
+
+TREE = {
+    "name": "demo",
+    "top": "TOP",
+    "events": [
+        {"name": "A", "probability": 0.1},
+        {"name": "B", "probability": 0.2},
+    ],
+    "gates": [{"name": "TOP", "type": "or", "children": ["A", "B"]}],
+}
+
+
+def _scenarios(n=5):
+    return [
+        {
+            "name": f"s{i}",
+            "patches": [
+                {"type": "set_probability", "event": "A", "probability": 0.01 * (i + 1)}
+            ],
+        }
+        for i in range(n)
+    ]
+
+
+def _spec(stages):
+    return CampaignSpec(name="test", tree=TREE, stages=tuple(stages))
+
+
+class TestStageSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CampaignError, match="unknown stage kind"):
+            StageSpec(name="x", kind="mystery")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CampaignError, match="non-empty string"):
+            StageSpec(name="", kind="sweep")
+
+    def test_round_trip(self):
+        stage = sweep_stage("s", _scenarios(2), chunk_size=1, depends_on=("other",))
+        assert StageSpec.from_dict(stage.to_dict()) == stage
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(CampaignError, match="unknown fields"):
+            StageSpec.from_dict({"name": "s", "kind": "sweep", "bogus": 1})
+
+
+class TestDagValidation:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(CampaignError, match="duplicate stage names"):
+            _spec([sweep_stage("s", _scenarios()), sweep_stage("s", _scenarios())])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(CampaignError, match="unknown stage"):
+            _spec([report_stage("r", depends_on=("ghost",))])
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(CampaignError, match="depends on itself"):
+            _spec(
+                [
+                    sweep_stage("s", _scenarios()),
+                    StageSpec(name="r", kind="report", depends_on=("r", "s")),
+                ]
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CampaignError, match="dependency cycle"):
+            _spec(
+                [
+                    StageSpec(name="a", kind="report", depends_on=("b",)),
+                    StageSpec(name="b", kind="report", depends_on=("a",)),
+                ]
+            )
+
+    def test_no_stages_rejected(self):
+        with pytest.raises(CampaignError, match="at least one stage"):
+            _spec([])
+
+    def test_topological_order_respects_dependencies(self):
+        spec = _spec(
+            [
+                report_stage("last", depends_on=("mid", "first")),
+                StageSpec(name="mid", kind="report", depends_on=("first",)),
+                sweep_stage("first", _scenarios()),
+            ]
+        )
+        order = [stage.name for stage in spec.topological_order()]
+        assert order.index("first") < order.index("mid") < order.index("last")
+
+
+class TestChunking:
+    def test_contiguous_order_preserving_slices(self):
+        spec = _spec([sweep_stage("s", _scenarios(5), chunk_size=2)])
+        chunks = spec.chunks_for(spec.stage("s"), _scenarios(5))
+        assert [len(c.payload["scenarios"]) for c in chunks] == [2, 2, 1]
+        flattened = [
+            doc["name"] for c in chunks for doc in c.payload["scenarios"]
+        ]
+        assert flattened == [f"s{i}" for i in range(5)]
+
+    def test_chunk_size_zero_means_one_chunk(self):
+        spec = _spec([sweep_stage("s", _scenarios(5), chunk_size=0)])
+        chunks = spec.chunks_for(spec.stage("s"), _scenarios(5))
+        assert len(chunks) == 1
+
+    def test_default_chunk_size(self):
+        stage = StageSpec(name="s", kind="sweep", payload={"scenarios": _scenarios(40)})
+        spec = _spec([stage])
+        chunks = spec.chunks_for(stage, _scenarios(40))
+        assert len(chunks) == -(-40 // DEFAULT_CHUNK_SIZE)
+
+    def test_negative_chunk_size_rejected(self):
+        stage = StageSpec(
+            name="s", kind="sweep", payload={"scenarios": [], "chunk_size": -1}
+        )
+        spec = _spec([stage])
+        with pytest.raises(CampaignError, match="chunk_size"):
+            spec.chunks_for(stage, [])
+
+    def test_hashes_are_content_addresses(self):
+        spec = _spec([sweep_stage("s", _scenarios(4), chunk_size=2)])
+        chunks_a = spec.chunks_for(spec.stage("s"), _scenarios(4))
+        chunks_b = spec.chunks_for(spec.stage("s"), _scenarios(4))
+        assert [c.hash for c in chunks_a] == [c.hash for c in chunks_b]
+        assert len({c.hash for c in chunks_a}) == len(chunks_a)  # all distinct
+
+    def test_hash_covers_analysis_config(self):
+        base = _spec([sweep_stage("s", _scenarios(2), chunk_size=1)])
+        other = CampaignSpec(
+            name="test", tree=TREE, stages=base.stages, top_k=base.top_k + 1
+        )
+        hashes_a = [c.hash for c in base.chunks_for(base.stage("s"), _scenarios(2))]
+        hashes_b = [c.hash for c in other.chunks_for(other.stage("s"), _scenarios(2))]
+        assert set(hashes_a).isdisjoint(hashes_b)
+
+    def test_single_chunk_for_frontier(self):
+        stage = frontier_stage("f", [{"event": "A", "cost": 1.0, "probability": 0.01}])
+        spec = _spec([stage])
+        chunk = spec.single_chunk_for(stage)
+        assert chunk.index == 0 and chunk.stage == "f" and chunk.hash
+
+
+class TestIdentity:
+    def test_campaign_id_is_deterministic(self):
+        spec_a = _spec([sweep_stage("s", _scenarios())])
+        spec_b = _spec([sweep_stage("s", _scenarios())])
+        assert spec_a.campaign_id() == spec_b.campaign_id()
+        assert len(spec_a.campaign_id()) == 32
+
+    def test_campaign_id_changes_with_content(self):
+        spec_a = _spec([sweep_stage("s", _scenarios(3))])
+        spec_b = _spec([sweep_stage("s", _scenarios(4))])
+        assert spec_a.campaign_id() != spec_b.campaign_id()
+
+    def test_round_trip_preserves_identity(self):
+        spec = CampaignSpec(
+            name="rt",
+            tree=TREE,
+            stages=(
+                sweep_stage("s", _scenarios(3), chunk_size=2),
+                frontier_stage(
+                    "f",
+                    [{"event": "A", "cost": 1.0, "probability": 0.01}],
+                    depends_on=("s",),
+                ),
+                report_stage("r", depends_on=("s", "f")),
+            ),
+            workers=3,
+            max_retries=5,
+            seed=7,
+        )
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.campaign_id() == spec.campaign_id()
+
+
+class TestWireFormat:
+    def test_missing_required_field(self):
+        with pytest.raises(CampaignError, match="missing"):
+            CampaignSpec.from_dict({"name": "x", "tree": TREE})
+
+    def test_unknown_fields_rejected(self):
+        document = _spec([sweep_stage("s", _scenarios())]).to_dict()
+        document["surprise"] = True
+        with pytest.raises(CampaignError, match="unknown fields"):
+            CampaignSpec.from_dict(document)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(CampaignError, match="must be an object"):
+            CampaignSpec.from_dict([1, 2, 3])
+
+    def test_serialization_wrappers(self):
+        from repro.scenarios.serialization import (
+            SerializationError,
+            campaign_from_dict,
+            campaign_to_dict,
+        )
+
+        spec = _spec([sweep_stage("s", _scenarios())])
+        assert campaign_from_dict(campaign_to_dict(spec)) == spec
+        with pytest.raises(SerializationError):
+            campaign_from_dict({"name": "x"})

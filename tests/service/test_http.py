@@ -277,3 +277,84 @@ class TestMaintenanceAndFrontierEndpoints:
                 models=self._models(),
                 mission_time=1000.0,
             )
+
+
+class TestCampaignEndpoints:
+    def _spec(self):
+        from repro.campaigns import CampaignSpec, report_stage, sweep_stage
+        from repro.fta.serializers import to_json_document as doc
+
+        scenarios = [
+            scenario_to_dict(scenario)
+            for scenario in probability_sweep("x1", [0.001, 0.01, 0.1])
+        ]
+        return CampaignSpec(
+            name="http-campaign",
+            tree=doc(fire_protection_system()),
+            stages=(
+                sweep_stage("sweep", scenarios, chunk_size=1),
+                report_stage("final", depends_on=("sweep",)),
+            ),
+        )
+
+    def test_submit_status_result_resume(self, live_service):
+        spec = self._spec()
+        response = live_service.submit_campaign(spec, wait=True, timeout=120)
+        job = response["job"]
+        assert response["campaign"] == spec.campaign_id()
+        assert job["status"] == "done"
+        outcome = job["result"]
+        assert outcome["kind"] == "campaign"
+        assert sum(stage["executed"] for stage in outcome["stages"]) == 4
+
+        status = live_service.campaign(spec.campaign_id())
+        assert status["status"] == "done"
+        assert [(s["chunks_done"], s["chunks_total"]) for s in status["stages"]] == [
+            (3, 3),
+            (1, 1),
+        ]
+        assert status["jobs"]  # the submitting job is recorded
+
+        result = live_service.campaign_result(spec.campaign_id())
+        assert result["status"] == "done"
+        assert set(result["stages"]) == {"sweep", "final"}
+
+        listing = live_service.campaigns()
+        assert any(entry["campaign"] == spec.campaign_id() for entry in listing)
+
+        # Resume by id: everything is served from the ledger.
+        resumed = live_service.resume_campaign(spec.campaign_id())
+        done = live_service.wait(resumed["job"]["id"], timeout=120)
+        assert done["status"] == "done"
+        assert sum(stage["executed"] for stage in done["result"]["stages"]) == 0
+        assert sum(stage["ledger_hits"] for stage in done["result"]["stages"]) == 4
+
+    def test_resubmitting_spec_is_a_resume(self, live_service):
+        spec = self._spec()
+        first = live_service.submit_campaign(spec, wait=True, timeout=120)
+        again = live_service.submit_campaign(spec.to_dict(), wait=True, timeout=120)
+        assert again["campaign"] == first["campaign"]
+        assert sum(s["executed"] for s in again["job"]["result"]["stages"]) == 0
+
+    def test_unknown_campaign_404(self, live_service):
+        with pytest.raises(ServiceError, match="404"):
+            live_service.campaign("no-such-campaign")
+        with pytest.raises(ServiceError, match="404"):
+            live_service.resume_campaign("no-such-campaign")
+
+    def test_malformed_spec_rejected_at_submit(self, live_service):
+        with pytest.raises(ServiceError, match="400"):
+            live_service.submit_campaign({"name": "broken"})
+
+    def test_campaign_result_conflict_until_done(self, tmp_path):
+        # Workers never start: the campaign stays queued, result must be 409.
+        service = AnalysisService(store_path=str(tmp_path), workers=1)
+        server = serve(service, port=0, background=True, start_workers=False)
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.server_port}")
+            response = client.submit_campaign(self._spec())
+            with pytest.raises(ServiceError, match="409"):
+                client.campaign_result(response["campaign"])
+        finally:
+            server.shutdown()
+            server.server_close()

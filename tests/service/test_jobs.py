@@ -43,6 +43,35 @@ class TestSubmitClaim:
         assert claimed[0] is not None and claimed[0].status is JobStatus.RUNNING
 
 
+class TestPriority:
+    def test_higher_priority_claimed_first(self):
+        queue = JobQueue()
+        bulk = queue.submit("sweep", {}, priority=0)
+        control = queue.submit("campaign", {"spec": {}}, priority=10)
+        assert queue.claim(timeout=0).id == control.id
+        assert queue.claim(timeout=0).id == bulk.id
+
+    def test_fifo_within_equal_priority(self):
+        queue = JobQueue()
+        ids = [queue.submit("analyze", {}, priority=3).id for _ in range(3)]
+        assert [queue.claim(timeout=0).id for _ in range(3)] == ids
+
+    def test_priority_beats_submission_order(self):
+        queue = JobQueue()
+        first_low = queue.submit("analyze", {}, priority=0)
+        high = queue.submit("analyze", {}, priority=5)
+        second_low = queue.submit("analyze", {}, priority=0)
+        claimed = [queue.claim(timeout=0).id for _ in range(3)]
+        assert claimed == [high.id, first_low.id, second_low.id]
+
+    def test_priority_recorded_on_job_document(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {}, priority=7, timeout=12.5)
+        document = job.to_dict()
+        assert document["priority"] == 7
+        assert document["timeout"] == 12.5
+
+
 class TestSettlement:
     def test_finish_carries_result(self):
         queue = JobQueue()
@@ -95,10 +124,22 @@ class TestCancel:
         assert cancelled.status is JobStatus.CANCELLED
         assert queue.claim(timeout=0) is None  # never handed to a worker
 
-    def test_cancel_running_job_rejected(self):
+    def test_cancel_running_job_is_cooperative(self):
         queue = JobQueue()
         job = queue.submit("analyze", {})
         queue.claim(timeout=0)
+        requested = queue.cancel(job.id)
+        # The job keeps running; the worker observes the flag and settles it.
+        assert requested.status is JobStatus.RUNNING
+        assert requested.cancel_requested
+        settled = queue.finish_cancelled(job.id)
+        assert settled.status is JobStatus.CANCELLED
+
+    def test_cancel_terminal_job_rejected(self):
+        queue = JobQueue()
+        job = queue.submit("analyze", {})
+        queue.claim(timeout=0)
+        queue.finish(job.id, {})
         with pytest.raises(JobError):
             queue.cancel(job.id)
 

@@ -304,3 +304,113 @@ class TestEntriesMemoFreshness:
             thread.join()
         assert store.stats()["entries"] == len(keys)
         assert len(store) == len(keys)
+
+
+class TestGarbageCollection:
+    @staticmethod
+    def _age(store, key, kind, seconds):
+        path = store.path_for(key, kind)
+        old = os.stat(path).st_mtime - seconds
+        os.utime(path, (old, old))
+
+    def test_noop_without_limits(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", [1, 2, 3])
+        summary = store.gc()
+        assert summary == {"removed": 0, "removed_bytes": 0, "protected": 0}
+        assert store.load(KEY, "cut-sets")[0]
+
+    def test_age_based_eviction(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", "old")
+        store.store("b" * 64, "cut-sets", "fresh")
+        self._age(store, KEY, "cut-sets", 3600)
+        summary = store.gc(max_age_s=60)
+        assert summary["removed"] == 1 and summary["removed_bytes"] > 0
+        assert not store.load(KEY, "cut-sets")[0]
+        assert store.load("b" * 64, "cut-sets")[0]
+
+    def test_size_based_eviction_is_oldest_first(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        keys = [ch * 64 for ch in "abcd"]
+        for index, key in enumerate(keys):
+            store.store(key, "cut-sets", "x" * 100)
+            self._age(store, key, "cut-sets", (len(keys) - index) * 100)
+        total = store.size_bytes()
+        per_entry = total // len(keys)
+        store.gc(max_bytes=total - per_entry)  # must evict exactly the oldest
+        assert not store.load(keys[0], "cut-sets")[0]
+        assert all(store.load(key, "cut-sets")[0] for key in keys[1:])
+
+    def test_max_bytes_zero_clears_unprotected(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", 1)
+        store.store("b" * 64, "bdd", 2)
+        summary = store.gc(max_bytes=0)
+        assert summary["removed"] == 2
+        assert len(store) == 0
+
+    def test_running_campaign_ledger_is_protected(self, tmp_path):
+        from repro.campaigns import CampaignSpec, sweep_stage
+        from repro.campaigns.ledger import CompletionLedger
+
+        store = DiskArtifactStore(tmp_path)
+        spec = CampaignSpec(
+            name="gc-test",
+            tree={
+                "name": "t",
+                "top": "TOP",
+                "events": [{"name": "A", "probability": 0.1}],
+                "gates": [{"name": "TOP", "type": "or", "children": ["A"]}],
+            },
+            stages=(sweep_stage("s", [{"name": "s0", "patches": []}]),),
+        )
+        ledger = CompletionLedger(store, spec.campaign_id())
+        ledger.store_state(status="running", spec_document=spec.to_dict(), name=spec.name)
+        ledger.store_chunk(stage="s", index=0, chunk_hash="c" * 64, result={"ok": 1}, attempts=1)
+        store.store(KEY, "cut-sets", "ordinary cache entry")
+        summary = store.gc(max_bytes=0, max_age_s=0)
+        # Both ledger records survive; the cache entry does not.
+        assert summary["protected"] >= 2
+        assert ledger.load_chunk("c" * 64)[0]
+        assert ledger.load_state()["status"] == "running"
+        assert not store.load(KEY, "cut-sets")[0]
+
+    def test_terminal_campaign_ledger_is_evictable(self, tmp_path):
+        from repro.campaigns import CampaignSpec, sweep_stage
+        from repro.campaigns.ledger import CompletionLedger
+
+        store = DiskArtifactStore(tmp_path)
+        spec = CampaignSpec(
+            name="gc-done",
+            tree={
+                "name": "t",
+                "top": "TOP",
+                "events": [{"name": "A", "probability": 0.1}],
+                "gates": [{"name": "TOP", "type": "or", "children": ["A"]}],
+            },
+            stages=(sweep_stage("s", [{"name": "s0", "patches": []}]),),
+        )
+        ledger = CompletionLedger(store, spec.campaign_id())
+        ledger.store_state(status="done", spec_document=spec.to_dict(), name=spec.name)
+        ledger.store_chunk(stage="s", index=0, chunk_hash="c" * 64, result={"ok": 1}, attempts=1)
+        summary = store.gc(max_bytes=0)
+        assert summary["removed"] == 2 and summary["protected"] == 0
+        assert not ledger.load_chunk("c" * 64)[0]
+
+    def test_gc_counters_accumulate_in_stats(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", "victim")
+        store.gc(max_bytes=0)
+        store.gc(max_age_s=10)
+        stats = store.stats()
+        assert stats["gc_runs"] == 2
+        assert stats["gc_removed"] == 1
+        assert stats["gc_removed_bytes"] > 0
+
+    def test_entry_count_refreshes_after_gc(self, tmp_path):
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", 1)
+        assert store.stats()["entries"] == 1
+        store.gc(max_bytes=0)
+        assert store.stats()["entries"] == 0

@@ -1,0 +1,131 @@
+"""CLI ``repro campaign run/status/resume`` in local-store mode."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = {
+    "name": "cli-campaign",
+    "tree": {
+        "name": "demo",
+        "top": "TOP",
+        "events": [
+            {"name": "A", "probability": 0.1},
+            {"name": "B", "probability": 0.2},
+        ],
+        "gates": [{"name": "TOP", "type": "or", "children": ["A", "B"]}],
+    },
+    "stages": [
+        {
+            "name": "sweep",
+            "kind": "sweep",
+            "payload": {
+                "chunk_size": 1,
+                "scenarios": [
+                    {
+                        "name": f"s{i}",
+                        "patches": [
+                            {
+                                "type": "set_probability",
+                                "event": "A",
+                                "probability": 0.03 * (i + 1),
+                            }
+                        ],
+                    }
+                    for i in range(2)
+                ],
+            },
+        },
+        {"name": "final", "kind": "report", "payload": {}, "depends_on": ["sweep"]},
+    ],
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC), encoding="utf-8")
+    return path
+
+
+class TestCampaignRun:
+    def test_run_then_resume_via_store(self, tmp_path, spec_file, capsys):
+        store = tmp_path / "store"
+        output = tmp_path / "out.json"
+        exit_code = main(
+            ["campaign", "run", str(spec_file), "--store", str(store), "-o", str(output)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "| sweep |" in out
+        result = json.loads(output.read_text(encoding="utf-8"))
+        assert result["kind"] == "campaign" and result["status"] == "done"
+        campaign_id = result["campaign"]
+
+        exit_code = main(["campaign", "status", campaign_id, "--store", str(store)])
+        assert exit_code == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["status"] == "done"
+        assert [(s["chunks_done"], s["chunks_total"]) for s in status["stages"]] == [
+            (2, 2),
+            (1, 1),
+        ]
+
+        exit_code = main(["campaign", "resume", campaign_id, "--store", str(store)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        # Everything ledgered: the resume executes nothing.
+        assert "| sweep | sweep | done | 2 | 2 | 0 |" in out
+
+    def test_run_without_store_is_in_memory(self, spec_file, capsys):
+        exit_code = main(["campaign", "run", str(spec_file)])
+        assert exit_code == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_spec_wrapped_in_spec_key_accepted(self, tmp_path, capsys):
+        path = tmp_path / "wrapped.json"
+        path.write_text(json.dumps({"spec": SPEC}), encoding="utf-8")
+        assert main(["campaign", "run", str(path)]) == 0
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["campaign", "run", str(tmp_path / "ghost.json")])
+        assert exit_code == 1
+        assert "cannot read campaign spec" in capsys.readouterr().err
+
+    def test_malformed_spec_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}), encoding="utf-8")
+        exit_code = main(["campaign", "run", str(path)])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignErrors:
+    def test_status_requires_store_or_url(self, capsys):
+        exit_code = main(["campaign", "status", "deadbeef"])
+        assert exit_code == 1
+        assert "--url" in capsys.readouterr().err
+
+    def test_unknown_campaign_id(self, tmp_path, capsys):
+        exit_code = main(
+            ["campaign", "status", "deadbeef", "--store", str(tmp_path / "store")]
+        )
+        assert exit_code == 1
+        assert "unknown campaign id" in capsys.readouterr().err
+
+    def test_url_and_store_mutually_exclusive(self, tmp_path, spec_file, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "run",
+                str(spec_file),
+                "--store",
+                str(tmp_path / "s"),
+                "--url",
+                "http://127.0.0.1:1",
+            ]
+        )
+        assert exit_code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
