@@ -55,6 +55,7 @@ from repro.core.weights import probability_of_cut_set, weight_of_cut_set
 from repro.exceptions import AnalysisError, BudgetExceededError
 from repro.fta.tree import FaultTree
 from repro.maxsat.incremental import IncrementalMaxSATSession
+from repro.observability.metrics import get_metrics
 
 __all__ = [
     "BDDBackend",
@@ -357,6 +358,7 @@ class MaxSATBackend(AnalysisBackend):
             return report
         count = request.top_k if wants_ranking else 1
         enumerated: Optional[List[Tuple[MPMCSResult, int]]] = None
+        registry = get_metrics()
         if self.warm_enabled:
             solve_start = time.perf_counter()
             try:
@@ -365,13 +367,16 @@ class MaxSATBackend(AnalysisBackend):
                 # Pathological structure for the hitting-set loop: fall back
                 # to the cold portfolio for this tree.
                 enumerated = None
+                registry.inc("repro_solver_warm_fallbacks_total")
             else:
                 report.profile["encode_seconds"] = encode_seconds
                 report.profile["solve_seconds"] = (
                     time.perf_counter() - solve_start - encode_seconds
                 )
                 report.profile["warm_solves"] = 1
+                registry.inc("repro_solver_warm_solves_total")
         if enumerated is None:
+            registry.inc("repro_solver_cold_solves_total")
             encode_start = time.perf_counter()
             encoding = self._encoding(tree)
             solve_start = time.perf_counter()

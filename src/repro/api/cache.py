@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 from weakref import WeakKeyDictionary
 
 from repro.fta.tree import FaultTree
+from repro.observability.metrics import get_metrics
 
 __all__ = [
     "ARTIFACT_BDD",
@@ -223,18 +224,23 @@ class ArtifactCache:
 
     def _lookup(self, key: Tuple[str, str], kind: str) -> Tuple[bool, Any]:
         """Probe the memory tier, then the backend; count at the tier that answered."""
+        registry = get_metrics()
         if key in self._store:
             self._hits[kind] = self._hits.get(kind, 0) + 1
+            registry.inc("repro_cache_hits_total", kind=kind)
             self._store.move_to_end(key)
             return True, self._store[key]
         self._misses[kind] = self._misses.get(kind, 0) + 1
+        registry.inc("repro_cache_misses_total", kind=kind)
         if self.backend is not None:
             found, value = self.backend.load(key[0], kind)
             if found:
                 self._store_hits[kind] = self._store_hits.get(kind, 0) + 1
+                registry.inc("repro_store_hits_total", kind=kind)
                 self._insert(key, value)
                 return True, value
             self._store_misses[kind] = self._store_misses.get(kind, 0) + 1
+            registry.inc("repro_store_misses_total", kind=kind)
         return False, None
 
     def _insert(self, key: Tuple[str, str], value: Any) -> None:

@@ -357,6 +357,12 @@ class AnalysisReport:
     #: Non-fatal degradations, e.g. an auxiliary backend that failed while
     #: another provider still satisfied the analysis.
     warnings: List[str] = field(default_factory=list)
+    #: Serialized span tree (:meth:`repro.observability.Span.to_dict`) of the
+    #: run, populated only when an ambient tracer was recording.  Telemetry
+    #: like ``profile`` — stripped by :meth:`to_canonical_dict` — and the
+    #: profile is recoverable from it via
+    #: :func:`repro.observability.profile_view`.
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def tree_name(self) -> str:
@@ -420,8 +426,9 @@ class AnalysisReport:
             self.backends[analysis] = f"{previous}+{label}" if previous else label
 
     #: :meth:`to_dict` keys that vary between otherwise identical runs —
-    #: wall-clock timings, cache telemetry and the profiling breakdown.
-    VOLATILE_KEYS = ("timings_s", "cache", "profile")
+    #: wall-clock timings, cache telemetry, the profiling breakdown and the
+    #: span trace (span ids and durations are run telemetry).
+    VOLATILE_KEYS = ("timings_s", "cache", "profile", "trace")
     #: Volatile keys inside the ``mpmcs`` section: which engine won (a race
     #: in thread mode, or the warm incremental path vs the cold portfolio)
     #: and how long it took are run telemetry, not analysis results.
@@ -471,6 +478,10 @@ class AnalysisReport:
             "profile": dict(self.profile),
             "warnings": list(self.warnings),
         }
+        # Key present only when a trace was recorded, so untraced documents
+        # (the overwhelmingly common case) keep their historical shape.
+        if self.trace is not None:
+            document["trace"] = self.trace
         document["mpmcs"] = self.mpmcs.to_dict() if self.mpmcs is not None else None
         document["ranking"] = (
             [
@@ -560,6 +571,7 @@ class AnalysisReport:
         report.cache_stats = dict(document.get("cache", {}))
         report.profile = dict(document.get("profile", {}))
         report.warnings = list(document.get("warnings", []))
+        report.trace = document.get("trace")
         probabilities = tree.probabilities() if tree is not None else None
 
         if document.get("mpmcs") is not None:

@@ -45,6 +45,8 @@ from repro.core.pipeline import MPMCSSolver
 from repro.exceptions import AnalysisError
 from repro.fta.tree import FaultTree
 from repro.maxsat.instance import DEFAULT_PRECISION
+from repro.observability import metrics as _metrics
+from repro.observability import trace as _trace
 
 # The built-in backends register themselves on import.
 import repro.api.backends  # noqa: F401  (registration side effect)
@@ -179,8 +181,24 @@ class AnalysisSession:
         return self.run(tree, request)
 
     def run(self, tree: FaultTree, request: AnalysisRequest) -> AnalysisReport:
-        """Execute a pre-built :class:`AnalysisRequest` against ``tree``."""
+        """Execute a pre-built :class:`AnalysisRequest` against ``tree``.
+
+        When an ambient tracer is recording (:func:`repro.observability.use_tracer`)
+        the run is wrapped in an ``analyze`` span — with per-backend child
+        spans — and the serialized tree is attached as ``report.trace``.  The
+        span's counters mirror ``report.profile``, so the profile is a pure
+        projection of the trace (:func:`repro.observability.profile_view`).
+        """
         tree.validate()
+        with _trace.span("analyze", tree=tree.name, backend=request.backend) as analyze_span:
+            report = self._run_traced(tree, request, analyze_span)
+        if analyze_span.is_recording:
+            report.trace = analyze_span.to_dict()
+        return report
+
+    def _run_traced(
+        self, tree: FaultTree, request: AnalysisRequest, analyze_span
+    ) -> AnalysisReport:
         report = AnalysisReport(tree=tree, request=request)
         plan = self._plan(request)
         provider_counts: Dict[str, int] = {}
@@ -193,11 +211,17 @@ class AnalysisSession:
             self.artifacts.store_hits,
             self.artifacts.store_misses,
         )
+        registry = _metrics.get_metrics()
         for backend_name, assigned in plan:
             scoped = request.restricted_to(assigned, backend_name)
             start = time.perf_counter()
             try:
-                partial = self.backend(backend_name).run(tree, scoped)
+                with _trace.span(
+                    f"backend:{backend_name}", analyses=",".join(assigned)
+                ) as backend_span:
+                    partial = self.backend(backend_name).run(tree, scoped)
+                    backend_span.merge_counters(partial.profile)
+                registry.inc("repro_analyses_total", backend=backend_name)
             except AnalysisError as exc:
                 # An auxiliary provider (e.g. MOCUS contributing optional
                 # top-event bounds next to the BDD's exact value) may fail on
@@ -232,6 +256,9 @@ class AnalysisSession:
                 f"(backend={request.backend!r}){detail}"
             )
         report.cache_stats = self.artifacts.stats()
+        # The profile doubles as the analyze span's counter set, making the
+        # profile a pure projection of the trace (observability.profile_view).
+        analyze_span.merge_counters(report.profile)
         return report
 
     # -- routing ----------------------------------------------------------------------

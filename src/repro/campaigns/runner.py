@@ -38,6 +38,9 @@ from repro.api.session import AnalysisSession
 from repro.exceptions import ReproError
 from repro.fta.parsers.json_format import parse_json_document
 from repro.fta.tree import FaultTree
+from repro.observability import trace as _trace
+from repro.observability.log import log_event
+from repro.observability.metrics import get_metrics, scoped_metrics
 from repro.reliability.assignment import ReliabilityAssignment
 from repro.campaigns.ledger import CompletionLedger
 from repro.campaigns.spec import CampaignError, CampaignSpec, Chunk, StageSpec
@@ -151,28 +154,36 @@ def _open_store(path: Optional[str]) -> Any:
 
 def _sweep_chunk_worker(
     payload: "Tuple[int, FaultTree, Sequence[Scenario], Dict[str, Any]]",
-) -> Tuple[int, ScenarioReport]:
-    """Process-pool entry point: run one scenario chunk, store-backed."""
+) -> Tuple[int, ScenarioReport, Dict[str, Any]]:
+    """Process-pool entry point: run one scenario chunk, store-backed.
+
+    The chunk runs against a fresh scoped metrics registry whose snapshot is
+    returned alongside the report, so the parent process can merge every
+    child's counters into its own registry (``/metrics`` then covers the
+    whole fan-out).  Scoping per chunk — not per process — means a pool
+    worker reused for several chunks never double-reports.
+    """
     index, tree, scenarios, config = payload
-    cache = ArtifactCache(
-        max_entries=config.get("cache_max_entries"),
-        backend=_open_store(config.get("store_path")),
-    )
-    executor = SweepExecutor(
-        AnalysisSession(cache=cache),
-        incremental=config.get("incremental", True),
-        backend=config.get("backend", "mocus"),
-        exact_top_event=config.get("exact_top_event", True),
-    )
-    report = executor.run(
-        tree,
-        scenarios,
-        analyses=config.get("analyses", ("mpmcs", "top_event")),
-        top_k=config.get("top_k", 5),
-        samples=config.get("samples", 0),
-        seed=config.get("seed", 0),
-    )
-    return index, report
+    with scoped_metrics() as registry:
+        cache = ArtifactCache(
+            max_entries=config.get("cache_max_entries"),
+            backend=_open_store(config.get("store_path")),
+        )
+        executor = SweepExecutor(
+            AnalysisSession(cache=cache),
+            incremental=config.get("incremental", True),
+            backend=config.get("backend", "mocus"),
+            exact_top_event=config.get("exact_top_event", True),
+        )
+        report = executor.run(
+            tree,
+            scenarios,
+            analyses=config.get("analyses", ("mpmcs", "top_event")),
+            top_k=config.get("top_k", 5),
+            samples=config.get("samples", 0),
+            seed=config.get("seed", 0),
+        )
+    return index, report, registry.snapshot()
 
 
 @dataclass
@@ -366,24 +377,26 @@ class CampaignRunner:
                 )
 
         try:
-            for stage in spec.topological_order():
-                stats = stats_by_name[stage.name]
-                stats.status = "running"
-                self._check_stop()
-                override = (scenario_overrides or {}).get(stage.name)
-                if stage.kind == "sweep":
-                    result = self._run_sweep_stage(
-                        spec, stage, tree, assignment, mission_time, ledger, stats,
-                        live_scenarios=override,
-                    )
-                elif stage.kind == "frontier":
-                    result = self._run_frontier_stage(spec, stage, tree, ledger, stats)
-                else:
-                    result = self._run_report_stage(
-                        spec, stage, outcome.stage_results, ledger, stats
-                    )
-                stats.status = "done"
-                outcome.stage_results[stage.name] = result
+            with _trace.span("campaign", spec=spec.name, campaign=campaign_id):
+                for stage in spec.topological_order():
+                    stats = stats_by_name[stage.name]
+                    stats.status = "running"
+                    self._check_stop()
+                    override = (scenario_overrides or {}).get(stage.name)
+                    with _trace.span(f"stage:{stage.name}", kind=stage.kind):
+                        if stage.kind == "sweep":
+                            result = self._run_sweep_stage(
+                                spec, stage, tree, assignment, mission_time, ledger, stats,
+                                live_scenarios=override,
+                            )
+                        elif stage.kind == "frontier":
+                            result = self._run_frontier_stage(spec, stage, tree, ledger, stats)
+                        else:
+                            result = self._run_report_stage(
+                                spec, stage, outcome.stage_results, ledger, stats
+                            )
+                    stats.status = "done"
+                    outcome.stage_results[stage.name] = result
         except ReproError as exc:
             failed = next(
                 (s for s in outcome.stage_stats if s.status == "running"), None
@@ -543,6 +556,7 @@ class CampaignRunner:
                 if found:
                     results[index] = record["result"]
                     stats.ledger_hits += 1
+                    get_metrics().inc("repro_campaign_chunks_total", result="ledger_hit")
                     continue
             todo.append(index)
 
@@ -659,17 +673,37 @@ class CampaignRunner:
             try:
                 if self._before_chunk is not None:
                     self._before_chunk(stage.name, index, attempt)
-                result = compute()
+                with _trace.span("chunk", stage=stage.name, index=index):
+                    result = compute()
             except ReproError as exc:
                 if attempt >= spec.max_retries:
+                    get_metrics().inc("repro_campaign_chunks_total", result="failed")
+                    log_event(
+                        "campaigns.runner",
+                        "chunk_failed",
+                        stage=stage.name,
+                        chunk=index,
+                        attempts=attempt + 1,
+                        error=str(exc),
+                    )
                     raise CampaignError(
                         f"stage {stage.name!r} chunk {index} failed after "
                         f"{attempt + 1} attempt(s): {exc}"
                     ) from exc
+                get_metrics().inc("repro_campaign_chunk_retries_total")
+                log_event(
+                    "campaigns.runner",
+                    "chunk_retry",
+                    stage=stage.name,
+                    chunk=index,
+                    attempt=attempt + 1,
+                    error=str(exc),
+                )
                 self._sleep(self._backoff_delay(spec, attempt))
                 attempt += 1
                 continue
             stats.executed += 1
+            get_metrics().inc("repro_campaign_chunks_total", result="executed")
             if chunk.hash:
                 ledger.store_chunk(
                     stage=stage.name,
@@ -728,12 +762,22 @@ class CampaignRunner:
                         index = futures[future]
                         stats.attempts += 1
                         try:
-                            _, report = future.result()
+                            _, report, metrics_snapshot = future.result()
                         except (OSError, BrokenProcessPool):
                             raise
                         except Exception as exc:  # noqa: BLE001 - chunk failures retry
+                            log_event(
+                                "campaigns.runner",
+                                "chunk_attempt_failed",
+                                stage=stage.name,
+                                chunk=index,
+                                attempt=pending[index] + 1,
+                                error=str(exc),
+                            )
                             failed[index] = str(exc)
                             continue
+                        get_metrics().merge_snapshot(metrics_snapshot)
+                        get_metrics().inc("repro_campaign_chunks_total", result="executed")
                         results[index] = report
                         stats.executed += 1
                         if chunks[index].hash:
@@ -751,6 +795,9 @@ class CampaignRunner:
                         ]
                         if exhausted:
                             index = exhausted[0]
+                            get_metrics().inc(
+                                "repro_campaign_chunks_total", result="failed"
+                            )
                             raise CampaignError(
                                 f"stage {stage.name!r} chunk {index} failed after "
                                 f"{pending[index] + 1} attempt(s): {failed[index]}"
@@ -760,6 +807,7 @@ class CampaignRunner:
                         )
                         for index in failed:
                             pending[index] += 1
+                            get_metrics().inc("repro_campaign_chunk_retries_total")
                         self._sleep(delay)
         except (OSError, BrokenProcessPool):
             # Degrade to the in-process path for whatever is left; completed
@@ -782,6 +830,7 @@ class CampaignRunner:
         found, record = ledger.load_chunk(chunk.hash)
         if found:
             stats.ledger_hits += 1
+            get_metrics().inc("repro_campaign_chunks_total", result="ledger_hit")
             return record["result"]
 
         actions = actions_from_spec(stage.payload.get("actions"))
@@ -816,6 +865,7 @@ class CampaignRunner:
         found, record = ledger.load_chunk(chunk.hash)
         if found:
             stats.ledger_hits += 1
+            get_metrics().inc("repro_campaign_chunks_total", result="ledger_hit")
             return record["result"]
         dependencies = stage.depends_on or tuple(
             done.name for done in spec.stages if done.name != stage.name

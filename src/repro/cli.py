@@ -59,6 +59,7 @@ from repro.maxsat.hitting_set import HittingSetEngine
 from repro.maxsat.instance import WPMaxSATInstance
 from repro.maxsat.linear import LinearSearchEngine
 from repro.maxsat.rc2 import RC2Engine
+from repro.observability.log import JsonLinesLogger, set_logger
 from repro.reporting.ascii_art import render_tree
 from repro.reporting.dot import to_dot
 from repro.reporting.json_report import analysis_report
@@ -375,6 +376,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-entries", type=int, default=None,
         help="LRU bound on each worker's in-memory artifact cache (default: unbounded)",
     )
+    serve.add_argument(
+        "--log-json", type=Path, default=None, metavar="PATH",
+        help="append structured JSON-lines events to this file",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics", help="scrape and print the Prometheus metrics of a running service"
+    )
+    metrics.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL"
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit a tree (or a scenario sweep over it) to a running service"
@@ -462,6 +474,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "-o", "--output", type=Path, help="write the campaign result JSON to this path"
     )
+    campaign_run.add_argument(
+        "--log-json", type=Path, default=None, metavar="PATH",
+        help="append structured JSON-lines events to this file (local mode)",
+    )
 
     campaign_status = campaign_sub.add_parser(
         "status", help="per-stage chunk progress of a campaign, from its ledger"
@@ -493,6 +509,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_resume.add_argument(
         "-o", "--output", type=Path, help="write the campaign result JSON to this path"
+    )
+    campaign_resume.add_argument(
+        "--log-json", type=Path, default=None, metavar="PATH",
+        help="append structured JSON-lines events to this file (local mode)",
     )
 
     solve_wcnf = subparsers.add_parser(
@@ -1058,7 +1078,19 @@ def _command_solve_wcnf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_json_log(path: Optional[Path]) -> None:
+    """Route structured events to ``path`` for this process (no-op when None)."""
+    if path is not None:
+        set_logger(JsonLinesLogger(path))
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    print(ServiceClient(args.url).metrics_text(), end="")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    _install_json_log(args.log_json)
     service = AnalysisService(
         store_path=str(args.store) if args.store else None,
         workers=args.workers,
@@ -1073,7 +1105,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"repro service listening on http://{args.host}:{server.server_port}"
         f" with {args.workers} worker(s){store_note}"
     )
-    print("endpoints: /health /backends /analyze /batch /sweep /frontier /campaigns /jobs  — Ctrl-C to stop")
+    print("endpoints: /health /metrics /backends /analyze /batch /sweep /frontier /campaigns /jobs  — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1298,6 +1330,7 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         _print_campaign_outcome(outcome)
         _write_campaign_result(args, outcome["result"])
         return 0
+    _install_json_log(args.log_json)
     spec = campaign_from_dict(document)
     store = open_store(str(args.store)) if args.store else None
     outcome = CampaignRunner(store=store).run(spec)
@@ -1332,6 +1365,7 @@ def _command_campaign_resume(args: argparse.Namespace) -> int:
         _print_campaign_outcome(outcome)
         _write_campaign_result(args, outcome["result"])
         return 0
+    _install_json_log(args.log_json)
     store = _local_campaign_store(args)
     spec = _resolve_local_spec(store, args.campaign_id, args.workers)
     outcome = CampaignRunner(store=store).run(spec)
@@ -1364,6 +1398,7 @@ _PLAIN_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "backends": _command_backends,
     "solve-wcnf": _command_solve_wcnf,
     "serve": _command_serve,
+    "metrics": _command_metrics,
     "submit": _command_submit,
     "jobs": _command_jobs,
     "campaign": _command_campaign,

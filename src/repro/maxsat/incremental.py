@@ -46,6 +46,7 @@ from repro.fta.tree import FaultTree
 from repro.logic.cnf import Literal
 from repro.maxsat.hitting_set import minimum_cost_hitting_set
 from repro.maxsat.instance import DEFAULT_PRECISION, scale_weight
+from repro.observability import trace as _trace
 from repro.sat.cdcl import CDCLSolver
 from repro.sat.types import SatStatus
 
@@ -231,6 +232,21 @@ class IncrementalMaxSATSession:
         the core-discovery loop exceeds ``max_rounds`` (callers then fall
         back to a cold solve).
         """
+        with _trace.span("maxsat.solve", blocked=len(blocked)) as span:
+            calls_before = self.sat_calls
+            rounds_before = self.rounds
+            result = self._solve_impl(weights, blocked)
+            if span.is_recording:
+                span.add("sat_calls", self.sat_calls - calls_before)
+                span.add("hs_rounds", self.rounds - rounds_before)
+                span.add("solutions", 0 if result is None else 1)
+            return result
+
+    def _solve_impl(
+        self,
+        weights: Dict[str, float],
+        blocked: Sequence[Tuple[str, ...]],
+    ) -> Optional[IncrementalSolveResult]:
         started = time.perf_counter()
         scaled: Dict[Literal, int] = {
             -var: self._scale_weight(weights[name])

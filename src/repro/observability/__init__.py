@@ -1,0 +1,83 @@
+"""Observability layer: tracing, metrics, and structured logging.
+
+Three independent, stdlib-only facilities share one design rule: the
+*ambient* instance is a shared no-op by default, so instrumentation threaded
+through the session, cache, store, solver, and campaign layers costs almost
+nothing until a caller opts in.
+
+* :mod:`repro.observability.trace` -- nested spans with monotonic timings,
+  propagated through :mod:`contextvars`; a job's span tree is served at
+  ``GET /jobs/<id>/trace``.
+* :mod:`repro.observability.metrics` -- a process-wide registry of counters,
+  gauges, and fixed-bucket histograms; rendered in the Prometheus text format
+  at ``GET /metrics`` and by ``repro metrics``.
+* :mod:`repro.observability.log` -- JSON-lines structured events, enabled by
+  ``--log-json PATH`` on ``repro serve`` and campaign runs.
+
+Quickstart::
+
+    from repro import observability as obs
+
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        report = session.analyze(tree)           # spans recorded implicitly
+    print(obs.format_span_tree(tracer.to_dict()))
+
+    registry = obs.enable_metrics()              # process-wide, idempotent
+    ...
+    print(registry.render_prometheus())
+"""
+
+from .log import (
+    JsonLinesLogger,
+    MemoryLogger,
+    NullLogger,
+    get_logger,
+    log_event,
+    set_logger,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    enable_metrics,
+    get_metrics,
+    scoped_metrics,
+    set_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    add_counter,
+    current_tracer,
+    format_span_tree,
+    profile_view,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonLinesLogger",
+    "MemoryLogger",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullLogger",
+    "NullMetricsRegistry",
+    "Span",
+    "Tracer",
+    "add_counter",
+    "current_tracer",
+    "enable_metrics",
+    "format_span_tree",
+    "get_logger",
+    "get_metrics",
+    "log_event",
+    "profile_view",
+    "scoped_metrics",
+    "set_logger",
+    "set_metrics",
+    "span",
+    "use_tracer",
+]

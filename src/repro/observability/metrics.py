@@ -1,0 +1,332 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+Counters, gauges, and fixed-bucket histograms, keyed by metric name plus a
+sorted label tuple.  A single lock guards all mutation, so the registry is
+safe to share across the worker-pool threads and the HTTP front end.
+
+Two registries exist in practice:
+
+* the shared no-op :class:`NullMetricsRegistry` -- the library default, so
+  plain-library users pay nothing;
+* a real :class:`MetricsRegistry` installed by the service layer (and by
+  campaign chunk workers in child processes), exposed via ``GET /metrics``.
+
+Cross-process aggregation goes through :meth:`MetricsRegistry.snapshot` /
+:meth:`MetricsRegistry.merge_snapshot`: a spawn-child runs its chunk against
+a fresh registry, ships the snapshot back with the chunk result, and the
+parent folds counters and histogram buckets into its own registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "enable_metrics",
+    "get_metrics",
+    "scoped_metrics",
+    "set_metrics",
+]
+
+#: Default latency buckets (seconds): sub-millisecond through one minute.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    15.0,
+    60.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: _LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Histogram:
+    __slots__ = ("buckets", "bucket_counts", "count", "total")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/histograms with label support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Dict[_LabelKey, float]] = {}
+        self._gauges: Dict[str, Dict[_LabelKey, float]] = {}
+        self._histograms: Dict[str, Dict[_LabelKey, _Histogram]] = {}
+
+    @property
+    def is_recording(self) -> bool:
+        return True
+
+    # -- instruments -------------------------------------------------------
+    def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            histogram = series.get(key)
+            if histogram is None:
+                histogram = series[key] = _Histogram(buckets)
+            histogram.observe(value)
+
+    # -- reads -------------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Total for one series, or the sum over all series of ``name``."""
+
+        with self._lock:
+            series = self._counters.get(name, {})
+            if labels:
+                return series.get(_label_key(labels), 0)
+            return sum(series.values())
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name, {}).get(_label_key(labels))
+
+    def histogram_count(self, name: str, **labels: Any) -> int:
+        with self._lock:
+            series = self._histograms.get(name, {})
+            if labels:
+                histogram = series.get(_label_key(labels))
+                return histogram.count if histogram else 0
+            return sum(h.count for h in series.values())
+
+    # -- snapshot / merge --------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict form, picklable across process boundaries."""
+
+        with self._lock:
+            return {
+                "counters": {
+                    name: {key: value for key, value in series.items()}
+                    for name, series in self._counters.items()
+                },
+                "gauges": {
+                    name: {key: value for key, value in series.items()}
+                    for name, series in self._gauges.items()
+                },
+                "histograms": {
+                    name: {key: histogram.to_dict() for key, histogram in series.items()}
+                    for name, series in self._histograms.items()
+                },
+            }
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold a child-process snapshot into this registry.
+
+        Counters and histograms sum; gauges keep the parent's value (a child
+        gauge describes the child's transient state, not the fleet's).
+        """
+
+        if not snapshot:
+            return
+        with self._lock:
+            for name, series in snapshot.get("counters", {}).items():
+                target = self._counters.setdefault(name, {})
+                for key, value in series.items():
+                    key = tuple(tuple(pair) for pair in key)
+                    target[key] = target.get(key, 0) + value
+            for name, series in snapshot.get("histograms", {}).items():
+                target_series = self._histograms.setdefault(name, {})
+                for key, payload in series.items():
+                    key = tuple(tuple(pair) for pair in key)
+                    buckets = tuple(payload["buckets"])
+                    histogram = target_series.get(key)
+                    if histogram is None:
+                        histogram = target_series[key] = _Histogram(buckets)
+                    if histogram.buckets == buckets:
+                        for index, count in enumerate(payload["bucket_counts"]):
+                            histogram.bucket_counts[index] += count
+                    histogram.count += payload["count"]
+                    histogram.total += payload["total"]
+
+    # -- exposition --------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Render the registry in the Prometheus text exposition format."""
+
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._counters):
+                lines.append(f"# TYPE {name} counter")
+                for key in sorted(self._counters[name]):
+                    value = self._counters[name][key]
+                    lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+            for name in sorted(self._gauges):
+                lines.append(f"# TYPE {name} gauge")
+                for key in sorted(self._gauges[name]):
+                    value = self._gauges[name][key]
+                    lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+            for name in sorted(self._histograms):
+                lines.append(f"# TYPE {name} histogram")
+                for key in sorted(self._histograms[name]):
+                    histogram = self._histograms[name][key]
+                    cumulative = 0
+                    for bound, bucket_count in zip(histogram.buckets, histogram.bucket_counts):
+                        cumulative = bucket_count
+                        lines.append(
+                            f"{name}_bucket{_format_labels(key, (('le', _format_value(float(bound))),))}"
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_format_labels(key, (('le', '+Inf'),))} {histogram.count}"
+                    )
+                    lines.append(f"{name}_sum{_format_labels(key)} {_format_value(histogram.total)}")
+                    lines.append(f"{name}_count{_format_labels(key)} {histogram.count}")
+        return "\n".join(lines) + "\n"
+
+
+class NullMetricsRegistry:
+    """Shared do-nothing registry: the zero-cost library default."""
+
+    __slots__ = ()
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, buckets: Any = None, **labels: Any) -> None:
+        pass
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return 0
+
+    def gauge_value(self, name: str, **labels: Any) -> None:
+        return None
+
+    def histogram_count(self, name: str, **labels: Any) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        pass
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+# Module-level (not contextvar) on purpose: metrics are process-wide, shared
+# across worker threads, unlike the per-job tracer.
+_REGISTRY = NULL_METRICS
+
+
+def get_metrics():
+    """Return the process-wide registry (no-op unless enabled)."""
+
+    return _REGISTRY
+
+
+def set_metrics(registry) -> Any:
+    """Install ``registry`` process-wide; returns the previous registry."""
+
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Ensure a real registry is installed; idempotent.  Returns it."""
+
+    global _REGISTRY
+    if not _REGISTRY.is_recording:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+class scoped_metrics:
+    """Install a fresh registry for a ``with`` block, restoring the previous.
+
+    Used by campaign chunk workers: even when the process pool reuses a child
+    for several chunks, each chunk snapshots only its own activity, so the
+    parent-side merge never double counts.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._previous = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_metrics(self.registry)
+        return self.registry
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        set_metrics(self._previous)
+        return False

@@ -1,0 +1,362 @@
+"""Lightweight nested tracing with ambient (contextvar) propagation.
+
+The tracer is deliberately tiny: a :class:`Span` records a name, attributes,
+a monotonic duration, free-form counters, a status (``ok``/``error`` with the
+exception type), and child spans.  A :class:`Tracer` maintains the current
+span stack and is installed as the *ambient* tracer through a
+:data:`contextvars.ContextVar`, so instrumented layers (session, cache,
+store, solver) never need a tracer argument -- they call :func:`span` and
+either record into the enclosing job/campaign span or hit the shared no-op
+tracer at near-zero cost.
+
+Spans serialize to plain dicts (:meth:`Span.to_dict`) that round-trip through
+:meth:`Span.from_dict`, mirroring the ``AnalysisReport`` wire-format
+discipline.  Span ids are deterministic per tracer (``s1``, ``s2``, ... in
+creation order) so traces are reproducible and diffable.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "add_counter",
+    "current_tracer",
+    "format_span_tree",
+    "profile_view",
+    "span",
+    "use_tracer",
+]
+
+_NUMERIC = (int, float)
+
+
+class Span:
+    """One node in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "attrs",
+        "counters",
+        "children",
+        "status",
+        "error_type",
+        "duration_s",
+        "_start",
+    )
+
+    def __init__(self, name: str, span_id: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.span_id = span_id
+        self.attrs = attrs
+        self.counters: Dict[str, float] = {}
+        self.children: List["Span"] = []
+        self.status = "ok"
+        self.error_type: Optional[str] = None
+        self.duration_s = 0.0
+        self._start = 0.0
+
+    # -- recording ---------------------------------------------------------
+    @property
+    def is_recording(self) -> bool:
+        return True
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Increment a free-form counter on this span."""
+
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def merge_counters(self, values: Dict[str, Any]) -> None:
+        """Fold the numeric entries of ``values`` into this span's counters."""
+
+        for key, value in values.items():
+            if isinstance(value, _NUMERIC) and not isinstance(value, bool):
+                self.add(key, value)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "status": self.status,
+            "duration_s": self.duration_s,
+        }
+        if self.error_type is not None:
+            document["error_type"] = self.error_type
+        if self.attrs:
+            document["attrs"] = dict(self.attrs)
+        if self.counters:
+            document["counters"] = dict(self.counters)
+        if self.children:
+            document["children"] = [child.to_dict() for child in self.children]
+        return document
+
+    @staticmethod
+    def from_dict(document: Dict[str, Any]) -> "Span":
+        span = Span(document["name"], document["span_id"], dict(document.get("attrs", {})))
+        span.status = document.get("status", "ok")
+        span.error_type = document.get("error_type")
+        span.duration_s = document.get("duration_s", 0.0)
+        span.counters = dict(document.get("counters", {}))
+        span.children = [Span.from_dict(child) for child in document.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def merge_counters(self, values: Dict[str, Any]) -> None:
+        pass
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def to_dict(self) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable, allocation-free context manager yielding :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span._start = time.monotonic()
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        span = self._span
+        span.duration_s = time.monotonic() - span._start
+        if exc_type is not None:
+            span.status = "error"
+            span.error_type = exc_type.__name__
+        self._tracer._pop(span)
+        return False
+
+
+class Tracer:
+    """Records a tree of spans for one logical unit of work (job, campaign).
+
+    A tracer is single-threaded by design: each worker installs its own via
+    :func:`use_tracer`, and :data:`contextvars` keeps other threads on the
+    shared no-op tracer.  ``max_spans`` bounds trace size for huge sweeps;
+    spans beyond the cap are dropped (and counted) rather than recorded.
+    """
+
+    def __init__(self, max_spans: int = 10_000):
+        self.roots: List[Span] = []
+        self.max_spans = max_spans
+        self.dropped_spans = 0
+        self._stack: List[Span] = []
+        self._recorded = 0
+
+    # -- span lifecycle ----------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a child span of the current span (or a new root)."""
+
+        if self._recorded >= self.max_spans:
+            self.dropped_spans += 1
+            return _NULL_SPAN_CONTEXT
+        self._recorded += 1
+        span = Span(name, f"s{self._recorded}", attrs)
+        return _SpanContext(self, span)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def is_recording(self) -> bool:
+        return True
+
+    @property
+    def current(self):
+        return self._stack[-1] if self._stack else NULL_SPAN
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Increment a counter on the current span, if any."""
+
+        if self._stack:
+            self._stack[-1].add(counter, amount)
+
+    def to_dict(self) -> Optional[Dict[str, Any]]:
+        """Serialize the (single-root) trace; ``None`` when nothing recorded."""
+
+        if not self.roots:
+            return None
+        if len(self.roots) == 1:
+            return self.roots[0].to_dict()
+        synthetic = Span("trace", "s0", {})
+        synthetic.children = self.roots
+        return synthetic.to_dict()
+
+
+class _NullTracer:
+    """Default ambient tracer: every operation is a no-op."""
+
+    __slots__ = ()
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    @property
+    def current(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def to_dict(self) -> None:
+        return None
+
+
+NULL_TRACER = _NullTracer()
+
+_CURRENT_TRACER: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer():
+    """Return the ambient tracer (the shared no-op tracer by default)."""
+
+    return _CURRENT_TRACER.get()
+
+
+class _TracerScope:
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Tracer:
+        self._token = _CURRENT_TRACER.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if self._token is not None:
+            _CURRENT_TRACER.reset(self._token)
+        return False
+
+
+def use_tracer(tracer: Tracer) -> _TracerScope:
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+
+    return _TracerScope(tracer)
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the ambient tracer (no-op when tracing is disabled)."""
+
+    return _CURRENT_TRACER.get().span(name, **attrs)
+
+
+def add_counter(counter: str, amount: float = 1) -> None:
+    """Increment a counter on the ambient tracer's current span."""
+
+    _CURRENT_TRACER.get().add(counter, amount)
+
+
+def profile_view(trace: Optional[Dict[str, Any]]) -> Dict[str, float]:
+    """Project a serialized span tree back onto the ``profile`` wire format.
+
+    ``AnalysisSession`` folds every numeric ``report.profile`` entry into the
+    counters of its ``analyze`` span, so the report profile is recoverable
+    from the trace alone: this helper returns the counters of the outermost
+    ``analyze`` span (summed over all of them for multi-analysis traces).
+    """
+
+    totals: Dict[str, float] = {}
+    if not trace:
+        return totals
+
+    def _visit(node: Dict[str, Any], inside_analyze: bool) -> None:
+        is_analyze = node.get("name") == "analyze"
+        if is_analyze and not inside_analyze:
+            for key, value in node.get("counters", {}).items():
+                totals[key] = totals.get(key, 0) + value
+        for child in node.get("children", []):
+            _visit(child, inside_analyze or is_analyze)
+
+    _visit(trace, False)
+    return totals
+
+
+def _iter_tree(node: Dict[str, Any], depth: int) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    yield depth, node
+    for child in node.get("children", []):
+        yield from _iter_tree(child, depth + 1)
+
+
+def format_span_tree(trace: Optional[Dict[str, Any]]) -> str:
+    """Render a serialized span tree as an indented, human-readable outline."""
+
+    if not trace:
+        return "(no trace recorded)"
+    lines = []
+    for depth, node in _iter_tree(trace, 0):
+        status = "" if node.get("status") == "ok" else f" [{node.get('status')}:{node.get('error_type')}]"
+        counters = node.get("counters", {})
+        extras = ""
+        if counters:
+            shown = ", ".join(f"{k}={counters[k]:g}" for k in sorted(counters)[:6])
+            extras = f"  ({shown})"
+        lines.append(
+            f"{'  ' * depth}{node['name']}{status}  {node.get('duration_s', 0.0) * 1e3:.2f} ms{extras}"
+        )
+    return "\n".join(lines)

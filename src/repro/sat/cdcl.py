@@ -24,6 +24,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.exceptions import BudgetExceededError, SolverError, SolverInterrupted
 from repro.logic.cnf import Literal
+from repro.observability import trace as _trace
+from repro.observability.metrics import get_metrics
 from repro.sat.types import BaseSatSolver, SatResult, SatStatus
 
 __all__ = ["CDCLSolver"]
@@ -250,6 +252,13 @@ class CDCLSolver(BaseSatSolver):
                 result.decisions = self._decisions
                 result.propagations = self._propagations
                 self._cancel_until(0)
+                # One registry/tracer touch per solve — never inside the
+                # propagation or conflict loops.
+                registry = get_metrics()
+                registry.inc("repro_sat_conflicts_total", result.conflicts)
+                registry.inc("repro_sat_restarts_total", restart_index - 1)
+                _trace.add_counter("sat_conflicts", result.conflicts)
+                _trace.add_counter("sat_restarts", restart_index - 1)
                 return result
             # budget exhausted -> restart
             self._cancel_until(0)

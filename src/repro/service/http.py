@@ -59,6 +59,8 @@ from repro.campaigns.spec import CampaignSpec
 from repro.exceptions import ReproError
 from repro.fta.serializers import to_json_document
 from repro.fta.tree import FaultTree
+from repro.observability.log import log_event
+from repro.observability.metrics import enable_metrics
 from repro.service.jobs import CONTROL_PRIORITY, Job, JobError, JobQueue, JobStatus
 from repro.service.store import open_store
 from repro.service.workers import (
@@ -107,6 +109,10 @@ class AnalysisService:
         max_finished: int = 256,
     ) -> None:
         self.store_path = store_path
+        # The service path is observability-enabled by default: a real
+        # process-wide registry backs ``GET /metrics`` out of the box, while
+        # plain-library users keep the zero-cost no-op default.
+        self.metrics = enable_metrics()
         self.queue = JobQueue(max_finished=max_finished)
         self._store_view = open_store(store_path)
         self.pool = WorkerPool(
@@ -242,10 +248,25 @@ class AnalysisService:
             "uptime_s": time.time() - self.started_at,
             "workers": self.pool.num_workers,
             "jobs": self.queue.stats(),
+            # Merged across every runner: includes per-kind store_hits /
+            # store_misses for store-backed sessions, so hit *rates* are
+            # visible next to the store's entry counts.
+            "cache": self.pool.cache_stats(),
         }
         if self._store_view is not None:
             document["store"] = self._store_view.stats()
         return document
+
+    def metrics_text(self) -> str:
+        """The process-wide registry in Prometheus text exposition format."""
+        return self.metrics.render_prometheus()
+
+    def job_trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The span tree recorded for a terminal job, or ``None`` if absent."""
+        job = self.queue.get(job_id)
+        if not job.status.terminal:
+            return None
+        return job.trace
 
     @staticmethod
     def backends() -> Dict[str, List[str]]:
@@ -271,6 +292,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, *, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -301,6 +330,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             if path == "/health":
                 self._send_json(200, self.service.health())
+            elif path == "/metrics":
+                self._send_text(
+                    200,
+                    self.service.metrics_text(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
             elif path == "/backends":
                 self._send_json(200, {"backends": self.service.backends()})
             elif path == "/jobs":
@@ -309,6 +344,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
             elif path.startswith("/jobs/") and path.endswith("/result"):
                 self._get_result(path[len("/jobs/") : -len("/result")])
+            elif path.startswith("/jobs/") and path.endswith("/trace"):
+                self._get_trace(path[len("/jobs/") : -len("/trace")])
             elif path.startswith("/jobs/"):
                 job = self.service.queue.get(path[len("/jobs/") :])
                 self._send_json(200, {"job": job.to_dict()})
@@ -403,6 +440,16 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._error(409, f"job {job_id} is {job.status.value}; no result yet")
 
+    def _get_trace(self, job_id: str) -> None:
+        job = self.service.queue.get(job_id)
+        if not job.status.terminal:
+            self._error(409, f"job {job_id} is {job.status.value}; no trace yet")
+        elif job.trace is None:
+            # e.g. cancelled while still queued: no worker ever ran it.
+            self._error(409, f"job {job_id} recorded no trace")
+        else:
+            self._send_json(200, {"job": job_id, "trace": job.trace})
+
 
 def _handler_for(service: AnalysisService) -> Type[_ServiceRequestHandler]:
     return type(
@@ -463,7 +510,15 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             try:
                 detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except Exception:  # noqa: BLE001 - best-effort detail extraction
+            except Exception as parse_exc:  # noqa: BLE001 - best-effort detail extraction
+                log_event(
+                    "service.http",
+                    "error_detail_unparseable",
+                    method=method,
+                    path=path,
+                    status=exc.code,
+                    error=type(parse_exc).__name__,
+                )
                 detail = ""
             raise ServiceError(
                 f"{method} {path} failed with HTTP {exc.code}: {detail or exc.reason}"
@@ -525,6 +580,19 @@ class ServiceClient:
 
     def result(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}/result")["job"]
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The span tree of a terminal job (409 -> ServiceError until then)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")["trace"]
+
+    def metrics_text(self) -> str:
+        """Scrape ``GET /metrics`` and return the raw Prometheus text."""
+        request = urllib.request.Request(f"{self.base_url}/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from exc
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/jobs/{job_id}/cancel")["job"]

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.observability.metrics import get_metrics
 
 __all__ = [
     "CONTROL_PRIORITY",
@@ -97,6 +98,10 @@ class Job:
     #: Cooperative-cancellation flag shared with the executing worker; set by
     #: :meth:`JobQueue.cancel` while the job is running.
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Serialized span tree recorded by the worker that executed the job
+    #: (see :mod:`repro.observability.trace`); served by
+    #: ``GET /jobs/<id>/trace`` once the job is terminal.
+    trace: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     @property
     def cancel_requested(self) -> bool:
@@ -179,6 +184,9 @@ class JobQueue:
             self._jobs[job.id] = job
             self._next_seq += 1
             heapq.heappush(self._pending, (-priority, self._next_seq, job.id))
+            registry = get_metrics()
+            registry.inc("repro_jobs_submitted_total", kind=kind)
+            registry.set_gauge("repro_queue_depth", self._queued_count())
             self._not_empty.notify()
             return job
 
@@ -202,6 +210,13 @@ class JobQueue:
                         continue
                     job.status = JobStatus.RUNNING
                     job.started_at = time.time()
+                    registry = get_metrics()
+                    registry.observe(
+                        "repro_queue_claim_latency_seconds",
+                        max(0.0, job.started_at - job.submitted_at),
+                        kind=job.kind,
+                    )
+                    registry.set_gauge("repro_queue_depth", self._queued_count())
                     return job
                 if self._closed:
                     return None
@@ -238,6 +253,9 @@ class JobQueue:
             job.result = result
             job.error = error
             job.finished_at = time.time()
+            get_metrics().inc(
+                "repro_jobs_completed_total", kind=job.kind, status=status.value
+            )
             self._remember_finished(job.id)
             self._job_done.notify_all()
             return job
@@ -265,6 +283,11 @@ class JobQueue:
             if job.status is JobStatus.QUEUED:
                 job.status = JobStatus.CANCELLED
                 job.finished_at = time.time()
+                registry = get_metrics()
+                registry.inc(
+                    "repro_jobs_completed_total", kind=job.kind, status="cancelled"
+                )
+                registry.set_gauge("repro_queue_depth", self._queued_count())
                 self._remember_finished(job.id)
                 self._job_done.notify_all()
                 return job
@@ -309,6 +332,9 @@ class JobQueue:
             self._not_empty.notify_all()
 
     # -- internals (callers hold the lock) --------------------------------------------
+
+    def _queued_count(self) -> int:
+        return sum(1 for job in self._jobs.values() if job.status is JobStatus.QUEUED)
 
     def _require(self, job_id: str) -> Job:
         job = self._jobs.get(job_id)

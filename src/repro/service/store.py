@@ -47,6 +47,8 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.api.cache import ARTIFACT_CAMPAIGN_LEDGER, ArtifactStoreBackend
+from repro.observability.log import log_event
+from repro.observability.metrics import get_metrics
 
 __all__ = ["DiskArtifactStore", "FORMAT_VERSION", "MAGIC", "open_store"]
 
@@ -135,6 +137,8 @@ class DiskArtifactStore(ArtifactStoreBackend):
     def load(self, key_hash: str, kind: str) -> Tuple[bool, Any]:
         """Read and verify one entry; corrupt entries count as misses and are dropped."""
         self._counters["loads"] += 1
+        registry = get_metrics()
+        registry.inc("repro_store_reads_total", kind=kind)
         path = self.path_for(key_hash, kind)
         try:
             blob = path.read_bytes()
@@ -145,6 +149,14 @@ class DiskArtifactStore(ArtifactStoreBackend):
         if not ok:
             self._counters["corrupt_dropped"] += 1
             self._counters["load_misses"] += 1
+            registry.inc("repro_store_dropped_entries_total", reason="corrupt", kind=kind)
+            log_event(
+                "service.store",
+                "corrupt_entry_dropped",
+                kind=kind,
+                key=key_hash,
+                path=str(path),
+            )
             self._unlink_quietly(path)
             return False, None
         self._counters["load_hits"] += 1
@@ -164,10 +176,21 @@ class DiskArtifactStore(ArtifactStoreBackend):
 
     def store(self, key_hash: str, kind: str, value: Any) -> None:
         """Atomically persist one entry; never raises (best-effort tier)."""
+        registry = get_metrics()
         try:
             payload = pickle.dumps(value, protocol=self.protocol)
-        except Exception:  # noqa: BLE001 - unpicklable artifacts are skipped
+        except Exception as exc:  # noqa: BLE001 - unpicklable artifacts are skipped
             self._counters["skipped_unpicklable"] += 1
+            registry.inc(
+                "repro_store_dropped_entries_total", reason="unpicklable", kind=kind
+            )
+            log_event(
+                "service.store",
+                "unpicklable_entry_skipped",
+                kind=kind,
+                key=key_hash,
+                error=type(exc).__name__,
+            )
             return
         blob = self._encode(payload)
         path = self.path_for(key_hash, kind)
@@ -202,8 +225,19 @@ class DiskArtifactStore(ArtifactStoreBackend):
                 self._unlink_quietly(Path(temp_name))
                 raise
             self._counters["writes"] += 1
-        except OSError:
+            registry.inc("repro_store_writes_total", kind=kind)
+        except OSError as exc:
             self._counters["errors"] += 1
+            registry.inc(
+                "repro_store_dropped_entries_total", reason="io_error", kind=kind
+            )
+            log_event(
+                "service.store",
+                "write_failed",
+                kind=kind,
+                key=key_hash,
+                error=type(exc).__name__,
+            )
 
     # -- wire format ------------------------------------------------------------------
 
@@ -229,7 +263,7 @@ class DiskArtifactStore(ArtifactStoreBackend):
             return None, False
         try:
             return pickle.loads(payload), True
-        except Exception:  # noqa: BLE001 - stale classes, truncated pickles, ...
+        except Exception:  # obs-exempt: load() logs and counts corrupt_dropped
             return None, False
 
     # -- maintenance ------------------------------------------------------------------

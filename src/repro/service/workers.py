@@ -45,6 +45,8 @@ from repro.exceptions import ReproError
 from repro.fta.parsers.json_format import parse_json_document
 from repro.fta.serializers import to_json_document
 from repro.fta.tree import FaultTree
+from repro.observability.log import log_event
+from repro.observability.trace import Tracer, use_tracer
 from repro.reliability.assignment import ReliabilityAssignment
 from repro.scenarios.planner import HardeningAction, pareto_frontier, validate_actions
 from repro.scenarios.report import ScenarioReport
@@ -340,25 +342,34 @@ class JobRunner:
         polled at scenario/chunk boundaries by the sweep and campaign paths.
         :class:`JobCancelled` / :class:`JobTimeout` escape to the worker
         loop, which settles the job accordingly.
+
+        The whole run executes under a fresh per-job :class:`Tracer`; the
+        resulting span tree is attached to ``job.trace`` even when the job
+        fails, so ``GET /jobs/<id>/trace`` covers error postmortems too.
         """
         guard = _JobGuard(job)
         portfolio = getattr(self.session.solver, "portfolio", None)
         if portfolio is not None:
             portfolio.external_stop = guard
+        tracer = Tracer()
         try:
-            guard.check()
-            if job.kind == "analyze":
-                return self._run_analyze(job.payload)
-            if job.kind == "batch":
-                return self._run_batch(job.payload, guard)
-            if job.kind == "sweep":
-                return self._run_sweep(job.payload, guard)
-            if job.kind == "frontier":
-                return self._run_frontier(job.payload)
-            if job.kind == "campaign":
-                return self._run_campaign(job.payload, guard)
-            raise JobError(f"unknown job kind {job.kind!r}")
+            with use_tracer(tracer), tracer.span(
+                f"job:{job.kind}", job_id=job.id
+            ):
+                guard.check()
+                if job.kind == "analyze":
+                    return self._run_analyze(job.payload)
+                if job.kind == "batch":
+                    return self._run_batch(job.payload, guard)
+                if job.kind == "sweep":
+                    return self._run_sweep(job.payload, guard)
+                if job.kind == "frontier":
+                    return self._run_frontier(job.payload)
+                if job.kind == "campaign":
+                    return self._run_campaign(job.payload, guard)
+                raise JobError(f"unknown job kind {job.kind!r}")
         finally:
+            job.trace = tracer.to_dict()
             if portfolio is not None:
                 portfolio.external_stop = None
 
@@ -390,6 +401,13 @@ class JobRunner:
                 raise
             except Exception as exc:  # noqa: BLE001 - failures are data in a batch
                 name = document.get("name", f"#{index}") if isinstance(document, dict) else f"#{index}"
+                log_event(
+                    "service.workers",
+                    "batch_item_failed",
+                    index=index,
+                    tree=name,
+                    error=str(exc),
+                )
                 items.append({"index": index, "tree": name, "ok": False, "error": str(exc)})
         return {
             "kind": "batch",
@@ -499,6 +517,8 @@ class WorkerPool:
         }
         self._poll_interval = poll_interval
         self._threads: List[threading.Thread] = []
+        self._runners: List[JobRunner] = []
+        self._runners_lock = threading.Lock()
         self._stop = threading.Event()
 
     def start(self) -> "WorkerPool":
@@ -516,6 +536,8 @@ class WorkerPool:
 
     def _worker_loop(self) -> None:
         runner = JobRunner(**self._runner_config)
+        with self._runners_lock:
+            self._runners.append(runner)
         while not self._stop.is_set():
             job = self.queue.claim(timeout=self._poll_interval)
             if job is None:
@@ -523,25 +545,59 @@ class WorkerPool:
             try:
                 result = runner.execute(job)
             except JobCancelled:
+                log_event("service.workers", "job_cancelled", job=job.id, kind=job.kind)
                 self.queue.finish_cancelled(job.id)
             except JobTimeout as exc:
+                log_event(
+                    "service.workers",
+                    "job_timed_out",
+                    job=job.id,
+                    kind=job.kind,
+                    error=str(exc),
+                )
                 self.queue.fail(job.id, str(exc))
             except Exception as exc:  # noqa: BLE001 - job failures are results
                 # An engine interrupted by the guard surfaces as a generic
                 # solver error; attribute it to the cancellation/timeout that
                 # actually caused it.
                 if job.cancel_event.is_set():
+                    log_event(
+                        "service.workers", "job_cancelled", job=job.id, kind=job.kind
+                    )
                     self.queue.finish_cancelled(job.id)
                 elif (
                     job.timeout is not None
                     and job.started_at is not None
                     and time.time() > job.started_at + job.timeout
                 ):
+                    log_event(
+                        "service.workers", "job_timed_out", job=job.id, kind=job.kind
+                    )
                     self.queue.fail(job.id, f"timed out after {job.timeout:g}s")
                 else:
+                    log_event(
+                        "service.workers",
+                        "job_failed",
+                        job=job.id,
+                        kind=job.kind,
+                        error=str(exc),
+                    )
                     self.queue.fail(job.id, str(exc))
             else:
                 self.queue.finish(job.id, result)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Merged artifact-cache statistics across every runner in the pool.
+
+        Counters (including the per-kind ``store_hits``/``store_misses`` of
+        store-backed sessions) sum field-wise, so the ``/health`` document
+        shows fleet-wide cache effectiveness rather than one thread's view.
+        """
+        with self._runners_lock:
+            parts = [runner.session.artifacts.stats() for runner in self._runners]
+        from repro.campaigns.runner import _merge_cache_stats
+
+        return _merge_cache_stats(parts)
 
     def stop(self, *, timeout: float = 5.0) -> None:
         """Stop accepting work and join the worker threads."""

@@ -1,0 +1,95 @@
+"""The exception-hygiene lint: repo stays clean, detector logic is sound."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL = REPO_ROOT / "tools" / "check_exception_hygiene.py"
+
+spec = importlib.util.spec_from_file_location("check_exception_hygiene", TOOL)
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+def _violations(tmp_path, source):
+    path = tmp_path / "sample.py"
+    path.write_text(source, encoding="utf-8")
+    return lint.check_file(path)
+
+
+class TestRepositoryIsClean:
+    def test_service_and_campaign_layers_pass(self, capsys):
+        assert lint.main(["check", str(REPO_ROOT)]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestDetector:
+    def test_silent_broad_except_is_flagged(self, tmp_path):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        violations = _violations(tmp_path, source)
+        assert len(violations) == 1
+        assert violations[0][0] == 3
+
+    def test_bare_except_is_flagged(self, tmp_path):
+        source = "try:\n    work()\nexcept:\n    result = None\n"
+        assert len(_violations(tmp_path, source)) == 1
+
+    def test_narrow_except_is_fine(self, tmp_path):
+        source = "try:\n    work()\nexcept OSError:\n    pass\n"
+        assert _violations(tmp_path, source) == []
+
+    def test_reraise_is_fine(self, tmp_path):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception as exc:\n"
+            "    raise RuntimeError('wrapped') from exc\n"
+        )
+        assert _violations(tmp_path, source) == []
+
+    def test_log_event_is_fine(self, tmp_path):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception as exc:\n"
+            "    log_event('m', 'failed', error=str(exc))\n"
+            "    result = None\n"
+        )
+        assert _violations(tmp_path, source) == []
+
+    def test_metric_counter_is_fine(self, tmp_path):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    get_metrics().inc('drops_total', reason='broken')\n"
+        )
+        assert _violations(tmp_path, source) == []
+
+    def test_waiver_comment_is_fine(self, tmp_path):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # obs-exempt: caller logs and counts this\n"
+            "    pass\n"
+        )
+        assert _violations(tmp_path, source) == []
+
+    def test_tuple_catch_including_exception_is_flagged(self, tmp_path):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except (ValueError, Exception):\n"
+            "    pass\n"
+        )
+        assert len(_violations(tmp_path, source)) == 1
+
+    def test_missing_target_directory_errors(self, tmp_path, capsys):
+        assert lint.main(["check", str(tmp_path)]) == 2
+        assert "missing lint target" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Structured JSON-lines event log: sinks, ambient span ids, null default."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability.log import (
+    JsonLinesLogger,
+    MemoryLogger,
+    NullLogger,
+    get_logger,
+    log_event,
+    set_logger,
+)
+from repro.observability.trace import Tracer, use_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_logger():
+    previous = set_logger(None)
+    yield
+    set_logger(previous)
+
+
+class TestJsonLinesLogger:
+    def test_events_to_file_are_parseable_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = JsonLinesLogger(path)
+        logger.log("service.store", "corrupt_entry_dropped", kind="cut-sets", key="abc")
+        logger.log("service.workers", "job_failed", job="job-000001")
+        logger.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["module"] == "service.store"
+        assert first["event"] == "corrupt_entry_dropped"
+        assert first["kind"] == "cut-sets"
+        assert "ts" in first
+
+    def test_appending_across_logger_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for index in range(2):
+            logger = JsonLinesLogger(path)
+            logger.log("m", "e", index=index)
+            logger.close()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 2
+
+    def test_stream_target_is_not_closed(self):
+        stream = io.StringIO()
+        logger = JsonLinesLogger(stream)
+        logger.log("m", "e")
+        logger.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["event"] == "e"
+
+    def test_unserializable_attrs_degrade_to_str(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = JsonLinesLogger(path)
+        logger.log("m", "e", value={1, 2})  # sets are not JSON
+        logger.close()
+        assert json.loads(path.read_text(encoding="utf-8"))["event"] == "e"
+
+
+class TestAmbientSpanCorrelation:
+    def test_event_carries_the_open_span_id(self):
+        memory = MemoryLogger()
+        set_logger(memory)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("job"):
+                with tracer.span("store.load"):
+                    log_event("service.store", "corrupt_entry_dropped", kind="k")
+        (event,) = memory.matching("corrupt_entry_dropped")
+        assert event["span"] == "s2"
+
+    def test_no_span_field_outside_a_trace(self):
+        memory = MemoryLogger()
+        set_logger(memory)
+        log_event("m", "e")
+        assert "span" not in memory.events[0]
+
+
+class TestGlobalLogger:
+    def test_default_logger_is_null(self):
+        assert isinstance(get_logger(), NullLogger)
+        assert not get_logger().is_recording
+        log_event("m", "e")  # must be a silent no-op
+
+    def test_set_logger_none_restores_null(self):
+        memory = MemoryLogger()
+        set_logger(memory)
+        assert get_logger() is memory
+        set_logger(None)
+        assert isinstance(get_logger(), NullLogger)
+
+    def test_memory_logger_matching(self):
+        memory = MemoryLogger()
+        set_logger(memory)
+        log_event("m", "a", n=1)
+        log_event("m", "b")
+        log_event("m", "a", n=2)
+        assert [event["n"] for event in memory.matching("a")] == [1, 2]

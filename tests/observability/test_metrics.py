@@ -1,0 +1,168 @@
+"""Metrics registry: instruments, Prometheus rendering, snapshot merging."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    enable_metrics,
+    get_metrics,
+    scoped_metrics,
+    set_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_registry():
+    """Tests here must not leak a registry into (or inherit one from) others."""
+    previous = set_metrics(NullMetricsRegistry())
+    yield
+    set_metrics(previous)
+
+
+class TestInstruments:
+    def test_counters_with_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("hits_total", kind="cnf")
+        registry.inc("hits_total", 2, kind="cnf")
+        registry.inc("hits_total", kind="bdd")
+        assert registry.counter_value("hits_total", kind="cnf") == 3
+        assert registry.counter_value("hits_total", kind="bdd") == 1
+        assert registry.counter_value("hits_total") == 4  # sum over series
+        assert registry.counter_value("absent_total") == 0
+
+    def test_gauges(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 7)
+        registry.set_gauge("depth", 3)
+        assert registry.gauge_value("depth") == 3
+        assert registry.gauge_value("absent") is None
+
+    def test_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("latency_seconds", 0.003, kind="analyze")
+        registry.observe("latency_seconds", 90.0, kind="analyze")
+        assert registry.histogram_count("latency_seconds", kind="analyze") == 2
+        assert registry.histogram_count("latency_seconds") == 2
+
+    def test_thread_safety_of_counters(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.inc("races_total")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("races_total") == 8000
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_cache_hits_total", 5, kind="cut-sets")
+        registry.set_gauge("repro_queue_depth", 2)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert 'repro_cache_hits_total{kind="cut-sets"} 5' in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.0004)  # below every bound
+        registry.observe("lat", 0.02)
+        registry.observe("lat", 1e9)  # beyond the last bound
+        text = registry.render_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="0.0005"} 1' in text
+        assert 'lat_bucket{le="60"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+        assert "lat_sum" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("odd_total", kind='we"ird\nname')
+        text = registry.render_prometheus()
+        assert 'kind="we\\"ird\\nname"' in text
+
+    def test_empty_registry_renders_empty_document(self):
+        assert MetricsRegistry().render_prometheus() == "\n"
+
+
+class TestSnapshotMerge:
+    def test_merge_sums_counters_and_histograms_keeps_parent_gauges(self):
+        parent = MetricsRegistry()
+        parent.inc("c_total", 1, kind="x")
+        parent.set_gauge("depth", 5)
+        parent.observe("lat", 0.01)
+
+        child = MetricsRegistry()
+        child.inc("c_total", 2, kind="x")
+        child.inc("c_total", 4, kind="y")
+        child.set_gauge("depth", 99)
+        child.observe("lat", 0.02)
+
+        parent.merge_snapshot(child.snapshot())
+        assert parent.counter_value("c_total", kind="x") == 3
+        assert parent.counter_value("c_total", kind="y") == 4
+        assert parent.gauge_value("depth") == 5
+        assert parent.histogram_count("lat") == 2
+
+    def test_snapshot_survives_pickling(self):
+        """Snapshots cross the spawn process boundary with chunk results."""
+        child = MetricsRegistry()
+        child.inc("c_total", 2, kind="x")
+        child.observe("lat", 0.25, kind="x")
+        snapshot = pickle.loads(pickle.dumps(child.snapshot()))
+        parent = MetricsRegistry()
+        parent.merge_snapshot(snapshot)
+        assert parent.counter_value("c_total", kind="x") == 2
+        assert parent.histogram_count("lat", kind="x") == 1
+
+    def test_merge_of_empty_snapshot_is_a_noop(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(None)
+        parent.merge_snapshot({})
+        assert parent.render_prometheus() == "\n"
+
+
+class TestGlobalRegistry:
+    def test_default_is_null_and_free_of_side_effects(self):
+        registry = get_metrics()
+        assert not registry.is_recording
+        registry.inc("ignored_total")
+        registry.observe("ignored", 1.0)
+        registry.set_gauge("ignored", 1.0)
+        assert registry.counter_value("ignored_total") == 0
+        assert registry.render_prometheus() == ""
+        assert registry.snapshot() == {}
+
+    def test_enable_metrics_is_idempotent(self):
+        first = enable_metrics()
+        first.inc("keep_total")
+        second = enable_metrics()
+        assert second is first
+        assert second.counter_value("keep_total") == 1
+
+    def test_scoped_metrics_isolates_and_restores(self):
+        outer = enable_metrics()
+        outer.inc("outer_total")
+        with scoped_metrics() as inner:
+            assert get_metrics() is inner
+            get_metrics().inc("inner_total")
+        assert get_metrics() is outer
+        assert outer.counter_value("inner_total") == 0
+        assert inner.counter_value("inner_total") == 1
+        assert inner.counter_value("outer_total") == 0
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

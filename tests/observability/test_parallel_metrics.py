@@ -1,0 +1,99 @@
+"""Cross-process metrics merging and campaign/sweep trace integration."""
+
+import pytest
+
+from repro.campaigns import CampaignRunner, CampaignSpec, sweep_stage
+from repro.fta.serializers import to_json_document
+from repro.observability.metrics import MetricsRegistry, set_metrics
+from repro.observability.trace import Tracer, use_tracer
+from repro.scenarios import SweepExecutor, probability_sweep
+from repro.scenarios.serialization import scenario_to_dict
+from repro.service.store import DiskArtifactStore
+from repro.service.workers import run_parallel_sweep
+from repro.workloads.library import fire_protection_system
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+def _scenarios(values=(0.001, 0.01, 0.05, 0.1)):
+    return probability_sweep("x1", list(values))
+
+
+class TestParallelSweepMerging:
+    def test_child_process_metrics_merge_into_the_parent(self, tmp_path, registry):
+        report = run_parallel_sweep(
+            fire_protection_system(),
+            _scenarios(),
+            workers=2,
+            store_path=str(tmp_path),
+        )
+        assert len(report) == 4
+        # The analyses ran in spawn children; their counters must have been
+        # shipped back as snapshots and folded into this process's registry.
+        assert registry.counter_value("repro_analyses_total") > 0
+        assert registry.counter_value(
+            "repro_campaign_chunks_total", result="executed"
+        ) > 0
+
+    def test_profiles_merge_across_workers(self, tmp_path, registry):
+        parallel = run_parallel_sweep(
+            fire_protection_system(), _scenarios(), workers=2, store_path=str(tmp_path)
+        )
+        sequential = SweepExecutor().run(fire_protection_system(), _scenarios())
+        # Telemetry must not perturb results: canonical dicts stay identical.
+        assert parallel.to_canonical_dict() == sequential.to_canonical_dict()
+
+    def test_in_process_sweep_counts_directly(self, registry):
+        SweepExecutor().run(fire_protection_system(), _scenarios((0.01, 0.1)))
+        assert registry.counter_value("repro_analyses_total") > 0
+
+
+class TestCampaignMetricsAndTrace:
+    def _spec(self, chunk_size=2):
+        scenarios = [scenario_to_dict(s) for s in _scenarios()]
+        return CampaignSpec(
+            name="obs-campaign",
+            tree=to_json_document(fire_protection_system()),
+            stages=(sweep_stage("sweep", scenarios, chunk_size=chunk_size),),
+        )
+
+    def test_resume_serves_ledger_hits_and_counts_them(self, tmp_path, registry):
+        store = DiskArtifactStore(tmp_path)
+        spec = self._spec()
+        first = CampaignRunner(store=store).run(spec)
+        assert first.status == "done"
+        executed = registry.counter_value(
+            "repro_campaign_chunks_total", result="executed"
+        )
+        assert executed == 2  # 4 scenarios / chunk_size 2
+
+        second = CampaignRunner(store=store).run(spec)
+        assert second.status == "done"
+        assert registry.counter_value(
+            "repro_campaign_chunks_total", result="ledger_hit"
+        ) == 2
+        # nothing re-executed on resume
+        assert registry.counter_value(
+            "repro_campaign_chunks_total", result="executed"
+        ) == executed
+        # the resumed result equals the original
+        assert second.result_document() == first.result_document()
+
+    def test_campaign_records_a_nested_span_tree(self, tmp_path, registry):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            outcome = CampaignRunner(store=DiskArtifactStore(tmp_path)).run(self._spec())
+        assert outcome.status == "done"
+        trace = tracer.to_dict()
+        assert trace["name"] == "campaign"
+        assert trace["attrs"]["spec"] == "obs-campaign"
+        stage = trace["children"][0]
+        assert stage["name"] == "stage:sweep"
+        chunk_names = [child["name"] for child in stage.get("children", [])]
+        assert chunk_names.count("chunk") == 2

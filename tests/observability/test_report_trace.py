@@ -1,0 +1,86 @@
+"""AnalysisReport.trace: wire format, canonical stripping, profile projection."""
+
+import json
+
+import pytest
+
+from repro.api.report import AnalysisReport
+from repro.api.session import AnalysisSession
+from repro.observability.trace import Tracer, profile_view, use_tracer
+from repro.workloads.library import fire_protection_system
+
+
+def _traced_report(analyses=("mpmcs", "top_event"), **kwargs):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = AnalysisSession().analyze(
+            fire_protection_system(), list(analyses), **kwargs
+        )
+    return report, tracer
+
+
+class TestReportTrace:
+    def test_untraced_run_has_no_trace_and_no_trace_key(self):
+        report = AnalysisSession().analyze(fire_protection_system(), ["mpmcs"])
+        assert report.trace is None
+        assert "trace" not in report.to_dict()
+
+    def test_traced_run_attaches_the_analyze_span_tree(self):
+        report, _ = _traced_report()
+        trace = report.trace
+        assert trace is not None
+        assert trace["name"] == "analyze"
+        assert trace["attrs"]["tree"] == "fire-protection-system"
+        child_names = {child["name"] for child in trace.get("children", [])}
+        assert any(name.startswith("backend:") for name in child_names)
+
+    def test_trace_round_trips_through_the_wire_format(self):
+        report, _ = _traced_report()
+        document = report.to_dict()
+        assert document["trace"] == report.trace
+        restored = AnalysisReport.from_dict(document)
+        assert restored.trace == report.trace
+
+    def test_results_identical_with_and_without_tracing(self):
+        baseline = AnalysisSession().analyze(
+            fire_protection_system(), ["mpmcs", "top_event"]
+        )
+        traced, _ = _traced_report()
+        assert traced.mpmcs.events == baseline.mpmcs.events
+        assert traced.top_event.exact == baseline.top_event.exact
+
+
+class TestCanonicalStripping:
+    def test_canonical_dict_strips_all_telemetry(self):
+        report, _ = _traced_report()
+        canonical = report.to_canonical_dict()
+        for volatile in ("trace", "profile", "timings_s", "cache"):
+            assert volatile not in canonical
+        assert "s1" not in json.dumps(canonical), "no span ids may leak"
+
+    def test_canonical_dicts_byte_identical_traced_vs_untraced(self):
+        untraced = AnalysisSession().analyze(
+            fire_protection_system(), ["mpmcs", "top_event"]
+        )
+        traced, _ = _traced_report()
+        assert json.dumps(traced.to_canonical_dict(), sort_keys=True) == json.dumps(
+            untraced.to_canonical_dict(), sort_keys=True
+        )
+
+
+class TestProfileProjection:
+    def test_profile_view_recovers_the_report_profile(self):
+        report, _ = _traced_report()
+        view = profile_view(report.trace)
+        numeric_profile = {
+            key: value
+            for key, value in report.profile.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        for key, value in numeric_profile.items():
+            assert view.get(key) == pytest.approx(value)
+
+    def test_profile_itself_is_unchanged_by_tracing(self):
+        baseline = AnalysisSession().analyze(fire_protection_system(), ["mpmcs"])
+        traced, _ = _traced_report(analyses=("mpmcs",))
+        assert set(baseline.profile) == set(traced.profile)

@@ -1,0 +1,87 @@
+"""Regression: the store's swallowed exceptions now leave a metrics/log trail."""
+
+import pytest
+
+from repro.observability.log import MemoryLogger, set_logger
+from repro.observability.metrics import MetricsRegistry, NullMetricsRegistry, set_metrics
+from repro.service.store import DiskArtifactStore
+
+KEY = "a" * 64
+
+
+@pytest.fixture()
+def telemetry():
+    """A fresh registry + memory logger installed for one test."""
+    registry = MetricsRegistry()
+    memory = MemoryLogger()
+    previous_registry = set_metrics(registry)
+    previous_logger = set_logger(memory)
+    yield registry, memory
+    set_metrics(previous_registry)
+    set_logger(previous_logger)
+
+
+class TestCorruptEntry:
+    def test_corrupt_entry_increments_counter_and_emits_one_event(self, tmp_path, telemetry):
+        registry, memory = telemetry
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", list(range(50)))
+        path = store.path_for(KEY, "cut-sets")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn write
+
+        found, _ = store.load(KEY, "cut-sets")
+        assert not found
+        # behaviour unchanged: dropped and reads as a miss ...
+        assert not path.exists()
+        assert store.stats()["corrupt_dropped"] == 1
+        # ... and now observable:
+        assert registry.counter_value(
+            "repro_store_dropped_entries_total", reason="corrupt", kind="cut-sets"
+        ) == 1
+        events = memory.matching("corrupt_entry_dropped")
+        assert len(events) == 1
+        assert events[0]["module"] == "service.store"
+        assert events[0]["kind"] == "cut-sets"
+
+    def test_clean_load_emits_no_drop_event(self, tmp_path, telemetry):
+        registry, memory = telemetry
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", {"v": 1})
+        assert store.load(KEY, "cut-sets") == (True, {"v": 1})
+        assert memory.matching("corrupt_entry_dropped") == []
+        assert registry.counter_value("repro_store_dropped_entries_total") == 0
+
+
+class TestUnpicklableEntry:
+    def test_unpicklable_value_counted_and_logged(self, tmp_path, telemetry):
+        registry, memory = telemetry
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "kind", lambda: None)  # lambdas don't pickle
+        assert store.stats()["skipped_unpicklable"] == 1
+        assert registry.counter_value(
+            "repro_store_dropped_entries_total", reason="unpicklable", kind="kind"
+        ) == 1
+        (event,) = memory.matching("unpicklable_entry_skipped")
+        assert event["kind"] == "kind"
+        assert event["error"]
+
+
+class TestReadWriteCounters:
+    def test_reads_and_writes_are_counted_per_kind(self, tmp_path, telemetry):
+        registry, _ = telemetry
+        store = DiskArtifactStore(tmp_path)
+        store.store(KEY, "cut-sets", 1)
+        store.load(KEY, "cut-sets")
+        store.load("b" * 64, "cut-sets")  # miss still counts as a read
+        assert registry.counter_value("repro_store_writes_total", kind="cut-sets") == 1
+        assert registry.counter_value("repro_store_reads_total", kind="cut-sets") == 2
+
+    def test_null_registry_keeps_store_behaviour_identical(self, tmp_path):
+        previous = set_metrics(NullMetricsRegistry())
+        try:
+            store = DiskArtifactStore(tmp_path)
+            store.store(KEY, "cut-sets", {"v": 2})
+            assert store.load(KEY, "cut-sets") == (True, {"v": 2})
+        finally:
+            set_metrics(previous)

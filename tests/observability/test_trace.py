@@ -1,0 +1,188 @@
+"""Tracer/span semantics: nesting, round-trip, null behaviour, projections."""
+
+import pytest
+
+from repro.observability.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    add_counter,
+    current_tracer,
+    format_span_tree,
+    profile_view,
+    span,
+    use_tracer,
+)
+
+
+class TestNesting:
+    def test_spans_nest_under_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                with tracer.span("leaf"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["inner-a", "inner-b"]
+        assert outer.children[1].children[0].name == "leaf"
+
+    def test_span_ids_are_deterministic(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        document = tracer.to_dict()
+        assert document["span_id"] == "s1"
+        assert document["children"][0]["span_id"] == "s2"
+
+    def test_durations_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        assert tracer.roots[0].duration_s >= 0.0
+
+    def test_exception_marks_error_status_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        root = tracer.roots[0]
+        assert root.status == "error"
+        assert root.error_type == "ValueError"
+
+    def test_counters_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="demo") as s:
+            s.add("items", 3)
+            s.add("items", 2)
+            s.merge_counters({"solve_seconds": 0.5, "backend": "maxsat", "ok": True})
+            s.set_attr("extra", "x")
+        root = tracer.roots[0]
+        assert root.counters["items"] == 5
+        assert root.counters["solve_seconds"] == 0.5
+        # non-numeric and bool values are not counters
+        assert "backend" not in root.counters and "ok" not in root.counters
+        assert root.attrs == {"kind": "demo", "extra": "x"}
+
+    def test_tracer_add_hits_the_current_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.add("hits")
+        assert tracer.roots[0].children[0].counters == {"hits": 1}
+        tracer.add("ignored")  # no open span: silently dropped
+
+
+class TestSerialization:
+    def _sample(self):
+        tracer = Tracer()
+        with tracer.span("job", job_id="j1") as s:
+            s.add("n", 2)
+            with tracer.span("child"):
+                pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("fails"):
+                raise RuntimeError("x")
+        return tracer.to_dict()
+
+    def test_round_trip(self):
+        document = self._sample()
+        assert Span.from_dict(document).to_dict() == document
+
+    def test_multiple_roots_get_a_synthetic_root(self):
+        document = self._sample()
+        assert document["name"] == "trace"
+        assert document["span_id"] == "s0"
+        assert [c["name"] for c in document["children"]] == ["job", "fails"]
+
+    def test_empty_sections_are_omitted(self):
+        tracer = Tracer()
+        with tracer.span("bare"):
+            pass
+        document = tracer.to_dict()
+        assert "attrs" not in document
+        assert "counters" not in document
+        assert "children" not in document
+        assert "error_type" not in document
+
+    def test_empty_tracer_serializes_to_none(self):
+        assert Tracer().to_dict() is None
+
+
+class TestSpanCap:
+    def test_spans_beyond_the_cap_are_dropped_and_counted(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d") as dropped:
+                assert not dropped.is_recording
+        assert tracer.dropped_spans == 2
+        assert len(tracer.roots) == 1
+
+
+class TestAmbientTracer:
+    def test_default_is_the_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        with span("anywhere") as s:
+            assert s is NULL_SPAN
+            assert not s.is_recording
+            assert s.to_dict() is None
+        add_counter("nothing")  # must not raise
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with span("ambient", via="module") as s:
+                assert s.is_recording
+                add_counter("ticks", 2)
+        assert current_tracer() is NULL_TRACER
+        root = tracer.roots[0]
+        assert root.name == "ambient"
+        assert root.attrs == {"via": "module"}
+        assert root.counters == {"ticks": 2}
+
+    def test_new_threads_default_to_the_null_tracer(self):
+        import threading
+
+        seen = []
+        tracer = Tracer()
+        with use_tracer(tracer):
+            thread = threading.Thread(target=lambda: seen.append(current_tracer()))
+            thread.start()
+            thread.join()
+        assert seen == [NULL_TRACER]
+
+
+class TestProjections:
+    def test_profile_view_sums_outermost_analyze_spans(self):
+        tracer = Tracer()
+        with tracer.span("job"):
+            for _ in range(2):
+                with tracer.span("analyze") as s:
+                    s.add("solve_seconds", 0.25)
+                    # a nested analyze must not double count
+                    with tracer.span("analyze") as inner:
+                        inner.add("solve_seconds", 99.0)
+        view = profile_view(tracer.to_dict())
+        assert view == {"solve_seconds": 0.5}
+        assert profile_view(None) == {}
+
+    def test_format_span_tree_outline(self):
+        tracer = Tracer()
+        with tracer.span("job"):
+            with tracer.span("analyze") as s:
+                s.add("sat_calls", 4)
+        text = format_span_tree(tracer.to_dict())
+        lines = text.splitlines()
+        assert lines[0].startswith("job")
+        assert lines[1].startswith("  analyze")
+        assert "sat_calls=4" in lines[1]
+        assert "ms" in lines[0]
+        assert format_span_tree(None) == "(no trace recorded)"

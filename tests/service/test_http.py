@@ -103,6 +103,78 @@ class TestEndpoints:
         assert jobs and all("id" in job and "status" in job for job in jobs)
 
 
+class TestObservabilityEndpoints:
+    def test_health_exposes_per_kind_cache_stats(self, live_service):
+        live_service.wait(
+            live_service.submit_analyze(fire_protection_system())["id"], timeout=60.0
+        )
+        health = live_service.health()
+        cache = health["cache"]
+        assert {"entries", "hits", "misses", "store_hits", "store_misses"} <= set(cache)
+        assert "by_kind" in cache
+
+    def test_metrics_endpoint_serves_prometheus_text(self, live_service):
+        live_service.wait(
+            live_service.submit_analyze(fire_protection_system())["id"], timeout=60.0
+        )
+        text = live_service.metrics_text()
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+        assert 'repro_jobs_completed_total{kind="analyze",status="done"}' in text
+        assert "repro_queue_claim_latency_seconds_bucket" in text
+        assert "repro_queue_depth" in text
+        assert "repro_cache_misses_total" in text
+        assert "repro_analyses_total" in text
+
+    def test_completed_sweep_job_serves_a_nested_span_tree(self, live_service):
+        scenarios = [
+            scenario_to_dict(scenario)
+            for scenario in probability_sweep("x1", [0.001, 0.01])
+        ]
+        job = live_service.submit_sweep(fire_protection_system(), scenarios)
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "done"
+        trace = live_service.trace(job["id"])
+        assert trace["name"] == "job:sweep"
+        assert trace["attrs"]["job_id"] == job["id"]
+        assert trace["status"] == "ok"
+        names = set()
+
+        def visit(node):
+            names.add(node["name"])
+            for child in node.get("children", []):
+                visit(child)
+
+        visit(trace)
+        # The sweep runs as a one-stage campaign over per-scenario analyses.
+        assert "campaign" in names
+        assert any(name.startswith("stage:") for name in names)
+        assert "analyze" in names
+
+    def test_failed_job_still_serves_its_trace(self, live_service):
+        job = live_service.submit_analyze({"name": "broken"})  # no top/events
+        done = live_service.wait(job["id"], timeout=60.0)
+        assert done["status"] == "failed"
+        trace = live_service.trace(job["id"])
+        assert trace["status"] == "error"
+        assert trace["error_type"]
+
+    def test_trace_conflicts_until_terminal(self, tmp_path):
+        service = AnalysisService(store_path=None, workers=1)
+        server = serve(service, port=0, background=True, start_workers=False)
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.server_port}")
+            job = client.submit_analyze(fire_protection_system())
+            with pytest.raises(ServiceError, match="409"):
+                client.trace(job["id"])
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_trace_unknown_job_404(self, live_service):
+        with pytest.raises(ServiceError, match="404"):
+            live_service.trace("job-999999")
+
+
 class TestErrors:
     def test_malformed_tree_job_fails_cleanly(self, live_service):
         job = live_service.submit_analyze({"name": "broken"})  # no top/events

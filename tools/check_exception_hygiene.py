@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Lint: no silent ``except Exception`` in the service/campaign layers.
+
+Walks ``src/repro/service/`` and ``src/repro/campaigns/`` and fails (exit 1)
+on any ``except Exception``/``except BaseException``/bare ``except:`` handler
+that swallows the error without leaving a trail.  A handler passes when it
+
+* re-raises (any ``raise`` statement in its body), or
+* emits a structured log event (``log_event(...)``), or
+* bumps a metric (``.inc`` / ``.observe`` / ``.set_gauge`` on a registry), or
+* carries an explicit waiver comment on its ``except`` line::
+
+      except Exception:  # obs-exempt: <why the caller logs/counts instead>
+
+Run from the repository root::
+
+    python tools/check_exception_hygiene.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+LINTED_DIRS = ("src/repro/service", "src/repro/campaigns")
+WAIVER_MARKER = "obs-exempt"
+#: Call names (plain or attribute) that count as leaving a trail.
+EVIDENCE_CALLS = {"log_event", "inc", "observe", "set_gauge"}
+
+
+def _is_broad_catch(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception`` and ``except BaseException``."""
+    if handler.type is None:
+        return True
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [n for n in handler.type.elts]
+    else:
+        names = [handler.type]
+    for node in names:
+        if isinstance(node, ast.Name) and node.id in ("Exception", "BaseException"):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _has_evidence(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in EVIDENCE_CALLS:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in EVIDENCE_CALLS:
+                return True
+    return False
+
+
+def _is_waived(handler: ast.ExceptHandler, lines: List[str]) -> bool:
+    line = lines[handler.lineno - 1] if handler.lineno - 1 < len(lines) else ""
+    return WAIVER_MARKER in line
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    """The (line, message) violations of one Python file."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    violations: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad_catch(node):
+            continue
+        if _is_waived(node, lines) or _has_evidence(node):
+            continue
+        violations.append(
+            (
+                node.lineno,
+                "broad except swallows the error without raise/log_event/"
+                f"metric counter (add one, or '# {WAIVER_MARKER}: <reason>')",
+            )
+        )
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    failures = 0
+    for directory in LINTED_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            print(f"error: missing lint target {base}", file=sys.stderr)
+            return 2
+        for path in sorted(base.rglob("*.py")):
+            for lineno, message in check_file(path):
+                print(f"{path.relative_to(root)}:{lineno}: {message}")
+                failures += 1
+    if failures:
+        print(f"\n{failures} silent broad except handler(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
