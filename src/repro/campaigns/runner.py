@@ -292,6 +292,15 @@ class CampaignRunner:
         Optional zero-argument callable invoked at every chunk boundary;
         raise from it to abort the campaign cooperatively (the service wires
         the job's cancellation/timeout guard here).
+    on_outcome:
+        Optional per-scenario progress hook, ``on_outcome(outcome)`` with a
+        :class:`~repro.scenarios.report.ScenarioOutcome`.  Inline chunks call
+        it live as each scenario lands; process-executed and ledger-replayed
+        chunks call it once per contained outcome when the whole chunk
+        arrives.  Delivery is **at least once** (a chunk retried after a
+        partial failure replays its outcomes) and ordered only within a
+        chunk — consumers key on ``outcome.scenario`` for exact-once views.
+        The service streams these to ``GET /sweeps/<id>/stream``.
     """
 
     def __init__(
@@ -304,6 +313,7 @@ class CampaignRunner:
         sleep: Callable[[float], None] = time.sleep,
         before_chunk: Optional[Callable[[str, int, int], None]] = None,
         stop_check: Optional[Callable[[], None]] = None,
+        on_outcome: Optional[Callable[[Any], None]] = None,
     ) -> None:
         if store is None and store_path is not None:
             store = _open_store(store_path)
@@ -316,6 +326,7 @@ class CampaignRunner:
         self._sleep = sleep
         self._before_chunk = before_chunk
         self._stop_check = stop_check
+        self._on_outcome = on_outcome
 
     # -- session ----------------------------------------------------------------------
 
@@ -329,6 +340,13 @@ class CampaignRunner:
     def _check_stop(self) -> None:
         if self._stop_check is not None:
             self._stop_check()
+
+    def _replay_outcomes(self, report: Any) -> None:
+        """Feed a whole chunk's outcomes to the progress hook (see __init__)."""
+        if self._on_outcome is None:
+            return
+        for outcome in getattr(report, "outcomes", ()):
+            self._on_outcome(outcome)
 
     # -- public API -------------------------------------------------------------------
 
@@ -557,6 +575,7 @@ class CampaignRunner:
                     results[index] = record["result"]
                     stats.ledger_hits += 1
                     get_metrics().inc("repro_campaign_chunks_total", result="ledger_hit")
+                    self._replay_outcomes(record["result"])
                     continue
             todo.append(index)
 
@@ -653,6 +672,7 @@ class CampaignRunner:
             samples=spec.samples,
             seed=spec.seed,
             stop_check=self._stop_check,
+            on_outcome=self._on_outcome,
         )
 
     def _run_chunk_with_retries(
@@ -779,6 +799,7 @@ class CampaignRunner:
                         get_metrics().merge_snapshot(metrics_snapshot)
                         get_metrics().inc("repro_campaign_chunks_total", result="executed")
                         results[index] = report
+                        self._replay_outcomes(report)
                         stats.executed += 1
                         if chunks[index].hash:
                             ledger.store_chunk(

@@ -52,6 +52,14 @@ from repro.fta.parsers.openpsa import parse_openpsa_file, to_openpsa
 from repro.fta.serializers import to_galileo, to_json
 from repro.fta.tree import FaultTree
 from repro.logic.dimacs import parse_wcnf
+from repro.monitoring import (
+    FeedStaleness,
+    MpmcsChanged,
+    PTopJump,
+    PTopThreshold,
+    TreeMonitor,
+    feed_from_spec,
+)
 from repro.maxsat.binary_search import BinarySearchEngine
 from repro.maxsat.bruteforce import BruteForceEngine
 from repro.maxsat.fumalik import FuMalikEngine
@@ -63,6 +71,12 @@ from repro.observability.log import JsonLinesLogger, set_logger
 from repro.reporting.ascii_art import render_tree
 from repro.reporting.dot import to_dot
 from repro.reporting.json_report import analysis_report
+from repro.reporting.live import (
+    render_alert,
+    render_delta,
+    render_monitor_status,
+    render_scenario_progress,
+)
 from repro.reporting.tables import frontier_table, markdown_table, weights_table
 from repro.reporting.unified import render_profile, render_scenario_report, write_report
 from repro.campaigns import CampaignRunner, campaign_state
@@ -440,6 +454,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs.add_argument("--cancel", action="store_true", help="cancel a queued job")
     jobs.add_argument("-o", "--output", type=Path, help="write fetched result JSON to this path")
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="monitor a tree against a live probability feed with incremental "
+        "re-analysis and alerting (local, or on a running service with --url)",
+    )
+    _add_tree_source_arguments(monitor)
+    monitor.add_argument(
+        "--url", default=None,
+        help="start the monitor on a running service at this base URL and "
+        "follow its SSE stream, instead of monitoring in-process",
+    )
+    feed_group = monitor.add_argument_group("feed source (default: synthetic walk)")
+    feed_group.add_argument(
+        "--feed-file", type=Path, default=None, metavar="PATH",
+        help="tail this JSON-lines file of update documents",
+    )
+    feed_group.add_argument(
+        "--feed-url", default=None, metavar="URL",
+        help="poll this HTTP endpoint for update documents",
+    )
+    feed_group.add_argument(
+        "--updates", type=int, default=100,
+        help="synthetic walk length in updates (default: 100)",
+    )
+    feed_group.add_argument("--seed", type=int, default=0, help="synthetic walk PRNG seed")
+    feed_group.add_argument(
+        "--events-per-update", type=int, default=1,
+        help="basic events perturbed per synthetic update (default: 1)",
+    )
+    feed_group.add_argument(
+        "--volatility", type=float, default=0.35,
+        help="log-space step size of the synthetic walk (default: 0.35)",
+    )
+    feed_group.add_argument(
+        "--interval", type=float, default=0.0, metavar="SECONDS",
+        help="pause between synthetic updates / feed polls (default: 0)",
+    )
+    feed_group.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="stop a file feed after this long without a new line (default: tail forever)",
+    )
+    alert_group = monitor.add_argument_group("alert rules")
+    alert_group.add_argument(
+        "--alert-ptop", type=float, default=None, metavar="THRESHOLD",
+        help="alert when P(top) rises above this threshold",
+    )
+    alert_group.add_argument(
+        "--alert-ptop-below", type=float, default=None, metavar="THRESHOLD",
+        help="alert when P(top) falls below this threshold",
+    )
+    alert_group.add_argument(
+        "--alert-hysteresis", type=float, default=0.0, metavar="WIDTH",
+        help="hysteresis band applied to the P(top) threshold rules (default: 0)",
+    )
+    alert_group.add_argument(
+        "--alert-jump", type=float, default=None, metavar="FACTOR",
+        help="alert when P(top) moves by more than this relative factor in one update",
+    )
+    alert_group.add_argument(
+        "--alert-stale", type=float, default=None, metavar="SECONDS",
+        help="alert when the feed goes silent for this long",
+    )
+    alert_group.add_argument(
+        "--no-alert-mpmcs", action="store_true",
+        help="disable the default alert on MPMCS identity changes",
+    )
+    monitor.add_argument(
+        "--max-updates", type=int, default=None,
+        help="stop after applying this many updates (default: drain the feed)",
+    )
+    monitor.add_argument("--top-k", type=int, default=5, help="cut sets per update report")
+    monitor.add_argument(
+        "--store", type=Path, default=None,
+        help="artifact-store directory backing the cache and the alert ledger (local mode)",
+    )
+    monitor.add_argument(
+        "--alerts-only", action="store_true",
+        help="print only alerts, not every delta line",
+    )
+    monitor.add_argument(
+        "--log-json", type=Path, default=None, metavar="PATH",
+        help="append structured JSON-lines events to this file (local mode)",
+    )
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="attach to a running service's monitor (or a sweep job's) SSE "
+        "stream and render events live",
+    )
+    watch.add_argument(
+        "job_id", nargs="?", default=None,
+        help="sweep job id: follow /sweeps/<id>/stream instead of /monitor/stream",
+    )
+    watch.add_argument("--url", default="http://127.0.0.1:8765", help="service base URL")
+    watch.add_argument(
+        "--last-event-id", type=int, default=0,
+        help="resume the stream after this event id (default: 0 = from the start)",
+    )
+    watch.add_argument(
+        "--alerts-only", action="store_true",
+        help="print only alerts, not every delta line",
+    )
+    watch.add_argument(
+        "--max-events", type=int, default=None,
+        help="detach after rendering this many events (default: until the stream ends)",
+    )
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -1105,7 +1226,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"repro service listening on http://{args.host}:{server.server_port}"
         f" with {args.workers} worker(s){store_note}"
     )
-    print("endpoints: /health /metrics /backends /analyze /batch /sweep /frontier /campaigns /jobs  — Ctrl-C to stop")
+    print("endpoints: /health /metrics /backends /analyze /batch /sweep /frontier /campaigns /jobs /monitor  — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1235,6 +1356,178 @@ def _command_jobs(args: argparse.Namespace) -> int:
         return 0
     job = client.job(args.job_id)
     print(json.dumps(job, indent=2))
+    return 0
+
+
+def _monitor_rules(args: argparse.Namespace) -> list:
+    """Alert rules from the ``repro monitor`` flags (default: MPMCS changes)."""
+    rules: list = []
+    if args.alert_ptop is not None:
+        rules.append(PTopThreshold(
+            args.alert_ptop, direction="above", hysteresis=args.alert_hysteresis
+        ))
+    if args.alert_ptop_below is not None:
+        rules.append(PTopThreshold(
+            args.alert_ptop_below, direction="below", hysteresis=args.alert_hysteresis
+        ))
+    if not args.no_alert_mpmcs:
+        rules.append(MpmcsChanged())
+    if args.alert_jump is not None:
+        rules.append(PTopJump(args.alert_jump))
+    if args.alert_stale is not None:
+        rules.append(FeedStaleness(args.alert_stale))
+    return rules
+
+
+def _monitor_feed_spec(args: argparse.Namespace) -> Dict[str, Any]:
+    """Wire-form feed spec from the ``repro monitor`` flags."""
+    if args.feed_file is not None and args.feed_url is not None:
+        raise ReproError("--feed-file and --feed-url are mutually exclusive")
+    if args.feed_file is not None:
+        spec: Dict[str, Any] = {"type": "file", "path": str(args.feed_file)}
+        if args.interval > 0:
+            spec["poll_interval_s"] = args.interval
+        if args.idle_timeout is not None:
+            spec["idle_timeout_s"] = args.idle_timeout
+        return spec
+    if args.feed_url is not None:
+        spec = {"type": "http", "url": args.feed_url}
+        if args.interval > 0:
+            spec["poll_interval_s"] = args.interval
+        return spec
+    return {
+        "type": "synthetic",
+        "updates": args.updates,
+        "seed": args.seed,
+        "events_per_update": args.events_per_update,
+        "volatility": args.volatility,
+        "interval_s": args.interval,
+    }
+
+
+def _render_stream_event(
+    kind: str,
+    data: Any,
+    *,
+    alerts_only: bool,
+    scenario_count: int = 0,
+) -> None:
+    """Print one monitor/sweep stream event (shared by monitor and watch)."""
+    if kind == "alert":
+        print(render_alert(data))
+    elif alerts_only:
+        return
+    elif kind == "delta":
+        print(render_delta(data))
+    elif kind == "scenario":
+        print(render_scenario_progress(data, count=scenario_count))
+    elif kind == "base":
+        mpmcs = data.get("mpmcs")
+        shown = "{" + ", ".join(mpmcs) + "}" if mpmcs else "n/a"
+        ptop = data.get("ptop")
+        ptop_text = f"{ptop:.6g}" if ptop is not None else "n/a"
+        print(f"base ({data.get('backend', '?')}): P(top)={ptop_text} mpmcs={shown}")
+    elif kind == "end":
+        parts = [f"{key}={value}" for key, value in sorted(data.items())] if isinstance(data, dict) else []
+        print(f"stream ended ({', '.join(parts)})" if parts else "stream ended")
+
+
+def _monitor_backend(backend: str) -> str:
+    # The tree-source --backend defaults to "auto"; a monitor wants the warm
+    # incremental MaxSAT path unless something else was asked for explicitly.
+    return "maxsat" if backend == "auto" else backend
+
+
+def _command_monitor(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    rules = _monitor_rules(args)
+    feed_spec = _monitor_feed_spec(args)
+    if args.url:
+        return _monitor_remote(args, tree, rules, feed_spec)
+
+    _install_json_log(args.log_json)
+    store = open_store(str(args.store)) if args.store else None
+    monitor = TreeMonitor(
+        tree,
+        backend=_monitor_backend(args.backend),
+        top_k=args.top_k,
+        rules=rules,
+        store=store,
+    )
+    feed = feed_from_spec(feed_spec, tree=tree)
+    monitor.start(feed, max_updates=args.max_updates)
+    last_id = 0
+    try:
+        while True:
+            events, closed = monitor.events.wait_for(last_id, timeout=0.5)
+            for event in events:
+                last_id = event.id
+                _render_stream_event(
+                    event.kind, event.data, alerts_only=args.alerts_only
+                )
+            if closed and not events:
+                break
+    except KeyboardInterrupt:
+        print("\nstopping monitor")
+    finally:
+        monitor.stop()
+    for line in render_monitor_status(monitor.status()):
+        print(line)
+    return 0
+
+
+def _monitor_remote(
+    args: argparse.Namespace,
+    tree: FaultTree,
+    rules: list,
+    feed_spec: Dict[str, Any],
+) -> int:
+    client = ServiceClient(args.url)
+    status = client.start_monitor(
+        tree,
+        feed=feed_spec,
+        rules=[rule.to_dict() for rule in rules],
+        backend=_monitor_backend(args.backend),
+        top_k=args.top_k,
+        max_updates=args.max_updates,
+    )
+    print(f"monitor {status['name']} started on {args.url}")
+    try:
+        for event in client.stream_monitor():
+            _render_stream_event(
+                event.event, event.data, alerts_only=args.alerts_only
+            )
+    except KeyboardInterrupt:
+        print("\ndetaching; stopping remote monitor")
+        client.stop_monitor()
+    for line in render_monitor_status(client.monitor()):
+        print(line)
+    return 0
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.job_id:
+        stream = client.stream_sweep(args.job_id, last_event_id=args.last_event_id)
+    else:
+        stream = client.stream_monitor(last_event_id=args.last_event_id)
+    rendered = 0
+    scenarios = 0
+    try:
+        for event in stream:
+            if event.event == "scenario":
+                scenarios += 1
+            _render_stream_event(
+                event.event,
+                event.data,
+                alerts_only=args.alerts_only,
+                scenario_count=scenarios,
+            )
+            rendered += 1
+            if args.max_events is not None and rendered >= args.max_events:
+                break
+    except KeyboardInterrupt:
+        print("\ndetached")
     return 0
 
 
@@ -1401,6 +1694,8 @@ _PLAIN_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "metrics": _command_metrics,
     "submit": _command_submit,
     "jobs": _command_jobs,
+    "monitor": _command_monitor,
+    "watch": _command_watch,
     "campaign": _command_campaign,
 }
 

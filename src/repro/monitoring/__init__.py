@@ -1,0 +1,68 @@
+"""Live monitoring: probability feeds, incremental re-analysis, alerting.
+
+The subsystem that turns the incremental analysis stack into a *live* one
+(ROADMAP item 4).  A :class:`~repro.monitoring.monitor.TreeMonitor` consumes
+timestamped probability updates from a feed adapter
+(:mod:`~repro.monitoring.feeds`), re-analyses the monitored tree through the
+warm incremental path on every update, evaluates declarative alert rules
+(:mod:`~repro.monitoring.alerts`), and streams deltas and alerts through a
+replayable event buffer (:mod:`~repro.monitoring.events`) framed as
+Server-Sent Events (:mod:`~repro.monitoring.sse`) by the service layer.
+"""
+
+from repro.monitoring.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    FeedStaleness,
+    MpmcsChanged,
+    PTopJump,
+    PTopThreshold,
+    RuleError,
+    load_alert_ledger,
+    rule_from_dict,
+    rule_to_dict,
+    rules_from_spec,
+)
+from repro.monitoring.events import BufferedEvent, EventBuffer
+from repro.monitoring.feeds import (
+    FeedError,
+    FileTailFeed,
+    HTTPPollFeed,
+    ProbabilityUpdate,
+    SyntheticFeed,
+    feed_from_spec,
+)
+from repro.monitoring.monitor import MonitorDelta, MonitorError, TreeMonitor
+from repro.monitoring.sse import SSEClient, SSEvent, StreamError, format_sse, parse_sse
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "BufferedEvent",
+    "EventBuffer",
+    "FeedError",
+    "FeedStaleness",
+    "FileTailFeed",
+    "HTTPPollFeed",
+    "MonitorDelta",
+    "MonitorError",
+    "MpmcsChanged",
+    "PTopJump",
+    "PTopThreshold",
+    "ProbabilityUpdate",
+    "RuleError",
+    "SSEClient",
+    "SSEvent",
+    "StreamError",
+    "SyntheticFeed",
+    "TreeMonitor",
+    "feed_from_spec",
+    "format_sse",
+    "load_alert_ledger",
+    "parse_sse",
+    "rule_from_dict",
+    "rule_to_dict",
+    "rules_from_spec",
+]

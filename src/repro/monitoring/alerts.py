@@ -1,0 +1,374 @@
+"""Declarative alert rules evaluated against every monitor delta.
+
+Four rule families cover the ROADMAP's alerting cases:
+
+* :class:`PTopThreshold` — P(top) above/below a threshold, with hysteresis:
+  the rule fires once on *entering* the triggered region and re-arms only
+  after P(top) has retreated past ``threshold ∓ hysteresis``, so a value
+  jittering around the threshold produces one alert, not a storm;
+* :class:`MpmcsChanged` — the most-probable minimal cut set's identity
+  changed relative to the previous update (the paper's headline signal:
+  the weakest link moved);
+* :class:`PTopJump` — P(top) moved by more than a relative factor in a
+  single update, whichever direction (sudden regime change);
+* :class:`FeedStaleness` — the watchdog: no update has arrived for
+  ``max_age_s`` seconds.  Evaluated between updates by the monitor loop;
+  fires once per silence and re-arms when data flows again.
+
+:class:`AlertEngine` owns the rule set, the per-rule armed/triggered state
+that implements deduplication, a bounded in-memory ledger of every alert
+raised, and — when given a store — persistence of that ledger under the
+monitor's key, so alerts survive the monitor that raised them.  Every alert
+is counted in ``repro_monitor_alerts_total{rule=...}`` and logged as a
+structured event.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.observability.log import log_event
+from repro.observability.metrics import get_metrics
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "FeedStaleness",
+    "MpmcsChanged",
+    "PTopJump",
+    "PTopThreshold",
+    "RuleError",
+    "load_alert_ledger",
+    "rule_from_dict",
+    "rule_to_dict",
+    "rules_from_spec",
+]
+
+#: Artifact kind under which the alert ledger persists in the disk store.
+ALERT_LEDGER_KIND = "monitor-alerts"
+
+
+class RuleError(ReproError):
+    """Invalid alert-rule parameters or wire document."""
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised alert: which rule fired, on which update, and why."""
+
+    rule: str
+    kind: str
+    message: str
+    seq: int
+    timestamp: float
+    value: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "message": self.message,
+            "seq": self.seq,
+            "ts": self.timestamp,
+            "value": self.value,
+        }
+
+
+class AlertRule(abc.ABC):
+    """One declarative rule; subclasses keep their own armed/triggered state."""
+
+    #: Wire tag of the rule type (set by subclasses).
+    kind: str = ""
+
+    @abc.abstractmethod
+    def evaluate(self, delta: "Any") -> Optional[str]:
+        """Return an alert message if the rule fires on this delta, else None."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Stable identifier used for dedup, metrics labels and the ledger."""
+
+    @abc.abstractmethod
+    def to_dict(self) -> Dict[str, Any]:
+        """Tagged wire document (inverse of :func:`rule_from_dict`)."""
+
+    def value_of(self, delta: "Any") -> Optional[float]:
+        """The numeric value the alert reports alongside its message."""
+        return getattr(delta, "ptop", None)
+
+
+class PTopThreshold(AlertRule):
+    """P(top) crossed a threshold; hysteresis suppresses flapping."""
+
+    kind = "ptop_threshold"
+
+    def __init__(
+        self, threshold: float, *, direction: str = "above", hysteresis: float = 0.0
+    ) -> None:
+        if not 0.0 <= float(threshold) <= 1.0:
+            raise RuleError(f"threshold must lie in [0, 1], got {threshold!r}")
+        if direction not in ("above", "below"):
+            raise RuleError(f"direction must be 'above' or 'below', got {direction!r}")
+        if float(hysteresis) < 0:
+            raise RuleError(f"hysteresis cannot be negative, got {hysteresis!r}")
+        self.threshold = float(threshold)
+        self.direction = direction
+        self.hysteresis = float(hysteresis)
+        self._triggered = False
+
+    @property
+    def name(self) -> str:
+        return f"ptop_{self.direction}_{self.threshold:g}"
+
+    def evaluate(self, delta: "Any") -> Optional[str]:
+        ptop = delta.ptop
+        if ptop is None:
+            return None
+        if self.direction == "above":
+            fires = ptop > self.threshold
+            rearms = ptop <= self.threshold - self.hysteresis
+        else:
+            fires = ptop < self.threshold
+            rearms = ptop >= self.threshold + self.hysteresis
+        if self._triggered:
+            if rearms:
+                self._triggered = False
+            return None
+        if fires:
+            self._triggered = True
+            return (
+                f"P(top)={ptop:.6g} {self.direction} threshold {self.threshold:g}"
+            )
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.kind,
+            "threshold": self.threshold,
+            "direction": self.direction,
+            "hysteresis": self.hysteresis,
+        }
+
+
+class MpmcsChanged(AlertRule):
+    """The most-probable minimal cut set is not the one it was."""
+
+    kind = "mpmcs_changed"
+
+    @property
+    def name(self) -> str:
+        return "mpmcs_identity_changed"
+
+    def evaluate(self, delta: "Any") -> Optional[str]:
+        if not delta.mpmcs_changed:
+            return None
+        mpmcs = delta.mpmcs_events
+        shown = "{" + ", ".join(mpmcs) + "}" if mpmcs else "(none)"
+        return f"MPMCS identity changed to {shown}"
+
+    def value_of(self, delta: "Any") -> Optional[float]:
+        return getattr(delta, "mpmcs_probability", None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rule": self.kind}
+
+
+class PTopJump(AlertRule):
+    """P(top) moved by more than ``factor`` (relative) in one update."""
+
+    kind = "ptop_jump"
+
+    def __init__(self, factor: float) -> None:
+        if float(factor) <= 0:
+            raise RuleError(f"jump factor must be positive, got {factor!r}")
+        self.factor = float(factor)
+
+    @property
+    def name(self) -> str:
+        return f"ptop_jump_{self.factor:g}"
+
+    def evaluate(self, delta: "Any") -> Optional[str]:
+        ptop, previous = delta.ptop, delta.previous_ptop
+        if ptop is None or previous is None or previous <= 0:
+            return None
+        ratio = abs(ptop - previous) / previous
+        if ratio < self.factor:
+            return None
+        return (
+            f"P(top) jumped {ratio * 100:.1f}% in one update "
+            f"({previous:.6g} -> {ptop:.6g})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rule": self.kind, "factor": self.factor}
+
+
+class FeedStaleness(AlertRule):
+    """Watchdog: the feed has produced nothing for ``max_age_s`` seconds.
+
+    Unlike the other rules this one is evaluated *between* updates (the
+    monitor loop calls :meth:`check` while waiting); :meth:`evaluate` only
+    re-arms the watchdog when data arrives.
+    """
+
+    kind = "feed_staleness"
+
+    def __init__(self, max_age_s: float) -> None:
+        if float(max_age_s) <= 0:
+            raise RuleError(f"max_age_s must be positive, got {max_age_s!r}")
+        self.max_age_s = float(max_age_s)
+        self._triggered = False
+
+    @property
+    def name(self) -> str:
+        return f"feed_stale_{self.max_age_s:g}s"
+
+    def evaluate(self, delta: "Any") -> Optional[str]:
+        self._triggered = False  # data arrived: re-arm
+        return None
+
+    def check(self, age_s: float) -> Optional[str]:
+        """Fires once per silence when the feed age exceeds the budget."""
+        if age_s <= self.max_age_s or self._triggered:
+            return None
+        self._triggered = True
+        return f"feed silent for {age_s:.1f}s (budget {self.max_age_s:g}s)"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rule": self.kind, "max_age_s": self.max_age_s}
+
+
+_RULE_TYPES = {
+    cls.kind: cls for cls in (PTopThreshold, MpmcsChanged, PTopJump, FeedStaleness)
+}
+
+
+def rule_to_dict(rule: AlertRule) -> Dict[str, Any]:
+    """Tagged wire document of one rule (inverse of :func:`rule_from_dict`)."""
+    return rule.to_dict()
+
+
+def rule_from_dict(document: Mapping[str, Any]) -> AlertRule:
+    """Reconstruct a rule from its tagged wire document."""
+    if not isinstance(document, Mapping):
+        raise RuleError(f"rule document must be a JSON object, got {document!r}")
+    kind = document.get("rule")
+    if kind == PTopThreshold.kind:
+        return PTopThreshold(
+            document.get("threshold", 0.0),
+            direction=document.get("direction", "above"),
+            hysteresis=document.get("hysteresis", 0.0),
+        )
+    if kind == MpmcsChanged.kind:
+        return MpmcsChanged()
+    if kind == PTopJump.kind:
+        return PTopJump(document.get("factor", 0.0))
+    if kind == FeedStaleness.kind:
+        return FeedStaleness(document.get("max_age_s", 0.0))
+    raise RuleError(
+        f"unknown rule type {kind!r}; expected one of {', '.join(sorted(_RULE_TYPES))}"
+    )
+
+
+def rules_from_spec(spec: Optional[Sequence[Any]]) -> List[AlertRule]:
+    """Decode a list of rule documents (``None``/empty -> no rules)."""
+    if spec is None:
+        return []
+    if not isinstance(spec, Sequence) or isinstance(spec, (str, bytes)):
+        raise RuleError(f"rules spec must be a list of rule documents, got {spec!r}")
+    return [rule_from_dict(document) for document in spec]
+
+
+class AlertEngine:
+    """Evaluates a rule set per delta, deduplicates, and keeps the ledger."""
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule] = (),
+        *,
+        store: Any = None,
+        ledger_key: str = "",
+        max_alerts: int = 1024,
+    ) -> None:
+        self.rules = list(rules)
+        self.store = store
+        self.ledger_key = ledger_key
+        self.max_alerts = max_alerts
+        self.alerts: List[Alert] = []
+
+    def _record(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        if len(self.alerts) > self.max_alerts:
+            del self.alerts[: len(self.alerts) - self.max_alerts]
+        get_metrics().inc("repro_monitor_alerts_total", rule=alert.rule)
+        log_event(
+            "monitoring.alerts",
+            "alert_raised",
+            rule=alert.rule,
+            kind=alert.kind,
+            seq=alert.seq,
+            message=alert.message,
+        )
+        if self.store is not None and self.ledger_key:
+            self.store.store(
+                self.ledger_key,
+                ALERT_LEDGER_KIND,
+                [entry.to_dict() for entry in self.alerts],
+            )
+
+    def evaluate(self, delta: "Any") -> List[Alert]:
+        """Run every rule against one delta; returns the alerts that fired."""
+        fired: List[Alert] = []
+        for rule in self.rules:
+            message = rule.evaluate(delta)
+            if message is None:
+                continue
+            alert = Alert(
+                rule=rule.name,
+                kind=rule.kind,
+                message=message,
+                seq=delta.seq,
+                timestamp=delta.timestamp,
+                value=rule.value_of(delta),
+            )
+            self._record(alert)
+            fired.append(alert)
+        return fired
+
+    def check_staleness(self, age_s: float, *, seq: int, now: float) -> List[Alert]:
+        """Run the watchdog rules against the current feed silence."""
+        fired: List[Alert] = []
+        for rule in self.rules:
+            if not isinstance(rule, FeedStaleness):
+                continue
+            message = rule.check(age_s)
+            if message is None:
+                continue
+            alert = Alert(
+                rule=rule.name,
+                kind=rule.kind,
+                message=message,
+                seq=seq,
+                timestamp=now,
+                value=age_s,
+            )
+            self._record(alert)
+            fired.append(alert)
+        return fired
+
+    def ledger(self) -> List[Dict[str, Any]]:
+        """Every alert raised so far, oldest first, as wire documents."""
+        return [alert.to_dict() for alert in self.alerts]
+
+
+def load_alert_ledger(store: Any, ledger_key: str) -> List[Dict[str, Any]]:
+    """Read a persisted alert ledger back from the store (empty if absent)."""
+    if store is None or not ledger_key:
+        return []
+    found, value = store.load(ledger_key, ALERT_LEDGER_KIND)
+    return list(value) if found else []

@@ -1,0 +1,107 @@
+"""Bounded, replayable event buffer behind every SSE stream.
+
+An :class:`EventBuffer` assigns each appended event a strictly increasing
+integer id (``1, 2, 3, ...``) and keeps the most recent ``max_events`` of
+them, so a reconnecting client can resume with ``Last-Event-ID`` and replay
+exactly the events it missed — as long as they are still inside the window.
+:meth:`events_after` is the replay primitive; :meth:`wait_for` is the
+blocking primitive the streaming HTTP handler sits on.
+
+The buffer is multi-producer/multi-consumer safe: one condition variable
+guards the deque, and every consumer keeps its own cursor (the last id it
+saw), so consumers never contend on shared read state.  ``close()`` wakes
+every waiting consumer permanently — the stream-shutdown signal.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["BufferedEvent", "EventBuffer"]
+
+
+class BufferedEvent:
+    """One event in the buffer: an id, a kind tag, and a JSON-ready payload."""
+
+    __slots__ = ("id", "kind", "data")
+
+    def __init__(self, event_id: int, kind: str, data: Dict[str, Any]):
+        self.id = event_id
+        self.kind = kind
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BufferedEvent(id={self.id}, kind={self.kind!r})"
+
+
+class EventBuffer:
+    """Thread-safe ring buffer of events with monotonically increasing ids."""
+
+    def __init__(self, *, max_events: int = 4096) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be at least 1, got {max_events}")
+        self._lock = threading.Lock()
+        self._appended = threading.Condition(self._lock)
+        self._events: Deque[BufferedEvent] = deque(maxlen=max_events)
+        self._next_id = 0
+        self._closed = False
+
+    # -- producer side -----------------------------------------------------
+
+    def append(self, kind: str, data: Dict[str, Any]) -> int:
+        """Append one event; returns its id.  Raises after :meth:`close`."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("event buffer is closed")
+            self._next_id += 1
+            self._events.append(BufferedEvent(self._next_id, kind, data))
+            self._appended.notify_all()
+            return self._next_id
+
+    def close(self) -> None:
+        """Refuse further appends and wake every waiting consumer."""
+        with self._lock:
+            self._closed = True
+            self._appended.notify_all()
+
+    # -- consumer side -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def last_id(self) -> int:
+        """Id of the most recently appended event (0 when empty)."""
+        with self._lock:
+            return self._next_id
+
+    def events_after(self, last_id: int) -> List[BufferedEvent]:
+        """Every buffered event with ``id > last_id``, oldest first.
+
+        Events older than the retention window are gone; a consumer that
+        fell that far behind silently resumes from the oldest retained event
+        (the ids it receives still expose the gap).
+        """
+        with self._lock:
+            return [event for event in self._events if event.id > last_id]
+
+    def wait_for(
+        self, last_id: int, timeout: Optional[float] = None
+    ) -> Tuple[List[BufferedEvent], bool]:
+        """Block until an event newer than ``last_id`` exists (or close/timeout).
+
+        Returns ``(events, closed)``: the newly visible events — possibly
+        empty on timeout — and whether the buffer has been closed.  A closed
+        buffer still drains: pending events are returned alongside
+        ``closed=True``, and only a fully caught-up consumer sees an empty
+        list, which is its signal to end the stream.
+        """
+        with self._lock:
+            if not self._closed and not (self._events and self._events[-1].id > last_id):
+                self._appended.wait(timeout)
+            events = [event for event in self._events if event.id > last_id]
+            return events, self._closed

@@ -1,0 +1,220 @@
+"""Server-Sent Events framing: the wire protocol of the streaming endpoints.
+
+Both streaming endpoints (``GET /monitor/stream`` and
+``GET /sweeps/<id>/stream``) speak standard ``text/event-stream``: each
+buffered event becomes one frame ::
+
+    id: 42
+    event: delta
+    data: {"seq": 17, "ptop": 0.0123, ...}
+    <blank line>
+
+The ``id`` field is the :class:`~repro.monitoring.events.EventBuffer` id —
+strictly increasing — which is what makes reconnection lossless: a client
+that reconnects with a ``Last-Event-ID`` header receives exactly the events
+it missed (as long as they are still in the server's ring buffer).
+
+:func:`format_sse` renders frames, :func:`parse_sse` consumes a byte stream
+back into :class:`SSEvent` records, and :class:`SSEClient` is the
+reconnecting consumer used by :class:`~repro.service.http.ServiceClient`:
+it re-opens the connection on network failure, resuming from the last id it
+saw, and terminates cleanly when the server signals the end of the stream
+(an ``end`` event, or HTTP 404/410 once the source is gone).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Optional
+
+from repro.exceptions import ReproError
+from repro.monitoring.events import BufferedEvent
+from repro.observability.log import log_event
+
+__all__ = ["SSEClient", "SSEvent", "StreamError", "format_sse", "parse_sse"]
+
+#: Event kind a server appends as the final frame of a finite stream.
+END_EVENT = "end"
+
+
+class StreamError(ReproError):
+    """The SSE stream could not be established or kept alive."""
+
+
+@dataclass(frozen=True)
+class SSEvent:
+    """One parsed server-sent event."""
+
+    id: Optional[int]
+    event: str
+    data: Any
+
+    @property
+    def is_end(self) -> bool:
+        return self.event == END_EVENT
+
+
+def format_sse(event: BufferedEvent) -> bytes:
+    """Render one buffered event as a ``text/event-stream`` frame."""
+    payload = json.dumps(event.data, sort_keys=True, separators=(",", ":"))
+    return (
+        f"id: {event.id}\nevent: {event.kind}\ndata: {payload}\n\n".encode("utf-8")
+    )
+
+
+def parse_sse(lines: Iterable[bytes]) -> Iterator[SSEvent]:
+    """Parse an iterable of raw ``text/event-stream`` lines into events.
+
+    Implements the subset of the SSE grammar our server emits plus the
+    common liberties (``data`` spread over several lines is joined with
+    newlines, comment lines starting with ``:`` are ignored, a trailing
+    unterminated frame is dropped).  ``data`` payloads are JSON-decoded when
+    possible and passed through as text otherwise.
+    """
+    event_id: Optional[int] = None
+    kind = "message"
+    data_lines: list = []
+    saw_field = False
+    for raw in lines:
+        line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+        if not line:
+            if saw_field:
+                yield _assemble(event_id, kind, data_lines)
+            event_id, kind, data_lines, saw_field = None, "message", [], False
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        saw_field = True
+        if field == "id":
+            try:
+                event_id = int(value)
+            except ValueError:
+                event_id = None
+        elif field == "event":
+            kind = value or "message"
+        elif field == "data":
+            data_lines.append(value)
+        # Unknown fields (e.g. "retry") are ignored, per the SSE spec.
+
+
+def _assemble(event_id: Optional[int], kind: str, data_lines: list) -> SSEvent:
+    text = "\n".join(data_lines)
+    try:
+        data = json.loads(text) if text else None
+    except json.JSONDecodeError:
+        data = text
+    return SSEvent(id=event_id, event=kind, data=data)
+
+
+class SSEClient:
+    """Reconnecting ``text/event-stream`` consumer.
+
+    Iterating yields :class:`SSEvent` records.  On a dropped connection the
+    client reconnects with ``Last-Event-ID`` set to the last id it saw, so
+    the server's ring buffer replays only the missed events — the consumer
+    observes an uninterrupted, strictly-increasing id sequence.
+
+    Termination:
+
+    * an ``end`` event is yielded, then iteration stops — the server
+      finished the stream deliberately;
+    * the stream source disappears (HTTP 404/410 on reconnect) — the
+      monitor or sweep was torn down while we were away;
+    * ``max_retries`` *consecutive* failed connection attempts.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        last_event_id: int = 0,
+        timeout_s: float = 30.0,
+        retry_interval_s: float = 0.5,
+        max_retries: int = 10,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.url = url
+        self.last_event_id = int(last_event_id)
+        self.timeout_s = float(timeout_s)
+        self.retry_interval_s = float(retry_interval_s)
+        self.max_retries = int(max_retries)
+        self.headers = dict(headers or {})
+        self.reconnects = 0
+
+    def _connect(self):
+        headers = dict(self.headers)
+        headers["Accept"] = "text/event-stream"
+        if self.last_event_id:
+            headers["Last-Event-ID"] = str(self.last_event_id)
+        request = urllib.request.Request(self.url, headers=headers, method="GET")
+        return urllib.request.urlopen(request, timeout=self.timeout_s)
+
+    def __iter__(self) -> Iterator[SSEvent]:
+        failures = 0
+        connected_once = False
+        while True:
+            try:
+                response = self._connect()
+            except urllib.error.HTTPError as exc:
+                if exc.code in (404, 410):
+                    if connected_once:
+                        return  # stream source is gone: deliberate shutdown
+                    raise StreamError(
+                        f"stream endpoint {self.url} not found (HTTP {exc.code})"
+                    ) from exc
+                failures += 1
+                if failures > self.max_retries:
+                    raise StreamError(
+                        f"giving up on {self.url} after {failures} failed connects"
+                    ) from exc
+                time.sleep(self.retry_interval_s)
+                continue
+            except (urllib.error.URLError, OSError) as exc:
+                failures += 1
+                if failures > self.max_retries:
+                    raise StreamError(
+                        f"giving up on {self.url} after {failures} failed connects"
+                    ) from exc
+                time.sleep(self.retry_interval_s)
+                continue
+
+            failures = 0
+            if connected_once:
+                self.reconnects += 1
+                log_event(
+                    "monitoring.sse",
+                    "client_reconnected",
+                    url=self.url,
+                    last_event_id=self.last_event_id,
+                )
+            connected_once = True
+            try:
+                with response:
+                    for event in parse_sse(response):
+                        if event.id is not None:
+                            if event.id <= self.last_event_id:
+                                continue  # replayed frame we already consumed
+                            self.last_event_id = event.id
+                        yield event
+                        if event.is_end:
+                            return
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                # Connection dropped mid-stream: reconnect and replay.
+                log_event(
+                    "monitoring.sse",
+                    "stream_dropped",
+                    url=self.url,
+                    error=str(exc),
+                    last_event_id=self.last_event_id,
+                )
+                time.sleep(self.retry_interval_s)
+                continue
+            # Clean EOF without an ``end`` event: the server restarted or the
+            # connection was recycled — reconnect and resume.
+            time.sleep(self.retry_interval_s)

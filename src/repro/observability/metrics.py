@@ -194,6 +194,7 @@ class MetricsRegistry:
                 for key, value in series.items():
                     key = tuple(tuple(pair) for pair in key)
                     target[key] = target.get(key, 0) + value
+            dropped: List[Tuple[str, Any]] = []
             for name, series in snapshot.get("histograms", {}).items():
                 target_series = self._histograms.setdefault(name, {})
                 for key, payload in series.items():
@@ -202,11 +203,35 @@ class MetricsRegistry:
                     histogram = target_series.get(key)
                     if histogram is None:
                         histogram = target_series[key] = _Histogram(buckets)
-                    if histogram.buckets == buckets:
-                        for index, count in enumerate(payload["bucket_counts"]):
-                            histogram.bucket_counts[index] += count
+                    if histogram.buckets != buckets:
+                        # Merging only count/total would silently corrupt the
+                        # series (quantile estimates would disagree with the
+                        # count); drop the whole incoming series and account
+                        # for it instead.
+                        dropped.append((name, key))
+                        counter = self._counters.setdefault(
+                            "metrics_merge_dropped_total", {}
+                        )
+                        drop_key = _label_key({"metric": name})
+                        counter[drop_key] = counter.get(drop_key, 0) + 1
+                        continue
+                    for index, count in enumerate(payload["bucket_counts"]):
+                        histogram.bucket_counts[index] += count
                     histogram.count += payload["count"]
                     histogram.total += payload["total"]
+        # Imported lazily: the log module is a sibling, and keeping the
+        # registry import-light lets it be the first observability import.
+        from repro.observability.log import log_event
+
+        for name, key in dropped:
+            # Outside the lock: the event log sink is arbitrary user code.
+            log_event(
+                "observability.metrics",
+                "histogram_series_dropped",
+                name=name,
+                labels=dict(key),
+                reason="bucket bounds mismatch",
+            )
 
     # -- exposition --------------------------------------------------------
     def render_prometheus(self) -> str:

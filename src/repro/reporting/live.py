@@ -1,0 +1,99 @@
+"""Terminal rendering of live-monitoring streams.
+
+One line per event, stable and grep-friendly — these feed ``repro monitor``
+and ``repro watch``, which people leave running in a terminal (or pipe into
+``tee``), so every line is self-contained: no cursor tricks, no colour.
+All renderers take the *wire documents* (the dict forms streamed over SSE
+and produced by :meth:`MonitorDelta.to_dict` / :meth:`Alert.to_dict`), so
+local monitors and remote streams print identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "render_alert",
+    "render_delta",
+    "render_monitor_status",
+    "render_scenario_progress",
+]
+
+
+def _fmt_prob(value: Optional[float]) -> str:
+    return f"{value:.6g}" if value is not None else "n/a"
+
+
+def _fmt_delta(value: Optional[float]) -> str:
+    if value is None:
+        return ""
+    return f" ({value:+.3g})"
+
+
+def _fmt_mpmcs(events: Any) -> str:
+    if not events:
+        return "{}"
+    return "{" + ", ".join(str(event) for event in events) + "}"
+
+
+def render_delta(document: Mapping[str, Any]) -> str:
+    """One line for a monitor delta document."""
+    marker = " *MPMCS*" if document.get("mpmcs_changed") else ""
+    changed = document.get("changed_events") or []
+    latency = document.get("latency_s")
+    latency_text = f" [{latency * 1000:.1f}ms]" if latency is not None else ""
+    return (
+        f"#{document.get('seq', '?')} "
+        f"P(top)={_fmt_prob(document.get('ptop'))}"
+        f"{_fmt_delta(document.get('ptop_delta'))} "
+        f"mpmcs={_fmt_mpmcs(document.get('mpmcs'))}{marker} "
+        f"changed={','.join(changed) if changed else '-'}"
+        f"{latency_text}"
+    )
+
+
+def render_alert(document: Mapping[str, Any]) -> str:
+    """One line for an alert document; shouts so it stands out in a scroll."""
+    value = document.get("value")
+    value_text = f" value={_fmt_prob(value)}" if value is not None else ""
+    return (
+        f"ALERT [{document.get('rule', '?')}] seq={document.get('seq', '?')}"
+        f"{value_text}: {document.get('message', '')}"
+    )
+
+
+def render_scenario_progress(document: Mapping[str, Any], *, count: int) -> str:
+    """One line for a sweep progress (per-scenario) document."""
+    total = document.get("total")
+    position = f"{count}/{total}" if total else str(count)
+    error = document.get("error")
+    if error:
+        return f"[{position}] {document.get('name', '?')}: FAILED: {error}"
+    marker = " *MPMCS*" if document.get("mpmcs_changed") else ""
+    return (
+        f"[{position}] {document.get('name', '?')}: "
+        f"P(top)={_fmt_prob(document.get('top_event'))}"
+        f"{_fmt_delta(document.get('top_event_delta'))}"
+        f"{marker}"
+    )
+
+
+def render_monitor_status(document: Mapping[str, Any]) -> List[str]:
+    """Multi-line summary of a monitor status document."""
+    lines = [
+        f"monitor {document.get('name', '?')} on tree {document.get('tree', '?')} "
+        f"({'running' if document.get('running') else 'stopped'})",
+        f"  backend:  {document.get('backend', '?')}  "
+        f"analyses: {', '.join(document.get('analyses', []))}",
+        f"  updates:  {document.get('updates', 0)}  "
+        f"alerts: {document.get('alerts', 0)}  "
+        f"last seq: {document.get('last_seq', 0)}",
+        f"  P(top):   {_fmt_prob(document.get('ptop'))}  "
+        f"(base {_fmt_prob(document.get('base_ptop'))})",
+        f"  MPMCS:    {_fmt_mpmcs(document.get('mpmcs'))}",
+    ]
+    rules = document.get("rules") or []
+    if rules:
+        shown = ", ".join(str(rule.get("rule", "?")) for rule in rules)
+        lines.append(f"  rules:    {shown}")
+    return lines

@@ -27,6 +27,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.exceptions import ReproError
 from repro.fta.tree import FaultTree
+from repro.monitoring.alerts import (
+    Alert,
+    AlertRule,
+    rule_from_dict as _rule_from_dict,
+    rule_to_dict as _rule_to_dict,
+    rules_from_spec as _rules_from_spec,
+)
+from repro.monitoring.feeds import ProbabilityUpdate
 from repro.reliability.assignment import ReliabilityAssignment
 from repro.reliability.models import (
     ExponentialFailure,
@@ -72,16 +80,22 @@ __all__ = [
     "actions_from_spec",
     "action_from_dict",
     "action_to_dict",
+    "alert_to_dict",
     "assignment_from_documents",
     "campaign_from_dict",
     "campaign_to_dict",
     "model_from_dict",
     "model_to_dict",
+    "monitor_rule_from_dict",
+    "monitor_rule_to_dict",
+    "monitor_rules_from_spec",
     "patch_from_dict",
     "patch_to_dict",
     "scenario_from_dict",
     "scenario_to_dict",
     "scenarios_from_spec",
+    "update_from_dict",
+    "update_to_dict",
 ]
 
 
@@ -552,4 +566,57 @@ def campaign_from_dict(document: Mapping[str, Any]) -> Any:
     try:
         return CampaignSpec.from_dict(document)
     except CampaignError as exc:
+        raise SerializationError(str(exc)) from exc
+
+
+# -- monitoring documents (the live-monitor wire format) ---------------------------------
+
+
+def update_to_dict(update: ProbabilityUpdate) -> Dict[str, Any]:
+    """JSON document of one probability update (feed lines, POST bodies)."""
+    return update.to_dict()
+
+
+def update_from_dict(document: Mapping[str, Any]) -> ProbabilityUpdate:
+    """Reconstruct a :class:`ProbabilityUpdate`; malformed documents are 400s.
+
+    The monitoring layer raises its own :class:`~repro.monitoring.feeds.FeedError`;
+    it is re-raised as :class:`SerializationError` so service handlers treat
+    a bad update body exactly like a bad patch document.
+    """
+    from repro.monitoring.feeds import FeedError
+
+    try:
+        return ProbabilityUpdate.from_dict(document)
+    except FeedError as exc:
+        raise SerializationError(str(exc)) from exc
+
+
+def alert_to_dict(alert: Alert) -> Dict[str, Any]:
+    """JSON document of one raised alert (ledger entries, SSE frames)."""
+    return alert.to_dict()
+
+
+def monitor_rule_to_dict(rule: AlertRule) -> Dict[str, Any]:
+    """Tagged JSON document of one alert rule."""
+    return _rule_to_dict(rule)
+
+
+def monitor_rule_from_dict(document: Mapping[str, Any]) -> AlertRule:
+    """Reconstruct an alert rule from its tagged document."""
+    from repro.monitoring.alerts import RuleError
+
+    try:
+        return _rule_from_dict(document)
+    except RuleError as exc:
+        raise SerializationError(str(exc)) from exc
+
+
+def monitor_rules_from_spec(spec: Optional[Sequence[Any]]) -> List[AlertRule]:
+    """Decode the ``rules`` list of a ``POST /monitor`` payload."""
+    from repro.monitoring.alerts import RuleError
+
+    try:
+        return _rules_from_spec(spec)
+    except RuleError as exc:
         raise SerializationError(str(exc)) from exc

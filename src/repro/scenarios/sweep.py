@@ -18,6 +18,7 @@ cross-check this against two independent backends.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Callable, Iterable, Optional, Sequence, Set, Tuple
 
@@ -120,6 +121,78 @@ class SweepExecutor:
             if getattr(instance, "enable_warm_sessions", None) is not None:
                 self._warm_backend = instance
 
+    @contextlib.contextmanager
+    def warm_scope(self):
+        """Enable the backend's warm incremental sessions for the block.
+
+        The sweep loop wraps itself in this scope; long-lived callers (the
+        live :class:`~repro.monitoring.monitor.TreeMonitor`) hold it open for
+        their whole lifetime so every update is a weight-only re-solve.
+        Backends without warm sessions make this a no-op.
+        """
+        if self._warm_backend is None:
+            yield self
+            return
+        previous = self._warm_backend.warm_enabled
+        self._warm_backend.enable_warm_sessions()
+        try:
+            yield self
+        finally:
+            self._warm_backend.warm_enabled = previous
+
+    def prepare_analyses(
+        self, analyses: Sequence[str] = DEFAULT_ANALYSES
+    ) -> Tuple[str, ...]:
+        """Resolve the analyses the backend itself will run (see :meth:`run`).
+
+        Splits off the ``top_event`` request when the configured backend
+        cannot serve it (the structure-keyed BDD fills it instead) and
+        records that decision for :meth:`analyze_tree`.
+        """
+        requested = tuple(analyses)
+        self._fill_top_event = False
+        if self._capabilities is not None and "top_event" not in self._capabilities:
+            run_analyses = tuple(a for a in requested if a != "top_event")
+            self._fill_top_event = "top_event" in requested
+            if not run_analyses:
+                raise ReproError(
+                    f"backend {self.backend!r} supports none of the requested "
+                    f"analyses {requested!r}"
+                )
+            return run_analyses
+        return requested
+
+    def analyze_tree(
+        self,
+        tree: FaultTree,
+        analyses: Sequence[str],
+        *,
+        top_k: int = 5,
+        samples: int = 0,
+        seed: int = 0,
+    ) -> AnalysisReport:
+        """One incremental analysis of ``tree``: seed, analyse, augment.
+
+        The single-scenario core of the sweep loop, exposed for callers that
+        produce trees one at a time (the live monitor): cut sets are seeded
+        from the subtree cache when ``incremental`` is on, the session
+        analyses through the configured backend, and the exact BDD top event
+        is merged in where only bounds exist.  ``analyses`` should come from
+        :meth:`prepare_analyses`.  Warm solver sessions apply only inside
+        :meth:`warm_scope`.
+        """
+        if self.incremental:
+            seed_session_cut_sets(tree, self.session.artifacts)
+        report = self.session.analyze(
+            tree, analyses, backend=self.backend, top_k=top_k, samples=samples, seed=seed
+        )
+        self._augment_exact_top_event(tree, report)
+        return report
+
+    def evict_tree_artifacts(self, base: FaultTree, patched: FaultTree) -> None:
+        """Public alias of the per-scenario cache eviction (see below)."""
+        self._evict_scenario_artifacts(base, patched)
+
     def run(
         self,
         tree: FaultTree,
@@ -130,6 +203,7 @@ class SweepExecutor:
         samples: int = 0,
         seed: int = 0,
         stop_check: Optional[Callable[[], None]] = None,
+        on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
     ) -> ScenarioReport:
         """Analyse ``tree`` and every scenario; return the delta report.
 
@@ -148,7 +222,11 @@ class SweepExecutor:
         backend answers the sweep's two headline questions.  Any *other*
         unsupported analysis fails loudly, exactly like a direct ``analyze``.
         """
-        if self._warm_backend is None:
+        # Warm incremental solving is scoped to this sweep: the scope
+        # restores the backend's routing afterwards so one-off analyses on a
+        # shared session keep the cold portfolio (the warm sessions
+        # themselves are retained for the next sweep).
+        with self.warm_scope():
             return self._run(
                 tree,
                 scenarios,
@@ -157,25 +235,8 @@ class SweepExecutor:
                 samples=samples,
                 seed=seed,
                 stop_check=stop_check,
+                on_outcome=on_outcome,
             )
-        # Warm incremental solving is scoped to this sweep: restore the
-        # backend's routing afterwards so one-off analyses on a shared
-        # session keep the cold portfolio (the warm sessions themselves are
-        # retained for the next sweep).
-        previous = self._warm_backend.warm_enabled
-        self._warm_backend.enable_warm_sessions()
-        try:
-            return self._run(
-                tree,
-                scenarios,
-                analyses=analyses,
-                top_k=top_k,
-                samples=samples,
-                seed=seed,
-                stop_check=stop_check,
-            )
-        finally:
-            self._warm_backend.warm_enabled = previous
 
     def _run(
         self,
@@ -187,36 +248,23 @@ class SweepExecutor:
         samples: int,
         seed: int,
         stop_check: Optional[Callable[[], None]] = None,
+        on_outcome: Optional[Callable[[ScenarioOutcome], None]] = None,
     ) -> ScenarioReport:
         scenario_list = list(scenarios)
         started = time.perf_counter()
         if stop_check is not None:
             stop_check()
 
-        requested = tuple(analyses)
-        run_analyses: Tuple[str, ...] = requested
-        self._fill_top_event = False
-        if self._capabilities is not None and "top_event" not in self._capabilities:
-            # ``top_event`` is the one analysis with a backend-independent
-            # fallback (the structure-keyed BDD below), so it alone is lifted
-            # out of the backend's request.  Any other unsupported analysis
-            # stays in and fails loudly in the session, exactly like a direct
-            # ``analyze`` call would.
-            run_analyses = tuple(a for a in requested if a != "top_event")
-            self._fill_top_event = "top_event" in requested
-            if not run_analyses:
-                raise ReproError(
-                    f"backend {self.backend!r} supports none of the requested "
-                    f"analyses {requested!r}"
-                )
-        analyses = run_analyses
+        # ``top_event`` is the one analysis with a backend-independent
+        # fallback (the structure-keyed BDD in analyze_tree), so it alone is
+        # lifted out of the backend's request.  Any other unsupported
+        # analysis stays in and fails loudly in the session, exactly like a
+        # direct ``analyze`` call would.
+        analyses = self.prepare_analyses(analyses)
 
-        if self.incremental:
-            seed_session_cut_sets(tree, self.session.artifacts)
-        base = self.session.analyze(
-            tree, analyses, backend=self.backend, top_k=top_k, samples=samples, seed=seed
+        base = self.analyze_tree(
+            tree, analyses, top_k=top_k, samples=samples, seed=seed
         )
-        self._augment_exact_top_event(tree, base)
         base_top = _top_event_estimate(base)
         base_mpmcs_events = base.mpmcs.events if base.mpmcs is not None else None
         base_mpmcs_probability = base.mpmcs.probability if base.mpmcs is not None else None
@@ -240,51 +288,45 @@ class SweepExecutor:
             scenario_started = time.perf_counter()
             try:
                 patched = scenario.apply(tree)
-                if self.incremental:
-                    seed_session_cut_sets(patched, self.session.artifacts)
-                partial = self.session.analyze(
-                    patched,
-                    analyses,
-                    backend=self.backend,
-                    top_k=top_k,
-                    samples=samples,
-                    seed=seed,
+                partial = self.analyze_tree(
+                    patched, analyses, top_k=top_k, samples=samples, seed=seed
                 )
-                self._augment_exact_top_event(patched, partial)
             except ReproError as exc:
-                report.outcomes.append(
-                    ScenarioOutcome(
-                        name=scenario.name,
-                        description=scenario.describe(),
-                        time_s=time.perf_counter() - scenario_started,
-                        error=str(exc),
-                    )
+                failed = ScenarioOutcome(
+                    name=scenario.name,
+                    description=scenario.describe(),
+                    time_s=time.perf_counter() - scenario_started,
+                    error=str(exc),
                 )
+                report.outcomes.append(failed)
+                if on_outcome is not None:
+                    on_outcome(failed)
                 continue
             self._evict_scenario_artifacts(tree, patched)
             top = _top_event_estimate(partial)
             mpmcs = partial.mpmcs
-            report.outcomes.append(
-                ScenarioOutcome(
-                    name=scenario.name,
-                    description=scenario.describe(),
-                    top_event=top,
-                    top_event_delta=(
-                        top - base_top if top is not None and base_top is not None else None
-                    ),
-                    mpmcs_events=mpmcs.events if mpmcs is not None else None,
-                    mpmcs_probability=mpmcs.probability if mpmcs is not None else None,
-                    mpmcs_delta=(
-                        mpmcs.probability - base_mpmcs_probability
-                        if mpmcs is not None and base_mpmcs_probability is not None
-                        else None
-                    ),
-                    mpmcs_changed=mpmcs_identity_changed(
-                        base_mpmcs_events, mpmcs.events if mpmcs is not None else None
-                    ),
-                    time_s=time.perf_counter() - scenario_started,
-                )
+            outcome = ScenarioOutcome(
+                name=scenario.name,
+                description=scenario.describe(),
+                top_event=top,
+                top_event_delta=(
+                    top - base_top if top is not None and base_top is not None else None
+                ),
+                mpmcs_events=mpmcs.events if mpmcs is not None else None,
+                mpmcs_probability=mpmcs.probability if mpmcs is not None else None,
+                mpmcs_delta=(
+                    mpmcs.probability - base_mpmcs_probability
+                    if mpmcs is not None and base_mpmcs_probability is not None
+                    else None
+                ),
+                mpmcs_changed=mpmcs_identity_changed(
+                    base_mpmcs_events, mpmcs.events if mpmcs is not None else None
+                ),
+                time_s=time.perf_counter() - scenario_started,
             )
+            report.outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
 
         report.cache_stats = self.session.cache_info()
         report.total_time_s = time.perf_counter() - started

@@ -24,7 +24,20 @@ GET    ``/jobs/<id>``             one job's status document
 GET    ``/jobs/<id>/result``      the finished job's result (409 until done)
 POST   ``/jobs/<id>/cancel``      cancel a queued job, or request cooperative
                                   cancellation of a running one
+GET    ``/sweeps/<id>/stream``    SSE stream of a sweep job's per-scenario
+                                  progress (``Last-Event-ID`` replays)
+POST   ``/monitor``               start the live tree monitor (409 if running)
+GET    ``/monitor``               monitor status document (404 if none)
+GET    ``/monitor/alerts``        the monitor's alert ledger
+GET    ``/monitor/stream``        SSE stream of monitor deltas and alerts
+POST   ``/monitor/stop``          stop the running monitor
 ====== ========================== ==============================================
+
+The two ``/…/stream`` endpoints speak ``text/event-stream``
+(:mod:`repro.monitoring.sse`): every frame carries the strictly-increasing
+buffer id, so a client reconnecting with ``Last-Event-ID`` receives exactly
+the events it missed.  Streams end with an ``end`` event when the source
+(monitor or job) finishes.
 
 Campaign identity is content-addressed (the id is a hash of the canonical
 spec document), so ``POST /campaigns`` with a spec whose campaign already ran
@@ -57,10 +70,17 @@ from repro.campaigns.ledger import campaign_state
 from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import CampaignSpec
 from repro.exceptions import ReproError
+from repro.fta.parsers.json_format import parse_json_document
 from repro.fta.serializers import to_json_document
 from repro.fta.tree import FaultTree
+from repro.monitoring.events import EventBuffer
+from repro.monitoring.feeds import feed_from_spec
+from repro.monitoring.monitor import TreeMonitor
+from repro.monitoring.sse import SSEClient, format_sse
 from repro.observability.log import log_event
 from repro.observability.metrics import enable_metrics
+from repro.scenarios.serialization import monitor_rules_from_spec
+from repro.scenarios.sweep import DEFAULT_ANALYSES
 from repro.service.jobs import CONTROL_PRIORITY, Job, JobError, JobQueue, JobStatus
 from repro.service.store import open_store
 from repro.service.workers import (
@@ -130,6 +150,10 @@ class AnalysisService:
         # the ledger's state records in the store.
         self._campaigns: Dict[str, Dict[str, Any]] = {}
         self._campaigns_lock = threading.Lock()
+        # The service hosts at most one live monitor at a time (it pins a
+        # warm solver session and a BDD); POST /monitor while one runs is 409.
+        self._monitor: Optional[TreeMonitor] = None
+        self._monitor_lock = threading.Lock()
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -140,6 +164,10 @@ class AnalysisService:
         return self
 
     def stop(self) -> None:
+        with self._monitor_lock:
+            monitor = self._monitor
+        if monitor is not None and monitor.running:
+            monitor.stop()
         if self._started:
             self.pool.stop()
             self._started = False
@@ -241,6 +269,89 @@ class AnalysisService:
                 }
             )
         return documents
+
+    # -- live monitoring --------------------------------------------------------------
+
+    def start_monitor(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Build and start a :class:`TreeMonitor` from the request payload.
+
+        Payload shape::
+
+            {"tree": <tree document>,
+             "feed": {"type": "synthetic" | "file" | "http", ...},
+             "rules": [<rule documents>],          # optional
+             "backend": "maxsat", "analyses": [...], "top_k": 5,
+             "max_updates": 500, "include_reports": false}
+
+        The monitor runs on its own daemon thread (plus a staleness-watchdog
+        thread when the rules ask for one), re-analysing through a
+        store-backed session so its artifacts and alert ledger persist.
+        """
+        tree_document = payload.get("tree")
+        if not isinstance(tree_document, dict):
+            raise JobError("monitor payload needs a 'tree' JSON document")
+        feed_spec = payload.get("feed")
+        if not isinstance(feed_spec, dict):
+            raise JobError("monitor payload needs a 'feed' spec object")
+        max_updates = payload.get("max_updates")
+        if max_updates is not None and (
+            not isinstance(max_updates, int)
+            or isinstance(max_updates, bool)
+            or max_updates < 1
+        ):
+            raise JobError(f"'max_updates' must be a positive integer, got {max_updates!r}")
+        tree = parse_json_document(tree_document)
+        rules = monitor_rules_from_spec(payload.get("rules"))
+        with self._monitor_lock:
+            if self._monitor is not None and self._monitor.running:
+                raise JobError("a monitor is already running; POST /monitor/stop first")
+            monitor = TreeMonitor(
+                tree,
+                backend=payload.get("backend", "maxsat"),
+                analyses=tuple(payload.get("analyses", DEFAULT_ANALYSES)),
+                top_k=int(payload.get("top_k", 5)),
+                rules=rules,
+                store=self._store_view,
+                include_reports=bool(payload.get("include_reports", False)),
+                buffer_size=int(payload.get("buffer_size", 4096)),
+            )
+            feed = feed_from_spec(feed_spec, tree=tree)
+            monitor.start(feed, max_updates=max_updates)
+            self._monitor = monitor
+        log_event(
+            "service.http",
+            "monitor_started",
+            tree=tree.name,
+            feed=feed_spec.get("type"),
+            rules=len(rules),
+        )
+        return monitor.status()
+
+    def _require_monitor(self) -> TreeMonitor:
+        with self._monitor_lock:
+            monitor = self._monitor
+        if monitor is None:
+            raise JobError("no monitor is running")
+        return monitor
+
+    def monitor_status(self) -> Dict[str, Any]:
+        return self._require_monitor().status()
+
+    def monitor_alerts(self) -> List[Dict[str, Any]]:
+        return self._require_monitor().engine.ledger()
+
+    def monitor_events(self) -> EventBuffer:
+        return self._require_monitor().events
+
+    def stop_monitor(self) -> Dict[str, Any]:
+        monitor = self._require_monitor()
+        monitor.stop()
+        log_event("service.http", "monitor_stopped", tree=monitor.tree.name)
+        return monitor.status()
+
+    def sweep_progress(self, job_id: str) -> EventBuffer:
+        """The progress buffer behind ``GET /sweeps/<id>/stream``."""
+        return self.queue.get(job_id).progress
 
     def health(self) -> Dict[str, Any]:
         document: Dict[str, Any] = {
@@ -349,6 +460,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif path.startswith("/jobs/"):
                 job = self.service.queue.get(path[len("/jobs/") :])
                 self._send_json(200, {"job": job.to_dict()})
+            elif path.startswith("/sweeps/") and path.endswith("/stream"):
+                job_id = path[len("/sweeps/") : -len("/stream")]
+                self._stream_buffer(self.service.sweep_progress(job_id))
+            elif path == "/monitor":
+                self._send_json(200, {"monitor": self.service.monitor_status()})
+            elif path == "/monitor/alerts":
+                self._send_json(200, {"alerts": self.service.monitor_alerts()})
+            elif path == "/monitor/stream":
+                self._stream_buffer(self.service.monitor_events())
             elif path == "/campaigns":
                 self._send_json(200, {"campaigns": self.service.campaigns()})
             elif path.startswith("/campaigns/") and path.endswith("/result"):
@@ -369,7 +489,54 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     @staticmethod
     def _is_not_found(exc: JobError) -> bool:
         message = str(exc)
-        return "unknown job id" in message or "unknown campaign id" in message
+        return (
+            "unknown job id" in message
+            or "unknown campaign id" in message
+            or "no monitor is running" in message
+        )
+
+    @staticmethod
+    def _is_conflict(exc: JobError) -> bool:
+        return "already running" in str(exc)
+
+    # -- streaming --------------------------------------------------------------------
+
+    def _stream_buffer(
+        self, buffer: EventBuffer, *, poll_interval_s: float = 0.25
+    ) -> None:
+        """Serve one :class:`EventBuffer` as a ``text/event-stream`` response.
+
+        Honours ``Last-Event-ID`` (replay starts after it), follows the
+        buffer live, and ends the response once the buffer is closed and
+        drained — the final frame a client sees is the source's ``end``
+        event.  A vanished client (broken pipe) terminates the stream
+        silently; the buffer itself is untouched, so reconnection resumes.
+        """
+        header = self.headers.get("Last-Event-ID")
+        try:
+            last_id = int(header) if header else 0
+        except ValueError:
+            raise JobError(f"Last-Event-ID must be an integer, got {header!r}")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # No Content-Length: the stream is delimited by connection close, so
+        # this keep-alive connection cannot be reused afterwards.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            while True:
+                events, closed = buffer.wait_for(last_id, timeout=poll_interval_s)
+                for event in events:
+                    self.wfile.write(format_sse(event))
+                    last_id = event.id
+                if events:
+                    self.wfile.flush()
+                elif closed:
+                    return
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away; nothing to clean up
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
@@ -385,10 +552,20 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 campaign_id = path[len("/campaigns/") : -len("/resume")]
                 job, campaign_id = self.service.resume_campaign(campaign_id)
                 self._send_json(202, {"job": job.to_dict(), "campaign": campaign_id})
+            elif path == "/monitor":
+                payload = self._read_body()
+                self._send_json(202, {"monitor": self.service.start_monitor(payload)})
+            elif path == "/monitor/stop":
+                self._send_json(200, {"monitor": self.service.stop_monitor()})
             else:
                 self._error(404, f"unknown path {path!r}")
         except JobError as exc:
-            self._error(404 if self._is_not_found(exc) else 400, str(exc))
+            if self._is_not_found(exc):
+                self._error(404, str(exc))
+            elif self._is_conflict(exc):
+                self._error(409, str(exc))
+            else:
+                self._error(400, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
 
@@ -616,6 +793,75 @@ class ServiceClient:
 
     def resume_campaign(self, campaign_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/campaigns/{campaign_id}/resume")
+
+    # -- live monitoring --------------------------------------------------------------
+
+    def start_monitor(
+        self,
+        tree: Union[FaultTree, Dict[str, Any]],
+        *,
+        feed: Dict[str, Any],
+        rules: Optional[Sequence[Dict[str, Any]]] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """``POST /monitor``: start the live monitor; returns its status."""
+        payload: Dict[str, Any] = {
+            "tree": self._tree_document(tree),
+            "feed": dict(feed),
+            **options,
+        }
+        if rules is not None:
+            payload["rules"] = list(rules)
+        return self._request("POST", "/monitor", payload)["monitor"]
+
+    def monitor(self) -> Dict[str, Any]:
+        return self._request("GET", "/monitor")["monitor"]
+
+    def monitor_alerts(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/monitor/alerts")["alerts"]
+
+    def stop_monitor(self) -> Dict[str, Any]:
+        return self._request("POST", "/monitor/stop")["monitor"]
+
+    def stream_monitor(
+        self,
+        *,
+        last_event_id: int = 0,
+        retry_interval_s: float = 0.5,
+        max_retries: int = 10,
+    ) -> "SSEClient":
+        """Iterator over ``GET /monitor/stream`` events.
+
+        Returns a reconnecting :class:`~repro.monitoring.sse.SSEClient`:
+        iterate it for :class:`~repro.monitoring.sse.SSEvent` records
+        (``delta``/``alert``/``base``/``end`` kinds).  A dropped connection
+        reconnects with ``Last-Event-ID``, so no event is observed twice and
+        none is skipped while the server still buffers it.
+        """
+        return SSEClient(
+            f"{self.base_url}/monitor/stream",
+            last_event_id=last_event_id,
+            timeout_s=self.timeout,
+            retry_interval_s=retry_interval_s,
+            max_retries=max_retries,
+        )
+
+    def stream_sweep(
+        self,
+        job_id: str,
+        *,
+        last_event_id: int = 0,
+        retry_interval_s: float = 0.5,
+        max_retries: int = 10,
+    ) -> "SSEClient":
+        """Iterator over ``GET /sweeps/<id>/stream`` per-scenario progress."""
+        return SSEClient(
+            f"{self.base_url}/sweeps/{job_id}/stream",
+            last_event_id=last_event_id,
+            timeout_s=self.timeout,
+            retry_interval_s=retry_interval_s,
+            max_retries=max_retries,
+        )
 
     def wait(
         self, job_id: str, *, timeout: float = 300.0, poll_interval: float = 0.1

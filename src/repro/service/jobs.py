@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.monitoring.events import EventBuffer
 from repro.observability.metrics import get_metrics
 
 __all__ = [
@@ -102,6 +103,11 @@ class Job:
     #: (see :mod:`repro.observability.trace`); served by
     #: ``GET /jobs/<id>/trace`` once the job is terminal.
     trace: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    #: Live progress stream: workers append per-scenario/per-chunk events
+    #: while the job runs, ``GET /sweeps/<id>/stream`` replays and follows
+    #: them as Server-Sent Events.  Closed by the queue when the job settles,
+    #: which is what terminates attached streams.
+    progress: EventBuffer = field(default_factory=EventBuffer, repr=False)
 
     @property
     def cancel_requested(self) -> bool:
@@ -150,6 +156,9 @@ class JobQueue:
         self._next_id = 0
         self._next_seq = 0
         self._closed = False
+        # Publish zeroed gauges immediately: scrapes see the queue families
+        # from service start, not only after the first job transition.
+        self._update_gauges()
 
     # -- submission -------------------------------------------------------------------
 
@@ -186,7 +195,7 @@ class JobQueue:
             heapq.heappush(self._pending, (-priority, self._next_seq, job.id))
             registry = get_metrics()
             registry.inc("repro_jobs_submitted_total", kind=kind)
-            registry.set_gauge("repro_queue_depth", self._queued_count())
+            self._update_gauges()
             self._not_empty.notify()
             return job
 
@@ -210,13 +219,12 @@ class JobQueue:
                         continue
                     job.status = JobStatus.RUNNING
                     job.started_at = time.time()
-                    registry = get_metrics()
-                    registry.observe(
+                    get_metrics().observe(
                         "repro_queue_claim_latency_seconds",
                         max(0.0, job.started_at - job.submitted_at),
                         kind=job.kind,
                     )
-                    registry.set_gauge("repro_queue_depth", self._queued_count())
+                    self._update_gauges()
                     return job
                 if self._closed:
                     return None
@@ -253,10 +261,16 @@ class JobQueue:
             job.result = result
             job.error = error
             job.finished_at = time.time()
+            # The final "end" frame is what tells a streaming client the job
+            # settled (a bare close is indistinguishable from a dropped
+            # connection, which clients answer by reconnecting forever).
+            job.progress.append("end", {"job": job.id, "status": status.value})
+            job.progress.close()
             get_metrics().inc(
                 "repro_jobs_completed_total", kind=job.kind, status=status.value
             )
             self._remember_finished(job.id)
+            self._update_gauges()
             self._job_done.notify_all()
             return job
 
@@ -283,12 +297,13 @@ class JobQueue:
             if job.status is JobStatus.QUEUED:
                 job.status = JobStatus.CANCELLED
                 job.finished_at = time.time()
-                registry = get_metrics()
-                registry.inc(
+                job.progress.append("end", {"job": job.id, "status": "cancelled"})
+                job.progress.close()
+                get_metrics().inc(
                     "repro_jobs_completed_total", kind=job.kind, status="cancelled"
                 )
-                registry.set_gauge("repro_queue_depth", self._queued_count())
                 self._remember_finished(job.id)
+                self._update_gauges()
                 self._job_done.notify_all()
                 return job
             if job.status is JobStatus.RUNNING:
@@ -335,6 +350,22 @@ class JobQueue:
 
     def _queued_count(self) -> int:
         return sum(1 for job in self._jobs.values() if job.status is JobStatus.QUEUED)
+
+    def _update_gauges(self) -> None:
+        """Refresh the queue-depth and per-state job-count gauges.
+
+        Counts every state on every transition (the ledger is bounded by
+        ``max_finished``, so this stays O(hundreds)): terminal counts must
+        *decrease* when old jobs are trimmed, which an incremental +1/-1
+        scheme would miss.
+        """
+        counts = {status: 0 for status in JobStatus}
+        for job in self._jobs.values():
+            counts[job.status] += 1
+        registry = get_metrics()
+        registry.set_gauge("repro_queue_depth", counts[JobStatus.QUEUED])
+        for status, count in counts.items():
+            registry.set_gauge("repro_jobs_by_state", count, state=status.value)
 
     def _require(self, job_id: str) -> Job:
         job = self._jobs.get(job_id)

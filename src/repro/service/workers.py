@@ -189,6 +189,7 @@ def run_parallel_sweep(
     cache_max_entries: Optional[int] = None,
     session: Optional[AnalysisSession] = None,
     stop_check: Optional[Any] = None,
+    on_outcome: Optional[Any] = None,
 ) -> ScenarioReport:
     """Evaluate a scenario sweep partitioned over ``workers`` processes.
 
@@ -211,7 +212,10 @@ def run_parallel_sweep(
     merges, nothing persists.
 
     ``stop_check`` is a zero-argument callable polled at scenario and chunk
-    boundaries; aborting is done by raising from it.
+    boundaries; aborting is done by raising from it.  ``on_outcome`` is the
+    campaign runner's per-scenario progress hook (at-least-once delivery;
+    see :class:`~repro.campaigns.runner.CampaignRunner`): the service uses it
+    to stream partial sweep results while the job runs.
     """
     scenario_list = list(scenarios)
     started = time.perf_counter()
@@ -250,6 +254,7 @@ def run_parallel_sweep(
         session=session,
         cache_max_entries=cache_max_entries,
         stop_check=stop_check,
+        on_outcome=on_outcome,
     )
     outcome = runner.run(spec, tree=tree, scenario_overrides={"sweep": scenario_list})
     report = outcome.report()
@@ -362,7 +367,7 @@ class JobRunner:
                 if job.kind == "batch":
                     return self._run_batch(job.payload, guard)
                 if job.kind == "sweep":
-                    return self._run_sweep(job.payload, guard)
+                    return self._run_sweep(job.payload, guard, progress=job.progress)
                 if job.kind == "frontier":
                     return self._run_frontier(job.payload)
                 if job.kind == "campaign":
@@ -416,12 +421,28 @@ class JobRunner:
         }
 
     def _run_sweep(
-        self, payload: Dict[str, Any], guard: Optional[_JobGuard] = None
+        self,
+        payload: Dict[str, Any],
+        guard: Optional[_JobGuard] = None,
+        progress: Optional[Any] = None,
     ) -> Dict[str, Any]:
         tree, scenarios = decode_sweep_payload(payload)
         # A missing/zero workers field means "use the service default" (the
         # CLI always sends the key, with 0 when the user did not choose).
         workers = int(payload.get("workers") or 0) or self.sweep_workers
+        on_outcome = None
+        if progress is not None:
+            total = len(scenarios)
+
+            def on_outcome(outcome: Any) -> None:
+                # The buffer closes when the job settles; a replayed chunk
+                # racing a cancellation must not crash the worker over a
+                # progress frame nobody can receive anymore.
+                if not progress.closed:
+                    document = outcome.to_dict()
+                    document["total"] = total
+                    progress.append("scenario", document)
+
         report = run_parallel_sweep(
             tree,
             scenarios,
@@ -437,6 +458,7 @@ class JobRunner:
             cache_max_entries=self.cache_max_entries,
             session=self.session if workers <= 1 else None,
             stop_check=guard.check if guard is not None else None,
+            on_outcome=on_outcome,
         )
         return {
             "kind": "sweep",

@@ -19,7 +19,7 @@ from repro.exceptions import ConfigurationError
 from repro.fta.gates import GateType
 from repro.fta.tree import FaultTree
 
-__all__ = ["GeneratorConfig", "random_fault_tree"]
+__all__ = ["GeneratorConfig", "probability_walk", "random_fault_tree"]
 
 
 @dataclass
@@ -134,6 +134,54 @@ def random_fault_tree(
     tree.set_top_event(open_nodes[0])
     tree.validate()
     return tree
+
+
+def probability_walk(
+    tree: FaultTree,
+    *,
+    steps: int,
+    seed: int = 0,
+    events_per_step: int = 1,
+    volatility: float = 0.35,
+    probability_range: Tuple[float, float] = (1e-6, 0.99),
+):
+    """Yield ``steps`` batches of basic-event probability changes.
+
+    Each batch is a ``{event_name: new_probability}`` dict produced by a
+    log-space random walk over the tree's basic events: every step picks
+    ``events_per_step`` distinct events and multiplies their current
+    probability by ``exp(gauss(0, volatility))``, clamped to
+    ``probability_range``.  The walk is fully deterministic given a seed —
+    it drives the synthetic live-monitoring feed
+    (:class:`repro.monitoring.feeds.SyntheticFeed`) and its tests, which
+    re-derive expected values from the same seed.
+    """
+    if steps < 0:
+        raise ConfigurationError(f"steps cannot be negative, got {steps}")
+    if volatility <= 0:
+        raise ConfigurationError(f"volatility must be positive, got {volatility}")
+    low, high = probability_range
+    if not 0 < low <= high <= 1:
+        raise ConfigurationError(f"invalid probability range {probability_range}")
+    events = sorted(tree.events_reachable_from_top())
+    if not events:
+        raise ConfigurationError(f"tree {tree.name!r} has no reachable basic events")
+    if not 1 <= events_per_step <= len(events):
+        raise ConfigurationError(
+            f"events_per_step must lie in [1, {len(events)}], got {events_per_step}"
+        )
+    import math
+
+    rng = random.Random(seed)
+    current = {name: tree.probabilities()[name] for name in events}
+    for _ in range(steps):
+        batch = {}
+        for name in rng.sample(events, events_per_step):
+            value = current[name] * math.exp(rng.gauss(0.0, volatility))
+            value = min(max(value, low), high)
+            current[name] = value
+            batch[name] = value
+        yield batch
 
 
 def _pick_gate_type(

@@ -1,0 +1,175 @@
+"""Alert rules, hysteresis, the engine's ledger, and wire round-trips."""
+
+import pytest
+
+from repro.monitoring.alerts import (
+    AlertEngine,
+    FeedStaleness,
+    MpmcsChanged,
+    PTopJump,
+    PTopThreshold,
+    RuleError,
+    load_alert_ledger,
+    rule_from_dict,
+    rule_to_dict,
+    rules_from_spec,
+)
+from repro.monitoring.monitor import MonitorDelta
+from repro.service.store import DiskArtifactStore
+
+
+def delta(seq=1, ptop=None, previous=None, mpmcs=None, changed=False):
+    return MonitorDelta(
+        seq=seq,
+        timestamp=float(seq),
+        ptop=ptop,
+        previous_ptop=previous,
+        base_ptop=previous,
+        mpmcs_events=mpmcs,
+        mpmcs_probability=None,
+        mpmcs_changed=changed,
+        changed_events=(),
+        latency_s=0.001,
+    )
+
+
+class TestPTopThreshold:
+    def test_fires_once_on_entering_the_region(self):
+        rule = PTopThreshold(0.5)
+        assert rule.evaluate(delta(1, ptop=0.4)) is None
+        assert rule.evaluate(delta(2, ptop=0.6)) is not None
+        # Still above: suppressed until re-armed.
+        assert rule.evaluate(delta(3, ptop=0.9)) is None
+
+    def test_hysteresis_gates_the_rearm(self):
+        rule = PTopThreshold(0.5, hysteresis=0.1)
+        assert rule.evaluate(delta(1, ptop=0.6)) is not None
+        # Dips below the threshold but inside the band: not re-armed.
+        assert rule.evaluate(delta(2, ptop=0.45)) is None
+        assert rule.evaluate(delta(3, ptop=0.55)) is None
+        # Leaves the band: re-armed, next crossing fires again.
+        assert rule.evaluate(delta(4, ptop=0.3)) is None
+        assert rule.evaluate(delta(5, ptop=0.7)) is not None
+
+    def test_below_direction(self):
+        rule = PTopThreshold(0.01, direction="below")
+        assert rule.evaluate(delta(1, ptop=0.02)) is None
+        assert rule.evaluate(delta(2, ptop=0.005)) is not None
+        assert rule.evaluate(delta(3, ptop=0.004)) is None
+
+    def test_ignores_missing_ptop(self):
+        rule = PTopThreshold(0.5)
+        assert rule.evaluate(delta(1, ptop=None)) is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(RuleError):
+            PTopThreshold(1.5)
+        with pytest.raises(RuleError):
+            PTopThreshold(0.5, direction="sideways")
+        with pytest.raises(RuleError):
+            PTopThreshold(0.5, hysteresis=-0.1)
+
+
+class TestMpmcsChanged:
+    def test_fires_only_on_identity_change(self):
+        rule = MpmcsChanged()
+        assert rule.evaluate(delta(1, mpmcs=("x1", "x2"), changed=False)) is None
+        message = rule.evaluate(delta(2, mpmcs=("x5", "x6"), changed=True))
+        assert message is not None and "x5" in message
+        assert rule.evaluate(delta(3, mpmcs=("x5", "x6"), changed=False)) is None
+
+    def test_name_is_the_issue_wire_name(self):
+        assert MpmcsChanged().name == "mpmcs_identity_changed"
+
+
+class TestPTopJump:
+    def test_fires_on_relative_jump(self):
+        rule = PTopJump(0.5)
+        assert rule.evaluate(delta(1, ptop=0.011, previous=0.01)) is None
+        assert rule.evaluate(delta(2, ptop=0.02, previous=0.01)) is not None
+        assert rule.evaluate(delta(3, ptop=0.004, previous=0.01)) is not None
+
+    def test_needs_a_positive_previous(self):
+        rule = PTopJump(0.5)
+        assert rule.evaluate(delta(1, ptop=0.5, previous=None)) is None
+        assert rule.evaluate(delta(2, ptop=0.5, previous=0.0)) is None
+
+    def test_validation(self):
+        with pytest.raises(RuleError):
+            PTopJump(0.0)
+
+
+class TestFeedStaleness:
+    def test_fires_once_per_silence(self):
+        rule = FeedStaleness(1.0)
+        assert rule.check(0.5) is None
+        assert rule.check(1.5) is not None
+        assert rule.check(2.5) is None  # same silence: suppressed
+        rule.evaluate(delta(1, ptop=0.1))  # data arrived: re-armed
+        assert rule.check(1.5) is not None
+
+    def test_validation(self):
+        with pytest.raises(RuleError):
+            FeedStaleness(0.0)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            PTopThreshold(0.25, direction="below", hysteresis=0.05),
+            MpmcsChanged(),
+            PTopJump(0.75),
+            FeedStaleness(3.5),
+        ],
+    )
+    def test_round_trip(self, rule):
+        document = rule_to_dict(rule)
+        rebuilt = rule_from_dict(document)
+        assert rule_to_dict(rebuilt) == document
+        assert rebuilt.name == rule.name
+
+    def test_unknown_rule_kind_rejected(self):
+        with pytest.raises(RuleError):
+            rule_from_dict({"rule": "sacrificial-goat"})
+        with pytest.raises(RuleError):
+            rule_from_dict("ptop_threshold")
+
+    def test_rules_from_spec(self):
+        rules = rules_from_spec(
+            [{"rule": "ptop_threshold", "threshold": 0.4}, {"rule": "mpmcs_changed"}]
+        )
+        assert [rule.kind for rule in rules] == ["ptop_threshold", "mpmcs_changed"]
+        assert rules_from_spec(None) == []
+        with pytest.raises(RuleError):
+            rules_from_spec("not-a-list")
+
+
+class TestAlertEngine:
+    def test_evaluate_collects_fired_rules(self):
+        engine = AlertEngine([PTopThreshold(0.5), MpmcsChanged()])
+        fired = engine.evaluate(delta(3, ptop=0.7, mpmcs=("a",), changed=True))
+        assert sorted(alert.kind for alert in fired) == [
+            "mpmcs_changed", "ptop_threshold"
+        ]
+        assert all(alert.seq == 3 for alert in fired)
+        assert len(engine.alerts) == 2
+
+    def test_ledger_is_bounded(self):
+        engine = AlertEngine([MpmcsChanged()], max_alerts=3)
+        for seq in range(1, 8):
+            engine.evaluate(delta(seq, mpmcs=("a",), changed=True))
+        assert [alert.seq for alert in engine.alerts] == [5, 6, 7]
+
+    def test_ledger_persists_to_store_and_loads_back(self, tmp_path):
+        store = DiskArtifactStore(str(tmp_path))
+        engine = AlertEngine(
+            [MpmcsChanged()], store=store, ledger_key="monitor-abc"
+        )
+        engine.evaluate(delta(4, mpmcs=("x5",), changed=True))
+        persisted = load_alert_ledger(store, "monitor-abc")
+        assert len(persisted) == 1
+        assert persisted[0]["rule"] == "mpmcs_identity_changed"
+        assert persisted[0]["seq"] == 4
+        assert load_alert_ledger(store, "unknown-key") == []
+        assert load_alert_ledger(None, "monitor-abc") == []

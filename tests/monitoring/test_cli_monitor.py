@@ -1,0 +1,127 @@
+"""The ``repro monitor`` and ``repro watch`` commands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.http import AnalysisService, serve
+from repro.workloads.library import fire_protection_system
+
+
+class TestMonitorLocal:
+    def test_synthetic_run_prints_deltas_and_summary(self, capsys):
+        code = main([
+            "monitor", "--builtin", "fps", "--updates", "5", "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("P(top)=") >= 6  # base + 5 deltas + summary
+        assert "#5 " in out
+        assert "updates:  5" in out
+
+    def test_alert_flags_fire_and_print(self, capsys):
+        # Drive P(top) across 0.0 from above: direction below never fires,
+        # but an above-threshold at ~0 fires on the first delta.
+        code = main([
+            "monitor", "--builtin", "fps", "--updates", "4", "--seed", "2",
+            "--alert-ptop", "0.0001", "--alerts-only",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALERT [ptop_above_0.0001]" in out
+        assert "#1 " not in out  # deltas suppressed by --alerts-only
+
+    def test_file_feed_with_idle_timeout(self, tmp_path, capsys):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(
+            json.dumps({"values": {"x1": 0.9, "x2": 0.9}, "seq": 1}) + "\n",
+            encoding="utf-8",
+        )
+        code = main([
+            "monitor", "--builtin", "fps",
+            "--feed-file", str(feed), "--idle-timeout", "0.2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "updates:  1" in out
+
+    def test_feed_file_and_feed_url_are_mutually_exclusive(self, capsys):
+        code = main([
+            "monitor", "--builtin", "fps",
+            "--feed-file", "x.jsonl", "--feed-url", "http://example.invalid",
+        ])
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_alert_ledger_persists_to_the_store(self, tmp_path, capsys):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(
+            json.dumps({"values": {"x1": 1e-6, "x2": 1e-6}, "seq": 1}) + "\n",
+            encoding="utf-8",
+        )
+        store = tmp_path / "store"
+        code = main([
+            "monitor", "--builtin", "fps",
+            "--feed-file", str(feed), "--idle-timeout", "0.2",
+            "--store", str(store),
+        ])
+        assert code == 0
+        assert "ALERT [mpmcs_identity_changed]" in capsys.readouterr().out
+        assert any(store.iterdir())  # the ledger reached disk
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    service = AnalysisService(store_path=str(tmp_path / "store"), workers=1)
+    server = serve(service, port=0)
+    yield f"http://127.0.0.1:{server.server_port}"
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+class TestRemote:
+    def test_monitor_url_streams_from_the_service(self, live_server, capsys):
+        code = main([
+            "monitor", "--builtin", "fps", "--url", live_server,
+            "--updates", "4", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "monitor monitor-fire-protection-system started" in out
+        assert out.count("#") >= 4
+        assert "stream ended" in out
+
+    def test_watch_attaches_to_a_running_monitor(self, live_server, capsys):
+        assert main([
+            "monitor", "--builtin", "fps", "--url", live_server,
+            "--updates", "3", "--seed", "1",
+        ]) == 0
+        capsys.readouterr()
+        # The finished monitor's stream replays fully for a late watcher.
+        code = main(["watch", "--url", live_server])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("#") == 3 and "stream ended" in out
+
+    def test_watch_respects_max_events_and_last_event_id(
+        self, live_server, capsys
+    ):
+        assert main([
+            "monitor", "--builtin", "fps", "--url", live_server,
+            "--updates", "3", "--seed", "1",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "watch", "--url", live_server,
+            "--last-event-id", "1", "--max-events", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len(out.strip().splitlines()) == 2
+
+    def test_watch_without_a_monitor_fails_cleanly(self, live_server, capsys):
+        code = main(["watch", "--url", live_server])
+        assert code == 1
+        assert "404" in capsys.readouterr().err

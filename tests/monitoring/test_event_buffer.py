@@ -1,0 +1,96 @@
+"""EventBuffer: ids, replay, blocking waits, close semantics, retention."""
+
+import threading
+
+import pytest
+
+from repro.monitoring.events import EventBuffer
+
+
+class TestIds:
+    def test_ids_start_at_one_and_increase(self):
+        buffer = EventBuffer()
+        ids = [buffer.append("delta", {"seq": n}) for n in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+        assert buffer.last_id == 5
+
+    def test_last_id_of_empty_buffer_is_zero(self):
+        assert EventBuffer().last_id == 0
+
+    def test_ids_keep_increasing_past_the_retention_window(self):
+        buffer = EventBuffer(max_events=3)
+        for n in range(10):
+            buffer.append("delta", {"seq": n})
+        assert [event.id for event in buffer.events_after(0)] == [8, 9, 10]
+
+
+class TestReplay:
+    def test_events_after_returns_only_missed_events(self):
+        buffer = EventBuffer()
+        for n in range(6):
+            buffer.append("delta", {"seq": n})
+        replayed = buffer.events_after(4)
+        assert [event.id for event in replayed] == [5, 6]
+        assert [event.data["seq"] for event in replayed] == [4, 5]
+
+    def test_caught_up_consumer_gets_nothing(self):
+        buffer = EventBuffer()
+        buffer.append("delta", {})
+        assert buffer.events_after(1) == []
+
+    def test_fallen_behind_consumer_resumes_from_oldest_retained(self):
+        buffer = EventBuffer(max_events=2)
+        for n in range(5):
+            buffer.append("delta", {"seq": n})
+        assert [event.id for event in buffer.events_after(1)] == [4, 5]
+
+
+class TestWaitFor:
+    def test_returns_immediately_when_events_are_pending(self):
+        buffer = EventBuffer()
+        buffer.append("delta", {"seq": 1})
+        events, closed = buffer.wait_for(0, timeout=0.01)
+        assert [event.id for event in events] == [1]
+        assert closed is False
+
+    def test_times_out_empty_when_nothing_arrives(self):
+        buffer = EventBuffer()
+        events, closed = buffer.wait_for(0, timeout=0.01)
+        assert events == [] and closed is False
+
+    def test_wakes_on_append_from_another_thread(self):
+        buffer = EventBuffer()
+        threading.Timer(0.05, buffer.append, ("delta", {"seq": 1})).start()
+        events, closed = buffer.wait_for(0, timeout=5.0)
+        assert [event.id for event in events] == [1]
+        assert closed is False
+
+    def test_wakes_on_close_from_another_thread(self):
+        buffer = EventBuffer()
+        threading.Timer(0.05, buffer.close).start()
+        events, closed = buffer.wait_for(0, timeout=5.0)
+        assert events == [] and closed is True
+
+
+class TestClose:
+    def test_append_after_close_raises(self):
+        buffer = EventBuffer()
+        buffer.close()
+        with pytest.raises(RuntimeError):
+            buffer.append("delta", {})
+
+    def test_closed_buffer_still_drains_pending_events(self):
+        buffer = EventBuffer()
+        buffer.append("delta", {"seq": 1})
+        buffer.append("end", {})
+        buffer.close()
+        events, closed = buffer.wait_for(0, timeout=0.01)
+        assert [event.kind for event in events] == ["delta", "end"]
+        assert closed is True
+        # Fully caught up: the empty list is the end-of-stream signal.
+        events, closed = buffer.wait_for(2, timeout=0.01)
+        assert events == [] and closed is True
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            EventBuffer(max_events=0)

@@ -1,0 +1,155 @@
+"""SSE framing and the reconnecting client, against a scripted HTTP server."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.monitoring.events import BufferedEvent
+from repro.monitoring.sse import SSEClient, SSEvent, StreamError, format_sse, parse_sse
+
+
+class TestFraming:
+    def test_format_renders_the_standard_frame(self):
+        frame = format_sse(BufferedEvent(42, "delta", {"seq": 17, "ptop": 0.5}))
+        assert frame == b'id: 42\nevent: delta\ndata: {"ptop":0.5,"seq":17}\n\n'
+
+    def test_round_trip(self):
+        events = [
+            BufferedEvent(1, "base", {"tree": "fps"}),
+            BufferedEvent(2, "delta", {"seq": 1, "mpmcs": ["x1", "x2"]}),
+            BufferedEvent(3, "end", {}),
+        ]
+        wire = b"".join(format_sse(event) for event in events)
+        parsed = list(parse_sse(wire.splitlines(keepends=True)))
+        assert [(e.id, e.event, e.data) for e in parsed] == [
+            (1, "base", {"tree": "fps"}),
+            (2, "delta", {"seq": 1, "mpmcs": ["x1", "x2"]}),
+            (3, "end", {}),
+        ]
+
+    def test_parse_handles_multiline_data_and_comments(self):
+        wire = (
+            b": keepalive comment\n"
+            b"id: 7\n"
+            b"event: delta\n"
+            b"data: line one\n"
+            b"data: line two\n"
+            b"\n"
+        )
+        (event,) = parse_sse(wire.splitlines(keepends=True))
+        assert event == SSEvent(id=7, event="delta", data="line one\nline two")
+
+    def test_parse_drops_an_unterminated_trailing_frame(self):
+        wire = b"id: 1\nevent: delta\ndata: {}\n\nid: 2\nevent: delta\n"
+        parsed = list(parse_sse(wire.splitlines(keepends=True)))
+        assert [event.id for event in parsed] == [1]
+
+    def test_parse_passes_non_json_data_through_as_text(self):
+        (event,) = parse_sse([b"data: not json\n", b"\n"])
+        assert event.data == "not json"
+        assert event.event == "message" and event.id is None
+
+
+class _ScriptedSSEHandler(BaseHTTPRequestHandler):
+    """Serves /stream from a per-server script of (frames, drop) acts.
+
+    Each connection consumes the next act: its frames are filtered by the
+    request's ``Last-Event-ID`` (mimicking the ring-buffer replay), then the
+    connection is closed — abruptly when ``drop`` is set, cleanly otherwise.
+    """
+
+    server_version = "scripted-sse"
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        script = self.server.script
+        acts_served = self.server.acts_served
+        act = script[min(len(acts_served), len(script) - 1)]
+        acts_served.append(self.headers.get("Last-Event-ID"))
+        frames, drop = act
+        last_id = int(self.headers.get("Last-Event-ID", 0))
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        for event in frames:
+            if event.id > last_id:
+                self.wfile.write(format_sse(event))
+        self.wfile.flush()
+        if drop:
+            # Abrupt close mid-stream: no terminating chunk, reader errors.
+            self.connection.close()
+
+    def log_message(self, *args):  # noqa: D102 - silence test output
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedSSEHandler)
+    server.script = []
+    server.acts_served = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _events(*specs):
+    return [BufferedEvent(i, kind, data) for i, kind, data in specs]
+
+
+class TestSSEClient:
+    def test_consumes_a_finite_stream(self, scripted_server):
+        scripted_server.script.append((
+            _events(
+                (1, "base", {}), (2, "delta", {"seq": 1}), (3, "end", {})
+            ),
+            False,
+        ))
+        url = f"http://127.0.0.1:{scripted_server.server_address[1]}/stream"
+        events = list(SSEClient(url, retry_interval_s=0.01))
+        assert [event.id for event in events] == [1, 2, 3]
+        assert events[-1].is_end
+
+    def test_survives_a_dropped_connection_and_replays_only_missed(
+        self, scripted_server
+    ):
+        full = _events(
+            (1, "base", {}),
+            (2, "delta", {"seq": 1}),
+            (3, "delta", {"seq": 2}),
+            (4, "delta", {"seq": 3}),
+            (5, "end", {}),
+        )
+        # First connection drops after event 2; the second serves the rest.
+        scripted_server.script.append((full[:2], True))
+        scripted_server.script.append((full, False))
+        url = f"http://127.0.0.1:{scripted_server.server_address[1]}/stream"
+        client = SSEClient(url, retry_interval_s=0.01)
+        events = list(client)
+        # Every event exactly once, ids strictly increasing across the drop.
+        assert [event.id for event in events] == [1, 2, 3, 4, 5]
+        assert client.reconnects == 1
+        # The reconnect carried Last-Event-ID: the server replayed from 3.
+        assert scripted_server.acts_served == [None, "2"]
+
+    def test_last_event_id_skips_already_seen_frames(self, scripted_server):
+        scripted_server.script.append((
+            _events(
+                (1, "base", {}), (2, "delta", {}), (3, "delta", {}), (4, "end", {})
+            ),
+            False,
+        ))
+        url = f"http://127.0.0.1:{scripted_server.server_address[1]}/stream"
+        events = list(SSEClient(url, last_event_id=2, retry_interval_s=0.01))
+        assert [event.id for event in events] == [3, 4]
+
+    def test_missing_endpoint_raises_before_first_connect(self):
+        client = SSEClient(
+            "http://127.0.0.1:9/stream", retry_interval_s=0.01, max_retries=1
+        )
+        with pytest.raises(StreamError):
+            list(client)

@@ -5,6 +5,7 @@ import threading
 
 import pytest
 
+from repro.observability.log import MemoryLogger, set_logger
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -133,6 +134,42 @@ class TestSnapshotMerge:
         parent.merge_snapshot(None)
         parent.merge_snapshot({})
         assert parent.render_prometheus() == "\n"
+
+    def test_merge_drops_histogram_series_with_mismatched_buckets(self):
+        parent = MetricsRegistry()
+        parent.observe("lat", 0.01, buckets=(0.1, 1.0), kind="x")
+
+        mismatched = MetricsRegistry()
+        mismatched.observe("lat", 0.02, buckets=(0.5, 5.0), kind="x")
+        mismatched.observe("other", 0.04, buckets=(9.0,), kind="y")
+        compatible = MetricsRegistry()
+        compatible.observe("lat", 0.03, buckets=(0.1, 1.0), kind="x")
+
+        parent.merge_snapshot(mismatched.snapshot())
+        parent.merge_snapshot(compatible.snapshot())
+        # The mismatched series did not pollute the parent's counts: only the
+        # parent's own observation plus the compatible child one remain.
+        assert parent.histogram_count("lat", kind="x") == 2
+        # A series the parent never saw merges fine, whatever its bounds.
+        assert parent.histogram_count("other", kind="y") == 1
+        assert parent.counter_value("metrics_merge_dropped_total", metric="lat") == 1
+        assert parent.counter_value("metrics_merge_dropped_total") == 1
+
+    def test_mismatched_merge_drop_is_logged(self):
+        memory = MemoryLogger()
+        previous = set_logger(memory)
+        try:
+            parent = MetricsRegistry()
+            parent.observe("lat", 0.01, buckets=(0.1, 1.0))
+            child = MetricsRegistry()
+            child.observe("lat", 0.02, buckets=(0.5,))
+            parent.merge_snapshot(child.snapshot())
+        finally:
+            set_logger(previous)
+        dropped = memory.matching("histogram_series_dropped")
+        assert len(dropped) == 1
+        assert dropped[0]["name"] == "lat"
+        assert dropped[0]["reason"] == "bucket bounds mismatch"
 
 
 class TestGlobalRegistry:

@@ -1,0 +1,168 @@
+"""Monitoring over HTTP: /monitor lifecycle, SSE streams, queue gauges."""
+
+import time
+
+import pytest
+
+from repro.monitoring.sse import StreamError
+from repro.service.http import AnalysisService, ServiceClient, ServiceError, serve
+from repro.workloads.library import fire_protection_system
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    """A fresh service per test: monitors are a process-wide singleton."""
+    service = AnalysisService(store_path=str(tmp_path / "store"), workers=1)
+    server = serve(service, port=0)
+    client = ServiceClient(f"http://127.0.0.1:{server.server_port}", timeout=60.0)
+    yield client
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+SYNTH = {"type": "synthetic", "updates": 6, "seed": 3}
+
+
+def _wait_stopped(client, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.monitor()
+        if not status["running"]:
+            return status
+        time.sleep(0.05)
+    raise AssertionError("monitor did not finish in time")
+
+
+class TestMonitorEndpoints:
+    def test_lifecycle_start_status_alerts_stream(self, live_service):
+        status = live_service.start_monitor(
+            fire_protection_system(),
+            feed=SYNTH,
+            rules=[{"rule": "mpmcs_changed"}],
+        )
+        assert status["tree"] == "fire-protection-system"
+        final = _wait_stopped(live_service)
+        assert final["updates"] == 6
+
+        events = list(live_service.stream_monitor())
+        kinds = [event.event for event in events]
+        assert kinds[0] == "base" and kinds[-1] == "end"
+        assert kinds.count("delta") == 6
+        # Event ids are strictly monotonic over the whole stream.
+        ids = [event.id for event in events]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        assert ids[0] == 1
+
+        alerts = live_service.monitor_alerts()
+        assert all(alert["rule"] == "mpmcs_identity_changed" for alert in alerts)
+
+    def test_stream_replays_only_missed_events_after_last_event_id(
+        self, live_service
+    ):
+        live_service.start_monitor(fire_protection_system(), feed=SYNTH)
+        _wait_stopped(live_service)
+        full = list(live_service.stream_monitor())
+        resumed = list(live_service.stream_monitor(last_event_id=full[2].id))
+        assert [event.id for event in resumed] == [event.id for event in full[3:]]
+
+    def test_no_monitor_is_404(self, live_service):
+        with pytest.raises(ServiceError, match="404"):
+            live_service.monitor()
+        with pytest.raises(ServiceError, match="404"):
+            live_service.monitor_alerts()
+        with pytest.raises(ServiceError, match="404"):
+            live_service.stop_monitor()
+        with pytest.raises(StreamError, match="404"):
+            list(live_service.stream_monitor())
+
+    def test_second_monitor_while_running_is_409(self, live_service):
+        slow = {"type": "synthetic", "updates": 500, "seed": 1, "interval_s": 0.05}
+        live_service.start_monitor(fire_protection_system(), feed=slow)
+        try:
+            with pytest.raises(ServiceError, match="409"):
+                live_service.start_monitor(fire_protection_system(), feed=SYNTH)
+        finally:
+            live_service.stop_monitor()
+
+    def test_stopping_the_monitor_terminates_attached_streams(self, live_service):
+        slow = {"type": "synthetic", "updates": 500, "seed": 1, "interval_s": 0.05}
+        live_service.start_monitor(fire_protection_system(), feed=slow)
+        stream = iter(live_service.stream_monitor())
+        assert next(stream).event == "base"  # attached and receiving
+        live_service.stop_monitor()
+        remaining = list(stream)
+        assert remaining and remaining[-1].event == "end"
+
+    def test_a_finished_monitor_can_be_replaced(self, live_service):
+        live_service.start_monitor(fire_protection_system(), feed=SYNTH)
+        _wait_stopped(live_service)
+        live_service.start_monitor(
+            fire_protection_system(), feed={**SYNTH, "updates": 2}
+        )
+        final = _wait_stopped(live_service)
+        assert final["updates"] == 2  # a fresh monitor, not the old one
+
+    def test_bad_payloads_are_400(self, live_service):
+        with pytest.raises(ServiceError, match="400"):
+            live_service.start_monitor({"not": "a tree"}, feed=SYNTH)
+        with pytest.raises(ServiceError, match="400"):
+            live_service.start_monitor(
+                fire_protection_system(), feed={"type": "carrier-pigeon"}
+            )
+        with pytest.raises(ServiceError, match="400"):
+            live_service.start_monitor(
+                fire_protection_system(), feed=SYNTH, rules=[{"rule": "nope"}]
+            )
+        with pytest.raises(ServiceError, match="400"):
+            live_service.start_monitor(
+                fire_protection_system(), feed=SYNTH, max_updates=-1
+            )
+
+    def test_monitor_metric_families_are_exposed(self, live_service):
+        live_service.start_monitor(
+            fire_protection_system(),
+            feed=SYNTH,
+            rules=[{"rule": "mpmcs_changed"}],
+        )
+        _wait_stopped(live_service)
+        text = live_service.metrics_text()
+        for family in (
+            "repro_monitor_updates_total",
+            "repro_monitor_update_latency_seconds_bucket",
+            "repro_monitor_ptop",
+            "repro_monitor_feed_age_seconds",
+        ):
+            assert family in text, f"missing {family}"
+
+
+class TestSweepStream:
+    def test_streams_per_scenario_progress_then_end(self, live_service):
+        job = live_service.submit_sweep(
+            fire_protection_system(),
+            {"family": "probability_sweep", "event": "x1",
+             "start": 0.001, "stop": 0.5, "steps": 5},
+        )
+        events = list(live_service.stream_sweep(job["id"]))
+        kinds = [event.event for event in events]
+        assert kinds.count("scenario") == 5
+        assert kinds[-1] == "end"
+        assert events[-1].data["status"] == "done"
+        names = [e.data["name"] for e in events if e.event == "scenario"]
+        assert len(names) == 5
+        totals = {e.data["total"] for e in events if e.event == "scenario"}
+        assert totals == {5}
+
+    def test_unknown_job_stream_is_404(self, live_service):
+        with pytest.raises(StreamError, match="404"):
+            list(live_service.stream_sweep("job-does-not-exist"))
+
+
+class TestQueueGauges:
+    def test_queue_depth_and_per_state_gauges(self, live_service):
+        job = live_service.submit_analyze(fire_protection_system())
+        assert live_service.wait(job["id"], timeout=60.0)["status"] == "done"
+        text = live_service.metrics_text()
+        assert "repro_queue_depth 0" in text
+        assert 'repro_jobs_by_state{state="done"} 1' in text
+        assert 'repro_jobs_by_state{state="queued"} 0' in text
