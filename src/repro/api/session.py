@@ -44,6 +44,7 @@ from repro.api.report import AnalysisReport, AnalysisRequest
 from repro.core.pipeline import MPMCSSolver
 from repro.exceptions import AnalysisError
 from repro.fta.tree import FaultTree
+from repro import kernels
 from repro.maxsat.instance import DEFAULT_PRECISION
 from repro.observability import metrics as _metrics
 from repro.observability import trace as _trace
@@ -102,6 +103,12 @@ class AnalysisSession:
     cache:
         Optional pre-existing :class:`ArtifactCache` (e.g. to share artifacts
         across sessions); a fresh one is created otherwise.
+    kernel_tier:
+        Compute-kernel tier for batch evaluation hot paths (``"numpy"``,
+        ``"array"``, ``"python"`` or ``"auto"``); resolved once here via
+        :func:`repro.kernels.select` and surfaced in
+        ``AnalysisReport.profile["kernel"]``.  All tiers produce bit-identical
+        results — this only trades speed.
     """
 
     def __init__(
@@ -111,9 +118,11 @@ class AnalysisSession:
         precision: int = DEFAULT_PRECISION,
         solver: Optional[MPMCSSolver] = None,
         cache: Optional[ArtifactCache] = None,
+        kernel_tier: Optional[str] = None,
     ) -> None:
         self.artifacts = cache if cache is not None else ArtifactCache()
         self.solver = solver if solver is not None else MPMCSSolver(mode=mode, precision=precision)
+        self.kernels = kernels.select(kernel_tier)
         self.context = BackendContext(
             artifacts=self.artifacts, solver=self.solver, precision=precision
         )
@@ -243,6 +252,7 @@ class AnalysisSession:
             # composite request.
             for key, value in partial.profile.items():
                 report.profile[key] = report.profile.get(key, 0) + value
+        report.profile["kernel"] = self.kernels.name
         report.profile["cache_hits"] = self.artifacts.hits - cache_before[0]
         report.profile["cache_misses"] = self.artifacts.misses - cache_before[1]
         if self.artifacts.backend is not None:

@@ -33,7 +33,9 @@ reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bdd.manager import BDD, BDDManager, FALSE_NODE, TRUE_NODE
 from repro.bdd.ordering import variable_order
@@ -41,11 +43,119 @@ from repro.exceptions import AnalysisError
 from repro.fta.tree import FaultTree
 
 __all__ = [
+    "FlatBDD",
     "bdd_mpmcs",
+    "flatten_bdd",
     "mpmcs_of_bdd",
     "probability_of_bdd",
     "top_event_probability",
 ]
+
+
+@dataclass(frozen=True)
+class FlatBDD:
+    """A compiled BDD function as flat topologically-ordered node arrays.
+
+    Node ids are remapped to a compact range: ``0`` is the FALSE terminal,
+    ``1`` the TRUE terminal, and internal nodes occupy ``2 .. 1 + n`` in
+    children-first (topological) order, the root last.  A single forward pass
+    over the internal nodes therefore evaluates the function — this is the
+    form the :mod:`repro.kernels` batch evaluators consume, and what the
+    recursive :func:`probability_of_bdd` walk is rewritten on top of.
+
+    ``events`` lists the distinct variable names the function mentions;
+    ``var_index[i]``, ``low[i]`` and ``high[i]`` describe internal node
+    ``2 + i``: its variable (an index into ``events``) and its two children
+    (compact node ids).
+    """
+
+    events: Tuple[str, ...]
+    var_index: array  # signed 64-bit ints, one per internal node
+    low: array
+    high: array
+    root: int  # compact id of the function's root node
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including the two terminals."""
+        return 2 + len(self.var_index)
+
+    def probability_rows(
+        self, probability_maps: Sequence[Mapping[str, float]]
+    ) -> List[List[float]]:
+        """Per-scenario probability rows in ``events`` order.
+
+        Raises :class:`AnalysisError` when a scenario is missing a
+        probability for one of the function's events — the same error the
+        scalar walk raises.
+        """
+        rows: List[List[float]] = []
+        for probabilities in probability_maps:
+            row: List[float] = []
+            for name in self.events:
+                try:
+                    row.append(probabilities[name])
+                except KeyError as exc:
+                    raise AnalysisError(
+                        f"no probability known for event {name!r}"
+                    ) from exc
+            rows.append(row)
+        return rows
+
+
+def flatten_bdd(function: BDD) -> FlatBDD:
+    """Export ``function`` as a :class:`FlatBDD` node-array form.
+
+    The result is memoised on the owning :class:`BDDManager` keyed by the
+    root node (BDD nodes are hash-consed and immutable, so the flat form of
+    a given root never changes), making repeated batch evaluations of a
+    cached function cheap.
+    """
+    manager = function.manager
+    cache: Dict[int, FlatBDD] = getattr(manager, "_flat_forms", None)  # type: ignore[assignment]
+    if cache is None:
+        cache = {}
+        manager._flat_forms = cache  # type: ignore[attr-defined]
+    cached = cache.get(function.node)
+    if cached is not None:
+        return cached
+
+    # Children-first topological order via iterative post-order DFS.
+    compact: Dict[int, int] = {FALSE_NODE: 0, TRUE_NODE: 1}
+    event_index: Dict[str, int] = {}
+    var_index = array("q")
+    low_arr = array("q")
+    high_arr = array("q")
+    if function.node not in compact:
+        stack: List[Tuple[int, bool]] = [(function.node, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in compact:
+                continue
+            level, low, high = manager.node_triple(node)
+            if not expanded:
+                stack.append((node, True))
+                if high not in compact:
+                    stack.append((high, False))
+                if low not in compact:
+                    stack.append((low, False))
+                continue
+            name = manager.var_at_level(level)
+            index = event_index.setdefault(name, len(event_index))
+            var_index.append(index)
+            low_arr.append(compact[low])
+            high_arr.append(compact[high])
+            compact[node] = len(compact)
+
+    flat = FlatBDD(
+        events=tuple(event_index),
+        var_index=var_index,
+        low=low_arr,
+        high=high_arr,
+        root=compact[function.node],
+    )
+    cache[function.node] = flat
+    return flat
 
 
 def top_event_probability(
@@ -60,25 +170,23 @@ def top_event_probability(
 
 
 def probability_of_bdd(function: BDD, probabilities: Mapping[str, float]) -> float:
-    """Exact probability of an already-compiled BDD function."""
-    manager = function.manager
-    cache: Dict[int, float] = {FALSE_NODE: 0.0, TRUE_NODE: 1.0}
+    """Exact probability of an already-compiled BDD function.
 
-    def visit(node: int) -> float:
-        cached = cache.get(node)
-        if cached is not None:
-            return cached
-        level, low, high = manager.node_triple(node)
-        name = manager.var_at_level(level)
-        try:
-            p = probabilities[name]
-        except KeyError as exc:
-            raise AnalysisError(f"no probability known for event {name!r}") from exc
-        value = p * visit(high) + (1.0 - p) * visit(low)
-        cache[node] = value
-        return value
-
-    return visit(function.node)
+    A single forward pass over the :func:`flatten_bdd` node arrays: children
+    come before parents, so ``P(node) = p * P(high) + (1 - p) * P(low)`` can
+    be evaluated iteratively (no recursion limit on deep BDDs).  The
+    per-node arithmetic is identical to the batch kernels in
+    :mod:`repro.kernels.bdd_eval`, keeping scalar and batched results
+    bit-for-bit equal.
+    """
+    flat = flatten_bdd(function)
+    row = flat.probability_rows((probabilities,))[0]
+    values = [0.0, 1.0]
+    append = values.append
+    for index, lo, hi in zip(flat.var_index, flat.low, flat.high):
+        p = row[index]
+        append(p * values[hi] + (1.0 - p) * values[lo])
+    return values[flat.root]
 
 
 # A DP entry is the best cut set reachable from a node: (probability, sorted

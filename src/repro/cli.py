@@ -160,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-stage timing breakdown (encode/solve seconds, cache hits)",
     )
+    analyze.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "array", "python"),
+        default="auto",
+        help="numeric kernel tier for batch evaluation (default: auto = fastest available)",
+    )
 
     weights = subparsers.add_parser(
         "weights", help="print the probability / -log weight table (paper Table I)"
@@ -521,9 +527,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-alert-mpmcs", action="store_true",
         help="disable the default alert on MPMCS identity changes",
     )
+    alert_group.add_argument(
+        "--alert-webhook", default=None, metavar="URL",
+        help="POST every alert as JSON to this http(s) endpoint (local mode)",
+    )
     monitor.add_argument(
         "--max-updates", type=int, default=None,
         help="stop after applying this many updates (default: drain the feed)",
+    )
+    monitor.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="drain the feed in chunks of N updates, batching the BDD "
+        "top-event evaluation across each chunk (default: 1)",
     )
     monitor.add_argument("--top-k", type=int, default=5, help="cut sets per update report")
     monitor.add_argument(
@@ -1453,9 +1468,10 @@ def _command_monitor(args: argparse.Namespace) -> int:
         top_k=args.top_k,
         rules=rules,
         store=store,
+        webhook_url=args.alert_webhook,
     )
     feed = feed_from_spec(feed_spec, tree=tree)
-    monitor.start(feed, max_updates=args.max_updates)
+    monitor.start(feed, max_updates=args.max_updates, batch_size=args.batch_size)
     last_id = 0
     try:
         while True:
@@ -1490,6 +1506,8 @@ def _monitor_remote(
         backend=_monitor_backend(args.backend),
         top_k=args.top_k,
         max_updates=args.max_updates,
+        batch_size=args.batch_size,
+        webhook_url=args.alert_webhook,
     )
     print(f"monitor {status['name']} started on {args.url}")
     try:
@@ -1708,7 +1726,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handler = _TREE_COMMANDS.get(args.command)
         if handler is not None:
             tree = _load_tree(args)
-            session = AnalysisSession(mode=getattr(args, "mode", "thread"))
+            session = AnalysisSession(
+                mode=getattr(args, "mode", "thread"),
+                kernel_tier=getattr(args, "kernel", None),
+            )
             return handler(session, tree, args)
         return _PLAIN_COMMANDS[args.command](args)
     except ReproError as exc:

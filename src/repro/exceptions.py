@@ -69,3 +69,13 @@ class BDDError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when pipeline or portfolio configuration values are invalid."""
+
+
+class MissingDependencyError(ReproError):
+    """Raised when an optional dependency (numpy) is needed but unavailable.
+
+    The core library is pure stdlib; numerical extras (uncertainty
+    propagation, CTMC transient analysis, dynamic fault-tree simulation, the
+    vectorised kernel tier) require numpy, installed via the ``numerics``
+    extra: ``pip install mpmcs4fta[numerics]``.
+    """

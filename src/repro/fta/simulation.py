@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-import numpy as np
+from repro.numerics import np, require_numpy
 
 from repro.exceptions import AnalysisError
 from repro.fta.dynamic import DynamicFaultTree, DynamicGateType
@@ -67,6 +67,7 @@ def simulate_dft(
     seed: Optional[int] = 2020,
 ) -> DFTSimulationResult:
     """Estimate the unreliability of ``dft`` at ``mission_time`` by simulation."""
+    require_numpy("dynamic fault-tree simulation (simulate_dft)")
     dft.validate()
     if mission_time <= 0.0 or not math.isfinite(mission_time):
         raise AnalysisError(f"mission time must be positive and finite, got {mission_time}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
-import numpy as np
+from repro.numerics import np, require_numpy
 
 from repro.exceptions import AnalysisError
 
@@ -40,6 +40,7 @@ class ContinuousTimeMarkovChain:
     """
 
     def __init__(self, initial_state: State) -> None:
+        require_numpy("continuous-time Markov chain analysis")
         self._states: List[State] = []
         self._index: Dict[State, int] = {}
         self._transitions: Dict[Tuple[int, int], float] = {}

@@ -21,9 +21,10 @@ result instead of letting them run away).
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.exceptions import BudgetExceededError, SolverInterrupted
+from repro.kernels.bitset import CoverageIndex
 from repro.logic.cnf import Literal
 from repro.maxsat.engine import MaxSATEngine
 from repro.maxsat.instance import WPMaxSATInstance
@@ -32,6 +33,9 @@ from repro.sat.types import SatStatus
 
 __all__ = ["HittingSetEngine", "minimum_cost_hitting_set"]
 
+#: Poll the cooperative stop flag every this many search nodes.
+_STOP_CHECK_INTERVAL = 256
+
 
 def minimum_cost_hitting_set(
     cores: List[FrozenSet[Literal]],
@@ -39,6 +43,7 @@ def minimum_cost_hitting_set(
     *,
     max_nodes: int = 2_000_000,
     seed: Optional[Set[Literal]] = None,
+    stop_check: Optional[Callable[[], bool]] = None,
 ) -> Tuple[Set[Literal], int]:
     """Exact minimum-cost hitting set of ``cores`` by branch and bound.
 
@@ -53,30 +58,29 @@ def minimum_cost_hitting_set(
     optimum moved little.  The seed is only used when it actually hits every
     core.
 
-    Internally the cores a partial choice still misses are tracked as one
-    arbitrary-precision bitmask (bit ``i`` = core ``i`` unhit) and every
-    element's coverage is a precomputed mask, so extending a branch is two
+    ``stop_check`` is the portfolio's cooperative cancellation hook: it is
+    polled every few hundred search nodes and, when it returns true, the
+    search unwinds with :class:`SolverInterrupted` — so an engine that lost
+    the portfolio race cancels promptly even while deep inside this
+    recursion, not just at its next SAT call.
+
+    The packed-bitset machinery (cores a partial choice still misses as one
+    arbitrary-precision mask, per-element coverage masks) comes from
+    :class:`repro.kernels.bitset.CoverageIndex`: extending a branch is two
     integer ops instead of a scan over the core list.
     """
     if not cores:
         return set(), 0
 
-    # Element -> bitmask of the cores it hits.
-    coverage: Dict[Literal, int] = {}
-    for index, core in enumerate(cores):
-        bit = 1 << index
-        for element in core:
-            coverage[element] = coverage.get(element, 0) | bit
-    all_mask = (1 << len(cores)) - 1
+    index = CoverageIndex(cores)
+    coverage = index.coverage
+    all_mask = index.all_mask
 
     # Greedy warm start: repeatedly pick the element hitting the most
     # still-unhit cores (ties broken by weight) to obtain an upper bound.
-    best_set, best_cost = _greedy_hitting_set(cores, weights)
+    best_set, best_cost = index.greedy_cover(weights)
     if seed is not None:
-        seed_mask = 0
-        for element in seed:
-            seed_mask |= coverage.get(element, 0)
-        if seed_mask == all_mask:
+        if index.mask_of(seed) == all_mask:
             seed_cost = sum(weights.get(element, 0) for element in seed)
             if seed_cost < best_cost:
                 best_set, best_cost = set(seed), seed_cost
@@ -92,6 +96,12 @@ def minimum_cost_hitting_set(
         nodes += 1
         if nodes > max_nodes:
             raise BudgetExceededError("hitting set search exceeded its node budget")
+        if (
+            stop_check is not None
+            and nodes % _STOP_CHECK_INTERVAL == 0
+            and stop_check()
+        ):
+            raise SolverInterrupted("hitting set search stopped by cooperative cancellation")
         if cost >= best_cost:
             return
         if not unhit_mask:
@@ -117,22 +127,6 @@ def minimum_cost_hitting_set(
 
     search(set(), 0, all_mask)
     return best_set, best_cost
-
-
-def _greedy_hitting_set(
-    cores: List[FrozenSet[Literal]], weights: Dict[Literal, int]
-) -> Tuple[Set[Literal], int]:
-    chosen: Set[Literal] = set()
-    unhit = list(cores)
-    while unhit:
-        counts: Dict[Literal, int] = {}
-        for core in unhit:
-            for element in core:
-                counts[element] = counts.get(element, 0) + 1
-        element = max(counts, key=lambda lit: (counts[lit], -weights.get(lit, 0)))
-        chosen.add(element)
-        unhit = [core for core in unhit if element not in core]
-    return chosen, sum(weights.get(lit, 0) for lit in chosen)
 
 
 class HittingSetEngine(MaxSATEngine):
@@ -172,7 +166,9 @@ class HittingSetEngine(MaxSATEngine):
         try:
             for _ in range(self.max_iterations):
                 self._check_stop()
-                hitting_set, _ = minimum_cost_hitting_set(cores, weights)
+                hitting_set, _ = minimum_cost_hitting_set(
+                    cores, weights, stop_check=self.stop_check
+                )
                 assumptions = [sel for sel in selectors if sel not in hitting_set]
                 result = solver.solve(assumptions)
                 sat_calls += 1

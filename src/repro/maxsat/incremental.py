@@ -242,6 +242,39 @@ class IncrementalMaxSATSession:
                 span.add("solutions", 0 if result is None else 1)
             return result
 
+    def solve_chunk(
+        self,
+        weights_seq: Sequence[Dict[str, float]],
+        blocked: Sequence[Tuple[str, ...]] = (),
+    ) -> List[Optional[IncrementalSolveResult]]:
+        """Re-rank a whole scenario chunk of weight-only re-solves per call.
+
+        Equivalent to calling :meth:`solve` once per element of
+        ``weights_seq`` (same results, in order), but under a single trace
+        span: one ``maxsat.solve_chunk`` span instead of one span per
+        scenario, which is what makes chunked sweep execution cheap to
+        observe.  Each scenario after the first starts with every core,
+        learned clause and hitting-set memo its predecessors discovered
+        already hot — the chunk shape matches how
+        :class:`~repro.scenarios.sweep.SweepExecutor` and the monitoring
+        batch path feed scenarios through a warm session.
+        """
+        with _trace.span(
+            "maxsat.solve_chunk", scenarios=len(weights_seq), blocked=len(blocked)
+        ) as span:
+            calls_before = self.sat_calls
+            rounds_before = self.rounds
+            results: List[Optional[IncrementalSolveResult]] = []
+            for weights in weights_seq:
+                results.append(self._solve_impl(weights, blocked))
+            if span.is_recording:
+                span.add("sat_calls", self.sat_calls - calls_before)
+                span.add("hs_rounds", self.rounds - rounds_before)
+                span.add(
+                    "solutions", sum(1 for result in results if result is not None)
+                )
+            return results
+
     def _solve_impl(
         self,
         weights: Dict[str, float],

@@ -26,8 +26,12 @@ structured event.
 from __future__ import annotations
 
 import abc
+import json
+import time
+import urllib.error
+import urllib.request
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ReproError
 from repro.observability.log import log_event
@@ -42,6 +46,7 @@ __all__ = [
     "PTopJump",
     "PTopThreshold",
     "RuleError",
+    "WebhookSink",
     "load_alert_ledger",
     "rule_from_dict",
     "rule_to_dict",
@@ -284,8 +289,96 @@ def rules_from_spec(spec: Optional[Sequence[Any]]) -> List[AlertRule]:
     return [rule_from_dict(document) for document in spec]
 
 
+class WebhookSink:
+    """Delivers each alert as an HTTP POST of its JSON document.
+
+    Delivery is best-effort with bounded retry: transient failures (connection
+    refused, 5xx, timeouts) are retried ``max_retries`` times with exponential
+    backoff starting at ``backoff_s``; an alert whose final attempt fails is
+    dropped (the in-memory/persisted ledger still has it — the webhook is a
+    *notification* channel, not the system of record).  Outcomes are counted
+    in the ``repro_monitor_webhook_*`` metric families:
+    ``..._delivered_total``, ``..._retries_total`` and ``..._dropped_total``.
+
+    ``transport`` is injectable for tests: a callable taking
+    ``(url, payload_bytes, timeout_s)`` that raises :class:`OSError` /
+    :class:`urllib.error.URLError` on failure.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout_s: float = 5.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.5,
+        transport: Optional[Callable[[str, bytes, float], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not isinstance(url, str) or not url.lower().startswith(("http://", "https://")):
+            raise RuleError(f"webhook url must be an http(s) URL, got {url!r}")
+        if max_retries < 0:
+            raise RuleError(f"max_retries cannot be negative, got {max_retries!r}")
+        self.url = url
+        self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self._transport = transport if transport is not None else self._post
+        self._sleep = sleep
+
+    @staticmethod
+    def _post(url: str, payload: bytes, timeout_s: float) -> None:
+        request = urllib.request.Request(
+            url,
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=timeout_s):
+            pass
+
+    def deliver(self, alert: Alert) -> bool:
+        """POST one alert; True on success, False when every attempt failed."""
+        payload = json.dumps(alert.to_dict(), sort_keys=True).encode("utf-8")
+        registry = get_metrics()
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._transport(self.url, payload, self.timeout_s)
+            except (urllib.error.URLError, OSError) as exc:
+                if attempt < self.max_retries:
+                    registry.inc("repro_monitor_webhook_retries_total")
+                    self._sleep(self.backoff_s * (2 ** attempt))
+                    continue
+                registry.inc("repro_monitor_webhook_dropped_total")
+                log_event(
+                    "monitoring.alerts",
+                    "webhook_delivery_failed",
+                    rule=alert.rule,
+                    seq=alert.seq,
+                    url=self.url,
+                    error=str(exc),
+                )
+                return False
+            registry.inc("repro_monitor_webhook_delivered_total")
+            return True
+        return False  # pragma: no cover - loop always returns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sink": "webhook",
+            "url": self.url,
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+        }
+
+
 class AlertEngine:
-    """Evaluates a rule set per delta, deduplicates, and keeps the ledger."""
+    """Evaluates a rule set per delta, deduplicates, and keeps the ledger.
+
+    ``sinks`` are outbound notification channels (e.g. :class:`WebhookSink`)
+    invoked for every recorded alert *in addition to* the ledger; a sink
+    raising never disturbs the monitor loop.
+    """
 
     def __init__(
         self,
@@ -294,12 +387,14 @@ class AlertEngine:
         store: Any = None,
         ledger_key: str = "",
         max_alerts: int = 1024,
+        sinks: Sequence[Any] = (),
     ) -> None:
         self.rules = list(rules)
         self.store = store
         self.ledger_key = ledger_key
         self.max_alerts = max_alerts
         self.alerts: List[Alert] = []
+        self.sinks = list(sinks)
 
     def _record(self, alert: Alert) -> None:
         self.alerts.append(alert)
@@ -320,6 +415,17 @@ class AlertEngine:
                 ALERT_LEDGER_KIND,
                 [entry.to_dict() for entry in self.alerts],
             )
+        for sink in self.sinks:
+            try:
+                sink.deliver(alert)
+            except Exception as exc:  # noqa: BLE001 - sinks must never sink the loop
+                log_event(
+                    "monitoring.alerts",
+                    "sink_error",
+                    rule=alert.rule,
+                    seq=alert.seq,
+                    error=str(exc),
+                )
 
     def evaluate(self, delta: "Any") -> List[Alert]:
         """Run every rule against one delta; returns the alerts that fired."""

@@ -33,7 +33,7 @@ from repro.api.report import AnalysisReport
 from repro.api.session import AnalysisSession
 from repro.exceptions import ReproError
 from repro.fta.tree import FaultTree
-from repro.monitoring.alerts import Alert, AlertEngine, AlertRule
+from repro.monitoring.alerts import Alert, AlertEngine, AlertRule, WebhookSink
 from repro.monitoring.events import EventBuffer
 from repro.monitoring.feeds import ProbabilityUpdate
 from repro.observability.log import log_event
@@ -142,6 +142,12 @@ class TreeMonitor:
         When true, every streamed delta document embeds the update's full
         canonical :class:`AnalysisReport` dict (byte-identical to a fresh
         sequential analysis of the same probabilities).
+    webhook_url / webhook_sink:
+        Optional outbound alert notification: every raised alert is POSTed
+        as JSON to ``webhook_url`` (with retry/backoff; see
+        :class:`~repro.monitoring.alerts.WebhookSink`) alongside the
+        persisted ledger.  ``webhook_sink`` passes a pre-built sink instead
+        (takes precedence; used by tests to inject a transport).
     """
 
     def __init__(
@@ -159,6 +165,8 @@ class TreeMonitor:
         include_reports: bool = False,
         buffer_size: int = 4096,
         name: Optional[str] = None,
+        webhook_url: Optional[str] = None,
+        webhook_sink: Optional[WebhookSink] = None,
     ) -> None:
         tree.validate()
         self.tree = tree
@@ -179,7 +187,14 @@ class TreeMonitor:
         self.monitor_key = hashlib.sha256(
             f"monitor:{tree.name}".encode("utf-8")
         ).hexdigest()
-        self.engine = AlertEngine(rules, store=store, ledger_key=self.monitor_key)
+        sinks: List[Any] = []
+        if webhook_sink is not None:
+            sinks.append(webhook_sink)
+        elif webhook_url:
+            sinks.append(WebhookSink(webhook_url))
+        self.engine = AlertEngine(
+            rules, store=store, ledger_key=self.monitor_key, sinks=sinks
+        )
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -245,6 +260,18 @@ class TreeMonitor:
 
     def _apply_locked(self, update: ProbabilityUpdate) -> MonitorDelta:
         started = time.perf_counter()
+        changed, patched = self._stage_locked(update)
+        return self._analyze_locked(update, changed, patched, started)
+
+    def _stage_locked(
+        self, update: ProbabilityUpdate
+    ) -> Tuple[List[str], FaultTree]:
+        """Fold one update into the current state; return its patched tree.
+
+        Staging is cumulative: each staged update sees every earlier one, so
+        a batch staged in order produces exactly the per-update trees the
+        unbatched loop would have analysed.
+        """
         registry = get_metrics()
         changed: List[str] = []
         for event, value in update.values:
@@ -268,7 +295,16 @@ class TreeMonitor:
         for event, value in self._current.items():
             if self._base_probabilities.get(event) != value:
                 patched.set_probability(event, value)
+        return changed, patched
 
+    def _analyze_locked(
+        self,
+        update: ProbabilityUpdate,
+        changed: List[str],
+        patched: FaultTree,
+        started: float,
+    ) -> MonitorDelta:
+        registry = get_metrics()
         with self.executor.warm_scope():
             report = self.executor.analyze_tree(
                 patched, self._analyses, top_k=self.top_k
@@ -320,6 +356,38 @@ class TreeMonitor:
             self.events.append("alert", alert.to_dict())
         return delta
 
+    def apply_batch(
+        self, updates: Sequence[ProbabilityUpdate]
+    ) -> List[MonitorDelta]:
+        """Apply a chunk of updates with one batched P(top) evaluation.
+
+        All updates are staged first (cumulatively, in order), their exact
+        top-event probabilities are evaluated in a single kernel call over
+        the whole ``(updates × events)`` grid
+        (:meth:`SweepExecutor.precompute_top_events`), and then each update
+        runs the ordinary per-update analysis, which consumes its
+        precomputed value.  The per-update deltas, reports, alerts and
+        streamed events are identical to calling :meth:`apply_update` in a
+        loop — batching only removes one BDD walk per update.
+        """
+        if not updates:
+            return []
+        self.ensure_base()
+        with self._lock:
+            staged: List[Tuple[ProbabilityUpdate, List[str], FaultTree, float]] = []
+            for update in updates:
+                started = time.perf_counter()
+                changed, patched = self._stage_locked(update)
+                staged.append((update, changed, patched, started))
+            if self.executor.uses_bdd_top_event:
+                self.executor.precompute_top_events(
+                    [patched for _, _, patched, _ in staged]
+                )
+            return [
+                self._analyze_locked(update, changed, patched, started)
+                for update, changed, patched, started in staged
+            ]
+
     # -- the watchdog ------------------------------------------------------
 
     def check_staleness(self, *, now: Optional[float] = None) -> List[Alert]:
@@ -338,24 +406,59 @@ class TreeMonitor:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def run(self, feed: Any, *, max_updates: Optional[int] = None) -> int:
+    def run(
+        self,
+        feed: Any,
+        *,
+        max_updates: Optional[int] = None,
+        batch_size: int = 1,
+    ) -> int:
         """Drain ``feed`` synchronously; returns the number of updates applied.
 
         Stops early when :meth:`stop` was called or ``max_updates`` is
         reached.  The event stream is closed on exit (after a final ``end``
         event), so attached SSE clients terminate cleanly.
+
+        ``batch_size > 1`` drains the feed in chunks through
+        :meth:`apply_batch` — one kernel-batched P(top) evaluation per chunk
+        instead of one BDD walk per update, with identical per-update deltas
+        and events.  Suited to replay/backfill feeds; for live trickle feeds
+        the default of 1 keeps per-update latency minimal.
         """
+        if batch_size < 1:
+            raise MonitorError(f"batch_size must be a positive integer, got {batch_size}")
         self.ensure_base()
         applied = 0
         try:
-            for update in feed:
-                if self._stop.is_set():
-                    break
-                self.apply_update(update)
-                applied += 1
-                if max_updates is not None and applied >= max_updates:
-                    break
-                self.check_staleness()
+            if batch_size == 1:
+                for update in feed:
+                    if self._stop.is_set():
+                        break
+                    self.apply_update(update)
+                    applied += 1
+                    if max_updates is not None and applied >= max_updates:
+                        break
+                    self.check_staleness()
+            else:
+                iterator = iter(feed)
+                while not self._stop.is_set():
+                    budget = batch_size
+                    if max_updates is not None:
+                        budget = min(budget, max_updates - applied)
+                    if budget <= 0:
+                        break
+                    chunk: List[ProbabilityUpdate] = []
+                    for update in iterator:
+                        chunk.append(update)
+                        if len(chunk) >= budget:
+                            break
+                    if not chunk:
+                        break
+                    self.apply_batch(chunk)
+                    applied += len(chunk)
+                    if max_updates is not None and applied >= max_updates:
+                        break
+                    self.check_staleness()
         finally:
             close = getattr(feed, "close", None)
             if close is not None:
@@ -387,6 +490,7 @@ class TreeMonitor:
         feed: Any,
         *,
         max_updates: Optional[int] = None,
+        batch_size: int = 1,
         watchdog_interval_s: Optional[float] = None,
     ) -> "TreeMonitor":
         """Run the monitor loop on a daemon thread (plus a watchdog thread).
@@ -398,11 +502,13 @@ class TreeMonitor:
         """
         if self._thread is not None:
             raise MonitorError(f"monitor {self.name!r} is already running")
+        if batch_size < 1:
+            raise MonitorError(f"batch_size must be a positive integer, got {batch_size}")
         self.ensure_base()  # fail fast, before the thread detaches errors
         self._thread = threading.Thread(
             target=self.run,
             args=(feed,),
-            kwargs={"max_updates": max_updates},
+            kwargs={"max_updates": max_updates, "batch_size": batch_size},
             name=f"repro-monitor-{self.tree.name}",
             daemon=True,
         )

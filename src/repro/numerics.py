@@ -1,0 +1,82 @@
+"""Optional-numpy gate: one place deciding whether numpy is available.
+
+The core library is dependency-free by design; numpy is an *optional*
+acceleration and numerics dependency (the ``numerics``/``perf`` extra in
+``pyproject.toml``).  Every module that can use numpy imports it through this
+gate instead of directly::
+
+    from repro.numerics import np, HAVE_NUMPY
+
+When numpy is installed, ``np`` is the real module.  When it is not, ``np``
+is a proxy whose every attribute access raises
+:class:`~repro.exceptions.MissingDependencyError` with install instructions —
+so importing :mod:`repro.uncertainty`, :mod:`repro.markov` or
+:mod:`repro.fta` always succeeds, and only actually *calling* a
+numpy-dependent feature fails, with a clear error instead of an
+``ImportError`` deep inside a package ``__init__``.
+
+Setting the environment variable ``REPRO_NO_NUMPY=1`` makes the gate treat
+numpy as absent even when it is importable.  This is how CI proves the
+pure-python reference paths (kernel tier ``python``, graceful degradation of
+the numerics modules) stay green without maintaining a separate
+no-numpy virtualenv.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.exceptions import MissingDependencyError
+
+__all__ = ["HAVE_NUMPY", "np", "require_numpy"]
+
+#: Environment switch: treat numpy as unavailable even if importable.
+NO_NUMPY_ENV = "REPRO_NO_NUMPY"
+
+_numpy: Optional[Any] = None
+if not os.environ.get(NO_NUMPY_ENV):
+    try:  # pragma: no cover - exercised via both CI variants
+        import numpy as _numpy_module
+
+        _numpy = _numpy_module
+    except ImportError:  # pragma: no cover
+        _numpy = None
+
+#: True when numpy is importable and not disabled via ``REPRO_NO_NUMPY``.
+HAVE_NUMPY: bool = _numpy is not None
+
+_INSTALL_HINT = (
+    "numpy is not installed (or is disabled via "
+    f"{NO_NUMPY_ENV}=1); install it with `pip install numpy` or the packaged "
+    "extra `pip install mpmcs4fta[numerics]`"
+)
+
+
+class _MissingNumpy:
+    """Stand-in for the numpy module that fails loudly on first use."""
+
+    def __getattr__(self, name: str) -> Any:
+        raise MissingDependencyError(f"numpy.{name} was accessed, but {_INSTALL_HINT}")
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<numpy unavailable>"
+
+
+#: The numpy module when available, else a loud :class:`_MissingNumpy` proxy.
+np: Any = _numpy if _numpy is not None else _MissingNumpy()
+
+
+def require_numpy(feature: str) -> Any:
+    """Return the numpy module, or raise a clear error naming ``feature``.
+
+    Call this at the top of public entry points whose whole body depends on
+    numpy, so callers get one actionable error up front rather than a proxy
+    failure mid-computation.
+    """
+    if _numpy is None:
+        raise MissingDependencyError(f"{feature} requires numpy, but {_INSTALL_HINT}")
+    return _numpy

@@ -111,7 +111,7 @@ def render_profile(report: AnalysisReport) -> str:
         if key in profile:
             stage = key.replace("_seconds", "")
             lines.append(f"  {stage:<12}: {profile[key]:.6f}s")
-    for key in ("warm_solves", "cache_hits", "cache_misses", "store_hits", "store_misses"):
+    for key in ("kernel", "warm_solves", "cache_hits", "cache_misses", "store_hits", "store_misses"):
         if key in profile:
             lines.append(f"  {key:<12}: {profile[key]}")
     extras = sorted(
@@ -121,6 +121,7 @@ def render_profile(report: AnalysisReport) -> str:
         not in {
             "encode_seconds",
             "solve_seconds",
+            "kernel",
             "warm_solves",
             "cache_hits",
             "cache_misses",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import BudgetExceededError, SolverError, SolverInterrupted
+from repro.kernels.bitset import make_assign_buffer
 from repro.logic.cnf import Literal
 from repro.observability import trace as _trace
 from repro.observability.metrics import get_metrics
@@ -89,7 +90,9 @@ class CDCLSolver(BaseSatSolver):
         self._watches: Dict[int, List[_Clause]] = {}
 
         self._num_vars = 0
-        self._assigns: List[int] = [_UNASSIGNED]  # indexed by var, slot 0 unused
+        # Contiguous signed-byte buffer (repro.kernels.bitset); indexed by
+        # var, slot 0 unused.
+        self._assigns = make_assign_buffer([_UNASSIGNED])
         self._levels: List[int] = [0]
         self._reasons: List[Optional[_Clause]] = [None]
         self._activity: List[float] = [0.0]
@@ -339,12 +342,23 @@ class CDCLSolver(BaseSatSolver):
         self._watches.setdefault(lits[1], []).append(clause)
 
     def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._propagation_head < len(self._trail):
-            lit = self._trail[self._propagation_head]
+        """Unit propagation; returns a conflicting clause or None.
+
+        This is the solver's hottest loop.  The assignment buffer and the
+        watch map are bound to locals, and literal values are computed inline
+        against the buffer (``assigns[lit]`` sign-adjusted) instead of
+        calling :meth:`_literal_value` per literal — same reads in the same
+        order, so propagation behaviour (and thus every learned clause and
+        model) is unchanged.
+        """
+        assigns = self._assigns
+        watches = self._watches
+        trail = self._trail
+        while self._propagation_head < len(trail):
+            lit = trail[self._propagation_head]
             self._propagation_head += 1
             false_lit = -lit
-            watch_list = self._watches.get(false_lit)
+            watch_list = watches.get(false_lit)
             if not watch_list:
                 continue
             new_watch_list: List[_Clause] = []
@@ -358,31 +372,32 @@ class CDCLSolver(BaseSatSolver):
                 if lits[0] == false_lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._literal_value(first) == _TRUE:
+                if (assigns[first] if first > 0 else -assigns[-first]) == _TRUE:
                     new_watch_list.append(clause)
                     continue
                 # Look for a replacement watch.
                 replaced = False
                 for k in range(2, len(lits)):
-                    if self._literal_value(lits[k]) != _FALSE:
+                    other = lits[k]
+                    if (assigns[other] if other > 0 else -assigns[-other]) != _FALSE:
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches.setdefault(lits[1], []).append(clause)
+                        watches.setdefault(lits[1], []).append(clause)
                         replaced = True
                         break
                 if replaced:
                     continue
                 # Clause is unit or conflicting.
                 new_watch_list.append(clause)
-                if self._literal_value(first) == _FALSE:
+                if (assigns[first] if first > 0 else -assigns[-first]) == _FALSE:
                     # Conflict: keep the remaining watchers and stop.
                     new_watch_list.extend(watch_list[idx:])
                     conflict = clause
                     break
                 self._enqueue(first, clause)
                 self._propagations += 1
-            self._watches[false_lit] = new_watch_list
+            watches[false_lit] = new_watch_list
             if conflict is not None:
-                self._propagation_head = len(self._trail)
+                self._propagation_head = len(trail)
                 return conflict
         return None
 

@@ -20,16 +20,16 @@ from __future__ import annotations
 
 import contextlib
 import time
-from typing import Callable, Iterable, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.api.cache import ARTIFACT_SUBTREE_BDD
 from repro.api.registry import backend_class, canonical_backend_name
-from repro.api.report import AnalysisReport, TopEventSummary
+from repro.api.report import AnalysisReport, AnalysisRequest, TopEventSummary
 from repro.api.session import AnalysisSession
 from repro.bdd.manager import BDD, BDDManager
 from repro.bdd.ordering import variable_order
-from repro.bdd.probability import probability_of_bdd
-from repro.exceptions import ReproError
+from repro.bdd.probability import FlatBDD, flatten_bdd, probability_of_bdd
+from repro.exceptions import AnalysisError, ReproError
 from repro.fta.tree import FaultTree
 from repro.scenarios.incremental import seed_session_cut_sets
 from repro.scenarios.report import (
@@ -98,6 +98,11 @@ class SweepExecutor:
         self.exact_top_event = exact_top_event
         self._bdd_unavailable: Set[str] = set()
         self._fill_top_event = False
+        #: Batch-precomputed exact P(top) values, keyed by ``id(tree)`` and
+        #: holding a strong reference to the tree so ids cannot be recycled
+        #: while an entry is pending.  Filled by :meth:`precompute_top_events`,
+        #: consumed (and identity-checked) by :meth:`_bdd_top_event`.
+        self._pending_ptop: Dict[int, Tuple[FaultTree, float]] = {}
         if backend == "auto":
             # Automatic routing covers every analysis; mpmcs routes to maxsat.
             self._capabilities: Optional[frozenset] = None
@@ -120,6 +125,16 @@ class SweepExecutor:
                 instance = None
             if getattr(instance, "enable_warm_sessions", None) is not None:
                 self._warm_backend = instance
+
+    @property
+    def uses_bdd_top_event(self) -> bool:
+        """True when ``top_event`` is served by the structure-keyed BDD.
+
+        Set by :meth:`prepare_analyses` when the configured backend cannot
+        provide ``top_event`` itself; batch callers use this to decide
+        whether :meth:`precompute_top_events` will pay off.
+        """
+        return self._fill_top_event
 
     @contextlib.contextmanager
     def warm_scope(self):
@@ -155,6 +170,12 @@ class SweepExecutor:
             run_analyses = tuple(a for a in requested if a != "top_event")
             self._fill_top_event = "top_event" in requested
             if not run_analyses:
+                if self._fill_top_event:
+                    # Probability-only sweep: no backend analyses at all — the
+                    # structure-keyed BDD serves ``top_event`` on its own, and
+                    # :meth:`precompute_top_events` evaluates whole scenario
+                    # grids in one kernel call.
+                    return ()
                 raise ReproError(
                     f"backend {self.backend!r} supports none of the requested "
                     f"analyses {requested!r}"
@@ -181,6 +202,10 @@ class SweepExecutor:
         :meth:`prepare_analyses`.  Warm solver sessions apply only inside
         :meth:`warm_scope`.
         """
+        if not analyses and self._fill_top_event:
+            return self._bdd_only_report(
+                tree, top_k=top_k, samples=samples, seed=seed
+            )
         if self.incremental:
             seed_session_cut_sets(tree, self.session.artifacts)
         report = self.session.analyze(
@@ -188,6 +213,89 @@ class SweepExecutor:
         )
         self._augment_exact_top_event(tree, report)
         return report
+
+    def _bdd_only_report(
+        self, tree: FaultTree, *, top_k: int, samples: int, seed: int
+    ) -> AnalysisReport:
+        """The probability-only fast path: a report served entirely by the BDD.
+
+        Used when ``top_event`` is the *only* requested analysis and the
+        configured backend cannot provide it: no backend runs at all — the
+        structure-keyed BDD (batch-precomputed where possible) is the sole
+        provider.  Raises :class:`AnalysisError` when the BDD is unavailable
+        for this structure, mirroring the session's no-provider error.
+        """
+        tree.validate()
+        report = AnalysisReport(
+            tree=tree,
+            request=AnalysisRequest.create(
+                ("top_event",),
+                backend=self.backend,
+                top_k=top_k,
+                samples=samples,
+                seed=seed,
+            ),
+        )
+        report.profile["kernel"] = self.session.kernels.name
+        self._augment_exact_top_event(tree, report)
+        if report.top_event is None:
+            raise AnalysisError(
+                f"backend {self.backend!r} does not support 'top_event' and the "
+                f"BDD fast path is unavailable for tree {tree.name!r}"
+            )
+        report.cache_stats = self.session.artifacts.stats()
+        return report
+
+    def precompute_top_events(self, trees: Sequence[FaultTree]) -> int:
+        """Batch-evaluate exact P(top) for ``trees`` through the kernel seam.
+
+        Trees are grouped by their (structure-keyed, cached) compiled BDD and
+        each group's scenario grid is evaluated in **one** kernel call — a
+        ``(scenarios × events)`` probability matrix in, a P(top) vector out —
+        instead of one :func:`probability_of_bdd` walk per scenario.  Results
+        are staged for :meth:`_bdd_top_event`, which consumes them during the
+        per-scenario analysis; values are bit-identical to the scalar walk on
+        every kernel tier.
+
+        Trees whose BDD cannot be built or evaluated are simply left out:
+        the scalar fallback reproduces the exact per-scenario error handling
+        (including marking the structure unavailable), and once a structure
+        fails here no later tree of the same structure is batched, preserving
+        the unbatched path's ordering semantics.  Returns the number of
+        precomputed values.
+        """
+        cache = self.session.artifacts
+        suite = self.session.kernels
+        groups: Dict[int, Tuple[FlatBDD, List[FaultTree], List[List[float]]]] = {}
+        failed_structures: Set[str] = set()
+        staged = 0
+        for tree in trees:
+            structure_key = cache.structure_keys_for(tree)[tree.top_event]
+            if structure_key in self._bdd_unavailable or structure_key in failed_structures:
+                continue
+
+            def build(tree: FaultTree = tree) -> BDD:
+                manager = BDDManager(variable_order(tree, heuristic="dfs"))
+                return manager.from_fault_tree(tree)
+
+            try:
+                function = cache.get_or_compute_subtree(
+                    tree, tree.top_event, ARTIFACT_SUBTREE_BDD, build
+                )
+                flat = flatten_bdd(function)
+                row = flat.probability_rows((tree.probabilities(),))[0]
+            except (ReproError, MemoryError, RecursionError):
+                failed_structures.add(structure_key)
+                continue
+            group = groups.setdefault(id(function), (flat, [], []))
+            group[1].append(tree)
+            group[2].append(row)
+        for flat, group_trees, rows in groups.values():
+            values = suite.eval_bdd_batch(flat, rows)
+            for group_tree, value in zip(group_trees, values):
+                self._pending_ptop[id(group_tree)] = (group_tree, value)
+                staged += 1
+        return staged
 
     def evict_tree_artifacts(self, base: FaultTree, patched: FaultTree) -> None:
         """Public alias of the per-scenario cache eviction (see below)."""
@@ -280,14 +388,33 @@ class SweepExecutor:
             base_mpmcs_probability=base_mpmcs_probability,
         )
 
-        for scenario in scenario_list:
+        # When the structure-keyed BDD is the top-event provider, pre-apply
+        # every patch and evaluate the whole scenario grid in one kernel call
+        # per structure; the loop below then consumes the staged values.
+        prepared: List[Tuple[Optional[FaultTree], Optional[ReproError]]] = []
+        if self._fill_top_event:
+            for scenario in scenario_list:
+                try:
+                    prepared.append((scenario.apply(tree), None))
+                except ReproError as exc:
+                    prepared.append((None, exc))
+            self.precompute_top_events(
+                [patched for patched, _ in prepared if patched is not None]
+            )
+
+        for position, scenario in enumerate(scenario_list):
             # Outside the try: a cancellation raised here must abort the
             # sweep, not be recorded as one failed scenario outcome.
             if stop_check is not None:
                 stop_check()
             scenario_started = time.perf_counter()
             try:
-                patched = scenario.apply(tree)
+                if prepared:
+                    patched, apply_error = prepared[position]
+                    if apply_error is not None:
+                        raise apply_error
+                else:
+                    patched = scenario.apply(tree)
                 partial = self.analyze_tree(
                     patched, analyses, top_k=top_k, samples=samples, seed=seed
                 )
@@ -328,6 +455,7 @@ class SweepExecutor:
             if on_outcome is not None:
                 on_outcome(outcome)
 
+        self._pending_ptop.clear()
         report.cache_stats = self.session.cache_info()
         report.total_time_s = time.perf_counter() - started
         return report
@@ -361,7 +489,11 @@ class SweepExecutor:
         cache = self.session.artifacts
         structure_key = cache.structure_keys_for(tree)[tree.top_event]
         if structure_key in self._bdd_unavailable:
+            self._pending_ptop.pop(id(tree), None)
             return None
+        pending = self._pending_ptop.pop(id(tree), None)
+        if pending is not None and pending[0] is tree:
+            return pending[1]
 
         def build() -> BDD:
             manager = BDDManager(variable_order(tree, heuristic="dfs"))

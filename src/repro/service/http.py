@@ -281,7 +281,8 @@ class AnalysisService:
              "feed": {"type": "synthetic" | "file" | "http", ...},
              "rules": [<rule documents>],          # optional
              "backend": "maxsat", "analyses": [...], "top_k": 5,
-             "max_updates": 500, "include_reports": false}
+             "max_updates": 500, "include_reports": false,
+             "webhook_url": "https://...", "batch_size": 1}
 
         The monitor runs on its own daemon thread (plus a staleness-watchdog
         thread when the rules ask for one), re-analysing through a
@@ -300,6 +301,12 @@ class AnalysisService:
             or max_updates < 1
         ):
             raise JobError(f"'max_updates' must be a positive integer, got {max_updates!r}")
+        batch_size = payload.get("batch_size", 1)
+        if not isinstance(batch_size, int) or isinstance(batch_size, bool) or batch_size < 1:
+            raise JobError(f"'batch_size' must be a positive integer, got {batch_size!r}")
+        webhook_url = payload.get("webhook_url")
+        if webhook_url is not None and not isinstance(webhook_url, str):
+            raise JobError(f"'webhook_url' must be a string, got {webhook_url!r}")
         tree = parse_json_document(tree_document)
         rules = monitor_rules_from_spec(payload.get("rules"))
         with self._monitor_lock:
@@ -314,9 +321,10 @@ class AnalysisService:
                 store=self._store_view,
                 include_reports=bool(payload.get("include_reports", False)),
                 buffer_size=int(payload.get("buffer_size", 4096)),
+                webhook_url=webhook_url,
             )
             feed = feed_from_spec(feed_spec, tree=tree)
-            monitor.start(feed, max_updates=max_updates)
+            monitor.start(feed, max_updates=max_updates, batch_size=batch_size)
             self._monitor = monitor
         log_event(
             "service.http",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
+from repro.numerics import np
 
 from repro.exceptions import ProbabilityError
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
+from repro.numerics import np, require_numpy
 
 from repro.exceptions import AnalysisError
 from repro.uncertainty.propagation import UncertaintyResult
@@ -92,6 +92,7 @@ def uncertainty_importance(
         ``"top-event"`` (default) correlates against the top-event probability
         samples; ``"mpmcs"`` correlates against the MPMCS probability samples.
     """
+    require_numpy("uncertainty importance ranking")
     if target == "top-event":
         output = result.top_event_samples
     elif target == "mpmcs":

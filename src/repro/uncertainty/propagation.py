@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.numerics import np, require_numpy
 
 from repro.analysis.cutsets import CutSetCollection
 from repro.analysis.mocus import mocus_minimal_cut_sets
@@ -201,6 +201,7 @@ def propagate_uncertainty(
     cut_set_algorithm / max_candidates:
         How the minimal cut sets are enumerated (once, before sampling).
     """
+    require_numpy("uncertainty propagation (propagate_uncertainty)")
     tree.validate()
     if num_samples < 2:
         raise AnalysisError(f"at least 2 samples are required, got {num_samples}")

@@ -4,6 +4,12 @@ import math
 
 import pytest
 
+from repro.numerics import HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="requires numpy (absent or disabled via REPRO_NO_NUMPY=1)"
+)
+
 from repro.bdd.probability import top_event_probability
 from repro.exceptions import AnalysisError
 from repro.fta.dynamic import DynamicFaultTree

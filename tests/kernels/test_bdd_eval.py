@@ -1,0 +1,111 @@
+"""Batch BDD evaluation kernels: every tier must equal the scalar walk exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.bdd import BDDManager, variable_order
+from repro.bdd.probability import flatten_bdd, probability_of_bdd
+
+from tests.conftest import small_random_trees
+
+
+def _compile(tree):
+    manager = BDDManager(variable_order(tree, heuristic="dfs"))
+    return manager.from_fault_tree(tree)
+
+
+def _probability_grid(tree, count):
+    """Deterministic per-scenario probability maps perturbing one event each."""
+    base = tree.probabilities()
+    events = sorted(base)
+    maps = []
+    for index in range(count):
+        probabilities = dict(base)
+        probabilities[events[index % len(events)]] = (index * 17 % 97 + 1) / 100.0
+        maps.append(probabilities)
+    return maps
+
+
+@pytest.mark.parametrize("tier", kernels.available_tiers())
+class TestTierMatchesScalar:
+    def test_library_trees(self, tier, any_library_tree):
+        function = _compile(any_library_tree)
+        maps = _probability_grid(any_library_tree, 13)
+        scalar = [probability_of_bdd(function, m) for m in maps]
+        suite = kernels.select(tier)
+        assert kernels.batch_probability_of_bdd(suite, function, maps) == scalar
+
+    def test_empty_batch(self, tier, fps_tree):
+        function = _compile(fps_tree)
+        suite = kernels.select(tier)
+        assert kernels.batch_probability_of_bdd(suite, function, ()) == []
+
+    def test_single_scenario(self, tier, fps_tree):
+        function = _compile(fps_tree)
+        probabilities = fps_tree.probabilities()
+        suite = kernels.select(tier)
+        batched = kernels.batch_probability_of_bdd(suite, function, [probabilities])
+        assert batched == [probability_of_bdd(function, probabilities)]
+
+
+def test_all_tiers_agree_bit_for_bit(any_library_tree):
+    function = _compile(any_library_tree)
+    maps = _probability_grid(any_library_tree, 9)
+    results = {
+        tier: kernels.batch_probability_of_bdd(kernels.select(tier), function, maps)
+        for tier in kernels.available_tiers()
+    }
+    reference = results["python"]
+    for tier, values in results.items():
+        assert values == reference, f"tier {tier!r} diverged"
+
+
+class TestPropertyBatchEqualsScalar:
+    """Hypothesis: on random trees and grids, batch ≡ scalar for every tier."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tree=small_random_trees(min_events=3, max_events=9, voting_ratio=0.25),
+        seed=st.integers(min_value=0, max_value=2**31),
+        count=st.integers(min_value=1, max_value=7),
+    )
+    def test_batch_matches_scalar_walk(self, tree, seed, count):
+        import random
+
+        function = _compile(tree)
+        rng = random.Random(seed)
+        events = sorted(tree.probabilities())
+        maps = [
+            {name: rng.random() for name in events} for _ in range(count)
+        ]
+        scalar = [probability_of_bdd(function, m) for m in maps]
+        for tier in kernels.available_tiers():
+            suite = kernels.select(tier)
+            batched = kernels.batch_probability_of_bdd(suite, function, maps)
+            assert batched == scalar, f"tier {tier!r} diverged"
+
+
+class TestFlatBDD:
+    def test_flatten_is_memoised_per_manager(self, fps_tree):
+        function = _compile(fps_tree)
+        assert flatten_bdd(function) is flatten_bdd(function)
+
+    def test_flat_form_shape(self, fps_tree):
+        function = _compile(fps_tree)
+        flat = flatten_bdd(function)
+        assert flat.num_nodes == 2 + len(flat.var_index)
+        assert len(flat.low) == len(flat.high) == len(flat.var_index)
+        assert 0 <= flat.root < flat.num_nodes
+        # Children-first ordering: every child id precedes its parent's id.
+        for position, (lo, hi) in enumerate(zip(flat.low, flat.high), start=2):
+            assert lo < position and hi < position
+
+    def test_probability_rows_missing_event(self, fps_tree):
+        from repro.exceptions import AnalysisError
+
+        function = _compile(fps_tree)
+        flat = flatten_bdd(function)
+        with pytest.raises(AnalysisError, match="no probability known"):
+            flat.probability_rows(({},))

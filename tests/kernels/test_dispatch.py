@@ -1,0 +1,91 @@
+"""The kernel dispatch seam: tier selection, env override, error paths."""
+
+import pytest
+
+from repro import kernels
+from repro.exceptions import ConfigurationError
+from repro.numerics import HAVE_NUMPY
+
+
+class TestAvailableTiers:
+    def test_stdlib_tiers_always_available(self):
+        tiers = kernels.available_tiers()
+        assert "array" in tiers
+        assert "python" in tiers
+
+    def test_numpy_tier_tracks_numpy_availability(self):
+        assert ("numpy" in kernels.available_tiers()) == HAVE_NUMPY
+
+    def test_fastest_first_ordering(self):
+        tiers = kernels.available_tiers()
+        assert tiers.index("array") < tiers.index("python")
+        if HAVE_NUMPY:
+            assert tiers[0] == "numpy"
+
+    def test_without_numpy_best_tier_is_array(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        assert kernels.available_tiers()[0] == "array"
+
+
+class TestSelect:
+    def test_auto_and_none_pick_the_best_available(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        best = kernels.available_tiers()[0]
+        assert kernels.select(None).name == best
+        assert kernels.select("auto").name == best
+
+    @pytest.mark.parametrize("tier", ["python", "array"])
+    def test_explicit_stdlib_tiers(self, tier):
+        suite = kernels.select(tier)
+        assert suite.name == tier
+        assert callable(suite.eval_bdd_batch)
+
+    def test_env_override_steers_auto(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+        assert kernels.select(None).name == "python"
+        assert kernels.select("auto").name == "python"
+
+    def test_explicit_tier_beats_env_override(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+        assert kernels.select("array").name == "array"
+
+    def test_unknown_tier_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel tier"):
+            kernels.select("cuda")
+
+    def test_numpy_without_numpy_is_a_configuration_error(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        with pytest.raises(ConfigurationError, match="numpy is unavailable"):
+            kernels.select("numpy")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_numpy_tier_when_available(self):
+        assert kernels.select("numpy").name == "numpy"
+
+
+class TestSessionSurface:
+    def test_session_records_kernel_in_profile(self, fps_tree):
+        from repro.api import AnalysisSession
+
+        session = AnalysisSession(kernel_tier="python")
+        assert session.kernels.name == "python"
+        report = session.analyze(fps_tree, ["mpmcs"], backend="maxsat")
+        assert report.profile["kernel"] == "python"
+
+    def test_kernel_name_stays_out_of_canonical_reports(self, fps_tree):
+        from repro.api import AnalysisSession
+
+        documents = []
+        for tier in ("python", "array"):
+            report = AnalysisSession(kernel_tier=tier).analyze(
+                fps_tree, ["mpmcs"], backend="maxsat"
+            )
+            assert report.profile["kernel"] == tier
+            documents.append(report.to_canonical_dict())
+        assert documents[0] == documents[1]
+
+    def test_session_rejects_unknown_tier(self):
+        from repro.api import AnalysisSession
+
+        with pytest.raises(ConfigurationError):
+            AnalysisSession(kernel_tier="fortran")

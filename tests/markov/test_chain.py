@@ -2,8 +2,14 @@
 
 import math
 
-import numpy as np
 import pytest
+
+from repro.numerics import HAVE_NUMPY
+
+np = pytest.importorskip("numpy")
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="requires numpy (absent or disabled via REPRO_NO_NUMPY=1)"
+)
 
 from repro.exceptions import AnalysisError
 from repro.markov.chain import ContinuousTimeMarkovChain

@@ -1,0 +1,117 @@
+"""Batched monitor updates: apply_batch must be indistinguishable from the
+one-at-a-time loop, and run(batch_size=N) must drain feeds in chunks."""
+
+import json
+
+import pytest
+
+from repro.monitoring import (
+    MonitorError,
+    ProbabilityUpdate,
+    SyntheticFeed,
+    TreeMonitor,
+)
+from repro.workloads.library import fire_protection_system
+
+
+def _updates(count, seed=3):
+    tree = fire_protection_system()
+    return list(SyntheticFeed(tree, updates=count, seed=seed))
+
+
+_VOLATILE = ("latency_s", "ts")
+
+
+def _delta_documents(deltas):
+    documents = []
+    for delta in deltas:
+        document = delta.to_dict()
+        for key in _VOLATILE:
+            document.pop(key, None)
+        documents.append(json.dumps(document, sort_keys=True))
+    return documents
+
+
+class TestApplyBatch:
+    def test_batch_deltas_equal_sequential_deltas(self):
+        updates = _updates(20)
+        sequential = TreeMonitor(fire_protection_system(), backend="maxsat")
+        expected = [sequential.apply_update(update) for update in updates]
+        batched = TreeMonitor(fire_protection_system(), backend="maxsat")
+        actual = []
+        for start in range(0, len(updates), 5):
+            actual.extend(batched.apply_batch(updates[start : start + 5]))
+        assert _delta_documents(actual) == _delta_documents(expected)
+
+    def test_batch_reports_are_byte_identical(self):
+        updates = _updates(8)
+        sequential = TreeMonitor(
+            fire_protection_system(), backend="maxsat", include_reports=True
+        )
+        expected = [sequential.apply_update(update) for update in updates]
+        batched = TreeMonitor(
+            fire_protection_system(), backend="maxsat", include_reports=True
+        )
+        actual = batched.apply_batch(updates)
+        for left, right in zip(actual, expected):
+            assert left.report is not None
+            assert (
+                left.report.to_canonical_dict() == right.report.to_canonical_dict()
+            )
+
+    def test_empty_batch_is_a_no_op(self):
+        monitor = TreeMonitor(fire_protection_system(), backend="maxsat")
+        assert monitor.apply_batch([]) == []
+
+    def test_staged_updates_are_cumulative_within_a_batch(self):
+        monitor = TreeMonitor(fire_protection_system(), backend="maxsat")
+        first = ProbabilityUpdate.create({"x1": 0.5}, seq=1)
+        second = ProbabilityUpdate.create({"x2": 0.2}, seq=2)
+        deltas = monitor.apply_batch([first, second])
+        # The second staged update sees the first one's value already applied.
+        assert tuple(deltas[1].changed_events) == ("x2",)
+        third = monitor.apply_update(ProbabilityUpdate.create({"x1": 0.5}, seq=3))
+        assert tuple(third.changed_events) == ()  # x1 already at 0.5 from the batch
+
+
+class TestRunBatchSize:
+    def test_chunked_run_applies_every_update(self):
+        tree = fire_protection_system()
+        monitor = TreeMonitor(tree, backend="maxsat")
+        applied = monitor.run(SyntheticFeed(tree, updates=11, seed=1), batch_size=4)
+        assert applied == 11
+
+    def test_chunked_run_respects_max_updates(self):
+        tree = fire_protection_system()
+        monitor = TreeMonitor(tree, backend="maxsat")
+        applied = monitor.run(
+            SyntheticFeed(tree, updates=50, seed=1), max_updates=7, batch_size=3
+        )
+        assert applied == 7
+
+    def test_chunked_run_matches_unchunked_deltas(self):
+        tree = fire_protection_system()
+        chunked = TreeMonitor(tree, backend="maxsat")
+        chunked.run(SyntheticFeed(tree, updates=9, seed=2), batch_size=4)
+        plain = TreeMonitor(tree, backend="maxsat")
+        plain.run(SyntheticFeed(tree, updates=9, seed=2))
+        def delta_documents(monitor):
+            documents = []
+            for event in monitor.events.events_after(0):
+                if event.kind != "delta":
+                    continue
+                document = dict(event.data)
+                for key in _VOLATILE:
+                    document.pop(key, None)
+                documents.append(document)
+            return documents
+
+        assert delta_documents(chunked) == delta_documents(plain)
+
+    def test_invalid_batch_size_raises(self):
+        tree = fire_protection_system()
+        monitor = TreeMonitor(tree, backend="maxsat")
+        with pytest.raises(MonitorError, match="batch_size"):
+            monitor.run(SyntheticFeed(tree, updates=2, seed=1), batch_size=0)
+        with pytest.raises(MonitorError, match="batch_size"):
+            monitor.start(SyntheticFeed(tree, updates=2, seed=1), batch_size=-1)

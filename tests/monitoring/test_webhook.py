@@ -1,0 +1,125 @@
+"""The webhook alert sink: delivery, retry/backoff, drop accounting, wiring."""
+
+import json
+import urllib.error
+
+import pytest
+
+from repro.monitoring.alerts import (
+    Alert,
+    AlertEngine,
+    PTopThreshold,
+    RuleError,
+    WebhookSink,
+)
+from repro.observability.metrics import MetricsRegistry, get_metrics, set_metrics
+
+
+@pytest.fixture(autouse=True)
+def registry():
+    previous = set_metrics(MetricsRegistry())
+    try:
+        yield get_metrics()
+    finally:
+        set_metrics(previous)
+
+
+def _alert(seq=1):
+    return Alert(
+        rule="ptop_above_0.5", kind="ptop_threshold",
+        message="P(top) above 0.5", seq=seq, timestamp=123.0, value=0.7,
+    )
+
+
+class RecordingTransport:
+    """Injectable transport failing the first ``failures`` attempts."""
+
+    def __init__(self, failures=0):
+        self.failures = failures
+        self.calls = []
+
+    def __call__(self, url, payload, timeout_s):
+        self.calls.append((url, payload, timeout_s))
+        if len(self.calls) <= self.failures:
+            raise urllib.error.URLError("connection refused")
+
+
+class TestWebhookSink:
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(RuleError, match="http\\(s\\) URL"):
+            WebhookSink("ftp://example.invalid/hook")
+        with pytest.raises(RuleError):
+            WebhookSink("not a url")
+
+    def test_delivers_alert_json(self, registry):
+        transport = RecordingTransport()
+        sink = WebhookSink("https://example.invalid/hook", transport=transport)
+        assert sink.deliver(_alert()) is True
+        (url, payload, timeout_s), = transport.calls
+        assert url == "https://example.invalid/hook"
+        assert timeout_s == pytest.approx(5.0)
+        document = json.loads(payload.decode("utf-8"))
+        assert document["rule"] == "ptop_above_0.5"
+        assert document["value"] == 0.7
+        assert registry.counter_value("repro_monitor_webhook_delivered_total") == 1
+        assert registry.counter_value("repro_monitor_webhook_dropped_total") == 0
+
+    def test_retries_with_exponential_backoff(self, registry):
+        transport = RecordingTransport(failures=2)
+        sleeps = []
+        sink = WebhookSink(
+            "http://example.invalid/hook",
+            max_retries=2, backoff_s=0.25,
+            transport=transport, sleep=sleeps.append,
+        )
+        assert sink.deliver(_alert()) is True
+        assert len(transport.calls) == 3
+        assert sleeps == [0.25, 0.5]
+        assert registry.counter_value("repro_monitor_webhook_retries_total") == 2
+        assert registry.counter_value("repro_monitor_webhook_delivered_total") == 1
+
+    def test_exhausted_retries_drop_the_alert(self, registry):
+        transport = RecordingTransport(failures=10)
+        sink = WebhookSink(
+            "http://example.invalid/hook",
+            max_retries=1, transport=transport, sleep=lambda _s: None,
+        )
+        assert sink.deliver(_alert()) is False
+        assert len(transport.calls) == 2
+        assert registry.counter_value("repro_monitor_webhook_dropped_total") == 1
+        assert registry.counter_value("repro_monitor_webhook_delivered_total") == 0
+
+    def test_to_dict(self):
+        sink = WebhookSink("https://example.invalid/hook", transport=lambda *a: None)
+        document = sink.to_dict()
+        assert document["sink"] == "webhook"
+        assert document["url"] == "https://example.invalid/hook"
+
+
+class _Delta:
+    """Minimal delta for PTopThreshold.evaluate."""
+
+    def __init__(self, ptop, seq):
+        self.ptop = ptop
+        self.seq = seq
+        self.timestamp = 99.0
+
+
+class TestEngineSinkWiring:
+    def test_recorded_alerts_reach_the_sink(self):
+        transport = RecordingTransport()
+        sink = WebhookSink("http://example.invalid/hook", transport=transport)
+        engine = AlertEngine([PTopThreshold(0.5)], sinks=[sink])
+        engine.evaluate(_Delta(ptop=0.9, seq=7))
+        assert len(engine.alerts) == 1
+        assert len(transport.calls) == 1
+        assert json.loads(transport.calls[0][1])["seq"] == 7
+
+    def test_sink_errors_never_disturb_the_ledger(self):
+        class ExplodingSink:
+            def deliver(self, alert):
+                raise RuntimeError("sink blew up")
+
+        engine = AlertEngine([PTopThreshold(0.5)], sinks=[ExplodingSink()])
+        engine.evaluate(_Delta(ptop=0.9, seq=3))
+        assert len(engine.alerts) == 1

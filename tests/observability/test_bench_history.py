@@ -34,7 +34,7 @@ class TestAppend:
         assert entries[0]["headline"] == 12.0
         assert entries[0]["record"]["speedup_vs_cold"] == 12.0
 
-    def test_all_three_benchmark_families_are_tracked(self, tmp_path):
+    def test_all_benchmark_families_are_tracked(self, tmp_path):
         history = tmp_path / "history.json"
         records = [
             _record(tmp_path / "sweep.json",
@@ -43,6 +43,8 @@ class TestAppend:
                     "E13-campaign-resume-overhead", resume_speedup=40.0),
             _record(tmp_path / "monitor.json",
                     "E14-live-monitor-updates", speedup_vs_cold=14.0),
+            _record(tmp_path / "kernels.json",
+                    "E15-kernel-batch-bdd-eval", numpy_speedup_vs_scalar=15.0),
         ]
         code = bench_history.main(
             [str(path) for path in records] + ["--history", str(history)]
@@ -51,7 +53,7 @@ class TestAppend:
         document = json.loads(history.read_text())
         assert set(document) == set(bench_history.HEADLINE_METRICS)
         assert [entries[-1]["headline"] for entries in document.values()] == [
-            10.0, 40.0, 14.0
+            10.0, 40.0, 14.0, 15.0
         ]
 
     def test_entries_accumulate_newest_last(self, tmp_path):

@@ -1,0 +1,92 @@
+"""Sweeps through the kernel dispatch seam: batched exact top-events must be
+indistinguishable — scenario for scenario, byte for byte — from the scalar
+path, whichever kernel tier runs them."""
+
+import json
+
+import pytest
+
+from repro import kernels
+from repro.api import AnalysisSession
+from repro.bdd import BDDManager, variable_order
+from repro.bdd.probability import probability_of_bdd
+from repro.scenarios import SweepExecutor, probability_sweep, run_sweep
+from repro.workloads.library import fire_protection_system
+from repro.workloads.generator import random_fault_tree
+
+
+def _sweep_scenarios(steps=39):
+    return probability_sweep("x1", [0.001 + 0.9 * i / steps / 2 for i in range(steps)])
+
+
+def _outcome_documents(report):
+    return [
+        json.dumps(
+            {
+                "name": outcome.name,
+                "top_event": outcome.top_event,
+                "mpmcs": outcome.mpmcs_events,
+                "mpmcs_probability": outcome.mpmcs_probability,
+                "error": outcome.error,
+            },
+            sort_keys=True,
+        )
+        for outcome in report.outcomes
+    ]
+
+
+class TestTierIdenticalSweeps:
+    def test_all_tiers_produce_byte_identical_outcomes(self):
+        documents = {}
+        for tier in kernels.available_tiers():
+            session = AnalysisSession(kernel_tier=tier)
+            report = run_sweep(
+                fire_protection_system(),
+                _sweep_scenarios(),
+                backend="maxsat",
+                session=session,
+            )
+            assert not report.failures
+            documents[tier] = _outcome_documents(report)
+        reference = documents["python"]
+        for tier, docs in documents.items():
+            assert docs == reference, f"tier {tier!r} produced different outcomes"
+
+    def test_batched_top_events_match_scalar_bdd_walk(self):
+        tree = fire_protection_system()
+        scenarios = list(_sweep_scenarios())
+        report = run_sweep(tree, scenarios, backend="maxsat")
+        manager = BDDManager(variable_order(tree, heuristic="dfs"))
+        function = manager.from_fault_tree(tree)
+        for scenario, outcome in zip(scenarios, report.outcomes):
+            patched = scenario.apply(tree)
+            assert outcome.top_event == probability_of_bdd(
+                function, patched.probabilities()
+            )
+
+    def test_probability_only_sweep_uses_the_bdd_fast_path(self):
+        session = AnalysisSession()
+        executor = SweepExecutor(session, backend="maxsat")
+        report = executor.run(
+            fire_protection_system(),
+            _sweep_scenarios(12),
+            analyses=("top_event",),
+        )
+        assert not report.failures
+        assert all(outcome.top_event is not None for outcome in report.outcomes)
+
+    def test_random_tree_sweep_tier_identity(self):
+        tree = random_fault_tree(num_basic_events=24, seed=9, voting_ratio=0.2)
+        event = sorted(tree.events_reachable_from_top())[0]
+        scenarios = probability_sweep(event, [0.01, 0.2, 0.45, 0.8])
+        documents = {}
+        for tier in kernels.available_tiers():
+            report = run_sweep(
+                tree,
+                scenarios,
+                backend="maxsat",
+                session=AnalysisSession(kernel_tier=tier),
+            )
+            documents[tier] = _outcome_documents(report)
+        reference = next(iter(documents.values()))
+        assert all(docs == reference for docs in documents.values())

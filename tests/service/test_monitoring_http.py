@@ -166,3 +166,26 @@ class TestQueueGauges:
         assert "repro_queue_depth 0" in text
         assert 'repro_jobs_by_state{state="done"} 1' in text
         assert 'repro_jobs_by_state{state="queued"} 0' in text
+
+
+class TestBatchAndWebhookPayload:
+    def test_batch_size_drains_the_feed_in_chunks(self, live_service):
+        live_service.start_monitor(
+            fire_protection_system(), feed=SYNTH, batch_size=3
+        )
+        final = _wait_stopped(live_service)
+        assert final["updates"] == 6
+        kinds = [event.event for event in live_service.stream_monitor()]
+        assert kinds.count("delta") == 6
+
+    def test_invalid_batch_size_is_rejected(self, live_service):
+        with pytest.raises(ServiceError, match="batch_size"):
+            live_service.start_monitor(
+                fire_protection_system(), feed=SYNTH, batch_size=0
+            )
+
+    def test_invalid_webhook_url_is_rejected(self, live_service):
+        with pytest.raises(ServiceError, match="webhook"):
+            live_service.start_monitor(
+                fire_protection_system(), feed=SYNTH, webhook_url=123
+            )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.logic.dimacs import write_wcnf
+from repro.numerics import HAVE_NUMPY
 
 
 class TestReportCommand:
@@ -28,6 +29,10 @@ class TestReportCommand:
 
 
 class TestUncertaintyCommand:
+    @pytest.mark.skipif(
+        not HAVE_NUMPY,
+        reason="requires numpy (absent or disabled via REPRO_NO_NUMPY=1)",
+    )
     def test_fps_uncertainty(self, capsys):
         exit_code = main(
             ["uncertainty", "--builtin", "fps", "--samples", "300", "--seed", "7"]

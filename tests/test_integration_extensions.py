@@ -18,6 +18,7 @@ from repro.core.topk import enumerate_mpmcs
 from repro.fta.dynamic import DynamicFaultTree
 from repro.fta.simulation import simulate_dft
 from repro.maxsat import PreprocessingEngine, RC2Engine
+from repro.numerics import HAVE_NUMPY
 from repro.maxsat.portfolio import PortfolioSolver, default_engines
 from repro.core.encoder import encode_mpmcs
 from repro.reliability import (
@@ -65,6 +66,10 @@ class TestReliabilityPipelineIntegration:
 
 
 class TestUncertaintyIntegration:
+    pytestmark = pytest.mark.skipif(
+        not HAVE_NUMPY, reason="requires numpy (absent or disabled via REPRO_NO_NUMPY=1)"
+    )
+
     @pytest.mark.parametrize("tree_name", ["fps", "emergency-shutdown", "data-center-power"])
     def test_point_estimate_mpmcs_matches_maxsat(self, tree_name):
         tree = get_tree(tree_name)
@@ -122,6 +127,9 @@ class TestDynamicTreeIntegration:
         html = html_report(static, result)
         assert "<svg" in html
 
+    @pytest.mark.skipif(
+        not HAVE_NUMPY, reason="requires numpy (absent or disabled via REPRO_NO_NUMPY=1)"
+    )
     def test_simulation_bounded_by_static_contributions(self):
         dft = self.build_dft()
         static = dft.to_static_tree(2000.0)

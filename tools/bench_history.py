@@ -39,6 +39,7 @@ HEADLINE_METRICS = {
     "E12-incremental-maxsat-sweep": "speedup_vs_cold",
     "E13-campaign-resume-overhead": "resume_speedup",
     "E14-live-monitor-updates": "speedup_vs_cold",
+    "E15-kernel-batch-bdd-eval": "numpy_speedup_vs_scalar",
 }
 
 #: (env var, default filename) pairs probed when no record paths are given.
@@ -46,6 +47,7 @@ DEFAULT_RECORDS = (
     ("BENCH_SWEEP_JSON", "BENCH_sweep.json"),
     ("BENCH_CAMPAIGN_JSON", "BENCH_campaign.json"),
     ("BENCH_MONITOR_JSON", "BENCH_monitor.json"),
+    ("BENCH_KERNELS_JSON", "BENCH_kernels.json"),
 )
 
 
