@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, Dict, FrozenSet, List, Optional, Tuple, Type, Union, overload
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, List, Optional, Tuple, Type, Union, overload
 
 from repro.api.cache import ArtifactCache
 from repro.api.report import AnalysisReport, AnalysisRequest
@@ -58,6 +58,10 @@ class BackendContext:
     artifacts: ArtifactCache = field(default_factory=ArtifactCache)
     solver: Optional[MPMCSSolver] = None
     precision: int = DEFAULT_PRECISION
+    #: The session's resolved kernel suite (:func:`repro.kernels.select`);
+    #: ``None`` means each consumer auto-selects.  Typed loosely to keep the
+    #: registry import-light.
+    kernels: Optional[Any] = None
 
 
 class AnalysisBackend(abc.ABC):

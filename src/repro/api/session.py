@@ -124,7 +124,10 @@ class AnalysisSession:
         self.solver = solver if solver is not None else MPMCSSolver(mode=mode, precision=precision)
         self.kernels = kernels.select(kernel_tier)
         self.context = BackendContext(
-            artifacts=self.artifacts, solver=self.solver, precision=precision
+            artifacts=self.artifacts,
+            solver=self.solver,
+            precision=precision,
+            kernels=self.kernels,
         )
         self._backends: Dict[str, AnalysisBackend] = {}
 

@@ -34,6 +34,7 @@ reproducible.
 from __future__ import annotations
 
 from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -43,13 +44,72 @@ from repro.exceptions import AnalysisError
 from repro.fta.tree import FaultTree
 
 __all__ = [
+    "FLAT_FORM_CACHE_LIMIT",
     "FlatBDD",
+    "FlatFormCache",
     "bdd_mpmcs",
     "flatten_bdd",
     "mpmcs_of_bdd",
     "probability_of_bdd",
     "top_event_probability",
 ]
+
+#: Default bound on memoised :class:`FlatBDD` forms per BDD manager.  Flat
+#: forms are proportional in size to their diagram, and long-lived monitors /
+#: services compile many transient functions through one manager — an
+#: unbounded memo is a slow leak there.  256 diagrams is far beyond any
+#: working set a sweep or monitor batch touches.
+FLAT_FORM_CACHE_LIMIT = 256
+
+
+class FlatFormCache:
+    """LRU memo of :class:`FlatBDD` forms, keyed by hash-consed root node.
+
+    Lives on the owning :class:`~repro.bdd.manager.BDDManager` (created on
+    first :func:`flatten_bdd` call).  Reports its effectiveness the same way
+    :meth:`repro.api.cache.ArtifactCache.stats` does: cumulative ``hits`` /
+    ``misses`` / ``evictions`` next to the current ``entries``/``limit``.
+    """
+
+    __slots__ = ("limit", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, limit: int = FLAT_FORM_CACHE_LIMIT) -> None:
+        if limit < 1:
+            raise AnalysisError(f"flat-form cache limit must be at least 1, got {limit}")
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[int, FlatBDD]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, node: int) -> Optional[FlatBDD]:
+        flat = self._entries.get(node)
+        if flat is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(node)
+        self.hits += 1
+        return flat
+
+    def put(self, node: int, flat: FlatBDD) -> None:
+        self._entries[node] = flat
+        self._entries.move_to_end(node)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters plus current occupancy (ArtifactCache-style)."""
+        return {
+            "entries": len(self._entries),
+            "limit": self.limit,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 @dataclass(frozen=True)
@@ -109,12 +169,14 @@ def flatten_bdd(function: BDD) -> FlatBDD:
     The result is memoised on the owning :class:`BDDManager` keyed by the
     root node (BDD nodes are hash-consed and immutable, so the flat form of
     a given root never changes), making repeated batch evaluations of a
-    cached function cheap.
+    cached function cheap.  The memo is a :class:`FlatFormCache` — an LRU
+    bounded at :data:`FLAT_FORM_CACHE_LIMIT` forms — so long-lived managers
+    that compile many functions do not accumulate flat forms without limit.
     """
     manager = function.manager
-    cache: Dict[int, FlatBDD] = getattr(manager, "_flat_forms", None)  # type: ignore[assignment]
+    cache: FlatFormCache = getattr(manager, "_flat_forms", None)  # type: ignore[assignment]
     if cache is None:
-        cache = {}
+        cache = FlatFormCache()
         manager._flat_forms = cache  # type: ignore[attr-defined]
     cached = cache.get(function.node)
     if cached is not None:
@@ -154,7 +216,7 @@ def flatten_bdd(function: BDD) -> FlatBDD:
         high=high_arr,
         root=compact[function.node],
     )
-    cache[function.node] = flat
+    cache.put(function.node, flat)
     return flat
 
 

@@ -8,8 +8,9 @@ implementation *tier* without changing any semantics:
 
 ``numpy``
     Vectorised batch kernels (scenario-grid BDD evaluation as one forward
-    pass per node over the whole grid).  Only available when numpy is
-    importable and not disabled via ``REPRO_NO_NUMPY=1``.
+    pass per node over the whole grid; MaxSAT re-rank scoring as one int64
+    matmul per batch).  Only available when numpy is importable and not
+    disabled via ``REPRO_NO_NUMPY=1``.
 ``array``
     Stdlib :mod:`array`-module buffers: contiguous ``float``/``int`` storage,
     no third-party dependency.
@@ -20,7 +21,9 @@ implementation *tier* without changing any semantics:
 All tiers perform the *identical IEEE-754 operation sequence* per BDD node
 (``p * P(high) + (1 - p) * P(low)`` in children-first order), so results are
 bit-for-bit equal across tiers — canonical reports do not depend on which
-tier ran.
+tier ran.  The MaxSAT re-rank kernels (:mod:`repro.kernels.rerank`) operate
+on the solver's *scaled integer* weights and are exact on every tier by
+construction.
 
 Selection: :func:`select` resolves ``None``/``"auto"`` to the best available
 tier (numpy → array → python).  The environment variable ``REPRO_KERNEL``
@@ -36,7 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
-from repro.kernels import bdd_eval
+from repro.kernels import bdd_eval, rerank
 from repro.numerics import HAVE_NUMPY
 
 __all__ = [
@@ -59,12 +62,33 @@ class KernelSuite:
     #: Batch BDD evaluation: (flat form, per-scenario probability rows in
     #: ``flat.events`` order) -> per-scenario P(top) floats.
     eval_bdd_batch: Callable[..., List[float]]
+    #: MaxSAT re-rank scoring: (candidate event-index lists, scenarios×events
+    #: scaled-weight rows) -> candidates×scenarios integer score matrix.
+    score_candidates: Callable[..., List[List[int]]]
+    #: Disjoint-core packing bound: (disjoint core event-index lists,
+    #: scaled-weight rows) -> per-scenario hitting-set cost lower bound.
+    greedy_lower_bound: Callable[..., List[int]]
 
 
 _SUITES = {
-    "python": KernelSuite(name="python", eval_bdd_batch=bdd_eval.eval_bdd_batch_python),
-    "array": KernelSuite(name="array", eval_bdd_batch=bdd_eval.eval_bdd_batch_array),
-    "numpy": KernelSuite(name="numpy", eval_bdd_batch=bdd_eval.eval_bdd_batch_numpy),
+    "python": KernelSuite(
+        name="python",
+        eval_bdd_batch=bdd_eval.eval_bdd_batch_python,
+        score_candidates=rerank.score_candidates_python,
+        greedy_lower_bound=rerank.greedy_lower_bound_python,
+    ),
+    "array": KernelSuite(
+        name="array",
+        eval_bdd_batch=bdd_eval.eval_bdd_batch_array,
+        score_candidates=rerank.score_candidates_array,
+        greedy_lower_bound=rerank.greedy_lower_bound_array,
+    ),
+    "numpy": KernelSuite(
+        name="numpy",
+        eval_bdd_batch=bdd_eval.eval_bdd_batch_numpy,
+        score_candidates=rerank.score_candidates_numpy,
+        greedy_lower_bound=rerank.greedy_lower_bound_numpy,
+    ),
 }
 
 _PREFERENCE = ("numpy", "array", "python")

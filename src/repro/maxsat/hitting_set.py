@@ -82,7 +82,15 @@ def minimum_cost_hitting_set(
     if seed is not None:
         if index.mask_of(seed) == all_mask:
             seed_cost = sum(weights.get(element, 0) for element in seed)
-            if seed_cost < best_cost:
+            # ``<=``: the seed wins cost ties against the greedy warm start,
+            # and the search below only replaces on *strict* improvement — so
+            # whenever the seed is optimal, the search returns the seed
+            # itself.  Incremental callers rely on this: it makes the result
+            # a deterministic function of (cores, weights, seed), independent
+            # of greedy/search exploration order, which is what lets the
+            # batched re-rank path certify a pooled solution without
+            # re-running the search at all.
+            if seed_cost <= best_cost:
                 best_set, best_cost = set(seed), seed_cost
 
     # Branching order inside a core: cheapest element first.

@@ -37,12 +37,16 @@ solver restart.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import kernels as _kernels
 from repro.exceptions import AnalysisError, BudgetExceededError, SolverError
 from repro.fta.tree import FaultTree
+from repro.kernels.bitset import CoverageIndex
 from repro.logic.cnf import Literal
 from repro.maxsat.hitting_set import minimum_cost_hitting_set
 from repro.maxsat.instance import DEFAULT_PRECISION, scale_weight
@@ -60,6 +64,11 @@ class IncrementalSolveResult:
     ``events`` is the extracted minimal cut set, ``scaled_cost`` the integer
     objective at the session's precision (the granularity every tie decision
     must use) and ``cost`` the float ``-log`` objective.
+
+    ``rerank`` records which tier of the batched re-rank ladder produced the
+    result (``"pooled"``, ``"certified"``, ``"fallback"`` or ``"cold"``); it
+    is empty for plain per-scenario solves and is telemetry only — it never
+    participates in result comparison.
     """
 
     events: Tuple[str, ...]
@@ -68,6 +77,36 @@ class IncrementalSolveResult:
     probability_weights: Dict[str, float]
     sat_calls: int
     solve_time: float
+    rerank: str = ""
+
+
+@dataclass
+class _RerankPrep:
+    """Weight-independent per-batch state of :meth:`solve_batch`.
+
+    Everything here is a function of (cores, blocking clauses, blocked set)
+    only — it is computed once per batch and recomputed only when a fallback
+    solve grows the core collection mid-batch.
+    """
+
+    block_assumptions: List[Literal]
+    signature: FrozenSet[Literal]
+    blocked_sets: Tuple[FrozenSet[str], ...]
+    core_count: int
+    usable: List[FrozenSet[Literal]]
+    exhausted: bool
+    index: Optional[CoverageIndex]
+    #: Pairwise-disjoint usable cores as event-column lists: the packing
+    #: family behind the vectorised hitting-set lower bound.
+    disjoint_columns: List[List[int]]
+    #: All subset-minimal hitting sets of ``usable`` — the weight-independent
+    #: candidate family whose per-scenario score minimum *is* the exact
+    #: optimal hitting-set cost.  ``None`` when enumeration blew its cap (the
+    #: packing lower bound then gates the pooled tier instead).
+    mhs_literals: Optional[List[FrozenSet[Literal]]] = None
+    mhs_events: Optional[List[Tuple[str, ...]]] = None
+    mhs_columns: Optional[List[List[int]]] = None
+    mhs_index: Optional[Dict[Tuple[str, ...], int]] = None
 
 
 class IncrementalMaxSATSession:
@@ -96,6 +135,12 @@ class IncrementalMaxSATSession:
         Safety cap on core-discovery iterations per solve; exceeding it
         raises :class:`BudgetExceededError` so callers can fall back to the
         cold portfolio.
+    kernels:
+        Kernel suite (:func:`repro.kernels.select`) used by the batched
+        re-rank path (:meth:`solve_batch`) for candidate scoring and
+        hitting-set lower bounds.  Defaults to the auto-selected tier.  The
+        re-rank kernels work on scaled integers, so the tier never changes
+        results.
     """
 
     def __init__(
@@ -105,6 +150,7 @@ class IncrementalMaxSATSession:
         *,
         precision: int = DEFAULT_PRECISION,
         max_rounds: int = 100_000,
+        kernels: Optional[_kernels.KernelSuite] = None,
     ) -> None:
         # Imported lazily: repro.core.encoder imports repro.maxsat.instance,
         # so a top-level import here would cycle through the package inits.
@@ -115,6 +161,11 @@ class IncrementalMaxSATSession:
         started = time.perf_counter()
         self.precision = precision
         self.max_rounds = max_rounds
+        self._kernels = kernels if kernels is not None else _kernels.select(None)
+        #: Retained for the per-scenario cold fallback of :meth:`solve_chunk`
+        #: (only the structure is ever read; weights always come per solve).
+        self._tree = tree
+        self._cache = cache
 
         encoding = assemble_structure_cnf(tree, cache)
         self._solver = CDCLSolver()
@@ -141,6 +192,17 @@ class IncrementalMaxSATSession:
         self._selectors: Tuple[Literal, ...] = tuple(
             -var for var in sorted(self._var_events)
         )
+        #: Event names in selector order — the column order of every scaled
+        #: weight row the re-rank kernels consume.
+        self._event_order: Tuple[str, ...] = tuple(
+            self._var_events[var] for var in sorted(self._var_events)
+        )
+        self._event_column: Dict[str, int] = {
+            name: column for column, name in enumerate(self._event_order)
+        }
+        self._selector_column: Dict[Literal, int] = {
+            -var: column for column, var in enumerate(sorted(self._var_events))
+        }
         self.num_vars = encoding.cnf.num_vars
         self.num_hard = encoding.cnf.num_clauses
         self.num_aux_vars = len(encoding.aux_vars)
@@ -156,10 +218,37 @@ class IncrementalMaxSATSession:
         #: branch-and-bound with a near-tight upper bound.
         self._hs_memo: Dict[FrozenSet[Literal], Set[Literal]] = {}
 
+        #: Candidate pool: every SAT-verified optimal cut set this session has
+        #: ever produced.  Feasibility ("the hard clauses admit a model whose
+        #: true events are exactly this set") is weight-independent, so a
+        #: pooled candidate certifies later scenarios without an oracle call.
+        self._pool_order: List[Tuple[str, ...]] = []
+        self._pool_index: Dict[Tuple[str, ...], int] = {}
+        self._pool_columns: List[List[int]] = []
+        self._pool_masks: List[int] = []
+        #: Memoised minimal-hitting-set enumerations, keyed by
+        #: ``(core count, block signature)``: ``(family or None on overflow,
+        #: node budget used, family cap used)``.  An overflow is retried only
+        #: when a later batch brings a larger budget.
+        self._mhs_families: Dict[
+            Tuple[int, FrozenSet[Literal]],
+            Tuple[Optional[List[FrozenSet[Literal]]], int, int],
+        ] = {}
+
         self.encode_time = time.perf_counter() - started
         self.sat_calls = 0
         self.solves = 0
         self.rounds = 0
+        #: How each :meth:`solve_batch` scenario was resolved, cumulatively.
+        self.rerank_stats: Dict[str, int] = {
+            "pooled": 0,
+            "certified": 0,
+            "bnb": 0,
+            "fallback": 0,
+        }
+        #: Scenarios rescued by the per-scenario cold fallback in
+        #: :meth:`solve_chunk` after a :class:`BudgetExceededError`.
+        self.chunk_fallbacks = 0
 
     # -- weights ---------------------------------------------------------------
 
@@ -258,22 +347,95 @@ class IncrementalMaxSATSession:
         already hot — the chunk shape matches how
         :class:`~repro.scenarios.sweep.SweepExecutor` and the monitoring
         batch path feed scenarios through a warm session.
+
+        A :class:`BudgetExceededError` raised mid-chunk is contained to the
+        scenario that blew the budget: that scenario alone falls back to a
+        cold one-shot solve (counted in ``chunk_fallbacks``) and the chunk
+        continues — earlier results are never thrown away.
         """
         with _trace.span(
             "maxsat.solve_chunk", scenarios=len(weights_seq), blocked=len(blocked)
         ) as span:
             calls_before = self.sat_calls
             rounds_before = self.rounds
+            fallbacks_before = self.chunk_fallbacks
             results: List[Optional[IncrementalSolveResult]] = []
             for weights in weights_seq:
-                results.append(self._solve_impl(weights, blocked))
+                try:
+                    results.append(self._solve_impl(weights, blocked))
+                except BudgetExceededError:
+                    self.chunk_fallbacks += 1
+                    results.append(self._cold_solve(weights, blocked))
+            if self.chunk_fallbacks > fallbacks_before:
+                from repro.observability.metrics import get_metrics
+
+                get_metrics().inc(
+                    "repro_maxsat_chunk_fallbacks_total",
+                    amount=self.chunk_fallbacks - fallbacks_before,
+                )
             if span.is_recording:
+                span.add("chunk_fallbacks", self.chunk_fallbacks - fallbacks_before)
                 span.add("sat_calls", self.sat_calls - calls_before)
                 span.add("hs_rounds", self.rounds - rounds_before)
                 span.add(
                     "solutions", sum(1 for result in results if result is not None)
                 )
             return results
+
+    def _cold_solve(
+        self,
+        weights: Dict[str, float],
+        blocked: Sequence[Tuple[str, ...]],
+    ) -> Optional[IncrementalSolveResult]:
+        """One-shot cold solve of a single scenario, bypassing session state.
+
+        The rescue path for a scenario whose incremental solve blew a search
+        budget: re-encode the structure (through the shared fragment cache, so
+        this is cheap), materialise the scenario's weights as probabilities
+        ``exp(-w)``, forbid the blocked cut sets with plain hard clauses and
+        run the cold portfolio.  The session's cores, memo and solver are left
+        untouched — a pathological scenario must not poison its successors.
+        """
+        # Lazy for the same cycle reason as the constructor's encoder import.
+        from repro.core.encoder import encode_mpmcs
+        from repro.core.pipeline import MPMCSSolver
+
+        started = time.perf_counter()
+        patched = self._tree.copy()
+        for name in self.event_vars:
+            patched.set_probability(name, max(math.exp(-weights[name]), 5e-324))
+        encoding = encode_mpmcs(patched, precision=self.precision, cache=self._cache)
+        for cut_set in blocked:
+            try:
+                encoding.instance.add_hard(
+                    [-encoding.event_vars[name] for name in cut_set]
+                )
+            except KeyError as exc:
+                raise AnalysisError(
+                    f"cannot block cut set {tuple(sorted(cut_set))!r}: event "
+                    f"{exc.args[0]!r} is not part of this structure"
+                ) from None
+        try:
+            outcome = MPMCSSolver(precision=self.precision).solve_encoding(
+                patched, encoding
+            )
+        except AnalysisError as exc:
+            if "no cut set" in str(exc):
+                self.solves += 1
+                return None
+            raise
+        events = tuple(sorted(outcome.events))
+        probability_weights = {name: weights[name] for name in events}
+        self.solves += 1
+        return IncrementalSolveResult(
+            events=events,
+            scaled_cost=self.scaled_cost_of(events, weights),
+            cost=sum(probability_weights.values()),
+            probability_weights=probability_weights,
+            sat_calls=0,
+            solve_time=time.perf_counter() - started,
+            rerank="cold",
+        )
 
     def _solve_impl(
         self,
@@ -293,21 +455,7 @@ class IncrementalMaxSATSession:
         sat_calls = 0
         for _ in range(self.max_rounds):
             self.rounds += 1
-            usable: List[FrozenSet[Literal]] = []
-            exhausted = False
-            for core in self._cores:
-                block_part = frozenset(
-                    literal for literal in core if abs(literal) in self._block_var_set
-                )
-                if not block_part <= active_blocks:
-                    continue  # depends on a blocking clause that is not active
-                stripped = core - block_part
-                if not stripped:
-                    # Every member of the core is an active block: the blocked
-                    # cut sets alone already exhaust the structure.
-                    exhausted = True
-                    break
-                usable.append(stripped)
+            usable, exhausted = self._usable_cores(active_blocks)
             if exhausted:
                 self.solves += 1
                 self.sat_calls += sat_calls
@@ -335,6 +483,7 @@ class IncrementalMaxSATSession:
                 )
                 self.solves += 1
                 self.sat_calls += sat_calls
+                self._register_candidate(events)
                 probability_weights = {name: weights[name] for name in events}
                 return IncrementalSolveResult(
                     events=events,
@@ -357,6 +506,454 @@ class IncrementalMaxSATSession:
         raise BudgetExceededError(
             f"incremental MaxSAT session exceeded {self.max_rounds} core rounds"
         )
+
+    def _usable_cores(
+        self, active_blocks: Set[Literal]
+    ) -> Tuple[List[FrozenSet[Literal]], bool]:
+        """Cached cores valid under ``active_blocks``, stripped of block literals.
+
+        The second element is the exhaustion flag: a core consisting solely of
+        active block assumptions means the blocked cut sets alone already
+        exhaust the structure, so the solve's answer is ``None``.
+        """
+        usable: List[FrozenSet[Literal]] = []
+        for core in self._cores:
+            block_part = frozenset(
+                literal for literal in core if abs(literal) in self._block_var_set
+            )
+            if not block_part <= active_blocks:
+                continue  # depends on a blocking clause that is not active
+            stripped = core - block_part
+            if not stripped:
+                return [], True
+            usable.append(stripped)
+        return usable, False
+
+    # -- batched re-rank -------------------------------------------------------
+
+    def _register_candidate(self, events: Tuple[str, ...]) -> None:
+        """Admit a SAT-verified optimal cut set into the candidate pool."""
+        if events in self._pool_index:
+            return
+        self._pool_index[events] = len(self._pool_order)
+        self._pool_order.append(events)
+        columns = [self._event_column[name] for name in events]
+        self._pool_columns.append(columns)
+        mask = 0
+        for column in columns:
+            mask |= 1 << column
+        self._pool_masks.append(mask)
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool_order)
+
+    def _contains_pooled(self, events: Tuple[str, ...]) -> bool:
+        """Whether some pooled candidate is a subset of ``events``.
+
+        This is the SAT-free feasibility certificate: a pooled candidate is a
+        verified cut set, and any superset of a cut set admits a model, so the
+        oracle call the sequential loop would make is guaranteed to succeed.
+        """
+        if events in self._pool_index:
+            return True
+        mask = 0
+        for name in events:
+            mask |= 1 << self._event_column[name]
+        return any(candidate & ~mask == 0 for candidate in self._pool_masks)
+
+    @staticmethod
+    def _admissible(
+        events: Tuple[str, ...], blocked_sets: Tuple[FrozenSet[str], ...]
+    ) -> bool:
+        """No active blocking clause forbids ``events`` (or a superset rule)."""
+        event_set = frozenset(events)
+        return all(not blocked <= event_set for blocked in blocked_sets)
+
+    #: Node / family-size caps for minimal-hitting-set enumeration; blowing
+    #: either cap disables the exact pooled gate for that core state (the
+    #: packing lower bound takes over — still correct, just less often tight).
+    #: The node cap is a ceiling: the per-batch budget scales with the number
+    #: of scenarios the enumeration can amortise over (``_MHS_NODES_PER_ROW``),
+    #: so a small monitor batch never pays a long enumeration it cannot recoup.
+    #: The family cap is tier-aware: scoring thousands of candidates is one
+    #: cheap matmul on the numpy tier but real per-candidate loop work on the
+    #: stdlib tiers.
+    _MHS_NODE_CAP = 1_000_000
+    _MHS_NODES_PER_ROW = 2_000
+    _MHS_NODE_FLOOR = 25_000
+    _MHS_SET_CAP = 4096
+    _MHS_SET_CAP_SCALAR = 512
+
+    def _mhs_budgets(self, scenarios: int) -> Tuple[int, int]:
+        """(node budget, family cap) for a batch of ``scenarios`` re-solves."""
+        node_budget = min(
+            self._MHS_NODE_CAP,
+            max(self._MHS_NODE_FLOOR, self._MHS_NODES_PER_ROW * scenarios),
+        )
+        set_cap = (
+            self._MHS_SET_CAP
+            if self._kernels.name == "numpy"
+            else self._MHS_SET_CAP_SCALAR
+        )
+        return node_budget, set_cap
+
+    def _minimal_hitting_sets(
+        self,
+        usable: List[FrozenSet[Literal]],
+        index: CoverageIndex,
+        node_budget: Optional[int] = None,
+        set_cap: Optional[int] = None,
+    ) -> Optional[List[FrozenSet[Literal]]]:
+        """All subset-minimal hitting sets of ``usable``, or ``None`` on overflow.
+
+        Weight-independent, so computed once per core state.  With strictly
+        positive weights every minimum-cost hitting set is subset-minimal, so
+        this family always contains the per-scenario optimum — which is what
+        turns per-scenario optimality into a pure scoring problem.
+        """
+        if node_budget is None:
+            node_budget = self._MHS_NODE_CAP
+        if set_cap is None:
+            set_cap = self._MHS_SET_CAP
+        coverage = index.coverage
+        branch_order = [sorted(core, key=abs) for core in usable]
+        found: Set[FrozenSet[Literal]] = set()
+        nodes = 0
+
+        def search(chosen: Set[Literal], unhit_mask: int) -> bool:
+            nonlocal nodes
+            nodes += 1
+            if nodes > node_budget or len(found) > set_cap:
+                return False
+            if not unhit_mask:
+                found.add(frozenset(chosen))
+                return True
+            core_index = (unhit_mask & -unhit_mask).bit_length() - 1
+            for element in branch_order[core_index]:
+                if element in chosen:
+                    continue
+                chosen.add(element)
+                if not search(chosen, unhit_mask & ~coverage[element]):
+                    return False
+                chosen.discard(element)
+            return True
+
+        if not search(set(), index.all_mask):
+            return None
+        # The search emits every minimal hitting set (choosing its elements in
+        # core order) but also non-minimal combinations; filter by subset.
+        by_size = sorted(found, key=lambda s: (len(s), sorted(s, key=abs)))
+        minimal: List[FrozenSet[Literal]] = []
+        for candidate in by_size:
+            if not any(kept < candidate for kept in minimal):
+                minimal.append(candidate)
+        return minimal
+
+    def _prepare_rerank(
+        self, blocked: Sequence[Tuple[str, ...]], scenarios: int = 1
+    ) -> _RerankPrep:
+        """The weight-independent batch state for the current core collection.
+
+        ``scenarios`` sizes the minimal-hitting-set enumeration budget: the
+        family is worth enumerating in proportion to the number of re-solves
+        it can answer SAT-free.  Enumerations (including overflows) are
+        memoised per ``(core count, block signature)`` on the session, so a
+        long-lived monitor pays the enumeration once, not once per batch.
+        """
+        block_assumptions = sorted(
+            (self._block_assumption(cut_set) for cut_set in blocked), key=abs
+        )
+        active_blocks = set(block_assumptions)
+        usable, exhausted = self._usable_cores(active_blocks)
+        index: Optional[CoverageIndex] = None
+        disjoint_columns: List[List[int]] = []
+        mhs_literals: Optional[List[FrozenSet[Literal]]] = None
+        mhs_events: Optional[List[Tuple[str, ...]]] = None
+        mhs_columns: Optional[List[List[int]]] = None
+        mhs_index: Optional[Dict[Tuple[str, ...], int]] = None
+        if not exhausted:
+            index = CoverageIndex(usable)
+            # Greedy disjoint-core packing in discovery order: any hitting set
+            # must pay at least the cheapest element of each selected core.
+            claimed: Set[Literal] = set()
+            for core in usable:
+                if claimed.isdisjoint(core):
+                    claimed |= core
+                    disjoint_columns.append(
+                        sorted(self._selector_column[literal] for literal in core)
+                    )
+            node_budget, set_cap = self._mhs_budgets(scenarios)
+            state_key = (len(self._cores), frozenset(active_blocks))
+            cached = self._mhs_families.get(state_key)
+            if cached is not None and (
+                cached[0] is not None
+                or (cached[1] >= node_budget and cached[2] >= set_cap)
+            ):
+                mhs_literals = cached[0]
+            else:
+                if len(self._mhs_families) >= 64:  # tiny, but never unbounded
+                    self._mhs_families.clear()
+                mhs_literals = self._minimal_hitting_sets(
+                    usable, index, node_budget, set_cap
+                )
+                self._mhs_families[state_key] = (mhs_literals, node_budget, set_cap)
+            if mhs_literals is not None:
+                mhs_events = [
+                    tuple(sorted(self._var_events[abs(literal)] for literal in s))
+                    for s in mhs_literals
+                ]
+                mhs_columns = [
+                    sorted(self._selector_column[literal] for literal in s)
+                    for s in mhs_literals
+                ]
+                mhs_index = {events: i for i, events in enumerate(mhs_events)}
+        return _RerankPrep(
+            block_assumptions=block_assumptions,
+            signature=frozenset(active_blocks),
+            blocked_sets=tuple(frozenset(cut_set) for cut_set in blocked),
+            core_count=len(self._cores),
+            usable=usable,
+            exhausted=exhausted,
+            index=index,
+            disjoint_columns=disjoint_columns,
+            mhs_literals=mhs_literals,
+            mhs_events=mhs_events,
+            mhs_columns=mhs_columns,
+            mhs_index=mhs_index,
+        )
+
+    def _scaled_row(self, weights: Dict[str, float]) -> List[int]:
+        """One scenario's scaled weights in event-column order."""
+        return [self._scale_weight(weights[name]) for name in self._event_order]
+
+    def _lower_bounds(
+        self, prep: _RerankPrep, rows: Sequence[Sequence[int]]
+    ) -> List[int]:
+        """Per-scenario packing lower bound on the minimum hitting-set cost."""
+        if prep.exhausted or not prep.disjoint_columns:
+            return [0] * len(rows)
+        return self._kernels.greedy_lower_bound(prep.disjoint_columns, rows)
+
+    def _mhs_scores(
+        self, prep: _RerankPrep, rows: Sequence[Sequence[int]]
+    ) -> Tuple[List[List[int]], List[int]]:
+        """Score the minimal-hitting-set family over the whole batch.
+
+        One kernel call builds the ``candidates × scenarios`` matrix (a single
+        int64 matmul on the numpy tier); the per-scenario column minimum is
+        the **exact** minimum hitting-set cost, since every minimum-cost
+        hitting set under strictly positive weights is subset-minimal and the
+        family enumerates all of those.
+        """
+        if prep.exhausted or prep.mhs_columns is None:
+            return [], [0] * len(rows)
+        scores = self._kernels.score_candidates(prep.mhs_columns, rows)
+        opts = [min(column) for column in zip(*scores)]
+        return scores, opts
+
+    def _result_for(
+        self,
+        events: Tuple[str, ...],
+        scaled_cost: int,
+        weights: Dict[str, float],
+        started: float,
+        tier: str,
+    ) -> IncrementalSolveResult:
+        probability_weights = {name: weights[name] for name in events}
+        return IncrementalSolveResult(
+            events=events,
+            scaled_cost=scaled_cost,
+            cost=sum(probability_weights.values()),
+            probability_weights=probability_weights,
+            sat_calls=0,
+            solve_time=time.perf_counter() - started,
+            rerank=tier,
+        )
+
+    def _ranked_one(
+        self,
+        weights: Dict[str, float],
+        blocked: Sequence[Tuple[str, ...]],
+        prep: _RerankPrep,
+        row: Sequence[int],
+        lower_bound: int,
+        mhs_scores: Sequence[Sequence[int]],
+        opts: Sequence[int],
+        position: int,
+    ) -> Optional[IncrementalSolveResult]:
+        """Resolve one batch scenario through the pool/certify/B&B/fallback ladder."""
+        started = time.perf_counter()
+        if prep.exhausted:
+            self.solves += 1
+            self.rerank_stats["pooled"] += 1
+            return None
+        exact = prep.mhs_columns is not None
+        optimum = opts[position] if exact else None
+
+        # Pooled tier, seed gate: the memoised hitting set for this block
+        # signature (the previous scenario's optimum, in steady state).  When
+        # it still hits every core, its cost attains the scenario's exact
+        # optimum (or, in the enumeration-overflow regime, the packing lower
+        # bound), it contains a pooled cut set and no blocking clause forbids
+        # it, it is *provably* what the sequential loop would return: the
+        # seeded branch-and-bound adopts an optimal seed unchanged, and pool
+        # containment certifies the SAT call — zero oracle work.
+        seed = self._hs_memo.get(prep.signature) if prep.usable else set()
+        if seed is not None and prep.index is not None and prep.index.covers_all(seed):
+            seed_events = tuple(
+                sorted(self._var_events[abs(literal)] for literal in seed)
+            )
+            if self._admissible(seed_events, prep.blocked_sets) and self._contains_pooled(
+                seed_events
+            ):
+                if exact:
+                    mhs_position = prep.mhs_index.get(seed_events)
+                    seed_score = (
+                        mhs_scores[mhs_position][position]
+                        if mhs_position is not None
+                        else sum(row[self._event_column[name]] for name in seed_events)
+                    )
+                    seed_optimal = seed_score == optimum
+                else:
+                    seed_score = sum(
+                        row[self._event_column[name]] for name in seed_events
+                    )
+                    seed_optimal = seed_score == lower_bound
+                if seed_optimal:
+                    self._hs_memo[prep.signature] = set(seed)
+                    self.solves += 1
+                    self._register_candidate(seed_events)
+                    self.rerank_stats["pooled"] += 1
+                    return self._result_for(
+                        seed_events, seed_score, weights, started, "pooled"
+                    )
+
+        # Pooled tier, argmin gate: with the minimal-hitting-set family
+        # enumerated, the scored argmin *is* the optimum whenever it is
+        # unique — the branch-and-bound must return that same set (a tie
+        # would require a second minimum-score candidate, and any seed
+        # adoption is itself min-cost hence minimal hence in the family).
+        if exact:
+            winners = [
+                index
+                for index, candidate_scores in enumerate(mhs_scores)
+                if candidate_scores[position] == optimum
+            ]
+            if len(winners) == 1:
+                events = prep.mhs_events[winners[0]]
+                if self._contains_pooled(events) and self._admissible(
+                    events, prep.blocked_sets
+                ):
+                    self._hs_memo[prep.signature] = set(prep.mhs_literals[winners[0]])
+                    self.solves += 1
+                    self._register_candidate(events)
+                    self.rerank_stats["pooled"] += 1
+                    return self._result_for(events, optimum, weights, started, "pooled")
+
+        # B&B tier: tied optima with a stale seed, an un-certifiable winner
+        # or an overflowed enumeration — run the exact hitting-set search,
+        # exactly as the sequential loop's first round would, then try to
+        # certify its result without the SAT call.
+        self.rerank_stats["bnb"] += 1
+        scaled: Dict[Literal, int] = {
+            selector: row[column] for selector, column in self._selector_column.items()
+        }
+        hitting_set, hs_cost = minimum_cost_hitting_set(
+            prep.usable, scaled, seed=self._hs_memo.get(prep.signature)
+        )
+        hs_events = tuple(
+            sorted(self._var_events[abs(literal)] for literal in hitting_set)
+        )
+        if self._contains_pooled(hs_events) and self._admissible(
+            hs_events, prep.blocked_sets
+        ):
+            # Feasible (superset of a verified cut set) and block-admissible:
+            # the sequential SAT call succeeds, and with strictly positive
+            # scaled weights its model's true events are exactly the hitting
+            # set — so this *is* the sequential result, SAT-free.
+            self._hs_memo[prep.signature] = hitting_set
+            self.solves += 1
+            self._register_candidate(hs_events)
+            self.rerank_stats["certified"] += 1
+            return self._result_for(hs_events, hs_cost, weights, started, "certified")
+
+        # Fallback: no SAT-free certificate — run the full core-discovery
+        # loop.  ``_solve_impl`` was not passed any state from the ladder, so
+        # its memo/core/pool evolution is identical to the sequential path.
+        self.rerank_stats["fallback"] += 1
+        result = self._solve_impl(weights, blocked)
+        if result is not None:
+            result = dataclasses.replace(result, rerank="fallback")
+        return result
+
+    def solve_batch(
+        self,
+        weights_seq: Sequence[Dict[str, float]],
+        blocked: Sequence[Tuple[str, ...]] = (),
+    ) -> List[Optional[IncrementalSolveResult]]:
+        """Batched weight-only re-rank: results identical to a :meth:`solve` loop.
+
+        Everything weight-independent is computed once per batch — the usable
+        cores, their :class:`~repro.kernels.bitset.CoverageIndex`, a greedy
+        disjoint-core packing, the candidate pool's incidence structure — and
+        the per-scenario work collapses to integer scoring through the
+        session's kernel suite: one ``candidates × scenarios`` score matrix
+        (a single int64 matmul on the numpy tier) plus one vectorised packing
+        lower bound per scenario.  Each scenario then walks the ladder in
+        :meth:`_ranked_one`: **pooled** (zero SAT calls) → **certified** (one
+        B&B, zero SAT calls) → **fallback** (full sequential loop).
+
+        The returned results — events, scaled cost, float cost, probability
+        weights — are byte-identical to calling :meth:`solve` once per
+        scenario in order, because every SAT-free tier fires only when the
+        sequential outcome is provable: the seeded branch-and-bound is a
+        deterministic function of (cores, weights, seed), scaled weights are
+        strictly positive (so a SAT model's events equal the hitting set
+        exactly), and pool membership certifies the oracle call.  Only the
+        telemetry differs: ``sat_calls``/``solve_time`` reflect the work
+        actually done, and ``rerank`` names the tier that resolved each
+        scenario.  Raises the same exceptions the sequential loop would
+        (:class:`BudgetExceededError` from the search budgets included).
+        """
+        with _trace.span(
+            "maxsat.solve_batch", scenarios=len(weights_seq), blocked=len(blocked)
+        ) as span:
+            stats_before = dict(self.rerank_stats)
+            calls_before = self.sat_calls
+            results: List[Optional[IncrementalSolveResult]] = []
+            if weights_seq:
+                rows = [self._scaled_row(weights) for weights in weights_seq]
+                prep = self._prepare_rerank(blocked, len(weights_seq))
+                lower_bounds = self._lower_bounds(prep, rows)
+                mhs_scores, opts = self._mhs_scores(prep, rows)
+                for position, weights in enumerate(weights_seq):
+                    if prep.core_count != len(self._cores):
+                        # A fallback discovered new cores: the coverage index,
+                        # packing bound and score matrix are stale — rebuild.
+                        prep = self._prepare_rerank(blocked, len(weights_seq))
+                        lower_bounds = self._lower_bounds(prep, rows)
+                        mhs_scores, opts = self._mhs_scores(prep, rows)
+                    results.append(
+                        self._ranked_one(
+                            weights,
+                            blocked,
+                            prep,
+                            rows[position],
+                            lower_bounds[position],
+                            mhs_scores,
+                            opts,
+                            position,
+                        )
+                    )
+            if span.is_recording:
+                span.add("sat_calls", self.sat_calls - calls_before)
+                for tier, count in self.rerank_stats.items():
+                    span.add(tier, count - stats_before[tier])
+                span.add(
+                    "solutions", sum(1 for result in results if result is not None)
+                )
+            return results
 
     # -- introspection ---------------------------------------------------------
 
@@ -384,6 +981,13 @@ class IncrementalMaxSATSession:
             "num_vars": self.num_vars,
             "num_hard": self.num_hard,
             "encode_seconds": self.encode_time,
+            "kernel": self._kernels.name,
+            "pool_candidates": len(self._pool_order),
+            "chunk_fallbacks": self.chunk_fallbacks,
+            "rerank_pooled": self.rerank_stats["pooled"],
+            "rerank_certified": self.rerank_stats["certified"],
+            "rerank_bnb": self.rerank_stats["bnb"],
+            "rerank_fallback": self.rerank_stats["fallback"],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -364,11 +364,15 @@ class TreeMonitor:
         All updates are staged first (cumulatively, in order), their exact
         top-event probabilities are evaluated in a single kernel call over
         the whole ``(updates × events)`` grid
-        (:meth:`SweepExecutor.precompute_top_events`), and then each update
-        runs the ordinary per-update analysis, which consumes its
-        precomputed value.  The per-update deltas, reports, alerts and
-        streamed events are identical to calling :meth:`apply_update` in a
-        loop — batching only removes one BDD walk per update.
+        (:meth:`SweepExecutor.precompute_top_events`), their MaxSAT re-solves
+        run through the batched re-rank ladder
+        (:meth:`SweepExecutor.precompute_rerank` — vectorised scoring over
+        the warm session's candidate pool, near-zero SAT calls in steady
+        state), and then each update runs the ordinary per-update analysis,
+        which consumes its precomputed values.  The per-update deltas,
+        reports, alerts and streamed events are identical to calling
+        :meth:`apply_update` in a loop — batching only removes per-update
+        solver and BDD work.
         """
         if not updates:
             return []
@@ -379,14 +383,22 @@ class TreeMonitor:
                 started = time.perf_counter()
                 changed, patched = self._stage_locked(update)
                 staged.append((update, changed, patched, started))
+            patched_trees = [patched for _, _, patched, _ in staged]
             if self.executor.uses_bdd_top_event:
-                self.executor.precompute_top_events(
-                    [patched for _, _, patched, _ in staged]
-                )
-            return [
-                self._analyze_locked(update, changed, patched, started)
-                for update, changed, patched, started in staged
-            ]
+                self.executor.precompute_top_events(patched_trees)
+            if self.executor.uses_batched_rerank and any(
+                analysis in ("mpmcs", "ranking") for analysis in self._analyses
+            ):
+                self.executor.precompute_rerank(patched_trees)
+            try:
+                return [
+                    self._analyze_locked(update, changed, patched, started)
+                    for update, changed, patched, started in staged
+                ]
+            finally:
+                # A failed analysis must not leak its staged solve (and the
+                # strong tree reference it holds) into the next batch.
+                self.executor.clear_staged_rerank()
 
     # -- the watchdog ------------------------------------------------------
 

@@ -297,6 +297,40 @@ class SweepExecutor:
                 staged += 1
         return staged
 
+    @property
+    def uses_batched_rerank(self) -> bool:
+        """True when maxsat solves can be batched through the re-rank kernel.
+
+        Requires the warm incremental backend (so scenarios are weight-only
+        re-solves on persistent sessions) — batch callers use this to decide
+        whether :meth:`precompute_rerank` will pay off.
+        """
+        return self._warm_backend is not None and getattr(
+            self._warm_backend, "precompute_rerank", None
+        ) is not None
+
+    def precompute_rerank(self, trees: Sequence[FaultTree]) -> int:
+        """Batch the first MaxSAT solve of ``trees`` through the re-rank kernel.
+
+        Delegates to the warm backend's
+        :meth:`~repro.api.backends.MaxSATBackend.precompute_rerank`: trees are
+        grouped by structure and each group's weight grid runs through the
+        pooled / certified / B&B / fallback ladder of
+        :meth:`~repro.maxsat.incremental.IncrementalMaxSATSession.solve_batch`
+        in one call — results byte-identical to the per-scenario loop, SAT
+        calls near zero in steady state.  The per-scenario analysis then
+        consumes the staged solves transparently.  Returns the number staged
+        (0 when the backend has no batch path).
+        """
+        if not self.uses_batched_rerank:
+            return 0
+        return self._warm_backend.precompute_rerank(trees)
+
+    def clear_staged_rerank(self) -> None:
+        """Drop unconsumed staged batch solves (frees their tree references)."""
+        if self.uses_batched_rerank:
+            self._warm_backend.clear_staged_rerank()
+
     def evict_tree_artifacts(self, base: FaultTree, patched: FaultTree) -> None:
         """Public alias of the per-scenario cache eviction (see below)."""
         self._evict_scenario_artifacts(base, patched)
@@ -388,19 +422,26 @@ class SweepExecutor:
             base_mpmcs_probability=base_mpmcs_probability,
         )
 
-        # When the structure-keyed BDD is the top-event provider, pre-apply
-        # every patch and evaluate the whole scenario grid in one kernel call
-        # per structure; the loop below then consumes the staged values.
+        # Batched precomputation: when the structure-keyed BDD serves the top
+        # event and/or the warm MaxSAT backend can batch its re-ranks,
+        # pre-apply every patch and push the whole scenario grid through the
+        # kernel seam — one BDD evaluation pass and one solve_batch per
+        # structure; the loop below then consumes the staged values.
         prepared: List[Tuple[Optional[FaultTree], Optional[ReproError]]] = []
-        if self._fill_top_event:
+        batch_rerank = self.uses_batched_rerank and any(
+            analysis in ("mpmcs", "ranking") for analysis in analyses
+        )
+        if self._fill_top_event or batch_rerank:
             for scenario in scenario_list:
                 try:
                     prepared.append((scenario.apply(tree), None))
                 except ReproError as exc:
                     prepared.append((None, exc))
-            self.precompute_top_events(
-                [patched for patched, _ in prepared if patched is not None]
-            )
+            patched_trees = [patched for patched, _ in prepared if patched is not None]
+            if self._fill_top_event:
+                self.precompute_top_events(patched_trees)
+            if batch_rerank:
+                self.precompute_rerank(patched_trees)
 
         for position, scenario in enumerate(scenario_list):
             # Outside the try: a cancellation raised here must abort the
@@ -456,6 +497,7 @@ class SweepExecutor:
                 on_outcome(outcome)
 
         self._pending_ptop.clear()
+        self.clear_staged_rerank()
         report.cache_stats = self.session.cache_info()
         report.total_time_s = time.perf_counter() - started
         return report

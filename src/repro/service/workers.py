@@ -197,7 +197,12 @@ def run_parallel_sweep(
     ``sweep`` stage, chunked into at most ``workers`` contiguous slices, each
     executed through the unmodified sequential
     :class:`~repro.scenarios.sweep.SweepExecutor` (in spawn worker processes
-    when ``workers > 1``, in-process otherwise).  With a ``store_path`` every
+    when ``workers > 1``, in-process otherwise).  Each worker's executor
+    applies the full batched fast path to its own slice — one
+    :meth:`~repro.scenarios.sweep.SweepExecutor.precompute_top_events` BDD
+    pass and one
+    :meth:`~repro.scenarios.sweep.SweepExecutor.precompute_rerank` MaxSAT
+    re-rank batch per structure, per chunk.  With a ``store_path`` every
     finished chunk is persisted in the campaign completion ledger, so an
     identical sweep — same tree, configuration and scenarios — resumes from
     the ledger instead of recomputing, and a sweep killed mid-run only redoes

@@ -1,0 +1,90 @@
+"""The per-manager FlatBDD memo is LRU-bounded with ArtifactCache-style stats."""
+
+import pytest
+
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.probability import (
+    FLAT_FORM_CACHE_LIMIT,
+    FlatBDD,
+    FlatFormCache,
+    flatten_bdd,
+)
+from repro.exceptions import AnalysisError
+
+
+def _or_chain(manager: BDDManager, names) -> BDD:
+    node = manager.var(names[0]).node
+    for name in names[1:]:
+        node = manager.apply_or(node, manager.var(name).node)
+    return BDD(manager, node)
+
+
+class TestFlatFormCache:
+    def test_default_limit(self):
+        cache = FlatFormCache()
+        assert cache.limit == FLAT_FORM_CACHE_LIMIT
+        assert FLAT_FORM_CACHE_LIMIT >= 1
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(AnalysisError):
+            FlatFormCache(limit=0)
+
+    def test_miss_then_hit_counts(self):
+        cache = FlatFormCache(limit=4)
+        flat = FlatBDD(events=(), var_index=None, low=None, high=None, root=1)
+        assert cache.get(7) is None
+        cache.put(7, flat)
+        assert cache.get(7) is flat
+        assert cache.stats() == {
+            "entries": 1,
+            "limit": 4,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_evicts_least_recently_used(self):
+        cache = FlatFormCache(limit=2)
+        a = FlatBDD(events=(), var_index=None, low=None, high=None, root=1)
+        b = FlatBDD(events=(), var_index=None, low=None, high=None, root=1)
+        c = FlatBDD(events=(), var_index=None, low=None, high=None, root=1)
+        cache.put(1, a)
+        cache.put(2, b)
+        cache.get(1)  # refresh 1 so 2 becomes the LRU entry
+        cache.put(3, c)
+        assert cache.get(2) is None
+        assert cache.get(1) is a
+        assert cache.get(3) is c
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+
+class TestFlattenBddMemo:
+    def test_manager_memo_is_flat_form_cache(self):
+        manager = BDDManager(["a", "b"])
+        function = _or_chain(manager, ["a", "b"])
+        flat = flatten_bdd(function)
+        cache = manager._flat_forms
+        assert isinstance(cache, FlatFormCache)
+        assert flatten_bdd(function) is flat
+        assert cache.hits >= 1 and cache.misses >= 1
+
+    def test_eviction_forces_reflatten(self):
+        names = ["a", "b", "c", "d"]
+        manager = BDDManager(names)
+        manager._flat_forms = FlatFormCache(limit=2)
+        functions = [_or_chain(manager, names[: k + 1]) for k in range(4)]
+        first = [flatten_bdd(f) for f in functions]
+        assert manager._flat_forms.evictions == 2
+        # The oldest entries were evicted: re-flattening rebuilds an equal form.
+        again = flatten_bdd(functions[0])
+        assert again is not first[0]
+        assert again == first[0]
+        # The newest entries are still memoised.
+        assert flatten_bdd(functions[3]) is first[3]
+
+    def test_stats_shape(self):
+        manager = BDDManager(["a"])
+        flatten_bdd(manager.var("a"))
+        stats = manager._flat_forms.stats()
+        assert set(stats) == {"entries", "limit", "hits", "misses", "evictions"}

@@ -1,0 +1,101 @@
+"""Re-rank scoring kernels: every tier returns the oracle's exact integers."""
+
+import random
+
+import pytest
+
+from repro import kernels
+from repro.kernels import rerank
+from repro.kernels.rerank import (
+    _INT64_SAFE_WEIGHT,
+    greedy_lower_bound_python,
+    score_candidates_python,
+)
+
+TIERS = kernels.available_tiers()
+
+
+def _random_problem(seed, num_events=12, num_candidates=6, num_rows=9):
+    rng = random.Random(seed)
+    candidates = [
+        sorted(rng.sample(range(num_events), rng.randint(1, num_events // 2)))
+        for _ in range(num_candidates)
+    ]
+    rows = [
+        [rng.randint(1, 10**7) for _ in range(num_events)] for _ in range(num_rows)
+    ]
+    # Pairwise-disjoint cores, like the session's greedy packing produces.
+    pool = list(range(num_events))
+    rng.shuffle(pool)
+    cores, cursor = [], 0
+    while cursor + 2 <= len(pool) and len(cores) < 3:
+        size = rng.randint(1, 3)
+        cores.append(sorted(pool[cursor : cursor + size]))
+        cursor += size
+    return candidates, cores, rows
+
+
+class TestScoreCandidates:
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference_tier(self, tier, seed):
+        candidates, _, rows = _random_problem(seed)
+        suite = kernels.select(tier)
+        assert suite.score_candidates(candidates, rows) == score_candidates_python(
+            candidates, rows
+        )
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_empty_candidates(self, tier):
+        assert kernels.select(tier).score_candidates([], [[1, 2], [3, 4]]) == []
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_empty_rows(self, tier):
+        assert kernels.select(tier).score_candidates([[0], [1]], []) == [[], []]
+
+    def test_reference_values_by_hand(self):
+        scores = score_candidates_python([[0, 2], [1]], [[5, 7, 11], [1, 2, 3]])
+        assert scores == [[16, 4], [7, 2]]
+
+
+class TestGreedyLowerBound:
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference_tier(self, tier, seed):
+        _, cores, rows = _random_problem(seed)
+        suite = kernels.select(tier)
+        assert suite.greedy_lower_bound(cores, rows) == greedy_lower_bound_python(
+            cores, rows
+        )
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_no_cores_means_zero_bound(self, tier):
+        assert kernels.select(tier).greedy_lower_bound([], [[1], [2]]) == [0, 0]
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_no_rows(self, tier):
+        assert kernels.select(tier).greedy_lower_bound([[0]], []) == []
+
+    def test_reference_values_by_hand(self):
+        bounds = greedy_lower_bound_python([[0, 1], [2]], [[5, 7, 11], [9, 2, 3]])
+        assert bounds == [5 + 11, 2 + 3]
+
+
+class TestInt64Guard:
+    """Weights past the int64-safe bound fall back to exact reference math."""
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_huge_weights_stay_exact(self, tier):
+        huge = _INT64_SAFE_WEIGHT * 4
+        candidates = [[0, 1]]
+        rows = [[huge, huge + 1]]
+        suite = kernels.select(tier)
+        assert suite.score_candidates(candidates, rows) == [[2 * huge + 1]]
+        assert suite.greedy_lower_bound([[0, 1]], rows) == [huge]
+
+    def test_numpy_tier_delegates(self):
+        if "numpy" not in TIERS:
+            pytest.skip("numpy unavailable")
+        huge = _INT64_SAFE_WEIGHT * 4
+        assert rerank.score_candidates_numpy([[0]], [[huge]]) == [[huge]]
+        assert rerank.greedy_lower_bound_numpy([[0]], [[huge]]) == [huge]

@@ -40,6 +40,7 @@ HEADLINE_METRICS = {
     "E13-campaign-resume-overhead": "resume_speedup",
     "E14-live-monitor-updates": "speedup_vs_cold",
     "E15-kernel-batch-bdd-eval": "numpy_speedup_vs_scalar",
+    "E16-maxsat-rerank-batch": "batch_speedup_vs_chunk",
 }
 
 #: (env var, default filename) pairs probed when no record paths are given.
@@ -48,6 +49,7 @@ DEFAULT_RECORDS = (
     ("BENCH_CAMPAIGN_JSON", "BENCH_campaign.json"),
     ("BENCH_MONITOR_JSON", "BENCH_monitor.json"),
     ("BENCH_KERNELS_JSON", "BENCH_kernels.json"),
+    ("BENCH_RERANK_JSON", "BENCH_rerank.json"),
 )
 
 
